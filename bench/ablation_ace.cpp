@@ -1,0 +1,45 @@
+// Ablation: ACE-style occupancy bounds vs measured fault-injection AVFs.
+//
+// The paper's §II contrasts ACE analysis (one simulation, conservative)
+// with statistical fault injection (many simulations, observed outcomes),
+// citing Wang et al. [28] on ACE's over-estimation. This bench reproduces
+// that comparison on our stack: the time-averaged valid-entry occupancy
+// of each component (an ACE-style upper bound) against the AVF the FI
+// campaign actually measures.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sefi/fi/ace.hpp"
+#include "sefi/fi/campaign.hpp"
+
+int main() {
+  const auto config = sefi::bench::lab_config();
+  sefi::bench::print_campaign_banner(config);
+  sefi::core::AssessmentLab lab(config);
+
+  std::printf(
+      "ABLATION: occupancy (ACE-style) upper bound vs measured FI AVF, per "
+      "component\n\n");
+  for (const char* name : {"CRC32", "FFT", "Qsort", "SusanC"}) {
+    const auto& w = sefi::workloads::workload_by_name(name);
+    const auto occupancy = sefi::fi::measure_occupancy(
+        w, config.fi.rig, config.fi.input_seed);
+    const auto& fi = lab.run_fi(w);
+    std::printf("%s (%llu occupancy samples):\n", name,
+                static_cast<unsigned long long>(occupancy.samples));
+    std::printf("  %-10s %14s %14s %10s\n", "component", "occupancy %",
+                "FI AVF %", "bound ok");
+    for (const auto kind : sefi::microarch::kAllComponents) {
+      const double bound = occupancy.component(kind);
+      const double avf = fi.component(kind).avf();
+      std::printf("  %-10s %14.1f %14.1f %10s\n",
+                  sefi::microarch::component_name(kind).c_str(), bound * 100,
+                  avf * 100, bound + 0.05 >= avf ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "\n(expected: occupancy bounds the measured AVF from above, often "
+      "loosely — the over-estimation\n Wang et al. [28] report for ACE "
+      "analyses without detailed lifetime tracking.)\n");
+  return 0;
+}

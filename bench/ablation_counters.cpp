@@ -1,0 +1,76 @@
+// Ablation: hardware-counter cross-check (paper §IV-D).
+//
+// The paper validates its two setups by comparing seven hardware
+// counters between the Zynq board and the gem5 model, finding ~70% of
+// them within acceptable deviation and the instruction-TLB counters
+// diverging most (a known gem5/Cortex design difference). Our analog
+// compares the same seven counters between the paper-geometry detailed
+// model and the scaled campaign geometry, per benchmark — quantifying
+// exactly what the cache/TLB scaling changes (and what it doesn't:
+// retired instructions and branches must match almost exactly).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sefi/kernel/kernel.hpp"
+#include "sefi/microarch/detailed.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace {
+
+struct CounterRow {
+  std::uint64_t cycles, instructions, branch_misses;
+  std::uint64_t l1d_accesses, l1d_misses, l1i_misses;
+  std::uint64_t dtlb_misses, itlb_misses;
+};
+
+CounterRow measure(const sefi::workloads::Workload& w,
+                   const sefi::microarch::DetailedConfig& uarch) {
+  sefi::sim::Machine m = sefi::microarch::make_detailed_machine(uarch);
+  sefi::kernel::install_system(m, sefi::kernel::build_kernel(),
+                               w.build(sefi::workloads::kDefaultInputSeed),
+                               sefi::workloads::kWorkloadStackTop);
+  m.boot();
+  m.run(500'000'000);
+  const auto& c = m.counters();
+  return {m.cpu().cycles(), m.cpu().instructions(), c.branch_misses,
+          c.l1d_accesses,   c.l1d_misses,           c.l1i_misses,
+          c.dtlb_misses,    c.itlb_misses};
+}
+
+double ratio(std::uint64_t a, std::uint64_t b) {
+  if (b == 0) return a == 0 ? 1.0 : 99.0;
+  return static_cast<double>(a) / static_cast<double>(b);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ABLATION (SIV-D analog): the 7 hardware counters, paper geometry "
+      "vs scaled campaign geometry\n(ratio = scaled / paper; 1.00 means "
+      "identical)\n\n");
+  std::printf("%-14s %7s %7s %7s %7s %7s %7s %7s %7s\n", "Benchmark", "cyc",
+              "instr", "br-mis", "L1Dacc", "L1Dmis", "L1Imis", "dTLBm",
+              "iTLBm");
+  const sefi::microarch::DetailedConfig paper;
+  const sefi::microarch::DetailedConfig scaled = sefi::core::scaled_uarch();
+  for (const auto* w : sefi::workloads::all_workloads()) {
+    const CounterRow a = measure(*w, scaled);
+    const CounterRow b = measure(*w, paper);
+    std::printf("%-14s %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f\n",
+                w->info().name.c_str(), ratio(a.cycles, b.cycles),
+                ratio(a.instructions, b.instructions),
+                ratio(a.branch_misses, b.branch_misses),
+                ratio(a.l1d_accesses, b.l1d_accesses),
+                ratio(a.l1d_misses, b.l1d_misses),
+                ratio(a.l1i_misses, b.l1i_misses),
+                ratio(a.dtlb_misses, b.dtlb_misses),
+                ratio(a.itlb_misses, b.itlb_misses));
+  }
+  std::printf(
+      "\n(paper finding: ~70%% of counters within acceptable deviation "
+      "across its two setups, instruction-TLB\n counters diverging most. "
+      "Here instr/branch ratios stay ~1.00 while miss counters scale with "
+      "geometry.)\n");
+  return 0;
+}

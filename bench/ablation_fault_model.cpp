@@ -1,0 +1,45 @@
+// Ablation: single-bit vs double-bit (multi-cell-upset) fault model.
+//
+// The paper lists the simplified single-bit model as a source of FI
+// under-estimation (§II-B, Fig. 1): real particles in dense technologies
+// upset adjacent cells together. Re-running the campaign with two-bit
+// flips quantifies how much AVF the single-bit model leaves on the table.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sefi/fi/campaign.hpp"
+
+int main() {
+  const auto config = sefi::bench::lab_config();
+  sefi::bench::print_campaign_banner(config);
+
+  std::printf("ABLATION: AVF under single-bit vs double-bit transients\n");
+  std::printf("%-14s %16s %16s %10s\n", "Benchmark", "AVF single (%)",
+              "AVF double (%)", "ratio");
+  for (const char* name : {"CRC32", "FFT", "Qsort", "SusanC"}) {
+    const auto& w = sefi::workloads::workload_by_name(name);
+    sefi::fi::CampaignConfig single = config.fi;
+    sefi::fi::CampaignConfig twin = config.fi;
+    twin.fault_model = sefi::fi::FaultModel::kDoubleBit;
+    const auto single_result = sefi::fi::run_fi_campaign(w, single);
+    const auto twin_result = sefi::fi::run_fi_campaign(w, twin);
+    // Aggregate AVF weighted by component size (bit-strike probability).
+    auto weighted_avf = [](const sefi::fi::WorkloadFiResult& r) {
+      double num = 0, den = 0;
+      for (const auto& comp : r.components) {
+        num += comp.avf() * static_cast<double>(comp.bits);
+        den += static_cast<double>(comp.bits);
+      }
+      return num / den;
+    };
+    const double a = weighted_avf(single_result);
+    const double b = weighted_avf(twin_result);
+    std::printf("%-14s %16.2f %16.2f %10.2f\n", name, a * 100, b * 100,
+                a > 0 ? b / a : 0.0);
+  }
+  std::printf(
+      "\n(expected: the double-bit model reports equal or higher AVFs — the "
+      "single-bit campaign's\n under-estimation component in the paper's "
+      "Fig. 1 taxonomy.)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared setup for the reproduction bench binaries.
+//
+// Every table/figure binary builds its AssessmentLab through here so the
+// whole suite shares one campaign configuration and one on-disk result
+// cache: the first binary that needs the 13-benchmark sweep pays for it,
+// the rest replay it. Knobs (environment):
+//   SEFI_FAULTS      faults per component per benchmark (default 150;
+//                    the paper used 1000)
+//   SEFI_BEAM_RUNS   beam executions per benchmark session (default 600)
+//   SEFI_SEED        campaign seed override
+//   SEFI_CACHE_DIR   result cache directory (default ".sefi-cache";
+//                    set to empty to disable)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sefi/core/lab.hpp"
+
+namespace sefi::bench {
+
+inline void ensure_default_cache() {
+  if (std::getenv("SEFI_CACHE_DIR") == nullptr) {
+    ::setenv("SEFI_CACHE_DIR", ".sefi-cache", 0);
+  }
+}
+
+inline core::LabConfig lab_config() {
+  ensure_default_cache();
+  return core::LabConfig::from_env();
+}
+
+inline void print_campaign_banner(const core::LabConfig& config) {
+  std::printf(
+      "[sefi] campaign: %llu faults/component (paper: 1000), %llu beam "
+      "runs/benchmark, cache dir '%s'\n\n",
+      static_cast<unsigned long long>(config.fi.faults_per_component),
+      static_cast<unsigned long long>(config.beam.runs),
+      std::getenv("SEFI_CACHE_DIR"));
+}
+
+}  // namespace sefi::bench

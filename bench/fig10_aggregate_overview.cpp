@@ -1,0 +1,22 @@
+// Fig. 10: aggregate comparison of beam and fault-injection FIT rates —
+// the paper's closing "sandwich": fault injection under-estimates, beam
+// over-estimates, the real FIT sits between, and the gap stays within
+// about one order of magnitude.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sefi/report/render.hpp"
+
+int main() {
+  const auto config = sefi::bench::lab_config();
+  sefi::bench::print_campaign_banner(config);
+  sefi::core::AssessmentLab lab(config);
+  const auto sweep = lab.compare_all();
+  const auto agg = sefi::core::AssessmentLab::aggregate(sweep);
+  std::printf("%s", sefi::report::render_fig10(agg).c_str());
+  std::printf(
+      "\n(paper: SDC averages nearly coincide; adding Application Crashes "
+      "widens the gap to 4.3x and adding\n System Crashes to 10.9x — still "
+      "within one order of magnitude, which is the headline claim.)\n");
+  return 0;
+}

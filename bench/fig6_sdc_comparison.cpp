@@ -1,0 +1,23 @@
+// Fig. 6: SDC FIT comparison between (simulated) beam experiments and
+// fault injection — the paper's fold-difference chart.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sefi/report/render.hpp"
+
+int main() {
+  const auto config = sefi::bench::lab_config();
+  sefi::bench::print_campaign_banner(config);
+  sefi::core::AssessmentLab lab(config);
+  const auto sweep = lab.compare_all();
+  std::printf("%s",
+              sefi::report::render_fold_figure(
+                  "FIG 6: SDC FIT comparison, beam vs fault injection",
+                  "sdc", sweep)
+                  .c_str());
+  std::printf(
+      "(paper: 10 of 13 benchmarks within 4x, 7 within 2x; the largest "
+      "gaps — MatMul, StringSearch, CRC32 —\n occur where absolute SDC "
+      "rates are tiny and within statistical error.)\n");
+  return 0;
+}

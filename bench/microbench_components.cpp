@@ -1,0 +1,122 @@
+// Component micro-benchmarks (google-benchmark): throughput of the hot
+// structures behind the campaigns — instruction decode, cache and TLB
+// operations, the renamed register file, the PRNG, and whole-machine
+// stepping on both models. These guard the simulator's performance,
+// which bounds campaign sizes on a given time budget.
+#include <benchmark/benchmark.h>
+
+#include "sefi/isa/assembler.hpp"
+#include "sefi/kernel/kernel.hpp"
+#include "sefi/microarch/cache.hpp"
+#include "sefi/microarch/detailed.hpp"
+#include "sefi/microarch/regfile.hpp"
+#include "sefi/microarch/tlb.hpp"
+#include "sefi/support/rng.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace {
+
+using namespace sefi;  // NOLINT: bench-local convenience
+
+void BM_DecodeInstruction(benchmark::State& state) {
+  isa::Instruction inst;
+  inst.op = isa::Opcode::kAddi;
+  inst.rd = 3;
+  inst.rn = 4;
+  inst.imm = -42;
+  const std::uint32_t word = isa::encode(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode(word));
+  }
+}
+BENCHMARK(BM_DecodeInstruction);
+
+void BM_CacheHitLookup(benchmark::State& state) {
+  microarch::CacheArray cache("bench", {32 * 1024, 32, 4});
+  const std::uint32_t addr = 0x1234 & ~31u;
+  cache.install(addr, cache.pick_victim(addr), std::vector<std::uint8_t>(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(addr));
+  }
+}
+BENCHMARK(BM_CacheHitLookup);
+
+void BM_CacheInstallEvict(benchmark::State& state) {
+  microarch::CacheArray cache("bench", {4 * 1024, 32, 4});
+  const std::vector<std::uint8_t> line(32, 0xAA);
+  std::uint32_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.install(addr, cache.pick_victim(addr),
+                                           line));
+    addr += 32;
+  }
+}
+BENCHMARK(BM_CacheInstallEvict);
+
+void BM_TlbLookup(benchmark::State& state) {
+  microarch::Tlb tlb("bench", 32);
+  for (std::uint32_t vpn = 0; vpn < 32; ++vpn) {
+    tlb.insert(vpn, {vpn, 0xE});
+  }
+  std::uint32_t vpn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(vpn));
+    vpn = (vpn + 1) & 31;
+  }
+}
+BENCHMARK(BM_TlbLookup);
+
+void BM_RegFileWriteRead(benchmark::State& state) {
+  microarch::PhysRegFile regs(64, 16);
+  unsigned r = 0;
+  for (auto _ : state) {
+    regs.write(r, r * 3);
+    benchmark::DoNotOptimize(regs.read(r));
+    r = (r + 1) & 15;
+  }
+}
+BENCHMARK(BM_RegFileWriteRead);
+
+void BM_Xoshiro(benchmark::State& state) {
+  support::Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+/// Whole-machine stepping throughput; counter "instr/s" is the figure the
+/// campaign budgets are built on.
+template <bool kDetailed>
+void BM_MachineRun(benchmark::State& state) {
+  const auto& workload = workloads::workload_by_name("SusanC");
+  const isa::Program kernel_image = kernel::build_kernel();
+  const isa::Program app = workload.build(workloads::kDefaultInputSeed);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::Machine machine = kDetailed ? microarch::make_detailed_machine()
+                                     : sim::Machine::make_functional();
+    kernel::install_system(machine, kernel_image, app,
+                           workloads::kWorkloadStackTop);
+    machine.boot();
+    benchmark::DoNotOptimize(machine.run(500'000'000));
+    instructions += machine.cpu().instructions();
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineRun<false>)->Name("BM_MachineRun_Functional");
+BENCHMARK(BM_MachineRun<true>)->Name("BM_MachineRun_Detailed");
+
+void BM_WorkloadBuild(benchmark::State& state) {
+  const auto& workload = workloads::workload_by_name("RijndaelE");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workload.build(workloads::kDefaultInputSeed).size());
+  }
+}
+BENCHMARK(BM_WorkloadBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Table III: benchmark inputs and characteristics.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sefi/kernel/kernel.hpp"
+#include "sefi/microarch/detailed.hpp"
+#include "sefi/report/render.hpp"
+#include "sefi/support/strings.hpp"
+
+int main() {
+  std::printf("%s", sefi::report::render_table3().c_str());
+
+  // Extra column the paper discusses in prose: per-benchmark run size on
+  // the detailed model (drives cache/kernel residency effects).
+  std::printf("\nMeasured run sizes (detailed model, campaign geometry):\n");
+  const auto uarch = sefi::core::scaled_uarch();
+  for (const auto* w : sefi::workloads::all_workloads()) {
+    sefi::sim::Machine m = sefi::microarch::make_detailed_machine(uarch);
+    sefi::kernel::install_system(m, sefi::kernel::build_kernel(),
+                                 w->build(sefi::workloads::kDefaultInputSeed),
+                                 sefi::workloads::kWorkloadStackTop);
+    m.boot();
+    m.run(500'000'000);
+    std::printf("  %-14s %9llu instructions %10llu cycles  image %5u B\n",
+                w->info().name.c_str(),
+                static_cast<unsigned long long>(m.cpu().instructions()),
+                static_cast<unsigned long long>(m.cpu().cycles()),
+                w->build(sefi::workloads::kDefaultInputSeed).size());
+  }
+  return 0;
+}

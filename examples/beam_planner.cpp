@@ -1,0 +1,69 @@
+// Beam-campaign planner: how much accelerated beam time does a target
+// precision cost?
+//
+// Beam experiments are scheduled in facility-hours (the paper used ~260
+// effective hours at LANSCE for 2.9 M-years of natural exposure). Given
+// an expected FIT rate and a desired confidence-interval width, this
+// tool inverts the Poisson counting statistics to the fluence — and
+// therefore beam hours — required, for a range of expected rates. Pure
+// statistics, no simulation: runs instantly.
+#include <cstdio>
+
+#include "sefi/stats/confidence.hpp"
+#include "sefi/stats/fit.hpp"
+
+namespace {
+
+/// Events needed so the 95% Poisson CI half-width is within
+/// `relative_precision` of the point estimate.
+std::uint64_t events_for_precision(double relative_precision) {
+  for (std::uint64_t events = 1; events < 1'000'000; ++events) {
+    const sefi::stats::Interval ci =
+        sefi::stats::poisson_interval(events, 0.95);
+    const double half_width =
+        (ci.upper - ci.lower) / 2.0 / static_cast<double>(events);
+    if (half_width <= relative_precision) return events;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kAccelFlux = 3.5e5;  // n/cm^2/s, the paper's LANSCE beam
+
+  std::printf(
+      "Beam-time planner (flux %.1e n/cm^2/s, 95%% Poisson intervals)\n\n",
+      kAccelFlux);
+  std::printf("Events required per relative precision target:\n");
+  std::printf("  %-12s %-10s\n", "precision", "events");
+  for (const double precision : {0.5, 0.25, 0.10, 0.05}) {
+    char label[16];
+    std::snprintf(label, sizeof label, "+/-%.0f%%", precision * 100);
+    std::printf("  %-12s %-10llu\n", label,
+                static_cast<unsigned long long>(
+                    events_for_precision(precision)));
+  }
+
+  std::printf(
+      "\nBeam hours to reach +/-25%% on a failure class, by expected FIT "
+      "rate:\n");
+  std::printf("  %-12s %-14s %-14s %-14s\n", "FIT", "sigma (cm^2)",
+              "fluence (n/cm2)", "beam hours");
+  const std::uint64_t events = events_for_precision(0.25);
+  for (const double fit : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+    // FIT = sigma * 13 * 1e9  =>  sigma = FIT / 1.3e10.
+    const double sigma = fit / (sefi::stats::kNycFluxPerCm2Hour * 1e9);
+    const double fluence = static_cast<double>(events) / sigma;
+    const double hours = fluence / kAccelFlux / 3600.0;
+    std::printf("  %-12.1f %-14.3e %-14.3e %-14.1f\n", fit, sigma, fluence,
+                hours);
+  }
+  std::printf(
+      "\n(reference: the paper's 260 effective hours bought ~2.9 M-years "
+      "of natural exposure, i.e. fluence %.2e n/cm^2 —\n enough for "
+      "tens-of-FIT classes but leaving sub-FIT SDC rates inside wide "
+      "intervals, exactly the Fig. 6 outliers.)\n",
+      sefi::stats::fluence_from_exposure(kAccelFlux, 260.0 * 3600));
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Protection advisor: the paper's closing motivation turned into a tool.
+//
+// "The insights of our study can assist CPU designers in making informed
+//  decisions about the soft error protection mechanisms best suited to a
+//  particular hardware and software combination." (§VII)
+//
+// This example runs the fault-injection campaign for a set of workloads,
+// converts AVFs to FIT with the calibrated FIT_raw, and then evaluates
+// protection options: for each hardware component, what fraction of the
+// predicted failure rate disappears if that component is protected (ECC /
+// parity zeroes its contribution)? It prints a ranked protection plan and
+// the residual FIT after each step — bracketed by the beam-vs-FI bounds
+// of Fig. 10 so the designer sees the uncertainty band, not just a point.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sefi/core/lab.hpp"
+#include "sefi/stats/fit.hpp"
+
+int main() {
+  using namespace sefi;
+
+  core::LabConfig config = core::LabConfig::from_env(/*default_faults=*/100,
+                                                     /*default_beam_runs=*/400);
+  core::AssessmentLab lab(config);
+
+  const std::vector<const char*> workloads_under_study = {"MatMul", "FFT",
+                                                          "Qsort"};
+  std::printf("calibrating FIT_raw...\n");
+  const double fit_raw = lab.fit_raw_per_bit();
+  std::printf("FIT_raw = %.3e FIT/bit\n\n", fit_raw);
+
+  // Accumulate each component's FIT contribution across the workload mix.
+  struct Contribution {
+    microarch::ComponentKind kind;
+    double fit = 0;
+  };
+  std::vector<Contribution> contributions;
+  for (const auto kind : microarch::kAllComponents) {
+    contributions.push_back({kind, 0.0});
+  }
+  double beam_total = 0;
+
+  for (const char* name : workloads_under_study) {
+    const auto& workload = workloads::workload_by_name(name);
+    std::printf("assessing %s...\n", name);
+    const fi::WorkloadFiResult& fi_result = lab.run_fi(workload);
+    for (std::size_t i = 0; i < fi_result.components.size(); ++i) {
+      const auto& comp = fi_result.components[i];
+      contributions[i].fit += stats::fit_from_avf(
+          fit_raw, static_cast<double>(comp.bits), comp.avf());
+    }
+    beam_total += lab.run_beam(workload).fit_total();
+  }
+  const auto n = static_cast<double>(workloads_under_study.size());
+  for (auto& c : contributions) c.fit /= n;
+  beam_total /= n;
+
+  double fi_total = 0;
+  for (const auto& c : contributions) fi_total += c.fit;
+
+  std::printf(
+      "\nPredicted failure-rate band for this workload mix:\n"
+      "  fault-injection estimate (lower bound): %8.2f FIT\n"
+      "  beam estimate (upper bound, incl. platform): %8.2f FIT\n\n",
+      fi_total, beam_total);
+
+  // Rank components by FIT contribution and print the protection plan.
+  std::sort(contributions.begin(), contributions.end(),
+            [](const Contribution& a, const Contribution& b) {
+              return a.fit > b.fit;
+            });
+  std::printf("Protection plan (greedy, by modeled FIT contribution):\n");
+  std::printf("%-4s %-10s %12s %12s %10s\n", "#", "protect", "FIT removed",
+              "residual", "residual%");
+  double residual = fi_total;
+  int step = 1;
+  for (const auto& c : contributions) {
+    residual -= c.fit;
+    std::printf("%-4d %-10s %12.3f %12.3f %9.1f%%\n", step,
+                microarch::component_name(c.kind).c_str(), c.fit, residual,
+                fi_total > 0 ? 100.0 * residual / fi_total : 0.0);
+    ++step;
+  }
+  std::printf(
+      "\nNote: the beam-side excess (%.2f FIT) stems from structures no "
+      "core-level protection reaches\n(platform logic, interfaces) — the "
+      "paper's argument for combining both methodologies.\n",
+      beam_total - fi_total);
+  return 0;
+}

@@ -1,0 +1,208 @@
+// sefi_cli — command-line driver over the public API.
+//
+//   sefi_cli list
+//       All workloads (paper suite, extended suite, calibration).
+//   sefi_cli run <workload> [--functional] [--trace N]
+//       Execute one workload; print console, exit code, counters.
+//   sefi_cli inject <workload> <component> <bit> <cycle> [--double]
+//       Single fault experiment; print the classified outcome.
+//   sefi_cli beam <workload> [runs]
+//       One simulated beam session; print events and FIT rates.
+//   sefi_cli fi <workload> [faults-per-component]
+//       Fault-injection campaign; print per-component classification.
+//
+// Components: L1I L1D L2 RegFile ITLB DTLB.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sefi/beam/session.hpp"
+#include "sefi/core/lab.hpp"
+#include "sefi/fi/campaign.hpp"
+#include "sefi/kernel/kernel.hpp"
+#include "sefi/microarch/detailed.hpp"
+#include "sefi/sim/tracer.hpp"
+#include "sefi/support/error.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace {
+
+using namespace sefi;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sefi_cli list\n"
+               "       sefi_cli run <workload> [--functional] [--trace N]\n"
+               "       sefi_cli inject <workload> <component> <bit> <cycle>"
+               " [--double]\n"
+               "       sefi_cli beam <workload> [runs]\n"
+               "       sefi_cli fi <workload> [faults-per-component]\n");
+  return 2;
+}
+
+microarch::ComponentKind parse_component(const std::string& name) {
+  for (const auto kind : microarch::kAllComponents) {
+    if (microarch::component_name(kind) == name) return kind;
+  }
+  throw support::SefiError("unknown component: " + name +
+                           " (expected L1I/L1D/L2/RegFile/ITLB/DTLB)");
+}
+
+int cmd_list() {
+  std::printf("paper suite (Table III):\n");
+  for (const auto* w : workloads::all_workloads()) {
+    std::printf("  %-14s %s\n", w->info().name.c_str(),
+                w->info().characteristics.c_str());
+  }
+  std::printf("extended suite:\n");
+  for (const auto* w : workloads::extended_workloads()) {
+    std::printf("  %-14s %s\n", w->info().name.c_str(),
+                w->info().characteristics.c_str());
+  }
+  std::printf("calibration:\n  %-14s %s\n",
+              workloads::l1_pattern_workload().info().name.c_str(),
+              workloads::l1_pattern_workload().info().characteristics.c_str());
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto& w = workloads::workload_by_name(args[0]);
+  bool functional = false;
+  std::uint64_t trace = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--functional") {
+      functional = true;
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  sim::Machine m = functional
+                       ? sim::Machine::make_functional()
+                       : microarch::make_detailed_machine(core::scaled_uarch());
+  kernel::install_system(m, kernel::build_kernel(),
+                         w.build(workloads::kDefaultInputSeed),
+                         workloads::kWorkloadStackTop);
+  m.boot();
+  if (trace > 0) {
+    std::printf("%s", sim::trace_execution(m, {trace, true}).c_str());
+  }
+  const sim::RunEvent event = m.run(500'000'000);
+  std::printf("event=%d exit=%u console=\"%s\"\n", static_cast<int>(event.kind),
+              event.payload, m.console().c_str());
+  std::printf("cycles=%llu instructions=%llu\n",
+              static_cast<unsigned long long>(m.cpu().cycles()),
+              static_cast<unsigned long long>(m.cpu().instructions()));
+  const auto& c = m.counters();
+  std::printf(
+      "l1d: %llu acc / %llu miss | l1i miss %llu | tlb miss %llu/%llu | "
+      "branch miss %llu/%llu\n",
+      static_cast<unsigned long long>(c.l1d_accesses),
+      static_cast<unsigned long long>(c.l1d_misses),
+      static_cast<unsigned long long>(c.l1i_misses),
+      static_cast<unsigned long long>(c.itlb_misses),
+      static_cast<unsigned long long>(c.dtlb_misses),
+      static_cast<unsigned long long>(c.branch_misses),
+      static_cast<unsigned long long>(c.branches));
+  const bool golden =
+      m.console() == w.expected_console(workloads::kDefaultInputSeed);
+  std::printf("output %s host mirror\n", golden ? "MATCHES" : "DIFFERS from");
+  return golden ? 0 : 1;
+}
+
+int cmd_inject(const std::vector<std::string>& args) {
+  if (args.size() < 4) return usage();
+  const auto& w = workloads::workload_by_name(args[0]);
+  fi::FaultDescriptor fault;
+  fault.component = parse_component(args[1]);
+  fault.bit = std::strtoull(args[2].c_str(), nullptr, 0);
+  fault.cycle = std::strtoull(args[3].c_str(), nullptr, 0);
+  if (args.size() > 4 && args[4] == "--double") {
+    fault.model = fi::FaultModel::kDoubleBit;
+  }
+  fi::RigConfig rig;
+  rig.uarch = core::scaled_uarch();
+  const fi::InjectionRig injector(w, rig, workloads::kDefaultInputSeed);
+  std::printf("golden: %llu cycles, window [%llu, %llu]\n",
+              static_cast<unsigned long long>(injector.golden().end_cycle),
+              static_cast<unsigned long long>(injector.golden().spawn_cycle),
+              static_cast<unsigned long long>(injector.golden().end_cycle));
+  const fi::Outcome outcome = injector.run_one(fault);
+  std::printf("%s bit %llu at cycle %llu (%s) -> %s\n", args[1].c_str(),
+              static_cast<unsigned long long>(fault.bit),
+              static_cast<unsigned long long>(fault.cycle),
+              fi::fault_model_name(fault.model).c_str(),
+              fi::outcome_name(outcome).c_str());
+  return 0;
+}
+
+int cmd_beam(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto& w = workloads::workload_by_name(args[0]);
+  beam::BeamConfig config;
+  config.uarch = core::scaled_uarch();
+  if (args.size() > 1) {
+    config.runs = std::strtoull(args[1].c_str(), nullptr, 10);
+  }
+  const beam::BeamResult r = beam::run_beam_session(w, config);
+  std::printf(
+      "%llu runs, %llu strikes, %llu reboots | events: sdc=%llu app=%llu "
+      "sys=%llu\n",
+      static_cast<unsigned long long>(r.runs),
+      static_cast<unsigned long long>(r.strikes),
+      static_cast<unsigned long long>(r.reboots),
+      static_cast<unsigned long long>(r.sdc),
+      static_cast<unsigned long long>(r.app_crash),
+      static_cast<unsigned long long>(r.sys_crash));
+  std::printf(
+      "FIT: sdc=%.3f app=%.3f sys=%.3f total=%.3f | fluence %.3e n/cm2 "
+      "(%.2f M-years natural)\n",
+      r.fit_sdc(), r.fit_app_crash(), r.fit_sys_crash(), r.fit_total(),
+      r.fluence_per_cm2, r.natural_years() / 1e6);
+  return 0;
+}
+
+int cmd_fi(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto& w = workloads::workload_by_name(args[0]);
+  fi::CampaignConfig config;
+  config.rig.uarch = core::scaled_uarch();
+  config.faults_per_component =
+      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 150;
+  const fi::WorkloadFiResult result = fi::run_fi_campaign(w, config);
+  std::printf("%-10s %8s %8s %8s %8s %8s %9s\n", "component", "masked",
+              "sdc", "appcr", "syscr", "AVF%", "margin%");
+  for (const auto& comp : result.components) {
+    std::printf("%-10s %8llu %8llu %8llu %8llu %8.1f %9.2f\n",
+                microarch::component_name(comp.component).c_str(),
+                static_cast<unsigned long long>(comp.counts.masked),
+                static_cast<unsigned long long>(comp.counts.sdc),
+                static_cast<unsigned long long>(comp.counts.app_crash),
+                static_cast<unsigned long long>(comp.counts.sys_crash),
+                comp.avf() * 100, comp.error_margin * 100);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(args);
+    if (command == "inject") return cmd_inject(args);
+    if (command == "beam") return cmd_beam(args);
+    if (command == "fi") return cmd_fi(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

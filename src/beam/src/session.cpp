@@ -1,0 +1,413 @@
+#include "sefi/beam/session.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "sefi/stats/fit.hpp"
+#include "sefi/support/error.hpp"
+#include "sefi/support/hash.hpp"
+#include "sefi/support/rng.hpp"
+
+namespace sefi::beam {
+
+namespace {
+constexpr std::uint64_t kGoldenBudget = 500'000'000;
+}  // namespace
+
+PlatformModel PlatformModel::zynq_default() {
+  PlatformModel platform;
+  // Behavioural inventory of structures the microarchitectural model
+  // cannot reach. Bit counts are rough latch-population estimates; the
+  // outcome probabilities are the model's calibration knob (DESIGN.md
+  // section 5) - set so the suite-average total-FIT gap lands inside the
+  // paper's "within one order of magnitude" envelope.
+  // The FPGA-ARM interface the paper singles out: strikes here mostly
+  // wedge the system outright.
+  platform.resources.push_back(
+      {"fpga-arm-interface", 512.0 * 1024, 0.09, 0.05});
+  // Interconnect, bridges, peripheral controllers: a mix of hangs and
+  // application-visible failures.
+  platform.resources.push_back({"platform-logic", 256.0 * 1024, 0.05, 0.10});
+  return platform;
+}
+
+double PlatformModel::total_bits() const {
+  double sum = 0;
+  for (const auto& r : resources) sum += r.bits;
+  return sum;
+}
+
+double BeamResult::fit_sdc() const {
+  return stats::fit_from_cross_section(
+      stats::cross_section(static_cast<double>(sdc), fluence_per_cm2));
+}
+
+double BeamResult::fit_app_crash() const {
+  return stats::fit_from_cross_section(
+      stats::cross_section(static_cast<double>(app_crash), fluence_per_cm2));
+}
+
+double BeamResult::fit_sys_crash() const {
+  return stats::fit_from_cross_section(
+      stats::cross_section(static_cast<double>(sys_crash), fluence_per_cm2));
+}
+
+double BeamResult::fit_total() const {
+  return fit_sdc() + fit_app_crash() + fit_sys_crash();
+}
+
+double BeamResult::natural_years() const {
+  return stats::natural_years_equivalent(fluence_per_cm2);
+}
+
+stats::Interval BeamResult::fit_interval(std::uint64_t events,
+                                         double confidence) const {
+  const stats::Interval counts = stats::poisson_interval(events, confidence);
+  stats::Interval out;
+  out.lower = stats::fit_from_cross_section(
+      stats::cross_section(counts.lower, fluence_per_cm2));
+  out.upper = stats::fit_from_cross_section(
+      stats::cross_section(counts.upper, fluence_per_cm2));
+  return out;
+}
+
+namespace {
+
+/// What a strike did, beyond silently flipping bits.
+enum class StrikeEffect { kNone, kAppCrash, kSysCrash };
+
+class Session {
+ public:
+  Session(const workloads::Workload& workload, const BeamConfig& config)
+      : workload_(workload),
+        config_(config),
+        rng_(config.seed ^ support::fnv1a(workload.info().name)),
+        kernel_image_(kernel::build_kernel(config.kernel)),
+        app_image_(workload.build(config.input_seed)),
+        spawn_addr_(kernel_image_.symbol("spawn")) {
+    run_golden();
+    modeled_bits_total_ = 0;
+    // Component weights need a machine; build the first session machine.
+    power_on();
+    auto& model = microarch::detailed_model(*machine_);
+    for (const auto kind : microarch::kAllComponents) {
+      const double bits =
+          static_cast<double>(model.component(kind).bit_count());
+      component_bits_[static_cast<std::size_t>(kind)] = bits;
+      modeled_bits_total_ += bits;
+    }
+    const double total_bits =
+        modeled_bits_total_ + config_.platform.total_bits();
+    // Strike rate per cycle chosen so a golden-length run sees
+    // `strikes_per_run` strikes on average; the equivalent beam flux
+    // follows from sigma_bit and the inventory size.
+    strike_rate_per_cycle_ =
+        config_.strikes_per_run / static_cast<double>(golden_cycles_);
+    accel_flux_ = strike_rate_per_cycle_ * config_.cpu_hz /
+                  (config_.sigma_bit_cm2 * total_bits);
+    schedule_next_strike();
+  }
+
+  BeamResult run() {
+    BeamResult result;
+    result.workload = workload_.info().name;
+    result.accel_flux_per_cm2_s = accel_flux_;
+
+    const std::uint64_t session_cap =
+        config_.runs * golden_cycles_ * config_.hang_budget_factor * 4 +
+        10'000'000;
+
+    std::uint64_t runs_done = 0;
+    std::uint64_t run_start = now();
+    std::size_t console_mark = machine_->console().size();
+    // Paper procedure (SIV-B): an Application Crash is "restart attempt
+    // successful"; if restarting keeps failing, the system is effectively
+    // down and the operators power-cycle -> System Crash. Persistent
+    // corrupted kernel state (e.g. a flipped cached PTE) shows up as a
+    // crash storm, which this guard converts into one System Crash.
+    constexpr std::uint64_t kCrashStormThreshold = 5;
+    std::uint64_t consecutive_app_crashes = 0;
+    // The same guard applies to SDC storms: persistent corrupted kernel
+    // code resident in the L1I can mangle the output of *every*
+    // subsequent run; at the paper's <1e-3 error-per-run regime the
+    // operators see a board failing continuously and power-cycle it.
+    std::uint64_t consecutive_sdcs = 0;
+
+    auto begin_next_run = [&](bool reloaded) {
+      if (config_.power_cycle_every_run) {
+        // Ablation: cold-restart the platform between runs, like the FI
+        // setup's per-experiment cache reset.
+        base_ += machine_->cpu().cycles();
+        power_on();
+      } else if (!reloaded) {
+        reload_app();
+      }
+      run_start = now();
+      console_mark = machine_->console().size();
+    };
+
+    while (runs_done < config_.runs && now() < session_cap) {
+      const std::uint64_t deadline =
+          run_start + golden_cycles_ * config_.hang_budget_factor;
+      const std::uint64_t target =
+          next_strike_ < deadline ? next_strike_ : deadline;
+      std::optional<sim::RunEvent> event;
+      if (target > now()) {
+        event = machine_->run_until_cycle(target - base_);
+      }
+      if (std::getenv("SEFI_DEBUG")) {
+        std::fprintf(stderr, "iter: now=%llu target=%llu deadline=%llu strike=%llu ev=%d\n",
+          (unsigned long long)now(), (unsigned long long)target,
+          (unsigned long long)deadline, (unsigned long long)next_strike_,
+          event ? (int)event->kind : -1);
+      }
+
+      if (!event.has_value()) {
+        if (now() >= deadline) {
+          // Watchdog expired: is the kernel still breathing?
+          const std::uint64_t jiffies_before = machine_->jiffies();
+          const std::uint64_t probe =
+              deadline - base_ +
+              config_.probe_timer_periods *
+                  static_cast<std::uint64_t>(
+                      config_.kernel.timer_interval_cycles);
+          event = machine_->run_until_cycle(probe);
+          if (!event.has_value()) {
+            if (machine_->jiffies() > jiffies_before) {
+              // App hang, kernel alive: the host kills and restarts the
+              // app over its link (Application Crash) unless restarts
+              // keep failing, in which case it is a System Crash.
+              ++runs_done;
+              if (++consecutive_app_crashes >= kCrashStormThreshold) {
+                consecutive_app_crashes = 0;
+                ++result.sys_crash;
+                ++result.reboots;
+                reboot();
+              } else {
+                ++result.app_crash;
+                reload_app();
+                machine_->cpu().force_kernel_entry(spawn_addr_);
+              }
+              begin_next_run(/*reloaded=*/true);
+              continue;
+            }
+            // System hang: power cycle.
+            ++result.sys_crash;
+            ++runs_done;
+            ++result.reboots;
+            reboot();
+            begin_next_run(/*reloaded=*/true);
+            continue;
+          }
+          // An event surfaced during the probe; fall through to handle it.
+        } else {
+          // Reached the strike time: deliver the particle.
+          const StrikeEffect effect = apply_strike();
+          schedule_next_strike();
+          if (effect == StrikeEffect::kSysCrash) {
+            ++result.sys_crash;
+            ++runs_done;
+            ++result.reboots;
+            reboot();
+            begin_next_run(/*reloaded=*/true);
+          } else if (effect == StrikeEffect::kAppCrash) {
+            ++runs_done;
+            if (++consecutive_app_crashes >= kCrashStormThreshold) {
+              consecutive_app_crashes = 0;
+              ++result.sys_crash;
+              ++result.reboots;
+              reboot();
+            } else {
+              ++result.app_crash;
+              reload_app();
+              machine_->cpu().force_kernel_entry(spawn_addr_);
+            }
+            begin_next_run(/*reloaded=*/true);
+          }
+          continue;
+        }
+      }
+
+      switch (event->kind) {
+        case sim::RunEventKind::kExit: {
+          const std::string run_console =
+              machine_->console().substr(console_mark);
+          const bool correct =
+              event->payload == golden_exit_ && run_console == golden_console_;
+          ++runs_done;
+          consecutive_app_crashes = 0;
+          if (!correct) {
+            ++result.sdc;
+            if (++consecutive_sdcs >= kCrashStormThreshold) {
+              consecutive_sdcs = 0;
+              ++result.reboots;
+              reboot();
+              begin_next_run(/*reloaded=*/true);
+              break;
+            }
+          } else {
+            consecutive_sdcs = 0;
+          }
+          begin_next_run(/*reloaded=*/false);
+          break;
+        }
+        case sim::RunEventKind::kAppCrash:
+          ++runs_done;
+          if (++consecutive_app_crashes >= kCrashStormThreshold) {
+            consecutive_app_crashes = 0;
+            ++result.sys_crash;
+            ++result.reboots;
+            reboot();
+            begin_next_run(/*reloaded=*/true);
+          } else {
+            ++result.app_crash;
+            begin_next_run(/*reloaded=*/false);
+          }
+          break;
+        case sim::RunEventKind::kPanic:
+        case sim::RunEventKind::kHalted:
+        case sim::RunEventKind::kDoubleFault:
+          ++result.sys_crash;
+          ++runs_done;
+          ++result.reboots;
+          consecutive_app_crashes = 0;
+          consecutive_sdcs = 0;
+          reboot();
+          begin_next_run(/*reloaded=*/true);
+          break;
+        case sim::RunEventKind::kCycleLimit:
+          // run_until_cycle never reports this.
+          break;
+      }
+    }
+
+    result.runs = runs_done;
+    result.strikes = strikes_;
+    result.exposure_seconds =
+        static_cast<double>(now()) / config_.cpu_hz;
+    result.fluence_per_cm2 = stats::fluence_from_exposure(
+        accel_flux_, result.exposure_seconds);
+    return result;
+  }
+
+ private:
+  std::uint64_t now() const { return base_ + machine_->cpu().cycles(); }
+
+  void run_golden() {
+    sim::Machine machine = microarch::make_detailed_machine(config_.uarch);
+    kernel::install_system(machine, kernel_image_, app_image_,
+                           workloads::kWorkloadStackTop);
+    machine.boot();
+    const sim::RunEvent event = machine.run(kGoldenBudget);
+    support::require(event.kind == sim::RunEventKind::kExit,
+                     "beam session: golden run did not exit for " +
+                         workload_.info().name);
+    golden_console_ = machine.console();
+    golden_exit_ = event.payload;
+    golden_cycles_ = machine.cpu().cycles();
+  }
+
+  void power_on() {
+    machine_ = std::make_unique<sim::Machine>(
+        microarch::make_detailed_machine(config_.uarch));
+    kernel::install_system(*machine_, kernel_image_, app_image_,
+                           workloads::kWorkloadStackTop);
+    machine_->boot();
+  }
+
+  void reload_app() {
+    machine_->load_image(app_image_);
+    machine_->set_boot_info(app_image_.entry, workloads::kWorkloadStackTop);
+  }
+
+  void reboot() {
+    base_ += machine_->cpu().cycles();
+    power_on();
+  }
+
+  void schedule_next_strike() {
+    const double wait =
+        support::exponential_sample(rng_) / strike_rate_per_cycle_;
+    next_strike_ = now() + static_cast<std::uint64_t>(wait) + 1;
+  }
+
+  StrikeEffect apply_strike() {
+    ++strikes_;
+    const double total =
+        modeled_bits_total_ + config_.platform.total_bits();
+    double u = rng_.uniform01() * total;
+    for (const auto kind : microarch::kAllComponents) {
+      const double bits = component_bits_[static_cast<std::size_t>(kind)];
+      if (u < bits) {
+        auto& component =
+            microarch::detailed_model(*machine_).component(kind);
+        const std::uint64_t bit = static_cast<std::uint64_t>(u);
+        component.flip_bit(bit);
+        if (rng_.bernoulli(config_.p_double_bit)) {
+          // Multi-cell upset: the physically adjacent cell flips too.
+          const std::uint64_t buddy =
+              bit + 1 < component.bit_count() ? bit + 1 : bit - 1;
+          component.flip_bit(buddy);
+        }
+        return StrikeEffect::kNone;
+      }
+      u -= bits;
+    }
+    for (const auto& resource : config_.platform.resources) {
+      if (u < resource.bits) {
+        const double roll = rng_.uniform01();
+        if (roll < resource.p_sys_crash) return StrikeEffect::kSysCrash;
+        if (roll < resource.p_sys_crash + resource.p_app_crash) {
+          return StrikeEffect::kAppCrash;
+        }
+        return StrikeEffect::kNone;
+      }
+      u -= resource.bits;
+    }
+    return StrikeEffect::kNone;  // floating-point edge: treat as masked
+  }
+
+  const workloads::Workload& workload_;
+  BeamConfig config_;
+  support::Xoshiro256 rng_;
+  isa::Program kernel_image_;
+  isa::Program app_image_;
+  std::uint32_t spawn_addr_;
+
+  std::string golden_console_;
+  std::uint32_t golden_exit_ = 0;
+  std::uint64_t golden_cycles_ = 0;
+
+  std::unique_ptr<sim::Machine> machine_;
+  std::uint64_t base_ = 0;
+  std::uint64_t strikes_ = 0;
+  double modeled_bits_total_ = 0;
+  std::array<double, microarch::kNumComponents> component_bits_{};
+  double strike_rate_per_cycle_ = 0;
+  double accel_flux_ = 0;
+  std::uint64_t next_strike_ = 0;
+};
+
+}  // namespace
+
+BeamResult run_beam_session(const workloads::Workload& workload,
+                            const BeamConfig& config) {
+  support::require(config.runs > 0, "run_beam_session: need at least one run");
+  support::require(config.strikes_per_run > 0,
+                   "run_beam_session: strikes_per_run must be positive");
+  Session session(workload, config);
+  return session.run();
+}
+
+std::uint64_t l1_pattern_bits() {
+  return static_cast<std::uint64_t>(workloads::l1_pattern_buffer_bytes()) * 8;
+}
+
+double measure_fit_raw_per_bit(const BeamConfig& config) {
+  const BeamResult result =
+      run_beam_session(workloads::l1_pattern_workload(), config);
+  return result.fit_sdc() / static_cast<double>(l1_pattern_bits());
+}
+
+}  // namespace sefi::beam

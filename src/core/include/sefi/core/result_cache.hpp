@@ -1,0 +1,64 @@
+// On-disk campaign result cache.
+//
+// Campaigns are deterministic functions of (configuration, workload,
+// seeds), so their results can be cached and shared by the bench
+// binaries — Figs. 3-10 all consume the same sweep, and each bench is a
+// separate process. The cache is opt-in: set SEFI_CACHE_DIR to a
+// directory to enable it (the bench suite does this in its run recipe).
+//
+// Entries are small human-readable text files keyed by a hash of the
+// full campaign fingerprint (every parameter that affects the result,
+// plus a format version), so stale entries can never be confused with
+// current ones — change a knob and the key changes.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sefi/beam/session.hpp"
+#include "sefi/fi/campaign.hpp"
+
+namespace sefi::core {
+
+// --- serialization (stable, line-oriented text) --------------------------
+
+std::string serialize(const fi::WorkloadFiResult& result);
+std::optional<fi::WorkloadFiResult> deserialize_fi(const std::string& text);
+
+std::string serialize(const beam::BeamResult& result);
+std::optional<beam::BeamResult> deserialize_beam(const std::string& text);
+
+// --- fingerprinting --------------------------------------------------------
+
+/// Hash of every parameter that affects an FI campaign's outcome.
+std::uint64_t fingerprint(const fi::CampaignConfig& config);
+
+/// Hash of every parameter that affects a beam session's outcome.
+std::uint64_t fingerprint(const beam::BeamConfig& config);
+
+// --- the cache ---------------------------------------------------------------
+
+class ResultCache {
+ public:
+  /// `directory` empty disables the cache (all loads miss, stores no-op).
+  explicit ResultCache(std::string directory);
+
+  /// Reads SEFI_CACHE_DIR; unset/empty -> disabled cache.
+  static ResultCache from_env();
+
+  bool enabled() const { return !directory_.empty(); }
+
+  std::optional<std::string> load(const std::string& key) const;
+  void store(const std::string& key, const std::string& payload) const;
+
+  /// Cache key for a campaign kind ("fi"/"beam"), fingerprint, workload.
+  static std::string make_key(const std::string& kind,
+                              std::uint64_t fingerprint,
+                              const std::string& workload);
+
+ private:
+  std::string path_for(const std::string& key) const;
+  std::string directory_;
+};
+
+}  // namespace sefi::core

@@ -1,0 +1,189 @@
+#include "sefi/core/lab.hpp"
+
+#include "sefi/support/error.hpp"
+#include "sefi/support/strings.hpp"
+
+namespace sefi::core {
+
+microarch::DetailedConfig scaled_uarch() {
+  microarch::DetailedConfig config;
+  config.l1i = {4 * 1024, 32, 4};
+  config.l1d = {4 * 1024, 32, 4};
+  config.l2 = {64 * 1024, 32, 8};
+  config.itlb_entries = 8;
+  config.dtlb_entries = 8;
+  return config;
+}
+
+LabConfig LabConfig::from_env(std::uint64_t default_faults,
+                              std::uint64_t default_beam_runs) {
+  LabConfig config;
+  config.fi.rig.uarch = scaled_uarch();
+  config.beam.uarch = scaled_uarch();
+  config.fi.faults_per_component =
+      support::env_u64("SEFI_FAULTS", default_faults);
+  config.beam.runs = support::env_u64("SEFI_BEAM_RUNS", default_beam_runs);
+  const std::uint64_t seed = support::env_u64("SEFI_SEED", 0);
+  if (seed != 0) {
+    config.fi.seed = seed;
+    config.beam.seed = seed ^ 0xBEA3;
+  }
+  return config;
+}
+
+stats::FoldDifference WorkloadComparison::sdc_fold() const {
+  return stats::fold_difference(beam.fit_sdc(), fi_fit.sdc);
+}
+
+stats::FoldDifference WorkloadComparison::app_crash_fold() const {
+  return stats::fold_difference(beam.fit_app_crash(), fi_fit.app_crash);
+}
+
+stats::FoldDifference WorkloadComparison::sys_crash_fold() const {
+  return stats::fold_difference(beam.fit_sys_crash(), fi_fit.sys_crash);
+}
+
+stats::FoldDifference WorkloadComparison::sdc_plus_app_fold() const {
+  return stats::fold_difference(beam.fit_sdc() + beam.fit_app_crash(),
+                                fi_fit.sdc + fi_fit.app_crash);
+}
+
+double AggregateComparison::sdc_gap() const {
+  return stats::fold_difference(beam_sdc, fi_sdc).magnitude;
+}
+
+double AggregateComparison::sdc_app_gap() const {
+  return stats::fold_difference(beam_sdc_app, fi_sdc_app).magnitude;
+}
+
+double AggregateComparison::total_gap() const {
+  return stats::fold_difference(beam_total, fi_total).magnitude;
+}
+
+AssessmentLab::AssessmentLab(LabConfig config) : config_(std::move(config)) {}
+
+double AssessmentLab::fit_raw_per_bit() {
+  if (!fit_raw_.has_value()) {
+    // Calibration anchors every FI-side FIT value, so its counting noise
+    // multiplies through the whole comparison: give it a 3x-longer
+    // session than a regular benchmark. It still flows through the disk
+    // cache (the longer run count fingerprints differently).
+    beam::BeamConfig calibration = config_.beam;
+    calibration.runs *= 3;
+    const std::string key = ResultCache::make_key(
+        "beam", fingerprint(calibration),
+        workloads::l1_pattern_workload().info().name);
+    beam::BeamResult result;
+    bool have = false;
+    if (const auto cached = disk_cache_.load(key)) {
+      if (auto parsed = deserialize_beam(*cached)) {
+        result = std::move(*parsed);
+        have = true;
+      }
+    }
+    if (!have) {
+      result = beam::run_beam_session(workloads::l1_pattern_workload(),
+                                      calibration);
+      disk_cache_.store(key, serialize(result));
+    }
+    fit_raw_ =
+        result.fit_sdc() / static_cast<double>(beam::l1_pattern_bits());
+    support::require(*fit_raw_ > 0,
+                     "AssessmentLab: FIT_raw calibration measured no events; "
+                     "increase SEFI_BEAM_RUNS");
+  }
+  return *fit_raw_;
+}
+
+const fi::WorkloadFiResult& AssessmentLab::run_fi(
+    const workloads::Workload& workload) {
+  const std::string& name = workload.info().name;
+  auto it = fi_cache_.find(name);
+  if (it != fi_cache_.end()) return it->second;
+
+  const std::string key =
+      ResultCache::make_key("fi", fingerprint(config_.fi), name);
+  if (const auto cached = disk_cache_.load(key)) {
+    if (auto parsed = deserialize_fi(*cached)) {
+      return fi_cache_.emplace(name, std::move(*parsed)).first->second;
+    }
+  }
+  fi::WorkloadFiResult result = fi::run_fi_campaign(workload, config_.fi);
+  disk_cache_.store(key, serialize(result));
+  return fi_cache_.emplace(name, std::move(result)).first->second;
+}
+
+const beam::BeamResult& AssessmentLab::run_beam(
+    const workloads::Workload& workload) {
+  const std::string& name = workload.info().name;
+  auto it = beam_cache_.find(name);
+  if (it != beam_cache_.end()) return it->second;
+
+  const std::string key =
+      ResultCache::make_key("beam", fingerprint(config_.beam), name);
+  if (const auto cached = disk_cache_.load(key)) {
+    if (auto parsed = deserialize_beam(*cached)) {
+      return beam_cache_.emplace(name, std::move(*parsed)).first->second;
+    }
+  }
+  beam::BeamResult result = beam::run_beam_session(workload, config_.beam);
+  disk_cache_.store(key, serialize(result));
+  return beam_cache_.emplace(name, std::move(result)).first->second;
+}
+
+FiFitRates AssessmentLab::convert_to_fit(const fi::WorkloadFiResult& result) {
+  const double fit_raw = fit_raw_per_bit();
+  FiFitRates rates;
+  for (const fi::ComponentResult& comp : result.components) {
+    const auto bits = static_cast<double>(comp.bits);
+    rates.sdc += stats::fit_from_avf(fit_raw, bits, comp.avf_sdc());
+    rates.app_crash +=
+        stats::fit_from_avf(fit_raw, bits, comp.avf_app_crash());
+    rates.sys_crash +=
+        stats::fit_from_avf(fit_raw, bits, comp.avf_sys_crash());
+  }
+  return rates;
+}
+
+WorkloadComparison AssessmentLab::compare(
+    const workloads::Workload& workload) {
+  WorkloadComparison comparison;
+  comparison.workload = workload.info().name;
+  comparison.fi = run_fi(workload);
+  comparison.beam = run_beam(workload);
+  comparison.fi_fit = convert_to_fit(comparison.fi);
+  return comparison;
+}
+
+std::vector<WorkloadComparison> AssessmentLab::compare_all() {
+  std::vector<WorkloadComparison> sweep;
+  sweep.reserve(workloads::all_workloads().size());
+  for (const workloads::Workload* workload : workloads::all_workloads()) {
+    sweep.push_back(compare(*workload));
+  }
+  return sweep;
+}
+
+AggregateComparison AssessmentLab::aggregate(
+    const std::vector<WorkloadComparison>& sweep) {
+  AggregateComparison agg;
+  if (sweep.empty()) return agg;
+  const auto n = static_cast<double>(sweep.size());
+  for (const WorkloadComparison& c : sweep) {
+    agg.beam_sdc += c.beam.fit_sdc();
+    agg.beam_sdc_app += c.beam.fit_sdc() + c.beam.fit_app_crash();
+    agg.beam_total += c.beam.fit_total();
+    agg.fi_sdc += c.fi_fit.sdc;
+    agg.fi_sdc_app += c.fi_fit.sdc + c.fi_fit.app_crash;
+    agg.fi_total += c.fi_fit.total();
+  }
+  agg.beam_sdc /= n;
+  agg.beam_sdc_app /= n;
+  agg.beam_total /= n;
+  agg.fi_sdc /= n;
+  agg.fi_sdc_app /= n;
+  agg.fi_total /= n;
+  return agg;
+}
+
+}  // namespace sefi::core

@@ -1,0 +1,203 @@
+#include "sefi/core/result_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sefi/support/hash.hpp"
+#include "sefi/support/strings.hpp"
+
+namespace sefi::core {
+
+namespace {
+
+/// Bump on any change to the serialized formats below OR to simulator
+/// behaviour that alters campaign outcomes for identical configurations.
+constexpr int kFormatVersion = 3;
+
+void hash_double(support::Fnv1a& h, double value) {
+  h.update(support::format_sci(value));
+}
+
+void hash_u64(support::Fnv1a& h, std::uint64_t value) {
+  h.update(std::to_string(value));
+}
+
+void hash_uarch(support::Fnv1a& h, const microarch::DetailedConfig& u) {
+  for (const auto& geom : {u.l1i, u.l1d, u.l2}) {
+    hash_u64(h, geom.size_bytes);
+    hash_u64(h, geom.line_bytes);
+    hash_u64(h, geom.ways);
+  }
+  hash_u64(h, u.itlb_entries);
+  hash_u64(h, u.dtlb_entries);
+  hash_u64(h, u.phys_regs);
+  hash_u64(h, u.l2_hit_extra);
+  hash_u64(h, u.mem_extra);
+  hash_u64(h, u.walk_extra);
+  hash_u64(h, u.mispredict_penalty);
+  hash_u64(h, u.mmio_extra);
+}
+
+void hash_kernel(support::Fnv1a& h, const kernel::KernelConfig& k) {
+  hash_u64(h, k.timer_interval_cycles);
+  hash_u64(h, k.mapped_pages);
+  hash_u64(h, k.kernel_pages);
+  hash_u64(h, k.sched_footprint_words);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const fi::CampaignConfig& config) {
+  support::Fnv1a h;
+  hash_u64(h, kFormatVersion);
+  h.update("fi");
+  hash_u64(h, config.faults_per_component);
+  hash_u64(h, config.seed);
+  hash_u64(h, config.input_seed);
+  hash_double(h, config.confidence);
+  hash_u64(h, static_cast<std::uint64_t>(config.fault_model));
+  hash_uarch(h, config.rig.uarch);
+  hash_kernel(h, config.rig.kernel);
+  for (const auto protection : config.rig.protection.per_component) {
+    hash_u64(h, static_cast<std::uint64_t>(protection));
+  }
+  hash_u64(h, config.rig.hang_budget_factor);
+  hash_u64(h, config.rig.probe_timer_periods);
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const beam::BeamConfig& config) {
+  support::Fnv1a h;
+  hash_u64(h, kFormatVersion);
+  h.update("beam");
+  hash_uarch(h, config.uarch);
+  hash_kernel(h, config.kernel);
+  for (const auto& resource : config.platform.resources) {
+    h.update(resource.name);
+    hash_double(h, resource.bits);
+    hash_double(h, resource.p_sys_crash);
+    hash_double(h, resource.p_app_crash);
+  }
+  hash_double(h, config.sigma_bit_cm2);
+  hash_double(h, config.cpu_hz);
+  hash_double(h, config.strikes_per_run);
+  hash_double(h, config.p_double_bit);
+  hash_u64(h, config.power_cycle_every_run ? 1 : 0);
+  hash_u64(h, config.runs);
+  hash_u64(h, config.seed);
+  hash_u64(h, config.input_seed);
+  hash_u64(h, config.hang_budget_factor);
+  hash_u64(h, config.probe_timer_periods);
+  return h.digest();
+}
+
+std::string serialize(const fi::WorkloadFiResult& result) {
+  std::ostringstream os;
+  os << "fi v" << kFormatVersion << "\n";
+  os << "workload " << result.workload << "\n";
+  for (const fi::ComponentResult& comp : result.components) {
+    os << "component " << static_cast<int>(comp.component) << " bits "
+       << comp.bits << " masked " << comp.counts.masked << " sdc "
+       << comp.counts.sdc << " app " << comp.counts.app_crash << " sys "
+       << comp.counts.sys_crash << " margin " << comp.error_margin << "\n";
+  }
+  return os.str();
+}
+
+std::optional<fi::WorkloadFiResult> deserialize_fi(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag, version;
+  is >> tag >> version;
+  if (tag != "fi" || version != "v" + std::to_string(kFormatVersion)) {
+    return std::nullopt;
+  }
+  fi::WorkloadFiResult result;
+  is >> tag >> result.workload;
+  if (tag != "workload") return std::nullopt;
+  for (auto& comp : result.components) {
+    int kind = 0;
+    std::string bits, masked, sdc, app, sys, margin;
+    is >> tag >> kind >> bits >> comp.bits >> masked >> comp.counts.masked >>
+        sdc >> comp.counts.sdc >> app >> comp.counts.app_crash >> sys >>
+        comp.counts.sys_crash >> margin >> comp.error_margin;
+    if (!is || tag != "component") return std::nullopt;
+    comp.component = static_cast<microarch::ComponentKind>(kind);
+  }
+  return result;
+}
+
+std::string serialize(const beam::BeamResult& result) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "beam v" << kFormatVersion << "\n";
+  os << "workload " << result.workload << "\n";
+  os << "runs " << result.runs << " sdc " << result.sdc << " app "
+     << result.app_crash << " sys " << result.sys_crash << " strikes "
+     << result.strikes << " reboots " << result.reboots << "\n";
+  os << "exposure " << result.exposure_seconds << " fluence "
+     << result.fluence_per_cm2 << " flux " << result.accel_flux_per_cm2_s
+     << "\n";
+  return os.str();
+}
+
+std::optional<beam::BeamResult> deserialize_beam(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag, version;
+  is >> tag >> version;
+  if (tag != "beam" || version != "v" + std::to_string(kFormatVersion)) {
+    return std::nullopt;
+  }
+  beam::BeamResult result;
+  std::string f1, f2, f3, f4, f5, f6;
+  is >> tag >> result.workload;
+  if (tag != "workload") return std::nullopt;
+  is >> f1 >> result.runs >> f2 >> result.sdc >> f3 >> result.app_crash >>
+      f4 >> result.sys_crash >> f5 >> result.strikes >> f6 >> result.reboots;
+  if (!is || f1 != "runs") return std::nullopt;
+  is >> f1 >> result.exposure_seconds >> f2 >> result.fluence_per_cm2 >> f3 >>
+      result.accel_flux_per_cm2_s;
+  if (!is || f1 != "exposure") return std::nullopt;
+  return result;
+}
+
+ResultCache::ResultCache(std::string directory)
+    : directory_(std::move(directory)) {}
+
+ResultCache ResultCache::from_env() {
+  const char* dir = std::getenv("SEFI_CACHE_DIR");
+  return ResultCache(dir == nullptr ? "" : dir);
+}
+
+std::string ResultCache::make_key(const std::string& kind,
+                                  std::uint64_t fingerprint,
+                                  const std::string& workload) {
+  std::ostringstream os;
+  os << kind << "-" << workload << "-" << std::hex << fingerprint;
+  return os.str();
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  return directory_ + "/" + key + ".txt";
+}
+
+std::optional<std::string> ResultCache::load(const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(path_for(key));
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void ResultCache::store(const std::string& key,
+                        const std::string& payload) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  std::ofstream out(path_for(key));
+  out << payload;
+}
+
+}  // namespace sefi::core

@@ -1,0 +1,39 @@
+// Occupancy-based (ACE-style) vulnerability bounds.
+//
+// The paper's §II positions ACE analysis as the one-simulation
+// alternative to statistical fault injection: instead of observing fault
+// outcomes, it bounds a structure's vulnerability by how much
+// architecturally-live state it holds over time. This module implements
+// the occupancy variant of that idea: sample each component's valid-entry
+// fraction across the golden run; the time-averaged occupancy is an
+// upper bound on the AVF (every bit of a valid entry is assumed ACE —
+// the "no detailed lifetime analysis" end of the effort/accuracy
+// trade-off discussed in the paper and quantified against FI by Wang et
+// al. [28]).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sefi/fi/campaign.hpp"
+
+namespace sefi::fi {
+
+struct OccupancyResult {
+  /// Time-averaged fraction of each component's entries that were valid.
+  std::array<double, microarch::kNumComponents> occupancy{};
+  std::uint64_t samples = 0;
+
+  double component(microarch::ComponentKind kind) const {
+    return occupancy[static_cast<std::size_t>(kind)];
+  }
+};
+
+/// Runs the workload's golden execution on the detailed model, sampling
+/// component occupancy every `sample_period_cycles`.
+OccupancyResult measure_occupancy(const workloads::Workload& workload,
+                                  const RigConfig& rig,
+                                  std::uint64_t input_seed,
+                                  std::uint64_t sample_period_cycles = 2000);
+
+}  // namespace sefi::fi

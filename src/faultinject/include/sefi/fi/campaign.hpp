@@ -1,0 +1,167 @@
+// Statistical microarchitectural fault injection (the paper's GeFIN
+// role, §IV-C): single-bit transient faults injected into the six SRAM
+// components of the detailed model while a workload runs on top of the
+// mini-kernel, classified as Masked / SDC / Application Crash / System
+// Crash against a golden run.
+//
+// Methodology notes mirrored from the paper:
+//   - every injection starts from a cold machine (caches reset each
+//     experiment) — the source of the System-Crash asymmetry vs. beam;
+//   - faults are uniform over (cycle, bit) within the application window;
+//   - sample sizes follow Leveugle's formulation; after the campaign the
+//     error margin is re-adjusted using the measured AVF (Table IV).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sefi/kernel/kernel.hpp"
+#include "sefi/microarch/detailed.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace sefi::fi {
+
+enum class Outcome : std::uint8_t { kMasked = 0, kSdc, kAppCrash, kSysCrash };
+
+std::string outcome_name(Outcome outcome);
+
+/// Transient fault model. The paper's campaigns use single bit flips and
+/// flag the simplification as a source of under-estimation (§II-B):
+/// modern technologies see multi-cell upsets a single-bit model cannot
+/// represent. kDoubleBit flips the adjacent bit as well, for the
+/// fault-model ablation.
+enum class FaultModel : std::uint8_t { kSingleBit = 0, kDoubleBit };
+
+std::string fault_model_name(FaultModel model);
+
+struct FaultDescriptor {
+  microarch::ComponentKind component;
+  std::uint64_t bit = 0;
+  std::uint64_t cycle = 0;
+  FaultModel model = FaultModel::kSingleBit;
+};
+
+/// Reference (fault-free) execution of the workload on the detailed model.
+struct GoldenRun {
+  std::string console;
+  std::uint32_t exit_code = 0;
+  std::uint64_t end_cycle = 0;
+  std::uint64_t spawn_cycle = 0;  ///< first cycle of the application window
+  std::uint64_t instructions = 0;
+};
+
+/// Per-component protection scheme (evaluated by the rig; see
+/// sefi/fi/protection.hpp for the adjudication semantics).
+enum class Protection : std::uint8_t { kNone = 0, kParity, kSecded };
+
+std::string protection_name(Protection protection);
+
+struct ProtectionPolicy {
+  std::array<Protection, microarch::kNumComponents> per_component{};
+
+  Protection component(microarch::ComponentKind kind) const {
+    return per_component[static_cast<std::size_t>(kind)];
+  }
+  void set(microarch::ComponentKind kind, Protection protection) {
+    per_component[static_cast<std::size_t>(kind)] = protection;
+  }
+
+  /// No protection anywhere (the paper's COTS baseline).
+  static ProtectionPolicy none() { return {}; }
+  /// Parity on the L1s, SECDED on the L2 — the classic commercial mix.
+  static ProtectionPolicy commercial();
+  /// SECDED on every array.
+  static ProtectionPolicy full_secded();
+};
+
+struct RigConfig {
+  microarch::DetailedConfig uarch;
+  kernel::KernelConfig kernel;
+  /// Protection schemes applied during injection (default: none).
+  ProtectionPolicy protection;
+  /// Hang watchdog: an injected run is declared hung after
+  /// hang_budget_factor * golden end cycles.
+  std::uint64_t hang_budget_factor = 4;
+  /// After a watchdog hit, the rig probes system responsiveness for this
+  /// many extra timer periods; advancing jiffies = kernel alive (the
+  /// beam-setup "Linux still responds -> Application Crash" rule).
+  std::uint64_t probe_timer_periods = 8;
+};
+
+/// Reusable injection rig for one workload: computes the golden run once,
+/// snapshots the machine at the start of the application window (the
+/// gem5-checkpoint technique GeFIN-style campaigns use), then executes
+/// injected runs on demand by restoring the snapshot — bit-identical to
+/// a cold boot, since the pre-injection path is fault-free and
+/// deterministic, but without paying boot per experiment.
+class InjectionRig {
+ public:
+  InjectionRig(const workloads::Workload& workload, const RigConfig& config,
+               std::uint64_t input_seed);
+
+  const GoldenRun& golden() const { return golden_; }
+  const RigConfig& config() const { return config_; }
+
+  /// Bit count of an injectable component under this rig's configuration.
+  std::uint64_t component_bits(microarch::ComponentKind kind) const;
+
+  /// Runs one injected execution and classifies its outcome.
+  Outcome run_one(const FaultDescriptor& fault) const;
+
+ private:
+  const workloads::Workload& workload_;
+  RigConfig config_;
+  isa::Program kernel_image_;
+  isa::Program app_image_;
+  GoldenRun golden_;
+  std::array<std::uint64_t, microarch::kNumComponents> component_bits_{};
+  mutable sim::Machine machine_;  ///< reused across injected runs
+  sim::Machine::Snapshot spawn_snapshot_;
+};
+
+/// Per-class outcome counts of a campaign.
+struct ClassCounts {
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t app_crash = 0;
+  std::uint64_t sys_crash = 0;
+
+  std::uint64_t total() const { return masked + sdc + app_crash + sys_crash; }
+  void add(Outcome outcome);
+};
+
+/// Result of injecting one component of one workload.
+struct ComponentResult {
+  microarch::ComponentKind component{};
+  std::uint64_t bits = 0;  ///< component size in storage bits
+  ClassCounts counts;
+  double error_margin = 0;  ///< re-adjusted Leveugle margin (99%)
+
+  double avf() const;            ///< non-masked fraction
+  double avf_sdc() const;
+  double avf_app_crash() const;
+  double avf_sys_crash() const;
+};
+
+struct WorkloadFiResult {
+  std::string workload;
+  std::array<ComponentResult, microarch::kNumComponents> components;
+
+  const ComponentResult& component(microarch::ComponentKind kind) const;
+};
+
+struct CampaignConfig {
+  std::uint64_t faults_per_component = 1000;  ///< the paper's sample size
+  std::uint64_t seed = 0xF1F1;                ///< sampling stream seed
+  std::uint64_t input_seed = workloads::kDefaultInputSeed;
+  double confidence = 0.99;                   ///< the paper's level
+  FaultModel fault_model = FaultModel::kSingleBit;  ///< the paper's model
+  RigConfig rig;
+};
+
+/// Runs the full per-component campaign for one workload.
+WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
+                                 const CampaignConfig& config);
+
+}  // namespace sefi::fi

@@ -1,0 +1,39 @@
+// Protection-mechanism adjudication (the paper's closing motivation,
+// §VII: "informed decisions about the soft error protection mechanisms
+// best suited to a particular hardware and software combination").
+//
+// A ProtectionPolicy (sefi/fi/campaign.hpp) assigns a scheme to each
+// injectable component; InjectionRig adjudicates each fault against the
+// policy *at the injection cycle*, using the structure's actual state:
+//
+//   kParity — errors are detected on access. A clean (or invalid) cache
+//       line is recoverable by refetch: masked. A dirty line's data is
+//       lost: detected-uncorrectable error (machine check) -> System
+//       Crash. TLB entries are always regenerable by a page walk:
+//       masked. Register values are not recoverable: System Crash if
+//       the struck register is architecturally live.
+//   kSecded — single-bit errors are corrected in place: masked. A
+//       double-bit (multi-cell) upset in live, non-refetchable state
+//       exceeds the code: detected-uncorrectable -> System Crash.
+//
+// Adjudicated faults are not simulated further; unprotected components
+// inject and simulate as usual. Treating every DUE as a System Crash is
+// the conservative convention (most systems panic on machine checks) and
+// is stated in DESIGN.md.
+#pragma once
+
+#include <optional>
+
+#include "sefi/fi/campaign.hpp"
+
+namespace sefi::fi {
+
+/// Adjudicates a fault against the policy using the component's state in
+/// `model` at the injection cycle. Returns the final outcome when the
+/// protection scheme settles the fault, or nullopt when the fault must
+/// be injected and simulated (unprotected component).
+std::optional<Outcome> adjudicate_protection(
+    const ProtectionPolicy& policy, const FaultDescriptor& fault,
+    microarch::DetailedModel& model);
+
+}  // namespace sefi::fi

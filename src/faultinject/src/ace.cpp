@@ -1,0 +1,61 @@
+#include "sefi/fi/ace.hpp"
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::fi {
+
+OccupancyResult measure_occupancy(const workloads::Workload& workload,
+                                  const RigConfig& rig,
+                                  std::uint64_t input_seed,
+                                  std::uint64_t sample_period_cycles) {
+  support::require(sample_period_cycles > 0,
+                   "measure_occupancy: zero sample period");
+  sim::Machine machine = microarch::make_detailed_machine(rig.uarch);
+  kernel::install_system(machine, kernel::build_kernel(rig.kernel),
+                         workload.build(input_seed),
+                         workloads::kWorkloadStackTop);
+  machine.boot();
+
+  auto& model = microarch::detailed_model(machine);
+  OccupancyResult result;
+  std::array<double, microarch::kNumComponents> sums{};
+
+  for (;;) {
+    const auto event = machine.run_until_cycle(machine.cpu().cycles() +
+                                               sample_period_cycles);
+    auto record = [&](microarch::ComponentKind kind, double fraction) {
+      sums[static_cast<std::size_t>(kind)] += fraction;
+    };
+    record(microarch::ComponentKind::kL1I,
+           static_cast<double>(model.l1i().valid_lines()) /
+               model.l1i().geometry().lines());
+    record(microarch::ComponentKind::kL1D,
+           static_cast<double>(model.l1d().valid_lines()) /
+               model.l1d().geometry().lines());
+    record(microarch::ComponentKind::kL2,
+           static_cast<double>(model.l2().valid_lines()) /
+               model.l2().geometry().lines());
+    record(microarch::ComponentKind::kRegFile,
+           static_cast<double>(model.regfile().mapped_count()) /
+               model.regfile().num_phys());
+    record(microarch::ComponentKind::kITlb,
+           static_cast<double>(model.itlb().valid_entries()) /
+               model.itlb().entries());
+    record(microarch::ComponentKind::kDTlb,
+           static_cast<double>(model.dtlb().valid_entries()) /
+               model.dtlb().entries());
+    ++result.samples;
+    if (event.has_value()) {
+      support::require(event->kind == sim::RunEventKind::kExit,
+                       "measure_occupancy: golden run did not exit for " +
+                           workload.info().name);
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    result.occupancy[i] = sums[i] / static_cast<double>(result.samples);
+  }
+  return result;
+}
+
+}  // namespace sefi::fi

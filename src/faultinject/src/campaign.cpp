@@ -1,0 +1,220 @@
+#include "sefi/fi/campaign.hpp"
+
+#include "sefi/fi/protection.hpp"
+#include "sefi/stats/confidence.hpp"
+#include "sefi/support/error.hpp"
+#include "sefi/support/hash.hpp"
+#include "sefi/support/rng.hpp"
+
+namespace sefi::fi {
+
+namespace {
+constexpr std::uint64_t kGoldenBudget = 500'000'000;
+constexpr std::uint64_t kSpawnPollStep = 500;
+}  // namespace
+
+std::string fault_model_name(FaultModel model) {
+  switch (model) {
+    case FaultModel::kSingleBit: return "single-bit";
+    case FaultModel::kDoubleBit: return "double-bit";
+  }
+  return "?";
+}
+
+std::string outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked: return "Masked";
+    case Outcome::kSdc: return "SDC";
+    case Outcome::kAppCrash: return "AppCrash";
+    case Outcome::kSysCrash: return "SysCrash";
+  }
+  return "?";
+}
+
+void ClassCounts::add(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked: ++masked; break;
+    case Outcome::kSdc: ++sdc; break;
+    case Outcome::kAppCrash: ++app_crash; break;
+    case Outcome::kSysCrash: ++sys_crash; break;
+  }
+}
+
+double ComponentResult::avf() const {
+  const std::uint64_t n = counts.total();
+  if (n == 0) return 0;
+  return static_cast<double>(n - counts.masked) / static_cast<double>(n);
+}
+
+double ComponentResult::avf_sdc() const {
+  const std::uint64_t n = counts.total();
+  return n == 0 ? 0 : static_cast<double>(counts.sdc) / static_cast<double>(n);
+}
+
+double ComponentResult::avf_app_crash() const {
+  const std::uint64_t n = counts.total();
+  return n == 0 ? 0
+               : static_cast<double>(counts.app_crash) / static_cast<double>(n);
+}
+
+double ComponentResult::avf_sys_crash() const {
+  const std::uint64_t n = counts.total();
+  return n == 0 ? 0
+               : static_cast<double>(counts.sys_crash) / static_cast<double>(n);
+}
+
+const ComponentResult& WorkloadFiResult::component(
+    microarch::ComponentKind kind) const {
+  return components[static_cast<std::size_t>(kind)];
+}
+
+InjectionRig::InjectionRig(const workloads::Workload& workload,
+                           const RigConfig& config, std::uint64_t input_seed)
+    : workload_(workload),
+      config_(config),
+      kernel_image_(kernel::build_kernel(config.kernel)),
+      app_image_(workload.build(input_seed)),
+      machine_(microarch::make_detailed_machine(config.uarch)) {
+  kernel::install_system(machine_, kernel_image_, app_image_,
+                         workloads::kWorkloadStackTop);
+  // Golden run: cold machine, record the application window and the
+  // fault-free output; checkpoint at the window start so injected runs
+  // skip boot.
+  machine_.boot();
+  // The kernel's first act in spawn is the alive heartbeat; poll for it
+  // to find the start of the application window.
+  while (machine_.devices().alive_count() == 0) {
+    const auto event =
+        machine_.run_until_cycle(machine_.cpu().cycles() + kSpawnPollStep);
+    support::require(!event.has_value(),
+                     "InjectionRig: machine stopped during boot");
+    support::require(machine_.cpu().cycles() < kGoldenBudget,
+                     "InjectionRig: boot never spawned the application");
+  }
+  golden_.spawn_cycle = machine_.cpu().cycles();
+  spawn_snapshot_ = machine_.save_snapshot();
+  const sim::RunEvent event = machine_.run(kGoldenBudget);
+  support::require(event.kind == sim::RunEventKind::kExit,
+                   "InjectionRig: golden run did not exit cleanly for " +
+                       workload.info().name);
+  golden_.exit_code = event.payload;
+  golden_.console = machine_.console();
+  golden_.end_cycle = machine_.cpu().cycles();
+  golden_.instructions = machine_.cpu().instructions();
+
+  auto& model = microarch::detailed_model(machine_);
+  for (const auto kind : microarch::kAllComponents) {
+    component_bits_[static_cast<std::size_t>(kind)] =
+        model.component(kind).bit_count();
+  }
+}
+
+std::uint64_t InjectionRig::component_bits(
+    microarch::ComponentKind kind) const {
+  return component_bits_[static_cast<std::size_t>(kind)];
+}
+
+Outcome InjectionRig::run_one(const FaultDescriptor& fault) const {
+  // Resume from the spawn checkpoint: the pre-injection path is
+  // fault-free and deterministic, so this is bit-identical to a cold
+  // boot (tested), minus the boot cost.
+  sim::Machine& machine = machine_;
+  machine.restore_snapshot(spawn_snapshot_);
+
+  // Advance to the injection cycle along the (so far fault-free) path.
+  if (const auto early = machine.run_until_cycle(fault.cycle)) {
+    // The machine stopped before the injection point — only possible if
+    // the fault cycle exceeds this run's life, which the sampler avoids;
+    // classify defensively instead of crashing the campaign.
+    (void)early;
+    return Outcome::kMasked;
+  }
+  auto& model = microarch::detailed_model(machine);
+  // Protection schemes settle the fault from the structure's state at
+  // the injection cycle (sefi/fi/protection.hpp).
+  if (const auto adjudicated =
+          adjudicate_protection(config_.protection, fault, model)) {
+    return *adjudicated;
+  }
+  auto& component = model.component(fault.component);
+  component.flip_bit(fault.bit);
+  if (fault.model == FaultModel::kDoubleBit) {
+    const std::uint64_t buddy = fault.bit + 1 < component.bit_count()
+                                    ? fault.bit + 1
+                                    : fault.bit - 1;
+    component.flip_bit(buddy);
+  }
+
+  const std::uint64_t budget = golden_.end_cycle * config_.hang_budget_factor;
+  sim::RunEvent event = machine.run(budget);
+  if (event.kind == sim::RunEventKind::kCycleLimit) {
+    // Watchdog: probe whether the kernel still services timer IRQs.
+    const std::uint64_t before = machine.jiffies();
+    const std::uint64_t probe =
+        budget + config_.probe_timer_periods *
+                     static_cast<std::uint64_t>(
+                         config_.kernel.timer_interval_cycles);
+    event = machine.run(probe);
+    if (event.kind == sim::RunEventKind::kCycleLimit) {
+      return machine.jiffies() > before ? Outcome::kAppCrash
+                                        : Outcome::kSysCrash;
+    }
+  }
+
+  switch (event.kind) {
+    case sim::RunEventKind::kExit:
+      return (event.payload == golden_.exit_code &&
+              machine.console() == golden_.console)
+                 ? Outcome::kMasked
+                 : Outcome::kSdc;
+    case sim::RunEventKind::kAppCrash:
+      return Outcome::kAppCrash;
+    case sim::RunEventKind::kPanic:
+    case sim::RunEventKind::kHalted:
+    case sim::RunEventKind::kDoubleFault:
+      return Outcome::kSysCrash;
+    case sim::RunEventKind::kCycleLimit:
+      return Outcome::kSysCrash;  // unreachable (probed above)
+  }
+  return Outcome::kSysCrash;
+}
+
+WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
+                                 const CampaignConfig& config) {
+  support::require(config.faults_per_component > 0,
+                   "run_fi_campaign: need at least one fault");
+  const InjectionRig rig(workload, config.rig, config.input_seed);
+
+  WorkloadFiResult result;
+  result.workload = workload.info().name;
+
+  const std::uint64_t window =
+      rig.golden().end_cycle - rig.golden().spawn_cycle;
+  support::require(window > 0, "run_fi_campaign: empty application window");
+
+  for (const auto kind : microarch::kAllComponents) {
+    const auto index = static_cast<std::size_t>(kind);
+    ComponentResult& comp = result.components[index];
+    comp.component = kind;
+    comp.bits = rig.component_bits(kind);
+
+    // Independent, reproducible sampling stream per (workload, component).
+    support::Xoshiro256 rng(config.seed ^
+                            support::fnv1a(workload.info().name) ^
+                            (0x9E37u * (index + 1)));
+    for (std::uint64_t i = 0; i < config.faults_per_component; ++i) {
+      FaultDescriptor fault;
+      fault.component = kind;
+      fault.bit = rng.below(comp.bits);
+      fault.cycle = rig.golden().spawn_cycle + rng.below(window);
+      fault.model = config.fault_model;
+      comp.counts.add(rig.run_one(fault));
+    }
+    comp.error_margin = stats::readjusted_error_margin(
+        static_cast<double>(comp.bits) * static_cast<double>(window),
+        config.faults_per_component, config.confidence, comp.avf());
+  }
+  return result;
+}
+
+}  // namespace sefi::fi

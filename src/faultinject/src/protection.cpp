@@ -1,0 +1,102 @@
+#include "sefi/fi/protection.hpp"
+
+namespace sefi::fi {
+
+std::string protection_name(Protection protection) {
+  switch (protection) {
+    case Protection::kNone: return "none";
+    case Protection::kParity: return "parity";
+    case Protection::kSecded: return "SECDED";
+  }
+  return "?";
+}
+
+ProtectionPolicy ProtectionPolicy::commercial() {
+  ProtectionPolicy policy;
+  policy.set(microarch::ComponentKind::kL1I, Protection::kParity);
+  policy.set(microarch::ComponentKind::kL1D, Protection::kParity);
+  policy.set(microarch::ComponentKind::kL2, Protection::kSecded);
+  return policy;
+}
+
+ProtectionPolicy ProtectionPolicy::full_secded() {
+  ProtectionPolicy policy;
+  for (const auto kind : microarch::kAllComponents) {
+    policy.set(kind, Protection::kSecded);
+  }
+  return policy;
+}
+
+namespace {
+
+/// Whether the struck bit sits in architecturally-live state — the only
+/// case a detected-uncorrectable error can actually hurt.
+bool bit_is_live(const FaultDescriptor& fault,
+                 microarch::DetailedModel& model) {
+  switch (fault.component) {
+    case microarch::ComponentKind::kL1I:
+      return model.l1i().bit_in_valid_line(fault.bit);
+    case microarch::ComponentKind::kL1D:
+      return model.l1d().bit_in_valid_line(fault.bit);
+    case microarch::ComponentKind::kL2:
+      return model.l2().bit_in_valid_line(fault.bit);
+    case microarch::ComponentKind::kRegFile:
+      return model.regfile().is_mapped(
+          static_cast<unsigned>(fault.bit / 32));
+    case microarch::ComponentKind::kITlb:
+    case microarch::ComponentKind::kDTlb:
+      return true;  // irrelevant: TLB entries are always regenerable
+  }
+  return false;
+}
+
+/// Whether a detected (but uncorrectable) error in this component loses
+/// non-regenerable state.
+bool detection_is_fatal(const FaultDescriptor& fault,
+                        microarch::DetailedModel& model) {
+  switch (fault.component) {
+    case microarch::ComponentKind::kL1I:
+      // Instruction lines are never dirty: always refetchable.
+      return false;
+    case microarch::ComponentKind::kL1D:
+      return model.l1d().bit_in_dirty_line(fault.bit);
+    case microarch::ComponentKind::kL2:
+      return model.l2().bit_in_dirty_line(fault.bit);
+    case microarch::ComponentKind::kRegFile:
+      // Registers have no backing copy.
+      return model.regfile().is_mapped(
+          static_cast<unsigned>(fault.bit / 32));
+    case microarch::ComponentKind::kITlb:
+    case microarch::ComponentKind::kDTlb:
+      // A detected TLB error invalidates the entry; the walker rebuilds.
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Outcome> adjudicate_protection(
+    const ProtectionPolicy& policy, const FaultDescriptor& fault,
+    microarch::DetailedModel& model) {
+  switch (policy.component(fault.component)) {
+    case Protection::kNone:
+      return std::nullopt;  // inject and simulate
+
+    case Protection::kParity:
+      if (!detection_is_fatal(fault, model)) return Outcome::kMasked;
+      return Outcome::kSysCrash;  // DUE -> machine check
+
+    case Protection::kSecded:
+      if (fault.model == FaultModel::kSingleBit) {
+        return Outcome::kMasked;  // corrected in place
+      }
+      // Double-bit upset: beyond the code. Harmless in dead state.
+      if (!bit_is_live(fault, model)) return Outcome::kMasked;
+      if (!detection_is_fatal(fault, model)) return Outcome::kMasked;
+      return Outcome::kSysCrash;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sefi::fi

@@ -1,0 +1,186 @@
+// Program-builder API ("assembler") for SEFI-A9 guest code.
+//
+// Guest programs — the 13 benchmark workloads and the mini-kernel — are
+// written in C++ against this API, which plays the role of an assembler:
+// it emits encoded instruction words, supports forward-referenced labels,
+// data directives, and named symbols, and resolves all fixups in finish().
+//
+// Example:
+//   Assembler a(0x10000);
+//   Label loop = a.make_label();
+//   a.movi(Reg::r0, 10);
+//   a.bind(loop);
+//   a.subi(Reg::r0, Reg::r0, 1);
+//   a.cmpi(Reg::r0, 0);
+//   a.b(Cond::ne, loop);
+//   Program p = a.finish();
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sefi/isa/isa.hpp"
+
+namespace sefi::isa {
+
+/// A finished guest program image: raw bytes to be loaded at `base`.
+struct Program {
+  std::uint32_t base = 0;
+  std::uint32_t entry = 0;
+  std::vector<std::uint8_t> bytes;
+  std::map<std::string, std::uint32_t> symbols;
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(bytes.size()); }
+  /// Address of a named symbol; throws SefiError if absent.
+  std::uint32_t symbol(const std::string& name) const;
+};
+
+/// An opaque label handle. Valid only for the Assembler that created it.
+class Label {
+ public:
+  Label() = default;
+
+ private:
+  friend class Assembler;
+  explicit Label(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_ = UINT32_MAX;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::uint32_t base_address);
+
+  // --- labels and symbols ---------------------------------------------
+  Label make_label();
+  /// Binds `label` to the current position. Each label binds exactly once.
+  void bind(Label label);
+  /// Records the current address under `name` in the program symbol table.
+  void symbol(const std::string& name);
+  /// Marks the current address as the program entry point (default: base).
+  void entry_here();
+  /// Current emission address.
+  std::uint32_t here() const;
+  /// Address a bound label resolves to; throws if unbound.
+  std::uint32_t address_of(Label label) const;
+
+  // --- integer ALU ------------------------------------------------------
+  void add(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kAdd, rd, rn, rm); }
+  void sub(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kSub, rd, rn, rm); }
+  void and_(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kAnd, rd, rn, rm); }
+  void orr(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kOrr, rd, rn, rm); }
+  void eor(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kEor, rd, rn, rm); }
+  void lsl(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kLsl, rd, rn, rm); }
+  void lsr(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kLsr, rd, rn, rm); }
+  void asr(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kAsr, rd, rn, rm); }
+  void mul(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kMul, rd, rn, rm); }
+  void sdiv(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kSdiv, rd, rn, rm); }
+  void udiv(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kUdiv, rd, rn, rm); }
+  void cmp(Reg rn, Reg rm) { emit_r(Opcode::kCmp, Reg::r0, rn, rm); }
+  void mov(Reg rd, Reg rm) { emit_r(Opcode::kMov, rd, Reg::r0, rm); }
+
+  void addi(Reg rd, Reg rn, std::int32_t imm) { emit_i(Opcode::kAddi, rd, rn, imm); }
+  void subi(Reg rd, Reg rn, std::int32_t imm) { emit_i(Opcode::kSubi, rd, rn, imm); }
+  void andi(Reg rd, Reg rn, std::int32_t imm) { emit_i(Opcode::kAndi, rd, rn, imm); }
+  void orri(Reg rd, Reg rn, std::int32_t imm) { emit_i(Opcode::kOrri, rd, rn, imm); }
+  void eori(Reg rd, Reg rn, std::int32_t imm) { emit_i(Opcode::kEori, rd, rn, imm); }
+  void lsli(Reg rd, Reg rn, std::int32_t imm) { emit_i(Opcode::kLsli, rd, rn, imm); }
+  void lsri(Reg rd, Reg rn, std::int32_t imm) { emit_i(Opcode::kLsri, rd, rn, imm); }
+  void asri(Reg rd, Reg rn, std::int32_t imm) { emit_i(Opcode::kAsri, rd, rn, imm); }
+  void cmpi(Reg rn, std::int32_t imm) { emit_i(Opcode::kCmpi, Reg::r0, rn, imm); }
+
+  void movi(Reg rd, std::uint32_t imm16);
+  void movt(Reg rd, std::uint32_t imm16);
+  /// Pseudo-op: loads an arbitrary 32-bit constant (movi, movt if needed).
+  void mov_imm32(Reg rd, std::uint32_t value);
+  /// Pseudo-op: loads the absolute address of a label (fixed up at finish).
+  void load_label(Reg rd, Label label);
+
+  // --- floating point (single precision, in GPRs) ----------------------
+  void fadd(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kFadd, rd, rn, rm); }
+  void fsub(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kFsub, rd, rn, rm); }
+  void fmul(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kFmul, rd, rn, rm); }
+  void fdiv(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kFdiv, rd, rn, rm); }
+  void fcmp(Reg rn, Reg rm) { emit_r(Opcode::kFcmp, Reg::r0, rn, rm); }
+  void fcvtws(Reg rd, Reg rn) { emit_r(Opcode::kFcvtws, rd, rn, Reg::r0); }
+  void fcvtsw(Reg rd, Reg rn) { emit_r(Opcode::kFcvtsw, rd, rn, Reg::r0); }
+  void fsqrt(Reg rd, Reg rn) { emit_r(Opcode::kFsqrt, rd, rn, Reg::r0); }
+  /// Pseudo-op: loads a float constant's bit pattern.
+  void mov_float(Reg rd, float value);
+
+  // --- memory -----------------------------------------------------------
+  void ldr(Reg rd, Reg rn, std::int32_t off = 0) { emit_i(Opcode::kLdr, rd, rn, off); }
+  void str(Reg rd, Reg rn, std::int32_t off = 0) { emit_i(Opcode::kStr, rd, rn, off); }
+  void ldrb(Reg rd, Reg rn, std::int32_t off = 0) { emit_i(Opcode::kLdrb, rd, rn, off); }
+  void strb(Reg rd, Reg rn, std::int32_t off = 0) { emit_i(Opcode::kStrb, rd, rn, off); }
+  void ldrh(Reg rd, Reg rn, std::int32_t off = 0) { emit_i(Opcode::kLdrh, rd, rn, off); }
+  void strh(Reg rd, Reg rn, std::int32_t off = 0) { emit_i(Opcode::kStrh, rd, rn, off); }
+  void ldrr(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kLdrr, rd, rn, rm); }
+  void strr(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kStrr, rd, rn, rm); }
+
+  // --- control flow -----------------------------------------------------
+  void b(Label target) { b(Cond::al, target); }
+  void b(Cond cond, Label target);
+  void bl(Label target);
+  void br(Reg rn) { emit_r(Opcode::kBr, Reg::r0, rn, Reg::r0); }
+  void blr(Reg rn) { emit_r(Opcode::kBlr, Reg::r0, rn, Reg::r0); }
+  /// Pseudo-op: return (br lr).
+  void ret() { br(Reg::lr); }
+
+  // --- system -----------------------------------------------------------
+  void svc(std::uint32_t number);
+  void eret() { emit_r(Opcode::kEret, Reg::r0, Reg::r0, Reg::r0); }
+  void mrs(Reg rd) { emit_r(Opcode::kMrs, rd, Reg::r0, Reg::r0); }
+  void msr(Reg rn) { emit_r(Opcode::kMsr, Reg::r0, rn, Reg::r0); }
+  void mrs_elr(Reg rd) { emit_r(Opcode::kMrsElr, rd, Reg::r0, Reg::r0); }
+  void msr_elr(Reg rn) { emit_r(Opcode::kMsrElr, Reg::r0, rn, Reg::r0); }
+  void mrs_spsr(Reg rd) { emit_r(Opcode::kMrsSpsr, rd, Reg::r0, Reg::r0); }
+  void msr_spsr(Reg rn) { emit_r(Opcode::kMsrSpsr, Reg::r0, rn, Reg::r0); }
+  void mrs_usp(Reg rd) { emit_r(Opcode::kMrsUsp, rd, Reg::r0, Reg::r0); }
+  void msr_usp(Reg rn) { emit_r(Opcode::kMsrUsp, Reg::r0, rn, Reg::r0); }
+  void tlbflush() { emit_r(Opcode::kTlbFlush, Reg::r0, Reg::r0, Reg::r0); }
+  void hlt() { emit_r(Opcode::kHlt, Reg::r0, Reg::r0, Reg::r0); }
+  void nop() { emit_r(Opcode::kNop, Reg::r0, Reg::r0, Reg::r0); }
+
+  // --- stack helpers ----------------------------------------------------
+  /// Pushes registers (descending stack); order in the list = memory order.
+  void push(std::initializer_list<Reg> regs);
+  /// Pops registers previously pushed with the same list.
+  void pop(std::initializer_list<Reg> regs);
+
+  // --- data directives --------------------------------------------------
+  void word(std::uint32_t value);
+  void half(std::uint16_t value);
+  void byte(std::uint8_t value);
+  void float32(float value);
+  void bytes(const std::vector<std::uint8_t>& data);
+  void zero(std::uint32_t count);
+  void align(std::uint32_t alignment);
+
+  /// Resolves all fixups and returns the program. The assembler must not
+  /// be used afterwards.
+  Program finish();
+
+ private:
+  enum class FixupKind { kBranchCond, kBranchLink, kAbsLo16, kAbsHi16 };
+  struct Fixup {
+    std::uint32_t offset;  ///< byte offset of the instruction in bytes_
+    std::uint32_t label_id;
+    FixupKind kind;
+  };
+
+  void emit_r(Opcode op, Reg rd, Reg rn, Reg rm);
+  void emit_i(Opcode op, Reg rd, Reg rn, std::int32_t imm);
+  void emit_word(std::uint32_t word);
+
+  std::uint32_t base_;
+  std::uint32_t entry_;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::int64_t> label_offsets_;  ///< -1 = unbound
+  std::vector<Fixup> fixups_;
+  std::map<std::string, std::uint32_t> symbols_;
+  bool finished_ = false;
+};
+
+}  // namespace sefi::isa

@@ -1,0 +1,143 @@
+// SEFI-A9 instruction set architecture.
+//
+// A 32-bit fixed-width ARM-class RISC ISA: 16 general-purpose registers,
+// NZCV condition flags, conditional branches, load/store with immediate and
+// register offsets, single-precision floating point held in GPRs (VFP-like),
+// and a small system instruction set (SVC/ERET/MRS/MSR) sufficient to run a
+// protected-mode mini-kernel with interrupts and an MMU.
+//
+// Encoding formats (all instructions are one 32-bit word, opcode in [31:26]):
+//   R:   op(6) | rd(4) | rn(4) | rm(4) | unused(14)
+//   I:   op(6) | rd(4) | rn(4) | imm18 (signed, except logical ops: zero-ext)
+//   U:   op(6) | rd(4) | imm16 | unused(6)          (MOVI/MOVT)
+//   Bc:  op(6) | cond(4) | off22 (signed word offset)
+//   BL:  op(6) | off26   (signed word offset)
+//   Sys: op(6) | rd(4) | rn(4) | imm16 | unused(2)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sefi::isa {
+
+inline constexpr unsigned kNumGprs = 16;
+
+/// Architectural register names. sp/lr follow ARM convention.
+enum class Reg : std::uint8_t {
+  r0 = 0, r1, r2, r3, r4, r5, r6, r7,
+  r8, r9, r10, r11, r12,
+  sp = 13,  ///< stack pointer
+  lr = 14,  ///< link register
+  ip = 15,  ///< intra-procedure scratch (assembler temporary)
+};
+
+constexpr std::uint8_t reg_index(Reg r) noexcept {
+  return static_cast<std::uint8_t>(r);
+}
+
+/// Condition codes evaluated against the NZCV flags (ARM semantics).
+enum class Cond : std::uint8_t {
+  eq = 0,   ///< Z
+  ne = 1,   ///< !Z
+  cs = 2,   ///< C          (unsigned >=)
+  cc = 3,   ///< !C         (unsigned <)
+  mi = 4,   ///< N
+  pl = 5,   ///< !N
+  vs = 6,   ///< V
+  vc = 7,   ///< !V
+  hi = 8,   ///< C && !Z    (unsigned >)
+  ls = 9,   ///< !C || Z    (unsigned <=)
+  ge = 10,  ///< N == V
+  lt = 11,  ///< N != V
+  gt = 12,  ///< !Z && N==V
+  le = 13,  ///< Z || N!=V
+  al = 14,  ///< always
+};
+
+enum class Opcode : std::uint8_t {
+  // R-format integer ALU.
+  kAdd = 0, kSub, kAnd, kOrr, kEor, kLsl, kLsr, kAsr,
+  kMul, kSdiv, kUdiv,
+  kCmp,   ///< rn - rm, sets NZCV, rd ignored
+  kMov,   ///< rd = rm
+  // R-format single-precision float (operands live in GPRs, VFP-style).
+  kFadd, kFsub, kFmul, kFdiv,
+  kFcmp,    ///< ordered compare of rn, rm; sets NZCV
+  kFcvtws,  ///< rd = (int32) float(rn), truncating
+  kFcvtsw,  ///< rd = (float) int32(rn)
+  kFsqrt,   ///< rd = sqrtf(rn)
+  // I-format integer ALU (imm18; signed for add/sub/cmp, zero-ext for logic).
+  kAddi, kSubi, kAndi, kOrri, kEori, kLsli, kLsri, kAsri, kCmpi,
+  // U-format.
+  kMovi,  ///< rd = zext(imm16)
+  kMovt,  ///< rd = (rd & 0xffff) | imm16 << 16
+  // Memory, I-format (address = rn + simm18).
+  kLdr, kStr, kLdrb, kStrb, kLdrh, kStrh,
+  // Memory, R-format (address = rn + rm).
+  kLdrr, kStrr,
+  // Branches.
+  kB,    ///< conditional relative branch (Bc format)
+  kBl,   ///< branch and link (BL format), lr = return address
+  kBr,   ///< branch to register rn
+  kBlr,  ///< branch and link to register rn
+  // System.
+  kSvc,      ///< supervisor call, imm16 = syscall number
+  kEret,     ///< return from exception: pc=ELR, CPSR=SPSR (kernel only)
+  kMrs,      ///< rd = CPSR (kernel only)
+  kMsr,      ///< CPSR = rn (kernel only)
+  kMrsElr,   ///< rd = ELR (kernel only)
+  kMsrElr,   ///< ELR = rn (kernel only)
+  kMrsSpsr,  ///< rd = SPSR (kernel only)
+  kMsrSpsr,  ///< SPSR = rn (kernel only)
+  kMrsUsp,   ///< rd = banked user SP (kernel only)
+  kMsrUsp,   ///< banked user SP = rn (kernel only)
+  kTlbFlush, ///< invalidate both TLBs (kernel only; context switch)
+  kHlt,      ///< halt the machine (kernel only)
+  kNop,
+  kOpcodeCount,
+};
+
+/// CPSR bit layout.
+namespace cpsr {
+inline constexpr std::uint32_t kModeKernel = 1u << 0;
+inline constexpr std::uint32_t kIrqEnable = 1u << 1;
+inline constexpr std::uint32_t kMmuEnable = 1u << 2;
+inline constexpr std::uint32_t kFlagV = 1u << 28;
+inline constexpr std::uint32_t kFlagC = 1u << 29;
+inline constexpr std::uint32_t kFlagZ = 1u << 30;
+inline constexpr std::uint32_t kFlagN = 1u << 31;
+}  // namespace cpsr
+
+/// A decoded instruction. Fields not used by the format are zero.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rn = 0;
+  std::uint8_t rm = 0;
+  Cond cond = Cond::al;
+  std::int32_t imm = 0;  ///< sign- or zero-extended per format
+};
+
+/// Encodes `inst` to its 32-bit word. Throws SefiError on out-of-range
+/// fields (e.g. branch offset too large).
+std::uint32_t encode(const Instruction& inst);
+
+/// Decodes a 32-bit word. Returns nullopt for invalid opcodes, which the
+/// CPU reports as an undefined-instruction exception.
+std::optional<Instruction> decode(std::uint32_t word) noexcept;
+
+/// Evaluates condition `cond` against CPSR flags.
+bool cond_holds(Cond cond, std::uint32_t cpsr_value) noexcept;
+
+/// Human-readable mnemonic of an opcode ("add", "ldr", ...).
+std::string opcode_name(Opcode op);
+
+/// Human-readable condition suffix ("eq", "" for al).
+std::string cond_name(Cond cond);
+
+/// Disassembles a single instruction word at `pc` (pc used to render
+/// branch targets as absolute addresses).
+std::string disassemble(std::uint32_t word, std::uint32_t pc);
+
+}  // namespace sefi::isa

@@ -1,0 +1,229 @@
+#include "sefi/isa/assembler.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::isa {
+
+using support::require;
+
+std::uint32_t Program::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  require(it != symbols.end(), "Program::symbol: unknown symbol " + name);
+  return it->second;
+}
+
+Assembler::Assembler(std::uint32_t base_address)
+    : base_(base_address), entry_(base_address) {
+  require(base_address % 4 == 0, "Assembler: base must be word aligned");
+}
+
+Label Assembler::make_label() {
+  label_offsets_.push_back(-1);
+  return Label(static_cast<std::uint32_t>(label_offsets_.size() - 1));
+}
+
+void Assembler::bind(Label label) {
+  require(label.id_ < label_offsets_.size(), "bind: foreign label");
+  require(label_offsets_[label.id_] < 0, "bind: label bound twice");
+  label_offsets_[label.id_] = static_cast<std::int64_t>(bytes_.size());
+}
+
+void Assembler::symbol(const std::string& name) {
+  require(!symbols_.contains(name), "symbol: duplicate symbol " + name);
+  symbols_[name] = here();
+}
+
+void Assembler::entry_here() { entry_ = here(); }
+
+std::uint32_t Assembler::here() const {
+  return base_ + static_cast<std::uint32_t>(bytes_.size());
+}
+
+std::uint32_t Assembler::address_of(Label label) const {
+  require(label.id_ < label_offsets_.size(), "address_of: foreign label");
+  require(label_offsets_[label.id_] >= 0, "address_of: unbound label");
+  return base_ + static_cast<std::uint32_t>(label_offsets_[label.id_]);
+}
+
+void Assembler::emit_word(std::uint32_t w) {
+  require(!finished_, "Assembler: already finished");
+  bytes_.push_back(static_cast<std::uint8_t>(w));
+  bytes_.push_back(static_cast<std::uint8_t>(w >> 8));
+  bytes_.push_back(static_cast<std::uint8_t>(w >> 16));
+  bytes_.push_back(static_cast<std::uint8_t>(w >> 24));
+}
+
+void Assembler::emit_r(Opcode op, Reg rd, Reg rn, Reg rm) {
+  Instruction i;
+  i.op = op;
+  i.rd = reg_index(rd);
+  i.rn = reg_index(rn);
+  i.rm = reg_index(rm);
+  require(bytes_.size() % 4 == 0, "emit: misaligned instruction");
+  emit_word(encode(i));
+}
+
+void Assembler::emit_i(Opcode op, Reg rd, Reg rn, std::int32_t imm) {
+  Instruction i;
+  i.op = op;
+  i.rd = reg_index(rd);
+  i.rn = reg_index(rn);
+  i.imm = imm;
+  require(bytes_.size() % 4 == 0, "emit: misaligned instruction");
+  emit_word(encode(i));
+}
+
+void Assembler::movi(Reg rd, std::uint32_t imm16) {
+  Instruction i;
+  i.op = Opcode::kMovi;
+  i.rd = reg_index(rd);
+  i.imm = static_cast<std::int32_t>(imm16);
+  emit_word(encode(i));
+}
+
+void Assembler::movt(Reg rd, std::uint32_t imm16) {
+  Instruction i;
+  i.op = Opcode::kMovt;
+  i.rd = reg_index(rd);
+  i.imm = static_cast<std::int32_t>(imm16);
+  emit_word(encode(i));
+}
+
+void Assembler::mov_imm32(Reg rd, std::uint32_t value) {
+  movi(rd, value & 0xffffu);
+  if ((value >> 16) != 0) movt(rd, value >> 16);
+}
+
+void Assembler::load_label(Reg rd, Label label) {
+  require(label.id_ < label_offsets_.size(), "load_label: foreign label");
+  fixups_.push_back({static_cast<std::uint32_t>(bytes_.size()), label.id_,
+                     FixupKind::kAbsLo16});
+  movi(rd, 0);
+  fixups_.push_back({static_cast<std::uint32_t>(bytes_.size()), label.id_,
+                     FixupKind::kAbsHi16});
+  movt(rd, 0);
+}
+
+void Assembler::mov_float(Reg rd, float value) {
+  mov_imm32(rd, std::bit_cast<std::uint32_t>(value));
+}
+
+void Assembler::b(Cond cond, Label target) {
+  require(target.id_ < label_offsets_.size(), "b: foreign label");
+  fixups_.push_back({static_cast<std::uint32_t>(bytes_.size()), target.id_,
+                     FixupKind::kBranchCond});
+  Instruction i;
+  i.op = Opcode::kB;
+  i.cond = cond;
+  i.imm = 0;
+  emit_word(encode(i));
+}
+
+void Assembler::bl(Label target) {
+  require(target.id_ < label_offsets_.size(), "bl: foreign label");
+  fixups_.push_back({static_cast<std::uint32_t>(bytes_.size()), target.id_,
+                     FixupKind::kBranchLink});
+  Instruction i;
+  i.op = Opcode::kBl;
+  i.imm = 0;
+  emit_word(encode(i));
+}
+
+void Assembler::svc(std::uint32_t number) {
+  Instruction i;
+  i.op = Opcode::kSvc;
+  i.imm = static_cast<std::int32_t>(number);
+  emit_word(encode(i));
+}
+
+void Assembler::push(std::initializer_list<Reg> regs) {
+  const auto count = static_cast<std::int32_t>(regs.size());
+  require(count > 0, "push: empty register list");
+  subi(Reg::sp, Reg::sp, count * 4);
+  std::int32_t offset = 0;
+  for (Reg r : regs) {
+    str(r, Reg::sp, offset);
+    offset += 4;
+  }
+}
+
+void Assembler::pop(std::initializer_list<Reg> regs) {
+  const auto count = static_cast<std::int32_t>(regs.size());
+  require(count > 0, "pop: empty register list");
+  std::int32_t offset = 0;
+  for (Reg r : regs) {
+    ldr(r, Reg::sp, offset);
+    offset += 4;
+  }
+  addi(Reg::sp, Reg::sp, count * 4);
+}
+
+void Assembler::word(std::uint32_t value) { emit_word(value); }
+
+void Assembler::half(std::uint16_t value) {
+  bytes_.push_back(static_cast<std::uint8_t>(value));
+  bytes_.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void Assembler::byte(std::uint8_t value) { bytes_.push_back(value); }
+
+void Assembler::float32(float value) {
+  emit_word(std::bit_cast<std::uint32_t>(value));
+}
+
+void Assembler::bytes(const std::vector<std::uint8_t>& data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void Assembler::zero(std::uint32_t count) {
+  bytes_.insert(bytes_.end(), count, 0);
+}
+
+void Assembler::align(std::uint32_t alignment) {
+  require(alignment != 0 && (alignment & (alignment - 1)) == 0,
+          "align: alignment must be a power of two");
+  while (bytes_.size() % alignment != 0) bytes_.push_back(0);
+}
+
+Program Assembler::finish() {
+  require(!finished_, "finish: called twice");
+  finished_ = true;
+  for (const Fixup& fixup : fixups_) {
+    require(label_offsets_[fixup.label_id] >= 0,
+            "finish: branch/reference to unbound label");
+    const std::uint32_t target =
+        base_ + static_cast<std::uint32_t>(label_offsets_[fixup.label_id]);
+    std::uint32_t w;
+    std::memcpy(&w, bytes_.data() + fixup.offset, 4);
+    Instruction inst = *decode(w);
+    switch (fixup.kind) {
+      case FixupKind::kBranchCond:
+      case FixupKind::kBranchLink: {
+        const std::uint32_t pc = base_ + fixup.offset;
+        const std::int64_t delta =
+            (static_cast<std::int64_t>(target) - (pc + 4)) / 4;
+        inst.imm = static_cast<std::int32_t>(delta);
+        break;
+      }
+      case FixupKind::kAbsLo16:
+        inst.imm = static_cast<std::int32_t>(target & 0xffffu);
+        break;
+      case FixupKind::kAbsHi16:
+        inst.imm = static_cast<std::int32_t>(target >> 16);
+        break;
+    }
+    w = encode(inst);
+    std::memcpy(bytes_.data() + fixup.offset, &w, 4);
+  }
+  Program p;
+  p.base = base_;
+  p.entry = entry_;
+  p.bytes = std::move(bytes_);
+  p.symbols = std::move(symbols_);
+  return p;
+}
+
+}  // namespace sefi::isa

@@ -1,0 +1,111 @@
+#include <sstream>
+
+#include "sefi/isa/isa.hpp"
+
+namespace sefi::isa {
+
+namespace {
+
+std::string reg(std::uint8_t r) {
+  if (r == 13) return "sp";
+  if (r == 14) return "lr";
+  if (r == 15) return "ip";
+  return "r" + std::to_string(r);
+}
+
+std::string hex(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string disassemble(std::uint32_t word, std::uint32_t pc) {
+  const auto decoded = decode(word);
+  if (!decoded) return ".word " + hex(word) + "  ; undefined";
+  const Instruction& i = *decoded;
+  std::ostringstream os;
+  switch (i.op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd:
+    case Opcode::kOrr: case Opcode::kEor: case Opcode::kLsl:
+    case Opcode::kLsr: case Opcode::kAsr: case Opcode::kMul:
+    case Opcode::kSdiv: case Opcode::kUdiv:
+    case Opcode::kFadd: case Opcode::kFsub: case Opcode::kFmul:
+    case Opcode::kFdiv:
+      os << opcode_name(i.op) << " " << reg(i.rd) << ", " << reg(i.rn)
+         << ", " << reg(i.rm);
+      break;
+    case Opcode::kCmp:
+    case Opcode::kFcmp:
+      os << opcode_name(i.op) << " " << reg(i.rn) << ", " << reg(i.rm);
+      break;
+    case Opcode::kMov:
+    case Opcode::kFcvtws: case Opcode::kFcvtsw: case Opcode::kFsqrt:
+      os << opcode_name(i.op) << " " << reg(i.rd) << ", "
+         << reg(i.op == Opcode::kMov ? i.rm : i.rn);
+      break;
+    case Opcode::kAddi: case Opcode::kSubi: case Opcode::kAndi:
+    case Opcode::kOrri: case Opcode::kEori: case Opcode::kLsli:
+    case Opcode::kLsri: case Opcode::kAsri:
+      os << opcode_name(i.op) << " " << reg(i.rd) << ", " << reg(i.rn)
+         << ", #" << i.imm;
+      break;
+    case Opcode::kCmpi:
+      os << "cmpi " << reg(i.rn) << ", #" << i.imm;
+      break;
+    case Opcode::kMovi:
+    case Opcode::kMovt:
+      os << opcode_name(i.op) << " " << reg(i.rd) << ", #" << i.imm;
+      break;
+    case Opcode::kLdr: case Opcode::kLdrb: case Opcode::kLdrh:
+      os << opcode_name(i.op) << " " << reg(i.rd) << ", [" << reg(i.rn)
+         << ", #" << i.imm << "]";
+      break;
+    case Opcode::kStr: case Opcode::kStrb: case Opcode::kStrh:
+      os << opcode_name(i.op) << " " << reg(i.rd) << ", [" << reg(i.rn)
+         << ", #" << i.imm << "]";
+      break;
+    case Opcode::kLdrr:
+      os << "ldrr " << reg(i.rd) << ", [" << reg(i.rn) << ", " << reg(i.rm)
+         << "]";
+      break;
+    case Opcode::kStrr:
+      os << "strr " << reg(i.rd) << ", [" << reg(i.rn) << ", " << reg(i.rm)
+         << "]";
+      break;
+    case Opcode::kB:
+      os << "b" << cond_name(i.cond) << " "
+         << hex(pc + 4 + static_cast<std::uint32_t>(i.imm * 4));
+      break;
+    case Opcode::kBl:
+      os << "bl " << hex(pc + 4 + static_cast<std::uint32_t>(i.imm * 4));
+      break;
+    case Opcode::kBr:
+      os << "br " << reg(i.rn);
+      break;
+    case Opcode::kBlr:
+      os << "blr " << reg(i.rn);
+      break;
+    case Opcode::kSvc:
+      os << "svc #" << i.imm;
+      break;
+    case Opcode::kMrs: case Opcode::kMrsElr: case Opcode::kMrsSpsr:
+    case Opcode::kMrsUsp:
+      os << opcode_name(i.op) << " " << reg(i.rd);
+      break;
+    case Opcode::kMsr: case Opcode::kMsrElr: case Opcode::kMsrSpsr:
+    case Opcode::kMsrUsp:
+      os << opcode_name(i.op) << " " << reg(i.rn);
+      break;
+    case Opcode::kEret: case Opcode::kTlbFlush: case Opcode::kHlt:
+    case Opcode::kNop:
+      os << opcode_name(i.op);
+      break;
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace sefi::isa

@@ -1,0 +1,258 @@
+#include "sefi/isa/isa.hpp"
+
+#include <array>
+
+#include "sefi/support/bits.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::isa {
+
+namespace {
+
+using support::extract_bits;
+using support::insert_bits;
+using support::require;
+using support::sign_extend;
+
+enum class Format { kR, kI, kU, kBc, kBl, kSys };
+
+Format format_of(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOrr:
+    case Opcode::kEor:
+    case Opcode::kLsl:
+    case Opcode::kLsr:
+    case Opcode::kAsr:
+    case Opcode::kMul:
+    case Opcode::kSdiv:
+    case Opcode::kUdiv:
+    case Opcode::kCmp:
+    case Opcode::kMov:
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFcmp:
+    case Opcode::kFcvtws:
+    case Opcode::kFcvtsw:
+    case Opcode::kFsqrt:
+    case Opcode::kLdrr:
+    case Opcode::kStrr:
+    case Opcode::kBr:
+    case Opcode::kBlr:
+    case Opcode::kEret:
+    case Opcode::kMrs:
+    case Opcode::kMsr:
+    case Opcode::kMrsElr:
+    case Opcode::kMsrElr:
+    case Opcode::kMrsSpsr:
+    case Opcode::kMsrSpsr:
+    case Opcode::kMrsUsp:
+    case Opcode::kMsrUsp:
+    case Opcode::kTlbFlush:
+    case Opcode::kHlt:
+    case Opcode::kNop:
+      return Format::kR;
+    case Opcode::kAddi:
+    case Opcode::kSubi:
+    case Opcode::kAndi:
+    case Opcode::kOrri:
+    case Opcode::kEori:
+    case Opcode::kLsli:
+    case Opcode::kLsri:
+    case Opcode::kAsri:
+    case Opcode::kCmpi:
+    case Opcode::kLdr:
+    case Opcode::kStr:
+    case Opcode::kLdrb:
+    case Opcode::kStrb:
+    case Opcode::kLdrh:
+    case Opcode::kStrh:
+      return Format::kI;
+    case Opcode::kMovi:
+    case Opcode::kMovt:
+      return Format::kU;
+    case Opcode::kB:
+      return Format::kBc;
+    case Opcode::kBl:
+      return Format::kBl;
+    case Opcode::kSvc:
+      return Format::kSys;
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  throw support::SefiError("format_of: invalid opcode");
+}
+
+bool imm_is_signed(Opcode op) {
+  switch (op) {
+    case Opcode::kAndi:
+    case Opcode::kOrri:
+    case Opcode::kEori:
+    case Opcode::kLsli:
+    case Opcode::kLsri:
+    case Opcode::kAsri:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+std::uint32_t encode(const Instruction& inst) {
+  const auto opv = static_cast<std::uint32_t>(inst.op);
+  require(opv < static_cast<std::uint32_t>(Opcode::kOpcodeCount),
+          "encode: invalid opcode");
+  std::uint32_t word = opv << 26;
+  switch (format_of(inst.op)) {
+    case Format::kR:
+      require(inst.rd < kNumGprs && inst.rn < kNumGprs && inst.rm < kNumGprs,
+              "encode: register out of range");
+      word = insert_bits(word, 22, 4, inst.rd);
+      word = insert_bits(word, 18, 4, inst.rn);
+      word = insert_bits(word, 14, 4, inst.rm);
+      break;
+    case Format::kI: {
+      require(inst.rd < kNumGprs && inst.rn < kNumGprs,
+              "encode: register out of range");
+      if (imm_is_signed(inst.op)) {
+        require(inst.imm >= -(1 << 17) && inst.imm < (1 << 17),
+                "encode: imm18 out of range");
+      } else {
+        require(inst.imm >= 0 && inst.imm < (1 << 18),
+                "encode: uimm18 out of range");
+      }
+      word = insert_bits(word, 22, 4, inst.rd);
+      word = insert_bits(word, 18, 4, inst.rn);
+      word = insert_bits(word, 0, 18, static_cast<std::uint32_t>(inst.imm));
+      break;
+    }
+    case Format::kU:
+      require(inst.rd < kNumGprs, "encode: register out of range");
+      require(inst.imm >= 0 && inst.imm <= 0xffff,
+              "encode: imm16 out of range");
+      word = insert_bits(word, 22, 4, inst.rd);
+      word = insert_bits(word, 6, 16, static_cast<std::uint32_t>(inst.imm));
+      break;
+    case Format::kBc:
+      require(inst.imm >= -(1 << 21) && inst.imm < (1 << 21),
+              "encode: branch offset out of range");
+      word = insert_bits(word, 22, 4, static_cast<std::uint32_t>(inst.cond));
+      word = insert_bits(word, 0, 22, static_cast<std::uint32_t>(inst.imm));
+      break;
+    case Format::kBl:
+      require(inst.imm >= -(1 << 25) && inst.imm < (1 << 25),
+              "encode: bl offset out of range");
+      word = insert_bits(word, 0, 26, static_cast<std::uint32_t>(inst.imm));
+      break;
+    case Format::kSys:
+      require(inst.imm >= 0 && inst.imm <= 0xffff,
+              "encode: svc imm16 out of range");
+      word = insert_bits(word, 22, 4, inst.rd);
+      word = insert_bits(word, 18, 4, inst.rn);
+      word = insert_bits(word, 2, 16, static_cast<std::uint32_t>(inst.imm));
+      break;
+  }
+  return word;
+}
+
+std::optional<Instruction> decode(std::uint32_t word) noexcept {
+  const std::uint32_t opv = extract_bits(word, 26, 6);
+  if (opv >= static_cast<std::uint32_t>(Opcode::kOpcodeCount)) {
+    return std::nullopt;
+  }
+  Instruction inst;
+  inst.op = static_cast<Opcode>(opv);
+  switch (format_of(inst.op)) {
+    case Format::kR:
+      inst.rd = static_cast<std::uint8_t>(extract_bits(word, 22, 4));
+      inst.rn = static_cast<std::uint8_t>(extract_bits(word, 18, 4));
+      inst.rm = static_cast<std::uint8_t>(extract_bits(word, 14, 4));
+      break;
+    case Format::kI:
+      inst.rd = static_cast<std::uint8_t>(extract_bits(word, 22, 4));
+      inst.rn = static_cast<std::uint8_t>(extract_bits(word, 18, 4));
+      inst.imm = imm_is_signed(inst.op)
+                     ? sign_extend(extract_bits(word, 0, 18), 18)
+                     : static_cast<std::int32_t>(extract_bits(word, 0, 18));
+      break;
+    case Format::kU:
+      inst.rd = static_cast<std::uint8_t>(extract_bits(word, 22, 4));
+      inst.imm = static_cast<std::int32_t>(extract_bits(word, 6, 16));
+      break;
+    case Format::kBc: {
+      const std::uint32_t condv = extract_bits(word, 22, 4);
+      if (condv > static_cast<std::uint32_t>(Cond::al)) return std::nullopt;
+      inst.cond = static_cast<Cond>(condv);
+      inst.imm = sign_extend(extract_bits(word, 0, 22), 22);
+      break;
+    }
+    case Format::kBl:
+      inst.imm = sign_extend(extract_bits(word, 0, 26), 26);
+      break;
+    case Format::kSys:
+      inst.rd = static_cast<std::uint8_t>(extract_bits(word, 22, 4));
+      inst.rn = static_cast<std::uint8_t>(extract_bits(word, 18, 4));
+      inst.imm = static_cast<std::int32_t>(extract_bits(word, 2, 16));
+      break;
+  }
+  return inst;
+}
+
+bool cond_holds(Cond cond, std::uint32_t v) noexcept {
+  const bool n = (v & cpsr::kFlagN) != 0;
+  const bool z = (v & cpsr::kFlagZ) != 0;
+  const bool c = (v & cpsr::kFlagC) != 0;
+  const bool o = (v & cpsr::kFlagV) != 0;
+  switch (cond) {
+    case Cond::eq: return z;
+    case Cond::ne: return !z;
+    case Cond::cs: return c;
+    case Cond::cc: return !c;
+    case Cond::mi: return n;
+    case Cond::pl: return !n;
+    case Cond::vs: return o;
+    case Cond::vc: return !o;
+    case Cond::hi: return c && !z;
+    case Cond::ls: return !c || z;
+    case Cond::ge: return n == o;
+    case Cond::lt: return n != o;
+    case Cond::gt: return !z && n == o;
+    case Cond::le: return z || n != o;
+    case Cond::al: return true;
+  }
+  return false;
+}
+
+std::string opcode_name(Opcode op) {
+  static constexpr std::array<const char*,
+                              static_cast<std::size_t>(Opcode::kOpcodeCount)>
+      kNames = {
+          "add",  "sub",  "and",  "orr",  "eor",   "lsl",    "lsr",
+          "asr",  "mul",  "sdiv", "udiv", "cmp",   "mov",    "fadd",
+          "fsub", "fmul", "fdiv", "fcmp", "fcvtws", "fcvtsw", "fsqrt",
+          "addi", "subi", "andi", "orri", "eori",  "lsli",   "lsri",
+          "asri", "cmpi", "movi", "movt", "ldr",   "str",    "ldrb",
+          "strb", "ldrh", "strh", "ldrr", "strr",  "b",      "bl",
+          "br",   "blr",  "svc",  "eret", "mrs",   "msr",    "mrselr",
+          "msrelr", "mrsspsr", "msrspsr", "mrsusp", "msrusp", "tlbflush",
+          "hlt",  "nop",
+      };
+  const auto idx = static_cast<std::size_t>(op);
+  support::require(idx < kNames.size(), "opcode_name: invalid opcode");
+  return kNames[idx];
+}
+
+std::string cond_name(Cond cond) {
+  static constexpr std::array<const char*, 15> kNames = {
+      "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+      "hi", "ls", "ge", "lt", "gt", "le", "",
+  };
+  return kNames[static_cast<std::size_t>(cond)];
+}
+
+}  // namespace sefi::isa

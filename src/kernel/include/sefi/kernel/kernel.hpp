@@ -1,0 +1,59 @@
+// Guest mini-kernel image builder.
+//
+// The kernel stands in for the Linux stack of the paper's setups: it owns
+// the exception vectors, builds the page table, services syscalls and the
+// periodic timer interrupt (with a scheduler-like cache footprint), kills
+// faulting applications (-> Application Crash), and panics on kernel-mode
+// faults (-> System Crash). It is genuine guest code: its instructions and
+// data live in simulated RAM, flow through the caches and TLBs, and are
+// therefore corruptible by injected faults and simulated beam strikes —
+// exactly the property the paper's System-Crash analysis hinges on.
+//
+// Exception/crash reason codes reported through the host interface:
+//   1 = undefined instruction, 2 = prefetch abort, 3 = data abort,
+//   4 = bad syscall / invalid syscall argument.
+#pragma once
+
+#include <cstdint>
+
+#include "sefi/isa/assembler.hpp"
+#include "sefi/sim/machine.hpp"
+
+namespace sefi::kernel {
+
+struct KernelConfig {
+  /// Timer IRQ period in cycles. Zero disables the timer.
+  std::uint32_t timer_interval_cycles = 10'000;
+  /// Pages mapped by the boot-time page-table loop (identity mapping).
+  /// Pages [0, kernel_pages) are kernel-only; the rest are user RWX.
+  std::uint32_t mapped_pages = 512;  // 2 MB
+  std::uint32_t kernel_pages = 16;   // 64 KB
+  /// Words of kernel "run queue" state touched by every timer tick. This
+  /// models the scheduler/timer cache footprint whose beam exposure the
+  /// paper identifies as the source of excess System Crashes (§VI).
+  std::uint32_t sched_footprint_words = 64;
+};
+
+/// Crash reason codes used by the kernel (host-event payloads).
+namespace reason {
+inline constexpr std::uint32_t kUndef = 1;
+inline constexpr std::uint32_t kPrefetchAbort = 2;
+inline constexpr std::uint32_t kDataAbort = 3;
+inline constexpr std::uint32_t kBadSyscall = 4;
+}  // namespace reason
+
+/// Builds the kernel image (loaded at physical 0x0; the vector table is
+/// its first six words). Exposes symbols "boot", "spawn", "irq_handler".
+isa::Program build_kernel(const KernelConfig& config = {});
+
+/// Virtual address ceiling usable by applications under `config`
+/// (start of unmapped space); the user stack top must stay below this.
+std::uint32_t user_memory_limit(const KernelConfig& config);
+
+/// Loads kernel + application images into `machine` and points the boot
+/// info block at the application (entry = app.entry, sp = user_sp).
+/// Call machine.boot() afterwards to start.
+void install_system(sim::Machine& machine, const isa::Program& kernel_image,
+                    const isa::Program& app, std::uint32_t user_sp);
+
+}  // namespace sefi::kernel

@@ -1,0 +1,301 @@
+#include "sefi/kernel/kernel.hpp"
+
+#include "sefi/sim/cpu.hpp"
+#include "sefi/sim/memmap.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::kernel {
+
+namespace {
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+/// Kernel-internal run-queue array touched by every timer tick.
+constexpr std::uint32_t kRunQueueBase = sim::kKernelDataBase + 0x100;
+}  // namespace
+
+std::uint32_t user_memory_limit(const KernelConfig& config) {
+  return config.mapped_pages * sim::kPageSize;
+}
+
+void install_system(sim::Machine& machine, const isa::Program& kernel_image,
+                    const isa::Program& app, std::uint32_t user_sp) {
+  support::require(app.base >= sim::kUserBase,
+                   "install_system: app must load at/above kUserBase");
+  machine.load_image(kernel_image);
+  machine.load_image(app);
+  machine.set_boot_info(app.entry, user_sp);
+}
+
+isa::Program build_kernel(const KernelConfig& config) {
+  support::require(config.kernel_pages >= 16,
+                   "build_kernel: kernel needs at least 16 pages");
+  support::require(config.mapped_pages > config.kernel_pages &&
+                       config.mapped_pages <= sim::kNumPages,
+                   "build_kernel: bad mapped_pages");
+  support::require(
+      config.sched_footprint_words * 4 + 0x100 <=
+          sim::kKernelDataLimit - sim::kKernelDataBase,
+      "build_kernel: scheduler footprint exceeds kernel data region");
+
+  Assembler a(sim::kKernelBase);
+
+  Label boot = a.make_label();
+  Label undef_h = a.make_label();
+  Label svc_h = a.make_label();
+  Label pabort_h = a.make_label();
+  Label dabort_h = a.make_label();
+  Label irq_h = a.make_label();
+  Label spawn = a.make_label();
+  Label fault_common = a.make_label();
+  Label app_kill_badsvc = a.make_label();
+  Label panic = a.make_label();
+
+  // --- vector table (six branch slots at physical 0x0) ------------------
+  a.b(boot);      // 0: reset
+  a.b(undef_h);   // 1: undefined instruction
+  a.b(svc_h);     // 2: supervisor call
+  a.b(pabort_h);  // 3: prefetch abort
+  a.b(dabort_h);  // 4: data abort
+  a.b(irq_h);     // 5: IRQ
+
+  // --- boot --------------------------------------------------------------
+  a.bind(boot);
+  a.symbol("boot");
+  a.mov_imm32(Reg::sp, sim::kKernelStackTop);
+
+  // Zero jiffies and the run queue (boot info at kBootInfoBase was written
+  // by the loader and must survive).
+  a.movi(Reg::r0, 0);
+  a.mov_imm32(Reg::r1, sim::kKernelJiffies);
+  a.str(Reg::r0, Reg::r1, 0);
+  a.mov_imm32(Reg::r1, kRunQueueBase);
+  a.movi(Reg::r2, config.sched_footprint_words);
+  {
+    Label zq = a.make_label();
+    Label zdone = a.make_label();
+    a.bind(zq);
+    a.cmpi(Reg::r2, 0);
+    a.b(Cond::eq, zdone);
+    a.str(Reg::r0, Reg::r1, 0);
+    a.addi(Reg::r1, Reg::r1, 4);
+    a.subi(Reg::r2, Reg::r2, 1);
+    a.b(zq);
+    a.bind(zdone);
+  }
+
+  // Build the identity-mapped page table: pages [0, kernel_pages) are
+  // kernel-only, [kernel_pages, mapped_pages) are user RWX, the rest stay
+  // invalid.
+  a.movi(Reg::r0, 0);  // vpn
+  a.mov_imm32(Reg::r1, sim::kPageTableBase);
+  {
+    Label loop = a.make_label();
+    Label is_kernel = a.make_label();
+    Label store = a.make_label();
+    a.bind(loop);
+    a.lsli(Reg::r2, Reg::r0, 12);  // identity PPN field
+    a.cmpi(Reg::r0, static_cast<std::int32_t>(config.kernel_pages));
+    a.b(Cond::lt, is_kernel);
+    a.orri(Reg::r2, Reg::r2,
+           sim::pte::kValid | sim::pte::kUserRead | sim::pte::kUserWrite |
+               sim::pte::kUserExec);
+    a.b(store);
+    a.bind(is_kernel);
+    a.orri(Reg::r2, Reg::r2, sim::pte::kValid);
+    a.bind(store);
+    a.lsli(Reg::r3, Reg::r0, 2);
+    a.strr(Reg::r2, Reg::r1, Reg::r3);
+    a.addi(Reg::r0, Reg::r0, 1);
+    a.cmpi(Reg::r0, static_cast<std::int32_t>(config.mapped_pages));
+    a.b(Cond::lt, loop);
+  }
+
+  // Program the timer.
+  if (config.timer_interval_cycles != 0) {
+    a.mov_imm32(Reg::r0, config.timer_interval_cycles);
+    a.mov_imm32(Reg::r1, sim::kTimerInterval);
+    a.str(Reg::r0, Reg::r1, 0);
+    a.movi(Reg::r0, 1);
+    a.mov_imm32(Reg::r1, sim::kTimerCtrl);
+    a.str(Reg::r0, Reg::r1, 0);
+  }
+
+  // Enable the MMU for kernel mode (IRQs stay masked in the kernel).
+  a.movi(Reg::r0, isa::cpsr::kModeKernel | isa::cpsr::kMmuEnable);
+  a.msr(Reg::r0);
+  a.b(spawn);
+
+  // --- spawn: (re)start the loaded application ---------------------------
+  a.bind(spawn);
+  a.symbol("spawn");
+  a.movi(Reg::r0, 1);
+  a.mov_imm32(Reg::r1, sim::kHostAlive);
+  a.str(Reg::r0, Reg::r1, 0);
+  // Fresh exec semantics: rebuild the *user* page-table entries and flush
+  // the TLBs, as Linux does on every exec/context switch. Kernel PTEs are
+  // deliberately left alone — corruption there persists until reboot,
+  // which is exactly the beam-exposure behaviour the paper analyses.
+  a.movi(Reg::r0, static_cast<std::uint16_t>(config.kernel_pages));
+  a.mov_imm32(Reg::r1, sim::kPageTableBase);
+  {
+    Label loop = a.make_label();
+    a.bind(loop);
+    a.lsli(Reg::r2, Reg::r0, 12);
+    a.orri(Reg::r2, Reg::r2,
+           sim::pte::kValid | sim::pte::kUserRead | sim::pte::kUserWrite |
+               sim::pte::kUserExec);
+    a.lsli(Reg::r3, Reg::r0, 2);
+    a.strr(Reg::r2, Reg::r1, Reg::r3);
+    a.addi(Reg::r0, Reg::r0, 1);
+    a.cmpi(Reg::r0, static_cast<std::int32_t>(config.mapped_pages));
+    a.b(Cond::lt, loop);
+  }
+  a.tlbflush();
+  a.mov_imm32(Reg::r1, sim::kBootUserEntry);
+  a.ldr(Reg::r2, Reg::r1, 0);
+  a.ldr(Reg::r3, Reg::r1, 4);
+  a.msr_elr(Reg::r2);
+  a.msr_usp(Reg::r3);
+  a.movi(Reg::r0, isa::cpsr::kIrqEnable | isa::cpsr::kMmuEnable);
+  a.msr_spsr(Reg::r0);
+  // Clear user-visible registers so every spawn starts identically.
+  for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+    if (r == 13) continue;  // sp comes from the banked user SP
+    a.movi(static_cast<Reg>(r), 0);
+  }
+  a.eret();
+
+  // --- syscall dispatcher -------------------------------------------------
+  // ABI: number in r7, args in r0..r2, result in r0; r1-r4 are clobbered.
+  a.bind(svc_h);
+  a.symbol("svc_handler");
+  a.cmpi(Reg::r7, static_cast<std::int32_t>(sim::sysno::kExit));
+  {
+    Label not_exit = a.make_label();
+    a.b(Cond::ne, not_exit);
+    a.mov_imm32(Reg::r1, sim::kHostExit);
+    a.str(Reg::r0, Reg::r1, 0);
+    a.b(spawn);
+    a.bind(not_exit);
+  }
+  a.cmpi(Reg::r7, static_cast<std::int32_t>(sim::sysno::kWrite));
+  {
+    Label not_write = a.make_label();
+    a.b(Cond::ne, not_write);
+    // Bounds-check [r0, r0+r1) against user memory, EFAULT-style.
+    a.mov_imm32(Reg::r2, sim::kUserBase);
+    a.cmp(Reg::r0, Reg::r2);
+    a.b(Cond::cc, app_kill_badsvc);
+    a.add(Reg::r3, Reg::r0, Reg::r1);
+    a.mov_imm32(Reg::r2, user_memory_limit(config));
+    a.cmp(Reg::r3, Reg::r2);
+    a.b(Cond::hi, app_kill_badsvc);
+    a.mov_imm32(Reg::r2, sim::kUartTx);
+    Label loop = a.make_label();
+    Label done = a.make_label();
+    a.bind(loop);
+    a.cmpi(Reg::r1, 0);
+    a.b(Cond::eq, done);
+    a.ldrb(Reg::r4, Reg::r0, 0);
+    a.str(Reg::r4, Reg::r2, 0);
+    a.addi(Reg::r0, Reg::r0, 1);
+    a.subi(Reg::r1, Reg::r1, 1);
+    a.b(loop);
+    a.bind(done);
+    a.movi(Reg::r0, 0);
+    a.eret();
+    a.bind(not_write);
+  }
+  a.cmpi(Reg::r7, static_cast<std::int32_t>(sim::sysno::kAlive));
+  {
+    Label not_alive = a.make_label();
+    a.b(Cond::ne, not_alive);
+    a.mov_imm32(Reg::r1, sim::kHostAlive);
+    a.str(Reg::r0, Reg::r1, 0);
+    a.eret();
+    a.bind(not_alive);
+  }
+  a.cmpi(Reg::r7, static_cast<std::int32_t>(sim::sysno::kPutc));
+  {
+    Label not_putc = a.make_label();
+    a.b(Cond::ne, not_putc);
+    a.mov_imm32(Reg::r1, sim::kUartTx);
+    a.str(Reg::r0, Reg::r1, 0);
+    a.movi(Reg::r0, 0);
+    a.eret();
+    a.bind(not_putc);
+  }
+  a.b(app_kill_badsvc);
+
+  // --- fault handlers ------------------------------------------------------
+  a.bind(undef_h);
+  a.movi(Reg::r0, reason::kUndef);
+  a.b(fault_common);
+  a.bind(pabort_h);
+  a.movi(Reg::r0, reason::kPrefetchAbort);
+  a.b(fault_common);
+  a.bind(dabort_h);
+  a.movi(Reg::r0, reason::kDataAbort);
+  a.b(fault_common);
+
+  a.bind(fault_common);
+  a.symbol("fault_common");
+  a.mrs_spsr(Reg::r1);
+  a.andi(Reg::r1, Reg::r1, isa::cpsr::kModeKernel);
+  a.cmpi(Reg::r1, 0);
+  a.b(Cond::ne, panic);  // fault hit the kernel itself
+  a.mov_imm32(Reg::r1, sim::kHostAppCrash);
+  a.str(Reg::r0, Reg::r1, 0);
+  a.b(spawn);
+
+  a.bind(app_kill_badsvc);
+  a.movi(Reg::r0, reason::kBadSyscall);
+  a.mov_imm32(Reg::r1, sim::kHostAppCrash);
+  a.str(Reg::r0, Reg::r1, 0);
+  a.b(spawn);
+
+  a.bind(panic);
+  a.symbol("panic");
+  a.mov_imm32(Reg::r1, sim::kHostPanic);
+  a.str(Reg::r0, Reg::r1, 0);
+  a.hlt();
+
+  // --- timer IRQ handler ----------------------------------------------------
+  a.bind(irq_h);
+  a.symbol("irq_handler");
+  a.push({Reg::r0, Reg::r1, Reg::r2, Reg::r3, Reg::r4});
+  a.movi(Reg::r0, 1);
+  a.mov_imm32(Reg::r1, sim::kTimerAck);
+  a.str(Reg::r0, Reg::r1, 0);
+  a.mov_imm32(Reg::r1, sim::kKernelJiffies);
+  a.ldr(Reg::r0, Reg::r1, 0);
+  a.addi(Reg::r0, Reg::r0, 1);
+  a.str(Reg::r0, Reg::r1, 0);
+  // Scheduler bookkeeping: walk the run queue, read-modify-write each
+  // entry. This keeps genuine kernel data resident in the caches.
+  a.mov_imm32(Reg::r1, kRunQueueBase);
+  a.movi(Reg::r2, 0);
+  {
+    Label loop = a.make_label();
+    a.bind(loop);
+    a.lsli(Reg::r3, Reg::r2, 2);
+    a.ldrr(Reg::r4, Reg::r1, Reg::r3);
+    a.add(Reg::r4, Reg::r4, Reg::r2);
+    a.strr(Reg::r4, Reg::r1, Reg::r3);
+    a.addi(Reg::r2, Reg::r2, 1);
+    a.cmpi(Reg::r2, static_cast<std::int32_t>(config.sched_footprint_words));
+    a.b(Cond::lt, loop);
+  }
+  a.pop({Reg::r0, Reg::r1, Reg::r2, Reg::r3, Reg::r4});
+  a.eret();
+
+  isa::Program program = a.finish();
+  support::require(program.size() <= sim::kKernelCodeLimit,
+                   "build_kernel: kernel image exceeds its code region");
+  return program;
+}
+
+}  // namespace sefi::kernel

@@ -1,0 +1,117 @@
+// Bit-accurate set-associative cache array.
+//
+// Unlike a performance-only cache model, this array *holds the data*:
+// reads are served from the array's own storage, writes dirty it, and
+// evictions write the stored bytes back. That is what makes single-bit
+// upsets meaningful — a flipped data bit is returned to the pipeline, a
+// flipped tag bit silently detaches (or aliases) a line, a flipped dirty
+// bit loses a write-back, a flipped valid bit drops or resurrects a line.
+//
+// Per-line bit layout for fault injection (in order):
+//   bit 0: valid, bit 1: dirty, bits [2, 2+tag_bits): tag,
+//   bits [2+tag_bits, ...): data, LSB-first per byte.
+// Lines are numbered set-major: line = set * ways + way.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sefi/microarch/component.hpp"
+
+namespace sefi::microarch {
+
+struct CacheGeometry {
+  std::uint32_t size_bytes = 0;
+  std::uint32_t line_bytes = 0;
+  std::uint32_t ways = 0;
+
+  std::uint32_t lines() const { return size_bytes / line_bytes; }
+  std::uint32_t sets() const { return lines() / ways; }
+};
+
+/// Result of installing a new line: describes the victim, whose data must
+/// be written back by the caller if valid && dirty.
+struct EvictedLine {
+  bool valid = false;
+  bool dirty = false;
+  std::uint32_t paddr = 0;  ///< base address reconstructed from tag+set
+  std::vector<std::uint8_t> data;
+};
+
+class CacheArray final : public InjectableComponent {
+ public:
+  CacheArray(std::string name, const CacheGeometry& geometry);
+
+  const CacheGeometry& geometry() const { return geometry_; }
+  const std::string& name() const { return name_; }
+
+  /// Looks up `paddr`; returns the way index or -1 on miss. Comparison
+  /// uses the stored (possibly corrupted) tag and valid bits.
+  int lookup(std::uint32_t paddr) const;
+
+  /// Selects the victim way for a fill at `paddr`: first invalid way,
+  /// otherwise round-robin (deterministic).
+  int pick_victim(std::uint32_t paddr);
+
+  /// Installs a new line for `paddr` in `way` with `fill` bytes (must be
+  /// exactly line_bytes), returning the previous occupant.
+  EvictedLine install(std::uint32_t paddr, int way,
+                      std::span<const std::uint8_t> fill);
+
+  /// Mutable view of a line's stored bytes.
+  std::span<std::uint8_t> line_data(std::uint32_t paddr, int way);
+  std::span<const std::uint8_t> line_data(std::uint32_t paddr,
+                                          int way) const;
+
+  void mark_dirty(std::uint32_t paddr, int way);
+  bool is_dirty(std::uint32_t paddr, int way) const;
+
+  /// Invalidates (discards, no write-back) every line whose address range
+  /// overlaps [start, start+size).
+  void invalidate_range(std::uint32_t start, std::uint32_t size);
+
+  /// Drops all lines and resets replacement state (cold boot).
+  void reset();
+
+  /// Base address of the line `(set, way)` as implied by its stored tag.
+  std::uint32_t line_paddr(std::uint32_t set, int way) const;
+
+  /// Number of lines currently valid (occupancy analyses).
+  std::uint32_t valid_lines() const;
+
+  /// State of the line an injectable bit index belongs to (protection
+  /// adjudication: parity can recover clean lines by refetching, dirty
+  /// ones are lost).
+  bool bit_in_valid_line(std::uint64_t bit) const;
+  bool bit_in_dirty_line(std::uint64_t bit) const;
+
+  // InjectableComponent:
+  std::uint64_t bit_count() const override;
+  void flip_bit(std::uint64_t bit) override;
+
+ private:
+  struct LineMeta {
+    bool valid = false;
+    bool dirty = false;
+    std::uint32_t tag = 0;
+  };
+
+  std::uint32_t set_of(std::uint32_t paddr) const;
+  std::uint32_t tag_of(std::uint32_t paddr) const;
+  std::uint32_t line_index(std::uint32_t set, int way) const {
+    return set * geometry_.ways + static_cast<std::uint32_t>(way);
+  }
+
+  std::string name_;
+  CacheGeometry geometry_;
+  unsigned offset_bits_;
+  unsigned index_bits_;
+  unsigned tag_bits_;
+  std::vector<LineMeta> meta_;
+  std::vector<std::uint8_t> data_;
+  std::vector<std::uint32_t> victim_ptr_;  ///< per-set round-robin cursor
+};
+
+}  // namespace sefi::microarch

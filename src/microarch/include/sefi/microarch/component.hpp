@@ -1,0 +1,48 @@
+// Fault-injectable hardware components.
+//
+// The six SRAM-array components targeted by the paper's GeFIN campaign
+// (§IV-C): L1 instruction/data caches, L2 cache, physical register file,
+// and instruction/data TLBs. Each exposes its state as a flat bit vector
+// so the injectors (statistical FI and the beam simulator) can flip an
+// arbitrary bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sefi::microarch {
+
+enum class ComponentKind : std::uint8_t {
+  kL1I = 0,
+  kL1D,
+  kL2,
+  kRegFile,
+  kITlb,
+  kDTlb,
+};
+inline constexpr unsigned kNumComponents = 6;
+
+inline constexpr std::array<ComponentKind, kNumComponents> kAllComponents = {
+    ComponentKind::kL1I,    ComponentKind::kL1D,  ComponentKind::kL2,
+    ComponentKind::kRegFile, ComponentKind::kITlb, ComponentKind::kDTlb,
+};
+
+std::string component_name(ComponentKind kind);
+
+/// A hardware structure whose storage bits can be flipped by a particle
+/// strike. Bit indices are stable for a given configuration: the mapping
+/// from index to (entry, field, bit) is deterministic, so campaigns are
+/// reproducible.
+class InjectableComponent {
+ public:
+  virtual ~InjectableComponent() = default;
+
+  /// Total number of storage bits (tags + state + data for caches).
+  virtual std::uint64_t bit_count() const = 0;
+
+  /// Flips one bit. `bit` must be < bit_count().
+  virtual void flip_bit(std::uint64_t bit) = 0;
+};
+
+}  // namespace sefi::microarch

@@ -1,0 +1,131 @@
+// Detailed microarchitecture model: the Cortex-A9-like timing core.
+//
+// Implements the UarchModel interface with bit-accurate, data-holding
+// structures configured to match the paper's Table II platform:
+//   32 KB 4-way L1 I/D caches, 512 KB 8-way unified L2 (all write-back,
+//   write-allocate, 32 B lines), 32-entry fully-associative I/D TLBs with
+//   hardware page walks routed through the L2, a 64-entry renamed physical
+//   register file, and a bimodal+BTB branch predictor.
+//
+// Timing is an in-order issue model: each instruction pays its base cost
+// plus stall cycles for cache/TLB misses and branch mispredictions. This
+// is a deliberate simplification of the A9's out-of-order core — the
+// paper's own gem5 model also diverges from real A9 pipeline details
+// (Table II footnote) — and is documented in DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sefi/microarch/cache.hpp"
+#include "sefi/microarch/component.hpp"
+#include "sefi/microarch/predictor.hpp"
+#include "sefi/microarch/regfile.hpp"
+#include "sefi/microarch/tlb.hpp"
+#include "sefi/sim/devices.hpp"
+#include "sefi/sim/machine.hpp"
+#include "sefi/sim/phys_mem.hpp"
+#include "sefi/sim/uarch_iface.hpp"
+
+namespace sefi::microarch {
+
+struct DetailedConfig {
+  CacheGeometry l1i{32 * 1024, 32, 4};
+  CacheGeometry l1d{32 * 1024, 32, 4};
+  CacheGeometry l2{512 * 1024, 32, 8};
+  unsigned itlb_entries = 32;
+  unsigned dtlb_entries = 32;
+  unsigned phys_regs = 64;
+
+  // Stall costs in cycles.
+  unsigned l2_hit_extra = 8;     ///< L1 miss hitting in L2
+  unsigned mem_extra = 40;       ///< L2 miss (DRAM)
+  unsigned walk_extra = 2;       ///< page-walk overhead beyond the PTE read
+  unsigned mispredict_penalty = 8;
+  unsigned mmio_extra = 4;
+};
+
+class DetailedModel final : public sim::UarchModel {
+ public:
+  /// `regfile` is owned by the Machine; the model keeps a reference so the
+  /// injectors can reach all six components through one object.
+  DetailedModel(const DetailedConfig& config, sim::PhysicalMemory& mem,
+                sim::DeviceBlock& devices, PhysRegFile& regfile);
+
+  // UarchModel:
+  sim::MemResult fetch(std::uint32_t va, bool kernel_mode,
+                       bool mmu_enabled) override;
+  sim::MemResult read(std::uint32_t va, unsigned size, bool kernel_mode,
+                      bool mmu_enabled) override;
+  sim::MemFault write(std::uint32_t va, unsigned size, std::uint32_t value,
+                      bool kernel_mode, bool mmu_enabled) override;
+  void on_branch(std::uint32_t pc, bool taken, std::uint32_t target) override;
+  std::uint64_t drain_extra_cycles() override;
+  const sim::PerfCounters& counters() const override { return counters_; }
+  void reset() override;
+  void flush_tlbs() override;
+  void invalidate_range(std::uint32_t addr, std::uint32_t size) override;
+  std::unique_ptr<sim::OpaqueState> save_state() const override;
+  void restore_state(const sim::OpaqueState& state) override;
+
+  /// Access to the six injectable components (paper §IV-C).
+  InjectableComponent& component(ComponentKind kind);
+  const DetailedConfig& config() const { return config_; }
+
+  CacheArray& l1i() { return l1i_; }
+  CacheArray& l1d() { return l1d_; }
+  CacheArray& l2() { return l2_; }
+  Tlb& itlb() { return itlb_; }
+  Tlb& dtlb() { return dtlb_; }
+  PhysRegFile& regfile() { return regfile_; }
+
+ private:
+  /// Translates a virtual address through `tlb` (page-walking on miss).
+  /// On success, MemResult::data is the physical address.
+  sim::MemResult translate(std::uint32_t va, sim::AccessKind kind,
+                           bool kernel_mode, bool mmu_enabled, Tlb& tlb,
+                           std::uint64_t& miss_counter);
+
+  /// Ensures the line containing `paddr` is present in the L2 and returns
+  /// its way. Charges hit/miss cycles; handles victim write-back to RAM.
+  int l2_ensure(std::uint32_t paddr);
+
+  /// Ensures the line is present in `l1` (filling from L2) and returns
+  /// its way. Dirty L1 victims are pushed down into the L2.
+  int l1_ensure(CacheArray& l1, std::uint32_t paddr,
+                std::uint64_t& miss_counter);
+
+  /// Writes an evicted dirty L1 line down into the L2 (allocating there).
+  void push_line_to_l2(const EvictedLine& line);
+
+  /// Writes an evicted dirty L2 line back to RAM; lines whose corrupted
+  /// tag points outside RAM are dropped (the bus ignores them).
+  void writeback_to_ram(const EvictedLine& line);
+
+  /// Reads a PTE word through the L1D hierarchy — the walker is coherent
+  /// with dirty page-table lines the kernel wrote through its data cache.
+  std::uint32_t read_pte(std::uint32_t pte_addr);
+
+  DetailedConfig config_;
+  sim::PhysicalMemory& mem_;
+  sim::DeviceBlock& devices_;
+  PhysRegFile& regfile_;
+  CacheArray l1i_;
+  CacheArray l1d_;
+  CacheArray l2_;
+  Tlb itlb_;
+  Tlb dtlb_;
+  BranchPredictor predictor_;
+  sim::PerfCounters counters_;
+  std::uint64_t extra_cycles_ = 0;
+  std::vector<std::uint8_t> line_buf_;  ///< scratch for fills
+};
+
+/// Builds a Machine wired with the detailed model.
+sim::Machine make_detailed_machine(const DetailedConfig& config = {});
+
+/// Returns the DetailedModel inside a machine created by
+/// make_detailed_machine; throws SefiError for other machines.
+DetailedModel& detailed_model(sim::Machine& machine);
+
+}  // namespace sefi::microarch

@@ -1,0 +1,36 @@
+// Branch predictor: bimodal 2-bit counters for conditional branches plus
+// a direct-mapped BTB for indirect targets. Purely a timing structure —
+// its state is performance-visible only, so it is not a fault-injection
+// target (flips there are masked by construction; see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sefi::microarch {
+
+class BranchPredictor {
+ public:
+  BranchPredictor(unsigned bimodal_entries = 1024, unsigned btb_entries = 256);
+
+  /// Predicts and trains on a conditional branch; returns true on
+  /// misprediction.
+  bool conditional(std::uint32_t pc, bool taken);
+
+  /// Predicts and trains on an indirect branch; returns true on
+  /// misprediction (BTB miss or wrong target).
+  bool indirect(std::uint32_t pc, std::uint32_t target);
+
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> counters_;  ///< 2-bit saturating
+  struct BtbEntry {
+    bool valid = false;
+    std::uint32_t pc = 0;
+    std::uint32_t target = 0;
+  };
+  std::vector<BtbEntry> btb_;
+};
+
+}  // namespace sefi::microarch

@@ -1,0 +1,56 @@
+// Renamed physical register file.
+//
+// The Cortex-A9 renames its 16 architectural registers onto a larger
+// physical file; the paper injects into the *physical* file, where only a
+// fraction of entries hold live architectural state at any instant —
+// faults in unmapped (free) registers are naturally masked. We model that
+// with a simple in-order renamer: every architectural write allocates the
+// next free physical register and retires the old mapping immediately.
+//
+// Bit layout for fault injection: physical register p occupies bits
+// [32p, 32p+32), LSB first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sefi/microarch/component.hpp"
+#include "sefi/sim/uarch_iface.hpp"
+
+namespace sefi::microarch {
+
+class PhysRegFile final : public sim::RegFileModel,
+                          public InjectableComponent {
+ public:
+  explicit PhysRegFile(unsigned num_phys = 64, unsigned num_arch = 16);
+
+  // RegFileModel:
+  std::uint32_t read(unsigned arch_reg) override;
+  void write(unsigned arch_reg, std::uint32_t value) override;
+  void reset() override;
+  std::unique_ptr<sim::OpaqueState> save_state() const override;
+  void restore_state(const sim::OpaqueState& state) override;
+
+  // InjectableComponent:
+  std::uint64_t bit_count() const override;
+  void flip_bit(std::uint64_t bit) override;
+
+  unsigned num_phys() const { return static_cast<unsigned>(regs_.size()); }
+  /// Physical register currently mapped to `arch_reg` (for tests).
+  unsigned mapping(unsigned arch_reg) const { return map_[arch_reg]; }
+  /// Number of physical registers holding live architectural state.
+  unsigned mapped_count() const {
+    return static_cast<unsigned>(map_.size());
+  }
+  /// Whether physical register `phys` currently holds live state.
+  bool is_mapped(unsigned phys) const { return mapped_[phys]; }
+
+ private:
+  std::vector<std::uint32_t> regs_;
+  std::vector<std::uint32_t> map_;   ///< arch -> phys
+  std::vector<bool> mapped_;         ///< phys in use
+  std::uint32_t next_alloc_ = 0;
+};
+
+}  // namespace sefi::microarch

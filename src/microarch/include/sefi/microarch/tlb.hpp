@@ -1,0 +1,61 @@
+// Fully-associative TLB with injectable entry bits.
+//
+// Entry bit layout for fault injection (in order):
+//   bit 0: valid, bits [1, 1+12): VPN tag, bits [13, 13+12): PPN,
+//   bits [25, 28): user-read / user-write / user-exec permission bits.
+// The split mirrors the paper's observation (§V-B): flips in the PPN
+// ("physical page / target") cause wrong translations and dominate the
+// TLB's vulnerability, while flips in the VPN ("virtual part / tag")
+// mostly cause spurious misses that a page walk silently repairs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sefi/microarch/component.hpp"
+#include "sefi/sim/page.hpp"
+
+namespace sefi::microarch {
+
+class Tlb final : public InjectableComponent {
+ public:
+  Tlb(std::string name, unsigned entries);
+
+  unsigned entries() const { return static_cast<unsigned>(slots_.size()); }
+  const std::string& name() const { return name_; }
+
+  /// Looks up `vpn`; first matching valid entry wins (a corrupted tag can
+  /// alias another page — that is the fault model, not a bug).
+  std::optional<sim::Translation> lookup(std::uint32_t vpn) const;
+
+  /// Inserts a translation, evicting round-robin.
+  void insert(std::uint32_t vpn, const sim::Translation& translation);
+
+  /// Drops every entry (cold boot / TLB flush instruction).
+  void reset();
+
+  /// Number of currently valid entries (occupancy analyses).
+  unsigned valid_entries() const;
+
+  // InjectableComponent:
+  std::uint64_t bit_count() const override;
+  void flip_bit(std::uint64_t bit) override;
+
+  static constexpr unsigned kBitsPerEntry = 1 + 12 + 12 + 3;
+
+ private:
+  struct Slot {
+    bool valid = false;
+    std::uint32_t vpn = 0;    // 12 bits
+    std::uint32_t ppn = 0;    // 12 bits
+    std::uint8_t perms = 0;   // 3 bits (pte::kUserRead/Write/Exec >> 1)
+  };
+
+  std::string name_;
+  std::vector<Slot> slots_;
+  std::uint32_t next_victim_ = 0;
+};
+
+}  // namespace sefi::microarch

@@ -1,0 +1,203 @@
+#include "sefi/microarch/cache.hpp"
+
+#include <algorithm>
+
+#include "sefi/support/bits.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::microarch {
+
+using support::is_pow2;
+using support::log2_exact;
+using support::require;
+
+std::string component_name(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kL1I: return "L1I";
+    case ComponentKind::kL1D: return "L1D";
+    case ComponentKind::kL2: return "L2";
+    case ComponentKind::kRegFile: return "RegFile";
+    case ComponentKind::kITlb: return "ITLB";
+    case ComponentKind::kDTlb: return "DTLB";
+  }
+  return "?";
+}
+
+CacheArray::CacheArray(std::string name, const CacheGeometry& geometry)
+    : name_(std::move(name)), geometry_(geometry) {
+  require(geometry.line_bytes >= 4 && is_pow2(geometry.line_bytes),
+          name_ + ": line size must be a power of two >= 4");
+  require(geometry.ways >= 1, name_ + ": needs at least one way");
+  require(geometry.size_bytes % (geometry.line_bytes * geometry.ways) == 0,
+          name_ + ": size must be a multiple of line*ways");
+  require(is_pow2(geometry.sets()), name_ + ": set count must be 2^n");
+  offset_bits_ = log2_exact(geometry.line_bytes);
+  index_bits_ = log2_exact(geometry.sets());
+  tag_bits_ = 32 - offset_bits_ - index_bits_;
+  meta_.resize(geometry.lines());
+  data_.resize(static_cast<std::size_t>(geometry.lines()) *
+               geometry.line_bytes);
+  victim_ptr_.assign(geometry.sets(), 0);
+}
+
+std::uint32_t CacheArray::set_of(std::uint32_t paddr) const {
+  return (paddr >> offset_bits_) & (geometry_.sets() - 1);
+}
+
+std::uint32_t CacheArray::tag_of(std::uint32_t paddr) const {
+  return paddr >> (offset_bits_ + index_bits_);
+}
+
+int CacheArray::lookup(std::uint32_t paddr) const {
+  const std::uint32_t set = set_of(paddr);
+  const std::uint32_t tag = tag_of(paddr);
+  for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
+    const LineMeta& m = meta_[line_index(set, static_cast<int>(way))];
+    if (m.valid && m.tag == tag) return static_cast<int>(way);
+  }
+  return -1;
+}
+
+int CacheArray::pick_victim(std::uint32_t paddr) {
+  const std::uint32_t set = set_of(paddr);
+  for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
+    if (!meta_[line_index(set, static_cast<int>(way))].valid) {
+      return static_cast<int>(way);
+    }
+  }
+  const std::uint32_t way = victim_ptr_[set];
+  victim_ptr_[set] = (way + 1) % geometry_.ways;
+  return static_cast<int>(way);
+}
+
+std::uint32_t CacheArray::line_paddr(std::uint32_t set, int way) const {
+  const LineMeta& m = meta_[line_index(set, way)];
+  return (m.tag << (offset_bits_ + index_bits_)) | (set << offset_bits_);
+}
+
+EvictedLine CacheArray::install(std::uint32_t paddr, int way,
+                                std::span<const std::uint8_t> fill) {
+  require(fill.size() == geometry_.line_bytes,
+          name_ + ": install fill size mismatch");
+  const std::uint32_t set = set_of(paddr);
+  const std::uint32_t idx = line_index(set, way);
+  LineMeta& m = meta_[idx];
+
+  EvictedLine evicted;
+  evicted.valid = m.valid;
+  evicted.dirty = m.dirty;
+  if (m.valid) {
+    evicted.paddr = line_paddr(set, way);
+    const auto* src = data_.data() +
+                      static_cast<std::size_t>(idx) * geometry_.line_bytes;
+    evicted.data.assign(src, src + geometry_.line_bytes);
+  }
+
+  m.valid = true;
+  m.dirty = false;
+  m.tag = tag_of(paddr);
+  std::copy(fill.begin(), fill.end(),
+            data_.begin() + static_cast<std::size_t>(idx) *
+                                geometry_.line_bytes);
+  return evicted;
+}
+
+std::span<std::uint8_t> CacheArray::line_data(std::uint32_t paddr, int way) {
+  const std::uint32_t idx = line_index(set_of(paddr), way);
+  return {data_.data() + static_cast<std::size_t>(idx) * geometry_.line_bytes,
+          geometry_.line_bytes};
+}
+
+std::span<const std::uint8_t> CacheArray::line_data(std::uint32_t paddr,
+                                                    int way) const {
+  const std::uint32_t idx = line_index(set_of(paddr), way);
+  return {data_.data() + static_cast<std::size_t>(idx) * geometry_.line_bytes,
+          geometry_.line_bytes};
+}
+
+void CacheArray::mark_dirty(std::uint32_t paddr, int way) {
+  meta_[line_index(set_of(paddr), way)].dirty = true;
+}
+
+bool CacheArray::is_dirty(std::uint32_t paddr, int way) const {
+  return meta_[line_index(set_of(paddr), way)].dirty;
+}
+
+void CacheArray::invalidate_range(std::uint32_t start, std::uint32_t size) {
+  const std::uint64_t end = static_cast<std::uint64_t>(start) + size;
+  for (std::uint32_t set = 0; set < geometry_.sets(); ++set) {
+    for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
+      LineMeta& m = meta_[line_index(set, static_cast<int>(way))];
+      if (!m.valid) continue;
+      const std::uint32_t base = line_paddr(set, static_cast<int>(way));
+      if (base < end && start < base + geometry_.line_bytes) {
+        m.valid = false;
+        m.dirty = false;
+      }
+    }
+  }
+}
+
+bool CacheArray::bit_in_valid_line(std::uint64_t bit) const {
+  const std::uint64_t per_line =
+      2 + tag_bits_ + static_cast<std::uint64_t>(geometry_.line_bytes) * 8;
+  support::require(bit < bit_count(), name_ + ": bit index out of range");
+  return meta_[bit / per_line].valid;
+}
+
+bool CacheArray::bit_in_dirty_line(std::uint64_t bit) const {
+  const std::uint64_t per_line =
+      2 + tag_bits_ + static_cast<std::uint64_t>(geometry_.line_bytes) * 8;
+  support::require(bit < bit_count(), name_ + ": bit index out of range");
+  const LineMeta& m = meta_[bit / per_line];
+  return m.valid && m.dirty;
+}
+
+std::uint32_t CacheArray::valid_lines() const {
+  std::uint32_t count = 0;
+  for (const LineMeta& m : meta_) {
+    if (m.valid) ++count;
+  }
+  return count;
+}
+
+void CacheArray::reset() {
+  std::fill(meta_.begin(), meta_.end(), LineMeta{});
+  std::fill(data_.begin(), data_.end(), 0);
+  std::fill(victim_ptr_.begin(), victim_ptr_.end(), 0);
+}
+
+std::uint64_t CacheArray::bit_count() const {
+  const std::uint64_t per_line =
+      2 + tag_bits_ + static_cast<std::uint64_t>(geometry_.line_bytes) * 8;
+  return per_line * geometry_.lines();
+}
+
+void CacheArray::flip_bit(std::uint64_t bit) {
+  require(bit < bit_count(), name_ + ": flip_bit out of range");
+  const std::uint64_t per_line =
+      2 + tag_bits_ + static_cast<std::uint64_t>(geometry_.line_bytes) * 8;
+  const auto line = static_cast<std::uint32_t>(bit / per_line);
+  std::uint64_t offset = bit % per_line;
+  LineMeta& m = meta_[line];
+  if (offset == 0) {
+    m.valid = !m.valid;
+    return;
+  }
+  if (offset == 1) {
+    m.dirty = !m.dirty;
+    return;
+  }
+  offset -= 2;
+  if (offset < tag_bits_) {
+    m.tag ^= 1u << offset;
+    return;
+  }
+  offset -= tag_bits_;
+  support::flip_bit(
+      {data_.data() + static_cast<std::size_t>(line) * geometry_.line_bytes,
+       geometry_.line_bytes},
+      offset);
+}
+
+}  // namespace sefi::microarch

@@ -1,0 +1,315 @@
+#include "sefi/microarch/detailed.hpp"
+
+#include <cstring>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::microarch {
+
+namespace {
+using sim::AccessKind;
+using sim::MemFault;
+using sim::MemResult;
+
+/// Whole-model snapshot: the arrays and predictor are plain value types,
+/// so a copy captures every bit (including injected corruption).
+struct DetailedState final : sim::OpaqueState {
+  DetailedState(const CacheArray& l1i, const CacheArray& l1d,
+                const CacheArray& l2, const Tlb& itlb, const Tlb& dtlb,
+                const BranchPredictor& predictor,
+                const sim::PerfCounters& counters, std::uint64_t extra)
+      : l1i(l1i), l1d(l1d), l2(l2), itlb(itlb), dtlb(dtlb),
+        predictor(predictor), counters(counters), extra_cycles(extra) {}
+
+  CacheArray l1i, l1d, l2;
+  Tlb itlb, dtlb;
+  BranchPredictor predictor;
+  sim::PerfCounters counters;
+  std::uint64_t extra_cycles;
+};
+
+}  // namespace
+
+DetailedModel::DetailedModel(const DetailedConfig& config,
+                             sim::PhysicalMemory& mem,
+                             sim::DeviceBlock& devices, PhysRegFile& regfile)
+    : config_(config),
+      mem_(mem),
+      devices_(devices),
+      regfile_(regfile),
+      l1i_("L1I", config.l1i),
+      l1d_("L1D", config.l1d),
+      l2_("L2", config.l2),
+      itlb_("ITLB", config.itlb_entries),
+      dtlb_("DTLB", config.dtlb_entries) {
+  support::require(config.l1i.line_bytes == config.l2.line_bytes &&
+                       config.l1d.line_bytes == config.l2.line_bytes,
+                   "DetailedModel: L1/L2 line sizes must match");
+  line_buf_.resize(config.l2.line_bytes);
+}
+
+std::uint32_t DetailedModel::read_pte(std::uint32_t pte_addr) {
+  // The walker must be coherent with the data cache: the kernel builds
+  // and updates the page table through ordinary (write-back) stores, so
+  // PTEs can live in dirty L1D lines. Walks therefore read through the
+  // L1D hierarchy (without counting as program data accesses).
+  std::uint64_t scratch_counter = 0;
+  const int way = l1_ensure(l1d_, pte_addr, scratch_counter);
+  const auto line = l1d_.line_data(pte_addr, way);
+  const std::uint32_t offset = pte_addr & (config_.l1d.line_bytes - 1);
+  std::uint32_t pte;
+  std::memcpy(&pte, line.data() + offset, 4);
+  return pte;
+}
+
+MemResult DetailedModel::translate(std::uint32_t va, AccessKind kind,
+                                   bool kernel_mode, bool mmu_enabled,
+                                   Tlb& tlb, std::uint64_t& miss_counter) {
+  if (sim::DeviceBlock::contains(va)) {
+    if (!kernel_mode) return {MemFault::kPermission, 0};
+    if (kind == AccessKind::kFetch) return {MemFault::kUnmapped, 0};
+    return {MemFault::kNone, va};
+  }
+  if (!sim::PhysicalMemory::in_ram(va, 1)) return {MemFault::kUnmapped, 0};
+  if (!mmu_enabled) {
+    if (!kernel_mode) return {MemFault::kPermission, 0};
+    return {MemFault::kNone, va};
+  }
+  const std::uint32_t vpn = va >> sim::kPageShift;
+  sim::Translation translation;
+  if (const auto hit = tlb.lookup(vpn)) {
+    translation = *hit;
+  } else {
+    ++miss_counter;
+    extra_cycles_ += config_.walk_extra;
+    const MemResult walk = sim::walk_page_table(
+        vpn, [this](std::uint32_t pte_addr) { return read_pte(pte_addr); });
+    if (!walk.ok()) return walk;
+    translation.ppn = sim::pte::ppn(walk.data);
+    translation.perms = static_cast<std::uint8_t>(walk.data & 0xe);
+    tlb.insert(vpn, translation);
+  }
+  if (!sim::access_allowed(translation.perms, kind, kernel_mode)) {
+    return {MemFault::kPermission, 0};
+  }
+  const std::uint32_t pa = (translation.ppn << sim::kPageShift) |
+                           (va & (sim::kPageSize - 1));
+  if (!sim::PhysicalMemory::in_ram(pa, 1)) return {MemFault::kUnmapped, 0};
+  return {MemFault::kNone, pa};
+}
+
+void DetailedModel::writeback_to_ram(const EvictedLine& line) {
+  if (!line.valid || !line.dirty) return;
+  if (!sim::PhysicalMemory::in_ram(line.paddr, config_.l2.line_bytes)) {
+    return;  // corrupted tag points nowhere; the bus drops the write
+  }
+  mem_.backdoor_write(line.paddr, line.data);
+}
+
+int DetailedModel::l2_ensure(std::uint32_t paddr) {
+  int way = l2_.lookup(paddr);
+  if (way >= 0) {
+    extra_cycles_ += config_.l2_hit_extra;
+    return way;
+  }
+  ++counters_.l2_misses;
+  extra_cycles_ += config_.l2_hit_extra + config_.mem_extra;
+  const std::uint32_t line_base = paddr & ~(config_.l2.line_bytes - 1);
+  if (sim::PhysicalMemory::in_ram(line_base, config_.l2.line_bytes)) {
+    const auto src = mem_.backdoor_read(line_base, config_.l2.line_bytes);
+    std::copy(src.begin(), src.end(), line_buf_.begin());
+  } else {
+    std::fill(line_buf_.begin(), line_buf_.end(), 0);
+  }
+  way = l2_.pick_victim(paddr);
+  const EvictedLine evicted = l2_.install(paddr, way, line_buf_);
+  writeback_to_ram(evicted);
+  return way;
+}
+
+void DetailedModel::push_line_to_l2(const EvictedLine& line) {
+  if (!line.valid || !line.dirty) return;
+  int way = l2_.lookup(line.paddr);
+  if (way < 0) {
+    // Write-allocate in L2: the L1 line is a full line, so no memory read
+    // is needed to install it.
+    way = l2_.pick_victim(line.paddr);
+    const EvictedLine evicted = l2_.install(line.paddr, way, line.data);
+    writeback_to_ram(evicted);
+  } else {
+    const auto dst = l2_.line_data(line.paddr, way);
+    std::copy(line.data.begin(), line.data.end(), dst.begin());
+  }
+  l2_.mark_dirty(line.paddr, way);
+}
+
+int DetailedModel::l1_ensure(CacheArray& l1, std::uint32_t paddr,
+                             std::uint64_t& miss_counter) {
+  int way = l1.lookup(paddr);
+  if (way >= 0) return way;
+  ++miss_counter;
+  const int l2_way = l2_ensure(paddr);
+  const auto l2_line = l2_.line_data(paddr, l2_way);
+  way = l1.pick_victim(paddr);
+  const EvictedLine evicted = l1.install(paddr, way, l2_line);
+  push_line_to_l2(evicted);
+  return way;
+}
+
+MemResult DetailedModel::fetch(std::uint32_t va, bool kernel_mode,
+                               bool mmu_enabled) {
+  if (va % 4 != 0) return {MemFault::kUnaligned, 0};
+  const MemResult tr = translate(va, AccessKind::kFetch, kernel_mode,
+                                 mmu_enabled, itlb_, counters_.itlb_misses);
+  if (!tr.ok()) return tr;
+  const std::uint32_t pa = tr.data;
+  const int way = l1_ensure(l1i_, pa, counters_.l1i_misses);
+  const auto line = l1i_.line_data(pa, way);
+  const std::uint32_t offset = pa & (config_.l1i.line_bytes - 1);
+  std::uint32_t word;
+  std::memcpy(&word, line.data() + offset, 4);
+  return {MemFault::kNone, word};
+}
+
+MemResult DetailedModel::read(std::uint32_t va, unsigned size,
+                              bool kernel_mode, bool mmu_enabled) {
+  if (va % size != 0) return {MemFault::kUnaligned, 0};
+  const MemResult tr = translate(va, AccessKind::kLoad, kernel_mode,
+                                 mmu_enabled, dtlb_, counters_.dtlb_misses);
+  if (!tr.ok()) return tr;
+  const std::uint32_t pa = tr.data;
+  if (sim::DeviceBlock::contains(pa)) {
+    extra_cycles_ += config_.mmio_extra;
+    return {MemFault::kNone, devices_.read(pa)};
+  }
+  ++counters_.l1d_accesses;
+  const int way = l1_ensure(l1d_, pa, counters_.l1d_misses);
+  const auto line = l1d_.line_data(pa, way);
+  const std::uint32_t offset = pa & (config_.l1d.line_bytes - 1);
+  std::uint32_t value = 0;
+  std::memcpy(&value, line.data() + offset, size);
+  return {MemFault::kNone, value};
+}
+
+MemFault DetailedModel::write(std::uint32_t va, unsigned size,
+                              std::uint32_t value, bool kernel_mode,
+                              bool mmu_enabled) {
+  if (va % size != 0) return MemFault::kUnaligned;
+  const MemResult tr = translate(va, AccessKind::kStore, kernel_mode,
+                                 mmu_enabled, dtlb_, counters_.dtlb_misses);
+  if (!tr.ok()) return tr.fault;
+  const std::uint32_t pa = tr.data;
+  if (sim::DeviceBlock::contains(pa)) {
+    extra_cycles_ += config_.mmio_extra;
+    devices_.write(pa, value);
+    return MemFault::kNone;
+  }
+  ++counters_.l1d_accesses;
+  const int way = l1_ensure(l1d_, pa, counters_.l1d_misses);
+  const auto line = l1d_.line_data(pa, way);
+  const std::uint32_t offset = pa & (config_.l1d.line_bytes - 1);
+  std::memcpy(line.data() + offset, &value, size);
+  l1d_.mark_dirty(pa, way);
+  return MemFault::kNone;
+}
+
+void DetailedModel::on_branch(std::uint32_t pc, bool taken,
+                              std::uint32_t target) {
+  ++counters_.branches;
+  // Direction through the bimodal table, target through the BTB; either
+  // miss flushes the front end.
+  const bool direction_miss = predictor_.conditional(pc, taken);
+  bool target_miss = false;
+  if (taken) target_miss = predictor_.indirect(pc, target);
+  if (direction_miss || target_miss) {
+    ++counters_.branch_misses;
+    extra_cycles_ += config_.mispredict_penalty;
+  }
+}
+
+std::uint64_t DetailedModel::drain_extra_cycles() {
+  const std::uint64_t cycles = extra_cycles_;
+  extra_cycles_ = 0;
+  return cycles;
+}
+
+void DetailedModel::reset() {
+  l1i_.reset();
+  l1d_.reset();
+  l2_.reset();
+  itlb_.reset();
+  dtlb_.reset();
+  predictor_.reset();
+  counters_ = sim::PerfCounters{};
+  extra_cycles_ = 0;
+}
+
+void DetailedModel::flush_tlbs() {
+  itlb_.reset();
+  dtlb_.reset();
+}
+
+std::unique_ptr<sim::OpaqueState> DetailedModel::save_state() const {
+  return std::make_unique<DetailedState>(l1i_, l1d_, l2_, itlb_, dtlb_,
+                                         predictor_, counters_,
+                                         extra_cycles_);
+}
+
+void DetailedModel::restore_state(const sim::OpaqueState& state) {
+  const auto* typed = dynamic_cast<const DetailedState*>(&state);
+  support::require(typed != nullptr,
+                   "DetailedModel: snapshot from a different model");
+  support::require(typed->l1i.bit_count() == l1i_.bit_count() &&
+                       typed->l1d.bit_count() == l1d_.bit_count() &&
+                       typed->l2.bit_count() == l2_.bit_count() &&
+                       typed->itlb.bit_count() == itlb_.bit_count() &&
+                       typed->dtlb.bit_count() == dtlb_.bit_count(),
+                   "DetailedModel: snapshot from a different geometry");
+  l1i_ = typed->l1i;
+  l1d_ = typed->l1d;
+  l2_ = typed->l2;
+  itlb_ = typed->itlb;
+  dtlb_ = typed->dtlb;
+  predictor_ = typed->predictor;
+  counters_ = typed->counters;
+  extra_cycles_ = typed->extra_cycles;
+}
+
+void DetailedModel::invalidate_range(std::uint32_t addr, std::uint32_t size) {
+  l1i_.invalidate_range(addr, size);
+  l1d_.invalidate_range(addr, size);
+  l2_.invalidate_range(addr, size);
+}
+
+InjectableComponent& DetailedModel::component(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kL1I: return l1i_;
+    case ComponentKind::kL1D: return l1d_;
+    case ComponentKind::kL2: return l2_;
+    case ComponentKind::kRegFile: return regfile_;
+    case ComponentKind::kITlb: return itlb_;
+    case ComponentKind::kDTlb: return dtlb_;
+  }
+  throw support::SefiError("component: invalid kind");
+}
+
+sim::Machine make_detailed_machine(const DetailedConfig& config) {
+  auto regfile = std::make_unique<PhysRegFile>(config.phys_regs);
+  PhysRegFile* regfile_raw = regfile.get();
+  return sim::Machine(
+      [&config, regfile_raw](sim::PhysicalMemory& mem,
+                             sim::DeviceBlock& devices) {
+        return std::make_unique<DetailedModel>(config, mem, devices,
+                                               *regfile_raw);
+      },
+      std::move(regfile));
+}
+
+DetailedModel& detailed_model(sim::Machine& machine) {
+  auto* model = dynamic_cast<DetailedModel*>(&machine.uarch());
+  support::require(model != nullptr,
+                   "detailed_model: machine does not use the detailed model");
+  return *model;
+}
+
+}  // namespace sefi::microarch

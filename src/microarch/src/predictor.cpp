@@ -1,0 +1,41 @@
+#include "sefi/microarch/predictor.hpp"
+
+#include "sefi/support/bits.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::microarch {
+
+BranchPredictor::BranchPredictor(unsigned bimodal_entries,
+                                 unsigned btb_entries) {
+  support::require(support::is_pow2(bimodal_entries) &&
+                       support::is_pow2(btb_entries),
+                   "BranchPredictor: table sizes must be powers of two");
+  counters_.assign(bimodal_entries, 1);  // weakly not-taken
+  btb_.resize(btb_entries);
+}
+
+bool BranchPredictor::conditional(std::uint32_t pc, bool taken) {
+  const std::size_t idx = (pc >> 2) & (counters_.size() - 1);
+  std::uint8_t& counter = counters_[idx];
+  const bool predicted_taken = counter >= 2;
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+  return predicted_taken != taken;
+}
+
+bool BranchPredictor::indirect(std::uint32_t pc, std::uint32_t target) {
+  const std::size_t idx = (pc >> 2) & (btb_.size() - 1);
+  BtbEntry& entry = btb_[idx];
+  const bool hit = entry.valid && entry.pc == pc && entry.target == target;
+  entry.valid = true;
+  entry.pc = pc;
+  entry.target = target;
+  return !hit;
+}
+
+void BranchPredictor::reset() {
+  std::fill(counters_.begin(), counters_.end(), 1);
+  std::fill(btb_.begin(), btb_.end(), BtbEntry{});
+}
+
+}  // namespace sefi::microarch

@@ -1,0 +1,80 @@
+#include "sefi/microarch/regfile.hpp"
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::microarch {
+
+PhysRegFile::PhysRegFile(unsigned num_phys, unsigned num_arch) {
+  support::require(num_phys > num_arch,
+                   "PhysRegFile: need more physical than architectural regs");
+  regs_.assign(num_phys, 0);
+  map_.resize(num_arch);
+  mapped_.assign(num_phys, false);
+  reset();
+}
+
+std::uint32_t PhysRegFile::read(unsigned arch_reg) {
+  return regs_[map_[arch_reg]];
+}
+
+void PhysRegFile::write(unsigned arch_reg, std::uint32_t value) {
+  // Allocate the next free physical register (rotating, deterministic).
+  std::uint32_t candidate = next_alloc_;
+  while (mapped_[candidate]) {
+    candidate = (candidate + 1) % regs_.size();
+  }
+  next_alloc_ = (candidate + 1) % regs_.size();
+  mapped_[map_[arch_reg]] = false;  // retire old mapping
+  map_[arch_reg] = candidate;
+  mapped_[candidate] = true;
+  regs_[candidate] = value;
+}
+
+void PhysRegFile::reset() {
+  std::fill(regs_.begin(), regs_.end(), 0);
+  std::fill(mapped_.begin(), mapped_.end(), false);
+  for (std::uint32_t i = 0; i < map_.size(); ++i) {
+    map_[i] = i;
+    mapped_[i] = true;
+  }
+  next_alloc_ = static_cast<std::uint32_t>(map_.size());
+}
+
+namespace {
+struct PhysRegFileState final : sim::OpaqueState {
+  std::vector<std::uint32_t> regs;
+  std::vector<std::uint32_t> map;
+  std::vector<bool> mapped;
+  std::uint32_t next_alloc = 0;
+};
+}  // namespace
+
+std::unique_ptr<sim::OpaqueState> PhysRegFile::save_state() const {
+  auto state = std::make_unique<PhysRegFileState>();
+  state->regs = regs_;
+  state->map = map_;
+  state->mapped = mapped_;
+  state->next_alloc = next_alloc_;
+  return state;
+}
+
+void PhysRegFile::restore_state(const sim::OpaqueState& state) {
+  const auto* typed = dynamic_cast<const PhysRegFileState*>(&state);
+  support::require(typed != nullptr && typed->regs.size() == regs_.size(),
+                   "PhysRegFile: snapshot from a different model");
+  regs_ = typed->regs;
+  map_ = typed->map;
+  mapped_ = typed->mapped;
+  next_alloc_ = typed->next_alloc;
+}
+
+std::uint64_t PhysRegFile::bit_count() const {
+  return static_cast<std::uint64_t>(regs_.size()) * 32;
+}
+
+void PhysRegFile::flip_bit(std::uint64_t bit) {
+  support::require(bit < bit_count(), "PhysRegFile: flip_bit out of range");
+  regs_[bit / 32] ^= 1u << (bit % 32);
+}
+
+}  // namespace sefi::microarch

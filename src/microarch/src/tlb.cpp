@@ -1,0 +1,73 @@
+#include "sefi/microarch/tlb.hpp"
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::microarch {
+
+Tlb::Tlb(std::string name, unsigned entries) : name_(std::move(name)) {
+  support::require(entries >= 1, name_ + ": needs at least one entry");
+  slots_.resize(entries);
+}
+
+std::optional<sim::Translation> Tlb::lookup(std::uint32_t vpn) const {
+  for (const Slot& slot : slots_) {
+    if (slot.valid && slot.vpn == vpn) {
+      sim::Translation t;
+      t.ppn = slot.ppn;
+      // Perm bits are stored shifted down by one (valid bit excluded).
+      t.perms = static_cast<std::uint8_t>(slot.perms << 1);
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+void Tlb::insert(std::uint32_t vpn, const sim::Translation& translation) {
+  Slot& slot = slots_[next_victim_];
+  next_victim_ = (next_victim_ + 1) % slots_.size();
+  slot.valid = true;
+  slot.vpn = vpn & 0xfffu;
+  slot.ppn = translation.ppn & 0xfffu;
+  slot.perms = static_cast<std::uint8_t>((translation.perms >> 1) & 0x7u);
+}
+
+unsigned Tlb::valid_entries() const {
+  unsigned count = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.valid) ++count;
+  }
+  return count;
+}
+
+void Tlb::reset() {
+  for (Slot& slot : slots_) slot = Slot{};
+  next_victim_ = 0;
+}
+
+std::uint64_t Tlb::bit_count() const {
+  return static_cast<std::uint64_t>(slots_.size()) * kBitsPerEntry;
+}
+
+void Tlb::flip_bit(std::uint64_t bit) {
+  support::require(bit < bit_count(), name_ + ": flip_bit out of range");
+  Slot& slot = slots_[bit / kBitsPerEntry];
+  std::uint64_t offset = bit % kBitsPerEntry;
+  if (offset == 0) {
+    slot.valid = !slot.valid;
+    return;
+  }
+  offset -= 1;
+  if (offset < 12) {
+    slot.vpn ^= 1u << offset;
+    return;
+  }
+  offset -= 12;
+  if (offset < 12) {
+    slot.ppn ^= 1u << offset;
+    return;
+  }
+  offset -= 12;
+  slot.perms ^= static_cast<std::uint8_t>(1u << offset);
+}
+
+}  // namespace sefi::microarch

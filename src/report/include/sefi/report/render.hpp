@@ -1,0 +1,57 @@
+// ASCII renderers reproducing the paper's tables and figures.
+//
+// Each renderer takes finished campaign data and prints the same rows or
+// series the paper reports (values differ — our substrate is a simulator
+// — but the structure and the comparisons match; see EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sefi/core/lab.hpp"
+
+namespace sefi::report {
+
+/// Table I row: simulation throughput of one abstraction layer.
+struct ThroughputRow {
+  std::string layer;
+  std::string model;
+  double cycles_per_second = 0;
+};
+std::string render_table1(const std::vector<ThroughputRow>& rows);
+
+/// Table II: setup attributes of the two methodologies.
+std::string render_table2(const core::LabConfig& config);
+
+/// Table III: benchmark inputs and characteristics.
+std::string render_table3();
+
+/// Table IV: min/max/avg re-adjusted error margin per component across
+/// the workloads of a finished FI sweep.
+std::string render_table4(const std::vector<fi::WorkloadFiResult>& sweep);
+
+/// Fig. 3: beam FIT rates (SDC / AppCrash / SysCrash) per benchmark.
+std::string render_fig3(const std::vector<beam::BeamResult>& results);
+
+/// Fig. 4: FI outcome classification per benchmark and component
+/// (Masked / SDC / AppCrash / SysCrash shares; AVF = non-masked).
+std::string render_fig4(const std::vector<fi::WorkloadFiResult>& sweep);
+
+/// Fig. 5: fault-injection FIT rates after AVF->FIT conversion.
+struct FiFitRow {
+  std::string workload;
+  core::FiFitRates rates;
+};
+std::string render_fig5(const std::vector<FiFitRow>& rows,
+                        double fit_raw_per_bit);
+
+/// Figs. 6-9: beam-vs-FI fold-difference charts. `clazz` selects the
+/// failure class: "sdc", "app", "sys", or "sdc+app".
+std::string render_fold_figure(const std::string& title,
+                               const std::string& clazz,
+                               const std::vector<core::WorkloadComparison>& sweep);
+
+/// Fig. 10: aggregate FIT overview (the beam >= real >= FI sandwich).
+std::string render_fig10(const core::AggregateComparison& agg);
+
+}  // namespace sefi::report

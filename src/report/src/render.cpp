@@ -1,0 +1,268 @@
+#include "sefi/report/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sefi/microarch/component.hpp"
+#include "sefi/support/strings.hpp"
+
+namespace sefi::report {
+
+namespace {
+
+using support::format_sci;
+using support::format_sig;
+using support::pad_left;
+using support::pad_right;
+
+std::string rule(std::size_t width) { return std::string(width, '-') + "\n"; }
+
+/// Log-scale ASCII bar for fold-difference charts.
+std::string log_bar(double magnitude, bool positive, int max_chars = 30) {
+  const double logv = std::log10(std::max(magnitude, 1.0));
+  const int len = std::min(
+      max_chars, static_cast<int>(std::lround(logv * 10.0)));
+  std::string bar(static_cast<std::size_t>(std::max(len, 0)),
+                  positive ? '>' : '<');
+  return bar;
+}
+
+double class_fold(const core::WorkloadComparison& c, const std::string& clazz,
+                  bool& beam_higher) {
+  stats::FoldDifference fold;
+  if (clazz == "sdc") {
+    fold = c.sdc_fold();
+  } else if (clazz == "app") {
+    fold = c.app_crash_fold();
+  } else if (clazz == "sys") {
+    fold = c.sys_crash_fold();
+  } else {
+    fold = c.sdc_plus_app_fold();
+  }
+  beam_higher = fold.beam_higher;
+  return fold.magnitude;
+}
+
+}  // namespace
+
+std::string render_table1(const std::vector<ThroughputRow>& rows) {
+  std::ostringstream os;
+  os << "TABLE I: Performance of different abstraction layer models\n";
+  os << rule(72);
+  os << pad_right("Abstraction Layer", 20) << pad_right("Model", 36)
+     << pad_left("Cycles/sec", 14) << "\n";
+  os << rule(72);
+  for (const ThroughputRow& row : rows) {
+    os << pad_right(row.layer, 20) << pad_right(row.model, 36)
+       << pad_left(format_sci(row.cycles_per_second), 14) << "\n";
+  }
+  os << rule(72);
+  return os.str();
+}
+
+std::string render_table2(const core::LabConfig& config) {
+  const auto& uarch = config.fi.rig.uarch;
+  auto cache = [](const microarch::CacheGeometry& g) {
+    return std::to_string(g.size_bytes / 1024) + " KB " +
+           std::to_string(g.ways) + "-way";
+  };
+  std::ostringstream os;
+  os << "TABLE II: Summary of setup attributes\n";
+  os << rule(64);
+  os << pad_right("Property", 20) << pad_right("Beam (sim)", 22)
+     << pad_right("FI (detailed model)", 22) << "\n";
+  os << rule(64);
+  os << pad_right("Microarchitecture", 20) << pad_right("SEFI-A9", 22)
+     << pad_right("SEFI-A9", 22) << "\n";
+  os << pad_right("Platform", 20) << pad_right("Zynq-like (w/ platform", 22)
+     << pad_right("modeled arrays only", 22) << "\n";
+  os << pad_right("", 20) << pad_right("  logic inventory)", 22)
+     << pad_right("", 22) << "\n";
+  os << pad_right("CPU cores", 20) << pad_right("1", 22) << pad_right("1", 22)
+     << "\n";
+  os << pad_right("L1 Cache", 20) << pad_right(cache(uarch.l1d), 22)
+     << pad_right(cache(uarch.l1d), 22) << "\n";
+  os << pad_right("L2 Cache", 20) << pad_right(cache(uarch.l2), 22)
+     << pad_right(cache(uarch.l2), 22) << "\n";
+  os << pad_right("Kernel", 20) << pad_right("SEFI mini-kernel", 22)
+     << pad_right("SEFI mini-kernel", 22) << "\n";
+  os << pad_right("Timer IRQ (cyc)", 20)
+     << pad_right(std::to_string(config.beam.kernel.timer_interval_cycles),
+                  22)
+     << pad_right(std::to_string(config.fi.rig.kernel.timer_interval_cycles),
+                  22)
+     << "\n";
+  os << rule(64);
+  return os.str();
+}
+
+std::string render_table3() {
+  std::ostringstream os;
+  os << "TABLE III: Input used and benchmark characteristics\n";
+  os << rule(110);
+  os << pad_right("BENCHMARK", 14) << pad_right("INPUT (scaled)", 46)
+     << pad_right("CHARACTERISTICS", 42) << "\n";
+  os << rule(110);
+  for (const workloads::Workload* w : workloads::all_workloads()) {
+    os << pad_right(w->info().name, 14) << pad_right(w->info().input, 46)
+       << pad_right(w->info().characteristics, 42) << "\n";
+  }
+  os << rule(110);
+  os << "(paper inputs: ";
+  bool first = true;
+  for (const workloads::Workload* w : workloads::all_workloads()) {
+    if (!first) os << "; ";
+    os << w->info().name << "=" << w->info().paper_input;
+    first = false;
+  }
+  os << ")\n";
+  return os.str();
+}
+
+std::string render_table4(const std::vector<fi::WorkloadFiResult>& sweep) {
+  std::ostringstream os;
+  os << "TABLE IV: Min, max, and average re-adjusted error margin per "
+        "component across workloads\n";
+  os << rule(58);
+  os << pad_right("Component", 16) << pad_left("Min Err", 12)
+     << pad_left("Max Err", 12) << pad_left("Avg Err", 12) << "\n";
+  os << rule(58);
+  for (const auto kind : microarch::kAllComponents) {
+    double min_err = 1.0, max_err = 0.0, sum = 0.0;
+    for (const fi::WorkloadFiResult& result : sweep) {
+      const double margin = result.component(kind).error_margin;
+      min_err = std::min(min_err, margin);
+      max_err = std::max(max_err, margin);
+      sum += margin;
+    }
+    const double avg =
+        sweep.empty() ? 0.0 : sum / static_cast<double>(sweep.size());
+    os << pad_right(microarch::component_name(kind), 16)
+       << pad_left(format_sig(min_err * 100, 2) + " %", 12)
+       << pad_left(format_sig(max_err * 100, 2) + " %", 12)
+       << pad_left(format_sig(avg * 100, 2) + " %", 12) << "\n";
+  }
+  os << rule(58);
+  return os.str();
+}
+
+std::string render_fig3(const std::vector<beam::BeamResult>& results) {
+  std::ostringstream os;
+  os << "FIG 3: Beam FIT rates for SDCs, Application Crashes and System "
+        "Crashes\n";
+  os << rule(86);
+  os << pad_right("Benchmark", 14) << pad_left("SDC FIT", 12)
+     << pad_left("AppCrash FIT", 14) << pad_left("SysCrash FIT", 14)
+     << pad_left("runs", 8) << pad_left("events", 8)
+     << pad_left("Myears-eq", 12) << "\n";
+  os << rule(86);
+  for (const beam::BeamResult& r : results) {
+    os << pad_right(r.workload, 14) << pad_left(format_sig(r.fit_sdc()), 12)
+       << pad_left(format_sig(r.fit_app_crash()), 14)
+       << pad_left(format_sig(r.fit_sys_crash()), 14)
+       << pad_left(std::to_string(r.runs), 8)
+       << pad_left(std::to_string(r.sdc + r.app_crash + r.sys_crash), 8)
+       << pad_left(format_sig(r.natural_years() / 1e6), 12) << "\n";
+  }
+  os << rule(86);
+  return os.str();
+}
+
+std::string render_fig4(const std::vector<fi::WorkloadFiResult>& sweep) {
+  std::ostringstream os;
+  os << "FIG 4: Fault injection effects classification (per component)\n";
+  os << rule(92);
+  os << pad_right("Benchmark", 14) << pad_right("Component", 10)
+     << pad_left("Masked%", 10) << pad_left("SDC%", 8)
+     << pad_left("AppCr%", 8) << pad_left("SysCr%", 8)
+     << pad_left("AVF%", 8) << pad_left("margin%", 10) << "\n";
+  os << rule(92);
+  for (const fi::WorkloadFiResult& result : sweep) {
+    for (const auto kind : microarch::kAllComponents) {
+      const fi::ComponentResult& comp = result.component(kind);
+      const auto n = static_cast<double>(comp.counts.total());
+      auto pct = [n](std::uint64_t count) {
+        return n == 0 ? 0.0 : 100.0 * static_cast<double>(count) / n;
+      };
+      os << pad_right(result.workload, 14)
+         << pad_right(microarch::component_name(kind), 10)
+         << pad_left(format_sig(pct(comp.counts.masked)), 10)
+         << pad_left(format_sig(pct(comp.counts.sdc)), 8)
+         << pad_left(format_sig(pct(comp.counts.app_crash)), 8)
+         << pad_left(format_sig(pct(comp.counts.sys_crash)), 8)
+         << pad_left(format_sig(comp.avf() * 100), 8)
+         << pad_left(format_sig(comp.error_margin * 100, 2), 10) << "\n";
+    }
+  }
+  os << rule(92);
+  return os.str();
+}
+
+std::string render_fig5(const std::vector<FiFitRow>& rows,
+                        double fit_raw_per_bit) {
+  std::ostringstream os;
+  os << "FIG 5: Fault Injection FIT rates (AVF -> FIT conversion, FIT_raw = "
+     << format_sci(fit_raw_per_bit) << " FIT/bit)\n";
+  os << rule(66);
+  os << pad_right("Benchmark", 14) << pad_left("SDC FIT", 12)
+     << pad_left("AppCrash FIT", 14) << pad_left("SysCrash FIT", 14)
+     << pad_left("Total", 10) << "\n";
+  os << rule(66);
+  for (const FiFitRow& row : rows) {
+    os << pad_right(row.workload, 14)
+       << pad_left(format_sig(row.rates.sdc), 12)
+       << pad_left(format_sig(row.rates.app_crash), 14)
+       << pad_left(format_sig(row.rates.sys_crash), 14)
+       << pad_left(format_sig(row.rates.total()), 10) << "\n";
+  }
+  os << rule(66);
+  return os.str();
+}
+
+std::string render_fold_figure(
+    const std::string& title, const std::string& clazz,
+    const std::vector<core::WorkloadComparison>& sweep) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << "(positive '>' bars: beam FIT higher; negative '<': FI higher; bar "
+        "length is log10-scaled)\n";
+  os << rule(78);
+  for (const core::WorkloadComparison& c : sweep) {
+    bool beam_higher = true;
+    const double fold = class_fold(c, clazz, beam_higher);
+    std::ostringstream value;
+    value << (beam_higher ? "+" : "-") << format_sig(fold) << "x";
+    os << pad_right(c.workload, 14) << pad_left(value.str(), 10) << "  "
+       << log_bar(fold, beam_higher) << "\n";
+  }
+  os << rule(78);
+  return os.str();
+}
+
+std::string render_fig10(const core::AggregateComparison& agg) {
+  std::ostringstream os;
+  os << "FIG 10: Overview of beam vs fault-injection FIT rates (suite "
+        "averages)\n";
+  os << rule(70);
+  os << pad_right("Class", 22) << pad_left("FI FIT", 12)
+     << pad_left("Beam FIT", 12) << pad_left("Beam/FI", 12) << "\n";
+  os << rule(70);
+  os << pad_right("SDC", 22) << pad_left(format_sig(agg.fi_sdc), 12)
+     << pad_left(format_sig(agg.beam_sdc), 12)
+     << pad_left(format_sig(agg.sdc_gap()) + "x", 12) << "\n";
+  os << pad_right("SDC + AppCrash", 22)
+     << pad_left(format_sig(agg.fi_sdc_app), 12)
+     << pad_left(format_sig(agg.beam_sdc_app), 12)
+     << pad_left(format_sig(agg.sdc_app_gap()) + "x", 12) << "\n";
+  os << pad_right("Total (+SysCrash)", 22)
+     << pad_left(format_sig(agg.fi_total), 12)
+     << pad_left(format_sig(agg.beam_total), 12)
+     << pad_left(format_sig(agg.total_gap()) + "x", 12) << "\n";
+  os << rule(70);
+  os << "Expected real FIT lies between the FI (under-) and beam (over-) "
+        "estimates (Fig. 1).\n";
+  return os.str();
+}
+
+}  // namespace sefi::report

@@ -1,0 +1,27 @@
+// Memory access result types shared by all microarchitecture models.
+#pragma once
+
+#include <cstdint>
+
+namespace sefi::sim {
+
+/// Faults a memory access can raise. These become guest exceptions
+/// (prefetch abort for fetches, data abort for loads/stores).
+enum class MemFault : std::uint8_t {
+  kNone = 0,
+  kUnmapped,    ///< address outside RAM/MMIO or invalid PTE
+  kPermission,  ///< user access to a kernel page / write to RO page / MMIO
+  kUnaligned,   ///< address not aligned to access size
+};
+
+struct MemResult {
+  MemFault fault = MemFault::kNone;
+  std::uint32_t data = 0;
+
+  bool ok() const { return fault == MemFault::kNone; }
+};
+
+/// Kind of data access, used for permission checks.
+enum class AccessKind : std::uint8_t { kFetch, kLoad, kStore };
+
+}  // namespace sefi::sim

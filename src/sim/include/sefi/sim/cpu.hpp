@@ -1,0 +1,130 @@
+// SEFI-A9 CPU core: architectural semantics.
+//
+// One implementation of the ISA's semantics, parameterized by a UarchModel
+// (memory system + timing) and a RegFileModel. Exceptions follow a
+// simplified ARM scheme: a single kernel mode, banked ELR/SPSR, a banked
+// stack pointer (exception entry swaps in the kernel SP; ERET swaps the
+// user SP back, and the kernel can set it with msr_usp), a vector table at
+// physical 0x0, and ERET to return. An exception raised while a
+// previous exception is still being handled (no intervening ERET) is a
+// double fault and halts the machine — the real hardware would clobber its
+// banked registers, which is equally unrecoverable.
+//
+// Guest ABI conventions (used by the kernel and all workloads):
+//   - syscall number in r7, arguments in r0..r2, result in r0
+//   - sp = r13 (full descending), lr = r14
+#pragma once
+
+#include <cstdint>
+
+#include "sefi/isa/isa.hpp"
+#include "sefi/sim/devices.hpp"
+#include "sefi/sim/uarch_iface.hpp"
+
+namespace sefi::sim {
+
+/// Exception vector indices; vector table entry i is the instruction at
+/// physical address 4*i.
+enum class Vector : std::uint8_t {
+  kReset = 0,
+  kUndef = 1,
+  kSvc = 2,
+  kPrefetchAbort = 3,
+  kDataAbort = 4,
+  kIrq = 5,
+};
+inline constexpr unsigned kNumVectors = 6;
+
+/// Why the CPU stopped stepping.
+enum class CpuStop : std::uint8_t {
+  kRunning = 0,
+  kHalted,       ///< HLT executed (kernel panic backstop)
+  kDoubleFault,  ///< exception inside an exception handler
+};
+
+/// Syscall numbers implemented by the mini-kernel.
+namespace sysno {
+inline constexpr std::uint32_t kExit = 1;
+inline constexpr std::uint32_t kWrite = 2;   ///< r0 = ptr, r1 = len
+inline constexpr std::uint32_t kAlive = 3;
+inline constexpr std::uint32_t kPutc = 4;    ///< r0 = byte
+}  // namespace sysno
+
+class Cpu {
+ public:
+  Cpu(UarchModel& uarch, RegFileModel& regs, DeviceBlock& devices);
+
+  /// Hardware reset: kernel mode, IRQs masked, MMU off, pc = reset vector.
+  void reset();
+
+  /// Executes one instruction or takes a pending enabled IRQ. Returns the
+  /// number of cycles consumed (base cost + microarchitectural stalls).
+  /// No-op when stopped.
+  std::uint64_t step();
+
+  CpuStop stop_reason() const { return stop_; }
+  bool running() const { return stop_ == CpuStop::kRunning; }
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t instructions() const { return instret_; }
+
+  // Architectural state access (harness, tests, context dumps).
+  std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+  std::uint32_t cpsr() const { return cpsr_; }
+  void set_cpsr(std::uint32_t v) { cpsr_ = v; }
+  std::uint32_t reg(unsigned index) const;
+  void set_reg(unsigned index, std::uint32_t value);
+
+  bool kernel_mode() const { return (cpsr_ & isa::cpsr::kModeKernel) != 0; }
+  bool mmu_enabled() const { return (cpsr_ & isa::cpsr::kMmuEnable) != 0; }
+
+  /// Host-forced re-entry into kernel code at `pc` (models the experiment
+  /// harness killing a hung application and restarting it, as the beam
+  /// setup does over its host link). Enters kernel mode with IRQs masked,
+  /// clears any in-flight exception state, and keeps the MMU bit.
+  void force_kernel_entry(std::uint32_t pc);
+
+  /// Complete architectural + bookkeeping state (checkpointing).
+  struct State {
+    std::uint32_t pc = 0;
+    std::uint32_t cpsr = 0;
+    std::uint32_t elr = 0;
+    std::uint32_t spsr = 0;
+    std::uint32_t banked_usp = 0;
+    bool in_exception = false;
+    CpuStop stop = CpuStop::kRunning;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+  };
+  State save_state() const;
+  void restore_state(const State& state);
+
+ private:
+  void enter_exception(Vector vec, std::uint32_t return_pc);
+  void raise_undef();
+  void raise_mem_fault(Vector vec);
+  void set_flags_sub(std::uint32_t a, std::uint32_t b);
+  void set_flags_fcmp(float a, float b);
+  void execute(const isa::Instruction& inst);
+
+  UarchModel& uarch_;
+  RegFileModel& regs_;
+  DeviceBlock& devices_;
+
+  std::uint32_t pc_ = 0;
+  std::uint32_t cpsr_ = 0;
+  std::uint32_t elr_ = 0;
+  std::uint32_t spsr_ = 0;
+  std::uint32_t banked_usp_ = 0;  ///< user SP while in an exception
+  bool in_exception_ = false;
+  CpuStop stop_ = CpuStop::kRunning;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instret_ = 0;
+};
+
+/// Base cycle cost of an instruction (detailed-model issue cost; the
+/// functional model uses it too so "atomic" cycle counts are comparable).
+unsigned base_cost(isa::Opcode op);
+
+}  // namespace sefi::sim

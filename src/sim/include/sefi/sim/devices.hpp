@@ -1,0 +1,70 @@
+// MMIO devices: UART console, host interface, and the periodic timer.
+//
+// The host interface mirrors the role of the serial/ethernet link in the
+// paper's beam setup: the guest reports "alive" heartbeats, application
+// output, normal exits, application crashes (kernel killed the app), and
+// kernel panics; the experiment harness observes these as events.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sefi/sim/memmap.hpp"
+
+namespace sefi::sim {
+
+/// An event surfaced to the experiment harness by a device write.
+enum class HostEventKind : std::uint8_t {
+  kExit,      ///< guest app exited; payload = exit code
+  kAppCrash,  ///< kernel killed the app; payload = reason code
+  kPanic,     ///< kernel panic; payload = reason code
+};
+
+struct HostEvent {
+  HostEventKind kind;
+  std::uint32_t payload;
+};
+
+class DeviceBlock {
+ public:
+  /// True if `addr` falls in the MMIO window.
+  static bool contains(std::uint32_t addr) {
+    return addr >= kMmioBase && addr < kMmioLimit;
+  }
+
+  /// MMIO read; unknown registers read as zero.
+  std::uint32_t read(std::uint32_t addr) const;
+
+  /// MMIO write. Host-interface writes stash an event retrievable with
+  /// take_host_event().
+  void write(std::uint32_t addr, std::uint32_t value);
+
+  /// Returns and clears the pending host event, if any. At most one event
+  /// can be pending: the Machine drains it after every instruction.
+  std::optional<HostEvent> take_host_event();
+
+  /// Advances device time by `cycles`; the timer may raise its IRQ line.
+  void tick(std::uint64_t cycles);
+
+  /// Level-triggered timer IRQ line (cleared by kTimerAck).
+  bool irq_pending() const { return timer_pending_; }
+
+  const std::string& console() const { return console_; }
+  std::uint64_t alive_count() const { return alive_count_; }
+  std::uint64_t jiffies() const { return jiffies_; }
+
+  void reset();
+
+ private:
+  std::string console_;
+  std::uint64_t alive_count_ = 0;
+  std::optional<HostEvent> pending_event_;
+  bool timer_enabled_ = false;
+  bool timer_pending_ = false;
+  std::uint64_t timer_interval_ = 0;
+  std::uint64_t timer_countdown_ = 0;
+  std::uint64_t jiffies_ = 0;
+};
+
+}  // namespace sefi::sim

@@ -1,0 +1,65 @@
+// Functional ("atomic") microarchitecture model.
+//
+// The equivalent of gem5's atomic CPU in the paper's Table I: correct
+// architectural semantics, no caches, no TLBs, one cycle per access. Used
+// for fast workload validation and for the abstraction-layer throughput
+// comparison; fault-injection campaigns use the detailed model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sefi/sim/devices.hpp"
+#include "sefi/sim/phys_mem.hpp"
+#include "sefi/sim/uarch_iface.hpp"
+
+namespace sefi::sim {
+
+/// Plain architectural register file (no renaming, not injectable).
+class SimpleRegFile final : public RegFileModel {
+ public:
+  std::uint32_t read(unsigned arch_reg) override { return regs_[arch_reg]; }
+  void write(unsigned arch_reg, std::uint32_t value) override {
+    regs_[arch_reg] = value;
+  }
+  void reset() override { regs_.fill(0); }
+
+  std::unique_ptr<OpaqueState> save_state() const override;
+  void restore_state(const OpaqueState& state) override;
+
+ private:
+  std::array<std::uint32_t, 16> regs_{};
+};
+
+class FunctionalModel final : public UarchModel {
+ public:
+  FunctionalModel(PhysicalMemory& mem, DeviceBlock& devices)
+      : mem_(mem), devices_(devices) {}
+
+  MemResult fetch(std::uint32_t va, bool kernel_mode,
+                  bool mmu_enabled) override;
+  MemResult read(std::uint32_t va, unsigned size, bool kernel_mode,
+                 bool mmu_enabled) override;
+  MemFault write(std::uint32_t va, unsigned size, std::uint32_t value,
+                 bool kernel_mode, bool mmu_enabled) override;
+  void on_branch(std::uint32_t pc, bool taken, std::uint32_t target) override;
+  std::uint64_t drain_extra_cycles() override { return 0; }
+  const PerfCounters& counters() const override { return counters_; }
+  void reset() override;
+  void flush_tlbs() override {}  // no TLBs in the atomic model
+  void invalidate_range(std::uint32_t, std::uint32_t) override {}
+  std::unique_ptr<OpaqueState> save_state() const override;
+  void restore_state(const OpaqueState& state) override;
+
+ private:
+  /// Translates `va` for `kind`; returns physical address in `data` or a
+  /// fault. MMIO addresses pass through untranslated (kernel only).
+  MemResult translate(std::uint32_t va, AccessKind kind, bool kernel_mode,
+                      bool mmu_enabled);
+
+  PhysicalMemory& mem_;
+  DeviceBlock& devices_;
+  PerfCounters counters_;
+};
+
+}  // namespace sefi::sim

@@ -1,0 +1,113 @@
+// Full-system machine: CPU + RAM + devices + a pluggable uarch model.
+//
+// The Machine is the unit both assessment methodologies drive:
+//   - fault injection boots it cold, runs one workload execution, and
+//     classifies the outcome against a golden run;
+//   - the beam simulator keeps one Machine powered for a whole session,
+//     re-loading the application between runs exactly like the paper's
+//     LANSCE setup restarted benchmarks, so caches stay warm with kernel
+//     state (the effect behind the paper's System-Crash asymmetry).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sefi/isa/assembler.hpp"
+#include "sefi/sim/cpu.hpp"
+#include "sefi/sim/devices.hpp"
+#include "sefi/sim/phys_mem.hpp"
+#include "sefi/sim/uarch_iface.hpp"
+
+namespace sefi::sim {
+
+/// Why Machine::run returned.
+enum class RunEventKind : std::uint8_t {
+  kExit,         ///< guest app exited; payload = exit code
+  kAppCrash,     ///< kernel killed the app; payload = reason
+  kPanic,        ///< kernel panic; payload = reason
+  kHalted,       ///< CPU executed HLT
+  kDoubleFault,  ///< nested exception; system dead
+  kCycleLimit,   ///< watchdog budget exhausted (hang)
+};
+
+struct RunEvent {
+  RunEventKind kind;
+  std::uint32_t payload = 0;
+};
+
+/// Builds the uarch model against the machine-owned memory and devices.
+using ModelFactory = std::function<std::unique_ptr<UarchModel>(
+    PhysicalMemory&, DeviceBlock&)>;
+
+class Machine {
+ public:
+  Machine(const ModelFactory& factory, std::unique_ptr<RegFileModel> regs);
+
+  /// Convenience: machine with the functional ("atomic") model.
+  static Machine make_functional();
+
+  /// Loads a program image into RAM through the loader backdoor,
+  /// invalidating any cached copies of the overwritten range.
+  void load_image(const isa::Program& program);
+
+  /// Writes the boot-info block consumed by the kernel at spawn time.
+  void set_boot_info(std::uint32_t user_entry, std::uint32_t user_sp);
+
+  /// Cold boot: resets CPU, devices, and all microarchitectural state.
+  /// RAM contents (loaded images) are preserved.
+  void boot();
+
+  /// Full-machine checkpoint (the gem5-checkpoint role in GeFIN-style
+  /// campaigns): RAM, devices, CPU, microarchitectural state, and the
+  /// register file. Restoring resumes execution bit-exactly from the
+  /// capture point — an injection rig snapshots once after boot and
+  /// restores per experiment instead of re-booting.
+  struct Snapshot {
+    PhysicalMemory memory;
+    DeviceBlock devices;
+    Cpu::State cpu;
+    std::unique_ptr<OpaqueState> uarch;
+    std::unique_ptr<OpaqueState> regfile;
+  };
+  Snapshot save_snapshot() const;
+  /// Restores a snapshot taken from a machine with the same model
+  /// configuration (throws SefiError otherwise).
+  void restore_snapshot(const Snapshot& snapshot);
+
+  /// Runs until a host event, CPU stop, or the cycle budget is exhausted.
+  /// `max_cycles` is an absolute cycle count (not a delta), so repeated
+  /// calls share one budget.
+  RunEvent run(std::uint64_t max_cycles);
+
+  /// Runs until the CPU's cycle counter reaches `target_cycle` (used to
+  /// position fault injections). Returns an event only if the machine
+  /// stops before reaching the target.
+  std::optional<RunEvent> run_until_cycle(std::uint64_t target_cycle);
+
+  const std::string& console() const { return devices_->console(); }
+  std::uint64_t jiffies() const { return devices_->jiffies(); }
+
+  Cpu& cpu() { return *cpu_; }
+  const Cpu& cpu() const { return *cpu_; }
+  PhysicalMemory& memory() { return *mem_; }
+  DeviceBlock& devices() { return *devices_; }
+  UarchModel& uarch() { return *uarch_; }
+  RegFileModel& regfile() { return *regs_; }
+  const PerfCounters& counters() const { return uarch_->counters(); }
+
+ private:
+  std::optional<RunEvent> poll_events();
+
+  // All state sits behind unique_ptr so Machine is safely movable: the
+  // CPU and uarch model hold references into memory/devices, and those
+  // referents must not change address when a Machine moves.
+  std::unique_ptr<PhysicalMemory> mem_;
+  std::unique_ptr<DeviceBlock> devices_;
+  std::unique_ptr<UarchModel> uarch_;
+  std::unique_ptr<RegFileModel> regs_;
+  std::unique_ptr<Cpu> cpu_;
+};
+
+}  // namespace sefi::sim

@@ -1,0 +1,70 @@
+// Physical memory map of the simulated SEFI-A9 platform.
+//
+// The platform models a Zynq-like SoC: one CPU, 16 MB of RAM, and a small
+// MMIO block (UART, host interface, timer). The kernel image sits at the
+// bottom of RAM (the vector table is its first 24 bytes), followed by
+// kernel data, kernel stack, and the page table. User programs are loaded
+// at kUserBase.
+#pragma once
+
+#include <cstdint>
+
+namespace sefi::sim {
+
+inline constexpr std::uint32_t kRamBase = 0x0000'0000;
+inline constexpr std::uint32_t kRamSize = 0x0100'0000;  // 16 MB
+inline constexpr std::uint32_t kPageSize = 4096;
+inline constexpr std::uint32_t kPageShift = 12;
+inline constexpr std::uint32_t kNumPages = kRamSize / kPageSize;  // 4096
+
+// Kernel layout.
+inline constexpr std::uint32_t kKernelBase = 0x0000'0000;
+inline constexpr std::uint32_t kKernelCodeLimit = 0x0000'4000;   // 16 KB
+inline constexpr std::uint32_t kKernelDataBase = 0x0000'4000;    // 8 KB
+inline constexpr std::uint32_t kKernelDataLimit = 0x0000'6000;
+inline constexpr std::uint32_t kKernelStackTop = 0x0000'8000;    // grows down
+inline constexpr std::uint32_t kPageTableBase = 0x0000'8000;     // 16 KB
+inline constexpr std::uint32_t kPageTableLimit = 0x0000'C000;
+
+// Boot info block, written by the loader, read by the kernel.
+inline constexpr std::uint32_t kBootInfoBase = kKernelDataBase;
+inline constexpr std::uint32_t kBootUserEntry = kBootInfoBase + 0;
+inline constexpr std::uint32_t kBootUserSp = kBootInfoBase + 4;
+/// Kernel-maintained jiffies counter (incremented per timer IRQ); the host
+/// watchdog reads it to tell "app hung, kernel alive" from "system dead".
+inline constexpr std::uint32_t kKernelJiffies = kBootInfoBase + 8;
+
+// User layout.
+inline constexpr std::uint32_t kUserBase = 0x0001'0000;
+inline constexpr std::uint32_t kUserStackTop = 0x00F0'0000;  // grows down
+
+// MMIO block (kernel-only, untranslated).
+inline constexpr std::uint32_t kMmioBase = 0xF000'0000;
+inline constexpr std::uint32_t kUartTx = 0xF000'0000;
+inline constexpr std::uint32_t kHostAlive = 0xF000'0004;
+inline constexpr std::uint32_t kHostExit = 0xF000'0008;
+inline constexpr std::uint32_t kHostAppCrash = 0xF000'000C;
+inline constexpr std::uint32_t kHostPanic = 0xF000'0010;
+inline constexpr std::uint32_t kTimerCtrl = 0xF000'1000;
+inline constexpr std::uint32_t kTimerInterval = 0xF000'1004;
+inline constexpr std::uint32_t kTimerAck = 0xF000'1008;
+inline constexpr std::uint32_t kTimerJiffies = 0xF000'100C;
+inline constexpr std::uint32_t kMmioLimit = 0xF000'2000;
+
+/// Page table entry layout: [23:12] PPN, bit3 user-exec, bit2 user-write,
+/// bit1 user-read, bit0 valid. Kernel mode has full access to valid pages.
+namespace pte {
+inline constexpr std::uint32_t kValid = 1u << 0;
+inline constexpr std::uint32_t kUserRead = 1u << 1;
+inline constexpr std::uint32_t kUserWrite = 1u << 2;
+inline constexpr std::uint32_t kUserExec = 1u << 3;
+
+constexpr std::uint32_t make(std::uint32_t ppn, std::uint32_t perms) {
+  return (ppn << 12) | perms;
+}
+constexpr std::uint32_t ppn(std::uint32_t entry) {
+  return (entry >> 12) & 0xfffu;
+}
+}  // namespace pte
+
+}  // namespace sefi::sim

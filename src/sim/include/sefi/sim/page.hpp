@@ -1,0 +1,40 @@
+// Hardware page-table walker.
+//
+// The MMU uses a single-level page table of kNumPages 32-bit entries at
+// kPageTableBase, covering the 16 MB RAM virtual range with 4 KB pages.
+// The kernel builds an identity mapping at boot with per-page user
+// permissions. The walker reads PTEs from *physical* memory; in the
+// microarchitectural model the walk is routed through the cache hierarchy
+// (PTEs are cacheable, so beam strikes on cached PTEs corrupt translations).
+#pragma once
+
+#include <cstdint>
+
+#include "sefi/sim/access.hpp"
+#include "sefi/sim/memmap.hpp"
+
+namespace sefi::sim {
+
+/// A translation as cached by the TLBs.
+struct Translation {
+  std::uint32_t ppn = 0;
+  std::uint8_t perms = 0;  ///< pte::kUserRead/Write/Exec bits
+};
+
+/// Checks whether `kind` in `kernel_mode` is allowed by PTE `perms`.
+/// Kernel mode has full access; user mode needs the matching bit.
+bool access_allowed(std::uint8_t perms, AccessKind kind, bool kernel_mode);
+
+/// Walks the page table for virtual page `vpn`. Returns kUnmapped for
+/// invalid entries. `pte_reader` abstracts how the PTE word is fetched
+/// (direct physical read in the functional model, via L2 in the detailed
+/// model).
+template <typename PteReader>
+MemResult walk_page_table(std::uint32_t vpn, PteReader&& pte_reader) {
+  if (vpn >= kNumPages) return {MemFault::kUnmapped, 0};
+  const std::uint32_t entry = pte_reader(kPageTableBase + vpn * 4);
+  if ((entry & pte::kValid) == 0) return {MemFault::kUnmapped, 0};
+  return {MemFault::kNone, entry};
+}
+
+}  // namespace sefi::sim

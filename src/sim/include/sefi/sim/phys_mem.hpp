@@ -1,0 +1,45 @@
+// Flat physical RAM model with a loader backdoor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sefi/sim/memmap.hpp"
+
+namespace sefi::sim {
+
+class PhysicalMemory {
+ public:
+  PhysicalMemory();
+
+  /// Aligned accesses only; callers are responsible for range/alignment
+  /// checks (the MMU rejects out-of-range addresses before reaching here).
+  std::uint8_t read8(std::uint32_t addr) const;
+  std::uint16_t read16(std::uint32_t addr) const;
+  std::uint32_t read32(std::uint32_t addr) const;
+  void write8(std::uint32_t addr, std::uint8_t value);
+  void write16(std::uint32_t addr, std::uint16_t value);
+  void write32(std::uint32_t addr, std::uint32_t value);
+
+  /// True if [addr, addr+size) lies inside RAM.
+  static bool in_ram(std::uint32_t addr, std::uint32_t size) {
+    return addr < kRamSize && size <= kRamSize - addr;
+  }
+
+  /// Loader/DMA backdoor: copies bytes into RAM without going through the
+  /// CPU. Cache coherence is the caller's responsibility (Machine
+  /// invalidates matching lines on warm machines).
+  void backdoor_write(std::uint32_t addr, std::span<const std::uint8_t> data);
+  void backdoor_fill(std::uint32_t addr, std::uint32_t size,
+                     std::uint8_t value);
+  std::span<const std::uint8_t> backdoor_read(std::uint32_t addr,
+                                              std::uint32_t size) const;
+
+  void clear();
+
+ private:
+  std::vector<std::uint8_t> ram_;
+};
+
+}  // namespace sefi::sim

@@ -1,0 +1,26 @@
+// Execution tracer: steps a machine and renders a per-instruction log —
+// address, disassembly, mode, and changed registers. A debugging aid for
+// guest-code authors (workloads, kernels) and for post-morteming single
+// fault injections; not used on campaign hot paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sefi/sim/machine.hpp"
+
+namespace sefi::sim {
+
+struct TraceOptions {
+  std::uint64_t max_instructions = 100;
+  bool show_registers = true;  ///< append "rX=... ->" deltas per line
+};
+
+/// Steps `machine` up to `options.max_instructions` instructions and
+/// returns the formatted trace. Stops early if the CPU halts. Instruction
+/// words are read through the loader backdoor at the current PC, which is
+/// exact for this platform's identity-mapped address space.
+std::string trace_execution(Machine& machine,
+                            const TraceOptions& options = {});
+
+}  // namespace sefi::sim

@@ -1,0 +1,100 @@
+// Interfaces between the CPU core and a microarchitecture model.
+//
+// The CPU implements SEFI-A9 architectural semantics once; how fetches,
+// loads, stores, branches, and register accesses behave *micro-
+// architecturally* (caches, TLBs, renamed physical register file, branch
+// prediction, cycle costs) is supplied by a UarchModel implementation:
+//   - FunctionalModel (sim):     no state, fixed 1-cycle costs ("atomic").
+//   - DetailedModel (microarch): bit-accurate arrays + timing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sefi/sim/access.hpp"
+
+namespace sefi::sim {
+
+/// Type-erased microarchitectural state snapshot. Each model implements
+/// its own concrete state type; restore_state requires a state produced
+/// by the same model type/configuration.
+struct OpaqueState {
+  virtual ~OpaqueState() = default;
+};
+
+/// The seven hardware counters compared across setups in the paper
+/// (§IV-D), plus totals needed for FIT scaling.
+struct PerfCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l1i_misses = 0;
+  std::uint64_t dtlb_misses = 0;
+  std::uint64_t itlb_misses = 0;
+  std::uint64_t l2_misses = 0;
+};
+
+/// Register file as seen by the CPU. The detailed model implements this
+/// with a renamed physical register file whose bits are fault-injectable.
+class RegFileModel {
+ public:
+  virtual ~RegFileModel() = default;
+  virtual std::uint32_t read(unsigned arch_reg) = 0;
+  virtual void write(unsigned arch_reg, std::uint32_t value) = 0;
+  virtual void reset() = 0;
+
+  /// Checkpointing (see Machine::save_snapshot).
+  virtual std::unique_ptr<OpaqueState> save_state() const = 0;
+  virtual void restore_state(const OpaqueState& state) = 0;
+};
+
+/// Memory system + timing model as seen by the CPU.
+class UarchModel {
+ public:
+  virtual ~UarchModel() = default;
+
+  /// Instruction fetch at virtual address `va` (word aligned by the CPU).
+  virtual MemResult fetch(std::uint32_t va, bool kernel_mode,
+                          bool mmu_enabled) = 0;
+
+  /// Data read of `size` bytes (1/2/4) at `va`.
+  virtual MemResult read(std::uint32_t va, unsigned size, bool kernel_mode,
+                         bool mmu_enabled) = 0;
+
+  /// Data write of `size` bytes (1/2/4) at `va`.
+  virtual MemFault write(std::uint32_t va, unsigned size, std::uint32_t value,
+                         bool kernel_mode, bool mmu_enabled) = 0;
+
+  /// Branch resolution notification (for predictor modeling). Called for
+  /// every conditional/indirect branch with the actual outcome.
+  virtual void on_branch(std::uint32_t pc, bool taken,
+                         std::uint32_t target) = 0;
+
+  /// Cycles accumulated by the model since the last drain (stalls, miss
+  /// penalties, mispredict penalties). The CPU adds these to base costs.
+  virtual std::uint64_t drain_extra_cycles() = 0;
+
+  /// Model-maintained counters (cache/TLB/branch stats).
+  virtual const PerfCounters& counters() const = 0;
+
+  /// Clears all microarchitectural state (cold boot).
+  virtual void reset() = 0;
+
+  /// Invalidates both TLBs (the tlbflush instruction; models the
+  /// context-switch flush an ASID-less OS performs on every exec).
+  virtual void flush_tlbs() = 0;
+
+  /// Checkpointing (see Machine::save_snapshot).
+  virtual std::unique_ptr<OpaqueState> save_state() const = 0;
+  virtual void restore_state(const OpaqueState& state) = 0;
+
+  /// Invalidates any cached copies of [addr, addr+size) in physical
+  /// address space (loader/DMA coherence). Dirty lines are discarded, not
+  /// written back: the loader overwrites the backing memory anyway.
+  virtual void invalidate_range(std::uint32_t addr, std::uint32_t size) = 0;
+};
+
+}  // namespace sefi::sim

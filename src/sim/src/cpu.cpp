@@ -1,0 +1,390 @@
+#include "sefi/sim/cpu.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::sim {
+
+namespace {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::Opcode;
+namespace flags = isa::cpsr;
+
+constexpr unsigned kExceptionEntryCost = 3;
+
+float as_float(std::uint32_t bits) { return std::bit_cast<float>(bits); }
+std::uint32_t as_bits(float value) { return std::bit_cast<std::uint32_t>(value); }
+
+}  // namespace
+
+unsigned base_cost(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+      return 3;
+    case Opcode::kSdiv:
+    case Opcode::kUdiv:
+      return 10;
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFcmp:
+    case Opcode::kFcvtws:
+    case Opcode::kFcvtsw:
+      return 2;
+    case Opcode::kFmul:
+      return 3;
+    case Opcode::kFdiv:
+      return 12;
+    case Opcode::kFsqrt:
+      return 14;
+    default:
+      return 1;
+  }
+}
+
+Cpu::Cpu(UarchModel& uarch, RegFileModel& regs, DeviceBlock& devices)
+    : uarch_(uarch), regs_(regs), devices_(devices) {}
+
+void Cpu::reset() {
+  pc_ = 4 * static_cast<std::uint32_t>(Vector::kReset);
+  cpsr_ = flags::kModeKernel;  // IRQs masked, MMU off
+  elr_ = 0;
+  spsr_ = 0;
+  banked_usp_ = 0;
+  in_exception_ = false;
+  stop_ = CpuStop::kRunning;
+  cycles_ = 0;
+  instret_ = 0;
+  regs_.reset();
+}
+
+std::uint32_t Cpu::reg(unsigned index) const {
+  support::require(index < isa::kNumGprs, "Cpu::reg: index out of range");
+  return regs_.read(index);
+}
+
+void Cpu::set_reg(unsigned index, std::uint32_t value) {
+  support::require(index < isa::kNumGprs, "Cpu::set_reg: index out of range");
+  regs_.write(index, value);
+}
+
+void Cpu::enter_exception(Vector vec, std::uint32_t return_pc) {
+  if (in_exception_) {
+    // The banked ELR/SPSR would be clobbered: unrecoverable.
+    stop_ = CpuStop::kDoubleFault;
+    return;
+  }
+  in_exception_ = true;
+  spsr_ = cpsr_;
+  elr_ = return_pc;
+  // Bank the interrupted context's SP and switch to the kernel stack.
+  banked_usp_ = regs_.read(13);
+  regs_.write(13, kKernelStackTop);
+  // Enter kernel mode with IRQs masked; keep MMU state and flags.
+  cpsr_ = (cpsr_ | flags::kModeKernel) & ~flags::kIrqEnable;
+  pc_ = 4 * static_cast<std::uint32_t>(vec);
+}
+
+Cpu::State Cpu::save_state() const {
+  return {pc_,        cpsr_,         elr_,   spsr_, banked_usp_,
+          in_exception_, stop_, cycles_, instret_};
+}
+
+void Cpu::restore_state(const State& state) {
+  pc_ = state.pc;
+  cpsr_ = state.cpsr;
+  elr_ = state.elr;
+  spsr_ = state.spsr;
+  banked_usp_ = state.banked_usp;
+  in_exception_ = state.in_exception;
+  stop_ = state.stop;
+  cycles_ = state.cycles;
+  instret_ = state.instructions;
+}
+
+void Cpu::force_kernel_entry(std::uint32_t pc) {
+  if (stop_ != CpuStop::kRunning) return;  // a dead machine stays dead
+  in_exception_ = false;
+  cpsr_ = (cpsr_ | flags::kModeKernel) & ~flags::kIrqEnable;
+  regs_.write(13, kKernelStackTop);
+  pc_ = pc;
+}
+
+void Cpu::raise_undef() { enter_exception(Vector::kUndef, pc_); }
+
+void Cpu::raise_mem_fault(Vector vec) { enter_exception(vec, pc_); }
+
+void Cpu::set_flags_sub(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t res = a - b;
+  std::uint32_t f = cpsr_ & ~(flags::kFlagN | flags::kFlagZ | flags::kFlagC |
+                              flags::kFlagV);
+  if (res & 0x8000'0000u) f |= flags::kFlagN;
+  if (res == 0) f |= flags::kFlagZ;
+  if (a >= b) f |= flags::kFlagC;  // no borrow
+  if (((a ^ b) & (a ^ res)) & 0x8000'0000u) f |= flags::kFlagV;
+  cpsr_ = f;
+}
+
+void Cpu::set_flags_fcmp(float a, float b) {
+  std::uint32_t f = cpsr_ & ~(flags::kFlagN | flags::kFlagZ | flags::kFlagC |
+                              flags::kFlagV);
+  if (std::isnan(a) || std::isnan(b)) {
+    f |= flags::kFlagV;  // unordered
+  } else if (a == b) {
+    f |= flags::kFlagZ | flags::kFlagC;
+  } else if (a < b) {
+    f |= flags::kFlagN;
+  } else {
+    f |= flags::kFlagC;
+  }
+  cpsr_ = f;
+}
+
+std::uint64_t Cpu::step() {
+  if (stop_ != CpuStop::kRunning) return 0;
+
+  if (devices_.irq_pending() && (cpsr_ & flags::kIrqEnable)) {
+    enter_exception(Vector::kIrq, pc_);
+    cycles_ += kExceptionEntryCost;
+    return kExceptionEntryCost;
+  }
+
+  if (pc_ % 4 != 0) {
+    raise_mem_fault(Vector::kPrefetchAbort);
+    cycles_ += kExceptionEntryCost;
+    return kExceptionEntryCost;
+  }
+  const MemResult f = uarch_.fetch(pc_, kernel_mode(), mmu_enabled());
+  if (!f.ok()) {
+    raise_mem_fault(Vector::kPrefetchAbort);
+    const std::uint64_t c = kExceptionEntryCost + uarch_.drain_extra_cycles();
+    cycles_ += c;
+    return c;
+  }
+
+  const auto decoded = isa::decode(f.data);
+  if (!decoded) {
+    raise_undef();
+    const std::uint64_t c = kExceptionEntryCost + uarch_.drain_extra_cycles();
+    cycles_ += c;
+    return c;
+  }
+
+  const std::uint64_t cycles_before = cycles_;
+  ++instret_;
+  cycles_ += base_cost(decoded->op);
+  execute(*decoded);
+  cycles_ += uarch_.drain_extra_cycles();
+  return cycles_ - cycles_before;
+}
+
+void Cpu::execute(const Instruction& inst) {
+  const std::uint32_t next_pc = pc_ + 4;
+  auto rd = [&] { return regs_.read(inst.rd); };
+  auto rn = [&] { return regs_.read(inst.rn); };
+  auto rm = [&] { return regs_.read(inst.rm); };
+  auto wr = [&](std::uint32_t v) { regs_.write(inst.rd, v); };
+  const auto uimm = static_cast<std::uint32_t>(inst.imm);
+
+  switch (inst.op) {
+    case Opcode::kAdd: wr(rn() + rm()); break;
+    case Opcode::kSub: wr(rn() - rm()); break;
+    case Opcode::kAnd: wr(rn() & rm()); break;
+    case Opcode::kOrr: wr(rn() | rm()); break;
+    case Opcode::kEor: wr(rn() ^ rm()); break;
+    case Opcode::kLsl: wr(rn() << (rm() & 31)); break;
+    case Opcode::kLsr: wr(rn() >> (rm() & 31)); break;
+    case Opcode::kAsr:
+      wr(static_cast<std::uint32_t>(static_cast<std::int32_t>(rn()) >>
+                                    (rm() & 31)));
+      break;
+    case Opcode::kMul: wr(rn() * rm()); break;
+    case Opcode::kSdiv: {
+      const auto a = static_cast<std::int32_t>(rn());
+      const auto b = static_cast<std::int32_t>(rm());
+      // ARM semantics: divide by zero yields 0; INT_MIN/-1 wraps.
+      std::int32_t q = 0;
+      if (b != 0) {
+        q = (a == std::numeric_limits<std::int32_t>::min() && b == -1)
+                ? a
+                : a / b;
+      }
+      wr(static_cast<std::uint32_t>(q));
+      break;
+    }
+    case Opcode::kUdiv: wr(rm() == 0 ? 0 : rn() / rm()); break;
+    case Opcode::kCmp: set_flags_sub(rn(), rm()); break;
+    case Opcode::kMov: wr(rm()); break;
+
+    case Opcode::kFadd: wr(as_bits(as_float(rn()) + as_float(rm()))); break;
+    case Opcode::kFsub: wr(as_bits(as_float(rn()) - as_float(rm()))); break;
+    case Opcode::kFmul: wr(as_bits(as_float(rn()) * as_float(rm()))); break;
+    case Opcode::kFdiv: wr(as_bits(as_float(rn()) / as_float(rm()))); break;
+    case Opcode::kFcmp: set_flags_fcmp(as_float(rn()), as_float(rm())); break;
+    case Opcode::kFcvtws: {
+      const float v = as_float(rn());
+      std::int32_t out = 0;
+      if (std::isnan(v)) {
+        out = 0;
+      } else if (v >= 2147483648.0f) {
+        out = std::numeric_limits<std::int32_t>::max();
+      } else if (v < -2147483648.0f) {
+        out = std::numeric_limits<std::int32_t>::min();
+      } else {
+        out = static_cast<std::int32_t>(v);
+      }
+      wr(static_cast<std::uint32_t>(out));
+      break;
+    }
+    case Opcode::kFcvtsw:
+      wr(as_bits(static_cast<float>(static_cast<std::int32_t>(rn()))));
+      break;
+    case Opcode::kFsqrt: wr(as_bits(std::sqrt(as_float(rn())))); break;
+
+    case Opcode::kAddi: wr(rn() + uimm); break;
+    case Opcode::kSubi: wr(rn() - uimm); break;
+    case Opcode::kAndi: wr(rn() & uimm); break;
+    case Opcode::kOrri: wr(rn() | uimm); break;
+    case Opcode::kEori: wr(rn() ^ uimm); break;
+    case Opcode::kLsli: wr(rn() << (uimm & 31)); break;
+    case Opcode::kLsri: wr(rn() >> (uimm & 31)); break;
+    case Opcode::kAsri:
+      wr(static_cast<std::uint32_t>(static_cast<std::int32_t>(rn()) >>
+                                    (uimm & 31)));
+      break;
+    case Opcode::kCmpi: set_flags_sub(rn(), uimm); break;
+    case Opcode::kMovi: wr(uimm & 0xffffu); break;
+    case Opcode::kMovt: wr((rd() & 0xffffu) | (uimm << 16)); break;
+
+    case Opcode::kLdr:
+    case Opcode::kLdrb:
+    case Opcode::kLdrh:
+    case Opcode::kLdrr: {
+      const std::uint32_t va =
+          inst.op == Opcode::kLdrr ? rn() + rm() : rn() + uimm;
+      const unsigned size = inst.op == Opcode::kLdrb   ? 1
+                            : inst.op == Opcode::kLdrh ? 2
+                                                       : 4;
+      const MemResult r = uarch_.read(va, size, kernel_mode(), mmu_enabled());
+      if (!r.ok()) {
+        raise_mem_fault(Vector::kDataAbort);
+        return;
+      }
+      wr(r.data);
+      break;
+    }
+    case Opcode::kStr:
+    case Opcode::kStrb:
+    case Opcode::kStrh:
+    case Opcode::kStrr: {
+      const std::uint32_t va =
+          inst.op == Opcode::kStrr ? rn() + rm() : rn() + uimm;
+      const unsigned size = inst.op == Opcode::kStrb   ? 1
+                            : inst.op == Opcode::kStrh ? 2
+                                                       : 4;
+      const MemFault fault =
+          uarch_.write(va, size, rd(), kernel_mode(), mmu_enabled());
+      if (fault != MemFault::kNone) {
+        raise_mem_fault(Vector::kDataAbort);
+        return;
+      }
+      break;
+    }
+
+    case Opcode::kB: {
+      const bool taken = isa::cond_holds(inst.cond, cpsr_);
+      const std::uint32_t target =
+          next_pc + static_cast<std::uint32_t>(inst.imm) * 4;
+      uarch_.on_branch(pc_, taken, target);
+      pc_ = taken ? target : next_pc;
+      return;
+    }
+    case Opcode::kBl: {
+      const std::uint32_t target =
+          next_pc + static_cast<std::uint32_t>(inst.imm) * 4;
+      regs_.write(14, next_pc);
+      uarch_.on_branch(pc_, true, target);
+      pc_ = target;
+      return;
+    }
+    case Opcode::kBr: {
+      const std::uint32_t target = rn();
+      uarch_.on_branch(pc_, true, target);
+      pc_ = target;
+      return;
+    }
+    case Opcode::kBlr: {
+      const std::uint32_t target = rn();
+      regs_.write(14, next_pc);
+      uarch_.on_branch(pc_, true, target);
+      pc_ = target;
+      return;
+    }
+
+    case Opcode::kSvc:
+      enter_exception(Vector::kSvc, next_pc);
+      return;
+    case Opcode::kEret:
+      if (!kernel_mode()) {
+        raise_undef();
+        return;
+      }
+      in_exception_ = false;
+      regs_.write(13, banked_usp_);
+      pc_ = elr_;
+      cpsr_ = spsr_;
+      return;
+    case Opcode::kMrs:
+      if (!kernel_mode()) { raise_undef(); return; }
+      wr(cpsr_);
+      break;
+    case Opcode::kMsr:
+      if (!kernel_mode()) { raise_undef(); return; }
+      cpsr_ = rn();
+      break;
+    case Opcode::kMrsElr:
+      if (!kernel_mode()) { raise_undef(); return; }
+      wr(elr_);
+      break;
+    case Opcode::kMsrElr:
+      if (!kernel_mode()) { raise_undef(); return; }
+      elr_ = rn();
+      break;
+    case Opcode::kMrsSpsr:
+      if (!kernel_mode()) { raise_undef(); return; }
+      wr(spsr_);
+      break;
+    case Opcode::kMsrSpsr:
+      if (!kernel_mode()) { raise_undef(); return; }
+      spsr_ = rn();
+      break;
+    case Opcode::kMrsUsp:
+      if (!kernel_mode()) { raise_undef(); return; }
+      wr(banked_usp_);
+      break;
+    case Opcode::kMsrUsp:
+      if (!kernel_mode()) { raise_undef(); return; }
+      banked_usp_ = rn();
+      break;
+    case Opcode::kTlbFlush:
+      if (!kernel_mode()) { raise_undef(); return; }
+      uarch_.flush_tlbs();
+      break;
+    case Opcode::kHlt:
+      if (!kernel_mode()) { raise_undef(); return; }
+      stop_ = CpuStop::kHalted;
+      return;
+    case Opcode::kNop:
+      break;
+    case Opcode::kOpcodeCount:
+      raise_undef();
+      return;
+  }
+  pc_ = next_pc;
+}
+
+}  // namespace sefi::sim

@@ -1,0 +1,81 @@
+#include "sefi/sim/devices.hpp"
+
+namespace sefi::sim {
+
+std::uint32_t DeviceBlock::read(std::uint32_t addr) const {
+  switch (addr) {
+    case kTimerCtrl:
+      return timer_enabled_ ? 1u : 0u;
+    case kTimerInterval:
+      return static_cast<std::uint32_t>(timer_interval_);
+    case kTimerJiffies:
+      return static_cast<std::uint32_t>(jiffies_);
+    default:
+      return 0;
+  }
+}
+
+void DeviceBlock::write(std::uint32_t addr, std::uint32_t value) {
+  switch (addr) {
+    case kUartTx:
+      console_.push_back(static_cast<char>(value & 0xff));
+      break;
+    case kHostAlive:
+      ++alive_count_;
+      break;
+    case kHostExit:
+      pending_event_ = HostEvent{HostEventKind::kExit, value};
+      break;
+    case kHostAppCrash:
+      pending_event_ = HostEvent{HostEventKind::kAppCrash, value};
+      break;
+    case kHostPanic:
+      pending_event_ = HostEvent{HostEventKind::kPanic, value};
+      break;
+    case kTimerCtrl:
+      timer_enabled_ = (value & 1) != 0;
+      timer_countdown_ = timer_interval_;
+      break;
+    case kTimerInterval:
+      timer_interval_ = value;
+      timer_countdown_ = value;
+      break;
+    case kTimerAck:
+      timer_pending_ = false;
+      ++jiffies_;
+      break;
+    default:
+      break;
+  }
+}
+
+std::optional<HostEvent> DeviceBlock::take_host_event() {
+  auto event = pending_event_;
+  pending_event_.reset();
+  return event;
+}
+
+void DeviceBlock::tick(std::uint64_t cycles) {
+  if (!timer_enabled_ || timer_interval_ == 0) return;
+  if (cycles >= timer_countdown_) {
+    timer_pending_ = true;
+    // Re-arm relative to the overshoot so long instructions don't drift.
+    const std::uint64_t over = cycles - timer_countdown_;
+    timer_countdown_ = timer_interval_ - (over % timer_interval_);
+  } else {
+    timer_countdown_ -= cycles;
+  }
+}
+
+void DeviceBlock::reset() {
+  console_.clear();
+  alive_count_ = 0;
+  pending_event_.reset();
+  timer_enabled_ = false;
+  timer_pending_ = false;
+  timer_interval_ = 0;
+  timer_countdown_ = 0;
+  jiffies_ = 0;
+}
+
+}  // namespace sefi::sim

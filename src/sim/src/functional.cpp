@@ -1,0 +1,131 @@
+#include "sefi/sim/functional.hpp"
+
+#include "sefi/sim/page.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::sim {
+
+namespace {
+struct SimpleRegState final : OpaqueState {
+  std::array<std::uint32_t, 16> regs{};
+};
+struct FunctionalState final : OpaqueState {
+  PerfCounters counters;
+};
+}  // namespace
+
+std::unique_ptr<OpaqueState> SimpleRegFile::save_state() const {
+  auto state = std::make_unique<SimpleRegState>();
+  state->regs = regs_;
+  return state;
+}
+
+void SimpleRegFile::restore_state(const OpaqueState& state) {
+  const auto* typed = dynamic_cast<const SimpleRegState*>(&state);
+  support::require(typed != nullptr,
+                   "SimpleRegFile: snapshot from a different model");
+  regs_ = typed->regs;
+}
+
+std::unique_ptr<OpaqueState> FunctionalModel::save_state() const {
+  auto state = std::make_unique<FunctionalState>();
+  state->counters = counters_;
+  return state;
+}
+
+void FunctionalModel::restore_state(const OpaqueState& state) {
+  const auto* typed = dynamic_cast<const FunctionalState*>(&state);
+  support::require(typed != nullptr,
+                   "FunctionalModel: snapshot from a different model");
+  counters_ = typed->counters;
+}
+
+MemResult FunctionalModel::translate(std::uint32_t va, AccessKind kind,
+                                     bool kernel_mode, bool mmu_enabled) {
+  if (DeviceBlock::contains(va)) {
+    if (!kernel_mode) return {MemFault::kPermission, 0};
+    if (kind == AccessKind::kFetch) return {MemFault::kUnmapped, 0};
+    return {MemFault::kNone, va};
+  }
+  if (!PhysicalMemory::in_ram(va, 1)) return {MemFault::kUnmapped, 0};
+  if (!mmu_enabled) {
+    // MMU off implies early boot; only the kernel runs untranslated.
+    if (!kernel_mode) return {MemFault::kPermission, 0};
+    return {MemFault::kNone, va};
+  }
+  const std::uint32_t vpn = va >> kPageShift;
+  const MemResult walk = walk_page_table(
+      vpn, [this](std::uint32_t pte_addr) { return mem_.read32(pte_addr); });
+  if (!walk.ok()) return walk;
+  const auto perms = static_cast<std::uint8_t>(walk.data & 0xf);
+  if (!access_allowed(perms, kind, kernel_mode)) {
+    return {MemFault::kPermission, 0};
+  }
+  const std::uint32_t pa =
+      (pte::ppn(walk.data) << kPageShift) | (va & (kPageSize - 1));
+  if (!PhysicalMemory::in_ram(pa, 1)) return {MemFault::kUnmapped, 0};
+  return {MemFault::kNone, pa};
+}
+
+MemResult FunctionalModel::fetch(std::uint32_t va, bool kernel_mode,
+                                 bool mmu_enabled) {
+  if (va % 4 != 0) return {MemFault::kUnaligned, 0};
+  const MemResult tr = translate(va, AccessKind::kFetch, kernel_mode,
+                                 mmu_enabled);
+  if (!tr.ok()) return tr;
+  return {MemFault::kNone, mem_.read32(tr.data)};
+}
+
+MemResult FunctionalModel::read(std::uint32_t va, unsigned size,
+                                bool kernel_mode, bool mmu_enabled) {
+  if (va % size != 0) return {MemFault::kUnaligned, 0};
+  const MemResult tr =
+      translate(va, AccessKind::kLoad, kernel_mode, mmu_enabled);
+  if (!tr.ok()) return tr;
+  ++counters_.l1d_accesses;
+  const std::uint32_t pa = tr.data;
+  if (DeviceBlock::contains(pa)) return {MemFault::kNone, devices_.read(pa)};
+  switch (size) {
+    case 1:
+      return {MemFault::kNone, mem_.read8(pa)};
+    case 2:
+      return {MemFault::kNone, mem_.read16(pa)};
+    default:
+      return {MemFault::kNone, mem_.read32(pa)};
+  }
+}
+
+MemFault FunctionalModel::write(std::uint32_t va, unsigned size,
+                                std::uint32_t value, bool kernel_mode,
+                                bool mmu_enabled) {
+  if (va % size != 0) return MemFault::kUnaligned;
+  const MemResult tr =
+      translate(va, AccessKind::kStore, kernel_mode, mmu_enabled);
+  if (!tr.ok()) return tr.fault;
+  ++counters_.l1d_accesses;
+  const std::uint32_t pa = tr.data;
+  if (DeviceBlock::contains(pa)) {
+    devices_.write(pa, value);
+    return MemFault::kNone;
+  }
+  switch (size) {
+    case 1:
+      mem_.write8(pa, static_cast<std::uint8_t>(value));
+      break;
+    case 2:
+      mem_.write16(pa, static_cast<std::uint16_t>(value));
+      break;
+    default:
+      mem_.write32(pa, value);
+      break;
+  }
+  return MemFault::kNone;
+}
+
+void FunctionalModel::on_branch(std::uint32_t, bool, std::uint32_t) {
+  ++counters_.branches;
+}
+
+void FunctionalModel::reset() { counters_ = PerfCounters{}; }
+
+}  // namespace sefi::sim

@@ -1,0 +1,106 @@
+#include "sefi/sim/machine.hpp"
+
+#include "sefi/sim/functional.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::sim {
+
+Machine::Machine(const ModelFactory& factory,
+                 std::unique_ptr<RegFileModel> regs)
+    : mem_(std::make_unique<PhysicalMemory>()),
+      devices_(std::make_unique<DeviceBlock>()),
+      uarch_(factory(*mem_, *devices_)),
+      regs_(std::move(regs)) {
+  support::require(uarch_ != nullptr, "Machine: factory returned null model");
+  support::require(regs_ != nullptr, "Machine: null register file");
+  cpu_ = std::make_unique<Cpu>(*uarch_, *regs_, *devices_);
+}
+
+Machine Machine::make_functional() {
+  return Machine(
+      [](PhysicalMemory& mem, DeviceBlock& dev) {
+        return std::make_unique<FunctionalModel>(mem, dev);
+      },
+      std::make_unique<SimpleRegFile>());
+}
+
+void Machine::load_image(const isa::Program& program) {
+  mem_->backdoor_write(program.base, program.bytes);
+  uarch_->invalidate_range(program.base, program.size());
+}
+
+void Machine::set_boot_info(std::uint32_t user_entry, std::uint32_t user_sp) {
+  mem_->write32(kBootUserEntry, user_entry);
+  mem_->write32(kBootUserSp, user_sp);
+  uarch_->invalidate_range(kBootInfoBase, 8);
+}
+
+void Machine::boot() {
+  devices_->reset();
+  uarch_->reset();
+  cpu_->reset();
+}
+
+Machine::Snapshot Machine::save_snapshot() const {
+  Snapshot snapshot;
+  snapshot.memory = *mem_;
+  snapshot.devices = *devices_;
+  snapshot.cpu = cpu_->save_state();
+  snapshot.uarch = uarch_->save_state();
+  snapshot.regfile = regs_->save_state();
+  return snapshot;
+}
+
+void Machine::restore_snapshot(const Snapshot& snapshot) {
+  support::require(snapshot.uarch != nullptr && snapshot.regfile != nullptr,
+                   "restore_snapshot: incomplete snapshot");
+  *mem_ = snapshot.memory;
+  *devices_ = snapshot.devices;
+  cpu_->restore_state(snapshot.cpu);
+  uarch_->restore_state(*snapshot.uarch);
+  regs_->restore_state(*snapshot.regfile);
+}
+
+std::optional<RunEvent> Machine::poll_events() {
+  if (const auto host = devices_->take_host_event()) {
+    switch (host->kind) {
+      case HostEventKind::kExit:
+        return RunEvent{RunEventKind::kExit, host->payload};
+      case HostEventKind::kAppCrash:
+        return RunEvent{RunEventKind::kAppCrash, host->payload};
+      case HostEventKind::kPanic:
+        return RunEvent{RunEventKind::kPanic, host->payload};
+    }
+  }
+  switch (cpu_->stop_reason()) {
+    case CpuStop::kHalted:
+      return RunEvent{RunEventKind::kHalted, 0};
+    case CpuStop::kDoubleFault:
+      return RunEvent{RunEventKind::kDoubleFault, 0};
+    case CpuStop::kRunning:
+      break;
+  }
+  return std::nullopt;
+}
+
+RunEvent Machine::run(std::uint64_t max_cycles) {
+  for (;;) {
+    if (cpu_->cycles() >= max_cycles) {
+      return RunEvent{RunEventKind::kCycleLimit, 0};
+    }
+    const std::uint64_t consumed = cpu_->step();
+    devices_->tick(consumed);
+    if (const auto event = poll_events()) return *event;
+  }
+}
+
+std::optional<RunEvent> Machine::run_until_cycle(std::uint64_t target_cycle) {
+  while (cpu_->cycles() < target_cycle) {
+    const std::uint64_t consumed = cpu_->step();
+    devices_->tick(consumed);
+    if (const auto event = poll_events()) return event;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sefi::sim

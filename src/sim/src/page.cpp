@@ -1,0 +1,18 @@
+#include "sefi/sim/page.hpp"
+
+namespace sefi::sim {
+
+bool access_allowed(std::uint8_t perms, AccessKind kind, bool kernel_mode) {
+  if (kernel_mode) return true;
+  switch (kind) {
+    case AccessKind::kFetch:
+      return (perms & pte::kUserExec) != 0;
+    case AccessKind::kLoad:
+      return (perms & pte::kUserRead) != 0;
+    case AccessKind::kStore:
+      return (perms & pte::kUserWrite) != 0;
+  }
+  return false;
+}
+
+}  // namespace sefi::sim

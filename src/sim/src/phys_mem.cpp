@@ -1,0 +1,60 @@
+#include "sefi/sim/phys_mem.hpp"
+
+#include <cstring>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::sim {
+
+PhysicalMemory::PhysicalMemory() : ram_(kRamSize, 0) {}
+
+std::uint8_t PhysicalMemory::read8(std::uint32_t addr) const {
+  return ram_[addr];
+}
+
+std::uint16_t PhysicalMemory::read16(std::uint32_t addr) const {
+  std::uint16_t v;
+  std::memcpy(&v, ram_.data() + addr, 2);
+  return v;
+}
+
+std::uint32_t PhysicalMemory::read32(std::uint32_t addr) const {
+  std::uint32_t v;
+  std::memcpy(&v, ram_.data() + addr, 4);
+  return v;
+}
+
+void PhysicalMemory::write8(std::uint32_t addr, std::uint8_t value) {
+  ram_[addr] = value;
+}
+
+void PhysicalMemory::write16(std::uint32_t addr, std::uint16_t value) {
+  std::memcpy(ram_.data() + addr, &value, 2);
+}
+
+void PhysicalMemory::write32(std::uint32_t addr, std::uint32_t value) {
+  std::memcpy(ram_.data() + addr, &value, 4);
+}
+
+void PhysicalMemory::backdoor_write(std::uint32_t addr,
+                                    std::span<const std::uint8_t> data) {
+  support::require(in_ram(addr, static_cast<std::uint32_t>(data.size())),
+                   "backdoor_write: out of RAM");
+  std::memcpy(ram_.data() + addr, data.data(), data.size());
+}
+
+void PhysicalMemory::backdoor_fill(std::uint32_t addr, std::uint32_t size,
+                                   std::uint8_t value) {
+  support::require(in_ram(addr, size), "backdoor_fill: out of RAM");
+  std::memset(ram_.data() + addr, value, size);
+}
+
+std::span<const std::uint8_t> PhysicalMemory::backdoor_read(
+    std::uint32_t addr, std::uint32_t size) const {
+  support::require(in_ram(addr, size), "backdoor_read: out of RAM");
+  return {ram_.data() + addr, size};
+}
+
+void PhysicalMemory::clear() { std::fill(ram_.begin(), ram_.end(), 0); }
+
+}  // namespace sefi::sim

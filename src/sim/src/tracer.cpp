@@ -1,0 +1,46 @@
+#include "sefi/sim/tracer.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "sefi/isa/isa.hpp"
+
+namespace sefi::sim {
+
+std::string trace_execution(Machine& machine, const TraceOptions& options) {
+  std::ostringstream os;
+  std::array<std::uint32_t, isa::kNumGprs> before{};
+  for (std::uint64_t i = 0; i < options.max_instructions; ++i) {
+    if (!machine.cpu().running()) {
+      os << "[cpu stopped]\n";
+      break;
+    }
+    const std::uint32_t pc = machine.cpu().pc();
+    const char mode = machine.cpu().kernel_mode() ? 'K' : 'U';
+    std::string text = "<unreadable>";
+    if (PhysicalMemory::in_ram(pc, 4) && pc % 4 == 0) {
+      text = isa::disassemble(machine.memory().read32(pc), pc);
+    }
+    if (options.show_registers) {
+      for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+        before[r] = machine.cpu().reg(r);
+      }
+    }
+    const std::uint64_t consumed = machine.cpu().step();
+    machine.devices().tick(consumed);
+
+    os << mode << " " << std::hex << "0x" << pc << std::dec << ": " << text;
+    if (options.show_registers) {
+      for (unsigned r = 0; r < isa::kNumGprs; ++r) {
+        const std::uint32_t now = machine.cpu().reg(r);
+        if (now != before[r]) {
+          os << "  r" << r << "=0x" << std::hex << now << std::dec;
+        }
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sefi::sim

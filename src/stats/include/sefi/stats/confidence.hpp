@@ -1,0 +1,47 @@
+// Statistical machinery for fault-injection sampling and beam counting.
+//
+// Fault sampling follows Leveugle et al., "Statistical fault injection:
+// Quantified error and confidence" (DATE 2009) — the formulation the
+// paper uses to size its 1,000-fault campaigns (§IV-C, Table IV).
+#pragma once
+
+#include <cstdint>
+
+namespace sefi::stats {
+
+/// Two-sided z-score for a confidence level (e.g. 0.99 -> 2.5758).
+double z_score(double confidence);
+
+/// Leveugle sample size: number of faults to draw from a population of
+/// `population` bits for error margin `margin` at `confidence`, assuming
+/// estimated proportion `p` (0.5 maximizes the sample).
+std::uint64_t leveugle_sample_size(double population, double margin,
+                                   double confidence, double p = 0.5);
+
+/// Leveugle error margin achieved by a sample of size `n` from
+/// `population`, at `confidence`, for estimated proportion `p`.
+/// Includes the finite-population correction.
+double leveugle_error_margin(double population, std::uint64_t n,
+                             double confidence, double p = 0.5);
+
+/// The paper's re-adjustment (§IV-C): after a campaign estimates
+/// proportion `p_hat`, recompute the margin at p = p_hat shifted toward
+/// 0.5 by the initial margin (a conservative tightening).
+double readjusted_error_margin(double population, std::uint64_t n,
+                               double confidence, double p_hat);
+
+struct Interval {
+  double lower = 0;
+  double upper = 0;
+};
+
+/// Wilson score interval for a binomial proportion.
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double confidence);
+
+/// Confidence interval for a Poisson rate given `events` observations
+/// (per unit exposure of 1; scale externally). Uses the Wilson-Hilferty
+/// chi-square approximation, exact enough for event counts >= 0.
+Interval poisson_interval(std::uint64_t events, double confidence);
+
+}  // namespace sefi::stats

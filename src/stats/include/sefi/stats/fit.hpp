@@ -1,0 +1,58 @@
+// FIT-rate arithmetic (paper §II, §VI).
+//
+// FIT = failures per 10^9 device-hours. Two routes produce FIT rates:
+//   - fault injection:   FIT = FIT_raw(bit) * size(bits) * AVF   (§VI)
+//   - beam experiments:  FIT = sigma(cm^2) * flux_NYC * 10^9,
+//     where sigma = events / fluence is the measured cross section and
+//     flux_NYC is the JEDEC reference flux of 13 n/cm^2/h (JESD89A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sefi::stats {
+
+/// JEDEC JESD89A reference flux at NYC sea level, in n/(cm^2 * h).
+inline constexpr double kNycFluxPerCm2Hour = 13.0;
+
+/// Hours per 10^9 hours (the FIT denominator).
+inline constexpr double kFitHours = 1e9;
+
+/// AVF -> FIT conversion: FIT_component = fit_raw_bit * bits * avf.
+double fit_from_avf(double fit_raw_per_bit, double bits, double avf);
+
+/// Cross section from beam counting: sigma = events / fluence (cm^2).
+/// Zero fluence yields 0.
+double cross_section(double events, double fluence_per_cm2);
+
+/// FIT from a cross section at the JEDEC NYC flux.
+double fit_from_cross_section(double sigma_cm2,
+                              double flux = kNycFluxPerCm2Hour);
+
+/// Accelerated-beam bookkeeping: fluence accumulated by `seconds` of
+/// exposure at `flux_per_cm2_s`.
+double fluence_from_exposure(double flux_per_cm2_s, double seconds);
+
+/// Natural-exposure equivalent (in years) of a fluence at the NYC flux —
+/// the paper's "2.9 million years" scaling.
+double natural_years_equivalent(double fluence_per_cm2,
+                                double flux = kNycFluxPerCm2Hour);
+
+/// The paper's fold-difference metric (Figs. 6-9): how many times larger
+/// the bigger of the two rates is. `beam_higher` records the direction
+/// (positive bars = beam higher). Zero rates are floored to `floor_fit`
+/// to keep ratios finite, mirroring detection-limit handling.
+struct FoldDifference {
+  double magnitude = 1.0;
+  bool beam_higher = true;
+};
+FoldDifference fold_difference(double beam_fit, double fi_fit,
+                               double floor_fit = 1e-3);
+
+/// Arithmetic mean; empty input -> 0.
+double mean(std::span<const double> values);
+
+/// Geometric mean of positive values; empty input -> 0.
+double geomean(std::span<const double> values);
+
+}  // namespace sefi::stats

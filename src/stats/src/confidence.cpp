@@ -1,0 +1,127 @@
+#include "sefi/stats/confidence.hpp"
+
+#include <cmath>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::stats {
+
+namespace {
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 — far below campaign noise).
+double inverse_normal_cdf(double p) {
+  support::require(p > 0.0 && p < 1.0, "inverse_normal_cdf: p out of (0,1)");
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+/// Chi-square quantile via the Wilson-Hilferty cube approximation.
+double chi_square_quantile(double p, double dof) {
+  if (dof <= 0) return 0;
+  const double z = inverse_normal_cdf(p);
+  const double t = 1.0 - 2.0 / (9.0 * dof) + z * std::sqrt(2.0 / (9.0 * dof));
+  return dof * t * t * t;
+}
+
+}  // namespace
+
+double z_score(double confidence) {
+  support::require(confidence > 0.0 && confidence < 1.0,
+                   "z_score: confidence out of (0,1)");
+  return inverse_normal_cdf(0.5 + confidence / 2.0);
+}
+
+std::uint64_t leveugle_sample_size(double population, double margin,
+                                   double confidence, double p) {
+  support::require(population > 1 && margin > 0,
+                   "leveugle_sample_size: bad arguments");
+  const double t = z_score(confidence);
+  const double n = population /
+                   (1.0 + margin * margin * (population - 1.0) /
+                              (t * t * p * (1.0 - p)));
+  return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+double leveugle_error_margin(double population, std::uint64_t n,
+                             double confidence, double p) {
+  support::require(population > 1 && n >= 1,
+                   "leveugle_error_margin: bad arguments");
+  const double t = z_score(confidence);
+  const double nn = static_cast<double>(n);
+  const double fpc =
+      nn >= population ? 0.0 : (population - nn) / (population - 1.0);
+  return t * std::sqrt(p * (1.0 - p) / nn * fpc);
+}
+
+double readjusted_error_margin(double population, std::uint64_t n,
+                               double confidence, double p_hat) {
+  const double initial = leveugle_error_margin(population, n, confidence, 0.5);
+  // Shift the estimate toward 0.5 by the initial margin: conservative.
+  double p = p_hat < 0.5 ? p_hat + initial : p_hat - initial;
+  if ((p_hat < 0.5 && p > 0.5) || (p_hat >= 0.5 && p < 0.5)) p = 0.5;
+  if (p <= 0.0) p = 1e-9;
+  if (p >= 1.0) p = 1.0 - 1e-9;
+  return leveugle_error_margin(population, n, confidence, p);
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double confidence) {
+  support::require(trials > 0 && successes <= trials,
+                   "wilson_interval: bad arguments");
+  const double z = z_score(confidence);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n)) / denom;
+  // Clamp: floating-point noise can push the bounds a hair outside [0,1].
+  Interval out{center - half, center + half};
+  if (out.lower < 0.0) out.lower = 0.0;
+  if (out.upper > 1.0) out.upper = 1.0;
+  return out;
+}
+
+Interval poisson_interval(std::uint64_t events, double confidence) {
+  const double alpha = 1.0 - confidence;
+  const double k = static_cast<double>(events);
+  Interval out;
+  out.lower = events == 0
+                  ? 0.0
+                  : 0.5 * chi_square_quantile(alpha / 2.0, 2.0 * k);
+  out.upper = 0.5 * chi_square_quantile(1.0 - alpha / 2.0, 2.0 * (k + 1.0));
+  return out;
+}
+
+}  // namespace sefi::stats

@@ -1,0 +1,63 @@
+#include "sefi/stats/fit.hpp"
+
+#include <cmath>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::stats {
+
+double fit_from_avf(double fit_raw_per_bit, double bits, double avf) {
+  support::require(fit_raw_per_bit >= 0 && bits >= 0 && avf >= 0,
+                   "fit_from_avf: negative argument");
+  return fit_raw_per_bit * bits * avf;
+}
+
+double cross_section(double events, double fluence_per_cm2) {
+  if (fluence_per_cm2 <= 0) return 0;
+  return events / fluence_per_cm2;
+}
+
+double fit_from_cross_section(double sigma_cm2, double flux) {
+  return sigma_cm2 * flux * kFitHours;
+}
+
+double fluence_from_exposure(double flux_per_cm2_s, double seconds) {
+  support::require(flux_per_cm2_s >= 0 && seconds >= 0,
+                   "fluence_from_exposure: negative argument");
+  return flux_per_cm2_s * seconds;
+}
+
+double natural_years_equivalent(double fluence_per_cm2, double flux) {
+  if (flux <= 0) return 0;
+  const double hours = fluence_per_cm2 / flux;
+  return hours / (24.0 * 365.25);
+}
+
+FoldDifference fold_difference(double beam_fit, double fi_fit,
+                               double floor_fit) {
+  const double beam = beam_fit > floor_fit ? beam_fit : floor_fit;
+  const double fi = fi_fit > floor_fit ? fi_fit : floor_fit;
+  FoldDifference out;
+  out.beam_higher = beam >= fi;
+  out.magnitude = out.beam_higher ? beam / fi : fi / beam;
+  return out;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) return 0;
+  double log_sum = 0;
+  for (const double v : values) {
+    support::require(v > 0, "geomean: non-positive value");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace sefi::stats

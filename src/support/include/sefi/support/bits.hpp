@@ -1,0 +1,57 @@
+// Small bit-manipulation helpers used by the ISA encoder/decoder and the
+// bit-accurate SRAM array models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sefi::support {
+
+/// Extracts bits [lo, lo+width) of `value` (width in 1..32).
+constexpr std::uint32_t extract_bits(std::uint32_t value, unsigned lo,
+                                     unsigned width) noexcept {
+  const std::uint32_t mask =
+      width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+  return (value >> lo) & mask;
+}
+
+/// Inserts the low `width` bits of `field` into bits [lo, lo+width) of
+/// `value`, returning the result.
+constexpr std::uint32_t insert_bits(std::uint32_t value, unsigned lo,
+                                    unsigned width,
+                                    std::uint32_t field) noexcept {
+  const std::uint32_t mask =
+      (width >= 32 ? 0xffffffffu : ((1u << width) - 1u)) << lo;
+  return (value & ~mask) | ((field << lo) & mask);
+}
+
+/// Sign-extends the low `width` bits of `value` to 32 bits.
+constexpr std::int32_t sign_extend(std::uint32_t value,
+                                   unsigned width) noexcept {
+  const std::uint32_t shift = 32 - width;
+  return static_cast<std::int32_t>(value << shift) >> shift;
+}
+
+/// True if `value` is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t value) noexcept {
+  unsigned n = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Flips bit `bit` (0 = LSB) within a byte-addressed buffer.
+/// `bit` indexes the buffer as a flat little-endian bit vector.
+void flip_bit(std::span<std::uint8_t> bytes, std::uint64_t bit) noexcept;
+
+/// Reads bit `bit` of a flat little-endian bit vector.
+bool test_bit(std::span<const std::uint8_t> bytes, std::uint64_t bit) noexcept;
+
+}  // namespace sefi::support

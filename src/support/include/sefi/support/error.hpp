@@ -1,0 +1,25 @@
+// Error handling policy for SEFI.
+//
+// Programmer errors (API misuse, violated invariants) throw SefiError, which
+// carries a human-readable message. Expected runtime conditions inside the
+// simulated machine (guest faults, crashes, timeouts) are modeled as values,
+// never as host exceptions — a guest crash is data, not an error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sefi::support {
+
+class SefiError : public std::runtime_error {
+ public:
+  explicit SefiError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Throws SefiError with `message` if `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw SefiError(message);
+}
+
+}  // namespace sefi::support

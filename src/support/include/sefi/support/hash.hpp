@@ -1,0 +1,44 @@
+// Stable 64-bit hashing for golden-output comparison.
+//
+// SDC detection compares the hash of a run's architectural output stream
+// against the golden run's hash; the hash must therefore be stable across
+// platforms and compiler versions, which FNV-1a is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sefi::support {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Incremental FNV-1a hasher over bytes.
+class Fnv1a {
+ public:
+  constexpr void update(std::uint8_t byte) noexcept {
+    hash_ = (hash_ ^ byte) * kFnvPrime;
+  }
+
+  void update(std::span<const std::uint8_t> bytes) noexcept {
+    for (auto b : bytes) update(b);
+  }
+
+  void update(std::string_view text) noexcept {
+    for (char c : text) update(static_cast<std::uint8_t>(c));
+  }
+
+  constexpr std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffsetBasis;
+};
+
+/// One-shot hash of a byte span.
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept;
+
+/// One-shot hash of a string.
+std::uint64_t fnv1a(std::string_view text) noexcept;
+
+}  // namespace sefi::support

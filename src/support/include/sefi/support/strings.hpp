@@ -1,0 +1,30 @@
+// Small string/formatting helpers shared by the report renderers and CLIs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sefi::support {
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("1.2", "0.034", "287").
+std::string format_sig(double value, int digits = 3);
+
+/// Formats in scientific notation with 2 decimals ("2.76e-05").
+std::string format_sci(double value);
+
+/// Left-pads `text` with spaces to `width`.
+std::string pad_left(const std::string& text, std::size_t width);
+
+/// Right-pads `text` with spaces to `width`.
+std::string pad_right(const std::string& text, std::size_t width);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& text, char sep);
+
+/// Parses an environment variable as u64, returning `fallback` when unset
+/// or malformed.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+}  // namespace sefi::support

@@ -1,0 +1,14 @@
+#include "sefi/support/bits.hpp"
+
+namespace sefi::support {
+
+void flip_bit(std::span<std::uint8_t> bytes, std::uint64_t bit) noexcept {
+  bytes[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+}
+
+bool test_bit(std::span<const std::uint8_t> bytes,
+              std::uint64_t bit) noexcept {
+  return (bytes[bit >> 3] >> (bit & 7)) & 1u;
+}
+
+}  // namespace sefi::support

@@ -1,0 +1,17 @@
+#include "sefi/support/hash.hpp"
+
+namespace sefi::support {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
+  Fnv1a h;
+  h.update(bytes);
+  return h.digest();
+}
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  Fnv1a h;
+  h.update(text);
+  return h.digest();
+}
+
+}  // namespace sefi::support

@@ -1,0 +1,64 @@
+#include "sefi/support/rng.hpp"
+
+#include <cmath>
+
+namespace sefi::support {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  // Lemire 2019: multiply-shift with rejection in the biased zone.
+  std::uint64_t x = next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<unsigned __int128>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Xoshiro256 Xoshiro256::fork(std::uint64_t index) const noexcept {
+  // Mix the current state with the stream index through SplitMix64 to get
+  // a decorrelated child seed.
+  SplitMix64 sm(s_[0] ^ (s_[3] + 0x9e3779b97f4a7c15ULL * (index + 1)));
+  return Xoshiro256(sm.next());
+}
+
+double exponential_sample(Xoshiro256& rng) {
+  // Inverse CDF; guard against log(0).
+  double u = rng.uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u);
+}
+
+std::uint64_t poisson_sample(Xoshiro256& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth: count exponential arrivals within one unit interval.
+    const double limit = std::exp(-lambda);
+    double product = rng.uniform01();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= rng.uniform01();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction, rejecting negatives.
+  // Adequate for campaign-scale lambdas (counting statistics dominate).
+  for (;;) {
+    const double u1 = rng.uniform01();
+    const double u2 = rng.uniform01();
+    double u = u1;
+    if (u <= 0.0) u = 0x1.0p-53;
+    const double mag = std::sqrt(-2.0 * std::log(u));
+    const double z = mag * std::cos(6.283185307179586 * u2);
+    const double value = lambda + std::sqrt(lambda) * z + 0.5;
+    if (value >= 0.0) return static_cast<std::uint64_t>(value);
+  }
+}
+
+}  // namespace sefi::support

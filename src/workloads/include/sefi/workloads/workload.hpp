@@ -1,0 +1,76 @@
+// Benchmark workloads (the paper's Table III suite).
+//
+// Each workload is the same *algorithm* as its MiBench counterpart,
+// implemented as a SEFI-A9 guest program via the assembler builder API,
+// with inputs scaled so a run costs tens of thousands of guest
+// instructions instead of billions (DESIGN.md §2 documents the
+// substitution). Inputs are generated deterministically from a seed; the
+// same seed drives both assessment setups, mirroring the paper's
+// fixed-input-vector methodology (§IV-A).
+//
+// Every workload also carries a host-side C++ mirror of its computation:
+// expected_console(seed) returns the output a fault-free guest run must
+// produce. The test suite uses it to validate the whole simulator stack,
+// and the campaign code uses it as a cheap golden oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sefi/isa/assembler.hpp"
+
+namespace sefi::workloads {
+
+/// Table III metadata.
+struct WorkloadInfo {
+  std::string name;             ///< e.g. "CRC32"
+  std::string input;            ///< scaled input description
+  std::string characteristics;  ///< e.g. "CPU intensive"
+  std::string paper_input;      ///< the paper's original input column
+};
+
+/// Default input seed: campaigns use one fixed input vector, like the
+/// paper (same values and size in both beam and fault injection).
+inline constexpr std::uint64_t kDefaultInputSeed = 0x5EF1;
+
+/// Stack top handed to every workload (2 MB, the kernel's mapped limit).
+inline constexpr std::uint32_t kWorkloadStackTop = 0x0020'0000;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const WorkloadInfo& info() const = 0;
+
+  /// Builds the guest program (code + embedded input data) for `seed`.
+  virtual isa::Program build(std::uint64_t seed) const = 0;
+
+  /// Host-computed fault-free console output for `seed`.
+  virtual std::string expected_console(std::uint64_t seed) const = 0;
+};
+
+/// The 13 benchmarks, in the paper's Figure 3 order:
+/// CRC32, Dijkstra, FFT, JpegC, JpegD, MatMul, Qsort, RijndaelE,
+/// RijndaelD, StringSearch, SusanC, SusanE, SusanS.
+const std::vector<const Workload*>& all_workloads();
+
+/// Extended suite: additional MiBench-style kernels beyond the paper's 13
+/// (SHA-1, BitCount, ADPCM encode, BasicMath subset). Not part of the figure reproductions; available for
+/// user studies and the examples.
+const std::vector<const Workload*>& extended_workloads();
+
+/// Lookup by Table III name; throws SefiError if unknown.
+const Workload& workload_by_name(const std::string& name);
+
+/// The L1-cache pattern micro-benchmark used to measure the raw per-bit
+/// FIT under beam (§VI): fills a cache-sized buffer with a pattern and
+/// repeatedly verifies it, reporting the mismatch count.
+const Workload& l1_pattern_workload();
+
+/// Size in bytes of the pattern buffer tested by l1_pattern_workload()
+/// (the denominator of the FIT_raw-per-bit calibration).
+std::uint32_t l1_pattern_buffer_bytes();
+
+}  // namespace sefi::workloads

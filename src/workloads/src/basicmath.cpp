@@ -1,0 +1,179 @@
+// BasicMath (MiBench automotive/basicmath subset, extended suite):
+// bit-by-bit integer square roots, single-precision square roots, and
+// degree/radian conversions over random inputs — the long-latency
+// arithmetic profile of the original (the cubic solver's trig parts are
+// out of ISA scope and omitted; documented subset).
+#include "common.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kIntCount = 320;
+constexpr std::uint32_t kFloatCount = 160;
+
+std::vector<std::uint32_t> make_ints(std::uint64_t seed) {
+  return random_words(seed ^ 0xBA51, kIntCount, 0xFFFFFFFFu);
+}
+
+std::vector<float> make_floats(std::uint64_t seed) {
+  return random_floats(seed ^ 0xF10A, kFloatCount, 0.0f, 1.0e6f);
+}
+
+/// Bit-by-bit integer sqrt, the classic MiBench usqrt routine.
+std::uint32_t host_isqrt(std::uint32_t value) {
+  std::uint32_t result = 0;
+  std::uint32_t bit = 1u << 30;
+  while (bit > value) bit >>= 2;
+  while (bit != 0) {
+    if (value >= result + bit) {
+      value -= result + bit;
+      result = (result >> 1) + bit;
+    } else {
+      result >>= 1;
+    }
+    bit >>= 2;
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> host_results(std::uint64_t seed) {
+  std::vector<std::uint32_t> words;
+  for (const std::uint32_t v : make_ints(seed)) {
+    words.push_back(host_isqrt(v));
+  }
+  constexpr float kRadPerDeg = 0.017453292f;
+  for (const float f : make_floats(seed)) {
+    const float root = std::sqrt(f);
+    const float radians = f * kRadPerDeg;
+    words.push_back(std::bit_cast<std::uint32_t>(root));
+    words.push_back(std::bit_cast<std::uint32_t>(radians));
+  }
+  return words_to_bytes(words);
+}
+
+class BasicMathWorkload final : public BasicWorkload {
+ public:
+  BasicMathWorkload()
+      : BasicWorkload({
+            "BasicMath",
+            "320 integer sqrts + 160 float sqrt/deg-rad pairs",
+            "CPU intensive (extended suite, subset)",
+            "MiBench automotive/basicmath",
+        }) {}
+
+  isa::Program build(std::uint64_t seed) const override {
+    Assembler a(sim::kUserBase);
+    Label report = a.make_label();
+    Label ints = a.make_label();
+    Label floats = a.make_label();
+    Label out = a.make_label();
+
+    a.load_label(Reg::r2, ints);
+    a.load_label(Reg::r3, out);
+    a.movi(Reg::ip, 0);
+
+    // Integer square roots.
+    Label int_loop = a.make_label();
+    a.bind(int_loop);
+    a.lsli(Reg::r0, Reg::ip, 2);
+    a.ldrr(Reg::r4, Reg::r2, Reg::r0);  // value
+    a.movi(Reg::r5, 0);                 // result
+    a.movi(Reg::r6, 1);
+    a.lsli(Reg::r6, Reg::r6, 30);       // bit
+    {
+      Label shrink = a.make_label();
+      Label shrink_done = a.make_label();
+      a.bind(shrink);
+      a.cmp(Reg::r6, Reg::r4);
+      a.b(Cond::ls, shrink_done);  // bit <= value
+      a.lsri(Reg::r6, Reg::r6, 2);
+      a.cmpi(Reg::r6, 0);
+      a.b(Cond::ne, shrink);
+      a.bind(shrink_done);
+    }
+    {
+      Label step = a.make_label();
+      Label no_sub = a.make_label();
+      Label next = a.make_label();
+      Label done = a.make_label();
+      a.bind(step);
+      a.cmpi(Reg::r6, 0);
+      a.b(Cond::eq, done);
+      a.add(Reg::r7, Reg::r5, Reg::r6);  // result + bit
+      a.cmp(Reg::r4, Reg::r7);
+      a.b(Cond::cc, no_sub);  // value < result+bit
+      a.sub(Reg::r4, Reg::r4, Reg::r7);
+      a.lsri(Reg::r5, Reg::r5, 1);
+      a.add(Reg::r5, Reg::r5, Reg::r6);
+      a.b(next);
+      a.bind(no_sub);
+      a.lsri(Reg::r5, Reg::r5, 1);
+      a.bind(next);
+      a.lsri(Reg::r6, Reg::r6, 2);
+      a.b(step);
+      a.bind(done);
+    }
+    a.lsli(Reg::r0, Reg::ip, 2);
+    a.strr(Reg::r5, Reg::r3, Reg::r0);
+    a.addi(Reg::ip, Reg::ip, 1);
+    a.cmpi(Reg::ip, kIntCount);
+    a.b(Cond::lt, int_loop);
+
+    // Float sqrt + deg->rad pairs appended after the integer results.
+    a.load_label(Reg::r2, floats);
+    a.mov_float(Reg::r8, 0.017453292f);  // radians per degree
+    a.movi(Reg::r9, 0);
+    Label float_loop = a.make_label();
+    a.bind(float_loop);
+    a.lsli(Reg::r0, Reg::r9, 2);
+    a.ldrr(Reg::r4, Reg::r2, Reg::r0);
+    a.fsqrt(Reg::r5, Reg::r4);
+    a.fmul(Reg::r6, Reg::r4, Reg::r8);
+    // out[kIntCount + 2*i] = sqrt; out[kIntCount + 2*i + 1] = radians
+    a.lsli(Reg::r0, Reg::r9, 3);
+    a.mov_imm32(Reg::r1, kIntCount * 4);
+    a.add(Reg::r0, Reg::r0, Reg::r1);
+    a.strr(Reg::r5, Reg::r3, Reg::r0);
+    a.addi(Reg::r0, Reg::r0, 4);
+    a.strr(Reg::r6, Reg::r3, Reg::r0);
+    a.addi(Reg::r9, Reg::r9, 1);
+    a.cmpi(Reg::r9, kFloatCount);
+    a.b(Cond::lt, float_loop);
+
+    a.load_label(Reg::r0, out);
+    a.mov_imm32(Reg::r1, (kIntCount + 2 * kFloatCount) * 4);
+    a.b(report);
+
+    emit_report_routine(a, report);
+
+    a.align(4);
+    a.bind(ints);
+    a.bytes(words_to_bytes(make_ints(seed)));
+    a.bind(floats);
+    a.bytes(floats_to_bytes(make_floats(seed)));
+    a.bind(out);
+    a.zero((kIntCount + 2 * kFloatCount) * 4);
+    return a.finish();
+  }
+
+  std::string expected_console(std::uint64_t seed) const override {
+    return report_string(host_results(seed));
+  }
+};
+
+}  // namespace
+
+const Workload& basicmath_workload() {
+  static const BasicMathWorkload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

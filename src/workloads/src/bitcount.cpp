@@ -1,0 +1,133 @@
+// BitCount (MiBench automotive/bitcount, extended suite): population
+// count over a word array with two of MiBench's counting strategies —
+// Kernighan's clear-lowest-set loop and a table-driven nibble method —
+// summed into one result. Control intensive, tiny footprint.
+#include "common.hpp"
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kCount = 300;
+
+std::vector<std::uint32_t> make_input(std::uint64_t seed) {
+  support::Xoshiro256 rng(seed ^ 0xB17C);
+  std::vector<std::uint32_t> out(kCount);
+  for (auto& w : out) w = static_cast<std::uint32_t>(rng.next());
+  return out;
+}
+
+std::vector<std::uint8_t> nibble_table() {
+  std::vector<std::uint8_t> table(16);
+  for (unsigned i = 0; i < 16; ++i) {
+    table[i] = static_cast<std::uint8_t>(__builtin_popcount(i));
+  }
+  return table;
+}
+
+std::uint32_t host_bitcount(std::uint64_t seed) {
+  std::uint32_t total = 0;
+  for (const std::uint32_t word : make_input(seed)) {
+    total += 2 * static_cast<std::uint32_t>(__builtin_popcount(word));
+  }
+  return total;
+}
+
+class BitCountWorkload final : public BasicWorkload {
+ public:
+  BitCountWorkload()
+      : BasicWorkload({
+            "BitCount",
+            "300 random 32-bit words, two counting methods",
+            "Control intensive (extended suite)",
+            "75000 iterations over 7 counters",
+        }) {}
+
+  isa::Program build(std::uint64_t seed) const override {
+    Assembler a(sim::kUserBase);
+    Label report = a.make_label();
+    Label input = a.make_label();
+    Label table = a.make_label();
+    Label out = a.make_label();
+
+    a.load_label(Reg::r2, input);
+    a.load_label(Reg::r3, table);
+    a.movi(Reg::r8, 0);   // total
+    a.movi(Reg::r9, 0);   // index
+
+    Label word_loop = a.make_label();
+    a.bind(word_loop);
+    a.lsli(Reg::r0, Reg::r9, 2);
+    a.ldrr(Reg::r4, Reg::r2, Reg::r0);  // word
+
+    // Method 1: Kernighan — count = iterations of v &= v-1.
+    a.mov(Reg::r5, Reg::r4);
+    {
+      Label loop = a.make_label();
+      Label done = a.make_label();
+      a.bind(loop);
+      a.cmpi(Reg::r5, 0);
+      a.b(Cond::eq, done);
+      a.subi(Reg::r1, Reg::r5, 1);
+      a.and_(Reg::r5, Reg::r5, Reg::r1);
+      a.addi(Reg::r8, Reg::r8, 1);
+      a.b(loop);
+      a.bind(done);
+    }
+
+    // Method 2: table-driven nibbles (8 lookups).
+    a.mov(Reg::r5, Reg::r4);
+    a.movi(Reg::r6, 8);
+    {
+      Label loop = a.make_label();
+      a.bind(loop);
+      a.andi(Reg::r0, Reg::r5, 15);
+      a.add(Reg::r0, Reg::r3, Reg::r0);
+      a.ldrb(Reg::r0, Reg::r0, 0);
+      a.add(Reg::r8, Reg::r8, Reg::r0);
+      a.lsri(Reg::r5, Reg::r5, 4);
+      a.subi(Reg::r6, Reg::r6, 1);
+      a.cmpi(Reg::r6, 0);
+      a.b(Cond::ne, loop);
+    }
+
+    a.addi(Reg::r9, Reg::r9, 1);
+    a.cmpi(Reg::r9, kCount);
+    a.b(Cond::lt, word_loop);
+
+    a.load_label(Reg::r0, out);
+    a.str(Reg::r8, Reg::r0, 0);
+    a.movi(Reg::r1, 4);
+    a.b(report);
+
+    emit_report_routine(a, report);
+
+    a.align(4);
+    a.bind(input);
+    a.bytes(words_to_bytes(make_input(seed)));
+    a.bind(table);
+    a.bytes(nibble_table());
+    a.align(4);
+    a.bind(out);
+    a.zero(4);
+    return a.finish();
+  }
+
+  std::string expected_console(std::uint64_t seed) const override {
+    const std::uint32_t words[] = {host_bitcount(seed)};
+    return report_string(words_to_bytes(words));
+  }
+};
+
+}  // namespace
+
+const Workload& bitcount_workload() {
+  static const BitCountWorkload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

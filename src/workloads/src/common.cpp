@@ -1,0 +1,137 @@
+#include "common.hpp"
+
+#include <bit>
+
+#include "sefi/sim/cpu.hpp"
+#include "sefi/support/rng.hpp"
+
+namespace sefi::workloads::detail {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+std::uint32_t fnv32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t h = 0x811C9DC5u;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::string hex8(std::uint32_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = kDigits[(value >> (28 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
+std::string report_string(std::span<const std::uint8_t> bytes) {
+  return hex8(fnv32(bytes));
+}
+
+void emit_report_routine(Assembler& a, Label label) {
+  a.bind(label);
+  // r10/r11 hold the buffer cursor and remaining length; r8/r9 the hash
+  // state. Registers r5+ survive syscalls (the kernel clobbers r0-r4).
+  a.mov(Reg::r10, Reg::r0);
+  a.mov(Reg::r11, Reg::r1);
+  a.mov_imm32(Reg::r8, 0x811C9DC5u);
+  a.mov_imm32(Reg::r9, 0x01000193u);
+  Label loop = a.make_label();
+  Label print = a.make_label();
+  a.bind(loop);
+  a.cmpi(Reg::r11, 0);
+  a.b(Cond::eq, print);
+  a.ldrb(Reg::r4, Reg::r10, 0);
+  a.eor(Reg::r8, Reg::r8, Reg::r4);
+  a.mul(Reg::r8, Reg::r8, Reg::r9);
+  a.addi(Reg::r10, Reg::r10, 1);
+  a.subi(Reg::r11, Reg::r11, 1);
+  a.b(loop);
+
+  a.bind(print);
+  a.movi(Reg::r5, 8);
+  Label nibble = a.make_label();
+  Label digit = a.make_label();
+  Label put = a.make_label();
+  a.bind(nibble);
+  a.subi(Reg::r5, Reg::r5, 1);
+  a.lsli(Reg::r4, Reg::r5, 2);
+  a.lsr(Reg::r6, Reg::r8, Reg::r4);
+  a.andi(Reg::r6, Reg::r6, 15);
+  a.cmpi(Reg::r6, 10);
+  a.b(Cond::lt, digit);
+  a.addi(Reg::r6, Reg::r6, 'a' - 10);
+  a.b(put);
+  a.bind(digit);
+  a.addi(Reg::r6, Reg::r6, '0');
+  a.bind(put);
+  a.mov(Reg::r0, Reg::r6);
+  a.movi(Reg::r7, sim::sysno::kPutc);
+  a.svc(0);
+  a.cmpi(Reg::r5, 0);
+  a.b(Cond::ne, nibble);
+
+  a.movi(Reg::r0, 0);
+  a.movi(Reg::r7, sim::sysno::kExit);
+  a.svc(0);
+}
+
+std::vector<std::uint8_t> random_bytes(std::uint64_t seed,
+                                       std::size_t count) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(count);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+std::vector<std::uint32_t> random_words(std::uint64_t seed, std::size_t count,
+                                        std::uint32_t bound) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> out(count);
+  for (auto& w : out) w = static_cast<std::uint32_t>(rng.below(bound));
+  return out;
+}
+
+std::vector<float> random_floats(std::uint64_t seed, std::size_t count,
+                                 float lo, float hi) {
+  support::Xoshiro256 rng(seed);
+  std::vector<float> out(count);
+  for (auto& f : out) {
+    f = lo + static_cast<float>(rng.uniform01()) * (hi - lo);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> words_to_bytes(
+    std::span<const std::uint32_t> words) {
+  std::vector<std::uint8_t> out;
+  out.reserve(words.size() * 4);
+  for (const std::uint32_t w : words) {
+    out.push_back(static_cast<std::uint8_t>(w));
+    out.push_back(static_cast<std::uint8_t>(w >> 8));
+    out.push_back(static_cast<std::uint8_t>(w >> 16));
+    out.push_back(static_cast<std::uint8_t>(w >> 24));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> floats_to_bytes(std::span<const float> floats) {
+  std::vector<std::uint8_t> out;
+  out.reserve(floats.size() * 4);
+  for (const float f : floats) {
+    const auto w = std::bit_cast<std::uint32_t>(f);
+    out.push_back(static_cast<std::uint8_t>(w));
+    out.push_back(static_cast<std::uint8_t>(w >> 8));
+    out.push_back(static_cast<std::uint8_t>(w >> 16));
+    out.push_back(static_cast<std::uint8_t>(w >> 24));
+  }
+  return out;
+}
+
+}  // namespace sefi::workloads::detail

@@ -1,0 +1,88 @@
+// Internal helpers shared by the workload implementations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sefi/isa/assembler.hpp"
+#include "sefi/sim/cpu.hpp"
+#include "sefi/sim/memmap.hpp"
+#include "sefi/support/rng.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace sefi::workloads::detail {
+
+// --- host-side mirrors of the guest reporting convention ----------------
+
+/// FNV-1a 32-bit, the checksum every workload prints over its result.
+std::uint32_t fnv32(std::span<const std::uint8_t> bytes);
+
+/// Lowercase 8-digit hex rendering (the guest's output format).
+std::string hex8(std::uint32_t value);
+
+/// expected_console payload for a result buffer: hex8(fnv32(bytes)).
+std::string report_string(std::span<const std::uint8_t> bytes);
+
+// --- guest-side reporting routine ----------------------------------------
+
+/// Emits the standard result-reporting subroutine at the current position
+/// and binds `label` to it. Calling convention: branch to it with
+/// r0 = result buffer address, r1 = length in bytes. It prints
+/// hex8(fnv32(buffer)) via sys_putc and exits with code 0. Never returns.
+/// Clobbers r0-r11 (it exits anyway).
+void emit_report_routine(isa::Assembler& a, isa::Label label);
+
+// --- deterministic input generation ---------------------------------------
+
+/// Bytes uniform in [0, 256).
+std::vector<std::uint8_t> random_bytes(std::uint64_t seed, std::size_t count);
+
+/// 32-bit words uniform in [0, bound).
+std::vector<std::uint32_t> random_words(std::uint64_t seed, std::size_t count,
+                                        std::uint32_t bound);
+
+/// Single-precision floats uniform in [lo, hi).
+std::vector<float> random_floats(std::uint64_t seed, std::size_t count,
+                                 float lo, float hi);
+
+/// Serializes 32-bit words little-endian (matching guest memory layout).
+std::vector<std::uint8_t> words_to_bytes(std::span<const std::uint32_t> words);
+
+/// Serializes floats little-endian by bit pattern.
+std::vector<std::uint8_t> floats_to_bytes(std::span<const float> floats);
+
+// --- base class -------------------------------------------------------------
+
+class BasicWorkload : public Workload {
+ public:
+  explicit BasicWorkload(WorkloadInfo info) : info_(std::move(info)) {}
+  const WorkloadInfo& info() const override { return info_; }
+
+ private:
+  WorkloadInfo info_;
+};
+
+// --- per-benchmark factories (one per translation unit) --------------------
+
+const Workload& crc32_workload();
+const Workload& dijkstra_workload();
+const Workload& fft_workload();
+const Workload& jpeg_c_workload();
+const Workload& jpeg_d_workload();
+const Workload& matmul_workload();
+const Workload& qsort_workload();
+const Workload& rijndael_e_workload();
+const Workload& rijndael_d_workload();
+const Workload& stringsearch_workload();
+const Workload& susan_c_workload();
+const Workload& susan_e_workload();
+const Workload& susan_s_workload();
+const Workload& l1_pattern_workload_impl();
+const Workload& sha_workload();
+const Workload& bitcount_workload();
+const Workload& adpcm_workload();
+const Workload& basicmath_workload();
+
+}  // namespace sefi::workloads::detail

@@ -1,0 +1,128 @@
+// CRC32 (MiBench telecomm/CRC32): table-driven IEEE CRC-32 over a byte
+// stream. CPU intensive with a streaming access pattern; the largest
+// input of the suite, like the paper's 26.6 MB file.
+#include "common.hpp"
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::size_t kInputLen = 8 * 1024;
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+std::uint32_t host_crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+class Crc32Workload final : public BasicWorkload {
+ public:
+  Crc32Workload()
+      : BasicWorkload({
+            "CRC32",
+            "8 KB byte stream",
+            "CPU intensive",
+            "26.6 MB file",
+        }) {}
+
+  isa::Program build(std::uint64_t seed) const override {
+    Assembler a(sim::kUserBase);
+    Label report = a.make_label();
+    Label input = a.make_label();
+    Label out = a.make_label();
+    Label table = a.make_label();
+
+    // --- build the 256-entry CRC table -------------------------------
+    a.load_label(Reg::r2, table);
+    a.mov_imm32(Reg::r6, kPoly);
+    a.movi(Reg::r0, 0);
+    {
+      Label ti = a.make_label();
+      Label tj = a.make_label();
+      Label skip = a.make_label();
+      a.bind(ti);
+      a.mov(Reg::r3, Reg::r0);
+      a.movi(Reg::r4, 8);
+      a.bind(tj);
+      a.andi(Reg::r5, Reg::r3, 1);
+      a.lsri(Reg::r3, Reg::r3, 1);
+      a.cmpi(Reg::r5, 0);
+      a.b(Cond::eq, skip);
+      a.eor(Reg::r3, Reg::r3, Reg::r6);
+      a.bind(skip);
+      a.subi(Reg::r4, Reg::r4, 1);
+      a.cmpi(Reg::r4, 0);
+      a.b(Cond::ne, tj);
+      a.lsli(Reg::r5, Reg::r0, 2);
+      a.strr(Reg::r3, Reg::r2, Reg::r5);
+      a.addi(Reg::r0, Reg::r0, 1);
+      a.cmpi(Reg::r0, 256);
+      a.b(Cond::lt, ti);
+    }
+
+    // --- stream the input through the table --------------------------
+    a.mov_imm32(Reg::r8, 0xFFFFFFFFu);
+    a.load_label(Reg::r9, input);
+    a.mov_imm32(Reg::r10, kInputLen);
+    {
+      Label ml = a.make_label();
+      a.bind(ml);
+      a.ldrb(Reg::r4, Reg::r9, 0);
+      a.eor(Reg::r4, Reg::r8, Reg::r4);
+      a.andi(Reg::r4, Reg::r4, 255);
+      a.lsli(Reg::r4, Reg::r4, 2);
+      a.ldrr(Reg::r5, Reg::r2, Reg::r4);
+      a.lsri(Reg::r6, Reg::r8, 8);
+      a.eor(Reg::r8, Reg::r5, Reg::r6);
+      a.addi(Reg::r9, Reg::r9, 1);
+      a.subi(Reg::r10, Reg::r10, 1);
+      a.cmpi(Reg::r10, 0);
+      a.b(Cond::ne, ml);
+    }
+    a.mov_imm32(Reg::r4, 0xFFFFFFFFu);
+    a.eor(Reg::r8, Reg::r8, Reg::r4);
+    a.load_label(Reg::r0, out);
+    a.str(Reg::r8, Reg::r0, 0);
+    a.movi(Reg::r1, 4);
+    a.b(report);
+
+    emit_report_routine(a, report);
+
+    a.align(4);
+    a.bind(input);
+    a.bytes(random_bytes(seed, kInputLen));
+    a.align(4);
+    a.bind(out);
+    a.zero(4);
+    a.align(4);
+    a.bind(table);
+    a.zero(256 * 4);
+    return a.finish();
+  }
+
+  std::string expected_console(std::uint64_t seed) const override {
+    const auto input = random_bytes(seed, kInputLen);
+    const std::uint32_t crc = host_crc32(input);
+    const std::uint32_t words[] = {crc};
+    return report_string(words_to_bytes(words));
+  }
+};
+
+}  // namespace
+
+const Workload& crc32_workload() {
+  static const Crc32Workload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

@@ -1,0 +1,214 @@
+// Dijkstra (MiBench network/dijkstra): repeated single-source shortest
+// path over a dense adjacency matrix. Control + memory intensive, small
+// input — one of the paper's kernel-resident cache cases.
+#include "common.hpp"
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kN = 20;       // nodes
+constexpr std::uint32_t kQueries = 8;  // shortest-path queries
+constexpr std::uint32_t kInf = 0x0FFFFFFF;
+constexpr std::uint32_t kInfPlus = 0x10000000;
+
+/// Adjacency matrix: weight 1..9 with ~1/6 of entries absent (0); no
+/// self-edges.
+std::vector<std::uint32_t> make_graph(std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> adj(kN * kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    for (std::uint32_t j = 0; j < kN; ++j) {
+      if (i == j) {
+        adj[i * kN + j] = 0;
+        continue;
+      }
+      const std::uint32_t roll = static_cast<std::uint32_t>(rng.below(12));
+      adj[i * kN + j] = roll >= 10 ? 0 : 1 + roll % 9;
+    }
+  }
+  return adj;
+}
+
+std::vector<std::uint32_t> host_dijkstra(
+    const std::vector<std::uint32_t>& adj) {
+  std::vector<std::uint32_t> out(kQueries);
+  for (std::uint32_t q = 0; q < kQueries; ++q) {
+    const std::uint32_t src = q;
+    const std::uint32_t dst = (q * 7 + 3) % kN;
+    std::vector<std::uint32_t> dist(kN, kInf);
+    std::vector<std::uint32_t> visited(kN, 0);
+    dist[src] = 0;
+    for (std::uint32_t it = 0; it < kN; ++it) {
+      std::uint32_t best = kInfPlus;
+      std::uint32_t u = 0;
+      for (std::uint32_t i = 0; i < kN; ++i) {
+        if (!visited[i] && dist[i] < best) {
+          best = dist[i];
+          u = i;
+        }
+      }
+      visited[u] = 1;
+      for (std::uint32_t v = 0; v < kN; ++v) {
+        const std::uint32_t w = adj[u * kN + v];
+        if (w != 0 && best + w < dist[v]) dist[v] = best + w;
+      }
+    }
+    out[q] = dist[dst];
+  }
+  return out;
+}
+
+class DijkstraWorkload final : public BasicWorkload {
+ public:
+  DijkstraWorkload()
+      : BasicWorkload({
+            "Dijkstra",
+            "20x20 integer adjacency matrix, 8 paths",
+            "Control intensive, memory intensive",
+            "100x100 integer adjacency matrix, 100 paths",
+        }) {}
+
+  isa::Program build(std::uint64_t seed) const override {
+    Assembler a(sim::kUserBase);
+    Label report = a.make_label();
+    Label adj = a.make_label();
+    Label dist = a.make_label();
+    Label vis = a.make_label();
+    Label out = a.make_label();
+
+    a.load_label(Reg::r2, adj);
+    a.load_label(Reg::r3, dist);
+    a.load_label(Reg::r4, vis);
+    a.load_label(Reg::r5, out);
+    a.movi(Reg::r12, 0);  // q
+    Label qloop = a.make_label();
+    a.bind(qloop);
+    // src = q; dst = (q*7 + 3) % N
+    a.mov(Reg::r11, Reg::r12);
+    a.movi(Reg::r0, 7);
+    a.mul(Reg::r0, Reg::r12, Reg::r0);
+    a.addi(Reg::r0, Reg::r0, 3);
+    a.movi(Reg::r1, kN);
+    a.udiv(Reg::r6, Reg::r0, Reg::r1);
+    a.mul(Reg::r6, Reg::r6, Reg::r1);
+    a.sub(Reg::r6, Reg::r0, Reg::r6);  // dst
+
+    // init dist[i]=INF, vis[i]=0
+    a.movi(Reg::r7, 0);
+    {
+      Label init = a.make_label();
+      a.bind(init);
+      a.lsli(Reg::r8, Reg::r7, 2);
+      a.mov_imm32(Reg::r9, kInf);
+      a.strr(Reg::r9, Reg::r3, Reg::r8);
+      a.movi(Reg::r9, 0);
+      a.strr(Reg::r9, Reg::r4, Reg::r8);
+      a.addi(Reg::r7, Reg::r7, 1);
+      a.cmpi(Reg::r7, kN);
+      a.b(Cond::lt, init);
+    }
+    a.lsli(Reg::r8, Reg::r11, 2);
+    a.movi(Reg::r9, 0);
+    a.strr(Reg::r9, Reg::r3, Reg::r8);  // dist[src] = 0
+
+    a.movi(Reg::ip, kN);  // main iteration counter
+    Label iter = a.make_label();
+    a.bind(iter);
+    // argmin over unvisited
+    a.mov_imm32(Reg::r8, kInfPlus);  // best
+    a.movi(Reg::r9, 0);              // u
+    a.movi(Reg::r7, 0);              // i
+    {
+      Label scan = a.make_label();
+      Label next = a.make_label();
+      a.bind(scan);
+      a.lsli(Reg::r0, Reg::r7, 2);
+      a.ldrr(Reg::r1, Reg::r4, Reg::r0);
+      a.cmpi(Reg::r1, 0);
+      a.b(Cond::ne, next);
+      a.ldrr(Reg::r1, Reg::r3, Reg::r0);
+      a.cmp(Reg::r1, Reg::r8);
+      a.b(Cond::cs, next);
+      a.mov(Reg::r8, Reg::r1);
+      a.mov(Reg::r9, Reg::r7);
+      a.bind(next);
+      a.addi(Reg::r7, Reg::r7, 1);
+      a.cmpi(Reg::r7, kN);
+      a.b(Cond::lt, scan);
+    }
+    a.lsli(Reg::r0, Reg::r9, 2);
+    a.movi(Reg::r1, 1);
+    a.strr(Reg::r1, Reg::r4, Reg::r0);  // vis[u] = 1
+    // relax edges out of u (r8 = dist[u])
+    a.movi(Reg::r0, kN * 4);
+    a.mul(Reg::r0, Reg::r9, Reg::r0);
+    a.add(Reg::r0, Reg::r2, Reg::r0);  // row pointer
+    a.movi(Reg::r7, 0);                // v
+    {
+      Label relax = a.make_label();
+      Label next = a.make_label();
+      a.bind(relax);
+      a.lsli(Reg::r1, Reg::r7, 2);
+      a.ldrr(Reg::lr, Reg::r0, Reg::r1);  // w
+      a.cmpi(Reg::lr, 0);
+      a.b(Cond::eq, next);
+      a.add(Reg::lr, Reg::lr, Reg::r8);   // alt
+      a.ldrr(Reg::r9, Reg::r3, Reg::r1);  // dist[v]
+      a.cmp(Reg::lr, Reg::r9);
+      a.b(Cond::cs, next);
+      a.strr(Reg::lr, Reg::r3, Reg::r1);
+      a.bind(next);
+      a.addi(Reg::r7, Reg::r7, 1);
+      a.cmpi(Reg::r7, kN);
+      a.b(Cond::lt, relax);
+    }
+    a.subi(Reg::ip, Reg::ip, 1);
+    a.cmpi(Reg::ip, 0);
+    a.b(Cond::ne, iter);
+
+    // out[q] = dist[dst]
+    a.lsli(Reg::r0, Reg::r6, 2);
+    a.ldrr(Reg::r1, Reg::r3, Reg::r0);
+    a.lsli(Reg::r0, Reg::r12, 2);
+    a.strr(Reg::r1, Reg::r5, Reg::r0);
+    a.addi(Reg::r12, Reg::r12, 1);
+    a.cmpi(Reg::r12, kQueries);
+    a.b(Cond::lt, qloop);
+
+    a.load_label(Reg::r0, out);
+    a.movi(Reg::r1, kQueries * 4);
+    a.b(report);
+
+    emit_report_routine(a, report);
+
+    a.align(4);
+    a.bind(adj);
+    a.bytes(words_to_bytes(make_graph(seed)));
+    a.bind(dist);
+    a.zero(kN * 4);
+    a.bind(vis);
+    a.zero(kN * 4);
+    a.bind(out);
+    a.zero(kQueries * 4);
+    return a.finish();
+  }
+
+  std::string expected_console(std::uint64_t seed) const override {
+    const auto result = host_dijkstra(make_graph(seed));
+    return report_string(words_to_bytes(result));
+  }
+};
+
+}  // namespace
+
+const Workload& dijkstra_workload() {
+  static const DijkstraWorkload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

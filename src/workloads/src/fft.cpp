@@ -1,0 +1,189 @@
+// FFT (MiBench telecomm/FFT): radix-2 iterative Cooley-Tukey over a
+// 256-point complex single-precision signal. Memory intensive with
+// strided access and floating-point heavy — register-file sensitive.
+//
+// The input array is emitted in bit-reversed order by the host (the guest
+// performs only the butterfly passes), and the twiddle table is
+// precomputed host-side; both sides execute the identical sequence of
+// float operations, so the fault-free guest output matches the host
+// mirror bit for bit.
+#include "common.hpp"
+
+#include <cmath>
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kN = 256;       // complex points
+constexpr std::uint32_t kLog2N = 8;
+
+std::uint32_t bit_reverse(std::uint32_t value, unsigned bits) {
+  std::uint32_t out = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    out = (out << 1) | ((value >> i) & 1);
+  }
+  return out;
+}
+
+/// Interleaved (re, im) input signal, already bit-reverse permuted.
+std::vector<float> make_input(std::uint64_t seed) {
+  const auto samples = random_floats(seed, kN * 2, -1.0f, 1.0f);
+  std::vector<float> data(kN * 2);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    const std::uint32_t j = bit_reverse(i, kLog2N);
+    data[2 * j] = samples[2 * i];
+    data[2 * j + 1] = samples[2 * i + 1];
+  }
+  return data;
+}
+
+/// Twiddles w_k = exp(-2*pi*i*k/N) for k in [0, N/2).
+std::vector<float> make_twiddles() {
+  std::vector<float> tw(kN);
+  for (std::uint32_t k = 0; k < kN / 2; ++k) {
+    const double angle = -2.0 * 3.14159265358979323846 * k / kN;
+    tw[2 * k] = static_cast<float>(std::cos(angle));
+    tw[2 * k + 1] = static_cast<float>(std::sin(angle));
+  }
+  return tw;
+}
+
+/// Host mirror of the guest's butterfly passes (identical op order).
+std::vector<float> host_fft(std::uint64_t seed) {
+  std::vector<float> a = make_input(seed);
+  const std::vector<float> tw = make_twiddles();
+  for (std::uint32_t half = 1, step = kN / 2; half < kN;
+       half <<= 1, step >>= 1) {
+    for (std::uint32_t i = 0; i < kN; i += 2 * half) {
+      for (std::uint32_t j = 0; j < half; ++j) {
+        const std::uint32_t p1 = 2 * (i + j);
+        const std::uint32_t p2 = p1 + 2 * half;
+        const float wr = tw[2 * (j * step)];
+        const float wi = tw[2 * (j * step) + 1];
+        const float ur = a[p1], ui = a[p1 + 1];
+        const float vr = a[p2], vi = a[p2 + 1];
+        const float t_rm = vr * wi;        // matches guest op order
+        const float t_rr = vr * wr;
+        const float t_ir = vi * wr;
+        const float t_ii = vi * wi;
+        const float tr = t_rr - t_ii;
+        const float ti = t_rm + t_ir;
+        a[p1] = ur + tr;
+        a[p1 + 1] = ui + ti;
+        a[p2] = ur - tr;
+        a[p2 + 1] = ui - ti;
+      }
+    }
+  }
+  return a;
+}
+
+class FftWorkload final : public BasicWorkload {
+ public:
+  FftWorkload()
+      : BasicWorkload({
+            "FFT",
+            "256-point complex single-precision array",
+            "Memory intensive",
+            "single floating point array with 32768 elements",
+        }) {}
+
+  isa::Program build(std::uint64_t seed) const override {
+    Assembler a(sim::kUserBase);
+    Label report = a.make_label();
+    Label data = a.make_label();
+    Label twiddle = a.make_label();
+
+    a.load_label(Reg::r2, data);
+    a.load_label(Reg::r3, twiddle);
+    a.movi(Reg::r4, 1);        // half
+    a.movi(Reg::r6, kN / 2);   // step
+
+    Label stage = a.make_label();
+    a.bind(stage);
+    a.movi(Reg::r7, 0);  // i
+    Label iloop = a.make_label();
+    a.bind(iloop);
+    a.movi(Reg::r8, 0);  // j
+    Label jloop = a.make_label();
+    a.bind(jloop);
+    // p1 = data + (i+j)*8 ; p2 = p1 + half*8
+    a.add(Reg::r9, Reg::r7, Reg::r8);
+    a.lsli(Reg::r9, Reg::r9, 3);
+    a.add(Reg::r9, Reg::r2, Reg::r9);
+    a.lsli(Reg::r10, Reg::r4, 3);
+    a.add(Reg::r10, Reg::r9, Reg::r10);
+    // u, v
+    a.ldr(Reg::r11, Reg::r9, 0);   // ur
+    a.ldr(Reg::r12, Reg::r9, 4);   // ui
+    a.ldr(Reg::r0, Reg::r10, 0);   // vr
+    a.ldr(Reg::r1, Reg::r10, 4);   // vi
+    // twiddle pointer: tw + (j*step)*8
+    a.mul(Reg::lr, Reg::r8, Reg::r6);
+    a.lsli(Reg::lr, Reg::lr, 3);
+    a.add(Reg::lr, Reg::r3, Reg::lr);
+    a.ldr(Reg::ip, Reg::lr, 0);    // wr
+    a.ldr(Reg::lr, Reg::lr, 4);    // wi
+    // t = v * w (complex), overwriting operands as they die
+    a.fmul(Reg::r5, Reg::r0, Reg::lr);   // vr*wi
+    a.fmul(Reg::r0, Reg::r0, Reg::ip);   // vr*wr
+    a.fmul(Reg::ip, Reg::r1, Reg::ip);   // vi*wr
+    a.fmul(Reg::r1, Reg::r1, Reg::lr);   // vi*wi
+    a.fsub(Reg::r0, Reg::r0, Reg::r1);   // tr
+    a.fadd(Reg::r1, Reg::r5, Reg::ip);   // ti
+    // a[p1] = u + t; a[p2] = u - t
+    a.fadd(Reg::r5, Reg::r11, Reg::r0);
+    a.str(Reg::r5, Reg::r9, 0);
+    a.fadd(Reg::r5, Reg::r12, Reg::r1);
+    a.str(Reg::r5, Reg::r9, 4);
+    a.fsub(Reg::r5, Reg::r11, Reg::r0);
+    a.str(Reg::r5, Reg::r10, 0);
+    a.fsub(Reg::r5, Reg::r12, Reg::r1);
+    a.str(Reg::r5, Reg::r10, 4);
+
+    a.addi(Reg::r8, Reg::r8, 1);
+    a.cmp(Reg::r8, Reg::r4);
+    a.b(Cond::lt, jloop);
+    // i += 2*half
+    a.lsli(Reg::r5, Reg::r4, 1);
+    a.add(Reg::r7, Reg::r7, Reg::r5);
+    a.cmpi(Reg::r7, kN);
+    a.b(Cond::lt, iloop);
+    // next stage: half <<= 1, step >>= 1
+    a.lsli(Reg::r4, Reg::r4, 1);
+    a.lsri(Reg::r6, Reg::r6, 1);
+    a.cmpi(Reg::r4, kN);
+    a.b(Cond::lt, stage);
+
+    a.load_label(Reg::r0, data);
+    a.mov_imm32(Reg::r1, kN * 8);
+    a.b(report);
+
+    emit_report_routine(a, report);
+
+    a.align(4);
+    a.bind(data);
+    a.bytes(floats_to_bytes(make_input(seed)));
+    a.bind(twiddle);
+    a.bytes(floats_to_bytes(make_twiddles()));
+    return a.finish();
+  }
+
+  std::string expected_console(std::uint64_t seed) const override {
+    return report_string(floats_to_bytes(host_fft(seed)));
+  }
+};
+
+}  // namespace
+
+const Workload& fft_workload() {
+  static const FftWorkload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

@@ -1,0 +1,534 @@
+// Jpeg C / Jpeg D (MiBench consumer/jpeg): a miniature JPEG-style codec —
+// level shift, 8x8 fixed-point 2D DCT, quantization, and zigzag scan for
+// encode; the inverse chain for decode. CPU intensive. Like the paper's
+// pair, decode is not a replay of encode: it runs the reverse steps over
+// the encoder's output stream, so its control flow differs (the property
+// behind the JpegC/JpegD Application-Crash asymmetry in §V-A).
+//
+// All arithmetic is integer (Q10 fixed-point cosine table, truncating
+// divisions), so guest and host mirrors agree exactly.
+#include "common.hpp"
+
+#include <cmath>
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kW = 16;
+constexpr std::uint32_t kH = 16;
+constexpr std::uint32_t kBlocksX = kW / 8;
+constexpr std::uint32_t kBlocks = (kW / 8) * (kH / 8);
+constexpr std::int32_t kFixShift = 10;
+constexpr std::int32_t kFixRound = 1 << (kFixShift - 1);
+
+/// Q10 DCT-II basis: T[u][x] = round(alpha(u)/2 * cos((2x+1)u*pi/16) * 1024).
+const std::vector<std::int32_t>& dct_table() {
+  static const auto table = [] {
+    std::vector<std::int32_t> t(64);
+    for (int u = 0; u < 8; ++u) {
+      const double alpha = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+      for (int x = 0; x < 8; ++x) {
+        const double v =
+            alpha / 2.0 * std::cos((2 * x + 1) * u * 3.14159265358979323846 / 16.0);
+        t[u * 8 + x] = static_cast<std::int32_t>(std::lround(v * 1024.0));
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Synthetic quality table (both sides use it; real JPEG ships its own).
+const std::vector<std::int32_t>& quant_table() {
+  static const auto table = [] {
+    std::vector<std::int32_t> q(64);
+    for (int u = 0; u < 8; ++u) {
+      for (int v = 0; v < 8; ++v) q[u * 8 + v] = 8 + 4 * (u + v);
+    }
+    return q;
+  }();
+  return table;
+}
+
+/// Standard zigzag order (diagonal walk).
+const std::vector<std::uint8_t>& zigzag_order() {
+  static const auto order = [] {
+    std::vector<std::uint8_t> zig(64);
+    int index = 0;
+    for (int s = 0; s < 15; ++s) {
+      if (s % 2 == 0) {
+        for (int y = std::min(s, 7); y >= std::max(0, s - 7); --y) {
+          zig[index++] = static_cast<std::uint8_t>(y * 8 + (s - y));
+        }
+      } else {
+        for (int x = std::min(s, 7); x >= std::max(0, s - 7); --x) {
+          zig[index++] = static_cast<std::uint8_t>((s - x) * 8 + x);
+        }
+      }
+    }
+    return zig;
+  }();
+  return order;
+}
+
+std::vector<std::uint8_t> make_image(std::uint64_t seed) {
+  // Smooth-ish image: base gradient + noise, so the DCT output has
+  // realistic energy compaction.
+  support::Xoshiro256 rng(seed ^ 0x19E6);
+  std::vector<std::uint8_t> img(kW * kH);
+  for (std::uint32_t y = 0; y < kH; ++y) {
+    for (std::uint32_t x = 0; x < kW; ++x) {
+      const std::uint32_t base = 8 * x + 5 * y;
+      const std::uint32_t noise = static_cast<std::uint32_t>(rng.below(32));
+      img[y * kW + x] = static_cast<std::uint8_t>((base + noise) & 0xff);
+    }
+  }
+  return img;
+}
+
+// --- host mirror -----------------------------------------------------------
+
+std::vector<std::int16_t> host_encode(std::uint64_t seed) {
+  const auto img = make_image(seed);
+  const auto& t = dct_table();
+  const auto& q = quant_table();
+  const auto& zig = zigzag_order();
+  std::vector<std::int16_t> stream(kBlocks * 64);
+  for (std::uint32_t b = 0; b < kBlocks; ++b) {
+    const std::uint32_t bx = b % kBlocksX;
+    const std::uint32_t by = b / kBlocksX;
+    std::int32_t s[64], tmp[64], out[64];
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        s[y * 8 + x] =
+            static_cast<std::int32_t>(img[(by * 8 + y) * kW + bx * 8 + x]) -
+            128;
+      }
+    }
+    for (int y = 0; y < 8; ++y) {
+      for (int u = 0; u < 8; ++u) {
+        std::int32_t acc = 0;
+        for (int x = 0; x < 8; ++x) acc += s[y * 8 + x] * t[u * 8 + x];
+        tmp[y * 8 + u] = (acc + kFixRound) >> kFixShift;
+      }
+    }
+    for (int u = 0; u < 8; ++u) {
+      for (int v = 0; v < 8; ++v) {
+        std::int32_t acc = 0;
+        for (int y = 0; y < 8; ++y) acc += tmp[y * 8 + u] * t[v * 8 + y];
+        out[v * 8 + u] = (acc + kFixRound) >> kFixShift;
+      }
+    }
+    for (int i = 0; i < 64; ++i) {
+      const std::int32_t quantized = out[zig[i]] / q[zig[i]];
+      stream[b * 64 + i] = static_cast<std::int16_t>(quantized);
+    }
+  }
+  return stream;
+}
+
+std::vector<std::uint8_t> host_decode(std::uint64_t seed) {
+  const auto stream = host_encode(seed);
+  const auto& t = dct_table();
+  const auto& q = quant_table();
+  const auto& zig = zigzag_order();
+  std::vector<std::uint8_t> img(kW * kH);
+  for (std::uint32_t b = 0; b < kBlocks; ++b) {
+    const std::uint32_t bx = b % kBlocksX;
+    const std::uint32_t by = b / kBlocksX;
+    std::int32_t coef[64], tmp[64];
+    for (int i = 0; i < 64; ++i) {
+      coef[zig[i]] = static_cast<std::int32_t>(stream[b * 64 + i]) * q[zig[i]];
+    }
+    // Inverse of the column pass: tmp[y*8+u] = sum_v coef[v*8+u]*T[v][y].
+    for (int u = 0; u < 8; ++u) {
+      for (int y = 0; y < 8; ++y) {
+        std::int32_t acc = 0;
+        for (int v = 0; v < 8; ++v) acc += coef[v * 8 + u] * t[v * 8 + y];
+        tmp[y * 8 + u] = (acc + kFixRound) >> kFixShift;
+      }
+    }
+    // Inverse of the row pass + level shift + clamp.
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        std::int32_t acc = 0;
+        for (int u = 0; u < 8; ++u) acc += tmp[y * 8 + u] * t[u * 8 + x];
+        std::int32_t pixel = ((acc + kFixRound) >> kFixShift) + 128;
+        if (pixel < 0) pixel = 0;
+        if (pixel > 255) pixel = 255;
+        img[(by * 8 + y) * kW + bx * 8 + x] = static_cast<std::uint8_t>(pixel);
+      }
+    }
+  }
+  return img;
+}
+
+std::vector<std::uint8_t> stream_to_bytes(
+    const std::vector<std::int16_t>& stream) {
+  std::vector<std::uint8_t> out;
+  out.reserve(stream.size() * 2);
+  for (const std::int16_t v : stream) {
+    const auto u = static_cast<std::uint16_t>(v);
+    out.push_back(static_cast<std::uint8_t>(u));
+    out.push_back(static_cast<std::uint8_t>(u >> 8));
+  }
+  return out;
+}
+
+// --- guest emitters ---------------------------------------------------------
+
+/// Emits `dst = (acc + kFixRound) >> kFixShift` on register acc.
+void emit_fix_round(Assembler& a, Reg acc) {
+  a.addi(acc, acc, kFixRound);
+  a.asri(acc, acc, kFixShift);
+}
+
+/// Shared 8x8 MAC pass: for outer o in [0,8), inner i in [0,8):
+///   dst[f_dst(o,i)] = fix(sum_k src[f_src(o,k)] * tab[f_tab(i,k)])
+/// All index functions return *byte* offsets into int32 arrays.
+/// Register use: r5 src base, r6 dst base, r7 tab base (preloaded by
+/// caller); o in r8, i in r9, k in r10, acc r11, temps r0/r1/lr.
+template <typename FSrc, typename FTab, typename FDst>
+void emit_mac_pass(Assembler& a, FSrc f_src, FTab f_tab, FDst f_dst) {
+  a.movi(Reg::r8, 0);
+  Label oloop = a.make_label();
+  a.bind(oloop);
+  a.movi(Reg::r9, 0);
+  Label iloop = a.make_label();
+  a.bind(iloop);
+  a.movi(Reg::r11, 0);
+  a.movi(Reg::r10, 0);
+  Label kloop = a.make_label();
+  a.bind(kloop);
+  f_src(a, Reg::r0, Reg::r8, Reg::r10);  // r0 = byte offset into src
+  a.ldrr(Reg::r0, Reg::r5, Reg::r0);
+  f_tab(a, Reg::r1, Reg::r9, Reg::r10);  // r1 = byte offset into tab
+  a.ldrr(Reg::r1, Reg::r7, Reg::r1);
+  a.mul(Reg::r0, Reg::r0, Reg::r1);
+  a.add(Reg::r11, Reg::r11, Reg::r0);
+  a.addi(Reg::r10, Reg::r10, 1);
+  a.cmpi(Reg::r10, 8);
+  a.b(Cond::lt, kloop);
+  emit_fix_round(a, Reg::r11);
+  f_dst(a, Reg::r0, Reg::r8, Reg::r9);  // r0 = byte offset into dst
+  a.strr(Reg::r11, Reg::r6, Reg::r0);
+  a.addi(Reg::r9, Reg::r9, 1);
+  a.cmpi(Reg::r9, 8);
+  a.b(Cond::lt, iloop);
+  a.addi(Reg::r8, Reg::r8, 1);
+  a.cmpi(Reg::r8, 8);
+  a.b(Cond::lt, oloop);
+}
+
+/// offset = (a8*8 + b) * 4 where a8 = first index, b = second.
+void emit_idx(Assembler& a, Reg dst, Reg first, Reg second) {
+  a.lsli(dst, first, 3);
+  a.add(dst, dst, second);
+  a.lsli(dst, dst, 2);
+}
+
+/// offset = (b*8 + a8) * 4 (transposed).
+void emit_idx_t(Assembler& a, Reg dst, Reg first, Reg second) {
+  a.lsli(dst, second, 3);
+  a.add(dst, dst, first);
+  a.lsli(dst, dst, 2);
+}
+
+isa::Program build_jpeg_program(std::uint64_t seed, bool decode) {
+  Assembler a(sim::kUserBase);
+  Label report = a.make_label();
+  Label img = a.make_label();       // encode input / decode output
+  Label stream = a.make_label();    // encode output / decode input
+  Label tab = a.make_label();
+  Label quant = a.make_label();
+  Label zig = a.make_label();
+  Label sblk = a.make_label();      // int32[64] scratch
+  Label tblk = a.make_label();      // int32[64] scratch
+
+  // Block loop: ip = block index.
+  a.movi(Reg::ip, 0);
+  Label block_loop = a.make_label();
+  a.bind(block_loop);
+  // r12 = pixel base byte offset of this block: (by*8*W + bx*8)
+  a.movi(Reg::r0, kBlocksX);
+  a.udiv(Reg::r1, Reg::ip, Reg::r0);  // by
+  a.mul(Reg::r2, Reg::r1, Reg::r0);
+  a.sub(Reg::r2, Reg::ip, Reg::r2);   // bx
+  a.movi(Reg::r3, 8 * kW);
+  a.mul(Reg::r12, Reg::r1, Reg::r3);
+  a.lsli(Reg::r2, Reg::r2, 3);
+  a.add(Reg::r12, Reg::r12, Reg::r2);
+
+  if (!decode) {
+    // --- stage A: load pixels, level shift into sblk ------------------
+    a.load_label(Reg::r2, img);
+    a.load_label(Reg::r5, sblk);
+    a.movi(Reg::r6, 0);  // y
+    {
+      Label yloop = a.make_label();
+      a.bind(yloop);
+      a.movi(Reg::r7, 0);  // x
+      Label xloop = a.make_label();
+      a.bind(xloop);
+      a.movi(Reg::r0, kW);
+      a.mul(Reg::r0, Reg::r6, Reg::r0);
+      a.add(Reg::r0, Reg::r0, Reg::r7);
+      a.add(Reg::r0, Reg::r0, Reg::r12);
+      a.add(Reg::r0, Reg::r0, Reg::r2);
+      a.ldrb(Reg::r1, Reg::r0, 0);
+      a.subi(Reg::r1, Reg::r1, 128);
+      a.lsli(Reg::r0, Reg::r6, 3);
+      a.add(Reg::r0, Reg::r0, Reg::r7);
+      a.lsli(Reg::r0, Reg::r0, 2);
+      a.strr(Reg::r1, Reg::r5, Reg::r0);
+      a.addi(Reg::r7, Reg::r7, 1);
+      a.cmpi(Reg::r7, 8);
+      a.b(Cond::lt, xloop);
+      a.addi(Reg::r6, Reg::r6, 1);
+      a.cmpi(Reg::r6, 8);
+      a.b(Cond::lt, yloop);
+    }
+    // --- stage B: row DCT: tblk[y*8+u] = fix(sum_x sblk[y*8+x]*T[u*8+x])
+    a.load_label(Reg::r5, sblk);
+    a.load_label(Reg::r6, tblk);
+    a.load_label(Reg::r7, tab);
+    emit_mac_pass(a, emit_idx, emit_idx, emit_idx);
+    // --- stage C: col DCT: sblk[v*8+u] = fix(sum_y tblk[y*8+u]*T[v*8+y])
+    // outer o = u, inner i = v, k = y:
+    //   src offset = (k*8 + o)*4, tab offset = (i*8 + k)*4,
+    //   dst offset = (i*8 + o)*4
+    a.load_label(Reg::r5, tblk);
+    a.load_label(Reg::r6, sblk);
+    emit_mac_pass(a, emit_idx_t, emit_idx, emit_idx_t);
+    // --- stage D: quantize + zigzag into the int16 stream --------------
+    a.load_label(Reg::r5, sblk);
+    a.load_label(Reg::r6, quant);
+    a.load_label(Reg::r7, zig);
+    a.load_label(Reg::r2, stream);
+    a.lsli(Reg::r0, Reg::ip, 7);  // block * 64 coeffs * 2 bytes
+    a.add(Reg::r2, Reg::r2, Reg::r0);
+    a.movi(Reg::r8, 0);  // i
+    {
+      Label qloop = a.make_label();
+      a.bind(qloop);
+      a.add(Reg::r0, Reg::r7, Reg::r8);
+      a.ldrb(Reg::r9, Reg::r0, 0);   // z = zig[i]
+      a.lsli(Reg::r9, Reg::r9, 2);
+      a.ldrr(Reg::r0, Reg::r5, Reg::r9);  // coef
+      a.ldrr(Reg::r1, Reg::r6, Reg::r9);  // q
+      a.sdiv(Reg::r0, Reg::r0, Reg::r1);
+      a.lsli(Reg::r1, Reg::r8, 1);
+      a.add(Reg::r1, Reg::r2, Reg::r1);
+      a.strh(Reg::r0, Reg::r1, 0);
+      a.addi(Reg::r8, Reg::r8, 1);
+      a.cmpi(Reg::r8, 64);
+      a.b(Cond::lt, qloop);
+    }
+  } else {
+    // --- stage A': dezigzag + dequantize into sblk ---------------------
+    a.load_label(Reg::r5, sblk);
+    a.load_label(Reg::r6, quant);
+    a.load_label(Reg::r7, zig);
+    a.load_label(Reg::r2, stream);
+    a.lsli(Reg::r0, Reg::ip, 7);
+    a.add(Reg::r2, Reg::r2, Reg::r0);
+    a.movi(Reg::r8, 0);
+    {
+      Label dloop = a.make_label();
+      a.bind(dloop);
+      a.lsli(Reg::r0, Reg::r8, 1);
+      a.add(Reg::r0, Reg::r2, Reg::r0);
+      a.ldrh(Reg::r1, Reg::r0, 0);
+      a.lsli(Reg::r1, Reg::r1, 16);   // sign-extend the int16
+      a.asri(Reg::r1, Reg::r1, 16);
+      a.add(Reg::r0, Reg::r7, Reg::r8);
+      a.ldrb(Reg::r9, Reg::r0, 0);    // z = zig[i]
+      a.lsli(Reg::r9, Reg::r9, 2);
+      a.ldrr(Reg::r0, Reg::r6, Reg::r9);
+      a.mul(Reg::r1, Reg::r1, Reg::r0);
+      a.strr(Reg::r1, Reg::r5, Reg::r9);
+      a.addi(Reg::r8, Reg::r8, 1);
+      a.cmpi(Reg::r8, 64);
+      a.b(Cond::lt, dloop);
+    }
+    // --- stage B': inverse column pass:
+    // tblk[y*8+u] = fix(sum_v sblk[v*8+u] * T[v*8+y])
+    // outer o = u, inner i = y, k = v:
+    //   src = (k*8+o)*4, tab = (k*8+i)*4, dst = (i*8+o)*4
+    a.load_label(Reg::r5, sblk);
+    a.load_label(Reg::r6, tblk);
+    a.load_label(Reg::r7, tab);
+    emit_mac_pass(a, emit_idx_t,
+                  [](Assembler& aa, Reg dst, Reg i, Reg k) {
+                    emit_idx_t(aa, dst, i, k);
+                  },
+                  emit_idx_t);
+    // --- stage C': inverse row pass + shift + clamp + store -------------
+    // pixel(y, x) = clamp(fix(sum_u tblk[y*8+u] * T[u*8+x]) + 128)
+    a.load_label(Reg::r5, tblk);
+    a.load_label(Reg::r7, tab);
+    a.load_label(Reg::r2, img);
+    a.movi(Reg::r6, 0);  // y
+    {
+      Label yloop = a.make_label();
+      a.bind(yloop);
+      a.movi(Reg::r8, 0);  // x
+      Label xloop = a.make_label();
+      a.bind(xloop);
+      a.movi(Reg::r11, 0);
+      a.movi(Reg::r10, 0);  // u
+      Label uloop = a.make_label();
+      a.bind(uloop);
+      a.lsli(Reg::r0, Reg::r6, 3);
+      a.add(Reg::r0, Reg::r0, Reg::r10);
+      a.lsli(Reg::r0, Reg::r0, 2);
+      a.ldrr(Reg::r0, Reg::r5, Reg::r0);
+      a.lsli(Reg::r1, Reg::r10, 3);
+      a.add(Reg::r1, Reg::r1, Reg::r8);
+      a.lsli(Reg::r1, Reg::r1, 2);
+      a.ldrr(Reg::r1, Reg::r7, Reg::r1);
+      a.mul(Reg::r0, Reg::r0, Reg::r1);
+      a.add(Reg::r11, Reg::r11, Reg::r0);
+      a.addi(Reg::r10, Reg::r10, 1);
+      a.cmpi(Reg::r10, 8);
+      a.b(Cond::lt, uloop);
+      emit_fix_round(a, Reg::r11);
+      a.addi(Reg::r11, Reg::r11, 128);
+      // clamp to [0, 255]
+      {
+        Label not_low = a.make_label();
+        Label done = a.make_label();
+        a.cmpi(Reg::r11, 0);
+        a.b(Cond::ge, not_low);
+        a.movi(Reg::r11, 0);
+        a.b(done);
+        a.bind(not_low);
+        a.cmpi(Reg::r11, 255);
+        a.b(Cond::le, done);
+        a.movi(Reg::r11, 255);
+        a.bind(done);
+      }
+      a.movi(Reg::r0, kW);
+      a.mul(Reg::r0, Reg::r6, Reg::r0);
+      a.add(Reg::r0, Reg::r0, Reg::r8);
+      a.add(Reg::r0, Reg::r0, Reg::r12);
+      a.add(Reg::r0, Reg::r0, Reg::r2);
+      a.strb(Reg::r11, Reg::r0, 0);
+      a.addi(Reg::r8, Reg::r8, 1);
+      a.cmpi(Reg::r8, 8);
+      a.b(Cond::lt, xloop);
+      a.addi(Reg::r6, Reg::r6, 1);
+      a.cmpi(Reg::r6, 8);
+      a.b(Cond::lt, yloop);
+    }
+  }
+
+  a.addi(Reg::ip, Reg::ip, 1);
+  a.cmpi(Reg::ip, kBlocks);
+  a.b(Cond::lt, block_loop);
+
+  if (!decode) {
+    a.load_label(Reg::r0, stream);
+    a.mov_imm32(Reg::r1, kBlocks * 64 * 2);
+  } else {
+    a.load_label(Reg::r0, img);
+    a.mov_imm32(Reg::r1, kW * kH);
+  }
+  a.b(report);
+
+  emit_report_routine(a, report);
+
+  // --- data ------------------------------------------------------------
+  a.align(4);
+  a.bind(tab);
+  {
+    std::vector<std::uint32_t> words;
+    for (const std::int32_t v : dct_table()) {
+      words.push_back(static_cast<std::uint32_t>(v));
+    }
+    a.bytes(words_to_bytes(words));
+  }
+  a.bind(quant);
+  {
+    std::vector<std::uint32_t> words;
+    for (const std::int32_t v : quant_table()) {
+      words.push_back(static_cast<std::uint32_t>(v));
+    }
+    a.bytes(words_to_bytes(words));
+  }
+  a.bind(zig);
+  a.bytes(zigzag_order());
+  a.align(4);
+  a.bind(img);
+  if (!decode) {
+    a.bytes(make_image(seed));
+  } else {
+    a.zero(kW * kH);
+  }
+  a.align(4);
+  a.bind(stream);
+  if (!decode) {
+    a.zero(kBlocks * 64 * 2);
+  } else {
+    a.bytes(stream_to_bytes(host_encode(seed)));
+  }
+  a.align(4);
+  a.bind(sblk);
+  a.zero(64 * 4);
+  a.bind(tblk);
+  a.zero(64 * 4);
+  return a.finish();
+}
+
+class JpegCWorkload final : public BasicWorkload {
+ public:
+  JpegCWorkload()
+      : BasicWorkload({
+            "JpegC",
+            "16x16 grayscale image, DCT encode",
+            "CPU intensive",
+            "512x512 PPM image with size of 786.5 KB",
+        }) {}
+  isa::Program build(std::uint64_t seed) const override {
+    return build_jpeg_program(seed, /*decode=*/false);
+  }
+  std::string expected_console(std::uint64_t seed) const override {
+    return report_string(stream_to_bytes(host_encode(seed)));
+  }
+};
+
+class JpegDWorkload final : public BasicWorkload {
+ public:
+  JpegDWorkload()
+      : BasicWorkload({
+            "JpegD",
+            "16x16 coefficient stream, DCT decode",
+            "CPU intensive",
+            "512x512 PPM image with size of 786.5 KB",
+        }) {}
+  isa::Program build(std::uint64_t seed) const override {
+    return build_jpeg_program(seed, /*decode=*/true);
+  }
+  std::string expected_console(std::uint64_t seed) const override {
+    return report_string(host_decode(seed));
+  }
+};
+
+}  // namespace
+
+const Workload& jpeg_c_workload() {
+  static const JpegCWorkload instance;
+  return instance;
+}
+
+const Workload& jpeg_d_workload() {
+  static const JpegDWorkload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

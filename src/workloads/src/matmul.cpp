@@ -1,0 +1,129 @@
+// MatMul (the paper's matrix-multiply benchmark): C = A x B over 16x16
+// single-precision matrices. Memory intensive with a classic three-loop
+// kernel; the smallest data footprint of the float benchmarks.
+#include "common.hpp"
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kN = 16;
+
+std::vector<float> make_a(std::uint64_t seed) {
+  return random_floats(seed ^ 0xA, kN * kN, -2.0f, 2.0f);
+}
+
+std::vector<float> make_b(std::uint64_t seed) {
+  return random_floats(seed ^ 0xB, kN * kN, -2.0f, 2.0f);
+}
+
+std::vector<float> host_matmul(std::uint64_t seed) {
+  const auto a = make_a(seed);
+  const auto b = make_b(seed);
+  std::vector<float> c(kN * kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    for (std::uint32_t j = 0; j < kN; ++j) {
+      float acc = 0.0f;
+      for (std::uint32_t k = 0; k < kN; ++k) {
+        // Two distinct rounding steps, matching the guest's fmul+fadd.
+        const float product = a[i * kN + k] * b[k * kN + j];
+        acc = acc + product;
+      }
+      c[i * kN + j] = acc;
+    }
+  }
+  return c;
+}
+
+class MatMulWorkload final : public BasicWorkload {
+ public:
+  MatMulWorkload()
+      : BasicWorkload({
+            "MatMul",
+            "16x16 single-precision floating point",
+            "Memory intensive",
+            "128x128 single precision floating point",
+        }) {}
+
+  isa::Program build(std::uint64_t seed) const override {
+    Assembler a(sim::kUserBase);
+    Label report = a.make_label();
+    Label mat_a = a.make_label();
+    Label mat_b = a.make_label();
+    Label mat_c = a.make_label();
+
+    a.load_label(Reg::r2, mat_a);
+    a.load_label(Reg::r3, mat_b);
+    a.load_label(Reg::r4, mat_c);
+    a.movi(Reg::r10, kN);
+
+    a.movi(Reg::r5, 0);  // i
+    Label iloop = a.make_label();
+    a.bind(iloop);
+    a.movi(Reg::r6, 0);  // j
+    Label jloop = a.make_label();
+    a.bind(jloop);
+    a.movi(Reg::r8, 0);  // acc = 0.0f (bit pattern 0)
+    a.movi(Reg::r7, 0);  // k
+    Label kloop = a.make_label();
+    a.bind(kloop);
+    // a[i*N + k]
+    a.mul(Reg::r9, Reg::r5, Reg::r10);
+    a.add(Reg::r9, Reg::r9, Reg::r7);
+    a.lsli(Reg::r9, Reg::r9, 2);
+    a.ldrr(Reg::r11, Reg::r2, Reg::r9);
+    // b[k*N + j]
+    a.mul(Reg::r9, Reg::r7, Reg::r10);
+    a.add(Reg::r9, Reg::r9, Reg::r6);
+    a.lsli(Reg::r9, Reg::r9, 2);
+    a.ldrr(Reg::r12, Reg::r3, Reg::r9);
+    a.fmul(Reg::r11, Reg::r11, Reg::r12);
+    a.fadd(Reg::r8, Reg::r8, Reg::r11);
+    a.addi(Reg::r7, Reg::r7, 1);
+    a.cmp(Reg::r7, Reg::r10);
+    a.b(Cond::lt, kloop);
+    // c[i*N + j] = acc
+    a.mul(Reg::r9, Reg::r5, Reg::r10);
+    a.add(Reg::r9, Reg::r9, Reg::r6);
+    a.lsli(Reg::r9, Reg::r9, 2);
+    a.strr(Reg::r8, Reg::r4, Reg::r9);
+    a.addi(Reg::r6, Reg::r6, 1);
+    a.cmp(Reg::r6, Reg::r10);
+    a.b(Cond::lt, jloop);
+    a.addi(Reg::r5, Reg::r5, 1);
+    a.cmp(Reg::r5, Reg::r10);
+    a.b(Cond::lt, iloop);
+
+    a.load_label(Reg::r0, mat_c);
+    a.mov_imm32(Reg::r1, kN * kN * 4);
+    a.b(report);
+
+    emit_report_routine(a, report);
+
+    a.align(4);
+    a.bind(mat_a);
+    a.bytes(floats_to_bytes(make_a(seed)));
+    a.bind(mat_b);
+    a.bytes(floats_to_bytes(make_b(seed)));
+    a.bind(mat_c);
+    a.zero(kN * kN * 4);
+    return a.finish();
+  }
+
+  std::string expected_console(std::uint64_t seed) const override {
+    return report_string(floats_to_bytes(host_matmul(seed)));
+  }
+};
+
+}  // namespace
+
+const Workload& matmul_workload() {
+  static const MatMulWorkload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

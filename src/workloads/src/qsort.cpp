@@ -1,0 +1,124 @@
+// Qsort (MiBench auto/qsort): recursive quicksort (Lomuto partition) over
+// an unsigned integer array. Memory intensive and control intensive with
+// heavy stack use — the paper's highest Application-Crash benchmark.
+#include "common.hpp"
+
+#include <algorithm>
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kCount = 320;
+
+std::vector<std::uint32_t> make_input(std::uint64_t seed) {
+  return random_words(seed ^ 0x9507, kCount, 1'000'000'000u);
+}
+
+class QsortWorkload final : public BasicWorkload {
+ public:
+  QsortWorkload()
+      : BasicWorkload({
+            "Qsort",
+            "array of 320 unsigned integers",
+            "Memory intensive and Control intensive",
+            "a list of 50K doubles",
+        }) {}
+
+  isa::Program build(std::uint64_t seed) const override {
+    Assembler a(sim::kUserBase);
+    Label report = a.make_label();
+    Label qsort_fn = a.make_label();
+    Label arr = a.make_label();
+
+    // main: r9 = array base (preserved by the recursive function).
+    a.load_label(Reg::r9, arr);
+    a.movi(Reg::r0, 0);
+    a.movi(Reg::r1, kCount - 1);
+    a.bl(qsort_fn);
+    a.load_label(Reg::r0, arr);
+    a.mov_imm32(Reg::r1, kCount * 4);
+    a.b(report);
+
+    // qsort(lo = r0, hi = r1) — signed indices; r9 = array base.
+    a.bind(qsort_fn);
+    {
+      Label done = a.make_label();
+      a.cmp(Reg::r0, Reg::r1);
+      a.b(Cond::ge, done);
+      a.push({Reg::r4, Reg::r5, Reg::r6, Reg::lr});
+      a.mov(Reg::r4, Reg::r0);  // lo
+      a.mov(Reg::r5, Reg::r1);  // hi
+
+      // Lomuto partition with pivot arr[hi].
+      a.lsli(Reg::r2, Reg::r5, 2);
+      a.ldrr(Reg::r6, Reg::r9, Reg::r2);  // pivot
+      a.subi(Reg::r7, Reg::r4, 1);        // i = lo-1
+      a.mov(Reg::r8, Reg::r4);            // j
+      Label ploop = a.make_label();
+      Label pnext = a.make_label();
+      Label pdone = a.make_label();
+      a.bind(ploop);
+      a.cmp(Reg::r8, Reg::r5);
+      a.b(Cond::ge, pdone);
+      a.lsli(Reg::r2, Reg::r8, 2);
+      a.ldrr(Reg::r3, Reg::r9, Reg::r2);
+      a.cmp(Reg::r3, Reg::r6);
+      a.b(Cond::hi, pnext);  // arr[j] > pivot (unsigned)
+      a.addi(Reg::r7, Reg::r7, 1);
+      a.lsli(Reg::r1, Reg::r7, 2);
+      a.ldrr(Reg::r0, Reg::r9, Reg::r1);
+      a.strr(Reg::r3, Reg::r9, Reg::r1);
+      a.strr(Reg::r0, Reg::r9, Reg::r2);
+      a.bind(pnext);
+      a.addi(Reg::r8, Reg::r8, 1);
+      a.b(ploop);
+      a.bind(pdone);
+      a.addi(Reg::r7, Reg::r7, 1);  // p
+      a.lsli(Reg::r1, Reg::r7, 2);
+      a.ldrr(Reg::r0, Reg::r9, Reg::r1);
+      a.lsli(Reg::r2, Reg::r5, 2);
+      a.ldrr(Reg::r3, Reg::r9, Reg::r2);
+      a.strr(Reg::r3, Reg::r9, Reg::r1);
+      a.strr(Reg::r0, Reg::r9, Reg::r2);
+      a.mov(Reg::r6, Reg::r7);  // p survives the first recursive call
+
+      a.mov(Reg::r0, Reg::r4);
+      a.subi(Reg::r1, Reg::r6, 1);
+      a.bl(qsort_fn);
+      a.addi(Reg::r0, Reg::r6, 1);
+      a.mov(Reg::r1, Reg::r5);
+      a.bl(qsort_fn);
+
+      a.pop({Reg::r4, Reg::r5, Reg::r6, Reg::lr});
+      a.bind(done);
+      a.ret();
+    }
+
+    emit_report_routine(a, report);
+
+    a.align(4);
+    a.bind(arr);
+    a.bytes(words_to_bytes(make_input(seed)));
+    return a.finish();
+  }
+
+  std::string expected_console(std::uint64_t seed) const override {
+    auto values = make_input(seed);
+    std::sort(values.begin(), values.end());
+    return report_string(words_to_bytes(values));
+  }
+};
+
+}  // namespace
+
+const Workload& qsort_workload() {
+  static const QsortWorkload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

@@ -1,0 +1,48 @@
+#include "sefi/workloads/workload.hpp"
+
+#include "common.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::workloads {
+
+const std::vector<const Workload*>& all_workloads() {
+  static const std::vector<const Workload*> kAll = {
+      &detail::crc32_workload(),      &detail::dijkstra_workload(),
+      &detail::fft_workload(),        &detail::jpeg_c_workload(),
+      &detail::jpeg_d_workload(),     &detail::matmul_workload(),
+      &detail::qsort_workload(),      &detail::rijndael_e_workload(),
+      &detail::rijndael_d_workload(), &detail::stringsearch_workload(),
+      &detail::susan_c_workload(),    &detail::susan_e_workload(),
+      &detail::susan_s_workload(),
+  };
+  return kAll;
+}
+
+const std::vector<const Workload*>& extended_workloads() {
+  static const std::vector<const Workload*> kExtended = {
+      &detail::sha_workload(),
+      &detail::bitcount_workload(),
+      &detail::adpcm_workload(),
+      &detail::basicmath_workload(),
+  };
+  return kExtended;
+}
+
+const Workload& workload_by_name(const std::string& name) {
+  for (const Workload* w : all_workloads()) {
+    if (w->info().name == name) return *w;
+  }
+  for (const Workload* w : extended_workloads()) {
+    if (w->info().name == name) return *w;
+  }
+  if (l1_pattern_workload().info().name == name) {
+    return l1_pattern_workload();
+  }
+  throw support::SefiError("workload_by_name: unknown workload " + name);
+}
+
+const Workload& l1_pattern_workload() {
+  return detail::l1_pattern_workload_impl();
+}
+
+}  // namespace sefi::workloads

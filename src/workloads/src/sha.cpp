@@ -1,0 +1,271 @@
+// SHA (MiBench security/sha, extended suite): SHA-1 over a 1 KB message.
+// CPU intensive with long dependent chains through the rotate/xor
+// schedule — a different register-pressure profile than AES.
+//
+// The host pre-pads the message and serializes each 64-byte block as the
+// sixteen big-endian-interpreted schedule words, so the guest kernel is
+// pure compression (the byte-swapping belongs to I/O, not the algorithm).
+#include "common.hpp"
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kMessageBytes = 1024;
+// Padded length: message + 0x80 + zeros to 56 mod 64 + 8 length bytes.
+constexpr std::uint32_t kBlocks = (kMessageBytes + 8) / 64 + 1;  // 17
+
+std::vector<std::uint8_t> make_message(std::uint64_t seed) {
+  return random_bytes(seed ^ 0x5AA1, kMessageBytes);
+}
+
+/// SHA-1 padded message -> per-block schedule words w[0..15].
+std::vector<std::uint32_t> make_schedule_words(std::uint64_t seed) {
+  std::vector<std::uint8_t> padded = make_message(seed);
+  padded.push_back(0x80);
+  while (padded.size() % 64 != 56) padded.push_back(0);
+  const std::uint64_t bit_length = static_cast<std::uint64_t>(kMessageBytes) * 8;
+  for (int i = 7; i >= 0; --i) {
+    padded.push_back(static_cast<std::uint8_t>(bit_length >> (8 * i)));
+  }
+  std::vector<std::uint32_t> words;
+  words.reserve(padded.size() / 4);
+  for (std::size_t i = 0; i < padded.size(); i += 4) {
+    words.push_back((static_cast<std::uint32_t>(padded[i]) << 24) |
+                    (static_cast<std::uint32_t>(padded[i + 1]) << 16) |
+                    (static_cast<std::uint32_t>(padded[i + 2]) << 8) |
+                    static_cast<std::uint32_t>(padded[i + 3]));
+  }
+  return words;
+}
+
+std::uint32_t rotl(std::uint32_t v, int n) {
+  return (v << n) | (v >> (32 - n));
+}
+
+std::array<std::uint32_t, 5> host_sha1(std::uint64_t seed) {
+  const auto words = make_schedule_words(seed);
+  std::array<std::uint32_t, 5> h = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                                    0x10325476u, 0xC3D2E1F0u};
+  for (std::size_t block = 0; block < words.size() / 16; ++block) {
+    std::uint32_t w[80];
+    for (int t = 0; t < 16; ++t) w[t] = words[block * 16 + t];
+    for (int t = 16; t < 80; ++t) {
+      w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int t = 0; t < 80; ++t) {
+      std::uint32_t f, k;
+      if (t < 20) {
+        f = d ^ (b & (c ^ d));
+        k = 0x5A827999u;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (t < 60) {
+        f = (b & c) | (d & (b | c));
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const std::uint32_t temp = rotl(a, 5) + f + e + k + w[t];
+      e = d;
+      d = c;
+      c = rotl(b, 30);
+      b = a;
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+  return h;
+}
+
+class ShaWorkload final : public BasicWorkload {
+ public:
+  ShaWorkload()
+      : BasicWorkload({
+            "SHA",
+            "1 KB message, SHA-1",
+            "CPU intensive (extended suite)",
+            "MiBench security/sha input file",
+        }) {}
+
+  isa::Program build(std::uint64_t seed) const override {
+    Assembler a(sim::kUserBase);
+    Label report = a.make_label();
+    Label msg = a.make_label();     // schedule words, 16 per block
+    Label wbuf = a.make_label();    // w[80] scratch
+    Label state = a.make_label();   // h[5]
+    Label out = a.make_label();     // 20-byte digest
+
+    // rotl helper via temps: value in r0, amount fixed at emit time.
+    auto emit_rotl = [&a](Reg dst, Reg src, int n, Reg tmp) {
+      a.lsli(tmp, src, n);
+      a.lsri(dst, src, 32 - n);
+      a.orr(dst, dst, tmp);
+    };
+
+    // Initialize state.
+    a.load_label(Reg::r1, state);
+    a.mov_imm32(Reg::r0, 0x67452301u);
+    a.str(Reg::r0, Reg::r1, 0);
+    a.mov_imm32(Reg::r0, 0xEFCDAB89u);
+    a.str(Reg::r0, Reg::r1, 4);
+    a.mov_imm32(Reg::r0, 0x98BADCFEu);
+    a.str(Reg::r0, Reg::r1, 8);
+    a.mov_imm32(Reg::r0, 0x10325476u);
+    a.str(Reg::r0, Reg::r1, 12);
+    a.mov_imm32(Reg::r0, 0xC3D2E1F0u);
+    a.str(Reg::r0, Reg::r1, 16);
+
+    a.movi(Reg::ip, 0);  // block index
+    Label block_loop = a.make_label();
+    a.bind(block_loop);
+
+    // Copy the block's 16 words into w[0..15].
+    a.load_label(Reg::r2, wbuf);
+    a.load_label(Reg::r0, msg);
+    a.lsli(Reg::r1, Reg::ip, 6);  // block * 16 words * 4 bytes
+    a.add(Reg::r0, Reg::r0, Reg::r1);
+    for (int t = 0; t < 16; ++t) {
+      a.ldr(Reg::r1, Reg::r0, t * 4);
+      a.str(Reg::r1, Reg::r2, t * 4);
+    }
+    // Expand w[16..79].
+    a.movi(Reg::r9, 16);
+    {
+      Label expand = a.make_label();
+      a.bind(expand);
+      a.lsli(Reg::r10, Reg::r9, 2);
+      a.add(Reg::r10, Reg::r2, Reg::r10);  // &w[t]
+      a.ldr(Reg::r0, Reg::r10, -3 * 4);
+      a.ldr(Reg::r1, Reg::r10, -8 * 4);
+      a.eor(Reg::r0, Reg::r0, Reg::r1);
+      a.ldr(Reg::r1, Reg::r10, -14 * 4);
+      a.eor(Reg::r0, Reg::r0, Reg::r1);
+      a.ldr(Reg::r1, Reg::r10, -16 * 4);
+      a.eor(Reg::r0, Reg::r0, Reg::r1);
+      emit_rotl(Reg::r0, Reg::r0, 1, Reg::r1);
+      a.str(Reg::r0, Reg::r10, 0);
+      a.addi(Reg::r9, Reg::r9, 1);
+      a.cmpi(Reg::r9, 80);
+      a.b(Cond::lt, expand);
+    }
+
+    // Load working variables a..e into r4..r8.
+    a.load_label(Reg::r1, state);
+    a.ldr(Reg::r4, Reg::r1, 0);
+    a.ldr(Reg::r5, Reg::r1, 4);
+    a.ldr(Reg::r6, Reg::r1, 8);
+    a.ldr(Reg::r7, Reg::r1, 12);
+    a.ldr(Reg::r8, Reg::r1, 16);
+
+    // Four phase loops with fixed (f, k).
+    struct Phase {
+      int lo, hi;
+      std::uint32_t k;
+      int kind;  // 0: choose, 1: parity, 2: majority, 3: parity
+    };
+    const Phase phases[] = {{0, 20, 0x5A827999u, 0},
+                            {20, 40, 0x6ED9EBA1u, 1},
+                            {40, 60, 0x8F1BBCDCu, 2},
+                            {60, 80, 0xCA62C1D6u, 1}};
+    for (const Phase& phase : phases) {
+      a.movi(Reg::r9, phase.lo);
+      a.mov_imm32(Reg::r12, phase.k);
+      Label round = a.make_label();
+      a.bind(round);
+      // f -> r0
+      if (phase.kind == 0) {
+        a.eor(Reg::r0, Reg::r6, Reg::r7);  // c ^ d
+        a.and_(Reg::r0, Reg::r0, Reg::r5);
+        a.eor(Reg::r0, Reg::r0, Reg::r7);  // d ^ (b & (c^d))
+      } else if (phase.kind == 2) {
+        a.and_(Reg::r0, Reg::r5, Reg::r6);  // b & c
+        a.orr(Reg::r1, Reg::r5, Reg::r6);   // b | c
+        a.and_(Reg::r1, Reg::r1, Reg::r7);  // d & (b|c)
+        a.orr(Reg::r0, Reg::r0, Reg::r1);
+      } else {
+        a.eor(Reg::r0, Reg::r5, Reg::r6);
+        a.eor(Reg::r0, Reg::r0, Reg::r7);  // b ^ c ^ d
+      }
+      // temp = rotl(a,5) + f + e + k + w[t] -> r0
+      emit_rotl(Reg::r1, Reg::r4, 5, Reg::r3);
+      a.add(Reg::r0, Reg::r0, Reg::r1);
+      a.add(Reg::r0, Reg::r0, Reg::r8);
+      a.add(Reg::r0, Reg::r0, Reg::r12);
+      a.lsli(Reg::r1, Reg::r9, 2);
+      a.ldrr(Reg::r1, Reg::r2, Reg::r1);  // w[t]
+      a.add(Reg::r0, Reg::r0, Reg::r1);
+      // rotate the variables
+      a.mov(Reg::r8, Reg::r7);              // e = d
+      a.mov(Reg::r7, Reg::r6);              // d = c
+      emit_rotl(Reg::r6, Reg::r5, 30, Reg::r1);  // c = rotl(b,30)
+      a.mov(Reg::r5, Reg::r4);              // b = a
+      a.mov(Reg::r4, Reg::r0);              // a = temp
+      a.addi(Reg::r9, Reg::r9, 1);
+      a.cmpi(Reg::r9, phase.hi);
+      a.b(Cond::lt, round);
+    }
+
+    // h[i] += a..e
+    a.load_label(Reg::r1, state);
+    const Reg vars[] = {Reg::r4, Reg::r5, Reg::r6, Reg::r7, Reg::r8};
+    for (int i = 0; i < 5; ++i) {
+      a.ldr(Reg::r0, Reg::r1, i * 4);
+      a.add(Reg::r0, Reg::r0, vars[i]);
+      a.str(Reg::r0, Reg::r1, i * 4);
+    }
+
+    a.addi(Reg::ip, Reg::ip, 1);
+    a.cmpi(Reg::ip, kBlocks);
+    a.b(Cond::lt, block_loop);
+
+    // Copy the digest to the output buffer and report.
+    a.load_label(Reg::r1, state);
+    a.load_label(Reg::r0, out);
+    for (int i = 0; i < 5; ++i) {
+      a.ldr(Reg::r3, Reg::r1, i * 4);
+      a.str(Reg::r3, Reg::r0, i * 4);
+    }
+    a.movi(Reg::r1, 20);
+    a.b(report);
+
+    emit_report_routine(a, report);
+
+    a.align(4);
+    a.bind(msg);
+    a.bytes(words_to_bytes(make_schedule_words(seed)));
+    a.bind(wbuf);
+    a.zero(80 * 4);
+    a.bind(state);
+    a.zero(5 * 4);
+    a.bind(out);
+    a.zero(20);
+    return a.finish();
+  }
+
+  std::string expected_console(std::uint64_t seed) const override {
+    const auto digest = host_sha1(seed);
+    std::vector<std::uint32_t> words(digest.begin(), digest.end());
+    return report_string(words_to_bytes(words));
+  }
+};
+
+}  // namespace
+
+const Workload& sha_workload() {
+  static const ShaWorkload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

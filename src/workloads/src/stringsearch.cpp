@@ -1,0 +1,188 @@
+// StringSearch (MiBench office/stringsearch): searches one pattern per
+// sentence, recording the first match offset (or -1). Control + memory
+// intensive with the smallest input of the suite — the paper's strongest
+// kernel-cache-residency outlier.
+#include "common.hpp"
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kPairs = 48;
+constexpr std::uint32_t kSentenceLen = 64;
+constexpr std::uint32_t kPatternSlot = 8;  // fixed-size pattern records
+
+struct SearchInput {
+  std::vector<std::uint8_t> patterns;   // kPairs * kPatternSlot, 0-padded
+  std::vector<std::uint32_t> lengths;   // kPairs pattern lengths (4..8)
+  std::vector<std::uint8_t> sentences;  // kPairs * kSentenceLen
+};
+
+SearchInput make_input(std::uint64_t seed) {
+  support::Xoshiro256 rng(seed ^ 0x57A6);
+  SearchInput in;
+  in.patterns.assign(kPairs * kPatternSlot, 0);
+  in.lengths.resize(kPairs);
+  in.sentences.resize(kPairs * kSentenceLen);
+  for (std::uint32_t i = 0; i < kPairs; ++i) {
+    const auto len = static_cast<std::uint32_t>(4 + rng.below(5));
+    in.lengths[i] = len;
+    for (std::uint32_t c = 0; c < len; ++c) {
+      in.patterns[i * kPatternSlot + c] =
+          static_cast<std::uint8_t>('a' + rng.below(6));
+    }
+    for (std::uint32_t c = 0; c < kSentenceLen; ++c) {
+      in.sentences[i * kSentenceLen + c] =
+          static_cast<std::uint8_t>('a' + rng.below(6));
+    }
+    // Plant the pattern in half of the sentences so hits and misses both
+    // occur, like real text search.
+    if (i % 2 == 0) {
+      const auto pos =
+          static_cast<std::uint32_t>(rng.below(kSentenceLen - len));
+      for (std::uint32_t c = 0; c < len; ++c) {
+        in.sentences[i * kSentenceLen + pos + c] =
+            in.patterns[i * kPatternSlot + c];
+      }
+    }
+  }
+  return in;
+}
+
+std::vector<std::uint32_t> host_search(const SearchInput& in) {
+  std::vector<std::uint32_t> out(kPairs);
+  for (std::uint32_t i = 0; i < kPairs; ++i) {
+    const std::uint32_t len = in.lengths[i];
+    std::uint32_t found = 0xFFFFFFFFu;
+    for (std::uint32_t pos = 0; pos + len <= kSentenceLen; ++pos) {
+      bool match = true;
+      for (std::uint32_t c = 0; c < len; ++c) {
+        if (in.sentences[i * kSentenceLen + pos + c] !=
+            in.patterns[i * kPatternSlot + c]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        found = pos;
+        break;
+      }
+    }
+    out[i] = found;
+  }
+  return out;
+}
+
+class StringSearchWorkload final : public BasicWorkload {
+ public:
+  StringSearchWorkload()
+      : BasicWorkload({
+            "StringSearch",
+            "48 words searched in 48 sentences (1 word per sentence)",
+            "Memory intensive and Control intensive",
+            "1332 words to search in 1332 sentences (1 word per sentence)",
+        }) {}
+
+  isa::Program build(std::uint64_t seed) const override {
+    const SearchInput in = make_input(seed);
+    Assembler a(sim::kUserBase);
+    Label report = a.make_label();
+    Label patterns = a.make_label();
+    Label lengths = a.make_label();
+    Label sentences = a.make_label();
+    Label out = a.make_label();
+
+    a.load_label(Reg::r2, patterns);
+    a.load_label(Reg::r3, lengths);
+    a.load_label(Reg::r4, sentences);
+    a.load_label(Reg::r5, out);
+    a.movi(Reg::r12, 0);  // pair index i
+    Label pair_loop = a.make_label();
+    a.bind(pair_loop);
+    // r6 = pattern ptr, r8 = sentence ptr, r9 = len
+    a.lsli(Reg::r6, Reg::r12, 3);
+    a.add(Reg::r6, Reg::r2, Reg::r6);
+    a.movi(Reg::r0, kSentenceLen);
+    a.mul(Reg::r8, Reg::r12, Reg::r0);
+    a.add(Reg::r8, Reg::r4, Reg::r8);
+    a.lsli(Reg::r0, Reg::r12, 2);
+    a.ldrr(Reg::r9, Reg::r3, Reg::r0);
+    // r10 = found = -1; r11 = pos
+    a.mov_imm32(Reg::r10, 0xFFFFFFFFu);
+    a.movi(Reg::r11, 0);
+    Label pos_loop = a.make_label();
+    Label pos_next = a.make_label();
+    Label pair_done = a.make_label();
+    a.bind(pos_loop);
+    // while pos + len <= kSentenceLen
+    a.add(Reg::r0, Reg::r11, Reg::r9);
+    a.cmpi(Reg::r0, kSentenceLen);
+    a.b(Cond::hi, pair_done);
+    // inner compare: c in r7
+    a.movi(Reg::r7, 0);
+    {
+      Label cloop = a.make_label();
+      Label matched = a.make_label();
+      a.bind(cloop);
+      a.cmp(Reg::r7, Reg::r9);
+      a.b(Cond::cs, matched);  // c >= len: full match
+      a.add(Reg::r0, Reg::r8, Reg::r11);
+      a.add(Reg::r0, Reg::r0, Reg::r7);
+      a.ldrb(Reg::r0, Reg::r0, 0);
+      a.add(Reg::r1, Reg::r6, Reg::r7);
+      a.ldrb(Reg::r1, Reg::r1, 0);
+      a.cmp(Reg::r0, Reg::r1);
+      a.b(Cond::ne, pos_next);
+      a.addi(Reg::r7, Reg::r7, 1);
+      a.b(cloop);
+      a.bind(matched);
+      a.mov(Reg::r10, Reg::r11);
+      a.b(pair_done);
+    }
+    a.bind(pos_next);
+    a.addi(Reg::r11, Reg::r11, 1);
+    a.b(pos_loop);
+    a.bind(pair_done);
+    a.lsli(Reg::r0, Reg::r12, 2);
+    a.strr(Reg::r10, Reg::r5, Reg::r0);
+    a.addi(Reg::r12, Reg::r12, 1);
+    a.cmpi(Reg::r12, kPairs);
+    a.b(Cond::lt, pair_loop);
+
+    a.load_label(Reg::r0, out);
+    a.mov_imm32(Reg::r1, kPairs * 4);
+    a.b(report);
+
+    emit_report_routine(a, report);
+
+    a.align(4);
+    a.bind(patterns);
+    a.bytes(in.patterns);
+    a.align(4);
+    a.bind(lengths);
+    a.bytes(words_to_bytes(in.lengths));
+    a.bind(sentences);
+    a.bytes(in.sentences);
+    a.align(4);
+    a.bind(out);
+    a.zero(kPairs * 4);
+    return a.finish();
+  }
+
+  std::string expected_console(std::uint64_t seed) const override {
+    return report_string(words_to_bytes(host_search(make_input(seed))));
+  }
+};
+
+}  // namespace
+
+const Workload& stringsearch_workload() {
+  static const StringSearchWorkload instance;
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

@@ -1,0 +1,237 @@
+// Susan C / E / S (MiBench automotive/susan): the SUSAN family over a
+// small grayscale image — corner response (C), edge response (E), and
+// structure-preserving smoothing (S). CPU intensive, tiny input: these
+// three are the paper's canonical small-footprint benchmarks whose idle
+// cache space keeps kernel state beam-exposed (§V-A).
+//
+// The brightness-similarity weights w(diff) = round(100*exp(-(diff/t)^6))
+// are host-precomputed into a 511-entry LUT (the classic SUSAN
+// implementation does the same); USAN accumulation, thresholding, and
+// smoothing run as guest code over the 8-neighborhood.
+#include "common.hpp"
+
+#include <cmath>
+
+namespace sefi::workloads::detail {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kW = 24;
+constexpr std::uint32_t kH = 24;
+
+enum class SusanMode { kSmoothing, kEdges, kCorners };
+
+struct SusanParams {
+  double t;                 ///< brightness threshold of the LUT
+  std::uint32_t geometric;  ///< USAN geometric threshold g (E/C only)
+};
+
+SusanParams params_for(SusanMode mode) {
+  switch (mode) {
+    case SusanMode::kSmoothing: return {6.0, 0};
+    case SusanMode::kEdges: return {10.0, 600};
+    case SusanMode::kCorners: return {10.0, 300};
+  }
+  return {6.0, 0};
+}
+
+std::vector<std::uint8_t> make_lut(double t) {
+  std::vector<std::uint8_t> lut(511);
+  for (int diff = -255; diff <= 255; ++diff) {
+    const double ratio = static_cast<double>(diff) / t;
+    const double w = 100.0 * std::exp(-std::pow(ratio, 6.0));
+    lut[diff + 255] = static_cast<std::uint8_t>(std::lround(w));
+  }
+  return lut;
+}
+
+std::vector<std::uint8_t> make_image(std::uint64_t seed) {
+  // Blocky image with step edges — gives SUSAN real corners and edges.
+  support::Xoshiro256 rng(seed ^ 0x5A5A);
+  std::vector<std::uint8_t> img(kW * kH);
+  std::uint8_t tiles[3][3];
+  for (auto& row : tiles) {
+    for (auto& v : row) v = static_cast<std::uint8_t>(rng.below(256));
+  }
+  for (std::uint32_t y = 0; y < kH; ++y) {
+    for (std::uint32_t x = 0; x < kW; ++x) {
+      const std::uint8_t base = tiles[y / 8][x / 8];
+      const auto noise = static_cast<std::uint8_t>(rng.below(8));
+      img[y * kW + x] = static_cast<std::uint8_t>((base + noise) & 0xff);
+    }
+  }
+  return img;
+}
+
+constexpr int kNeighborOffsets[8][2] = {
+    {-1, -1}, {-1, 0}, {-1, 1}, {0, -1}, {0, 1}, {1, -1}, {1, 0}, {1, 1},
+};
+
+std::vector<std::uint8_t> host_susan(std::uint64_t seed, SusanMode mode) {
+  const auto img = make_image(seed);
+  const SusanParams p = params_for(mode);
+  const auto lut = make_lut(p.t);
+  std::vector<std::uint8_t> out =
+      mode == SusanMode::kSmoothing ? img
+                                    : std::vector<std::uint8_t>(kW * kH, 0);
+  for (std::uint32_t y = 1; y + 1 < kH; ++y) {
+    for (std::uint32_t x = 1; x + 1 < kW; ++x) {
+      const std::int32_t center = img[y * kW + x];
+      std::uint32_t num = 0;
+      std::uint32_t den = 0;
+      std::uint32_t usan = 0;
+      for (const auto& d : kNeighborOffsets) {
+        const std::int32_t value =
+            img[(y + static_cast<std::uint32_t>(d[0])) * kW + x +
+                static_cast<std::uint32_t>(d[1])];
+        const std::uint8_t w = lut[value - center + 255];
+        num += static_cast<std::uint32_t>(w) *
+               static_cast<std::uint32_t>(value);
+        den += w;
+        usan += w;
+      }
+      std::uint32_t result;
+      if (mode == SusanMode::kSmoothing) {
+        result = den == 0 ? 0 : num / den;
+      } else {
+        result = usan < p.geometric ? p.geometric - usan : 0;
+        if (result > 255) result = 255;
+      }
+      out[y * kW + x] = static_cast<std::uint8_t>(result);
+    }
+  }
+  return out;
+}
+
+isa::Program build_susan_program(std::uint64_t seed, SusanMode mode) {
+  const SusanParams p = params_for(mode);
+  Assembler a(sim::kUserBase);
+  Label report = a.make_label();
+  Label img = a.make_label();
+  Label lut = a.make_label();
+  Label out = a.make_label();
+
+  a.load_label(Reg::r2, img);
+  a.load_label(Reg::r3, lut);
+  a.load_label(Reg::r4, out);
+  a.movi(Reg::r5, 1);  // y
+  Label yloop = a.make_label();
+  a.bind(yloop);
+  a.movi(Reg::r6, 1);  // x
+  Label xloop = a.make_label();
+  a.bind(xloop);
+  // r10 = y*W + x, r11 = &img[y*W+x]
+  a.movi(Reg::r0, kW);
+  a.mul(Reg::r10, Reg::r5, Reg::r0);
+  a.add(Reg::r10, Reg::r10, Reg::r6);
+  a.add(Reg::r11, Reg::r2, Reg::r10);
+  a.ldrb(Reg::r7, Reg::r11, 0);  // center
+  a.movi(Reg::r8, 0);            // num / usan
+  a.movi(Reg::r9, 0);            // den
+  for (const auto& d : kNeighborOffsets) {
+    const std::int32_t off = d[0] * static_cast<std::int32_t>(kW) + d[1];
+    a.ldrb(Reg::r0, Reg::r11, off);
+    a.sub(Reg::r1, Reg::r0, Reg::r7);
+    a.addi(Reg::r1, Reg::r1, 255);
+    a.add(Reg::r1, Reg::r3, Reg::r1);
+    a.ldrb(Reg::r1, Reg::r1, 0);  // w
+    if (mode == SusanMode::kSmoothing) {
+      a.mul(Reg::r12, Reg::r1, Reg::r0);
+      a.add(Reg::r8, Reg::r8, Reg::r12);
+      a.add(Reg::r9, Reg::r9, Reg::r1);
+    } else {
+      a.add(Reg::r8, Reg::r8, Reg::r1);
+    }
+  }
+  if (mode == SusanMode::kSmoothing) {
+    a.udiv(Reg::r12, Reg::r8, Reg::r9);  // den==0 divides to 0 (matches host)
+  } else {
+    Label zero = a.make_label();
+    Label clamp = a.make_label();
+    Label store = a.make_label();
+    a.cmpi(Reg::r8, static_cast<std::int32_t>(p.geometric));
+    a.b(Cond::cs, zero);
+    a.movi(Reg::r12, p.geometric);
+    a.sub(Reg::r12, Reg::r12, Reg::r8);
+    a.b(clamp);
+    a.bind(zero);
+    a.movi(Reg::r12, 0);
+    a.bind(clamp);
+    a.cmpi(Reg::r12, 255);
+    a.b(Cond::ls, store);
+    a.movi(Reg::r12, 255);
+    a.bind(store);
+  }
+  a.add(Reg::r0, Reg::r4, Reg::r10);
+  a.strb(Reg::r12, Reg::r0, 0);
+  a.addi(Reg::r6, Reg::r6, 1);
+  a.cmpi(Reg::r6, kW - 1);
+  a.b(Cond::lt, xloop);
+  a.addi(Reg::r5, Reg::r5, 1);
+  a.cmpi(Reg::r5, kH - 1);
+  a.b(Cond::lt, yloop);
+
+  a.load_label(Reg::r0, out);
+  a.mov_imm32(Reg::r1, kW * kH);
+  a.b(report);
+
+  emit_report_routine(a, report);
+
+  a.align(4);
+  a.bind(img);
+  a.bytes(make_image(seed));
+  a.bind(lut);
+  a.bytes(make_lut(p.t));
+  a.align(4);
+  a.bind(out);
+  if (mode == SusanMode::kSmoothing) {
+    a.bytes(make_image(seed));  // borders keep original pixels
+  } else {
+    a.zero(kW * kH);
+  }
+  return a.finish();
+}
+
+class SusanWorkload final : public BasicWorkload {
+ public:
+  SusanWorkload(SusanMode mode, WorkloadInfo info)
+      : BasicWorkload(std::move(info)), mode_(mode) {}
+  isa::Program build(std::uint64_t seed) const override {
+    return build_susan_program(seed, mode_);
+  }
+  std::string expected_console(std::uint64_t seed) const override {
+    return report_string(host_susan(seed, mode_));
+  }
+
+ private:
+  SusanMode mode_;
+};
+
+}  // namespace
+
+const Workload& susan_c_workload() {
+  static const SusanWorkload instance(
+      SusanMode::kCorners, {"SusanC", "24x24 pixels grayscale",
+                            "CPU intensive", "76x95 pixels, 7.3 KB"});
+  return instance;
+}
+
+const Workload& susan_e_workload() {
+  static const SusanWorkload instance(
+      SusanMode::kEdges, {"SusanE", "24x24 pixels grayscale",
+                          "CPU intensive", "76x95 pixels, 7.3 KB"});
+  return instance;
+}
+
+const Workload& susan_s_workload() {
+  static const SusanWorkload instance(
+      SusanMode::kSmoothing, {"SusanS", "24x24 pixels grayscale",
+                              "CPU intensive", "76x95 pixels, 7.3 KB"});
+  return instance;
+}
+
+}  // namespace sefi::workloads::detail

@@ -1,0 +1,133 @@
+#include "sefi/beam/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/core/lab.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::beam {
+namespace {
+
+BeamConfig small_session(std::uint64_t runs = 120) {
+  BeamConfig config;
+  config.uarch = core::scaled_uarch();
+  config.runs = runs;
+  return config;
+}
+
+const workloads::Workload& susan() {
+  return workloads::workload_by_name("SusanC");
+}
+
+TEST(PlatformModel, ZynqDefaultHasResources) {
+  const PlatformModel platform = PlatformModel::zynq_default();
+  EXPECT_GE(platform.resources.size(), 2u);
+  EXPECT_GT(platform.total_bits(), 0.0);
+  for (const auto& resource : platform.resources) {
+    EXPECT_LE(resource.p_sys_crash + resource.p_app_crash, 1.0);
+  }
+}
+
+TEST(PlatformModel, NoneIsEmpty) {
+  EXPECT_DOUBLE_EQ(PlatformModel::none().total_bits(), 0.0);
+}
+
+TEST(BeamResult, FitArithmetic) {
+  BeamResult result;
+  result.sdc = 13;
+  result.fluence_per_cm2 = 1e12;
+  // sigma = 13e-12 cm^2 -> FIT = 13e-12 * 13 * 1e9 = 0.169.
+  EXPECT_NEAR(result.fit_sdc(), 0.169, 1e-6);
+  EXPECT_DOUBLE_EQ(result.fit_app_crash(), 0.0);
+  EXPECT_DOUBLE_EQ(result.fit_total(), result.fit_sdc());
+}
+
+TEST(BeamResult, IntervalBracketsPointEstimate) {
+  BeamResult result;
+  result.sdc = 20;
+  result.fluence_per_cm2 = 1e12;
+  const stats::Interval ci = result.fit_interval(result.sdc);
+  EXPECT_LT(ci.lower, result.fit_sdc());
+  EXPECT_GT(ci.upper, result.fit_sdc());
+}
+
+TEST(Session, CompletesRequestedRuns) {
+  const BeamResult result = run_beam_session(susan(), small_session());
+  EXPECT_EQ(result.workload, "SusanC");
+  EXPECT_EQ(result.runs, 120u);
+  EXPECT_GT(result.strikes, 20u);  // ~1.2 per run on average
+  EXPECT_GT(result.exposure_seconds, 0.0);
+  EXPECT_GT(result.fluence_per_cm2, 0.0);
+  EXPECT_GT(result.accel_flux_per_cm2_s, 0.0);
+  EXPECT_LE(result.sdc + result.app_crash + result.sys_crash, result.runs);
+}
+
+TEST(Session, IsDeterministic) {
+  const BeamResult a = run_beam_session(susan(), small_session());
+  const BeamResult b = run_beam_session(susan(), small_session());
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.app_crash, b.app_crash);
+  EXPECT_EQ(a.sys_crash, b.sys_crash);
+  EXPECT_EQ(a.strikes, b.strikes);
+  EXPECT_DOUBLE_EQ(a.fluence_per_cm2, b.fluence_per_cm2);
+}
+
+TEST(Session, SeedChangesTheSession) {
+  BeamConfig other = small_session();
+  other.seed ^= 0x1234;
+  const BeamResult a = run_beam_session(susan(), small_session());
+  const BeamResult b = run_beam_session(susan(), other);
+  EXPECT_NE(a.strikes, b.strikes);
+}
+
+TEST(Session, ObservesFailures) {
+  // A session with strikes must observe *some* failures: an all-correct
+  // session would mean strikes aren't reaching live state.
+  BeamConfig config = small_session(250);
+  const BeamResult result = run_beam_session(susan(), config);
+  EXPECT_GT(result.sdc + result.app_crash + result.sys_crash, 0u);
+}
+
+TEST(Session, PlatformResourcesRaiseSystemCrashRate) {
+  // The paper's core System-Crash claim: un-modeled platform structures
+  // inflate the beam's SysCrash FIT. Removing them must lower it.
+  BeamConfig with_platform = small_session(250);
+  BeamConfig without_platform = small_session(250);
+  without_platform.platform = PlatformModel::none();
+  const BeamResult with = run_beam_session(susan(), with_platform);
+  const BeamResult without = run_beam_session(susan(), without_platform);
+  EXPECT_GT(with.sys_crash, without.sys_crash);
+}
+
+TEST(Session, RejectsBadConfig) {
+  BeamConfig config = small_session();
+  config.runs = 0;
+  EXPECT_THROW(run_beam_session(susan(), config), support::SefiError);
+  config = small_session();
+  config.strikes_per_run = 0;
+  EXPECT_THROW(run_beam_session(susan(), config), support::SefiError);
+}
+
+TEST(Calibration, FitRawIsPositiveAndPlausible) {
+  BeamConfig config = small_session(400);
+  const double fit_raw = measure_fit_raw_per_bit(config);
+  EXPECT_GT(fit_raw, 0.0);
+  // Same order of magnitude as the paper's 2.76e-5 FIT/bit.
+  EXPECT_GT(fit_raw, 1e-6);
+  EXPECT_LT(fit_raw, 1e-3);
+}
+
+TEST(Calibration, BufferBitsMatchWorkload) {
+  EXPECT_EQ(l1_pattern_bits(),
+            static_cast<std::uint64_t>(workloads::l1_pattern_buffer_bytes()) *
+                8);
+}
+
+TEST(Session, NaturalYearsScalesWithFluence) {
+  BeamResult result;
+  result.fluence_per_cm2 = 13.0 * 24 * 365.25;  // one natural year
+  EXPECT_NEAR(result.natural_years(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sefi::beam

@@ -1,0 +1,132 @@
+#include "sefi/core/lab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace sefi::core {
+namespace {
+
+LabConfig small_lab_config() {
+  LabConfig config = LabConfig::from_env(20, 150);
+  // Pin sizes regardless of environment so tests are stable.
+  config.fi.faults_per_component = 20;
+  config.beam.runs = 150;
+  return config;
+}
+
+TEST(ScaledUarch, GeometryIsScaledDown) {
+  const microarch::DetailedConfig scaled = scaled_uarch();
+  const microarch::DetailedConfig paper;
+  EXPECT_LT(scaled.l1d.size_bytes, paper.l1d.size_bytes);
+  EXPECT_LT(scaled.l2.size_bytes, paper.l2.size_bytes);
+  EXPECT_LT(scaled.dtlb_entries, paper.dtlb_entries);
+  // Associativities and line size match the paper's Table II.
+  EXPECT_EQ(scaled.l1d.ways, paper.l1d.ways);
+  EXPECT_EQ(scaled.l2.ways, paper.l2.ways);
+  EXPECT_EQ(scaled.l1d.line_bytes, paper.l1d.line_bytes);
+}
+
+TEST(LabConfigFromEnv, ReadsEnvironment) {
+  ::setenv("SEFI_FAULTS", "77", 1);
+  ::setenv("SEFI_BEAM_RUNS", "88", 1);
+  ::setenv("SEFI_SEED", "99", 1);
+  const LabConfig config = LabConfig::from_env();
+  EXPECT_EQ(config.fi.faults_per_component, 77u);
+  EXPECT_EQ(config.beam.runs, 88u);
+  EXPECT_EQ(config.fi.seed, 99u);
+  ::unsetenv("SEFI_FAULTS");
+  ::unsetenv("SEFI_BEAM_RUNS");
+  ::unsetenv("SEFI_SEED");
+  const LabConfig defaults = LabConfig::from_env(150, 600);
+  EXPECT_EQ(defaults.fi.faults_per_component, 150u);
+  EXPECT_EQ(defaults.beam.runs, 600u);
+}
+
+TEST(ConvertToFit, SumsComponentContributions) {
+  LabConfig config = small_lab_config();
+  AssessmentLab lab(config);
+
+  fi::WorkloadFiResult synthetic;
+  synthetic.workload = "synthetic";
+  for (std::size_t i = 0; i < synthetic.components.size(); ++i) {
+    auto& comp = synthetic.components[i];
+    comp.component = static_cast<microarch::ComponentKind>(i);
+    comp.bits = 1000;
+    comp.counts = {60, 20, 10, 10};  // AVFs: 20% / 10% / 10%
+  }
+  const double fit_raw = lab.fit_raw_per_bit();
+  const FiFitRates rates = lab.convert_to_fit(synthetic);
+  EXPECT_NEAR(rates.sdc, fit_raw * 1000 * 0.2 * 6, 1e-9);
+  EXPECT_NEAR(rates.app_crash, fit_raw * 1000 * 0.1 * 6, 1e-9);
+  EXPECT_NEAR(rates.sys_crash, fit_raw * 1000 * 0.1 * 6, 1e-9);
+  EXPECT_NEAR(rates.total(), rates.sdc + rates.app_crash + rates.sys_crash,
+              1e-12);
+}
+
+TEST(Lab, FitRawIsCachedAndPositive) {
+  AssessmentLab lab(small_lab_config());
+  const double first = lab.fit_raw_per_bit();
+  EXPECT_GT(first, 0.0);
+  EXPECT_DOUBLE_EQ(first, lab.fit_raw_per_bit());
+}
+
+TEST(Lab, CampaignResultsAreMemoized) {
+  AssessmentLab lab(small_lab_config());
+  const auto& workload = *workloads::all_workloads()[10];  // SusanC
+  const fi::WorkloadFiResult& first = lab.run_fi(workload);
+  const fi::WorkloadFiResult& second = lab.run_fi(workload);
+  EXPECT_EQ(&first, &second);
+  const beam::BeamResult& beam_first = lab.run_beam(workload);
+  const beam::BeamResult& beam_second = lab.run_beam(workload);
+  EXPECT_EQ(&beam_first, &beam_second);
+}
+
+TEST(Lab, CompareProducesConsistentComparison) {
+  AssessmentLab lab(small_lab_config());
+  const auto& workload = workloads::workload_by_name("SusanE");
+  const WorkloadComparison comparison = lab.compare(workload);
+  EXPECT_EQ(comparison.workload, "SusanE");
+  EXPECT_EQ(comparison.beam.workload, "SusanE");
+  EXPECT_EQ(comparison.fi.workload, "SusanE");
+  EXPECT_GE(comparison.fi_fit.total(), 0.0);
+  EXPECT_GE(comparison.sdc_fold().magnitude, 1.0);
+  EXPECT_GE(comparison.app_crash_fold().magnitude, 1.0);
+  EXPECT_GE(comparison.sys_crash_fold().magnitude, 1.0);
+  EXPECT_GE(comparison.sdc_plus_app_fold().magnitude, 1.0);
+}
+
+TEST(Aggregate, AveragesAndGaps) {
+  std::vector<WorkloadComparison> sweep(2);
+  sweep[0].beam.sdc = 10;
+  sweep[0].beam.app_crash = 10;
+  sweep[0].beam.sys_crash = 20;
+  sweep[0].beam.fluence_per_cm2 = 13.0 * 1e9;  // FIT == events
+  sweep[0].fi_fit = {5, 1, 0.5};
+  sweep[1].beam.sdc = 20;
+  sweep[1].beam.app_crash = 20;
+  sweep[1].beam.sys_crash = 40;
+  sweep[1].beam.fluence_per_cm2 = 13.0 * 1e9;
+  sweep[1].fi_fit = {15, 3, 1.5};
+
+  const AggregateComparison agg = AssessmentLab::aggregate(sweep);
+  EXPECT_NEAR(agg.beam_sdc, 15.0, 1e-9);
+  EXPECT_NEAR(agg.beam_sdc_app, 30.0, 1e-9);
+  EXPECT_NEAR(agg.beam_total, 60.0, 1e-9);
+  EXPECT_NEAR(agg.fi_sdc, 10.0, 1e-9);
+  EXPECT_NEAR(agg.fi_sdc_app, 12.0, 1e-9);
+  EXPECT_NEAR(agg.fi_total, 13.0, 1e-9);
+  EXPECT_NEAR(agg.sdc_gap(), 1.5, 1e-9);
+  EXPECT_NEAR(agg.sdc_app_gap(), 2.5, 1e-9);
+  EXPECT_NEAR(agg.total_gap(), 60.0 / 13.0, 1e-9);
+}
+
+TEST(Aggregate, EmptySweepIsZero) {
+  const AggregateComparison agg = AssessmentLab::aggregate({});
+  EXPECT_DOUBLE_EQ(agg.beam_total, 0.0);
+  EXPECT_DOUBLE_EQ(agg.fi_total, 0.0);
+}
+
+}  // namespace
+}  // namespace sefi::core

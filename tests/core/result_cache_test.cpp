@@ -1,0 +1,127 @@
+#include "sefi/core/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace sefi::core {
+namespace {
+
+fi::WorkloadFiResult sample_fi_result() {
+  fi::WorkloadFiResult result;
+  result.workload = "CRC32";
+  for (std::size_t i = 0; i < result.components.size(); ++i) {
+    auto& comp = result.components[i];
+    comp.component = static_cast<microarch::ComponentKind>(i);
+    comp.bits = 1000 + i;
+    comp.counts = {10 + i, 2, 3, 4};
+    comp.error_margin = 0.01 * static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+beam::BeamResult sample_beam_result() {
+  beam::BeamResult result;
+  result.workload = "FFT";
+  result.runs = 600;
+  result.sdc = 3;
+  result.app_crash = 9;
+  result.sys_crash = 27;
+  result.strikes = 720;
+  result.reboots = 27;
+  result.exposure_seconds = 0.125;
+  result.fluence_per_cm2 = 3.25e11;
+  result.accel_flux_per_cm2_s = 2.6e12;
+  return result;
+}
+
+TEST(Serialization, FiRoundTrip) {
+  const fi::WorkloadFiResult original = sample_fi_result();
+  const auto parsed = deserialize_fi(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->workload, original.workload);
+  for (std::size_t i = 0; i < original.components.size(); ++i) {
+    EXPECT_EQ(parsed->components[i].bits, original.components[i].bits);
+    EXPECT_EQ(parsed->components[i].counts.masked,
+              original.components[i].counts.masked);
+    EXPECT_EQ(parsed->components[i].counts.sys_crash,
+              original.components[i].counts.sys_crash);
+    EXPECT_DOUBLE_EQ(parsed->components[i].error_margin,
+                     original.components[i].error_margin);
+  }
+}
+
+TEST(Serialization, BeamRoundTrip) {
+  const beam::BeamResult original = sample_beam_result();
+  const auto parsed = deserialize_beam(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->workload, original.workload);
+  EXPECT_EQ(parsed->runs, original.runs);
+  EXPECT_EQ(parsed->sdc, original.sdc);
+  EXPECT_EQ(parsed->sys_crash, original.sys_crash);
+  EXPECT_DOUBLE_EQ(parsed->fluence_per_cm2, original.fluence_per_cm2);
+  EXPECT_DOUBLE_EQ(parsed->fit_sdc(), original.fit_sdc());
+}
+
+TEST(Serialization, RejectsGarbageAndWrongKind) {
+  EXPECT_FALSE(deserialize_fi("nonsense").has_value());
+  EXPECT_FALSE(deserialize_beam("nonsense").has_value());
+  EXPECT_FALSE(deserialize_fi(serialize(sample_beam_result())).has_value());
+  EXPECT_FALSE(deserialize_beam(serialize(sample_fi_result())).has_value());
+}
+
+TEST(Fingerprint, SensitiveToEveryKnob) {
+  fi::CampaignConfig fi_config;
+  const std::uint64_t base = fingerprint(fi_config);
+  fi_config.faults_per_component += 1;
+  EXPECT_NE(fingerprint(fi_config), base);
+  fi_config.faults_per_component -= 1;
+  fi_config.rig.uarch.l1d.size_bytes *= 2;
+  EXPECT_NE(fingerprint(fi_config), base);
+
+  beam::BeamConfig beam_config;
+  const std::uint64_t beam_base = fingerprint(beam_config);
+  beam_config.sigma_bit_cm2 *= 2;
+  EXPECT_NE(fingerprint(beam_config), beam_base);
+  beam_config.sigma_bit_cm2 /= 2;
+  beam_config.platform.resources[0].p_sys_crash += 0.01;
+  EXPECT_NE(fingerprint(beam_config), beam_base);
+}
+
+TEST(Fingerprint, StableForEqualConfigs) {
+  fi::CampaignConfig a;
+  fi::CampaignConfig b;
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(ResultCache, DisabledCacheNoOps) {
+  const ResultCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  cache.store("key", "value");
+  EXPECT_FALSE(cache.load("key").has_value());
+}
+
+TEST(ResultCache, StoreAndLoadRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sefi-cache-test").string();
+  std::filesystem::remove_all(dir);
+  const ResultCache cache(dir);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_FALSE(cache.load("missing").has_value());
+  cache.store("some-key", "payload\nlines\n");
+  const auto loaded = cache.load("some-key");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "payload\nlines\n");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, KeysEncodeKindWorkloadAndFingerprint) {
+  const std::string key = ResultCache::make_key("fi", 0xabcd, "CRC32");
+  EXPECT_NE(key.find("fi"), std::string::npos);
+  EXPECT_NE(key.find("CRC32"), std::string::npos);
+  EXPECT_NE(key.find("abcd"), std::string::npos);
+  EXPECT_NE(key, ResultCache::make_key("beam", 0xabcd, "CRC32"));
+}
+
+}  // namespace
+}  // namespace sefi::core

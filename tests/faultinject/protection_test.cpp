@@ -1,0 +1,171 @@
+#include "sefi/fi/protection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/core/lab.hpp"
+#include "sefi/kernel/kernel.hpp"
+
+namespace sefi::fi {
+namespace {
+
+TEST(ProtectionPolicy, FactoriesAndNames) {
+  EXPECT_EQ(protection_name(Protection::kNone), "none");
+  EXPECT_EQ(protection_name(Protection::kParity), "parity");
+  EXPECT_EQ(protection_name(Protection::kSecded), "SECDED");
+
+  const ProtectionPolicy none = ProtectionPolicy::none();
+  for (const auto kind : microarch::kAllComponents) {
+    EXPECT_EQ(none.component(kind), Protection::kNone);
+  }
+  const ProtectionPolicy commercial = ProtectionPolicy::commercial();
+  EXPECT_EQ(commercial.component(microarch::ComponentKind::kL1D),
+            Protection::kParity);
+  EXPECT_EQ(commercial.component(microarch::ComponentKind::kL2),
+            Protection::kSecded);
+  EXPECT_EQ(commercial.component(microarch::ComponentKind::kRegFile),
+            Protection::kNone);
+  const ProtectionPolicy secded = ProtectionPolicy::full_secded();
+  for (const auto kind : microarch::kAllComponents) {
+    EXPECT_EQ(secded.component(kind), Protection::kSecded);
+  }
+}
+
+/// Fixture with a bare detailed model for direct adjudication checks.
+class AdjudicationTest : public ::testing::Test {
+ protected:
+  AdjudicationTest()
+      : regfile_(64, 16),
+        model_(microarch::DetailedConfig{}, mem_, devices_, regfile_) {}
+
+  FaultDescriptor cache_fault(std::uint64_t bit,
+                              FaultModel fm = FaultModel::kSingleBit) {
+    FaultDescriptor f;
+    f.component = microarch::ComponentKind::kL1D;
+    f.bit = bit;
+    f.model = fm;
+    return f;
+  }
+
+  sim::PhysicalMemory mem_;
+  sim::DeviceBlock devices_;
+  microarch::PhysRegFile regfile_;
+  microarch::DetailedModel model_;
+};
+
+TEST_F(AdjudicationTest, UnprotectedFaultsPassThrough) {
+  const ProtectionPolicy policy = ProtectionPolicy::none();
+  EXPECT_FALSE(
+      adjudicate_protection(policy, cache_fault(0), model_).has_value());
+}
+
+TEST_F(AdjudicationTest, ParityRecoversCleanLines) {
+  ProtectionPolicy policy;
+  policy.set(microarch::ComponentKind::kL1D, Protection::kParity);
+  // Pull a clean line into the L1D.
+  mem_.write32(0x1000, 7);
+  model_.read(0x1000, 4, true, false);
+  const int way = model_.l1d().lookup(0x1000);
+  ASSERT_GE(way, 0);
+  EXPECT_EQ(adjudicate_protection(policy, cache_fault(0), model_),
+            Outcome::kMasked);
+}
+
+TEST_F(AdjudicationTest, ParityLosesDirtyLines) {
+  ProtectionPolicy policy;
+  policy.set(microarch::ComponentKind::kL1D, Protection::kParity);
+  // Dirty the line that owns bit 0 (set 0, way 0): write to address 0.
+  model_.write(0x0, 4, 0x55, true, false);
+  ASSERT_TRUE(model_.l1d().bit_in_dirty_line(0));
+  EXPECT_EQ(adjudicate_protection(policy, cache_fault(0), model_),
+            Outcome::kSysCrash);
+}
+
+TEST_F(AdjudicationTest, SecdedCorrectsSingleBit) {
+  ProtectionPolicy policy = ProtectionPolicy::full_secded();
+  model_.write(0x0, 4, 0x55, true, false);  // even dirty lines are safe
+  EXPECT_EQ(adjudicate_protection(policy, cache_fault(0), model_),
+            Outcome::kMasked);
+}
+
+TEST_F(AdjudicationTest, SecdedDoubleBitInDirtyLineIsFatal) {
+  ProtectionPolicy policy = ProtectionPolicy::full_secded();
+  model_.write(0x0, 4, 0x55, true, false);
+  EXPECT_EQ(adjudicate_protection(
+                policy, cache_fault(0, FaultModel::kDoubleBit), model_),
+            Outcome::kSysCrash);
+}
+
+TEST_F(AdjudicationTest, SecdedDoubleBitInInvalidLineIsMasked) {
+  ProtectionPolicy policy = ProtectionPolicy::full_secded();
+  // Nothing cached: every line invalid.
+  EXPECT_EQ(adjudicate_protection(
+                policy, cache_fault(12345, FaultModel::kDoubleBit), model_),
+            Outcome::kMasked);
+}
+
+TEST_F(AdjudicationTest, TlbParityAlwaysRecovers) {
+  ProtectionPolicy policy;
+  policy.set(microarch::ComponentKind::kDTlb, Protection::kParity);
+  FaultDescriptor fault;
+  fault.component = microarch::ComponentKind::kDTlb;
+  fault.bit = 0;
+  EXPECT_EQ(adjudicate_protection(policy, fault, model_), Outcome::kMasked);
+}
+
+TEST_F(AdjudicationTest, RegisterParityIsFatalOnLiveRegisters) {
+  ProtectionPolicy policy;
+  policy.set(microarch::ComponentKind::kRegFile, Protection::kParity);
+  FaultDescriptor live;
+  live.component = microarch::ComponentKind::kRegFile;
+  live.bit = 2 * 32;  // phys reg 2, mapped at reset
+  EXPECT_EQ(adjudicate_protection(policy, live, model_),
+            Outcome::kSysCrash);
+  FaultDescriptor dead = live;
+  dead.bit = 40ull * 32;  // phys reg 40, free at reset
+  EXPECT_EQ(adjudicate_protection(policy, dead, model_), Outcome::kMasked);
+}
+
+TEST(ProtectionCampaign, FullSecdedEliminatesSingleBitFailures) {
+  CampaignConfig config;
+  config.rig.uarch = core::scaled_uarch();
+  config.rig.protection = ProtectionPolicy::full_secded();
+  config.faults_per_component = 30;
+  const auto& w = workloads::workload_by_name("SusanC");
+  const WorkloadFiResult result = run_fi_campaign(w, config);
+  for (const auto& comp : result.components) {
+    EXPECT_EQ(comp.counts.masked, comp.counts.total())
+        << microarch::component_name(comp.component);
+  }
+}
+
+TEST(ProtectionCampaign, CommercialMixProtectsCachesOnly) {
+  CampaignConfig baseline;
+  baseline.rig.uarch = core::scaled_uarch();
+  baseline.faults_per_component = 60;
+  CampaignConfig protected_config = baseline;
+  protected_config.rig.protection = ProtectionPolicy::commercial();
+  const auto& w = workloads::workload_by_name("FFT");
+  const WorkloadFiResult base = run_fi_campaign(w, baseline);
+  const WorkloadFiResult prot = run_fi_campaign(w, protected_config);
+  // Cache failures vanish (parity never yields SDC; clean-line faults
+  // mask; our workloads' dirty-line DUEs surface as SysCrash).
+  for (const auto kind :
+       {microarch::ComponentKind::kL1I, microarch::ComponentKind::kL1D,
+        microarch::ComponentKind::kL2}) {
+    EXPECT_EQ(prot.component(kind).counts.sdc, 0u);
+    EXPECT_EQ(prot.component(kind).counts.app_crash, 0u);
+  }
+  // Unprotected components behave exactly as the baseline (same sampling
+  // stream, untouched by the policy).
+  for (const auto kind :
+       {microarch::ComponentKind::kRegFile, microarch::ComponentKind::kITlb,
+        microarch::ComponentKind::kDTlb}) {
+    EXPECT_EQ(prot.component(kind).counts.sdc,
+              base.component(kind).counts.sdc);
+    EXPECT_EQ(prot.component(kind).counts.sys_crash,
+              base.component(kind).counts.sys_crash);
+  }
+}
+
+}  // namespace
+}  // namespace sefi::fi

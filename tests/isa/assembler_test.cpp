@@ -1,0 +1,171 @@
+#include "sefi/isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::isa {
+namespace {
+
+std::uint32_t word_at(const Program& p, std::uint32_t addr) {
+  std::uint32_t w;
+  std::memcpy(&w, p.bytes.data() + (addr - p.base), 4);
+  return w;
+}
+
+TEST(Assembler, EmitsSequentialWords) {
+  Assembler a(0x1000);
+  a.nop();
+  a.movi(Reg::r1, 5);
+  Program p = a.finish();
+  EXPECT_EQ(p.base, 0x1000u);
+  EXPECT_EQ(p.size(), 8u);
+  const auto first = decode(word_at(p, 0x1000));
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->op, Opcode::kNop);
+}
+
+TEST(Assembler, BackwardBranchOffset) {
+  Assembler a(0x1000);
+  Label top = a.make_label();
+  a.bind(top);
+  a.nop();
+  a.b(top);  // at 0x1004, target 0x1000 -> offset (0x1000-0x1008)/4 = -2
+  Program p = a.finish();
+  const auto br = decode(word_at(p, 0x1004));
+  ASSERT_TRUE(br);
+  EXPECT_EQ(br->imm, -2);
+}
+
+TEST(Assembler, ForwardBranchFixup) {
+  Assembler a(0);
+  Label skip = a.make_label();
+  a.b(Cond::eq, skip);
+  a.nop();
+  a.nop();
+  a.bind(skip);
+  a.nop();
+  Program p = a.finish();
+  const auto br = decode(word_at(p, 0));
+  ASSERT_TRUE(br);
+  EXPECT_EQ(br->op, Opcode::kB);
+  EXPECT_EQ(br->imm, 2);  // (12 - 4) / 4
+}
+
+TEST(Assembler, BranchLinkFixup) {
+  Assembler a(0);
+  Label fn = a.make_label();
+  a.bl(fn);
+  a.nop();
+  a.bind(fn);
+  a.nop();
+  Program p = a.finish();
+  const auto bl = decode(word_at(p, 0));
+  ASSERT_TRUE(bl);
+  EXPECT_EQ(bl->op, Opcode::kBl);
+  EXPECT_EQ(bl->imm, 1);
+}
+
+TEST(Assembler, LoadLabelProducesAbsoluteAddress) {
+  Assembler a(0x20000);
+  Label data = a.make_label();
+  a.load_label(Reg::r2, data);
+  a.nop();
+  a.bind(data);
+  a.word(0xdeadbeef);
+  Program p = a.finish();
+  const auto movi = decode(word_at(p, 0x20000));
+  const auto movt = decode(word_at(p, 0x20004));
+  ASSERT_TRUE(movi && movt);
+  const std::uint32_t addr = a.address_of(data);
+  EXPECT_EQ(static_cast<std::uint32_t>(movi->imm), addr & 0xffffu);
+  EXPECT_EQ(static_cast<std::uint32_t>(movt->imm), addr >> 16);
+}
+
+TEST(Assembler, MovImm32SkipsMovtForSmallValues) {
+  Assembler a(0);
+  a.mov_imm32(Reg::r0, 0x1234);
+  Program small = a.finish();
+  EXPECT_EQ(small.size(), 4u);
+
+  Assembler b(0);
+  b.mov_imm32(Reg::r0, 0xdead1234);
+  Program big = b.finish();
+  EXPECT_EQ(big.size(), 8u);
+}
+
+TEST(Assembler, UnboundLabelThrowsAtFinish) {
+  Assembler a(0);
+  Label missing = a.make_label();
+  a.b(missing);
+  EXPECT_THROW(a.finish(), support::SefiError);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler a(0);
+  Label l = a.make_label();
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), support::SefiError);
+}
+
+TEST(Assembler, SymbolsRecorded) {
+  Assembler a(0x40);
+  a.nop();
+  a.symbol("after_nop");
+  a.nop();
+  Program p = a.finish();
+  EXPECT_EQ(p.symbol("after_nop"), 0x44u);
+  EXPECT_THROW(p.symbol("missing"), support::SefiError);
+}
+
+TEST(Assembler, DuplicateSymbolThrows) {
+  Assembler a(0);
+  a.symbol("x");
+  EXPECT_THROW(a.symbol("x"), support::SefiError);
+}
+
+TEST(Assembler, DataDirectivesAndAlignment) {
+  Assembler a(0);
+  a.byte(0xAB);
+  a.align(4);
+  a.word(0x11223344);
+  a.half(0x5566);
+  a.align(4);
+  a.float32(1.0f);
+  Program p = a.finish();
+  EXPECT_EQ(p.bytes[0], 0xAB);
+  EXPECT_EQ(word_at(p, 4), 0x11223344u);
+  EXPECT_EQ(p.bytes[8], 0x66);
+  EXPECT_EQ(p.bytes[9], 0x55);
+  EXPECT_EQ(word_at(p, 12), 0x3f800000u);  // 1.0f
+}
+
+TEST(Assembler, PushPopAreBalanced) {
+  Assembler a(0);
+  a.push({Reg::r0, Reg::r1});
+  a.pop({Reg::r0, Reg::r1});
+  Program p = a.finish();
+  // push: subi + 2 stores; pop: 2 loads + addi.
+  EXPECT_EQ(p.size(), 6u * 4);
+}
+
+TEST(Assembler, EntryDefaultsToBaseAndCanMove) {
+  Assembler a(0x100);
+  a.nop();
+  a.entry_here();
+  a.nop();
+  Program p = a.finish();
+  EXPECT_EQ(p.entry, 0x104u);
+}
+
+TEST(Assembler, FinishTwiceThrows) {
+  Assembler a(0);
+  a.nop();
+  a.finish();
+  EXPECT_THROW(a.finish(), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::isa

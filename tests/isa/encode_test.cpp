@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "sefi/isa/isa.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::isa {
+namespace {
+
+Instruction roundtrip(const Instruction& inst) {
+  const auto decoded = decode(encode(inst));
+  EXPECT_TRUE(decoded.has_value());
+  return *decoded;
+}
+
+TEST(Encode, RFormatRoundTrip) {
+  Instruction i;
+  i.op = Opcode::kAdd;
+  i.rd = 3;
+  i.rn = 14;
+  i.rm = 15;
+  const Instruction d = roundtrip(i);
+  EXPECT_EQ(d.op, Opcode::kAdd);
+  EXPECT_EQ(d.rd, 3);
+  EXPECT_EQ(d.rn, 14);
+  EXPECT_EQ(d.rm, 15);
+}
+
+TEST(Encode, IFormatSignedImmediates) {
+  for (std::int32_t imm : {0, 1, -1, 131071, -131072}) {
+    Instruction i;
+    i.op = Opcode::kAddi;
+    i.rd = 1;
+    i.rn = 2;
+    i.imm = imm;
+    EXPECT_EQ(roundtrip(i).imm, imm) << imm;
+  }
+}
+
+TEST(Encode, IFormatSignedOverflowThrows) {
+  Instruction i;
+  i.op = Opcode::kAddi;
+  i.imm = 1 << 17;
+  EXPECT_THROW(encode(i), support::SefiError);
+  i.imm = -(1 << 17) - 1;
+  EXPECT_THROW(encode(i), support::SefiError);
+}
+
+TEST(Encode, LogicalImmediatesAreUnsigned) {
+  Instruction i;
+  i.op = Opcode::kAndi;
+  i.rd = 0;
+  i.rn = 0;
+  i.imm = 0x3ffff;
+  EXPECT_EQ(roundtrip(i).imm, 0x3ffff);
+  i.imm = -1;
+  EXPECT_THROW(encode(i), support::SefiError);
+}
+
+TEST(Encode, MoviImm16) {
+  Instruction i;
+  i.op = Opcode::kMovi;
+  i.rd = 9;
+  i.imm = 0xffff;
+  const Instruction d = roundtrip(i);
+  EXPECT_EQ(d.rd, 9);
+  EXPECT_EQ(d.imm, 0xffff);
+  i.imm = 0x10000;
+  EXPECT_THROW(encode(i), support::SefiError);
+}
+
+TEST(Encode, BranchCondOffsets) {
+  for (std::int32_t off : {0, 1, -1, (1 << 21) - 1, -(1 << 21)}) {
+    Instruction i;
+    i.op = Opcode::kB;
+    i.cond = Cond::ne;
+    i.imm = off;
+    const Instruction d = roundtrip(i);
+    EXPECT_EQ(d.imm, off);
+    EXPECT_EQ(d.cond, Cond::ne);
+  }
+}
+
+TEST(Encode, BranchLinkOffsets) {
+  for (std::int32_t off : {0, 42, -42, (1 << 25) - 1, -(1 << 25)}) {
+    Instruction i;
+    i.op = Opcode::kBl;
+    i.imm = off;
+    EXPECT_EQ(roundtrip(i).imm, off);
+  }
+}
+
+TEST(Encode, SvcImmediate) {
+  Instruction i;
+  i.op = Opcode::kSvc;
+  i.imm = 1234;
+  EXPECT_EQ(roundtrip(i).imm, 1234);
+}
+
+TEST(Decode, InvalidOpcodeIsNullopt) {
+  // Opcode field 63 is far beyond kOpcodeCount.
+  EXPECT_FALSE(decode(0xffffffffu).has_value());
+}
+
+TEST(Decode, EveryOpcodeRoundTrips) {
+  for (unsigned op = 0; op < static_cast<unsigned>(Opcode::kOpcodeCount);
+       ++op) {
+    Instruction i;
+    i.op = static_cast<Opcode>(op);
+    const auto d = decode(encode(i));
+    ASSERT_TRUE(d.has_value()) << op;
+    EXPECT_EQ(d->op, i.op) << op;
+  }
+}
+
+TEST(CondHolds, EqNe) {
+  EXPECT_TRUE(cond_holds(Cond::eq, cpsr::kFlagZ));
+  EXPECT_FALSE(cond_holds(Cond::eq, 0));
+  EXPECT_TRUE(cond_holds(Cond::ne, 0));
+  EXPECT_FALSE(cond_holds(Cond::ne, cpsr::kFlagZ));
+}
+
+TEST(CondHolds, SignedComparisons) {
+  // lt: N != V
+  EXPECT_TRUE(cond_holds(Cond::lt, cpsr::kFlagN));
+  EXPECT_TRUE(cond_holds(Cond::lt, cpsr::kFlagV));
+  EXPECT_FALSE(cond_holds(Cond::lt, cpsr::kFlagN | cpsr::kFlagV));
+  // ge: N == V
+  EXPECT_TRUE(cond_holds(Cond::ge, 0));
+  EXPECT_TRUE(cond_holds(Cond::ge, cpsr::kFlagN | cpsr::kFlagV));
+  // gt: !Z && N==V
+  EXPECT_TRUE(cond_holds(Cond::gt, 0));
+  EXPECT_FALSE(cond_holds(Cond::gt, cpsr::kFlagZ));
+}
+
+TEST(CondHolds, UnsignedComparisons) {
+  // cs = C, hi = C && !Z, ls = !C || Z
+  EXPECT_TRUE(cond_holds(Cond::cs, cpsr::kFlagC));
+  EXPECT_TRUE(cond_holds(Cond::hi, cpsr::kFlagC));
+  EXPECT_FALSE(cond_holds(Cond::hi, cpsr::kFlagC | cpsr::kFlagZ));
+  EXPECT_TRUE(cond_holds(Cond::ls, cpsr::kFlagZ | cpsr::kFlagC));
+  EXPECT_TRUE(cond_holds(Cond::ls, 0));
+}
+
+TEST(CondHolds, AlwaysHolds) {
+  EXPECT_TRUE(cond_holds(Cond::al, 0));
+  EXPECT_TRUE(cond_holds(Cond::al, 0xffffffffu));
+}
+
+TEST(Disassemble, SampleForms) {
+  Instruction add;
+  add.op = Opcode::kAdd;
+  add.rd = 1;
+  add.rn = 2;
+  add.rm = 3;
+  EXPECT_EQ(disassemble(encode(add), 0), "add r1, r2, r3");
+
+  Instruction ldr;
+  ldr.op = Opcode::kLdr;
+  ldr.rd = 4;
+  ldr.rn = 13;
+  ldr.imm = -8;
+  EXPECT_EQ(disassemble(encode(ldr), 0), "ldr r4, [sp, #-8]");
+
+  Instruction b;
+  b.op = Opcode::kB;
+  b.cond = Cond::ne;
+  b.imm = 2;
+  EXPECT_EQ(disassemble(encode(b), 0x100), "bne 0x10c");
+
+  EXPECT_EQ(disassemble(0xffffffffu, 0), ".word 0xffffffff  ; undefined");
+}
+
+}  // namespace
+}  // namespace sefi::isa

@@ -1,0 +1,150 @@
+// Property-style sweeps over the ISA: every opcode with randomized legal
+// fields must encode/decode losslessly, and condition evaluation must
+// match a reference predicate on all flag combinations.
+#include <gtest/gtest.h>
+
+#include "sefi/isa/isa.hpp"
+#include "sefi/support/rng.hpp"
+
+namespace sefi::isa {
+namespace {
+
+/// Legal random instruction for an opcode (fields the format ignores are
+/// left zero so round-tripping is exact).
+Instruction random_instruction(Opcode op, support::Xoshiro256& rng) {
+  Instruction inst;
+  inst.op = op;
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd:
+    case Opcode::kOrr: case Opcode::kEor: case Opcode::kLsl:
+    case Opcode::kLsr: case Opcode::kAsr: case Opcode::kMul:
+    case Opcode::kSdiv: case Opcode::kUdiv: case Opcode::kCmp:
+    case Opcode::kMov: case Opcode::kFadd: case Opcode::kFsub:
+    case Opcode::kFmul: case Opcode::kFdiv: case Opcode::kFcmp:
+    case Opcode::kFcvtws: case Opcode::kFcvtsw: case Opcode::kFsqrt:
+    case Opcode::kLdrr: case Opcode::kStrr: case Opcode::kBr:
+    case Opcode::kBlr:
+      inst.rd = static_cast<std::uint8_t>(rng.below(16));
+      inst.rn = static_cast<std::uint8_t>(rng.below(16));
+      inst.rm = static_cast<std::uint8_t>(rng.below(16));
+      break;
+    case Opcode::kEret: case Opcode::kMrs: case Opcode::kMsr:
+    case Opcode::kMrsElr: case Opcode::kMsrElr: case Opcode::kMrsSpsr:
+    case Opcode::kMsrSpsr: case Opcode::kMrsUsp: case Opcode::kMsrUsp:
+    case Opcode::kTlbFlush: case Opcode::kHlt: case Opcode::kNop:
+      inst.rd = static_cast<std::uint8_t>(rng.below(16));
+      inst.rn = static_cast<std::uint8_t>(rng.below(16));
+      break;
+    case Opcode::kAddi: case Opcode::kSubi: case Opcode::kCmpi:
+    case Opcode::kLdr: case Opcode::kStr: case Opcode::kLdrb:
+    case Opcode::kStrb: case Opcode::kLdrh: case Opcode::kStrh:
+      inst.rd = static_cast<std::uint8_t>(rng.below(16));
+      inst.rn = static_cast<std::uint8_t>(rng.below(16));
+      inst.imm = static_cast<std::int32_t>(rng.below(1u << 18)) - (1 << 17);
+      break;
+    case Opcode::kAndi: case Opcode::kOrri: case Opcode::kEori:
+    case Opcode::kLsli: case Opcode::kLsri: case Opcode::kAsri:
+      inst.rd = static_cast<std::uint8_t>(rng.below(16));
+      inst.rn = static_cast<std::uint8_t>(rng.below(16));
+      inst.imm = static_cast<std::int32_t>(rng.below(1u << 18));
+      break;
+    case Opcode::kMovi: case Opcode::kMovt:
+      inst.rd = static_cast<std::uint8_t>(rng.below(16));
+      inst.imm = static_cast<std::int32_t>(rng.below(1u << 16));
+      break;
+    case Opcode::kB:
+      inst.cond = static_cast<Cond>(rng.below(15));
+      inst.imm = static_cast<std::int32_t>(rng.below(1u << 22)) - (1 << 21);
+      break;
+    case Opcode::kBl:
+      inst.imm = static_cast<std::int32_t>(rng.below(1u << 26)) - (1 << 25);
+      break;
+    case Opcode::kSvc:
+      inst.rd = static_cast<std::uint8_t>(rng.below(16));
+      inst.rn = static_cast<std::uint8_t>(rng.below(16));
+      inst.imm = static_cast<std::int32_t>(rng.below(1u << 16));
+      break;
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  return inst;
+}
+
+class OpcodeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OpcodeRoundTrip, RandomizedFieldsSurviveEncodeDecode) {
+  const auto op = static_cast<Opcode>(GetParam());
+  support::Xoshiro256 rng(GetParam() * 7919 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Instruction inst = random_instruction(op, rng);
+    const auto decoded = decode(encode(inst));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->op, inst.op);
+    EXPECT_EQ(decoded->rd, inst.rd);
+    EXPECT_EQ(decoded->rn, inst.rn);
+    EXPECT_EQ(decoded->rm, inst.rm);
+    EXPECT_EQ(decoded->cond, inst.cond);
+    EXPECT_EQ(decoded->imm, inst.imm);
+  }
+}
+
+TEST_P(OpcodeRoundTrip, DisassemblesToNonEmptyText) {
+  const auto op = static_cast<Opcode>(GetParam());
+  support::Xoshiro256 rng(GetParam() * 104729 + 3);
+  const Instruction inst = random_instruction(op, rng);
+  EXPECT_FALSE(disassemble(encode(inst), 0x1000).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0u, static_cast<unsigned>(Opcode::kOpcodeCount)),
+    [](const ::testing::TestParamInfo<unsigned>& info) {
+      return opcode_name(static_cast<Opcode>(info.param));
+    });
+
+TEST(CondHoldsProperty, MatchesReferencePredicateOnAllFlagCombos) {
+  for (unsigned flags = 0; flags < 16; ++flags) {
+    const bool n = flags & 8, z = flags & 4, c = flags & 2, v = flags & 1;
+    std::uint32_t cpsr_value = 0;
+    if (n) cpsr_value |= cpsr::kFlagN;
+    if (z) cpsr_value |= cpsr::kFlagZ;
+    if (c) cpsr_value |= cpsr::kFlagC;
+    if (v) cpsr_value |= cpsr::kFlagV;
+    EXPECT_EQ(cond_holds(Cond::eq, cpsr_value), z);
+    EXPECT_EQ(cond_holds(Cond::ne, cpsr_value), !z);
+    EXPECT_EQ(cond_holds(Cond::cs, cpsr_value), c);
+    EXPECT_EQ(cond_holds(Cond::cc, cpsr_value), !c);
+    EXPECT_EQ(cond_holds(Cond::mi, cpsr_value), n);
+    EXPECT_EQ(cond_holds(Cond::pl, cpsr_value), !n);
+    EXPECT_EQ(cond_holds(Cond::vs, cpsr_value), v);
+    EXPECT_EQ(cond_holds(Cond::vc, cpsr_value), !v);
+    EXPECT_EQ(cond_holds(Cond::hi, cpsr_value), c && !z);
+    EXPECT_EQ(cond_holds(Cond::ls, cpsr_value), !c || z);
+    EXPECT_EQ(cond_holds(Cond::ge, cpsr_value), n == v);
+    EXPECT_EQ(cond_holds(Cond::lt, cpsr_value), n != v);
+    EXPECT_EQ(cond_holds(Cond::gt, cpsr_value), !z && n == v);
+    EXPECT_EQ(cond_holds(Cond::le, cpsr_value), z || n != v);
+    EXPECT_TRUE(cond_holds(Cond::al, cpsr_value));
+  }
+}
+
+TEST(CondProperty, OppositePairsPartitionFlagSpace) {
+  const std::pair<Cond, Cond> pairs[] = {
+      {Cond::eq, Cond::ne}, {Cond::cs, Cond::cc}, {Cond::mi, Cond::pl},
+      {Cond::vs, Cond::vc}, {Cond::hi, Cond::ls}, {Cond::ge, Cond::lt},
+      {Cond::gt, Cond::le},
+  };
+  for (unsigned flags = 0; flags < 16; ++flags) {
+    std::uint32_t cpsr_value = 0;
+    if (flags & 8) cpsr_value |= cpsr::kFlagN;
+    if (flags & 4) cpsr_value |= cpsr::kFlagZ;
+    if (flags & 2) cpsr_value |= cpsr::kFlagC;
+    if (flags & 1) cpsr_value |= cpsr::kFlagV;
+    for (const auto& [a, b] : pairs) {
+      EXPECT_NE(cond_holds(a, cpsr_value), cond_holds(b, cpsr_value));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sefi::isa

@@ -1,0 +1,133 @@
+#include "sefi/kernel/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/sim/cpu.hpp"
+#include "sefi/sim/machine.hpp"
+#include "sefi/sim/memmap.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::kernel {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+TEST(Kernel, BuildsWithinCodeRegion) {
+  const isa::Program k = build_kernel();
+  EXPECT_EQ(k.base, sim::kKernelBase);
+  EXPECT_LE(k.size(), sim::kKernelCodeLimit);
+  EXPECT_GT(k.size(), 6u * 4);  // more than just the vector table
+}
+
+TEST(Kernel, ExposesSymbols) {
+  const isa::Program k = build_kernel();
+  EXPECT_NO_THROW(k.symbol("boot"));
+  EXPECT_NO_THROW(k.symbol("spawn"));
+  EXPECT_NO_THROW(k.symbol("irq_handler"));
+  EXPECT_NO_THROW(k.symbol("svc_handler"));
+  EXPECT_NO_THROW(k.symbol("panic"));
+  EXPECT_NO_THROW(k.symbol("fault_common"));
+}
+
+TEST(Kernel, UserMemoryLimitTracksMappedPages) {
+  KernelConfig config;
+  config.mapped_pages = 256;
+  EXPECT_EQ(user_memory_limit(config), 256u * 4096);
+}
+
+TEST(Kernel, RejectsBadConfigs) {
+  KernelConfig too_few_kernel_pages;
+  too_few_kernel_pages.kernel_pages = 4;
+  EXPECT_THROW(build_kernel(too_few_kernel_pages), support::SefiError);
+
+  KernelConfig inverted;
+  inverted.mapped_pages = 8;
+  inverted.kernel_pages = 16;
+  EXPECT_THROW(build_kernel(inverted), support::SefiError);
+
+  KernelConfig huge_sched;
+  huge_sched.sched_footprint_words = 1u << 20;
+  EXPECT_THROW(build_kernel(huge_sched), support::SefiError);
+}
+
+TEST(Kernel, TimerDisabledWhenIntervalZero) {
+  KernelConfig config;
+  config.timer_interval_cycles = 0;
+
+  Assembler a(sim::kUserBase);
+  // Spin long enough that the timer would have fired if enabled.
+  a.mov_imm32(Reg::r1, 50'000);
+  isa::Label loop = a.make_label();
+  a.bind(loop);
+  a.subi(Reg::r1, Reg::r1, 1);
+  a.cmpi(Reg::r1, 0);
+  a.b(isa::Cond::ne, loop);
+  a.movi(Reg::r0, 0);
+  a.movi(Reg::r7, sim::sysno::kExit);
+  a.svc(0);
+
+  sim::Machine m = sim::Machine::make_functional();
+  install_system(m, build_kernel(config), a.finish(), 0x00200000);
+  m.boot();
+  const sim::RunEvent event = m.run(10'000'000);
+  EXPECT_EQ(event.kind, sim::RunEventKind::kExit);
+  EXPECT_EQ(m.jiffies(), 0u);
+}
+
+TEST(Kernel, JiffiesAdvanceInKernelDataToo) {
+  Assembler a(sim::kUserBase);
+  a.mov_imm32(Reg::r1, 100'000);
+  isa::Label loop = a.make_label();
+  a.bind(loop);
+  a.subi(Reg::r1, Reg::r1, 1);
+  a.cmpi(Reg::r1, 0);
+  a.b(isa::Cond::ne, loop);
+  a.movi(Reg::r0, 0);
+  a.movi(Reg::r7, sim::sysno::kExit);
+  a.svc(0);
+
+  sim::Machine m = sim::Machine::make_functional();
+  install_system(m, build_kernel(), a.finish(), 0x00200000);
+  m.boot();
+  const sim::RunEvent event = m.run(10'000'000);
+  EXPECT_EQ(event.kind, sim::RunEventKind::kExit);
+  EXPECT_GT(m.jiffies(), 0u);
+  // The kernel's own jiffies variable mirrors the device count — this is
+  // what the harness watchdog reads to decide app-hang vs system-hang.
+  EXPECT_EQ(m.memory().read32(sim::kKernelJiffies), m.jiffies());
+}
+
+TEST(Kernel, InstallSystemRejectsKernelSpaceApps) {
+  sim::Machine m = sim::Machine::make_functional();
+  Assembler a(0x1000);  // inside kernel space
+  a.nop();
+  EXPECT_THROW(install_system(m, build_kernel(), a.finish(), 0x00200000),
+               support::SefiError);
+}
+
+TEST(Kernel, CorruptedKernelCodePanics) {
+  // Overwrite the svc handler's first instruction with garbage: the next
+  // syscall raises undef *in kernel mode*, which must end in panic or
+  // double fault — a System Crash, not an Application Crash.
+  Assembler a(sim::kUserBase);
+  a.movi(Reg::r7, sim::sysno::kAlive);
+  a.svc(0);
+  a.movi(Reg::r0, 0);
+  a.movi(Reg::r7, sim::sysno::kExit);
+  a.svc(0);
+
+  const isa::Program kernel_image = build_kernel();
+  sim::Machine m = sim::Machine::make_functional();
+  install_system(m, kernel_image, a.finish(), 0x00200000);
+  const std::uint32_t svc_addr = kernel_image.symbol("svc_handler");
+  m.memory().write32(svc_addr, 0xffffffffu);
+  m.boot();
+  const sim::RunEvent event = m.run(10'000'000);
+  EXPECT_TRUE(event.kind == sim::RunEventKind::kPanic ||
+              event.kind == sim::RunEventKind::kDoubleFault)
+      << static_cast<int>(event.kind);
+}
+
+}  // namespace
+}  // namespace sefi::kernel

@@ -1,0 +1,173 @@
+#include "sefi/microarch/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::microarch {
+namespace {
+
+CacheGeometry small_geom() { return {1024, 32, 2}; }  // 16 sets, 2 ways
+
+std::vector<std::uint8_t> pattern_line(std::uint8_t seed) {
+  std::vector<std::uint8_t> line(32);
+  std::iota(line.begin(), line.end(), seed);
+  return line;
+}
+
+TEST(CacheGeometry, DerivedQuantities) {
+  const CacheGeometry g{32 * 1024, 32, 4};
+  EXPECT_EQ(g.lines(), 1024u);
+  EXPECT_EQ(g.sets(), 256u);
+}
+
+TEST(CacheArray, MissOnEmpty) {
+  CacheArray c("t", small_geom());
+  EXPECT_EQ(c.lookup(0x1000), -1);
+}
+
+TEST(CacheArray, InstallThenHit) {
+  CacheArray c("t", small_geom());
+  const auto fill = pattern_line(1);
+  const int way = c.pick_victim(0x1000);
+  c.install(0x1000, way, fill);
+  EXPECT_EQ(c.lookup(0x1000), way);
+  const auto data = c.line_data(0x1000, way);
+  EXPECT_TRUE(std::equal(fill.begin(), fill.end(), data.begin()));
+}
+
+TEST(CacheArray, DistinctSetsDoNotConflict) {
+  CacheArray c("t", small_geom());
+  c.install(0x0000, c.pick_victim(0x0000), pattern_line(0));
+  c.install(0x0020, c.pick_victim(0x0020), pattern_line(1));
+  EXPECT_GE(c.lookup(0x0000), 0);
+  EXPECT_GE(c.lookup(0x0020), 0);
+}
+
+TEST(CacheArray, EvictionReturnsVictimWithData) {
+  CacheArray c("t", small_geom());
+  // Three lines mapping to the same set (stride = sets*line = 512).
+  c.install(0x0000, c.pick_victim(0x0000), pattern_line(0));
+  c.install(0x0200, c.pick_victim(0x0200), pattern_line(1));
+  c.mark_dirty(0x0000, c.lookup(0x0000));
+  const int victim_way = c.pick_victim(0x0400);
+  const EvictedLine evicted = c.install(0x0400, victim_way, pattern_line(2));
+  EXPECT_TRUE(evicted.valid);
+  // Round-robin starts at way 0, which holds 0x0000 (dirty).
+  EXPECT_TRUE(evicted.dirty);
+  EXPECT_EQ(evicted.paddr, 0x0000u);
+  EXPECT_EQ(evicted.data, pattern_line(0));
+}
+
+TEST(CacheArray, PickVictimPrefersInvalidWays) {
+  CacheArray c("t", small_geom());
+  const int w0 = c.pick_victim(0x1000);
+  c.install(0x1000, w0, pattern_line(0));
+  const int w1 = c.pick_victim(0x1200);  // same set
+  EXPECT_NE(w0, w1);
+}
+
+TEST(CacheArray, DirtyFlagLifecycle) {
+  CacheArray c("t", small_geom());
+  const int way = c.pick_victim(0x40);
+  c.install(0x40, way, pattern_line(0));
+  EXPECT_FALSE(c.is_dirty(0x40, way));
+  c.mark_dirty(0x40, way);
+  EXPECT_TRUE(c.is_dirty(0x40, way));
+  // Reinstalling clears dirty.
+  c.install(0x40, way, pattern_line(1));
+  EXPECT_FALSE(c.is_dirty(0x40, way));
+}
+
+TEST(CacheArray, InvalidateRangeDropsOverlappingLines) {
+  CacheArray c("t", small_geom());
+  c.install(0x0000, c.pick_victim(0x0000), pattern_line(0));
+  c.install(0x0100, c.pick_victim(0x0100), pattern_line(1));
+  c.invalidate_range(0x0000, 0x20);
+  EXPECT_EQ(c.lookup(0x0000), -1);
+  EXPECT_GE(c.lookup(0x0100), 0);
+}
+
+TEST(CacheArray, InvalidateRangePartialOverlap) {
+  CacheArray c("t", small_geom());
+  c.install(0x0040, c.pick_victim(0x0040), pattern_line(0));
+  // Range ending inside the line still invalidates it.
+  c.invalidate_range(0x0030, 0x11);
+  EXPECT_EQ(c.lookup(0x0040), -1);
+}
+
+TEST(CacheArray, ResetDropsEverything) {
+  CacheArray c("t", small_geom());
+  c.install(0x80, c.pick_victim(0x80), pattern_line(3));
+  c.reset();
+  EXPECT_EQ(c.lookup(0x80), -1);
+}
+
+TEST(CacheArray, BitCountAccounting) {
+  CacheArray c("t", small_geom());
+  // 32 lines; per line: 2 + tag(32-5-4=23) + 256 data = 281 bits.
+  EXPECT_EQ(c.bit_count(), 32u * (2 + 23 + 256));
+}
+
+TEST(CacheArray, FlipValidBitDropsLine) {
+  CacheArray c("t", small_geom());
+  const int way = c.pick_victim(0x0000);
+  c.install(0x0000, way, pattern_line(0));
+  // Line 0 is (set 0, way 0); bit 0 is its valid bit.
+  const std::uint32_t line = 0 * 2 + static_cast<std::uint32_t>(way);
+  c.flip_bit(static_cast<std::uint64_t>(line) * (2 + 23 + 256) + 0);
+  EXPECT_EQ(c.lookup(0x0000), -1);
+}
+
+TEST(CacheArray, FlipTagBitDetachesLine) {
+  CacheArray c("t", small_geom());
+  const int way = c.pick_victim(0x0000);
+  c.install(0x0000, way, pattern_line(0));
+  const std::uint64_t per_line = 2 + 23 + 256;
+  const std::uint64_t line = static_cast<std::uint64_t>(way);
+  c.flip_bit(line * per_line + 2);  // tag bit 0
+  EXPECT_EQ(c.lookup(0x0000), -1);
+  // The line now answers for the aliased address (tag bit 0 => +512B).
+  EXPECT_EQ(c.lookup(0x0200), way);
+}
+
+TEST(CacheArray, FlipDataBitCorruptsStoredByte) {
+  CacheArray c("t", small_geom());
+  const int way = c.pick_victim(0x0000);
+  c.install(0x0000, way, pattern_line(0));
+  const std::uint64_t per_line = 2 + 23 + 256;
+  // Flip bit 3 of data byte 5 of line (set0, way).
+  c.flip_bit(static_cast<std::uint64_t>(way) * per_line + 2 + 23 + 5 * 8 + 3);
+  const auto data = c.line_data(0x0000, way);
+  EXPECT_EQ(data[5], static_cast<std::uint8_t>(5 ^ 0x08));
+}
+
+TEST(CacheArray, FlipDirtyBitLosesWriteback) {
+  CacheArray c("t", small_geom());
+  const int way = c.pick_victim(0x0000);
+  c.install(0x0000, way, pattern_line(0));
+  c.mark_dirty(0x0000, way);
+  const std::uint64_t per_line = 2 + 23 + 256;
+  c.flip_bit(static_cast<std::uint64_t>(way) * per_line + 1);
+  EXPECT_FALSE(c.is_dirty(0x0000, way));
+}
+
+TEST(CacheArray, FlipBitOutOfRangeThrows) {
+  CacheArray c("t", small_geom());
+  EXPECT_THROW(c.flip_bit(c.bit_count()), support::SefiError);
+}
+
+TEST(CacheArray, PaperGeometryBitCounts) {
+  // L1: 32KB 4-way 32B lines -> 1024 lines, tag = 32-5-8 = 19 bits.
+  CacheArray l1("L1", {32 * 1024, 32, 4});
+  EXPECT_EQ(l1.bit_count(), 1024u * (2 + 19 + 256));
+  // L2: 512KB 8-way -> 16384 lines, 2048 sets, tag = 32-5-11 = 16 bits.
+  CacheArray l2("L2", {512 * 1024, 32, 8});
+  EXPECT_EQ(l2.bit_count(), 16384u * (2 + 16 + 256));
+}
+
+}  // namespace
+}  // namespace sefi::microarch

@@ -1,0 +1,81 @@
+#include "sefi/microarch/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::microarch {
+namespace {
+
+TEST(BranchPredictor, LearnsAlwaysTakenBranch) {
+  BranchPredictor predictor;
+  const std::uint32_t pc = 0x1000;
+  // Initially weakly not-taken: the first outcome mispredicts.
+  EXPECT_TRUE(predictor.conditional(pc, true));
+  // After training, taken branches predict correctly.
+  predictor.conditional(pc, true);
+  EXPECT_FALSE(predictor.conditional(pc, true));
+  EXPECT_FALSE(predictor.conditional(pc, true));
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTakenBranch) {
+  BranchPredictor predictor;
+  const std::uint32_t pc = 0x2000;
+  EXPECT_FALSE(predictor.conditional(pc, false));  // weakly not-taken
+  EXPECT_FALSE(predictor.conditional(pc, false));
+}
+
+TEST(BranchPredictor, SaturatingCountersTolerateOneAnomaly) {
+  BranchPredictor predictor;
+  const std::uint32_t pc = 0x3000;
+  for (int i = 0; i < 8; ++i) predictor.conditional(pc, true);
+  // One not-taken outcome mispredicts but doesn't flip the bias.
+  EXPECT_TRUE(predictor.conditional(pc, false));
+  EXPECT_FALSE(predictor.conditional(pc, true));
+}
+
+TEST(BranchPredictor, AlternatingPatternKeepsMissing) {
+  BranchPredictor predictor;
+  const std::uint32_t pc = 0x4000;
+  int misses = 0;
+  bool taken = false;
+  for (int i = 0; i < 100; ++i) {
+    if (predictor.conditional(pc, taken)) ++misses;
+    taken = !taken;
+  }
+  // A bimodal predictor cannot learn strict alternation.
+  EXPECT_GT(misses, 30);
+}
+
+TEST(BranchPredictor, BtbLearnsIndirectTarget) {
+  BranchPredictor predictor;
+  EXPECT_TRUE(predictor.indirect(0x5000, 0x9000));   // cold miss
+  EXPECT_FALSE(predictor.indirect(0x5000, 0x9000));  // learned
+  EXPECT_TRUE(predictor.indirect(0x5000, 0xA000));   // target changed
+  EXPECT_FALSE(predictor.indirect(0x5000, 0xA000));
+}
+
+TEST(BranchPredictor, BtbEntriesCollideByIndex) {
+  BranchPredictor predictor(1024, 4);  // tiny BTB: 4 entries
+  // PCs 0x0 and 0x10 map to different slots; 0x0 and 0x40 collide.
+  EXPECT_TRUE(predictor.indirect(0x0, 0x100));
+  EXPECT_FALSE(predictor.indirect(0x0, 0x100));
+  EXPECT_TRUE(predictor.indirect(0x40, 0x200));  // evicts 0x0's slot
+  EXPECT_TRUE(predictor.indirect(0x0, 0x100));   // cold again
+}
+
+TEST(BranchPredictor, ResetForgetsTraining) {
+  BranchPredictor predictor;
+  const std::uint32_t pc = 0x6000;
+  for (int i = 0; i < 4; ++i) predictor.conditional(pc, true);
+  predictor.reset();
+  EXPECT_TRUE(predictor.conditional(pc, true));  // back to weakly not-taken
+}
+
+TEST(BranchPredictor, RejectsNonPowerOfTwoTables) {
+  EXPECT_THROW(BranchPredictor(1000, 256), support::SefiError);
+  EXPECT_THROW(BranchPredictor(1024, 100), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::microarch

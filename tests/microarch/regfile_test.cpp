@@ -1,0 +1,105 @@
+#include "sefi/microarch/regfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::microarch {
+namespace {
+
+TEST(PhysRegFile, ReadAfterWrite) {
+  PhysRegFile rf;
+  rf.write(3, 0xdeadbeef);
+  EXPECT_EQ(rf.read(3), 0xdeadbeefu);
+}
+
+TEST(PhysRegFile, ResetMapsIdentityAndZeroes) {
+  PhysRegFile rf;
+  rf.write(0, 123);
+  rf.reset();
+  for (unsigned r = 0; r < 16; ++r) {
+    EXPECT_EQ(rf.read(r), 0u);
+    EXPECT_EQ(rf.mapping(r), r);
+  }
+}
+
+TEST(PhysRegFile, WriteAllocatesFreshPhysicalRegister) {
+  PhysRegFile rf;
+  const unsigned before = rf.mapping(5);
+  rf.write(5, 1);
+  EXPECT_NE(rf.mapping(5), before);
+}
+
+TEST(PhysRegFile, OtherMappingsUndisturbed) {
+  PhysRegFile rf;
+  rf.write(5, 99);
+  for (unsigned r = 0; r < 16; ++r) {
+    if (r != 5) {
+      EXPECT_EQ(rf.read(r), 0u) << r;
+    }
+  }
+}
+
+TEST(PhysRegFile, MappingsStayDistinct) {
+  PhysRegFile rf(64, 16);
+  // Hammer writes; no two architectural registers may ever share a
+  // physical register.
+  for (int i = 0; i < 1000; ++i) {
+    rf.write(static_cast<unsigned>(i % 16), static_cast<std::uint32_t>(i));
+    std::set<unsigned> seen;
+    for (unsigned r = 0; r < 16; ++r) seen.insert(rf.mapping(r));
+    ASSERT_EQ(seen.size(), 16u);
+  }
+}
+
+TEST(PhysRegFile, ValuesSurviveHeavyRenaming) {
+  PhysRegFile rf;
+  for (unsigned r = 0; r < 16; ++r) rf.write(r, r * 17 + 1);
+  for (int i = 0; i < 500; ++i) rf.write(0, static_cast<std::uint32_t>(i));
+  for (unsigned r = 1; r < 16; ++r) EXPECT_EQ(rf.read(r), r * 17 + 1);
+  EXPECT_EQ(rf.read(0), 499u);
+}
+
+TEST(PhysRegFile, FlipBitOnMappedRegisterIsVisible) {
+  PhysRegFile rf;
+  rf.reset();  // arch r2 -> phys 2
+  rf.write(2, 0);
+  const unsigned phys = rf.mapping(2);
+  rf.flip_bit(static_cast<std::uint64_t>(phys) * 32 + 7);
+  EXPECT_EQ(rf.read(2), 1u << 7);
+}
+
+TEST(PhysRegFile, FlipBitOnFreeRegisterIsMasked) {
+  PhysRegFile rf;
+  // Find a physical register not mapped to any architectural one.
+  std::set<unsigned> live;
+  for (unsigned r = 0; r < 16; ++r) live.insert(rf.mapping(r));
+  unsigned free_phys = 0;
+  for (unsigned p = 0; p < rf.num_phys(); ++p) {
+    if (!live.contains(p)) {
+      free_phys = p;
+      break;
+    }
+  }
+  rf.flip_bit(static_cast<std::uint64_t>(free_phys) * 32);
+  for (unsigned r = 0; r < 16; ++r) EXPECT_EQ(rf.read(r), 0u);
+}
+
+TEST(PhysRegFile, BitCount) {
+  PhysRegFile rf(64, 16);
+  EXPECT_EQ(rf.bit_count(), 64u * 32);
+}
+
+TEST(PhysRegFile, FlipBitOutOfRangeThrows) {
+  PhysRegFile rf;
+  EXPECT_THROW(rf.flip_bit(rf.bit_count()), support::SefiError);
+}
+
+TEST(PhysRegFile, RejectsDegenerateConfig) {
+  EXPECT_THROW(PhysRegFile(16, 16), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::microarch

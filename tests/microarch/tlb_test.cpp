@@ -1,0 +1,107 @@
+#include "sefi/microarch/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/sim/memmap.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::microarch {
+namespace {
+
+sim::Translation make_translation(std::uint32_t ppn, std::uint8_t perms) {
+  sim::Translation t;
+  t.ppn = ppn;
+  t.perms = perms;
+  return t;
+}
+
+TEST(Tlb, MissOnEmpty) {
+  Tlb tlb("t", 4);
+  EXPECT_FALSE(tlb.lookup(5).has_value());
+}
+
+TEST(Tlb, InsertThenHitPreservesFields) {
+  Tlb tlb("t", 4);
+  tlb.insert(5, make_translation(42, sim::pte::kUserRead |
+                                         sim::pte::kUserWrite));
+  const auto hit = tlb.lookup(5);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->ppn, 42u);
+  EXPECT_EQ(hit->perms,
+            sim::pte::kUserRead | sim::pte::kUserWrite);
+}
+
+TEST(Tlb, RoundRobinEviction) {
+  Tlb tlb("t", 2);
+  tlb.insert(1, make_translation(1, 0));
+  tlb.insert(2, make_translation(2, 0));
+  tlb.insert(3, make_translation(3, 0));  // evicts vpn 1
+  EXPECT_FALSE(tlb.lookup(1).has_value());
+  EXPECT_TRUE(tlb.lookup(2).has_value());
+  EXPECT_TRUE(tlb.lookup(3).has_value());
+}
+
+TEST(Tlb, ResetDropsEntries) {
+  Tlb tlb("t", 4);
+  tlb.insert(7, make_translation(7, 0));
+  tlb.reset();
+  EXPECT_FALSE(tlb.lookup(7).has_value());
+}
+
+TEST(Tlb, BitCount) {
+  Tlb tlb("t", 32);
+  EXPECT_EQ(tlb.bit_count(), 32u * Tlb::kBitsPerEntry);
+  EXPECT_EQ(Tlb::kBitsPerEntry, 28u);
+}
+
+TEST(Tlb, FlipValidBitDropsEntry) {
+  Tlb tlb("t", 4);
+  tlb.insert(9, make_translation(9, 0));
+  tlb.flip_bit(0);  // entry 0 valid bit
+  EXPECT_FALSE(tlb.lookup(9).has_value());
+}
+
+TEST(Tlb, FlipVpnBitCausesTagMissAndAlias) {
+  Tlb tlb("t", 4);
+  tlb.insert(8, make_translation(8, 0));
+  tlb.flip_bit(1);  // entry 0, VPN bit 0: vpn 8 -> 9
+  EXPECT_FALSE(tlb.lookup(8).has_value());
+  const auto aliased = tlb.lookup(9);
+  ASSERT_TRUE(aliased);
+  EXPECT_EQ(aliased->ppn, 8u);  // silently wrong translation for vpn 9
+}
+
+TEST(Tlb, FlipPpnBitSilentlyChangesTranslation) {
+  Tlb tlb("t", 4);
+  tlb.insert(3, make_translation(0x10, 0));
+  tlb.flip_bit(1 + 12);  // entry 0, PPN bit 0
+  const auto hit = tlb.lookup(3);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->ppn, 0x11u);
+}
+
+TEST(Tlb, FlipPermBitTogglesPermission) {
+  Tlb tlb("t", 4);
+  tlb.insert(2, make_translation(2, sim::pte::kUserRead));
+  tlb.flip_bit(1 + 12 + 12);  // entry 0, perm bit 0 (user-read)
+  const auto hit = tlb.lookup(2);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->perms & sim::pte::kUserRead, 0u);
+}
+
+TEST(Tlb, FlipBitInSecondEntry) {
+  Tlb tlb("t", 4);
+  tlb.insert(1, make_translation(1, 0));
+  tlb.insert(2, make_translation(2, 0));
+  tlb.flip_bit(Tlb::kBitsPerEntry);  // entry 1 valid bit
+  EXPECT_TRUE(tlb.lookup(1).has_value());
+  EXPECT_FALSE(tlb.lookup(2).has_value());
+}
+
+TEST(Tlb, FlipBitOutOfRangeThrows) {
+  Tlb tlb("t", 4);
+  EXPECT_THROW(tlb.flip_bit(tlb.bit_count()), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::microarch

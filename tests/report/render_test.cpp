@@ -1,0 +1,150 @@
+#include "sefi/report/render.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sefi::report {
+namespace {
+
+core::WorkloadComparison make_comparison(const std::string& name,
+                                         double beam_events_scale,
+                                         core::FiFitRates fi_fit) {
+  core::WorkloadComparison c;
+  c.workload = name;
+  c.beam.workload = name;
+  c.beam.sdc = static_cast<std::uint64_t>(2 * beam_events_scale);
+  c.beam.app_crash = static_cast<std::uint64_t>(6 * beam_events_scale);
+  c.beam.sys_crash = static_cast<std::uint64_t>(20 * beam_events_scale);
+  c.beam.fluence_per_cm2 = 13.0 * 1e9;  // FIT == event count
+  c.fi_fit = fi_fit;
+  return c;
+}
+
+fi::WorkloadFiResult make_fi_result(const std::string& name, double margin) {
+  fi::WorkloadFiResult result;
+  result.workload = name;
+  for (std::size_t i = 0; i < result.components.size(); ++i) {
+    auto& comp = result.components[i];
+    comp.component = static_cast<microarch::ComponentKind>(i);
+    comp.bits = 1000;
+    comp.counts = {80, 10, 6, 4};
+    comp.error_margin = margin;
+  }
+  return result;
+}
+
+TEST(Table1, ListsAllLayers) {
+  const std::string out = render_table1({
+      {"Software (native)", "host loop", 2e9},
+      {"Architecture", "SEFI functional model", 2e7},
+      {"Microarchitecture", "SEFI detailed model", 2e5},
+      {"RTL", "gate-level ALU proxy", 6e2},
+  });
+  EXPECT_NE(out.find("TABLE I"), std::string::npos);
+  EXPECT_NE(out.find("Microarchitecture"), std::string::npos);
+  EXPECT_NE(out.find("2.00e+09"), std::string::npos);
+  EXPECT_NE(out.find("6.00e+02"), std::string::npos);
+}
+
+TEST(Table2, EchoesConfiguredGeometry) {
+  core::LabConfig config;
+  config.fi.rig.uarch = core::scaled_uarch();
+  const std::string out = render_table2(config);
+  EXPECT_NE(out.find("TABLE II"), std::string::npos);
+  EXPECT_NE(out.find("4 KB 4-way"), std::string::npos);
+  EXPECT_NE(out.find("64 KB 8-way"), std::string::npos);
+  EXPECT_NE(out.find("SEFI-A9"), std::string::npos);
+}
+
+TEST(Table3, ListsAllThirteenBenchmarks) {
+  const std::string out = render_table3();
+  EXPECT_NE(out.find("TABLE III"), std::string::npos);
+  for (const workloads::Workload* w : workloads::all_workloads()) {
+    EXPECT_NE(out.find(w->info().name), std::string::npos) << w->info().name;
+  }
+  EXPECT_NE(out.find("26.6 MB file"), std::string::npos);  // paper input
+}
+
+TEST(Table4, ComputesMinMaxAvg) {
+  const std::vector<fi::WorkloadFiResult> sweep = {
+      make_fi_result("A", 0.02),
+      make_fi_result("B", 0.04),
+  };
+  const std::string out = render_table4(sweep);
+  EXPECT_NE(out.find("TABLE IV"), std::string::npos);
+  EXPECT_NE(out.find("2 %"), std::string::npos);   // min
+  EXPECT_NE(out.find("4 %"), std::string::npos);   // max
+  EXPECT_NE(out.find("3 %"), std::string::npos);   // avg
+  EXPECT_NE(out.find("RegFile"), std::string::npos);
+  EXPECT_NE(out.find("DTLB"), std::string::npos);
+}
+
+TEST(Fig3, RendersFitColumns) {
+  beam::BeamResult result;
+  result.workload = "CRC32";
+  result.runs = 600;
+  result.sdc = 13;
+  result.fluence_per_cm2 = 13.0 * 1e9;
+  const std::string out = render_fig3({result});
+  EXPECT_NE(out.find("FIG 3"), std::string::npos);
+  EXPECT_NE(out.find("CRC32"), std::string::npos);
+  EXPECT_NE(out.find("13"), std::string::npos);
+}
+
+TEST(Fig4, RendersPerComponentRows) {
+  const std::string out = render_fig4({make_fi_result("Qsort", 0.03)});
+  EXPECT_NE(out.find("FIG 4"), std::string::npos);
+  EXPECT_NE(out.find("Qsort"), std::string::npos);
+  EXPECT_NE(out.find("L1I"), std::string::npos);
+  EXPECT_NE(out.find("80"), std::string::npos);  // masked %
+}
+
+TEST(Fig5, RendersConvertedRates) {
+  const std::string out =
+      render_fig5({{"FFT", {1.5, 0.25, 0.1}}}, 2.76e-5);
+  EXPECT_NE(out.find("FIG 5"), std::string::npos);
+  EXPECT_NE(out.find("FFT"), std::string::npos);
+  EXPECT_NE(out.find("2.76e-05"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(FoldFigures, DirectionSigns) {
+  // Beam SDC FIT = 2; make FI higher (5) for one workload and lower (1)
+  // for another: bars must carry opposite signs.
+  const std::vector<core::WorkloadComparison> sweep = {
+      make_comparison("FiHigher", 1.0, {5.0, 0.1, 0.1}),
+      make_comparison("BeamHigher", 1.0, {1.0, 0.1, 0.1}),
+  };
+  const std::string out = render_fold_figure("FIG 6: SDC", "sdc", sweep);
+  EXPECT_NE(out.find("FIG 6"), std::string::npos);
+  EXPECT_NE(out.find("-2.5x"), std::string::npos);  // 5 / 2
+  EXPECT_NE(out.find("+2x"), std::string::npos);    // 2 / 1
+}
+
+TEST(FoldFigures, AllClassesRender) {
+  const std::vector<core::WorkloadComparison> sweep = {
+      make_comparison("W", 1.0, {1.0, 1.0, 1.0}),
+  };
+  for (const char* clazz : {"sdc", "app", "sys", "sdc+app"}) {
+    const std::string out = render_fold_figure("T", clazz, sweep);
+    EXPECT_NE(out.find("W"), std::string::npos) << clazz;
+  }
+}
+
+TEST(Fig10, RendersSandwich) {
+  core::AggregateComparison agg;
+  agg.beam_sdc = 4.0;
+  agg.beam_sdc_app = 10.0;
+  agg.beam_total = 30.0;
+  agg.fi_sdc = 3.0;
+  agg.fi_sdc_app = 3.3;
+  agg.fi_total = 3.4;
+  const std::string out = render_fig10(agg);
+  EXPECT_NE(out.find("FIG 10"), std::string::npos);
+  EXPECT_NE(out.find("SDC + AppCrash"), std::string::npos);
+  EXPECT_NE(out.find("Total"), std::string::npos);
+  // Total gap 30/3.4 = 8.82x.
+  EXPECT_NE(out.find("8.82x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sefi::report

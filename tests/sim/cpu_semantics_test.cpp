@@ -1,0 +1,305 @@
+// Instruction-level semantics tests.
+//
+// Each test assembles a tiny raw program at the reset vector (the CPU
+// starts there in kernel mode with the MMU off), ends it with HLT, runs
+// it on the functional machine, and inspects architectural registers.
+// This pins down the ISA's arithmetic, flag, shift, float, and memory
+// semantics independently of the kernel and workloads.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <limits>
+
+#include "sefi/isa/assembler.hpp"
+#include "sefi/sim/machine.hpp"
+
+namespace sefi::sim {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+/// Runs a raw kernel-mode program (already ending in hlt) and returns the
+/// machine for register inspection.
+Machine run_raw(Assembler& a) {
+  Machine m = Machine::make_functional();
+  m.load_image(a.finish());
+  m.boot();
+  const RunEvent event = m.run(1'000'000);
+  EXPECT_EQ(event.kind, RunEventKind::kHalted);
+  return m;
+}
+
+TEST(CpuSemantics, MoviMovtComposition) {
+  Assembler a(0);
+  a.mov_imm32(Reg::r1, 0xDEADBEEF);
+  a.movi(Reg::r2, 0xFFFF);
+  a.movt(Reg::r2, 0x1234);  // keeps the low half
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(1), 0xDEADBEEFu);
+  EXPECT_EQ(m.cpu().reg(2), 0x1234FFFFu);
+}
+
+TEST(CpuSemantics, ArithmeticWrapsModulo32) {
+  Assembler a(0);
+  a.mov_imm32(Reg::r1, 0xFFFFFFFF);
+  a.addi(Reg::r2, Reg::r1, 1);         // wraps to 0
+  a.mov_imm32(Reg::r3, 0x80000000);
+  a.sub(Reg::r4, Reg::r2, Reg::r3);    // 0 - INT_MIN wraps
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(2), 0u);
+  EXPECT_EQ(m.cpu().reg(4), 0x80000000u);
+}
+
+TEST(CpuSemantics, DivisionEdgeCases) {
+  Assembler a(0);
+  a.mov_imm32(Reg::r1, 0x80000000);  // INT_MIN
+  a.mov_imm32(Reg::r2, 0xFFFFFFFF);  // -1
+  a.sdiv(Reg::r3, Reg::r1, Reg::r2); // wraps to INT_MIN (ARM semantics)
+  a.movi(Reg::r4, 0);
+  a.sdiv(Reg::r5, Reg::r1, Reg::r4); // divide by zero -> 0
+  a.udiv(Reg::r6, Reg::r1, Reg::r4); // divide by zero -> 0
+  a.movi(Reg::r7, 7);
+  a.mov_imm32(Reg::r8, 100);
+  a.sdiv(Reg::r9, Reg::r8, Reg::r7); // 14 (truncating)
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(3), 0x80000000u);
+  EXPECT_EQ(m.cpu().reg(5), 0u);
+  EXPECT_EQ(m.cpu().reg(6), 0u);
+  EXPECT_EQ(m.cpu().reg(9), 14u);
+}
+
+TEST(CpuSemantics, SignedDivisionTruncatesTowardZero) {
+  Assembler a(0);
+  a.mov_imm32(Reg::r1, static_cast<std::uint32_t>(-7));
+  a.movi(Reg::r2, 2);
+  a.sdiv(Reg::r3, Reg::r1, Reg::r2);  // -3, not -4
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu().reg(3)), -3);
+}
+
+TEST(CpuSemantics, ShiftsUseLowFiveBitsOfRegister) {
+  Assembler a(0);
+  a.movi(Reg::r1, 1);
+  a.movi(Reg::r2, 33);               // & 31 -> 1
+  a.lsl(Reg::r3, Reg::r1, Reg::r2);  // 2
+  a.mov_imm32(Reg::r4, 0x80000000);
+  a.asri(Reg::r5, Reg::r4, 31);      // arithmetic -> all ones
+  a.lsri(Reg::r6, Reg::r4, 31);      // logical -> 1
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(3), 2u);
+  EXPECT_EQ(m.cpu().reg(5), 0xFFFFFFFFu);
+  EXPECT_EQ(m.cpu().reg(6), 1u);
+}
+
+TEST(CpuSemantics, ConditionalBranchesAfterCompare) {
+  // r10 accumulates a bitmask of which conditions held for 5 vs 7.
+  Assembler a(0);
+  a.movi(Reg::r10, 0);
+  a.movi(Reg::r1, 5);
+  a.movi(Reg::r2, 7);
+  a.cmp(Reg::r1, Reg::r2);
+  struct Case {
+    Cond cond;
+    std::uint32_t bit;
+  };
+  const Case cases[] = {
+      {Cond::eq, 1u << 0}, {Cond::ne, 1u << 1}, {Cond::lt, 1u << 2},
+      {Cond::ge, 1u << 3}, {Cond::cc, 1u << 4},  // unsigned <
+      {Cond::cs, 1u << 5},                       // unsigned >=
+  };
+  for (const Case& c : cases) {
+    // Branch-over pattern: set the bit iff the condition holds.
+    a.cmp(Reg::r1, Reg::r2);
+    Label taken = a.make_label();
+    Label after = a.make_label();
+    a.b(c.cond, taken);
+    a.b(after);
+    a.bind(taken);
+    a.orri(Reg::r10, Reg::r10, static_cast<std::int32_t>(c.bit));
+    a.bind(after);
+  }
+  a.hlt();
+  Machine m = run_raw(a);
+  // 5 < 7: ne, lt, cc hold; eq, ge, cs don't.
+  EXPECT_EQ(m.cpu().reg(10),
+            (1u << 1) | (1u << 2) | (1u << 4));
+}
+
+TEST(CpuSemantics, UnsignedCompareDiffersFromSigned) {
+  Assembler a(0);
+  a.mov_imm32(Reg::r1, 0xFFFFFFFF);  // -1 signed, UINT_MAX unsigned
+  a.movi(Reg::r2, 1);
+  a.cmp(Reg::r1, Reg::r2);
+  a.movi(Reg::r3, 0);
+  a.movi(Reg::r4, 0);
+  Label not_lt = a.make_label();
+  a.b(Cond::ge, not_lt);
+  a.movi(Reg::r3, 1);  // signed less
+  a.bind(not_lt);
+  Label not_hi = a.make_label();
+  a.b(Cond::ls, not_hi);
+  a.movi(Reg::r4, 1);  // unsigned greater
+  a.bind(not_hi);
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(3), 1u);  // -1 < 1 signed
+  EXPECT_EQ(m.cpu().reg(4), 1u);  // UINT_MAX > 1 unsigned
+}
+
+TEST(CpuSemantics, FloatArithmeticBitExact) {
+  Assembler a(0);
+  a.mov_float(Reg::r1, 1.5f);
+  a.mov_float(Reg::r2, 2.25f);
+  a.fadd(Reg::r3, Reg::r1, Reg::r2);
+  a.fmul(Reg::r4, Reg::r1, Reg::r2);
+  a.fsub(Reg::r5, Reg::r1, Reg::r2);
+  a.fdiv(Reg::r6, Reg::r2, Reg::r1);
+  a.fsqrt(Reg::r7, Reg::r2);
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(std::bit_cast<float>(m.cpu().reg(3)), 3.75f);
+  EXPECT_EQ(std::bit_cast<float>(m.cpu().reg(4)), 3.375f);
+  EXPECT_EQ(std::bit_cast<float>(m.cpu().reg(5)), -0.75f);
+  EXPECT_EQ(std::bit_cast<float>(m.cpu().reg(6)), 1.5f);
+  EXPECT_EQ(std::bit_cast<float>(m.cpu().reg(7)), 1.5f);
+}
+
+TEST(CpuSemantics, FloatIntConversions) {
+  Assembler a(0);
+  a.mov_float(Reg::r1, -2.75f);
+  a.fcvtws(Reg::r2, Reg::r1);  // truncates toward zero -> -2
+  a.mov_imm32(Reg::r3, static_cast<std::uint32_t>(-5));
+  a.fcvtsw(Reg::r4, Reg::r3);  // -5.0f
+  a.mov_float(Reg::r5, 3e9f);  // beyond INT_MAX
+  a.fcvtws(Reg::r6, Reg::r5);  // saturates
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu().reg(2)), -2);
+  EXPECT_EQ(std::bit_cast<float>(m.cpu().reg(4)), -5.0f);
+  EXPECT_EQ(static_cast<std::int32_t>(m.cpu().reg(6)),
+            std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(CpuSemantics, FloatCompareConditions) {
+  Assembler a(0);
+  a.mov_float(Reg::r1, 1.0f);
+  a.mov_float(Reg::r2, 2.0f);
+  a.fcmp(Reg::r1, Reg::r2);
+  a.movi(Reg::r3, 0);
+  Label ge = a.make_label();
+  a.b(Cond::ge, ge);
+  a.movi(Reg::r3, 1);  // less
+  a.bind(ge);
+  a.fcmp(Reg::r2, Reg::r2);
+  a.movi(Reg::r4, 0);
+  Label ne = a.make_label();
+  a.b(Cond::ne, ne);
+  a.movi(Reg::r4, 1);  // equal
+  a.bind(ne);
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(3), 1u);
+  EXPECT_EQ(m.cpu().reg(4), 1u);
+}
+
+TEST(CpuSemantics, SubWordMemoryAccesses) {
+  Assembler a(0);
+  a.mov_imm32(Reg::r1, 0x4000);
+  a.mov_imm32(Reg::r2, 0xA1B2C3D4);
+  a.str(Reg::r2, Reg::r1, 0);
+  a.ldrb(Reg::r3, Reg::r1, 0);   // LE low byte
+  a.ldrb(Reg::r4, Reg::r1, 3);   // LE high byte
+  a.ldrh(Reg::r5, Reg::r1, 2);   // high half
+  a.movi(Reg::r6, 0xEE);
+  a.strb(Reg::r6, Reg::r1, 1);
+  a.ldr(Reg::r7, Reg::r1, 0);
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(3), 0xD4u);
+  EXPECT_EQ(m.cpu().reg(4), 0xA1u);
+  EXPECT_EQ(m.cpu().reg(5), 0xA1B2u);
+  EXPECT_EQ(m.cpu().reg(7), 0xA1B2EED4u);
+}
+
+TEST(CpuSemantics, RegisterOffsetAddressing) {
+  Assembler a(0);
+  a.mov_imm32(Reg::r1, 0x4000);
+  a.movi(Reg::r2, 8);
+  a.mov_imm32(Reg::r3, 0x12345678);
+  a.strr(Reg::r3, Reg::r1, Reg::r2);
+  a.ldr(Reg::r4, Reg::r1, 8);
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(4), 0x12345678u);
+}
+
+TEST(CpuSemantics, BranchAndLinkSetsReturnAddress) {
+  Assembler a(0);
+  Label fn = a.make_label();
+  Label after = a.make_label();
+  a.movi(Reg::r1, 0);
+  a.bl(fn);
+  a.bind(after);
+  a.addi(Reg::r1, Reg::r1, 100);
+  a.hlt();
+  a.bind(fn);
+  a.addi(Reg::r1, Reg::r1, 1);
+  a.ret();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(1), 101u);
+}
+
+TEST(CpuSemantics, IndirectCallViaBlr) {
+  Assembler a(0);
+  Label fn = a.make_label();
+  a.load_label(Reg::r2, fn);
+  a.movi(Reg::r1, 0);
+  a.blr(Reg::r2);
+  a.addi(Reg::r1, Reg::r1, 10);
+  a.hlt();
+  a.bind(fn);
+  a.addi(Reg::r1, Reg::r1, 1);
+  a.ret();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(1), 11u);
+}
+
+TEST(CpuSemantics, PushPopRoundTripsMultipleRegisters) {
+  Assembler a(0);
+  a.mov_imm32(Reg::sp, 0x6000);
+  a.movi(Reg::r1, 11);
+  a.movi(Reg::r2, 22);
+  a.movi(Reg::r3, 33);
+  a.push({Reg::r1, Reg::r2, Reg::r3});
+  a.movi(Reg::r1, 0);
+  a.movi(Reg::r2, 0);
+  a.movi(Reg::r3, 0);
+  a.pop({Reg::r4, Reg::r5, Reg::r6});
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(4), 11u);
+  EXPECT_EQ(m.cpu().reg(5), 22u);
+  EXPECT_EQ(m.cpu().reg(6), 33u);
+  EXPECT_EQ(m.cpu().reg(13), 0x6000u);
+}
+
+TEST(CpuSemantics, MulLowBitsOnly) {
+  Assembler a(0);
+  a.mov_imm32(Reg::r1, 0x10001);
+  a.mov_imm32(Reg::r2, 0x10001);
+  a.mul(Reg::r3, Reg::r1, Reg::r2);  // 0x100020001 -> low 32: 0x00020001
+  a.hlt();
+  Machine m = run_raw(a);
+  EXPECT_EQ(m.cpu().reg(3), 0x00020001u);
+}
+
+}  // namespace
+}  // namespace sefi::sim

@@ -1,0 +1,117 @@
+#include "sefi/sim/devices.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sefi::sim {
+namespace {
+
+TEST(DeviceBlock, AddressWindow) {
+  EXPECT_TRUE(DeviceBlock::contains(kUartTx));
+  EXPECT_TRUE(DeviceBlock::contains(kTimerJiffies));
+  EXPECT_FALSE(DeviceBlock::contains(kMmioLimit));
+  EXPECT_FALSE(DeviceBlock::contains(0));
+  EXPECT_FALSE(DeviceBlock::contains(kMmioBase - 4));
+}
+
+TEST(DeviceBlock, ConsoleAccumulatesBytes) {
+  DeviceBlock dev;
+  dev.write(kUartTx, 'h');
+  dev.write(kUartTx, 'i');
+  dev.write(kUartTx, 0x100 | '!');  // only the low byte matters
+  EXPECT_EQ(dev.console(), "hi!");
+}
+
+TEST(DeviceBlock, HostEventsAreSingleShot) {
+  DeviceBlock dev;
+  EXPECT_FALSE(dev.take_host_event().has_value());
+  dev.write(kHostExit, 42);
+  const auto event = dev.take_host_event();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, HostEventKind::kExit);
+  EXPECT_EQ(event->payload, 42u);
+  EXPECT_FALSE(dev.take_host_event().has_value());
+}
+
+TEST(DeviceBlock, EventKindsMapToRegisters) {
+  DeviceBlock dev;
+  dev.write(kHostAppCrash, 3);
+  EXPECT_EQ(dev.take_host_event()->kind, HostEventKind::kAppCrash);
+  dev.write(kHostPanic, 1);
+  EXPECT_EQ(dev.take_host_event()->kind, HostEventKind::kPanic);
+}
+
+TEST(DeviceBlock, AliveCounter) {
+  DeviceBlock dev;
+  EXPECT_EQ(dev.alive_count(), 0u);
+  dev.write(kHostAlive, 1);
+  dev.write(kHostAlive, 1);
+  EXPECT_EQ(dev.alive_count(), 2u);
+  EXPECT_FALSE(dev.take_host_event().has_value());  // alive is not an event
+}
+
+TEST(DeviceBlock, TimerFiresAfterInterval) {
+  DeviceBlock dev;
+  dev.write(kTimerInterval, 100);
+  dev.write(kTimerCtrl, 1);
+  dev.tick(99);
+  EXPECT_FALSE(dev.irq_pending());
+  dev.tick(1);
+  EXPECT_TRUE(dev.irq_pending());
+}
+
+TEST(DeviceBlock, TimerAckClearsAndCountsJiffies) {
+  DeviceBlock dev;
+  dev.write(kTimerInterval, 10);
+  dev.write(kTimerCtrl, 1);
+  dev.tick(10);
+  ASSERT_TRUE(dev.irq_pending());
+  dev.write(kTimerAck, 1);
+  EXPECT_FALSE(dev.irq_pending());
+  EXPECT_EQ(dev.jiffies(), 1u);
+  EXPECT_EQ(dev.read(kTimerJiffies), 1u);
+}
+
+TEST(DeviceBlock, TimerRearmsWithoutDrift) {
+  DeviceBlock dev;
+  dev.write(kTimerInterval, 10);
+  dev.write(kTimerCtrl, 1);
+  // A long instruction overshoots the deadline by 3 cycles; the next
+  // period must shrink so the average rate is preserved.
+  dev.tick(13);
+  EXPECT_TRUE(dev.irq_pending());
+  dev.write(kTimerAck, 1);
+  dev.tick(6);
+  EXPECT_FALSE(dev.irq_pending());
+  dev.tick(1);  // 13 + 7 = 20 = second deadline
+  EXPECT_TRUE(dev.irq_pending());
+}
+
+TEST(DeviceBlock, DisabledTimerNeverFires) {
+  DeviceBlock dev;
+  dev.write(kTimerInterval, 10);
+  dev.tick(1000);
+  EXPECT_FALSE(dev.irq_pending());
+}
+
+TEST(DeviceBlock, ResetClearsEverything) {
+  DeviceBlock dev;
+  dev.write(kUartTx, 'x');
+  dev.write(kHostAlive, 1);
+  dev.write(kTimerInterval, 10);
+  dev.write(kTimerCtrl, 1);
+  dev.tick(10);
+  dev.reset();
+  EXPECT_TRUE(dev.console().empty());
+  EXPECT_EQ(dev.alive_count(), 0u);
+  EXPECT_FALSE(dev.irq_pending());
+  EXPECT_EQ(dev.jiffies(), 0u);
+}
+
+TEST(DeviceBlock, UnknownRegistersReadZero) {
+  DeviceBlock dev;
+  EXPECT_EQ(dev.read(kUartTx), 0u);
+  EXPECT_EQ(dev.read(kMmioBase + 0x500), 0u);
+}
+
+}  // namespace
+}  // namespace sefi::sim

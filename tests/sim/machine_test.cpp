@@ -1,0 +1,275 @@
+// End-to-end machine tests: kernel + user application on the functional
+// model. These exercise the full guest stack — boot, page tables, mode
+// switches, syscalls, timer IRQs, fault handling.
+#include "sefi/sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/isa/assembler.hpp"
+#include "sefi/kernel/kernel.hpp"
+#include "sefi/sim/cpu.hpp"
+#include "sefi/sim/memmap.hpp"
+
+namespace sefi::sim {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Label;
+using isa::Reg;
+
+constexpr std::uint32_t kUserSp = 0x0020'0000;
+constexpr std::uint64_t kBudget = 5'000'000;
+
+void emit_exit(Assembler& a, std::uint32_t code) {
+  a.mov_imm32(Reg::r0, code);
+  a.movi(Reg::r7, sysno::kExit);
+  a.svc(0);
+}
+
+void emit_putc(Assembler& a, char c) {
+  a.movi(Reg::r0, static_cast<std::uint8_t>(c));
+  a.movi(Reg::r7, sysno::kPutc);
+  a.svc(0);
+}
+
+Machine booted_machine(const isa::Program& app) {
+  Machine m = Machine::make_functional();
+  kernel::install_system(m, kernel::build_kernel(), app, kUserSp);
+  m.boot();
+  return m;
+}
+
+TEST(MachineTest, BootSpawnExit) {
+  Assembler a(kUserBase);
+  emit_putc(a, 'h');
+  emit_putc(a, 'i');
+  emit_exit(a, 42);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kExit);
+  EXPECT_EQ(event.payload, 42u);
+  EXPECT_EQ(m.console(), "hi");
+}
+
+TEST(MachineTest, SysWriteOutputsBuffer) {
+  Assembler a(kUserBase);
+  Label msg = a.make_label();
+  a.load_label(Reg::r0, msg);
+  a.movi(Reg::r1, 5);
+  a.movi(Reg::r7, sysno::kWrite);
+  a.svc(0);
+  emit_exit(a, 0);
+  a.align(4);
+  a.bind(msg);
+  for (char c : {'h', 'e', 'l', 'l', 'o'}) {
+    a.byte(static_cast<std::uint8_t>(c));
+  }
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kExit);
+  EXPECT_EQ(m.console(), "hello");
+}
+
+TEST(MachineTest, SpawnClearsRegisters) {
+  // The app exits with code r4 — freshly spawned registers must be zero.
+  Assembler a(kUserBase);
+  a.mov(Reg::r0, Reg::r4);
+  a.movi(Reg::r7, sysno::kExit);
+  a.svc(0);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kExit);
+  EXPECT_EQ(event.payload, 0u);
+}
+
+TEST(MachineTest, UndefinedInstructionIsAppCrash) {
+  Assembler a(kUserBase);
+  a.word(0xffffffffu);  // invalid opcode
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kAppCrash);
+  EXPECT_EQ(event.payload, kernel::reason::kUndef);
+}
+
+TEST(MachineTest, KernelStoreFromUserIsAppCrash) {
+  Assembler a(kUserBase);
+  a.movi(Reg::r1, 0);
+  a.mov_imm32(Reg::r2, kKernelDataBase);
+  a.str(Reg::r1, Reg::r2, 0);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kAppCrash);
+  EXPECT_EQ(event.payload, kernel::reason::kDataAbort);
+}
+
+TEST(MachineTest, JumpIntoKernelIsAppCrash) {
+  Assembler a(kUserBase);
+  a.movi(Reg::r1, 0x100);  // kernel code address
+  a.br(Reg::r1);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kAppCrash);
+  EXPECT_EQ(event.payload, kernel::reason::kPrefetchAbort);
+}
+
+TEST(MachineTest, UnmappedAccessIsAppCrash) {
+  Assembler a(kUserBase);
+  a.mov_imm32(Reg::r2, 0x00E0'0000);  // beyond mapped_pages
+  a.ldr(Reg::r1, Reg::r2, 0);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kAppCrash);
+  EXPECT_EQ(event.payload, kernel::reason::kDataAbort);
+}
+
+TEST(MachineTest, MmioAccessFromUserIsAppCrash) {
+  Assembler a(kUserBase);
+  a.mov_imm32(Reg::r2, kUartTx);
+  a.movi(Reg::r1, 'x');
+  a.str(Reg::r1, Reg::r2, 0);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kAppCrash);
+  EXPECT_TRUE(m.console().empty());
+}
+
+TEST(MachineTest, BadSyscallNumberIsAppCrash) {
+  Assembler a(kUserBase);
+  a.movi(Reg::r7, 999);
+  a.svc(0);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kAppCrash);
+  EXPECT_EQ(event.payload, kernel::reason::kBadSyscall);
+}
+
+TEST(MachineTest, WriteWithKernelPointerIsAppCrash) {
+  Assembler a(kUserBase);
+  a.mov_imm32(Reg::r0, 0x100);  // kernel address
+  a.movi(Reg::r1, 4);
+  a.movi(Reg::r7, sysno::kWrite);
+  a.svc(0);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kAppCrash);
+  EXPECT_EQ(event.payload, kernel::reason::kBadSyscall);
+}
+
+TEST(MachineTest, PrivilegedInstructionInUserIsAppCrash) {
+  Assembler a(kUserBase);
+  a.hlt();
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kAppCrash);
+  EXPECT_EQ(event.payload, kernel::reason::kUndef);
+}
+
+TEST(MachineTest, InfiniteLoopHitsCycleLimitWithLiveKernel) {
+  Assembler a(kUserBase);
+  Label forever = a.make_label();
+  a.bind(forever);
+  a.b(forever);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(500'000);
+  EXPECT_EQ(event.kind, RunEventKind::kCycleLimit);
+  // The timer kept firing: the kernel is alive (app hang, not system hang).
+  EXPECT_GT(m.jiffies(), 10u);
+}
+
+TEST(MachineTest, TimerIrqsAreTransparentToTheApp) {
+  // A long-running compute loop must produce the same result regardless
+  // of how many IRQs interleave.
+  Assembler a(kUserBase);
+  a.movi(Reg::r0, 0);
+  a.movi(Reg::r1, 0);
+  Label loop = a.make_label();
+  a.bind(loop);
+  a.add(Reg::r0, Reg::r0, Reg::r1);
+  a.addi(Reg::r1, Reg::r1, 1);
+  a.cmpi(Reg::r1, 5000);
+  a.b(Cond::lt, loop);
+  // r0 = sum 0..4999 = 12497500; report low 16 bits as exit code.
+  a.mov_imm32(Reg::r2, 0xffff);
+  a.and_(Reg::r0, Reg::r0, Reg::r2);
+  a.movi(Reg::r7, sysno::kExit);
+  a.svc(0);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kExit);
+  EXPECT_EQ(event.payload, 12497500u & 0xffffu);
+  EXPECT_GT(m.jiffies(), 0u);
+}
+
+TEST(MachineTest, StackPushPopWorks) {
+  Assembler a(kUserBase);
+  a.mov_imm32(Reg::r1, 0xabcd);
+  a.push({Reg::r1});
+  a.movi(Reg::r1, 0);
+  a.pop({Reg::r2});
+  a.mov(Reg::r0, Reg::r2);
+  a.mov_imm32(Reg::r3, 0xffff);
+  a.and_(Reg::r0, Reg::r0, Reg::r3);
+  a.movi(Reg::r7, sysno::kExit);
+  a.svc(0);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kExit);
+  EXPECT_EQ(event.payload, 0xabcdu);
+}
+
+TEST(MachineTest, RespawnAfterExitRerunsApp) {
+  // Beam-style session: after kExit, resuming the machine respawns the
+  // app (the kernel loops back to spawn).
+  Assembler a(kUserBase);
+  emit_putc(a, 'x');
+  emit_exit(a, 7);
+  Machine m = booted_machine(a.finish());
+  EXPECT_EQ(m.run(kBudget).kind, RunEventKind::kExit);
+  EXPECT_EQ(m.run(kBudget).kind, RunEventKind::kExit);
+  EXPECT_EQ(m.console(), "xx");
+  EXPECT_GE(m.devices().alive_count(), 2u);  // boot spawn + respawn
+}
+
+TEST(MachineTest, RespawnAfterAppCrashKeepsSystemAlive) {
+  Assembler a(kUserBase);
+  a.word(0xffffffffu);
+  Machine m = booted_machine(a.finish());
+  EXPECT_EQ(m.run(kBudget).kind, RunEventKind::kAppCrash);
+  EXPECT_EQ(m.run(kBudget).kind, RunEventKind::kAppCrash);
+}
+
+TEST(MachineTest, RunUntilCycleStopsAtTarget) {
+  Assembler a(kUserBase);
+  Label forever = a.make_label();
+  a.bind(forever);
+  a.b(forever);
+  Machine m = booted_machine(a.finish());
+  const auto event = m.run_until_cycle(10'000);
+  EXPECT_FALSE(event.has_value());
+  EXPECT_GE(m.cpu().cycles(), 10'000u);
+}
+
+TEST(MachineTest, AlignedAccessRequired) {
+  Assembler a(kUserBase);
+  a.mov_imm32(Reg::r2, kUserBase + 0x1001);  // misaligned word address
+  a.ldr(Reg::r1, Reg::r2, 0);
+  Machine m = booted_machine(a.finish());
+  const RunEvent event = m.run(kBudget);
+  EXPECT_EQ(event.kind, RunEventKind::kAppCrash);
+  EXPECT_EQ(event.payload, kernel::reason::kDataAbort);
+}
+
+TEST(MachineTest, ExitCodeRoundTrips) {
+  for (std::uint32_t code : {0u, 1u, 255u, 65535u}) {
+    Assembler a(kUserBase);
+    emit_exit(a, code);
+    Machine m = booted_machine(a.finish());
+    const RunEvent event = m.run(kBudget);
+    EXPECT_EQ(event.kind, RunEventKind::kExit);
+    EXPECT_EQ(event.payload, code);
+  }
+}
+
+}  // namespace
+}  // namespace sefi::sim

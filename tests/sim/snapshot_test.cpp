@@ -1,0 +1,112 @@
+// Machine checkpoint tests: save/restore must reproduce execution
+// bit-exactly on both models — console output, counters, registers, and
+// microarchitectural state all resume as if never interrupted.
+#include <gtest/gtest.h>
+
+#include "sefi/isa/assembler.hpp"
+#include "sefi/kernel/kernel.hpp"
+#include "sefi/microarch/detailed.hpp"
+#include "sefi/sim/machine.hpp"
+#include "sefi/support/error.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace sefi::sim {
+namespace {
+
+Machine workload_machine(bool detailed) {
+  Machine m = detailed ? microarch::make_detailed_machine()
+                       : Machine::make_functional();
+  const auto& w = workloads::workload_by_name("SusanE");
+  kernel::install_system(m, kernel::build_kernel(),
+                         w.build(workloads::kDefaultInputSeed),
+                         workloads::kWorkloadStackTop);
+  m.boot();
+  return m;
+}
+
+class SnapshotModels : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SnapshotModels, RestoredRunMatchesUninterruptedRun) {
+  // Reference: run straight to completion.
+  Machine reference = workload_machine(GetParam());
+  const RunEvent ref_event = reference.run(100'000'000);
+  ASSERT_EQ(ref_event.kind, RunEventKind::kExit);
+
+  // Checkpointed: run half-way, snapshot, scribble on, restore, finish.
+  Machine machine = workload_machine(GetParam());
+  machine.run_until_cycle(reference.cpu().cycles() / 2);
+  const Machine::Snapshot snapshot = machine.save_snapshot();
+  machine.run(100'000'000);  // run to completion (diverges the state)
+  machine.restore_snapshot(snapshot);
+  const RunEvent event = machine.run(100'000'000);
+
+  EXPECT_EQ(event.kind, ref_event.kind);
+  EXPECT_EQ(event.payload, ref_event.payload);
+  EXPECT_EQ(machine.console(), reference.console());
+  EXPECT_EQ(machine.cpu().cycles(), reference.cpu().cycles());
+  EXPECT_EQ(machine.cpu().instructions(), reference.cpu().instructions());
+  EXPECT_EQ(machine.counters().l1d_accesses,
+            reference.counters().l1d_accesses);
+  EXPECT_EQ(machine.counters().branch_misses,
+            reference.counters().branch_misses);
+}
+
+TEST_P(SnapshotModels, RestoreRewindsArchitecturalState) {
+  Machine machine = workload_machine(GetParam());
+  machine.run_until_cycle(20'000);
+  const Machine::Snapshot snapshot = machine.save_snapshot();
+  const std::uint64_t cycles_at_snap = machine.cpu().cycles();
+  const std::uint32_t pc_at_snap = machine.cpu().pc();
+  const std::uint32_t r4_at_snap = machine.cpu().reg(4);
+
+  machine.run_until_cycle(60'000);
+  machine.restore_snapshot(snapshot);
+  EXPECT_EQ(machine.cpu().cycles(), cycles_at_snap);
+  EXPECT_EQ(machine.cpu().pc(), pc_at_snap);
+  EXPECT_EQ(machine.cpu().reg(4), r4_at_snap);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, SnapshotModels,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Detailed" : "Functional";
+                         });
+
+TEST(Snapshot, RestoreUndoesInjectedFaults) {
+  Machine machine = workload_machine(/*detailed=*/true);
+  machine.run_until_cycle(15'000);
+  const Machine::Snapshot snapshot = machine.save_snapshot();
+  auto& model = microarch::detailed_model(machine);
+  // Corrupt a swath of state.
+  for (std::uint64_t bit = 0; bit < 64; ++bit) {
+    model.l1d().flip_bit(bit * 37 % model.l1d().bit_count());
+    model.regfile().flip_bit(bit % model.regfile().bit_count());
+  }
+  machine.restore_snapshot(snapshot);
+  // Execution proceeds to a clean exit with golden output.
+  const RunEvent event = machine.run(100'000'000);
+  EXPECT_EQ(event.kind, RunEventKind::kExit);
+  EXPECT_EQ(machine.console(),
+            workloads::workload_by_name("SusanE").expected_console(
+                workloads::kDefaultInputSeed));
+}
+
+TEST(Snapshot, CrossModelRestoreIsRejected) {
+  Machine functional = workload_machine(false);
+  Machine detailed = workload_machine(true);
+  const Machine::Snapshot snapshot = functional.save_snapshot();
+  EXPECT_THROW(detailed.restore_snapshot(snapshot), support::SefiError);
+}
+
+TEST(Snapshot, CrossGeometryRestoreIsRejected) {
+  Machine a = microarch::make_detailed_machine();
+  microarch::DetailedConfig other;
+  other.phys_regs = 128;
+  Machine b = microarch::make_detailed_machine(other);
+  // The register-file state sizes differ; restoring must refuse rather
+  // than silently truncate.
+  EXPECT_THROW(b.restore_snapshot(a.save_snapshot()), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::sim

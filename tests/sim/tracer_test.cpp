@@ -1,0 +1,67 @@
+#include "sefi/sim/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/isa/assembler.hpp"
+
+namespace sefi::sim {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+Machine raw_machine(Assembler& a) {
+  Machine m = Machine::make_functional();
+  m.load_image(a.finish());
+  m.boot();
+  return m;
+}
+
+TEST(Tracer, RendersDisassemblyAndMode) {
+  Assembler a(0);
+  a.movi(Reg::r1, 42);
+  a.nop();
+  a.hlt();
+  Machine m = raw_machine(a);
+  const std::string trace = trace_execution(m, {10, false});
+  EXPECT_NE(trace.find("movi r1, #42"), std::string::npos);
+  EXPECT_NE(trace.find("nop"), std::string::npos);
+  EXPECT_NE(trace.find("hlt"), std::string::npos);
+  EXPECT_NE(trace.find("K 0x0:"), std::string::npos);  // kernel mode
+  EXPECT_NE(trace.find("[cpu stopped]"), std::string::npos);
+}
+
+TEST(Tracer, ShowsRegisterDeltas) {
+  Assembler a(0);
+  a.movi(Reg::r3, 7);
+  a.hlt();
+  Machine m = raw_machine(a);
+  const std::string trace = trace_execution(m);
+  EXPECT_NE(trace.find("r3=0x7"), std::string::npos);
+}
+
+TEST(Tracer, RespectsInstructionLimit) {
+  Assembler a(0);
+  isa::Label loop = a.make_label();
+  a.bind(loop);
+  a.b(loop);
+  Machine m = raw_machine(a);
+  const std::string trace = trace_execution(m, {5, false});
+  // Five lines, no stop marker.
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '\n'), 5);
+  EXPECT_EQ(trace.find("[cpu stopped]"), std::string::npos);
+}
+
+TEST(Tracer, MachineStateAdvancesWithTrace) {
+  Assembler a(0);
+  a.movi(Reg::r1, 1);
+  a.movi(Reg::r2, 2);
+  a.hlt();
+  Machine m = raw_machine(a);
+  trace_execution(m, {2, false});
+  EXPECT_EQ(m.cpu().reg(2), 2u);
+  EXPECT_TRUE(m.cpu().running());  // hlt not reached yet
+}
+
+}  // namespace
+}  // namespace sefi::sim

@@ -1,0 +1,105 @@
+#include "sefi/stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::stats {
+namespace {
+
+TEST(ZScore, StandardLevels) {
+  EXPECT_NEAR(z_score(0.95), 1.95996, 1e-3);
+  EXPECT_NEAR(z_score(0.99), 2.57583, 1e-3);
+  EXPECT_NEAR(z_score(0.90), 1.64485, 1e-3);
+}
+
+TEST(ZScore, RejectsDegenerateConfidence) {
+  EXPECT_THROW(z_score(0.0), support::SefiError);
+  EXPECT_THROW(z_score(1.0), support::SefiError);
+}
+
+TEST(Leveugle, PaperSampleSize) {
+  // The paper's campaign: ~1,000 faults give a 4% margin at 99%
+  // confidence for a large population (§IV-C).
+  const std::uint64_t n = leveugle_sample_size(1e12, 0.04, 0.99, 0.5);
+  EXPECT_GE(n, 1000u);
+  EXPECT_LE(n, 1050u);
+}
+
+TEST(Leveugle, MarginForThousandFaults) {
+  // Inverse direction: 1,000 faults -> ~4% margin (paper Table IV rows
+  // top out at 4.0%).
+  const double margin = leveugle_error_margin(1e12, 1000, 0.99, 0.5);
+  EXPECT_NEAR(margin, 0.0407, 0.001);
+}
+
+TEST(Leveugle, SmallPopulationNeedsFewerSamples) {
+  const std::uint64_t small = leveugle_sample_size(2000, 0.04, 0.99, 0.5);
+  const std::uint64_t large = leveugle_sample_size(1e12, 0.04, 0.99, 0.5);
+  EXPECT_LT(small, large);
+}
+
+TEST(Leveugle, FullCensusHasZeroMargin) {
+  EXPECT_DOUBLE_EQ(leveugle_error_margin(1000, 1000, 0.99, 0.5), 0.0);
+}
+
+TEST(Leveugle, ReadjustedMarginShrinksForExtremeAvf) {
+  // The paper re-adjusts p after the campaign (Table IV: margins fall to
+  // 1.7%-4.0%): an AVF far from 0.5 tightens the bound.
+  const double initial = leveugle_error_margin(1e12, 1000, 0.99, 0.5);
+  const double readjusted = readjusted_error_margin(1e12, 1000, 0.99, 0.05);
+  EXPECT_LT(readjusted, initial);
+  EXPECT_GT(readjusted, 0.0);
+}
+
+TEST(Leveugle, ReadjustedMarginCapsAtHalf) {
+  // p_hat near 0.5 cannot "re-adjust" past 0.5: margin equals initial.
+  const double initial = leveugle_error_margin(1e12, 1000, 0.99, 0.5);
+  const double readjusted = readjusted_error_margin(1e12, 1000, 0.99, 0.49);
+  EXPECT_NEAR(readjusted, initial, 1e-9);
+}
+
+TEST(Wilson, ContainsPointEstimate) {
+  const Interval ci = wilson_interval(30, 100, 0.95);
+  EXPECT_LT(ci.lower, 0.30);
+  EXPECT_GT(ci.upper, 0.30);
+  EXPECT_GT(ci.lower, 0.20);
+  EXPECT_LT(ci.upper, 0.42);
+}
+
+TEST(Wilson, ZeroAndFullSuccesses) {
+  const Interval none = wilson_interval(0, 50, 0.95);
+  EXPECT_GE(none.lower, 0.0);
+  EXPECT_GT(none.upper, 0.0);
+  const Interval all = wilson_interval(50, 50, 0.95);
+  EXPECT_LT(all.lower, 1.0);
+  EXPECT_LE(all.upper, 1.0 + 1e-12);
+}
+
+TEST(Wilson, RejectsBadArguments) {
+  EXPECT_THROW(wilson_interval(1, 0, 0.95), support::SefiError);
+  EXPECT_THROW(wilson_interval(5, 4, 0.95), support::SefiError);
+}
+
+TEST(Poisson, ZeroEvents) {
+  const Interval ci = poisson_interval(0, 0.95);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  // Exact upper bound is 3.689; Wilson-Hilferty is within a few percent.
+  EXPECT_NEAR(ci.upper, 3.69, 0.2);
+}
+
+TEST(Poisson, HundredEvents) {
+  const Interval ci = poisson_interval(100, 0.95);
+  EXPECT_NEAR(ci.lower, 81.4, 1.5);
+  EXPECT_NEAR(ci.upper, 121.6, 1.5);
+}
+
+TEST(Poisson, IntervalWidensWithConfidence) {
+  const Interval c95 = poisson_interval(10, 0.95);
+  const Interval c99 = poisson_interval(10, 0.99);
+  EXPECT_LT(c99.lower, c95.lower);
+  EXPECT_GT(c99.upper, c95.upper);
+}
+
+}  // namespace
+}  // namespace sefi::stats

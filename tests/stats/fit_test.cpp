@@ -1,0 +1,80 @@
+#include "sefi/stats/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::stats {
+namespace {
+
+TEST(FitFromAvf, PaperFormula) {
+  // FIT = FIT_raw * size * AVF (§VI). 2.76e-5 FIT/bit over a 32 KB cache
+  // at AVF 10%:
+  const double fit = fit_from_avf(2.76e-5, 32.0 * 1024 * 8, 0.10);
+  EXPECT_NEAR(fit, 0.7234, 1e-3);
+}
+
+TEST(FitFromAvf, ZeroAvfIsZero) {
+  EXPECT_DOUBLE_EQ(fit_from_avf(2.76e-5, 1e6, 0.0), 0.0);
+}
+
+TEST(CrossSection, EventsOverFluence) {
+  EXPECT_DOUBLE_EQ(cross_section(10, 1e12), 1e-11);
+  EXPECT_DOUBLE_EQ(cross_section(10, 0), 0.0);
+}
+
+TEST(FitFromCrossSection, JedecFlux) {
+  // sigma * 13 n/cm^2/h * 1e9 h.
+  EXPECT_NEAR(fit_from_cross_section(1e-12), 1.3e-2, 1e-6);
+}
+
+TEST(Fluence, Accumulation) {
+  EXPECT_DOUBLE_EQ(fluence_from_exposure(3.5e5, 10.0), 3.5e6);
+  EXPECT_THROW(fluence_from_exposure(-1, 1), support::SefiError);
+}
+
+TEST(NaturalYears, PaperScaling) {
+  // 260 beam-hours at 3.5e5 n/cm^2/s is ~2.9 M-years of natural exposure
+  // (paper §IV-B).
+  const double fluence = fluence_from_exposure(3.5e5, 260.0 * 3600);
+  EXPECT_NEAR(natural_years_equivalent(fluence) / 1e6, 2.88, 0.1);
+}
+
+TEST(FoldDifference, DirectionAndMagnitude) {
+  const FoldDifference beam_wins = fold_difference(10.0, 2.0);
+  EXPECT_TRUE(beam_wins.beam_higher);
+  EXPECT_DOUBLE_EQ(beam_wins.magnitude, 5.0);
+
+  const FoldDifference fi_wins = fold_difference(2.0, 10.0);
+  EXPECT_FALSE(fi_wins.beam_higher);
+  EXPECT_DOUBLE_EQ(fi_wins.magnitude, 5.0);
+}
+
+TEST(FoldDifference, EqualRatesAreOnefold) {
+  const FoldDifference equal = fold_difference(3.0, 3.0);
+  EXPECT_DOUBLE_EQ(equal.magnitude, 1.0);
+}
+
+TEST(FoldDifference, ZeroRatesUseFloor) {
+  const FoldDifference fold = fold_difference(1.0, 0.0, 1e-3);
+  EXPECT_TRUE(fold.beam_higher);
+  EXPECT_DOUBLE_EQ(fold.magnitude, 1000.0);
+}
+
+TEST(Mean, BasicAndEmpty) {
+  const std::array<double, 3> values = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(values), 3.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Geomean, BasicAndGuards) {
+  const std::array<double, 2> values = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(values), 2.0);
+  const std::array<double, 2> bad = {1.0, 0.0};
+  EXPECT_THROW(geomean(bad), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::stats

@@ -1,0 +1,78 @@
+#include "sefi/support/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace sefi::support {
+namespace {
+
+TEST(ExtractBits, BasicFields) {
+  EXPECT_EQ(extract_bits(0xdeadbeef, 0, 4), 0xfu);
+  EXPECT_EQ(extract_bits(0xdeadbeef, 4, 4), 0xeu);
+  EXPECT_EQ(extract_bits(0xdeadbeef, 28, 4), 0xdu);
+  EXPECT_EQ(extract_bits(0xdeadbeef, 0, 32), 0xdeadbeefu);
+}
+
+TEST(InsertBits, RoundTripsWithExtract) {
+  std::uint32_t v = 0;
+  v = insert_bits(v, 26, 6, 0x2a);
+  v = insert_bits(v, 22, 4, 0x5);
+  v = insert_bits(v, 0, 18, 0x3ffff);
+  EXPECT_EQ(extract_bits(v, 26, 6), 0x2au);
+  EXPECT_EQ(extract_bits(v, 22, 4), 0x5u);
+  EXPECT_EQ(extract_bits(v, 0, 18), 0x3ffffu);
+}
+
+TEST(InsertBits, MasksOversizedField) {
+  const std::uint32_t v = insert_bits(0, 0, 4, 0xff);
+  EXPECT_EQ(v, 0xfu);
+}
+
+TEST(SignExtend, PositiveAndNegative) {
+  EXPECT_EQ(sign_extend(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xff, 8), -1);
+  EXPECT_EQ(sign_extend(0x1ffff, 18), 0x1ffff);
+  EXPECT_EQ(sign_extend(0x20000, 18), -131072);
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Log2Exact, PowersOfTwo) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(32), 5u);
+  EXPECT_EQ(log2_exact(1ull << 20), 20u);
+}
+
+TEST(FlipBit, TogglesAndRestores) {
+  std::array<std::uint8_t, 4> buf{};
+  flip_bit(buf, 0);
+  EXPECT_EQ(buf[0], 0x01);
+  flip_bit(buf, 7);
+  EXPECT_EQ(buf[0], 0x81);
+  flip_bit(buf, 8);
+  EXPECT_EQ(buf[1], 0x01);
+  flip_bit(buf, 8);
+  EXPECT_EQ(buf[1], 0x00);
+}
+
+TEST(TestBit, MatchesFlips) {
+  std::array<std::uint8_t, 8> buf{};
+  for (std::uint64_t bit : {0ull, 5ull, 17ull, 63ull}) {
+    EXPECT_FALSE(test_bit(buf, bit));
+    flip_bit(buf, bit);
+    EXPECT_TRUE(test_bit(buf, bit));
+  }
+}
+
+}  // namespace
+}  // namespace sefi::support

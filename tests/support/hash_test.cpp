@@ -1,0 +1,38 @@
+#include "sefi/support/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sefi::support {
+namespace {
+
+TEST(Fnv1a, EmptyIsOffsetBasis) {
+  Fnv1a h;
+  EXPECT_EQ(h.digest(), kFnvOffsetBasis);
+}
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64-bit of "a" is a published test vector.
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a, IncrementalMatchesOneShot) {
+  Fnv1a h;
+  h.update("hello ");
+  h.update("world");
+  EXPECT_EQ(h.digest(), fnv1a("hello world"));
+}
+
+TEST(Fnv1a, ByteSpanMatchesString) {
+  const std::vector<std::uint8_t> bytes = {'a', 'b', 'c'};
+  EXPECT_EQ(fnv1a(bytes), fnv1a("abc"));
+}
+
+TEST(Fnv1a, SensitiveToSingleBit) {
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abcd"));
+}
+
+}  // namespace
+}  // namespace sefi::support

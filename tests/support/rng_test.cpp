@@ -1,0 +1,130 @@
+#include "sefi/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace sefi::support {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, ForkedStreamsAreIndependentAndDeterministic) {
+  Xoshiro256 parent(99);
+  Xoshiro256 childA = parent.fork(0);
+  Xoshiro256 childB = parent.fork(1);
+  Xoshiro256 childA2 = parent.fork(0);
+  EXPECT_EQ(childA.next(), childA2.next());
+  EXPECT_NE(childA.next(), childB.next());
+}
+
+TEST(Xoshiro256, BernoulliExtremes) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(PoissonSample, ZeroLambdaIsZero) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(poisson_sample(rng, 0.0), 0u);
+  EXPECT_EQ(poisson_sample(rng, -1.0), 0u);
+}
+
+TEST(PoissonSample, SmallLambdaMeanAndVariance) {
+  Xoshiro256 rng(21);
+  const double lambda = 3.5;
+  const int n = 50'000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(poisson_sample(rng, lambda));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.05);
+  EXPECT_NEAR(variance, lambda, 0.15);
+}
+
+TEST(PoissonSample, LargeLambdaMean) {
+  Xoshiro256 rng(22);
+  const double lambda = 200.0;
+  const int n = 20'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(poisson_sample(rng, lambda));
+  }
+  EXPECT_NEAR(sum / n, lambda, 1.0);
+}
+
+TEST(ExponentialSample, MeanNearOne) {
+  Xoshiro256 rng(31);
+  const int n = 100'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += exponential_sample(rng);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(ExponentialSample, AlwaysNonNegative) {
+  Xoshiro256 rng(33);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(exponential_sample(rng), 0.0);
+}
+
+}  // namespace
+}  // namespace sefi::support

@@ -1,0 +1,54 @@
+#include "sefi/support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sefi::support {
+namespace {
+
+TEST(FormatSig, TrimsAndRounds) {
+  EXPECT_EQ(format_sig(1.0), "1");
+  EXPECT_EQ(format_sig(1.234567, 3), "1.23");
+  EXPECT_EQ(format_sig(0.034, 2), "0.034");
+  EXPECT_EQ(format_sig(287.4, 3), "287");
+}
+
+TEST(FormatSci, TwoDecimals) {
+  EXPECT_EQ(format_sci(2.76e-5), "2.76e-05");
+  EXPECT_EQ(format_sci(0.0), "0.00e+00");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(EnvU64, FallbackWhenUnsetOrMalformed) {
+  ::unsetenv("SEFI_TEST_ENV_U64");
+  EXPECT_EQ(env_u64("SEFI_TEST_ENV_U64", 7), 7u);
+  ::setenv("SEFI_TEST_ENV_U64", "not_a_number", 1);
+  EXPECT_EQ(env_u64("SEFI_TEST_ENV_U64", 7), 7u);
+  ::setenv("SEFI_TEST_ENV_U64", "123", 1);
+  EXPECT_EQ(env_u64("SEFI_TEST_ENV_U64", 7), 123u);
+  ::unsetenv("SEFI_TEST_ENV_U64");
+}
+
+}  // namespace
+}  // namespace sefi::support
