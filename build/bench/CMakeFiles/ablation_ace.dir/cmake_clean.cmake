@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ace.dir/ablation_ace.cpp.o"
+  "CMakeFiles/ablation_ace.dir/ablation_ace.cpp.o.d"
+  "ablation_ace"
+  "ablation_ace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

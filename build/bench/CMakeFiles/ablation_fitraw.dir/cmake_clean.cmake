@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fitraw.dir/ablation_fitraw.cpp.o"
+  "CMakeFiles/ablation_fitraw.dir/ablation_fitraw.cpp.o.d"
+  "ablation_fitraw"
+  "ablation_fitraw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fitraw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

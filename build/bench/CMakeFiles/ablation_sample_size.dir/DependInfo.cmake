@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sample_size.cpp" "bench/CMakeFiles/ablation_sample_size.dir/ablation_sample_size.cpp.o" "gcc" "bench/CMakeFiles/ablation_sample_size.dir/ablation_sample_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sefi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sefi_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultinject/CMakeFiles/sefi_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/beam/CMakeFiles/sefi_beam.dir/DependInfo.cmake"
+  "/root/repo/build/src/microarch/CMakeFiles/sefi_microarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sefi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sefi_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sefi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sefi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sefi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sefi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warm_cache.dir/ablation_warm_cache.cpp.o"
+  "CMakeFiles/ablation_warm_cache.dir/ablation_warm_cache.cpp.o.d"
+  "ablation_warm_cache"
+  "ablation_warm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

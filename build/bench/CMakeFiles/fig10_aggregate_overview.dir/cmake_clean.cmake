@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_aggregate_overview.dir/fig10_aggregate_overview.cpp.o"
+  "CMakeFiles/fig10_aggregate_overview.dir/fig10_aggregate_overview.cpp.o.d"
+  "fig10_aggregate_overview"
+  "fig10_aggregate_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_aggregate_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fi_avf.dir/fig4_fi_avf.cpp.o"
+  "CMakeFiles/fig4_fi_avf.dir/fig4_fi_avf.cpp.o.d"
+  "fig4_fi_avf"
+  "fig4_fi_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fi_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

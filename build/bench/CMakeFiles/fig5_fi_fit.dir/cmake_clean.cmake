@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fi_fit.dir/fig5_fi_fit.cpp.o"
+  "CMakeFiles/fig5_fi_fit.dir/fig5_fi_fit.cpp.o.d"
+  "fig5_fi_fit"
+  "fig5_fi_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fi_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

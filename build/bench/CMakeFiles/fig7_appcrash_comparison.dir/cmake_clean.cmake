@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_appcrash_comparison.dir/fig7_appcrash_comparison.cpp.o"
+  "CMakeFiles/fig7_appcrash_comparison.dir/fig7_appcrash_comparison.cpp.o.d"
+  "fig7_appcrash_comparison"
+  "fig7_appcrash_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_appcrash_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sdc_appcrash_comparison.dir/fig9_sdc_appcrash_comparison.cpp.o"
+  "CMakeFiles/fig9_sdc_appcrash_comparison.dir/fig9_sdc_appcrash_comparison.cpp.o.d"
+  "fig9_sdc_appcrash_comparison"
+  "fig9_sdc_appcrash_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sdc_appcrash_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

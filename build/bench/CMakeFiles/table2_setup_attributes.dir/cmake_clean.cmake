@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_setup_attributes.dir/table2_setup_attributes.cpp.o"
+  "CMakeFiles/table2_setup_attributes.dir/table2_setup_attributes.cpp.o.d"
+  "table2_setup_attributes"
+  "table2_setup_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_setup_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_error_margins.dir/table4_error_margins.cpp.o"
+  "CMakeFiles/table4_error_margins.dir/table4_error_margins.cpp.o.d"
+  "table4_error_margins"
+  "table4_error_margins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_error_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

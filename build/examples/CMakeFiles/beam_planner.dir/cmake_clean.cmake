@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_planner.dir/beam_planner.cpp.o"
+  "CMakeFiles/beam_planner.dir/beam_planner.cpp.o.d"
+  "beam_planner"
+  "beam_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protection_advisor.dir/protection_advisor.cpp.o"
+  "CMakeFiles/protection_advisor.dir/protection_advisor.cpp.o.d"
+  "protection_advisor"
+  "protection_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protection_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_cli.dir/sefi_cli.cpp.o"
+  "CMakeFiles/sefi_cli.dir/sefi_cli.cpp.o.d"
+  "sefi_cli"
+  "sefi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

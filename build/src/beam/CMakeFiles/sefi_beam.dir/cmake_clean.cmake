@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_beam.dir/src/session.cpp.o"
+  "CMakeFiles/sefi_beam.dir/src/session.cpp.o.d"
+  "libsefi_beam.a"
+  "libsefi_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

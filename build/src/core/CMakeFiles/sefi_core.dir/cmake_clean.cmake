@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_core.dir/src/lab.cpp.o"
+  "CMakeFiles/sefi_core.dir/src/lab.cpp.o.d"
+  "CMakeFiles/sefi_core.dir/src/result_cache.cpp.o"
+  "CMakeFiles/sefi_core.dir/src/result_cache.cpp.o.d"
+  "libsefi_core.a"
+  "libsefi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultinject/src/ace.cpp" "src/faultinject/CMakeFiles/sefi_fi.dir/src/ace.cpp.o" "gcc" "src/faultinject/CMakeFiles/sefi_fi.dir/src/ace.cpp.o.d"
+  "/root/repo/src/faultinject/src/campaign.cpp" "src/faultinject/CMakeFiles/sefi_fi.dir/src/campaign.cpp.o" "gcc" "src/faultinject/CMakeFiles/sefi_fi.dir/src/campaign.cpp.o.d"
+  "/root/repo/src/faultinject/src/protection.cpp" "src/faultinject/CMakeFiles/sefi_fi.dir/src/protection.cpp.o" "gcc" "src/faultinject/CMakeFiles/sefi_fi.dir/src/protection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microarch/CMakeFiles/sefi_microarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sefi_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sefi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sefi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sefi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sefi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sefi_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

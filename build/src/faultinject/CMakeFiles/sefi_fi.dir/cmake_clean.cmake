@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_fi.dir/src/ace.cpp.o"
+  "CMakeFiles/sefi_fi.dir/src/ace.cpp.o.d"
+  "CMakeFiles/sefi_fi.dir/src/campaign.cpp.o"
+  "CMakeFiles/sefi_fi.dir/src/campaign.cpp.o.d"
+  "CMakeFiles/sefi_fi.dir/src/protection.cpp.o"
+  "CMakeFiles/sefi_fi.dir/src/protection.cpp.o.d"
+  "libsefi_fi.a"
+  "libsefi_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

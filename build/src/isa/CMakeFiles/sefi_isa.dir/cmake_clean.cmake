@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_isa.dir/src/assembler.cpp.o"
+  "CMakeFiles/sefi_isa.dir/src/assembler.cpp.o.d"
+  "CMakeFiles/sefi_isa.dir/src/disasm.cpp.o"
+  "CMakeFiles/sefi_isa.dir/src/disasm.cpp.o.d"
+  "CMakeFiles/sefi_isa.dir/src/isa.cpp.o"
+  "CMakeFiles/sefi_isa.dir/src/isa.cpp.o.d"
+  "libsefi_isa.a"
+  "libsefi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

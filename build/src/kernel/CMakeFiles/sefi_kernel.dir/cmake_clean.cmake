@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_kernel.dir/src/kernel.cpp.o"
+  "CMakeFiles/sefi_kernel.dir/src/kernel.cpp.o.d"
+  "libsefi_kernel.a"
+  "libsefi_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microarch/src/cache.cpp" "src/microarch/CMakeFiles/sefi_microarch.dir/src/cache.cpp.o" "gcc" "src/microarch/CMakeFiles/sefi_microarch.dir/src/cache.cpp.o.d"
+  "/root/repo/src/microarch/src/detailed.cpp" "src/microarch/CMakeFiles/sefi_microarch.dir/src/detailed.cpp.o" "gcc" "src/microarch/CMakeFiles/sefi_microarch.dir/src/detailed.cpp.o.d"
+  "/root/repo/src/microarch/src/predictor.cpp" "src/microarch/CMakeFiles/sefi_microarch.dir/src/predictor.cpp.o" "gcc" "src/microarch/CMakeFiles/sefi_microarch.dir/src/predictor.cpp.o.d"
+  "/root/repo/src/microarch/src/regfile.cpp" "src/microarch/CMakeFiles/sefi_microarch.dir/src/regfile.cpp.o" "gcc" "src/microarch/CMakeFiles/sefi_microarch.dir/src/regfile.cpp.o.d"
+  "/root/repo/src/microarch/src/tlb.cpp" "src/microarch/CMakeFiles/sefi_microarch.dir/src/tlb.cpp.o" "gcc" "src/microarch/CMakeFiles/sefi_microarch.dir/src/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sefi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sefi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sefi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

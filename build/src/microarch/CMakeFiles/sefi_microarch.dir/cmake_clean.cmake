@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_microarch.dir/src/cache.cpp.o"
+  "CMakeFiles/sefi_microarch.dir/src/cache.cpp.o.d"
+  "CMakeFiles/sefi_microarch.dir/src/detailed.cpp.o"
+  "CMakeFiles/sefi_microarch.dir/src/detailed.cpp.o.d"
+  "CMakeFiles/sefi_microarch.dir/src/predictor.cpp.o"
+  "CMakeFiles/sefi_microarch.dir/src/predictor.cpp.o.d"
+  "CMakeFiles/sefi_microarch.dir/src/regfile.cpp.o"
+  "CMakeFiles/sefi_microarch.dir/src/regfile.cpp.o.d"
+  "CMakeFiles/sefi_microarch.dir/src/tlb.cpp.o"
+  "CMakeFiles/sefi_microarch.dir/src/tlb.cpp.o.d"
+  "libsefi_microarch.a"
+  "libsefi_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsefi_microarch.a"
+)

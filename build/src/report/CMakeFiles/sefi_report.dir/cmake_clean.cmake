@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_report.dir/src/render.cpp.o"
+  "CMakeFiles/sefi_report.dir/src/render.cpp.o.d"
+  "libsefi_report.a"
+  "libsefi_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

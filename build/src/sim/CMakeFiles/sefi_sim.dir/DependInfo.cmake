@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/cpu.cpp" "src/sim/CMakeFiles/sefi_sim.dir/src/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/sefi_sim.dir/src/cpu.cpp.o.d"
+  "/root/repo/src/sim/src/devices.cpp" "src/sim/CMakeFiles/sefi_sim.dir/src/devices.cpp.o" "gcc" "src/sim/CMakeFiles/sefi_sim.dir/src/devices.cpp.o.d"
+  "/root/repo/src/sim/src/functional.cpp" "src/sim/CMakeFiles/sefi_sim.dir/src/functional.cpp.o" "gcc" "src/sim/CMakeFiles/sefi_sim.dir/src/functional.cpp.o.d"
+  "/root/repo/src/sim/src/machine.cpp" "src/sim/CMakeFiles/sefi_sim.dir/src/machine.cpp.o" "gcc" "src/sim/CMakeFiles/sefi_sim.dir/src/machine.cpp.o.d"
+  "/root/repo/src/sim/src/page.cpp" "src/sim/CMakeFiles/sefi_sim.dir/src/page.cpp.o" "gcc" "src/sim/CMakeFiles/sefi_sim.dir/src/page.cpp.o.d"
+  "/root/repo/src/sim/src/phys_mem.cpp" "src/sim/CMakeFiles/sefi_sim.dir/src/phys_mem.cpp.o" "gcc" "src/sim/CMakeFiles/sefi_sim.dir/src/phys_mem.cpp.o.d"
+  "/root/repo/src/sim/src/tracer.cpp" "src/sim/CMakeFiles/sefi_sim.dir/src/tracer.cpp.o" "gcc" "src/sim/CMakeFiles/sefi_sim.dir/src/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/sefi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sefi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

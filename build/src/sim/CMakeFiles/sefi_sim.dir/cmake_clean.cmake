@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_sim.dir/src/cpu.cpp.o"
+  "CMakeFiles/sefi_sim.dir/src/cpu.cpp.o.d"
+  "CMakeFiles/sefi_sim.dir/src/devices.cpp.o"
+  "CMakeFiles/sefi_sim.dir/src/devices.cpp.o.d"
+  "CMakeFiles/sefi_sim.dir/src/functional.cpp.o"
+  "CMakeFiles/sefi_sim.dir/src/functional.cpp.o.d"
+  "CMakeFiles/sefi_sim.dir/src/machine.cpp.o"
+  "CMakeFiles/sefi_sim.dir/src/machine.cpp.o.d"
+  "CMakeFiles/sefi_sim.dir/src/page.cpp.o"
+  "CMakeFiles/sefi_sim.dir/src/page.cpp.o.d"
+  "CMakeFiles/sefi_sim.dir/src/phys_mem.cpp.o"
+  "CMakeFiles/sefi_sim.dir/src/phys_mem.cpp.o.d"
+  "CMakeFiles/sefi_sim.dir/src/tracer.cpp.o"
+  "CMakeFiles/sefi_sim.dir/src/tracer.cpp.o.d"
+  "libsefi_sim.a"
+  "libsefi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_stats.dir/src/confidence.cpp.o"
+  "CMakeFiles/sefi_stats.dir/src/confidence.cpp.o.d"
+  "CMakeFiles/sefi_stats.dir/src/fit.cpp.o"
+  "CMakeFiles/sefi_stats.dir/src/fit.cpp.o.d"
+  "libsefi_stats.a"
+  "libsefi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/src/bits.cpp" "src/support/CMakeFiles/sefi_support.dir/src/bits.cpp.o" "gcc" "src/support/CMakeFiles/sefi_support.dir/src/bits.cpp.o.d"
+  "/root/repo/src/support/src/hash.cpp" "src/support/CMakeFiles/sefi_support.dir/src/hash.cpp.o" "gcc" "src/support/CMakeFiles/sefi_support.dir/src/hash.cpp.o.d"
+  "/root/repo/src/support/src/rng.cpp" "src/support/CMakeFiles/sefi_support.dir/src/rng.cpp.o" "gcc" "src/support/CMakeFiles/sefi_support.dir/src/rng.cpp.o.d"
+  "/root/repo/src/support/src/strings.cpp" "src/support/CMakeFiles/sefi_support.dir/src/strings.cpp.o" "gcc" "src/support/CMakeFiles/sefi_support.dir/src/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

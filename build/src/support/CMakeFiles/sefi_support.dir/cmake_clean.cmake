@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sefi_support.dir/src/bits.cpp.o"
+  "CMakeFiles/sefi_support.dir/src/bits.cpp.o.d"
+  "CMakeFiles/sefi_support.dir/src/hash.cpp.o"
+  "CMakeFiles/sefi_support.dir/src/hash.cpp.o.d"
+  "CMakeFiles/sefi_support.dir/src/rng.cpp.o"
+  "CMakeFiles/sefi_support.dir/src/rng.cpp.o.d"
+  "CMakeFiles/sefi_support.dir/src/strings.cpp.o"
+  "CMakeFiles/sefi_support.dir/src/strings.cpp.o.d"
+  "libsefi_support.a"
+  "libsefi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sefi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/src/adpcm.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/adpcm.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/adpcm.cpp.o.d"
+  "/root/repo/src/workloads/src/basicmath.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/basicmath.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/basicmath.cpp.o.d"
+  "/root/repo/src/workloads/src/bitcount.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/bitcount.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/bitcount.cpp.o.d"
+  "/root/repo/src/workloads/src/common.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/common.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/common.cpp.o.d"
+  "/root/repo/src/workloads/src/crc32.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/crc32.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/crc32.cpp.o.d"
+  "/root/repo/src/workloads/src/dijkstra.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/dijkstra.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/dijkstra.cpp.o.d"
+  "/root/repo/src/workloads/src/fft.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/fft.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/fft.cpp.o.d"
+  "/root/repo/src/workloads/src/jpeg.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/jpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/jpeg.cpp.o.d"
+  "/root/repo/src/workloads/src/l1pattern.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/l1pattern.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/l1pattern.cpp.o.d"
+  "/root/repo/src/workloads/src/matmul.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/matmul.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/matmul.cpp.o.d"
+  "/root/repo/src/workloads/src/qsort.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/qsort.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/qsort.cpp.o.d"
+  "/root/repo/src/workloads/src/registry.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/registry.cpp.o.d"
+  "/root/repo/src/workloads/src/rijndael.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/rijndael.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/rijndael.cpp.o.d"
+  "/root/repo/src/workloads/src/sha.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/sha.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/sha.cpp.o.d"
+  "/root/repo/src/workloads/src/stringsearch.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/stringsearch.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/stringsearch.cpp.o.d"
+  "/root/repo/src/workloads/src/susan.cpp" "src/workloads/CMakeFiles/sefi_workloads.dir/src/susan.cpp.o" "gcc" "src/workloads/CMakeFiles/sefi_workloads.dir/src/susan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/sefi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sefi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sefi_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sefi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

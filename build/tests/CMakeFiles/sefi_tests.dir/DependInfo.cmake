@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/beam/session_test.cpp" "tests/CMakeFiles/sefi_tests.dir/beam/session_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/beam/session_test.cpp.o.d"
+  "/root/repo/tests/core/lab_test.cpp" "tests/CMakeFiles/sefi_tests.dir/core/lab_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/core/lab_test.cpp.o.d"
+  "/root/repo/tests/core/result_cache_test.cpp" "tests/CMakeFiles/sefi_tests.dir/core/result_cache_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/core/result_cache_test.cpp.o.d"
+  "/root/repo/tests/faultinject/ace_test.cpp" "tests/CMakeFiles/sefi_tests.dir/faultinject/ace_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/faultinject/ace_test.cpp.o.d"
+  "/root/repo/tests/faultinject/campaign_test.cpp" "tests/CMakeFiles/sefi_tests.dir/faultinject/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/faultinject/campaign_test.cpp.o.d"
+  "/root/repo/tests/faultinject/protection_test.cpp" "tests/CMakeFiles/sefi_tests.dir/faultinject/protection_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/faultinject/protection_test.cpp.o.d"
+  "/root/repo/tests/isa/assembler_test.cpp" "tests/CMakeFiles/sefi_tests.dir/isa/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/isa/assembler_test.cpp.o.d"
+  "/root/repo/tests/isa/encode_test.cpp" "tests/CMakeFiles/sefi_tests.dir/isa/encode_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/isa/encode_test.cpp.o.d"
+  "/root/repo/tests/isa/property_test.cpp" "tests/CMakeFiles/sefi_tests.dir/isa/property_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/isa/property_test.cpp.o.d"
+  "/root/repo/tests/kernel/kernel_test.cpp" "tests/CMakeFiles/sefi_tests.dir/kernel/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/kernel/kernel_test.cpp.o.d"
+  "/root/repo/tests/microarch/cache_property_test.cpp" "tests/CMakeFiles/sefi_tests.dir/microarch/cache_property_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/microarch/cache_property_test.cpp.o.d"
+  "/root/repo/tests/microarch/cache_test.cpp" "tests/CMakeFiles/sefi_tests.dir/microarch/cache_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/microarch/cache_test.cpp.o.d"
+  "/root/repo/tests/microarch/detailed_test.cpp" "tests/CMakeFiles/sefi_tests.dir/microarch/detailed_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/microarch/detailed_test.cpp.o.d"
+  "/root/repo/tests/microarch/predictor_test.cpp" "tests/CMakeFiles/sefi_tests.dir/microarch/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/microarch/predictor_test.cpp.o.d"
+  "/root/repo/tests/microarch/regfile_test.cpp" "tests/CMakeFiles/sefi_tests.dir/microarch/regfile_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/microarch/regfile_test.cpp.o.d"
+  "/root/repo/tests/microarch/tlb_test.cpp" "tests/CMakeFiles/sefi_tests.dir/microarch/tlb_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/microarch/tlb_test.cpp.o.d"
+  "/root/repo/tests/report/render_test.cpp" "tests/CMakeFiles/sefi_tests.dir/report/render_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/report/render_test.cpp.o.d"
+  "/root/repo/tests/sim/cpu_semantics_test.cpp" "tests/CMakeFiles/sefi_tests.dir/sim/cpu_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/sim/cpu_semantics_test.cpp.o.d"
+  "/root/repo/tests/sim/devices_test.cpp" "tests/CMakeFiles/sefi_tests.dir/sim/devices_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/sim/devices_test.cpp.o.d"
+  "/root/repo/tests/sim/machine_test.cpp" "tests/CMakeFiles/sefi_tests.dir/sim/machine_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/sim/machine_test.cpp.o.d"
+  "/root/repo/tests/sim/snapshot_test.cpp" "tests/CMakeFiles/sefi_tests.dir/sim/snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/sim/snapshot_test.cpp.o.d"
+  "/root/repo/tests/sim/tracer_test.cpp" "tests/CMakeFiles/sefi_tests.dir/sim/tracer_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/sim/tracer_test.cpp.o.d"
+  "/root/repo/tests/stats/confidence_test.cpp" "tests/CMakeFiles/sefi_tests.dir/stats/confidence_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/stats/confidence_test.cpp.o.d"
+  "/root/repo/tests/stats/fit_test.cpp" "tests/CMakeFiles/sefi_tests.dir/stats/fit_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/stats/fit_test.cpp.o.d"
+  "/root/repo/tests/support/bits_test.cpp" "tests/CMakeFiles/sefi_tests.dir/support/bits_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/support/bits_test.cpp.o.d"
+  "/root/repo/tests/support/hash_test.cpp" "tests/CMakeFiles/sefi_tests.dir/support/hash_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/support/hash_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/CMakeFiles/sefi_tests.dir/support/rng_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/strings_test.cpp" "tests/CMakeFiles/sefi_tests.dir/support/strings_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/support/strings_test.cpp.o.d"
+  "/root/repo/tests/workloads/workload_test.cpp" "tests/CMakeFiles/sefi_tests.dir/workloads/workload_test.cpp.o" "gcc" "tests/CMakeFiles/sefi_tests.dir/workloads/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sefi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/sefi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sefi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/microarch/CMakeFiles/sefi_microarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sefi_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sefi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sefi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultinject/CMakeFiles/sefi_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/beam/CMakeFiles/sefi_beam.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sefi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sefi_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
