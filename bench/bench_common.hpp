@@ -8,6 +8,10 @@
 //                    the paper used 1000)
 //   SEFI_BEAM_RUNS   beam executions per benchmark session (default 600)
 //   SEFI_SEED        campaign seed override
+//   SEFI_THREADS     campaign workers (default 0 = hardware concurrency;
+//                    never changes results, only wall-clock)
+//   SEFI_CHECKPOINTS checkpoint-ladder rungs per injection rig
+//                    (default 8; never changes results)
 //   SEFI_CACHE_DIR   result cache directory (default ".sefi-cache";
 //                    set to empty to disable)
 #pragma once
@@ -16,6 +20,7 @@
 #include <cstdlib>
 
 #include "sefi/core/lab.hpp"
+#include "sefi/exec/parallel.hpp"
 
 namespace sefi::bench {
 
@@ -33,9 +38,11 @@ inline core::LabConfig lab_config() {
 inline void print_campaign_banner(const core::LabConfig& config) {
   std::printf(
       "[sefi] campaign: %llu faults/component (paper: 1000), %llu beam "
-      "runs/benchmark, cache dir '%s'\n\n",
+      "runs/benchmark, %zu threads, %llu checkpoints, cache dir '%s'\n\n",
       static_cast<unsigned long long>(config.fi.faults_per_component),
       static_cast<unsigned long long>(config.beam.runs),
+      exec::resolve_threads(config.fi.threads, SIZE_MAX),
+      static_cast<unsigned long long>(config.fi.checkpoints),
       std::getenv("SEFI_CACHE_DIR"));
 }
 

@@ -1,0 +1,112 @@
+// Campaign-executor throughput tracker.
+//
+// Runs the same fault-injection campaign under a matrix of executor
+// configurations and emits one machine-readable JSON line per cell, so
+// the perf trajectory of the parallel executor and the checkpoint ladder
+// can be tracked across commits:
+//
+//   {"bench":"campaign_throughput","workload":"Qsort","threads":4,
+//    "checkpoints":8,"faults_per_component":60,"injections":360,
+//    "wall_seconds":1.23,"injections_per_sec":292.7,
+//    "replay_cycles":...,"replay_cycles_saved":...,
+//    "speedup_vs_serial":3.1}
+//
+// The serial baseline is threads=1, checkpoints=1 (the classic
+// replay-from-spawn rig); every other cell reports its speedup against
+// it. All cells produce bit-identical ClassCounts (asserted here — a
+// throughput number from a wrong result is worthless).
+//
+// Knobs: argv[1] workload name (default Qsort), argv[2] faults per
+// component (default 60); SEFI_THREADS caps the largest thread count
+// tried (default: hardware concurrency).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sefi/core/lab.hpp"
+#include "sefi/exec/parallel.hpp"
+#include "sefi/fi/campaign.hpp"
+#include "sefi/support/strings.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace {
+
+bool same_counts(const sefi::fi::WorkloadFiResult& a,
+                 const sefi::fi::WorkloadFiResult& b) {
+  for (const auto kind : sefi::microarch::kAllComponents) {
+    const auto& ca = a.component(kind).counts;
+    const auto& cb = b.component(kind).counts;
+    if (ca.masked != cb.masked || ca.sdc != cb.sdc ||
+        ca.app_crash != cb.app_crash || ca.sys_crash != cb.sys_crash) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void emit(const sefi::fi::WorkloadFiResult& result, double serial_wall) {
+  const sefi::fi::CampaignStats& s = result.stats;
+  std::printf(
+      "{\"bench\":\"campaign_throughput\",\"workload\":\"%s\","
+      "\"threads\":%llu,\"checkpoints\":%llu,"
+      "\"faults_per_component\":%llu,\"injections\":%llu,"
+      "\"wall_seconds\":%.4f,\"injections_per_sec\":%.2f,"
+      "\"replay_cycles\":%llu,\"replay_cycles_saved\":%llu,"
+      "\"speedup_vs_serial\":%.3f}\n",
+      result.workload.c_str(), static_cast<unsigned long long>(s.threads),
+      static_cast<unsigned long long>(s.checkpoints),
+      static_cast<unsigned long long>(s.injections / 6),
+      static_cast<unsigned long long>(s.injections), s.wall_seconds,
+      s.injections_per_sec,
+      static_cast<unsigned long long>(s.replay_cycles),
+      static_cast<unsigned long long>(s.replay_cycles_saved),
+      s.wall_seconds > 0 ? serial_wall / s.wall_seconds : 0.0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "Qsort";
+  const std::uint64_t faults =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 60;
+
+  sefi::fi::CampaignConfig config;
+  config.rig.uarch = sefi::core::scaled_uarch();
+  config.faults_per_component = faults;
+
+  const std::size_t hw = sefi::exec::resolve_threads(
+      sefi::support::env_u64("SEFI_THREADS", 0), SIZE_MAX);
+
+  // Cells: serial baseline, ladder-only, threads-only, both combined.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cells = {{1, 1},
+                                                                {1, 8}};
+  if (hw > 1) {
+    cells.emplace_back(hw, 1);
+    cells.emplace_back(hw, 8);
+  }
+
+  const auto& workload = sefi::workloads::workload_by_name(name);
+  double serial_wall = 0;
+  sefi::fi::WorkloadFiResult baseline;
+  for (const auto& [threads, checkpoints] : cells) {
+    config.threads = threads;
+    config.checkpoints = checkpoints;
+    const sefi::fi::WorkloadFiResult result =
+        sefi::fi::run_fi_campaign(workload, config);
+    if (serial_wall == 0) {
+      serial_wall = result.stats.wall_seconds;
+      baseline = result;
+    } else if (!same_counts(baseline, result)) {
+      std::fprintf(stderr,
+                   "FATAL: threads=%llu checkpoints=%llu diverged from the "
+                   "serial baseline\n",
+                   static_cast<unsigned long long>(threads),
+                   static_cast<unsigned long long>(checkpoints));
+      return 1;
+    }
+    emit(result, serial_wall);
+  }
+  return 0;
+}

@@ -8,8 +8,12 @@
 //       Single fault experiment; print the classified outcome.
 //   sefi_cli beam <workload> [runs]
 //       One simulated beam session; print events and FIT rates.
-//   sefi_cli fi <workload> [faults-per-component]
-//       Fault-injection campaign; print per-component classification.
+//   sefi_cli beamsweep [runs] [--threads N]
+//       One session per paper-suite workload, fanned over N workers.
+//   sefi_cli fi <workload> [faults-per-component] [--threads N]
+//           [--checkpoints K]
+//       Fault-injection campaign; print per-component classification
+//       and executor throughput. N=0 means hardware concurrency.
 //
 // Components: L1I L1D L2 RegFile ITLB DTLB.
 #include <cstdio>
@@ -38,7 +42,9 @@ int usage() {
                "       sefi_cli inject <workload> <component> <bit> <cycle>"
                " [--double]\n"
                "       sefi_cli beam <workload> [runs]\n"
-               "       sefi_cli fi <workload> [faults-per-component]\n");
+               "       sefi_cli beamsweep [runs] [--threads N]\n"
+               "       sefi_cli fi <workload> [faults-per-component]"
+               " [--threads N] [--checkpoints K]\n");
   return 2;
 }
 
@@ -166,13 +172,51 @@ int cmd_beam(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_beamsweep(const std::vector<std::string>& args) {
+  beam::BeamConfig config;
+  config.uarch = core::scaled_uarch();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      config.threads = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (i == 0) {
+      config.runs = std::strtoull(args[0].c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  const auto& suite = workloads::all_workloads();
+  const std::vector<beam::BeamResult> results =
+      beam::run_beam_sessions(suite, config);
+  std::printf("%-14s %6s %6s %6s %6s %10s\n", "workload", "runs", "sdc",
+              "app", "sys", "FIT-total");
+  for (const beam::BeamResult& r : results) {
+    std::printf("%-14s %6llu %6llu %6llu %6llu %10.3f\n", r.workload.c_str(),
+                static_cast<unsigned long long>(r.runs),
+                static_cast<unsigned long long>(r.sdc),
+                static_cast<unsigned long long>(r.app_crash),
+                static_cast<unsigned long long>(r.sys_crash), r.fit_total());
+  }
+  return 0;
+}
+
 int cmd_fi(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   const auto& w = workloads::workload_by_name(args[0]);
   fi::CampaignConfig config;
   config.rig.uarch = core::scaled_uarch();
-  config.faults_per_component =
-      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 150;
+  config.faults_per_component = 150;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      config.threads = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--checkpoints" && i + 1 < args.size()) {
+      config.checkpoints = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (i == 1) {
+      config.faults_per_component =
+          std::strtoull(args[1].c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
   const fi::WorkloadFiResult result = fi::run_fi_campaign(w, config);
   std::printf("%-10s %8s %8s %8s %8s %8s %9s\n", "component", "masked",
               "sdc", "appcr", "syscr", "AVF%", "margin%");
@@ -185,6 +229,16 @@ int cmd_fi(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(comp.counts.sys_crash),
                 comp.avf() * 100, comp.error_margin * 100);
   }
+  const fi::CampaignStats& stats = result.stats;
+  std::printf(
+      "executor: %llu threads, %llu checkpoints | %.1f inj/s "
+      "(%llu injections in %.2fs) | replay %llu cycles, %llu saved\n",
+      static_cast<unsigned long long>(stats.threads),
+      static_cast<unsigned long long>(stats.checkpoints),
+      stats.injections_per_sec,
+      static_cast<unsigned long long>(stats.injections), stats.wall_seconds,
+      static_cast<unsigned long long>(stats.replay_cycles),
+      static_cast<unsigned long long>(stats.replay_cycles_saved));
   return 0;
 }
 
@@ -199,6 +253,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "inject") return cmd_inject(args);
     if (command == "beam") return cmd_beam(args);
+    if (command == "beamsweep") return cmd_beamsweep(args);
     if (command == "fi") return cmd_fi(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

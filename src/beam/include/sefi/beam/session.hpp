@@ -94,6 +94,13 @@ struct BeamConfig {
   std::uint64_t input_seed = workloads::kDefaultInputSeed;
   std::uint64_t hang_budget_factor = 4;
   std::uint64_t probe_timer_periods = 8;
+
+  /// Workers for multi-session sweeps (run_beam_sessions); 0 = hardware
+  /// concurrency. One session is inherently serial (a single powered
+  /// board), so this knob only fans out *independent* sessions; each
+  /// session's result is bit-identical to a serial sweep because its
+  /// randomness is seeded per workload, never shared across sessions.
+  std::uint64_t threads = 0;
 };
 
 struct BeamResult {
@@ -122,6 +129,15 @@ struct BeamResult {
 /// Runs one beam session for `workload`.
 BeamResult run_beam_session(const workloads::Workload& workload,
                             const BeamConfig& config);
+
+/// Runs one independent beam session per workload, fanned out over
+/// config.threads workers (the paper's multi-board parallelism: each
+/// session is its own powered machine under its own beam). Results are
+/// returned in input order and are bit-identical to running the
+/// sessions serially one by one.
+std::vector<BeamResult> run_beam_sessions(
+    const std::vector<const workloads::Workload*>& session_workloads,
+    const BeamConfig& config);
 
 /// FIT_raw calibration (§VI): beams the L1Pattern benchmark and divides
 /// its SDC FIT by the tested buffer size in bits, returning FIT per bit.

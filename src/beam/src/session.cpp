@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "sefi/exec/parallel.hpp"
 #include "sefi/stats/fit.hpp"
 #include "sefi/support/error.hpp"
 #include "sefi/support/hash.hpp"
@@ -344,8 +345,12 @@ class Session {
             microarch::detailed_model(*machine_).component(kind);
         const std::uint64_t bit = static_cast<std::uint64_t>(u);
         component.flip_bit(bit);
-        if (rng_.bernoulli(config_.p_double_bit)) {
-          // Multi-cell upset: the physically adjacent cell flips too.
+        // Multi-cell upset: the physically adjacent cell flips too. A
+        // one-bit structure has no neighbour (bit 0 - 1 would wrap), so
+        // the strike degrades to a single-bit upset there. The Bernoulli
+        // draw stays unconditional to keep the RNG stream stable.
+        if (rng_.bernoulli(config_.p_double_bit) &&
+            component.bit_count() > 1) {
           const std::uint64_t buddy =
               bit + 1 < component.bit_count() ? bit + 1 : bit - 1;
           component.flip_bit(buddy);
@@ -398,6 +403,23 @@ BeamResult run_beam_session(const workloads::Workload& workload,
                    "run_beam_session: strikes_per_run must be positive");
   Session session(workload, config);
   return session.run();
+}
+
+std::vector<BeamResult> run_beam_sessions(
+    const std::vector<const workloads::Workload*>& session_workloads,
+    const BeamConfig& config) {
+  // Each session owns its machine and seeds its RNG from the workload
+  // name, so sessions share nothing — fan them out and collect results
+  // by input index.
+  std::vector<BeamResult> results(session_workloads.size());
+  const std::size_t threads =
+      exec::resolve_threads(config.threads, session_workloads.size());
+  exec::for_each_task(threads, session_workloads.size(),
+                      [&](std::size_t, std::size_t index) {
+                        results[index] = run_beam_session(
+                            *session_workloads[index], config);
+                      });
+  return results;
 }
 
 std::uint64_t l1_pattern_bits() {

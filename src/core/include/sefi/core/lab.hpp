@@ -49,9 +49,11 @@ struct LabConfig {
   beam::BeamConfig beam;
 
   /// Reads campaign sizes from the environment (SEFI_FAULTS,
-  /// SEFI_BEAM_RUNS, SEFI_SEED), falling back to the given defaults —
-  /// the bench binaries' knobs for quick vs. paper-scale campaigns.
-  /// Installs the scaled microarchitecture in both setups.
+  /// SEFI_BEAM_RUNS, SEFI_SEED) and executor knobs (SEFI_THREADS,
+  /// SEFI_CHECKPOINTS), falling back to the given defaults — the bench
+  /// binaries' knobs for quick vs. paper-scale campaigns. Installs the
+  /// scaled microarchitecture in both setups. The executor knobs never
+  /// change results (see fi::CampaignConfig), only wall-clock.
   static LabConfig from_env(std::uint64_t default_faults = 150,
                             std::uint64_t default_beam_runs = 600);
 };
@@ -109,7 +111,10 @@ class AssessmentLab {
   /// Both campaigns + conversion for one workload.
   WorkloadComparison compare(const workloads::Workload& workload);
 
-  /// The paper's full 13-benchmark sweep.
+  /// The paper's full 13-benchmark sweep. Uncached beam sessions fan
+  /// out over config.beam.threads workers (sessions are independent);
+  /// FI campaigns run one at a time because each already parallelizes
+  /// internally over injections. Results match a serial sweep exactly.
   std::vector<WorkloadComparison> compare_all();
 
   /// Fig. 10 aggregates over a finished sweep.
@@ -117,6 +122,10 @@ class AssessmentLab {
       const std::vector<WorkloadComparison>& sweep);
 
  private:
+  /// Loads a cached beam result (memory, then disk) into the in-memory
+  /// cache; false when the session still needs to be run.
+  bool load_cached_beam(const workloads::Workload& workload);
+
   LabConfig config_;
   ResultCache disk_cache_ = ResultCache::from_env();
   std::optional<double> fit_raw_;

@@ -23,6 +23,9 @@ LabConfig LabConfig::from_env(std::uint64_t default_faults,
   config.fi.faults_per_component =
       support::env_u64("SEFI_FAULTS", default_faults);
   config.beam.runs = support::env_u64("SEFI_BEAM_RUNS", default_beam_runs);
+  config.fi.threads = support::env_u64("SEFI_THREADS", 0);
+  config.beam.threads = config.fi.threads;
+  config.fi.checkpoints = support::env_u64("SEFI_CHECKPOINTS", 8);
   const std::uint64_t seed = support::env_u64("SEFI_SEED", 0);
   if (seed != 0) {
     config.fi.seed = seed;
@@ -155,10 +158,47 @@ WorkloadComparison AssessmentLab::compare(
   return comparison;
 }
 
+bool AssessmentLab::load_cached_beam(const workloads::Workload& workload) {
+  const std::string& name = workload.info().name;
+  if (beam_cache_.count(name) != 0) return true;
+  const std::string key =
+      ResultCache::make_key("beam", fingerprint(config_.beam), name);
+  if (const auto cached = disk_cache_.load(key)) {
+    if (auto parsed = deserialize_beam(*cached)) {
+      beam_cache_.emplace(name, std::move(*parsed));
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<WorkloadComparison> AssessmentLab::compare_all() {
+  const std::vector<const workloads::Workload*>& suite =
+      workloads::all_workloads();
+  // Fan the uncached beam sessions out first: each session is a serial
+  // powered-board simulation, so independent sessions are the sweep's
+  // parallelism. Campaign caches stay single-threaded — sessions run on
+  // workers, results merge here in suite order.
+  std::vector<const workloads::Workload*> beam_missing;
+  for (const workloads::Workload* workload : suite) {
+    if (!load_cached_beam(*workload)) beam_missing.push_back(workload);
+  }
+  if (!beam_missing.empty()) {
+    const std::vector<beam::BeamResult> results =
+        beam::run_beam_sessions(beam_missing, config_.beam);
+    for (std::size_t i = 0; i < beam_missing.size(); ++i) {
+      const std::string& name = beam_missing[i]->info().name;
+      const std::string key =
+          ResultCache::make_key("beam", fingerprint(config_.beam), name);
+      disk_cache_.store(key, serialize(results[i]));
+      beam_cache_.emplace(name, results[i]);
+    }
+  }
+  // FI campaigns parallelize internally (run_fi_campaign fans injections
+  // over config_.fi.threads workers), so run them one after another.
   std::vector<WorkloadComparison> sweep;
-  sweep.reserve(workloads::all_workloads().size());
-  for (const workloads::Workload* workload : workloads::all_workloads()) {
+  sweep.reserve(suite.size());
+  for (const workloads::Workload* workload : suite) {
     sweep.push_back(compare(*workload));
   }
   return sweep;

@@ -14,7 +14,8 @@ namespace {
 
 /// Bump on any change to the serialized formats below OR to simulator
 /// behaviour that alters campaign outcomes for identical configurations.
-constexpr int kFormatVersion = 3;
+/// v4: per-component FI sampling streams moved to SplitMix64 derivation.
+constexpr int kFormatVersion = 4;
 
 void hash_double(support::Fnv1a& h, double value) {
   h.update(support::format_sci(value));
@@ -65,6 +66,9 @@ std::uint64_t fingerprint(const fi::CampaignConfig& config) {
   }
   hash_u64(h, config.rig.hang_budget_factor);
   hash_u64(h, config.rig.probe_timer_periods);
+  // config.threads and config.checkpoints are deliberately NOT hashed:
+  // the executor contract guarantees bit-identical results for any
+  // values, so they are not part of the campaign's identity.
   return h.digest();
 }
 
@@ -90,6 +94,8 @@ std::uint64_t fingerprint(const beam::BeamConfig& config) {
   hash_u64(h, config.input_seed);
   hash_u64(h, config.hang_budget_factor);
   hash_u64(h, config.probe_timer_periods);
+  // config.threads is deliberately NOT hashed: it only schedules
+  // independent sessions across workers and never changes any result.
   return h.digest();
 }
 

@@ -1,0 +1,49 @@
+// Deterministic parallel campaign execution.
+//
+// Statistical campaigns are embarrassingly parallel once their randomness
+// is pre-sampled: every experiment is a pure function of (descriptor,
+// shared golden state), so experiments can fan out over worker threads in
+// any order as long as results are merged back in descriptor-index order.
+// This module provides the small work-queue primitive both campaign
+// drivers (fault injection, multi-session beam sweeps) build on:
+//
+//   - tasks are addressed by index [0, count) and pulled from one atomic
+//     cursor, so scheduling is dynamic (experiment runtimes vary with the
+//     fault cycle) but the task->result mapping is fixed;
+//   - each OS thread receives a stable worker id so callers can keep
+//     per-worker state (a private sim::Machine restored from a shared
+//     snapshot) without locking;
+//   - `threads == 1` runs inline on the calling thread — the serial path
+//     stays the serial path, with zero thread machinery in the way.
+//
+// The determinism contract: callers must (a) pre-sample all randomness
+// before dispatch and (b) write each task's result only into its own
+// index slot. Under that contract the merged result is bit-identical
+// regardless of thread count (tested in tests/exec/parallel_test.cpp and
+// asserted end-to-end for campaigns in tests/faultinject/campaign_test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace sefi::exec {
+
+/// Number of hardware threads, never zero (unknown -> 1).
+std::size_t hardware_threads();
+
+/// Resolves a user-facing `threads` knob: 0 means "use the hardware
+/// concurrency"; the result is clamped to [1, task_count] so a tiny
+/// campaign never spawns idle workers.
+std::size_t resolve_threads(std::uint64_t requested, std::size_t task_count);
+
+/// Runs `task(worker, index)` for every index in [0, count), distributed
+/// over `threads` OS threads through a shared atomic cursor. Worker ids
+/// are dense in [0, threads). Blocks until all tasks finish. If any task
+/// throws, the first exception is rethrown on the calling thread after
+/// all workers drain (remaining tasks are abandoned, not executed).
+void for_each_task(std::size_t threads, std::size_t count,
+                   const std::function<void(std::size_t worker,
+                                            std::size_t index)>& task);
+
+}  // namespace sefi::exec

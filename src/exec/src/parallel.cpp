@@ -1,0 +1,63 @@
+#include "sefi/exec/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sefi::exec {
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t resolve_threads(std::uint64_t requested, std::size_t task_count) {
+  std::size_t threads =
+      requested == 0 ? hardware_threads() : static_cast<std::size_t>(requested);
+  if (task_count > 0 && threads > task_count) threads = task_count;
+  return threads == 0 ? 1 : threads;
+}
+
+void for_each_task(std::size_t threads, std::size_t count,
+                   const std::function<void(std::size_t, std::size_t)>& task) {
+  if (count == 0) return;
+  if (threads <= 1) {
+    for (std::size_t index = 0; index < count; ++index) task(0, index);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto drain = [&](std::size_t worker) {
+    for (;;) {
+      const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        task(worker, index);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (std::size_t worker = 1; worker < threads; ++worker) {
+    workers.emplace_back(drain, worker);
+  }
+  drain(0);
+  for (std::thread& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sefi::exec

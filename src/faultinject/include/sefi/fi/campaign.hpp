@@ -14,7 +14,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "sefi/kernel/kernel.hpp"
 #include "sefi/microarch/detailed.hpp"
@@ -90,34 +92,83 @@ struct RigConfig {
 };
 
 /// Reusable injection rig for one workload: computes the golden run once,
-/// snapshots the machine at the start of the application window (the
-/// gem5-checkpoint technique GeFIN-style campaigns use), then executes
-/// injected runs on demand by restoring the snapshot — bit-identical to
-/// a cold boot, since the pre-injection path is fault-free and
-/// deterministic, but without paying boot per experiment.
+/// then builds a **checkpoint ladder** — K evenly-spaced full-machine
+/// snapshots along the application window (the first rung is the spawn
+/// point, the gem5-checkpoint technique GeFIN-style campaigns use). An
+/// injected run restores the nearest rung at or below its fault cycle
+/// instead of always replaying from spawn, cutting the average
+/// pre-injection replay from ~window/2 to ~window/(2K) cycles; the
+/// replayed prefix is fault-free and deterministic, so outcomes are
+/// bit-identical to a cold boot for any ladder size (tested).
+///
+/// The ladder and golden state are immutable after construction and
+/// shared by any number of Context objects, each owning a private
+/// sim::Machine — the unit of parallelism for campaign executors.
 class InjectionRig {
  public:
+  /// `checkpoints` is the ladder size K (clamped to >= 1; rung 0 is
+  /// always the spawn snapshot, so K = 1 reproduces the classic
+  /// replay-from-spawn rig).
   InjectionRig(const workloads::Workload& workload, const RigConfig& config,
-               std::uint64_t input_seed);
+               std::uint64_t input_seed, std::uint64_t checkpoints = 1);
 
   const GoldenRun& golden() const { return golden_; }
   const RigConfig& config() const { return config_; }
 
+  /// Number of ladder rungs actually captured (>= 1).
+  std::size_t checkpoint_count() const { return ladder_.size(); }
+
   /// Bit count of an injectable component under this rig's configuration.
   std::uint64_t component_bits(microarch::ComponentKind kind) const;
 
-  /// Runs one injected execution and classifies its outcome.
+  /// Runs one injected execution and classifies its outcome (on the
+  /// rig's own lazily-built Context; single-threaded convenience).
   Outcome run_one(const FaultDescriptor& fault) const;
 
+  /// Worker-private execution state: a machine restored from the rig's
+  /// shared snapshots. Each campaign worker thread owns one Context;
+  /// Contexts never touch each other, and the rig they reference is
+  /// read-only during execution, so run_one is safe to call from many
+  /// Contexts concurrently.
+  class Context {
+   public:
+    explicit Context(const InjectionRig& rig);
+
+    /// Runs one injected execution and classifies its outcome.
+    Outcome run_one(const FaultDescriptor& fault);
+
+    /// Pre-injection cycles actually replayed by this context.
+    std::uint64_t replay_cycles() const { return replay_cycles_; }
+    /// Pre-injection cycles skipped thanks to ladder rungs above spawn.
+    std::uint64_t saved_cycles() const { return saved_cycles_; }
+
+   private:
+    const InjectionRig* rig_;
+    sim::Machine machine_;
+    std::uint64_t replay_cycles_ = 0;
+    std::uint64_t saved_cycles_ = 0;
+  };
+
  private:
+  friend class Context;
+
+  struct Checkpoint {
+    std::uint64_t cycle = 0;
+    sim::Machine::Snapshot snapshot;
+  };
+
+  /// The rung with the greatest cycle <= `cycle` (rung 0 for anything
+  /// at or before spawn).
+  const Checkpoint& nearest_checkpoint(std::uint64_t cycle) const;
+
   const workloads::Workload& workload_;
   RigConfig config_;
   isa::Program kernel_image_;
   isa::Program app_image_;
   GoldenRun golden_;
   std::array<std::uint64_t, microarch::kNumComponents> component_bits_{};
-  mutable sim::Machine machine_;  ///< reused across injected runs
-  sim::Machine::Snapshot spawn_snapshot_;
+  std::vector<Checkpoint> ladder_;  ///< rung 0 is the spawn snapshot
+  mutable std::unique_ptr<Context> own_context_;  ///< lazy, for run_one
 };
 
 /// Per-class outcome counts of a campaign.
@@ -144,9 +195,22 @@ struct ComponentResult {
   double avf_sys_crash() const;
 };
 
+/// Executor throughput report for one campaign (how the result was
+/// computed; never part of the result's identity or cache fingerprint).
+struct CampaignStats {
+  std::uint64_t threads = 1;            ///< workers actually used
+  std::uint64_t checkpoints = 1;        ///< ladder rungs actually captured
+  std::uint64_t injections = 0;         ///< total injected runs
+  double wall_seconds = 0;              ///< dispatch-to-merge wall clock
+  double injections_per_sec = 0;
+  std::uint64_t replay_cycles = 0;      ///< pre-injection cycles executed
+  std::uint64_t replay_cycles_saved = 0;  ///< skipped via the ladder
+};
+
 struct WorkloadFiResult {
   std::string workload;
   std::array<ComponentResult, microarch::kNumComponents> components;
+  CampaignStats stats;  ///< execution metadata, not campaign identity
 
   const ComponentResult& component(microarch::ComponentKind kind) const;
 };
@@ -158,9 +222,24 @@ struct CampaignConfig {
   double confidence = 0.99;                   ///< the paper's level
   FaultModel fault_model = FaultModel::kSingleBit;  ///< the paper's model
   RigConfig rig;
+  // Executor knobs. Results are bit-identical for any values (tested):
+  // descriptors are pre-sampled before dispatch and merged in fault-index
+  // order, and ladder replay reproduces the spawn-replay path exactly.
+  std::uint64_t threads = 0;      ///< campaign workers; 0 = hardware
+  std::uint64_t checkpoints = 8;  ///< ladder rungs along the window
 };
 
-/// Runs the full per-component campaign for one workload.
+/// Pre-samples the full descriptor list for one (workload, component)
+/// stream — the exact faults run_fi_campaign will execute, in execution
+/// order. Exposed so tools can audit or replay a campaign's sampling.
+std::vector<FaultDescriptor> sample_component_faults(
+    const CampaignConfig& config, const std::string& workload_name,
+    microarch::ComponentKind kind, std::uint64_t component_bits,
+    std::uint64_t spawn_cycle, std::uint64_t window);
+
+/// Runs the full per-component campaign for one workload, fanning
+/// injections over config.threads workers (each with a private machine
+/// restored from the rig's shared checkpoint ladder).
 WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
                                  const CampaignConfig& config);
 

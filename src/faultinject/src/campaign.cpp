@@ -1,5 +1,8 @@
 #include "sefi/fi/campaign.hpp"
 
+#include <chrono>
+
+#include "sefi/exec/parallel.hpp"
 #include "sefi/fi/protection.hpp"
 #include "sefi/stats/confidence.hpp"
 #include "sefi/support/error.hpp"
@@ -69,43 +72,61 @@ const ComponentResult& WorkloadFiResult::component(
 }
 
 InjectionRig::InjectionRig(const workloads::Workload& workload,
-                           const RigConfig& config, std::uint64_t input_seed)
+                           const RigConfig& config, std::uint64_t input_seed,
+                           std::uint64_t checkpoints)
     : workload_(workload),
       config_(config),
       kernel_image_(kernel::build_kernel(config.kernel)),
-      app_image_(workload.build(input_seed)),
-      machine_(microarch::make_detailed_machine(config.uarch)) {
-  kernel::install_system(machine_, kernel_image_, app_image_,
-                         workloads::kWorkloadStackTop);
+      app_image_(workload.build(input_seed)) {
   // Golden run: cold machine, record the application window and the
   // fault-free output; checkpoint at the window start so injected runs
-  // skip boot.
-  machine_.boot();
+  // skip boot. The machine is construction-local — injected runs execute
+  // on per-Context machines restored from the shared snapshots.
+  sim::Machine machine = microarch::make_detailed_machine(config.uarch);
+  kernel::install_system(machine, kernel_image_, app_image_,
+                         workloads::kWorkloadStackTop);
+  machine.boot();
   // The kernel's first act in spawn is the alive heartbeat; poll for it
   // to find the start of the application window.
-  while (machine_.devices().alive_count() == 0) {
+  while (machine.devices().alive_count() == 0) {
     const auto event =
-        machine_.run_until_cycle(machine_.cpu().cycles() + kSpawnPollStep);
+        machine.run_until_cycle(machine.cpu().cycles() + kSpawnPollStep);
     support::require(!event.has_value(),
                      "InjectionRig: machine stopped during boot");
-    support::require(machine_.cpu().cycles() < kGoldenBudget,
+    support::require(machine.cpu().cycles() < kGoldenBudget,
                      "InjectionRig: boot never spawned the application");
   }
-  golden_.spawn_cycle = machine_.cpu().cycles();
-  spawn_snapshot_ = machine_.save_snapshot();
-  const sim::RunEvent event = machine_.run(kGoldenBudget);
+  golden_.spawn_cycle = machine.cpu().cycles();
+  ladder_.push_back({golden_.spawn_cycle, machine.save_snapshot()});
+  const sim::RunEvent event = machine.run(kGoldenBudget);
   support::require(event.kind == sim::RunEventKind::kExit,
                    "InjectionRig: golden run did not exit cleanly for " +
                        workload.info().name);
   golden_.exit_code = event.payload;
-  golden_.console = machine_.console();
-  golden_.end_cycle = machine_.cpu().cycles();
-  golden_.instructions = machine_.cpu().instructions();
+  golden_.console = machine.console();
+  golden_.end_cycle = machine.cpu().cycles();
+  golden_.instructions = machine.cpu().instructions();
 
-  auto& model = microarch::detailed_model(machine_);
+  auto& model = microarch::detailed_model(machine);
   for (const auto kind : microarch::kAllComponents) {
     component_bits_[static_cast<std::size_t>(kind)] =
         model.component(kind).bit_count();
+  }
+
+  // Checkpoint ladder: replay the (deterministic, fault-free) window once
+  // more, snapshotting at K evenly-spaced cycles. The one extra window
+  // replay is amortized over the whole campaign; each injected run then
+  // replays at most window/K cycles instead of up to the full window.
+  const std::uint64_t window = golden_.end_cycle - golden_.spawn_cycle;
+  const std::uint64_t rungs = checkpoints == 0 ? 1 : checkpoints;
+  if (rungs > 1 && window > 0) {
+    machine.restore_snapshot(ladder_.front().snapshot);
+    for (std::uint64_t rung = 1; rung < rungs; ++rung) {
+      const std::uint64_t target = golden_.spawn_cycle + rung * window / rungs;
+      if (target <= ladder_.back().cycle) continue;  // tiny window, dense rungs
+      if (machine.run_until_cycle(target).has_value()) break;
+      ladder_.push_back({machine.cpu().cycles(), machine.save_snapshot()});
+    }
   }
 }
 
@@ -114,57 +135,88 @@ std::uint64_t InjectionRig::component_bits(
   return component_bits_[static_cast<std::size_t>(kind)];
 }
 
+const InjectionRig::Checkpoint& InjectionRig::nearest_checkpoint(
+    std::uint64_t cycle) const {
+  // The ladder is small (a handful of rungs) and sorted by cycle; scan
+  // for the greatest rung at or below the fault cycle.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ladder_.size(); ++i) {
+    if (ladder_[i].cycle > cycle) break;
+    best = i;
+  }
+  return ladder_[best];
+}
+
 Outcome InjectionRig::run_one(const FaultDescriptor& fault) const {
-  // Resume from the spawn checkpoint: the pre-injection path is
-  // fault-free and deterministic, so this is bit-identical to a cold
-  // boot (tested), minus the boot cost.
-  sim::Machine& machine = machine_;
-  machine.restore_snapshot(spawn_snapshot_);
+  if (!own_context_) own_context_ = std::make_unique<Context>(*this);
+  return own_context_->run_one(fault);
+}
+
+InjectionRig::Context::Context(const InjectionRig& rig)
+    : rig_(&rig),
+      machine_(microarch::make_detailed_machine(rig.config_.uarch)) {
+  // The machine's full state (RAM, devices, CPU, arrays) comes from the
+  // rig's snapshots at run_one time; no install/boot needed here.
+}
+
+Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault) {
+  // Resume from the nearest ladder rung at or below the fault cycle: the
+  // pre-injection path is fault-free and deterministic, so this is
+  // bit-identical to a cold boot (tested), minus the boot cost and minus
+  // the replay the rung already skipped.
+  const GoldenRun& golden = rig_->golden_;
+  const Checkpoint& checkpoint = rig_->nearest_checkpoint(fault.cycle);
+  machine_.restore_snapshot(checkpoint.snapshot);
+  saved_cycles_ += checkpoint.cycle - golden.spawn_cycle;
 
   // Advance to the injection cycle along the (so far fault-free) path.
-  if (const auto early = machine.run_until_cycle(fault.cycle)) {
+  const auto early = machine_.run_until_cycle(fault.cycle);
+  replay_cycles_ += machine_.cpu().cycles() - checkpoint.cycle;
+  if (early.has_value()) {
     // The machine stopped before the injection point — only possible if
     // the fault cycle exceeds this run's life, which the sampler avoids;
     // classify defensively instead of crashing the campaign.
-    (void)early;
     return Outcome::kMasked;
   }
-  auto& model = microarch::detailed_model(machine);
+  auto& model = microarch::detailed_model(machine_);
   // Protection schemes settle the fault from the structure's state at
   // the injection cycle (sefi/fi/protection.hpp).
   if (const auto adjudicated =
-          adjudicate_protection(config_.protection, fault, model)) {
+          adjudicate_protection(rig_->config_.protection, fault, model)) {
     return *adjudicated;
   }
   auto& component = model.component(fault.component);
   component.flip_bit(fault.bit);
-  if (fault.model == FaultModel::kDoubleBit) {
+  // Double-bit upsets need a neighbour to flip; a one-bit structure has
+  // none (bit 0 - 1 would wrap), so the model degrades to single-bit.
+  if (fault.model == FaultModel::kDoubleBit && component.bit_count() > 1) {
     const std::uint64_t buddy = fault.bit + 1 < component.bit_count()
                                     ? fault.bit + 1
                                     : fault.bit - 1;
     component.flip_bit(buddy);
   }
 
-  const std::uint64_t budget = golden_.end_cycle * config_.hang_budget_factor;
-  sim::RunEvent event = machine.run(budget);
+  const RigConfig& config = rig_->config_;
+  const std::uint64_t budget = golden.end_cycle * config.hang_budget_factor;
+  sim::RunEvent event = machine_.run(budget);
   if (event.kind == sim::RunEventKind::kCycleLimit) {
     // Watchdog: probe whether the kernel still services timer IRQs.
-    const std::uint64_t before = machine.jiffies();
+    const std::uint64_t before = machine_.jiffies();
     const std::uint64_t probe =
-        budget + config_.probe_timer_periods *
+        budget + config.probe_timer_periods *
                      static_cast<std::uint64_t>(
-                         config_.kernel.timer_interval_cycles);
-    event = machine.run(probe);
+                         config.kernel.timer_interval_cycles);
+    event = machine_.run(probe);
     if (event.kind == sim::RunEventKind::kCycleLimit) {
-      return machine.jiffies() > before ? Outcome::kAppCrash
-                                        : Outcome::kSysCrash;
+      return machine_.jiffies() > before ? Outcome::kAppCrash
+                                         : Outcome::kSysCrash;
     }
   }
 
   switch (event.kind) {
     case sim::RunEventKind::kExit:
-      return (event.payload == golden_.exit_code &&
-              machine.console() == golden_.console)
+      return (event.payload == golden.exit_code &&
+              machine_.console() == golden.console)
                  ? Outcome::kMasked
                  : Outcome::kSdc;
     case sim::RunEventKind::kAppCrash:
@@ -179,11 +231,33 @@ Outcome InjectionRig::run_one(const FaultDescriptor& fault) const {
   return Outcome::kSysCrash;
 }
 
+std::vector<FaultDescriptor> sample_component_faults(
+    const CampaignConfig& config, const std::string& workload_name,
+    microarch::ComponentKind kind, std::uint64_t component_bits,
+    std::uint64_t spawn_cycle, std::uint64_t window) {
+  // Independent, reproducible sampling stream per (workload, component):
+  // the component index selects a SplitMix64-derived substream of the
+  // (seed, workload) root, so streams are decorrelated — not merely
+  // xor-shifted copies of each other.
+  support::Xoshiro256 rng(support::derive_stream_seed(
+      config.seed ^ support::fnv1a(workload_name),
+      static_cast<std::uint64_t>(kind)));
+  std::vector<FaultDescriptor> faults(config.faults_per_component);
+  for (FaultDescriptor& fault : faults) {
+    fault.component = kind;
+    fault.bit = rng.below(component_bits);
+    fault.cycle = spawn_cycle + rng.below(window);
+    fault.model = config.fault_model;
+  }
+  return faults;
+}
+
 WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
                                  const CampaignConfig& config) {
   support::require(config.faults_per_component > 0,
                    "run_fi_campaign: need at least one fault");
-  const InjectionRig rig(workload, config.rig, config.input_seed);
+  const InjectionRig rig(workload, config.rig, config.input_seed,
+                         config.checkpoints);
 
   WorkloadFiResult result;
   result.workload = workload.info().name;
@@ -192,27 +266,67 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
       rig.golden().end_cycle - rig.golden().spawn_cycle;
   support::require(window > 0, "run_fi_campaign: empty application window");
 
+  // Pre-sample every descriptor before dispatch (the determinism
+  // contract): the sampling streams never observe execution, so the full
+  // fault list — and therefore the result — is fixed here, independent
+  // of how the injections are later scheduled over workers.
+  std::vector<FaultDescriptor> faults;
+  faults.reserve(microarch::kNumComponents * config.faults_per_component);
   for (const auto kind : microarch::kAllComponents) {
-    const auto index = static_cast<std::size_t>(kind);
-    ComponentResult& comp = result.components[index];
+    ComponentResult& comp =
+        result.components[static_cast<std::size_t>(kind)];
     comp.component = kind;
     comp.bits = rig.component_bits(kind);
+    const std::vector<FaultDescriptor> sampled = sample_component_faults(
+        config, result.workload, kind, comp.bits, rig.golden().spawn_cycle,
+        window);
+    faults.insert(faults.end(), sampled.begin(), sampled.end());
+  }
 
-    // Independent, reproducible sampling stream per (workload, component).
-    support::Xoshiro256 rng(config.seed ^
-                            support::fnv1a(workload.info().name) ^
-                            (0x9E37u * (index + 1)));
+  // Fan the injections out: each worker owns a private machine restored
+  // from the rig's shared checkpoint ladder, and writes outcomes into
+  // its tasks' index slots only.
+  std::vector<Outcome> outcomes(faults.size());
+  const std::size_t threads =
+      exec::resolve_threads(config.threads, faults.size());
+  std::vector<std::unique_ptr<InjectionRig::Context>> contexts(threads);
+  const auto start = std::chrono::steady_clock::now();
+  exec::for_each_task(threads, faults.size(),
+                      [&](std::size_t worker, std::size_t index) {
+                        auto& context = contexts[worker];
+                        if (!context) {
+                          context =
+                              std::make_unique<InjectionRig::Context>(rig);
+                        }
+                        outcomes[index] = context->run_one(faults[index]);
+                      });
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Merge in fault-index order — bit-identical for any thread count.
+  std::size_t cursor = 0;
+  for (const auto kind : microarch::kAllComponents) {
+    ComponentResult& comp =
+        result.components[static_cast<std::size_t>(kind)];
     for (std::uint64_t i = 0; i < config.faults_per_component; ++i) {
-      FaultDescriptor fault;
-      fault.component = kind;
-      fault.bit = rng.below(comp.bits);
-      fault.cycle = rig.golden().spawn_cycle + rng.below(window);
-      fault.model = config.fault_model;
-      comp.counts.add(rig.run_one(fault));
+      comp.counts.add(outcomes[cursor++]);
     }
     comp.error_margin = stats::readjusted_error_margin(
         static_cast<double>(comp.bits) * static_cast<double>(window),
         config.faults_per_component, config.confidence, comp.avf());
+  }
+
+  result.stats.threads = threads;
+  result.stats.checkpoints = rig.checkpoint_count();
+  result.stats.injections = faults.size();
+  result.stats.wall_seconds = wall;
+  result.stats.injections_per_sec =
+      wall > 0 ? static_cast<double>(faults.size()) / wall : 0;
+  for (const auto& context : contexts) {
+    if (!context) continue;
+    result.stats.replay_cycles += context->replay_cycles();
+    result.stats.replay_cycles_saved += context->saved_cycles();
   }
   return result;
 }

@@ -11,6 +11,24 @@
 
 namespace sefi::support {
 
+/// The SplitMix64 finalizer: a full-avalanche 64-bit mixer (every output
+/// bit depends on every input bit). Building block for stream derivation.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed of an independent substream `stream` of `root`.
+/// Distinct (root, stream) pairs land in decorrelated seed-space regions:
+/// the Weyl increment separates nearby stream indices before the mixer
+/// avalanches them, so sequential indices do not produce correlated
+/// generators (the failure mode of additive/xor-only derivations).
+constexpr std::uint64_t derive_stream_seed(std::uint64_t root,
+                                           std::uint64_t stream) noexcept {
+  return mix64(root + 0x9e3779b97f4a7c15ULL * (stream + 1));
+}
+
 /// SplitMix64: used to expand a user seed into generator state and to derive
 /// independent per-task substreams. Passes BigCrush when used as intended.
 class SplitMix64 {
@@ -18,10 +36,7 @@ class SplitMix64 {
   explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
 
   constexpr std::uint64_t next() noexcept {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return mix64(state_ += 0x9e3779b97f4a7c15ULL);
   }
 
  private:

@@ -99,6 +99,29 @@ TEST(Session, PlatformResourcesRaiseSystemCrashRate) {
   EXPECT_GT(with.sys_crash, without.sys_crash);
 }
 
+TEST(Sweep, ParallelSessionsMatchSerialRuns) {
+  // run_beam_sessions fans independent sessions over workers; every
+  // session must be bit-identical to running it alone, in input order.
+  BeamConfig config = small_session(60);
+  const std::vector<const workloads::Workload*> suite = {
+      &workloads::workload_by_name("SusanC"),
+      &workloads::workload_by_name("Qsort"),
+      &workloads::workload_by_name("CRC32"),
+  };
+  config.threads = 3;
+  const std::vector<BeamResult> parallel = run_beam_sessions(suite, config);
+  ASSERT_EQ(parallel.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const BeamResult solo = run_beam_session(*suite[i], config);
+    EXPECT_EQ(parallel[i].workload, suite[i]->info().name);
+    EXPECT_EQ(parallel[i].sdc, solo.sdc);
+    EXPECT_EQ(parallel[i].app_crash, solo.app_crash);
+    EXPECT_EQ(parallel[i].sys_crash, solo.sys_crash);
+    EXPECT_EQ(parallel[i].strikes, solo.strikes);
+    EXPECT_DOUBLE_EQ(parallel[i].fluence_per_cm2, solo.fluence_per_cm2);
+  }
+}
+
 TEST(Session, RejectsBadConfig) {
   BeamConfig config = small_session();
   config.runs = 0;

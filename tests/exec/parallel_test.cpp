@@ -1,0 +1,89 @@
+#include "sefi/exec/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sefi::exec {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansHardware) {
+  EXPECT_EQ(resolve_threads(0, 1000), hardware_threads());
+  EXPECT_GE(hardware_threads(), 1u);
+}
+
+TEST(ResolveThreads, ClampsToTaskCount) {
+  EXPECT_EQ(resolve_threads(16, 3), 3u);
+  EXPECT_EQ(resolve_threads(2, 3), 2u);
+  // Zero tasks still resolves to a valid worker count.
+  EXPECT_GE(resolve_threads(0, 0), 1u);
+}
+
+TEST(ForEachTask, RunsEveryTaskExactlyOnce) {
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for_each_task(4, kTasks, [&](std::size_t, std::size_t index) {
+    hits[index].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ForEachTask, WorkerIdsAreDense) {
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::atomic<int>> seen(kThreads);
+  for_each_task(kThreads, 200, [&](std::size_t worker, std::size_t) {
+    ASSERT_LT(worker, kThreads);
+    seen[worker].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& count : seen) total += count.load();
+  EXPECT_EQ(total, 200);
+}
+
+TEST(ForEachTask, SingleThreadRunsInlineInOrder) {
+  // threads == 1 must preserve sequential order (the serial path).
+  std::vector<std::size_t> order;
+  for_each_task(1, 50, [&](std::size_t worker, std::size_t index) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(index);
+  });
+  std::vector<std::size_t> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ForEachTask, IndexedResultsAreThreadCountInvariant) {
+  // The determinism contract: write results only into your own slot and
+  // the merged output cannot depend on scheduling.
+  auto compute = [](std::size_t threads) {
+    std::vector<std::uint64_t> out(500);
+    for_each_task(threads, out.size(), [&](std::size_t, std::size_t index) {
+      out[index] = index * index + 17;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ForEachTask, PropagatesFirstException) {
+  EXPECT_THROW(
+      for_each_task(4, 100,
+                    [&](std::size_t, std::size_t index) {
+                      if (index == 42) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+}
+
+TEST(ForEachTask, ZeroTasksIsANoop) {
+  bool ran = false;
+  for_each_task(4, 0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace sefi::exec

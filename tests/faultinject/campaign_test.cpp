@@ -114,6 +114,126 @@ TEST(Campaign, CountsSumToSampleSize) {
   }
 }
 
+namespace {
+
+void expect_same_counts(const WorkloadFiResult& a, const WorkloadFiResult& b,
+                        const char* label) {
+  for (const auto kind : microarch::kAllComponents) {
+    const ClassCounts& ca = a.component(kind).counts;
+    const ClassCounts& cb = b.component(kind).counts;
+    EXPECT_EQ(ca.masked, cb.masked)
+        << label << " " << microarch::component_name(kind);
+    EXPECT_EQ(ca.sdc, cb.sdc)
+        << label << " " << microarch::component_name(kind);
+    EXPECT_EQ(ca.app_crash, cb.app_crash)
+        << label << " " << microarch::component_name(kind);
+    EXPECT_EQ(ca.sys_crash, cb.sys_crash)
+        << label << " " << microarch::component_name(kind);
+  }
+}
+
+}  // namespace
+
+// The executor's determinism contract: campaign results are bit-identical
+// for any thread count and any checkpoint-ladder size, because the fault
+// list is pre-sampled before dispatch and each injected run replays the
+// same fault-free prefix regardless of which rung it restores from.
+TEST(CampaignExecutor, ThreadCountDoesNotChangeResults) {
+  for (const char* name : {"SusanC", "Qsort"}) {
+    const auto& workload = workloads::workload_by_name(name);
+    CampaignConfig config = small_campaign();
+    config.faults_per_component = 12;
+    config.threads = 1;
+    config.checkpoints = 1;
+    const WorkloadFiResult serial = run_fi_campaign(workload, config);
+    config.threads = 4;
+    const WorkloadFiResult threaded = run_fi_campaign(workload, config);
+    expect_same_counts(serial, threaded, name);
+    EXPECT_EQ(serial.stats.threads, 1u);
+    EXPECT_EQ(threaded.stats.threads, 4u);
+  }
+}
+
+TEST(CampaignExecutor, CheckpointLadderDoesNotChangeResults) {
+  for (const char* name : {"SusanC", "Qsort"}) {
+    const auto& workload = workloads::workload_by_name(name);
+    CampaignConfig config = small_campaign();
+    config.faults_per_component = 12;
+    config.threads = 1;
+    config.checkpoints = 1;
+    const WorkloadFiResult flat = run_fi_campaign(workload, config);
+    config.checkpoints = 8;
+    const WorkloadFiResult laddered = run_fi_campaign(workload, config);
+    expect_same_counts(flat, laddered, name);
+    EXPECT_EQ(flat.stats.checkpoints, 1u);
+    EXPECT_EQ(laddered.stats.checkpoints, 8u);
+    // The ladder must actually skip replay work, not just match results.
+    EXPECT_EQ(flat.stats.replay_cycles_saved, 0u);
+    EXPECT_GT(laddered.stats.replay_cycles_saved, 0u);
+    EXPECT_LT(laddered.stats.replay_cycles, flat.stats.replay_cycles);
+  }
+}
+
+TEST(CampaignExecutor, StatsReportThroughput) {
+  CampaignConfig config = small_campaign();
+  config.faults_per_component = 10;
+  const WorkloadFiResult result = run_fi_campaign(susan(), config);
+  EXPECT_EQ(result.stats.injections, 10u * microarch::kNumComponents);
+  EXPECT_GT(result.stats.wall_seconds, 0.0);
+  EXPECT_GT(result.stats.injections_per_sec, 0.0);
+  EXPECT_GE(result.stats.checkpoints, 1u);
+  EXPECT_GE(result.stats.threads, 1u);
+}
+
+TEST(InjectionRig, LadderRungCountIsClampedAndCaptured) {
+  const InjectionRig flat(susan(), scaled_rig(), workloads::kDefaultInputSeed,
+                          /*checkpoints=*/0);
+  EXPECT_EQ(flat.checkpoint_count(), 1u);
+  const InjectionRig laddered(susan(), scaled_rig(),
+                              workloads::kDefaultInputSeed,
+                              /*checkpoints=*/8);
+  EXPECT_GT(laddered.checkpoint_count(), 1u);
+  EXPECT_LE(laddered.checkpoint_count(), 8u);
+}
+
+TEST(InjectionRig, LadderedRunMatchesSpawnReplay) {
+  // Same fault, rig with and without a ladder: identical classification.
+  const InjectionRig flat(susan(), scaled_rig(), workloads::kDefaultInputSeed,
+                          /*checkpoints=*/1);
+  const InjectionRig laddered(susan(), scaled_rig(),
+                              workloads::kDefaultInputSeed,
+                              /*checkpoints=*/6);
+  const std::uint64_t window =
+      flat.golden().end_cycle - flat.golden().spawn_cycle;
+  for (std::uint64_t frac = 1; frac <= 9; frac += 4) {
+    FaultDescriptor fault;
+    fault.component = microarch::ComponentKind::kL1D;
+    fault.bit = 101 * frac;
+    fault.cycle = flat.golden().spawn_cycle + window * frac / 10;
+    EXPECT_EQ(flat.run_one(fault), laddered.run_one(fault))
+        << "fault at window fraction " << frac << "/10";
+  }
+}
+
+TEST(CampaignSampling, DescriptorsAreExposedAndInWindow) {
+  CampaignConfig config = small_campaign();
+  config.faults_per_component = 40;
+  const std::uint64_t spawn = 1000, window = 50000, bits = 4096;
+  const auto faults = sample_component_faults(
+      config, "SusanC", microarch::ComponentKind::kL2, bits, spawn, window);
+  ASSERT_EQ(faults.size(), 40u);
+  for (const FaultDescriptor& fault : faults) {
+    EXPECT_EQ(fault.component, microarch::ComponentKind::kL2);
+    EXPECT_LT(fault.bit, bits);
+    EXPECT_GE(fault.cycle, spawn);
+    EXPECT_LT(fault.cycle, spawn + window);
+  }
+  // Distinct components draw from decorrelated streams.
+  const auto other = sample_component_faults(
+      config, "SusanC", microarch::ComponentKind::kL1D, bits, spawn, window);
+  EXPECT_NE(faults[0].bit, other[0].bit);
+}
+
 TEST(Campaign, IsDeterministic) {
   const WorkloadFiResult a = run_fi_campaign(susan(), small_campaign());
   const WorkloadFiResult b = run_fi_campaign(susan(), small_campaign());

@@ -126,5 +126,46 @@ TEST(ExponentialSample, AlwaysNonNegative) {
   for (int i = 0; i < 10'000; ++i) EXPECT_GE(exponential_sample(rng), 0.0);
 }
 
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping any one input bit should flip roughly half the output bits
+  // (full avalanche); allow a generous band.
+  const std::uint64_t base = 0x0123456789abcdefULL;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t flipped = base ^ (1ULL << bit);
+    const int distance =
+        __builtin_popcountll(mix64(base) ^ mix64(flipped));
+    EXPECT_GT(distance, 10) << "input bit " << bit;
+    EXPECT_LT(distance, 54) << "input bit " << bit;
+  }
+}
+
+TEST(Mix64, MatchesSplitMixStream) {
+  // SplitMix64 is "add the Weyl constant, then mix64" by construction.
+  SplitMix64 sm(7);
+  EXPECT_EQ(sm.next(), mix64(7 + 0x9e3779b97f4a7c15ULL));
+}
+
+TEST(DeriveStreamSeed, SequentialStreamsAreDecorrelated) {
+  // Generators built from adjacent stream indices must not track each
+  // other (the failure mode of xor-with-small-constant derivations).
+  const std::uint64_t root = 0xF1F1;
+  Xoshiro256 a(derive_stream_seed(root, 0));
+  Xoshiro256 b(derive_stream_seed(root, 1));
+  int equal_bits = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal_bits += __builtin_popcountll(~(a.next() ^ b.next())) > 32 ? 1 : 0;
+  }
+  // Independent streams agree on the bit-majority about half the time.
+  EXPECT_GT(equal_bits, 10);
+  EXPECT_LT(equal_bits, 54);
+}
+
+TEST(DeriveStreamSeed, DistinctInputsDistinctSeeds) {
+  EXPECT_NE(derive_stream_seed(1, 0), derive_stream_seed(1, 1));
+  EXPECT_NE(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
+  // Deterministic.
+  EXPECT_EQ(derive_stream_seed(42, 3), derive_stream_seed(42, 3));
+}
+
 }  // namespace
 }  // namespace sefi::support
