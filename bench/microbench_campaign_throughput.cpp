@@ -2,19 +2,32 @@
 //
 // Runs the same fault-injection campaign under a matrix of executor
 // configurations and emits one machine-readable JSON line per cell, so
-// the perf trajectory of the parallel executor and the checkpoint ladder
-// can be tracked across commits:
+// the perf trajectory of the parallel executor, the checkpoint ladder,
+// and the dirty-page delta-restore path can be tracked across commits:
 //
 //   {"bench":"campaign_throughput","workload":"Qsort","threads":4,
-//    "checkpoints":8,"faults_per_component":60,"injections":360,
-//    "wall_seconds":1.23,"injections_per_sec":292.7,
+//    "checkpoints":8,"delta_restore":1,"faults_per_component":60,
+//    "injections":360,"wall_seconds":1.23,"injections_per_sec":292.7,
 //    "replay_cycles":...,"replay_cycles_saved":...,
-//    "speedup_vs_serial":3.1}
+//    "replay_cycles_saved_ladder":...,"replay_cycles_saved_boot":...,
+//    "full_restores":1,"delta_restores":359,
+//    "restore_bytes_copied":...,"pages_dirtied_avg":0.031,
+//    "speedup_vs_serial":3.1,"full_vs_delta_speedup":1.4}
 //
-// The serial baseline is threads=1, checkpoints=1 (the classic
-// replay-from-spawn rig); every other cell reports its speedup against
-// it. All cells produce bit-identical ClassCounts (asserted here — a
-// throughput number from a wrong result is worthless).
+// Note: pages_dirtied_avg is near zero for the scaled workloads — their
+// working sets stay resident in the write-back caches, so RAM is almost
+// never touched between restores. That is the point of the dirty-page
+// path: restore cost tracks state actually touched, not machine size.
+//
+// Every (threads, checkpoints) cell runs twice: once with delta restore
+// forced off (every restore copies the whole machine) and once with it
+// on. The delta cell reports `full_vs_delta_speedup` — the wall-clock
+// ratio against its own full-restore twin — alongside the restore-bytes
+// counters, so both the bytes saved and the time bought are visible in
+// one line. The serial baseline is threads=1, checkpoints=1, delta off
+// (the classic replay-from-spawn rig); every cell reports its speedup
+// against it. All cells produce bit-identical ClassCounts (asserted
+// here — a throughput number from a wrong result is worthless).
 //
 // Knobs: argv[1] workload name (default Qsort), argv[2] faults per
 // component (default 60); SEFI_THREADS caps the largest thread count
@@ -45,23 +58,35 @@ bool same_counts(const sefi::fi::WorkloadFiResult& a,
   return true;
 }
 
-void emit(const sefi::fi::WorkloadFiResult& result, double serial_wall) {
+void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
+          double serial_wall, double full_twin_wall) {
   const sefi::fi::CampaignStats& s = result.stats;
   std::printf(
       "{\"bench\":\"campaign_throughput\",\"workload\":\"%s\","
-      "\"threads\":%llu,\"checkpoints\":%llu,"
+      "\"threads\":%llu,\"checkpoints\":%llu,\"delta_restore\":%d,"
       "\"faults_per_component\":%llu,\"injections\":%llu,"
       "\"wall_seconds\":%.4f,\"injections_per_sec\":%.2f,"
       "\"replay_cycles\":%llu,\"replay_cycles_saved\":%llu,"
-      "\"speedup_vs_serial\":%.3f}\n",
+      "\"replay_cycles_saved_ladder\":%llu,"
+      "\"replay_cycles_saved_boot\":%llu,"
+      "\"full_restores\":%llu,\"delta_restores\":%llu,"
+      "\"restore_bytes_copied\":%llu,\"pages_dirtied_avg\":%.3f,"
+      "\"speedup_vs_serial\":%.3f,\"full_vs_delta_speedup\":%.3f}\n",
       result.workload.c_str(), static_cast<unsigned long long>(s.threads),
-      static_cast<unsigned long long>(s.checkpoints),
+      static_cast<unsigned long long>(s.checkpoints), delta_restore ? 1 : 0,
       static_cast<unsigned long long>(s.injections / 6),
       static_cast<unsigned long long>(s.injections), s.wall_seconds,
       s.injections_per_sec,
       static_cast<unsigned long long>(s.replay_cycles),
       static_cast<unsigned long long>(s.replay_cycles_saved),
-      s.wall_seconds > 0 ? serial_wall / s.wall_seconds : 0.0);
+      static_cast<unsigned long long>(s.replay_cycles_saved_ladder),
+      static_cast<unsigned long long>(s.replay_cycles_saved_boot),
+      static_cast<unsigned long long>(s.full_restores),
+      static_cast<unsigned long long>(s.delta_restores),
+      static_cast<unsigned long long>(s.restore_bytes_copied),
+      s.pages_dirtied_avg,
+      s.wall_seconds > 0 ? serial_wall / s.wall_seconds : 0.0,
+      s.wall_seconds > 0 ? full_twin_wall / s.wall_seconds : 0.0);
   std::fflush(stdout);
 }
 
@@ -89,24 +114,32 @@ int main(int argc, char** argv) {
 
   const auto& workload = sefi::workloads::workload_by_name(name);
   double serial_wall = 0;
+  bool have_baseline = false;
   sefi::fi::WorkloadFiResult baseline;
   for (const auto& [threads, checkpoints] : cells) {
     config.threads = threads;
     config.checkpoints = checkpoints;
-    const sefi::fi::WorkloadFiResult result =
-        sefi::fi::run_fi_campaign(workload, config);
-    if (serial_wall == 0) {
-      serial_wall = result.stats.wall_seconds;
-      baseline = result;
-    } else if (!same_counts(baseline, result)) {
-      std::fprintf(stderr,
-                   "FATAL: threads=%llu checkpoints=%llu diverged from the "
-                   "serial baseline\n",
-                   static_cast<unsigned long long>(threads),
-                   static_cast<unsigned long long>(checkpoints));
-      return 1;
+    double full_twin_wall = 0;
+    for (const bool delta : {false, true}) {
+      config.rig.delta_restore = delta;
+      const sefi::fi::WorkloadFiResult result =
+          sefi::fi::run_fi_campaign(workload, config);
+      if (!have_baseline) {
+        have_baseline = true;
+        serial_wall = result.stats.wall_seconds;
+        baseline = result;
+      } else if (!same_counts(baseline, result)) {
+        std::fprintf(stderr,
+                     "FATAL: threads=%llu checkpoints=%llu delta=%d diverged "
+                     "from the serial baseline\n",
+                     static_cast<unsigned long long>(threads),
+                     static_cast<unsigned long long>(checkpoints),
+                     delta ? 1 : 0);
+        return 1;
+      }
+      if (!delta) full_twin_wall = result.stats.wall_seconds;
+      emit(result, delta, serial_wall, delta ? full_twin_wall : 0.0);
     }
-    emit(result, serial_wall);
   }
   return 0;
 }

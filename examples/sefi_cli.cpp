@@ -29,6 +29,7 @@
 #include "sefi/microarch/detailed.hpp"
 #include "sefi/sim/tracer.hpp"
 #include "sefi/support/error.hpp"
+#include "sefi/support/strings.hpp"
 #include "sefi/workloads/workload.hpp"
 
 namespace {
@@ -204,6 +205,8 @@ int cmd_fi(const std::vector<std::string>& args) {
   const auto& w = workloads::workload_by_name(args[0]);
   fi::CampaignConfig config;
   config.rig.uarch = core::scaled_uarch();
+  config.rig.delta_restore =
+      support::env_u64("SEFI_DELTA_RESTORE", 1) != 0;
   config.faults_per_component = 150;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--threads" && i + 1 < args.size()) {
@@ -232,13 +235,24 @@ int cmd_fi(const std::vector<std::string>& args) {
   const fi::CampaignStats& stats = result.stats;
   std::printf(
       "executor: %llu threads, %llu checkpoints | %.1f inj/s "
-      "(%llu injections in %.2fs) | replay %llu cycles, %llu saved\n",
+      "(%llu injections in %.2fs) | replay %llu cycles, %llu saved "
+      "(%llu ladder + %llu boot)\n",
       static_cast<unsigned long long>(stats.threads),
       static_cast<unsigned long long>(stats.checkpoints),
       stats.injections_per_sec,
       static_cast<unsigned long long>(stats.injections), stats.wall_seconds,
       static_cast<unsigned long long>(stats.replay_cycles),
-      static_cast<unsigned long long>(stats.replay_cycles_saved));
+      static_cast<unsigned long long>(stats.replay_cycles_saved),
+      static_cast<unsigned long long>(stats.replay_cycles_saved_ladder),
+      static_cast<unsigned long long>(stats.replay_cycles_saved_boot));
+  std::printf(
+      "restore: %llu delta + %llu full | %.2f MB copied "
+      "(%.3f pages/delta-restore) | ladder resident %.2f MB\n",
+      static_cast<unsigned long long>(stats.delta_restores),
+      static_cast<unsigned long long>(stats.full_restores),
+      static_cast<double>(stats.restore_bytes_copied) / (1024.0 * 1024.0),
+      stats.pages_dirtied_avg,
+      static_cast<double>(stats.ladder_resident_bytes) / (1024.0 * 1024.0));
   return 0;
 }
 

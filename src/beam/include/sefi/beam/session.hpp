@@ -89,6 +89,13 @@ struct BeamConfig {
   /// System-Crash rate — the mechanism the paper proposes in §VI.
   bool power_cycle_every_run = false;
 
+  /// Delta-restore fast path on the session machine. A beam session
+  /// never restores snapshots — runs continue on the corrupted powered
+  /// board — so this flag must not change outcomes (tested as a guard);
+  /// it exists so full-vs-delta comparisons can sweep one knob across
+  /// both methodologies.
+  bool delta_restore = true;
+
   std::uint64_t runs = 400;  ///< benchmark executions in the session
   std::uint64_t seed = 0xBEA3;
   std::uint64_t input_seed = workloads::kDefaultInputSeed;

@@ -312,6 +312,7 @@ class Session {
   void power_on() {
     machine_ = std::make_unique<sim::Machine>(
         microarch::make_detailed_machine(config_.uarch));
+    machine_->set_delta_restore(config_.delta_restore);
     kernel::install_system(*machine_, kernel_image_, app_image_,
                            workloads::kWorkloadStackTop);
     machine_->boot();

@@ -50,10 +50,11 @@ struct LabConfig {
 
   /// Reads campaign sizes from the environment (SEFI_FAULTS,
   /// SEFI_BEAM_RUNS, SEFI_SEED) and executor knobs (SEFI_THREADS,
-  /// SEFI_CHECKPOINTS), falling back to the given defaults — the bench
-  /// binaries' knobs for quick vs. paper-scale campaigns. Installs the
-  /// scaled microarchitecture in both setups. The executor knobs never
-  /// change results (see fi::CampaignConfig), only wall-clock.
+  /// SEFI_CHECKPOINTS, SEFI_DELTA_RESTORE), falling back to the given
+  /// defaults — the bench binaries' knobs for quick vs. paper-scale
+  /// campaigns. Installs the scaled microarchitecture in both setups.
+  /// The executor knobs never change results (see fi::CampaignConfig),
+  /// only wall-clock.
   static LabConfig from_env(std::uint64_t default_faults = 150,
                             std::uint64_t default_beam_runs = 600);
 };

@@ -25,7 +25,10 @@ LabConfig LabConfig::from_env(std::uint64_t default_faults,
   config.beam.runs = support::env_u64("SEFI_BEAM_RUNS", default_beam_runs);
   config.fi.threads = support::env_u64("SEFI_THREADS", 0);
   config.beam.threads = config.fi.threads;
-  config.fi.checkpoints = support::env_u64("SEFI_CHECKPOINTS", 8);
+  config.fi.checkpoints = support::env_u64("SEFI_CHECKPOINTS", 16);
+  const bool delta = support::env_u64("SEFI_DELTA_RESTORE", 1) != 0;
+  config.fi.rig.delta_restore = delta;
+  config.beam.delta_restore = delta;
   const std::uint64_t seed = support::env_u64("SEFI_SEED", 0);
   if (seed != 0) {
     config.fi.seed = seed;

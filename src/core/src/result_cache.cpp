@@ -66,9 +66,10 @@ std::uint64_t fingerprint(const fi::CampaignConfig& config) {
   }
   hash_u64(h, config.rig.hang_budget_factor);
   hash_u64(h, config.rig.probe_timer_periods);
-  // config.threads and config.checkpoints are deliberately NOT hashed:
-  // the executor contract guarantees bit-identical results for any
-  // values, so they are not part of the campaign's identity.
+  // config.threads, config.checkpoints, and config.rig.delta_restore are
+  // deliberately NOT hashed: the executor contract guarantees
+  // bit-identical results for any values, so they are not part of the
+  // campaign's identity.
   return h.digest();
 }
 
@@ -94,8 +95,10 @@ std::uint64_t fingerprint(const beam::BeamConfig& config) {
   hash_u64(h, config.input_seed);
   hash_u64(h, config.hang_budget_factor);
   hash_u64(h, config.probe_timer_periods);
-  // config.threads is deliberately NOT hashed: it only schedules
-  // independent sessions across workers and never changes any result.
+  // config.threads and config.delta_restore are deliberately NOT hashed:
+  // the former only schedules independent sessions across workers, the
+  // latter is a restore fast path a beam session never exercises;
+  // neither changes any result.
   return h.digest();
 }
 

@@ -89,17 +89,25 @@ struct RigConfig {
   /// many extra timer periods; advancing jiffies = kernel alive (the
   /// beam-setup "Linux still responds -> Application Crash" rule).
   std::uint64_t probe_timer_periods = 8;
+  /// Delta-restore fast path on worker machines (default on): restores
+  /// copy only state dirtied since the worker's last restore instead of
+  /// the full machine. Outcomes are bit-identical either way (tested);
+  /// off exists for the full-vs-delta comparison runs.
+  bool delta_restore = true;
 };
 
 /// Reusable injection rig for one workload: computes the golden run once,
-/// then builds a **checkpoint ladder** — K evenly-spaced full-machine
+/// then builds a **checkpoint ladder** — K evenly-spaced machine
 /// snapshots along the application window (the first rung is the spawn
-/// point, the gem5-checkpoint technique GeFIN-style campaigns use). An
-/// injected run restores the nearest rung at or below its fault cycle
-/// instead of always replaying from spawn, cutting the average
-/// pre-injection replay from ~window/2 to ~window/(2K) cycles; the
-/// replayed prefix is fault-free and deterministic, so outcomes are
-/// bit-identical to a cold boot for any ladder size (tested).
+/// point, the gem5-checkpoint technique GeFIN-style campaigns use). Rung
+/// 0 is a full Snapshot; rungs 1..K-1 are sparse DeltaSnapshots against
+/// it (only the RAM pages that differ), so ladder memory grows with state
+/// touched, not K * machine size. An injected run restores the nearest
+/// rung at or below its fault cycle instead of always replaying from
+/// spawn, cutting the average pre-injection replay from ~window/2 to
+/// ~window/(2K) cycles; the replayed prefix is fault-free and
+/// deterministic, so outcomes are bit-identical to a cold boot for any
+/// ladder size (tested).
 ///
 /// The ladder and golden state are immutable after construction and
 /// shared by any number of Context objects, each owning a private
@@ -116,7 +124,11 @@ class InjectionRig {
   const RigConfig& config() const { return config_; }
 
   /// Number of ladder rungs actually captured (>= 1).
-  std::size_t checkpoint_count() const { return ladder_.size(); }
+  std::size_t checkpoint_count() const { return 1 + delta_rungs_.size(); }
+
+  /// Resident bytes of the whole ladder: the full spawn snapshot plus
+  /// the sparse delta rungs.
+  std::uint64_t ladder_resident_bytes() const;
 
   /// Bit count of an injectable component under this rig's configuration.
   std::uint64_t component_bits(microarch::ComponentKind kind) const;
@@ -139,27 +151,40 @@ class InjectionRig {
 
     /// Pre-injection cycles actually replayed by this context.
     std::uint64_t replay_cycles() const { return replay_cycles_; }
-    /// Pre-injection cycles skipped thanks to ladder rungs above spawn.
-    std::uint64_t saved_cycles() const { return saved_cycles_; }
+    /// Pre-injection cycles skipped thanks to ladder rungs above spawn
+    /// (replay that a spawn-only rig would have executed).
+    std::uint64_t ladder_cycles_saved() const { return ladder_cycles_saved_; }
+    /// Boot cycles skipped by restoring the spawn snapshot instead of
+    /// cold-booting each injection.
+    std::uint64_t boot_cycles_saved() const { return boot_cycles_saved_; }
+    /// Total cycles skipped (ladder + boot components).
+    std::uint64_t saved_cycles() const {
+      return ladder_cycles_saved_ + boot_cycles_saved_;
+    }
+    /// Restore-cost counters of this context's machine.
+    const sim::Machine::RestoreStats& restore_stats() const {
+      return machine_.restore_stats();
+    }
 
    private:
     const InjectionRig* rig_;
     sim::Machine machine_;
     std::uint64_t replay_cycles_ = 0;
-    std::uint64_t saved_cycles_ = 0;
+    std::uint64_t ladder_cycles_saved_ = 0;
+    std::uint64_t boot_cycles_saved_ = 0;
   };
 
  private:
   friend class Context;
 
-  struct Checkpoint {
+  struct DeltaRung {
     std::uint64_t cycle = 0;
-    sim::Machine::Snapshot snapshot;
+    sim::Machine::DeltaSnapshot snapshot;
   };
 
-  /// The rung with the greatest cycle <= `cycle` (rung 0 for anything
-  /// at or before spawn).
-  const Checkpoint& nearest_checkpoint(std::uint64_t cycle) const;
+  /// Index of the rung with the greatest cycle <= `cycle`: 0 is the
+  /// spawn snapshot, i > 0 is delta_rungs_[i - 1].
+  std::size_t nearest_checkpoint(std::uint64_t cycle) const;
 
   const workloads::Workload& workload_;
   RigConfig config_;
@@ -167,7 +192,8 @@ class InjectionRig {
   isa::Program app_image_;
   GoldenRun golden_;
   std::array<std::uint64_t, microarch::kNumComponents> component_bits_{};
-  std::vector<Checkpoint> ladder_;  ///< rung 0 is the spawn snapshot
+  sim::Machine::Snapshot base_;        ///< rung 0: the spawn snapshot
+  std::vector<DeltaRung> delta_rungs_; ///< rungs 1..K-1, diffs vs base_
   mutable std::unique_ptr<Context> own_context_;  ///< lazy, for run_one
 };
 
@@ -204,7 +230,19 @@ struct CampaignStats {
   double wall_seconds = 0;              ///< dispatch-to-merge wall clock
   double injections_per_sec = 0;
   std::uint64_t replay_cycles = 0;      ///< pre-injection cycles executed
-  std::uint64_t replay_cycles_saved = 0;  ///< skipped via the ladder
+  /// Cycles skipped per component, summed over workers. Both totals
+  /// depend only on the sampled fault list, so they are identical for
+  /// any thread count (tested).
+  std::uint64_t replay_cycles_saved_ladder = 0;  ///< via rungs above spawn
+  std::uint64_t replay_cycles_saved_boot = 0;    ///< via snapshot vs reboot
+  /// Sum of the two components above.
+  std::uint64_t replay_cycles_saved = 0;
+  // Restore-cost counters (summed over workers).
+  std::uint64_t full_restores = 0;       ///< restores that copied everything
+  std::uint64_t delta_restores = 0;      ///< served by the delta path
+  std::uint64_t restore_bytes_copied = 0;  ///< state bytes copied, total
+  double pages_dirtied_avg = 0;  ///< RAM pages copied per delta restore
+  std::uint64_t ladder_resident_bytes = 0;  ///< checkpoint ladder footprint
 };
 
 struct WorkloadFiResult {
@@ -225,8 +263,12 @@ struct CampaignConfig {
   // Executor knobs. Results are bit-identical for any values (tested):
   // descriptors are pre-sampled before dispatch and merged in fault-index
   // order, and ladder replay reproduces the spawn-replay path exactly.
-  std::uint64_t threads = 0;      ///< campaign workers; 0 = hardware
-  std::uint64_t checkpoints = 8;  ///< ladder rungs along the window
+  std::uint64_t threads = 0;       ///< campaign workers; 0 = hardware
+  /// Ladder rungs along the window. Rungs above spawn are sparse deltas
+  /// against the spawn snapshot, so a taller ladder costs pages-touched,
+  /// not machine-sized snapshots — the default is correspondingly
+  /// denser than a full-snapshot ladder could afford.
+  std::uint64_t checkpoints = 16;
 };
 
 /// Pre-samples the full descriptor list for one (workload, component)

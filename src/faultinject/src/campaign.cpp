@@ -97,7 +97,7 @@ InjectionRig::InjectionRig(const workloads::Workload& workload,
                      "InjectionRig: boot never spawned the application");
   }
   golden_.spawn_cycle = machine.cpu().cycles();
-  ladder_.push_back({golden_.spawn_cycle, machine.save_snapshot()});
+  base_ = machine.save_snapshot();
   const sim::RunEvent event = machine.run(kGoldenBudget);
   support::require(event.kind == sim::RunEventKind::kExit,
                    "InjectionRig: golden run did not exit cleanly for " +
@@ -114,20 +114,35 @@ InjectionRig::InjectionRig(const workloads::Workload& workload,
   }
 
   // Checkpoint ladder: replay the (deterministic, fault-free) window once
-  // more, snapshotting at K evenly-spaced cycles. The one extra window
-  // replay is amortized over the whole campaign; each injected run then
-  // replays at most window/K cycles instead of up to the full window.
+  // more, capturing rungs at K evenly-spaced cycles. Rung 0 stays a full
+  // snapshot; the rungs above it are stored as sparse page deltas against
+  // it, so ladder memory scales with the pages the window touches. The
+  // one extra window replay is amortized over the whole campaign; each
+  // injected run then replays at most window/K cycles instead of up to
+  // the full window.
   const std::uint64_t window = golden_.end_cycle - golden_.spawn_cycle;
   const std::uint64_t rungs = checkpoints == 0 ? 1 : checkpoints;
   if (rungs > 1 && window > 0) {
-    machine.restore_snapshot(ladder_.front().snapshot);
+    machine.restore_snapshot(base_);
     for (std::uint64_t rung = 1; rung < rungs; ++rung) {
       const std::uint64_t target = golden_.spawn_cycle + rung * window / rungs;
-      if (target <= ladder_.back().cycle) continue;  // tiny window, dense rungs
+      const std::uint64_t last = delta_rungs_.empty()
+                                     ? golden_.spawn_cycle
+                                     : delta_rungs_.back().cycle;
+      if (target <= last) continue;  // tiny window, dense rungs
       if (machine.run_until_cycle(target).has_value()) break;
-      ladder_.push_back({machine.cpu().cycles(), machine.save_snapshot()});
+      delta_rungs_.push_back(
+          {machine.cpu().cycles(), machine.save_delta_snapshot(base_)});
     }
   }
+}
+
+std::uint64_t InjectionRig::ladder_resident_bytes() const {
+  std::uint64_t bytes = base_.resident_bytes();
+  for (const DeltaRung& rung : delta_rungs_) {
+    bytes += rung.snapshot.resident_bytes();
+  }
+  return bytes;
 }
 
 std::uint64_t InjectionRig::component_bits(
@@ -135,16 +150,15 @@ std::uint64_t InjectionRig::component_bits(
   return component_bits_[static_cast<std::size_t>(kind)];
 }
 
-const InjectionRig::Checkpoint& InjectionRig::nearest_checkpoint(
-    std::uint64_t cycle) const {
+std::size_t InjectionRig::nearest_checkpoint(std::uint64_t cycle) const {
   // The ladder is small (a handful of rungs) and sorted by cycle; scan
   // for the greatest rung at or below the fault cycle.
   std::size_t best = 0;
-  for (std::size_t i = 1; i < ladder_.size(); ++i) {
-    if (ladder_[i].cycle > cycle) break;
-    best = i;
+  for (std::size_t i = 0; i < delta_rungs_.size(); ++i) {
+    if (delta_rungs_[i].cycle > cycle) break;
+    best = i + 1;
   }
-  return ladder_[best];
+  return best;
 }
 
 Outcome InjectionRig::run_one(const FaultDescriptor& fault) const {
@@ -157,6 +171,7 @@ InjectionRig::Context::Context(const InjectionRig& rig)
       machine_(microarch::make_detailed_machine(rig.config_.uarch)) {
   // The machine's full state (RAM, devices, CPU, arrays) comes from the
   // rig's snapshots at run_one time; no install/boot needed here.
+  machine_.set_delta_restore(rig.config_.delta_restore);
 }
 
 Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault) {
@@ -165,13 +180,21 @@ Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault) {
   // bit-identical to a cold boot (tested), minus the boot cost and minus
   // the replay the rung already skipped.
   const GoldenRun& golden = rig_->golden_;
-  const Checkpoint& checkpoint = rig_->nearest_checkpoint(fault.cycle);
-  machine_.restore_snapshot(checkpoint.snapshot);
-  saved_cycles_ += checkpoint.cycle - golden.spawn_cycle;
+  const std::size_t rung = rig_->nearest_checkpoint(fault.cycle);
+  std::uint64_t rung_cycle = golden.spawn_cycle;
+  if (rung == 0) {
+    machine_.restore_snapshot(rig_->base_);
+  } else {
+    const DeltaRung& delta_rung = rig_->delta_rungs_[rung - 1];
+    machine_.restore_snapshot(rig_->base_, delta_rung.snapshot);
+    rung_cycle = delta_rung.cycle;
+  }
+  boot_cycles_saved_ += golden.spawn_cycle;
+  ladder_cycles_saved_ += rung_cycle - golden.spawn_cycle;
 
   // Advance to the injection cycle along the (so far fault-free) path.
   const auto early = machine_.run_until_cycle(fault.cycle);
-  replay_cycles_ += machine_.cpu().cycles() - checkpoint.cycle;
+  replay_cycles_ += machine_.cpu().cycles() - rung_cycle;
   if (early.has_value()) {
     // The machine stopped before the injection point — only possible if
     // the fault cycle exceeds this run's life, which the sampler avoids;
@@ -323,10 +346,25 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   result.stats.wall_seconds = wall;
   result.stats.injections_per_sec =
       wall > 0 ? static_cast<double>(faults.size()) / wall : 0;
+  result.stats.ladder_resident_bytes = rig.ladder_resident_bytes();
+  std::uint64_t delta_pages = 0;
   for (const auto& context : contexts) {
     if (!context) continue;
     result.stats.replay_cycles += context->replay_cycles();
-    result.stats.replay_cycles_saved += context->saved_cycles();
+    result.stats.replay_cycles_saved_ladder += context->ladder_cycles_saved();
+    result.stats.replay_cycles_saved_boot += context->boot_cycles_saved();
+    const sim::Machine::RestoreStats& restores = context->restore_stats();
+    result.stats.full_restores += restores.restores - restores.delta_restores;
+    result.stats.delta_restores += restores.delta_restores;
+    result.stats.restore_bytes_copied += restores.bytes_copied;
+    delta_pages += restores.delta_pages_copied;
+  }
+  result.stats.replay_cycles_saved = result.stats.replay_cycles_saved_ladder +
+                                     result.stats.replay_cycles_saved_boot;
+  if (result.stats.delta_restores > 0) {
+    result.stats.pages_dirtied_avg =
+        static_cast<double>(delta_pages) /
+        static_cast<double>(result.stats.delta_restores);
   }
   return result;
 }

@@ -75,6 +75,24 @@ class CacheArray final : public InjectableComponent {
   /// Drops all lines and resets replacement state (cold boot).
   void reset();
 
+  /// Copies meta/data/replacement state from `saved` (which must have
+  /// identical geometry; throws SefiError otherwise) and clears the
+  /// dirty-set marks. With `delta` set, only sets marked dirty since the
+  /// marks were last cleared are copied — valid only if this array held
+  /// exactly `saved`'s contents at that point. Returns bytes copied.
+  std::uint64_t restore_from(const CacheArray& saved, bool delta);
+
+  /// Number of sets currently marked dirty (restore-cost accounting).
+  std::uint32_t dirty_set_count() const;
+  /// Marks every set dirty (untracked bulk mutation; conservative).
+  void mark_all_dirty();
+
+  /// Approximate resident size of the array in bytes.
+  std::uint64_t resident_bytes() const {
+    return data_.size() + meta_.size() * sizeof(LineMeta) +
+           victim_ptr_.size() * sizeof(std::uint32_t);
+  }
+
   /// Base address of the line `(set, way)` as implied by its stored tag.
   std::uint32_t line_paddr(std::uint32_t set, int way) const;
 
@@ -103,6 +121,10 @@ class CacheArray final : public InjectableComponent {
   std::uint32_t line_index(std::uint32_t set, int way) const {
     return set * geometry_.ways + static_cast<std::uint32_t>(way);
   }
+  void mark_set(std::uint32_t set) {
+    dirty_sets_[set / 64] |= 1ull << (set % 64);
+  }
+  void clear_dirty_sets();
 
   std::string name_;
   CacheGeometry geometry_;
@@ -112,6 +134,8 @@ class CacheArray final : public InjectableComponent {
   std::vector<LineMeta> meta_;
   std::vector<std::uint8_t> data_;
   std::vector<std::uint32_t> victim_ptr_;  ///< per-set round-robin cursor
+  std::vector<std::uint64_t> dirty_sets_;  ///< one bit per set, see
+                                           ///< restore_from
 };
 
 }  // namespace sefi::microarch

@@ -67,6 +67,12 @@ class DetailedModel final : public sim::UarchModel {
   void invalidate_range(std::uint32_t addr, std::uint32_t size) override;
   std::unique_ptr<sim::OpaqueState> save_state() const override;
   void restore_state(const sim::OpaqueState& state) override;
+  /// Delta-aware restore: with `delta`, each cache copies only sets (and
+  /// each TLB only entries) touched since its dirty marks were last
+  /// cleared. The predictor, perf counters, and cycle accumulator are
+  /// small and always copied. Returns bytes copied.
+  std::uint64_t restore_state_counted(const sim::OpaqueState& state,
+                                      bool delta) override;
 
   /// Access to the six injectable components (paper §IV-C).
   InjectableComponent& component(ComponentKind kind);

@@ -23,6 +23,11 @@ class BranchPredictor {
 
   void reset();
 
+  /// Approximate resident size in bytes.
+  std::uint64_t resident_bytes() const {
+    return counters_.size() + btb_.size() * sizeof(BtbEntry);
+  }
+
  private:
   std::vector<std::uint8_t> counters_;  ///< 2-bit saturating
   struct BtbEntry {

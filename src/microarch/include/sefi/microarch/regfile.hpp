@@ -31,6 +31,11 @@ class PhysRegFile final : public sim::RegFileModel,
   void reset() override;
   std::unique_ptr<sim::OpaqueState> save_state() const override;
   void restore_state(const sim::OpaqueState& state) override;
+  /// Delta-aware restore: with `delta`, copies only the physical
+  /// registers written (or flipped) since the dirty marks were last
+  /// cleared; the rename map and free list are small and always copied.
+  std::uint64_t restore_state_counted(const sim::OpaqueState& state,
+                                      bool delta) override;
 
   // InjectableComponent:
   std::uint64_t bit_count() const override;
@@ -46,11 +51,26 @@ class PhysRegFile final : public sim::RegFileModel,
   /// Whether physical register `phys` currently holds live state.
   bool is_mapped(unsigned phys) const { return mapped_[phys]; }
 
+  /// Number of physical registers currently marked dirty.
+  unsigned dirty_reg_count() const;
+  /// Approximate resident size in bytes.
+  std::uint64_t resident_bytes() const {
+    return regs_.size() * sizeof(std::uint32_t) +
+           map_.size() * sizeof(std::uint32_t) + mapped_.size() / 8 +
+           sizeof(std::uint32_t);
+  }
+
  private:
+  void mark_reg(std::size_t phys) {
+    dirty_regs_[phys / 64] |= 1ull << (phys % 64);
+  }
+  void mark_all_dirty();
+
   std::vector<std::uint32_t> regs_;
   std::vector<std::uint32_t> map_;   ///< arch -> phys
   std::vector<bool> mapped_;         ///< phys in use
   std::uint32_t next_alloc_ = 0;
+  std::vector<std::uint64_t> dirty_regs_;  ///< one bit per physical reg
 };
 
 }  // namespace sefi::microarch

@@ -36,6 +36,23 @@ class Tlb final : public InjectableComponent {
   /// Drops every entry (cold boot / TLB flush instruction).
   void reset();
 
+  /// Copies entries/replacement cursor from `saved` (same entry count
+  /// required; throws SefiError otherwise) and clears the dirty-entry
+  /// marks. With `delta`, only entries marked since the last clear are
+  /// copied — valid only if this TLB held exactly `saved`'s contents at
+  /// that point. Returns bytes copied.
+  std::uint64_t restore_from(const Tlb& saved, bool delta);
+
+  /// Number of entries currently marked dirty.
+  unsigned dirty_entry_count() const;
+  /// Marks every entry dirty (untracked bulk mutation; conservative).
+  void mark_all_dirty();
+
+  /// Approximate resident size in bytes.
+  std::uint64_t resident_bytes() const {
+    return slots_.size() * sizeof(Slot) + sizeof(std::uint32_t);
+  }
+
   /// Number of currently valid entries (occupancy analyses).
   unsigned valid_entries() const;
 
@@ -53,9 +70,14 @@ class Tlb final : public InjectableComponent {
     std::uint8_t perms = 0;   // 3 bits (pte::kUserRead/Write/Exec >> 1)
   };
 
+  void mark_entry(std::size_t entry) {
+    dirty_entries_[entry / 64] |= 1ull << (entry % 64);
+  }
+
   std::string name_;
   std::vector<Slot> slots_;
   std::uint32_t next_victim_ = 0;
+  std::vector<std::uint64_t> dirty_entries_;  ///< one bit per slot
 };
 
 }  // namespace sefi::microarch

@@ -38,6 +38,8 @@ CacheArray::CacheArray(std::string name, const CacheGeometry& geometry)
   data_.resize(static_cast<std::size_t>(geometry.lines()) *
                geometry.line_bytes);
   victim_ptr_.assign(geometry.sets(), 0);
+  dirty_sets_.assign((geometry.sets() + 63) / 64, 0);
+  mark_all_dirty();  // no restore baseline yet; everything counts as dirty
 }
 
 std::uint32_t CacheArray::set_of(std::uint32_t paddr) const {
@@ -67,6 +69,7 @@ int CacheArray::pick_victim(std::uint32_t paddr) {
   }
   const std::uint32_t way = victim_ptr_[set];
   victim_ptr_[set] = (way + 1) % geometry_.ways;
+  mark_set(set);  // the replacement cursor is restore-tracked state
   return static_cast<int>(way);
 }
 
@@ -81,6 +84,7 @@ EvictedLine CacheArray::install(std::uint32_t paddr, int way,
           name_ + ": install fill size mismatch");
   const std::uint32_t set = set_of(paddr);
   const std::uint32_t idx = line_index(set, way);
+  mark_set(set);
   LineMeta& m = meta_[idx];
 
   EvictedLine evicted;
@@ -103,7 +107,9 @@ EvictedLine CacheArray::install(std::uint32_t paddr, int way,
 }
 
 std::span<std::uint8_t> CacheArray::line_data(std::uint32_t paddr, int way) {
-  const std::uint32_t idx = line_index(set_of(paddr), way);
+  const std::uint32_t set = set_of(paddr);
+  mark_set(set);  // the caller may write through the mutable span
+  const std::uint32_t idx = line_index(set, way);
   return {data_.data() + static_cast<std::size_t>(idx) * geometry_.line_bytes,
           geometry_.line_bytes};
 }
@@ -116,7 +122,9 @@ std::span<const std::uint8_t> CacheArray::line_data(std::uint32_t paddr,
 }
 
 void CacheArray::mark_dirty(std::uint32_t paddr, int way) {
-  meta_[line_index(set_of(paddr), way)].dirty = true;
+  const std::uint32_t set = set_of(paddr);
+  mark_set(set);
+  meta_[line_index(set, way)].dirty = true;
 }
 
 bool CacheArray::is_dirty(std::uint32_t paddr, int way) const {
@@ -133,6 +141,7 @@ void CacheArray::invalidate_range(std::uint32_t start, std::uint32_t size) {
       if (base < end && start < base + geometry_.line_bytes) {
         m.valid = false;
         m.dirty = false;
+        mark_set(set);
       }
     }
   }
@@ -165,6 +174,57 @@ void CacheArray::reset() {
   std::fill(meta_.begin(), meta_.end(), LineMeta{});
   std::fill(data_.begin(), data_.end(), 0);
   std::fill(victim_ptr_.begin(), victim_ptr_.end(), 0);
+  mark_all_dirty();
+}
+
+void CacheArray::mark_all_dirty() {
+  std::fill(dirty_sets_.begin(), dirty_sets_.end(), ~0ull);
+}
+
+void CacheArray::clear_dirty_sets() {
+  std::fill(dirty_sets_.begin(), dirty_sets_.end(), 0);
+}
+
+std::uint32_t CacheArray::dirty_set_count() const {
+  std::uint32_t count = 0;
+  const std::uint32_t sets = geometry_.sets();
+  for (std::uint32_t set = 0; set < sets; ++set) {
+    if (dirty_sets_[set / 64] & (1ull << (set % 64))) ++count;
+  }
+  return count;
+}
+
+std::uint64_t CacheArray::restore_from(const CacheArray& saved, bool delta) {
+  require(geometry_.size_bytes == saved.geometry_.size_bytes &&
+              geometry_.line_bytes == saved.geometry_.line_bytes &&
+              geometry_.ways == saved.geometry_.ways,
+          name_ + ": restore_from geometry mismatch");
+  std::uint64_t bytes = 0;
+  if (!delta) {
+    meta_ = saved.meta_;
+    data_ = saved.data_;
+    victim_ptr_ = saved.victim_ptr_;
+    bytes = resident_bytes();
+  } else {
+    const std::uint32_t ways = geometry_.ways;
+    const std::uint32_t line_bytes = geometry_.line_bytes;
+    const std::uint32_t sets = geometry_.sets();
+    const std::size_t set_bytes =
+        static_cast<std::size_t>(ways) * line_bytes;
+    for (std::uint32_t set = 0; set < sets; ++set) {
+      if ((dirty_sets_[set / 64] & (1ull << (set % 64))) == 0) continue;
+      const std::uint32_t first = line_index(set, 0);
+      std::copy(saved.meta_.begin() + first,
+                saved.meta_.begin() + first + ways, meta_.begin() + first);
+      const std::size_t off = static_cast<std::size_t>(first) * line_bytes;
+      std::copy(saved.data_.begin() + off,
+                saved.data_.begin() + off + set_bytes, data_.begin() + off);
+      victim_ptr_[set] = saved.victim_ptr_[set];
+      bytes += set_bytes + ways * sizeof(LineMeta) + sizeof(std::uint32_t);
+    }
+  }
+  clear_dirty_sets();
+  return bytes;
 }
 
 std::uint64_t CacheArray::bit_count() const {
@@ -179,6 +239,7 @@ void CacheArray::flip_bit(std::uint64_t bit) {
       2 + tag_bits_ + static_cast<std::uint64_t>(geometry_.line_bytes) * 8;
   const auto line = static_cast<std::uint32_t>(bit / per_line);
   std::uint64_t offset = bit % per_line;
+  mark_set(line / geometry_.ways);
   LineMeta& m = meta_[line];
   if (offset == 0) {
     m.valid = !m.valid;

@@ -26,6 +26,13 @@ struct DetailedState final : sim::OpaqueState {
   BranchPredictor predictor;
   sim::PerfCounters counters;
   std::uint64_t extra_cycles;
+
+  std::uint64_t resident_bytes() const override {
+    return l1i.resident_bytes() + l1d.resident_bytes() + l2.resident_bytes() +
+           itlb.resident_bytes() + dtlb.resident_bytes() +
+           predictor.resident_bytes() + sizeof(sim::PerfCounters) +
+           sizeof(std::uint64_t);
+  }
 };
 
 }  // namespace
@@ -273,6 +280,41 @@ void DetailedModel::restore_state(const sim::OpaqueState& state) {
   predictor_ = typed->predictor;
   counters_ = typed->counters;
   extra_cycles_ = typed->extra_cycles;
+  // operator= replaced the live dirty maps with the ones captured at save
+  // time; no delta baseline survives a plain restore, so stay conservative.
+  l1i_.mark_all_dirty();
+  l1d_.mark_all_dirty();
+  l2_.mark_all_dirty();
+  itlb_.mark_all_dirty();
+  dtlb_.mark_all_dirty();
+}
+
+std::uint64_t DetailedModel::restore_state_counted(
+    const sim::OpaqueState& state, bool delta) {
+  const auto* typed = dynamic_cast<const DetailedState*>(&state);
+  support::require(typed != nullptr,
+                   "DetailedModel: snapshot from a different model");
+  // Check every geometry before touching any array, so a mismatched
+  // snapshot throws without leaving the model half-restored.
+  support::require(typed->l1i.bit_count() == l1i_.bit_count() &&
+                       typed->l1d.bit_count() == l1d_.bit_count() &&
+                       typed->l2.bit_count() == l2_.bit_count() &&
+                       typed->itlb.bit_count() == itlb_.bit_count() &&
+                       typed->dtlb.bit_count() == dtlb_.bit_count(),
+                   "DetailedModel: snapshot from a different geometry");
+  std::uint64_t bytes = 0;
+  bytes += l1i_.restore_from(typed->l1i, delta);
+  bytes += l1d_.restore_from(typed->l1d, delta);
+  bytes += l2_.restore_from(typed->l2, delta);
+  bytes += itlb_.restore_from(typed->itlb, delta);
+  bytes += dtlb_.restore_from(typed->dtlb, delta);
+  // Small timing-only state: always copied in full.
+  predictor_ = typed->predictor;
+  counters_ = typed->counters;
+  extra_cycles_ = typed->extra_cycles;
+  bytes += predictor_.resident_bytes() + sizeof(sim::PerfCounters) +
+           sizeof(std::uint64_t);
+  return bytes;
 }
 
 void DetailedModel::invalidate_range(std::uint32_t addr, std::uint32_t size) {

@@ -10,6 +10,7 @@ PhysRegFile::PhysRegFile(unsigned num_phys, unsigned num_arch) {
   regs_.assign(num_phys, 0);
   map_.resize(num_arch);
   mapped_.assign(num_phys, false);
+  dirty_regs_.assign((num_phys + 63) / 64, 0);
   reset();
 }
 
@@ -28,6 +29,7 @@ void PhysRegFile::write(unsigned arch_reg, std::uint32_t value) {
   map_[arch_reg] = candidate;
   mapped_[candidate] = true;
   regs_[candidate] = value;
+  mark_reg(candidate);
 }
 
 void PhysRegFile::reset() {
@@ -38,6 +40,19 @@ void PhysRegFile::reset() {
     mapped_[i] = true;
   }
   next_alloc_ = static_cast<std::uint32_t>(map_.size());
+  mark_all_dirty();
+}
+
+void PhysRegFile::mark_all_dirty() {
+  std::fill(dirty_regs_.begin(), dirty_regs_.end(), ~0ull);
+}
+
+unsigned PhysRegFile::dirty_reg_count() const {
+  unsigned count = 0;
+  for (std::size_t phys = 0; phys < regs_.size(); ++phys) {
+    if (dirty_regs_[phys / 64] & (1ull << (phys % 64))) ++count;
+  }
+  return count;
 }
 
 namespace {
@@ -46,6 +61,12 @@ struct PhysRegFileState final : sim::OpaqueState {
   std::vector<std::uint32_t> map;
   std::vector<bool> mapped;
   std::uint32_t next_alloc = 0;
+
+  std::uint64_t resident_bytes() const override {
+    return regs.size() * sizeof(std::uint32_t) +
+           map.size() * sizeof(std::uint32_t) + mapped.size() / 8 +
+           sizeof(std::uint32_t);
+  }
 };
 }  // namespace
 
@@ -66,6 +87,34 @@ void PhysRegFile::restore_state(const sim::OpaqueState& state) {
   map_ = typed->map;
   mapped_ = typed->mapped;
   next_alloc_ = typed->next_alloc;
+  // No baseline is established by a plain restore; stay conservative.
+  mark_all_dirty();
+}
+
+std::uint64_t PhysRegFile::restore_state_counted(const sim::OpaqueState& state,
+                                                 bool delta) {
+  const auto* typed = dynamic_cast<const PhysRegFileState*>(&state);
+  support::require(typed != nullptr && typed->regs.size() == regs_.size(),
+                   "PhysRegFile: snapshot from a different model");
+  // The rename map, free list, and cursor are a few hundred bytes; copy
+  // them unconditionally. Only the 32-bit value array is delta-tracked.
+  map_ = typed->map;
+  mapped_ = typed->mapped;
+  next_alloc_ = typed->next_alloc;
+  std::uint64_t bytes = map_.size() * sizeof(std::uint32_t) +
+                        mapped_.size() / 8 + sizeof(std::uint32_t);
+  if (!delta) {
+    regs_ = typed->regs;
+    bytes += regs_.size() * sizeof(std::uint32_t);
+  } else {
+    for (std::size_t phys = 0; phys < regs_.size(); ++phys) {
+      if ((dirty_regs_[phys / 64] & (1ull << (phys % 64))) == 0) continue;
+      regs_[phys] = typed->regs[phys];
+      bytes += sizeof(std::uint32_t);
+    }
+  }
+  std::fill(dirty_regs_.begin(), dirty_regs_.end(), 0);
+  return bytes;
 }
 
 std::uint64_t PhysRegFile::bit_count() const {
@@ -75,6 +124,7 @@ std::uint64_t PhysRegFile::bit_count() const {
 void PhysRegFile::flip_bit(std::uint64_t bit) {
   support::require(bit < bit_count(), "PhysRegFile: flip_bit out of range");
   regs_[bit / 32] ^= 1u << (bit % 32);
+  mark_reg(bit / 32);
 }
 
 }  // namespace sefi::microarch

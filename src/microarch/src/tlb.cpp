@@ -1,5 +1,7 @@
 #include "sefi/microarch/tlb.hpp"
 
+#include <algorithm>
+
 #include "sefi/support/error.hpp"
 
 namespace sefi::microarch {
@@ -7,6 +9,8 @@ namespace sefi::microarch {
 Tlb::Tlb(std::string name, unsigned entries) : name_(std::move(name)) {
   support::require(entries >= 1, name_ + ": needs at least one entry");
   slots_.resize(entries);
+  dirty_entries_.assign((entries + 63) / 64, 0);
+  mark_all_dirty();  // no restore baseline yet
 }
 
 std::optional<sim::Translation> Tlb::lookup(std::uint32_t vpn) const {
@@ -24,6 +28,7 @@ std::optional<sim::Translation> Tlb::lookup(std::uint32_t vpn) const {
 
 void Tlb::insert(std::uint32_t vpn, const sim::Translation& translation) {
   Slot& slot = slots_[next_victim_];
+  mark_entry(next_victim_);
   next_victim_ = (next_victim_ + 1) % slots_.size();
   slot.valid = true;
   slot.vpn = vpn & 0xfffu;
@@ -42,6 +47,40 @@ unsigned Tlb::valid_entries() const {
 void Tlb::reset() {
   for (Slot& slot : slots_) slot = Slot{};
   next_victim_ = 0;
+  mark_all_dirty();
+}
+
+void Tlb::mark_all_dirty() {
+  std::fill(dirty_entries_.begin(), dirty_entries_.end(), ~0ull);
+}
+
+unsigned Tlb::dirty_entry_count() const {
+  unsigned count = 0;
+  for (std::size_t entry = 0; entry < slots_.size(); ++entry) {
+    if (dirty_entries_[entry / 64] & (1ull << (entry % 64))) ++count;
+  }
+  return count;
+}
+
+std::uint64_t Tlb::restore_from(const Tlb& saved, bool delta) {
+  support::require(slots_.size() == saved.slots_.size(),
+                   name_ + ": restore_from entry-count mismatch");
+  std::uint64_t bytes = sizeof(std::uint32_t);  // replacement cursor
+  next_victim_ = saved.next_victim_;
+  if (!delta) {
+    slots_ = saved.slots_;
+    bytes += slots_.size() * sizeof(Slot);
+  } else {
+    for (std::size_t entry = 0; entry < slots_.size(); ++entry) {
+      if ((dirty_entries_[entry / 64] & (1ull << (entry % 64))) == 0) {
+        continue;
+      }
+      slots_[entry] = saved.slots_[entry];
+      bytes += sizeof(Slot);
+    }
+  }
+  std::fill(dirty_entries_.begin(), dirty_entries_.end(), 0);
+  return bytes;
 }
 
 std::uint64_t Tlb::bit_count() const {
@@ -50,6 +89,7 @@ std::uint64_t Tlb::bit_count() const {
 
 void Tlb::flip_bit(std::uint64_t bit) {
   support::require(bit < bit_count(), name_ + ": flip_bit out of range");
+  mark_entry(bit / kBitsPerEntry);
   Slot& slot = slots_[bit / kBitsPerEntry];
   std::uint64_t offset = bit % kBitsPerEntry;
   if (offset == 0) {

@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sefi/isa/assembler.hpp"
 #include "sefi/sim/cpu.hpp"
@@ -64,17 +65,73 @@ class Machine {
   /// register file. Restoring resumes execution bit-exactly from the
   /// capture point — an injection rig snapshots once after boot and
   /// restores per experiment instead of re-booting.
+  ///
+  /// Every snapshot carries a process-unique id. The machine remembers
+  /// the id it restored last; restoring the *same* snapshot again takes
+  /// the delta path — only state dirtied since that restore is copied
+  /// back — which is bit-identical to a full restore because every
+  /// mutation route (stores, backdoor/DMA writes, fault flips, cache
+  /// fills, resets) marks what it touches (DESIGN.md §8).
   struct Snapshot {
     PhysicalMemory memory;
     DeviceBlock devices;
     Cpu::State cpu;
     std::unique_ptr<OpaqueState> uarch;
     std::unique_ptr<OpaqueState> regfile;
+    std::uint64_t id = 0;
+
+    /// Approximate resident size (RAM + array states), for ladder
+    /// memory accounting.
+    std::uint64_t resident_bytes() const;
   };
+
+  /// A checkpoint whose RAM is stored as the sparse set of pages that
+  /// differ from a base Snapshot (checkpoint-ladder rungs 1..K-1 are
+  /// kept this way). Devices, CPU, and array states are small relative
+  /// to the 16 MB RAM image and are stored in full.
+  struct DeltaSnapshot {
+    PhysicalMemory::PageDelta memory;  ///< pages differing from the base
+    DeviceBlock devices;
+    Cpu::State cpu;
+    std::unique_ptr<OpaqueState> uarch;
+    std::unique_ptr<OpaqueState> regfile;
+    std::uint64_t id = 0;
+    std::uint64_t base_id = 0;  ///< id of the Snapshot the diff is against
+
+    std::uint64_t resident_bytes() const;
+  };
+
+  /// Restore-cost accounting, accumulated across restore_snapshot calls.
+  struct RestoreStats {
+    std::uint64_t restores = 0;        ///< total restores
+    std::uint64_t delta_restores = 0;  ///< served by the delta path
+    std::uint64_t bytes_copied = 0;    ///< state bytes actually copied
+    std::uint64_t pages_copied = 0;    ///< RAM pages copied (all modes)
+    std::uint64_t delta_pages_copied = 0;  ///< RAM pages on delta restores
+  };
+
   Snapshot save_snapshot() const;
+  /// Captures the current state as a delta against `base` (which must be
+  /// a snapshot of a same-configuration machine).
+  DeltaSnapshot save_delta_snapshot(const Snapshot& base) const;
+
   /// Restores a snapshot taken from a machine with the same model
-  /// configuration (throws SefiError otherwise).
+  /// configuration (throws SefiError otherwise). Takes the delta path
+  /// when `snapshot` is the one restored last and delta restore is
+  /// enabled; bit-identical either way.
   void restore_snapshot(const Snapshot& snapshot);
+  /// Restores `base` overlaid with `rung` (a ladder rung saved with
+  /// save_delta_snapshot against that base). RAM takes the delta path
+  /// when the machine last restored this rung — or any snapshot sharing
+  /// `base` (switching rungs widens the dirty set by both overlays).
+  void restore_snapshot(const Snapshot& base, const DeltaSnapshot& rung);
+
+  /// Enables/disables the delta-restore fast path (default: enabled).
+  /// Outcomes are bit-identical either way; this knob exists for the
+  /// full-vs-delta comparisons in tests and benches.
+  void set_delta_restore(bool enabled) { delta_restore_ = enabled; }
+  bool delta_restore() const { return delta_restore_; }
+  const RestoreStats& restore_stats() const { return restore_stats_; }
 
   /// Runs until a host event, CPU stop, or the cycle budget is exhausted.
   /// `max_cycles` is an absolute cycle count (not a delta), so repeated
@@ -100,6 +157,11 @@ class Machine {
  private:
   std::optional<RunEvent> poll_events();
 
+  /// Copies the small, always-fully-restored machine state (devices +
+  /// CPU) and returns its approximate byte cost.
+  std::uint64_t restore_small_state(const DeviceBlock& devices,
+                                    const Cpu::State& cpu);
+
   // All state sits behind unique_ptr so Machine is safely movable: the
   // CPU and uarch model hold references into memory/devices, and those
   // referents must not change address when a Machine moves.
@@ -108,6 +170,22 @@ class Machine {
   std::unique_ptr<UarchModel> uarch_;
   std::unique_ptr<RegFileModel> regs_;
   std::unique_ptr<Cpu> cpu_;
+
+  bool delta_restore_ = true;
+  /// Id of the snapshot this machine restored last; 0 = none/unknown
+  /// (boot() resets it, forcing the next restore to be full).
+  std::uint64_t last_restored_id_ = 0;
+  /// Id of the full Snapshot underlying the machine's current RAM image
+  /// (the snapshot itself, or a rung's base). Restoring a different rung
+  /// of the *same* base can still take the RAM delta path: the pages
+  /// where two rungs differ are a subset of the union of their overlays,
+  /// so marking both overlays dirty makes the dirty copy a superset of
+  /// the true difference.
+  std::uint64_t last_restored_base_id_ = 0;
+  /// Overlay page indices of the last restored rung (empty after a full
+  /// Snapshot restore).
+  std::vector<std::uint32_t> last_overlay_pages_;
+  RestoreStats restore_stats_;
 };
 
 }  // namespace sefi::sim

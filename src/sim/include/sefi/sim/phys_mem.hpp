@@ -1,4 +1,13 @@
-// Flat physical RAM model with a loader backdoor.
+// Flat physical RAM model with a loader backdoor and page-granular
+// dirty tracking.
+//
+// Dirty tracking exists for one consumer: Machine::restore_snapshot's
+// delta path. Every mutation route (CPU stores, loader/DMA backdoor,
+// clear, restores themselves) marks the touched 4 KB pages in a bitmap;
+// a restore that knows the machine last held exactly the saved image
+// copies back only the marked pages and clears the map. Restore cost
+// then scales with state touched since the last restore, not with the
+// 16 MB machine size (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>
@@ -38,8 +47,66 @@ class PhysicalMemory {
 
   void clear();
 
+  /// Sparse RAM overlay: the pages of one image that differ from a base
+  /// image, in ascending page order. The checkpoint ladder stores rungs
+  /// 1..K-1 this way — one full base plus per-rung diffs.
+  struct PageDelta {
+    std::vector<std::uint32_t> pages;  ///< page indices, ascending
+    std::vector<std::uint8_t> bytes;   ///< pages.size() * kPageSize bytes
+
+    std::uint64_t resident_bytes() const {
+      return bytes.size() + pages.size() * sizeof(std::uint32_t);
+    }
+    const std::uint8_t* page_data(std::size_t i) const {
+      return bytes.data() + static_cast<std::size_t>(i) * kPageSize;
+    }
+    /// Index of `page` in `pages`, or -1 if the page matches the base.
+    int find(std::uint32_t page) const;
+  };
+
+  /// Pages of this image that differ from `base`.
+  PageDelta diff_pages(const PhysicalMemory& base) const;
+
+  // Restore paths. All of them leave this memory bit-identical to the
+  // saved image (base [+ delta overlay]) and clear the dirty map; the
+  // return value is the number of RAM bytes actually copied.
+  //
+  // The `_dirty` variants copy only pages marked since the dirty map was
+  // last cleared — valid only if this memory held exactly the saved image
+  // at that point (Machine tracks that via snapshot ids).
+  std::uint64_t restore_full(const PhysicalMemory& saved);
+  std::uint64_t restore_full(const PhysicalMemory& base,
+                             const PageDelta& delta);
+  std::uint64_t restore_dirty(const PhysicalMemory& saved);
+  std::uint64_t restore_dirty(const PhysicalMemory& base,
+                              const PageDelta& delta);
+
+  /// Number of pages currently marked dirty.
+  std::uint32_t dirty_page_count() const;
+  /// Marks page `page` (an index, not an address) dirty. Machine uses
+  /// this to conservatively widen the dirty set when switching between
+  /// delta rungs that share a base: the pages where two rungs differ are
+  /// a subset of the union of their overlays.
+  void mark_page_index(std::uint32_t page) {
+    dirty_[page / kBitsPerWord] |= 1ull << (page % kBitsPerWord);
+  }
+  void clear_dirty();
+  /// Marks every page dirty (used by untracked bulk mutations).
+  void mark_all_dirty();
+
  private:
+  static constexpr std::uint32_t kBitsPerWord = 64;
+  static constexpr std::uint32_t kDirtyWords =
+      (kNumPages + kBitsPerWord - 1) / kBitsPerWord;
+
+  void mark_page(std::uint32_t addr) {
+    const std::uint32_t page = addr >> kPageShift;
+    dirty_[page / kBitsPerWord] |= 1ull << (page % kBitsPerWord);
+  }
+  void mark_range(std::uint32_t addr, std::uint32_t size);
+
   std::vector<std::uint8_t> ram_;
+  std::vector<std::uint64_t> dirty_;  ///< one bit per page
 };
 
 }  // namespace sefi::sim

@@ -20,6 +20,10 @@ namespace sefi::sim {
 /// by the same model type/configuration.
 struct OpaqueState {
   virtual ~OpaqueState() = default;
+
+  /// Approximate resident size of this state in bytes (checkpoint-ladder
+  /// memory accounting). 0 = negligible/untracked.
+  virtual std::uint64_t resident_bytes() const { return 0; }
 };
 
 /// The seven hardware counters compared across setups in the paper
@@ -49,6 +53,19 @@ class RegFileModel {
   /// Checkpointing (see Machine::save_snapshot).
   virtual std::unique_ptr<OpaqueState> save_state() const = 0;
   virtual void restore_state(const OpaqueState& state) = 0;
+
+  /// Restores `state` and returns the number of state bytes copied
+  /// (0 = untracked). When `delta` is true the caller guarantees `state`
+  /// is the same object this model restored last, with every mutation
+  /// since then performed through the model's tracked paths — models with
+  /// dirty tracking may then copy only dirtied units. Models without
+  /// tracking ignore the hint and restore fully (the default).
+  virtual std::uint64_t restore_state_counted(const OpaqueState& state,
+                                              bool delta) {
+    (void)delta;
+    restore_state(state);
+    return 0;
+  }
 };
 
 /// Memory system + timing model as seen by the CPU.
@@ -90,6 +107,14 @@ class UarchModel {
   /// Checkpointing (see Machine::save_snapshot).
   virtual std::unique_ptr<OpaqueState> save_state() const = 0;
   virtual void restore_state(const OpaqueState& state) = 0;
+
+  /// Counted/delta restore; same contract as RegFileModel's overload.
+  virtual std::uint64_t restore_state_counted(const OpaqueState& state,
+                                              bool delta) {
+    (void)delta;
+    restore_state(state);
+    return 0;
+  }
 
   /// Invalidates any cached copies of [addr, addr+size) in physical
   /// address space (loader/DMA coherence). Dirty lines are discarded, not

@@ -1,9 +1,33 @@
 #include "sefi/sim/machine.hpp"
 
+#include <atomic>
+
 #include "sefi/sim/functional.hpp"
 #include "sefi/support/error.hpp"
 
 namespace sefi::sim {
+
+namespace {
+/// Process-unique snapshot ids; id 0 is reserved for "none".
+std::uint64_t next_snapshot_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t opaque_bytes(const std::unique_ptr<OpaqueState>& state) {
+  return state ? state->resident_bytes() : 0;
+}
+}  // namespace
+
+std::uint64_t Machine::Snapshot::resident_bytes() const {
+  return kRamSize + opaque_bytes(uarch) + opaque_bytes(regfile) +
+         sizeof(DeviceBlock) + sizeof(Cpu::State);
+}
+
+std::uint64_t Machine::DeltaSnapshot::resident_bytes() const {
+  return memory.resident_bytes() + opaque_bytes(uarch) +
+         opaque_bytes(regfile) + sizeof(DeviceBlock) + sizeof(Cpu::State);
+}
 
 Machine::Machine(const ModelFactory& factory,
                  std::unique_ptr<RegFileModel> regs)
@@ -39,6 +63,11 @@ void Machine::boot() {
   devices_->reset();
   uarch_->reset();
   cpu_->reset();
+  // The machine no longer matches whatever snapshot was restored last
+  // through tracked paths alone; force the next restore to be full.
+  last_restored_id_ = 0;
+  last_restored_base_id_ = 0;
+  last_overlay_pages_.clear();
 }
 
 Machine::Snapshot Machine::save_snapshot() const {
@@ -48,17 +77,104 @@ Machine::Snapshot Machine::save_snapshot() const {
   snapshot.cpu = cpu_->save_state();
   snapshot.uarch = uarch_->save_state();
   snapshot.regfile = regs_->save_state();
+  snapshot.id = next_snapshot_id();
   return snapshot;
+}
+
+Machine::DeltaSnapshot Machine::save_delta_snapshot(
+    const Snapshot& base) const {
+  DeltaSnapshot rung;
+  rung.memory = mem_->diff_pages(base.memory);
+  rung.devices = *devices_;
+  rung.cpu = cpu_->save_state();
+  rung.uarch = uarch_->save_state();
+  rung.regfile = regs_->save_state();
+  rung.id = next_snapshot_id();
+  rung.base_id = base.id;
+  return rung;
+}
+
+std::uint64_t Machine::restore_small_state(const DeviceBlock& devices,
+                                           const Cpu::State& cpu) {
+  *devices_ = devices;
+  cpu_->restore_state(cpu);
+  return sizeof(DeviceBlock) + sizeof(Cpu::State);
 }
 
 void Machine::restore_snapshot(const Snapshot& snapshot) {
   support::require(snapshot.uarch != nullptr && snapshot.regfile != nullptr,
                    "restore_snapshot: incomplete snapshot");
-  *mem_ = snapshot.memory;
-  *devices_ = snapshot.devices;
-  cpu_->restore_state(snapshot.cpu);
-  uarch_->restore_state(*snapshot.uarch);
-  regs_->restore_state(*snapshot.regfile);
+  // Arrays delta-restore only against the exact snapshot restored last;
+  // RAM also delta-restores when the last restore was a rung over this
+  // snapshot (its overlay pages, marked dirty, bound the divergence).
+  const bool same = delta_restore_ && snapshot.id != 0 &&
+                    snapshot.id == last_restored_id_;
+  const bool same_base = same || (delta_restore_ && snapshot.id != 0 &&
+                                  snapshot.id == last_restored_base_id_);
+  ++restore_stats_.restores;
+  std::uint64_t bytes = 0;
+  if (same_base) {
+    ++restore_stats_.delta_restores;
+    for (const std::uint32_t page : last_overlay_pages_) {
+      mem_->mark_page_index(page);
+    }
+    const std::uint32_t pages = mem_->dirty_page_count();
+    bytes += mem_->restore_dirty(snapshot.memory);
+    restore_stats_.pages_copied += pages;
+    restore_stats_.delta_pages_copied += pages;
+  } else {
+    bytes += mem_->restore_full(snapshot.memory);
+    restore_stats_.pages_copied += kNumPages;
+  }
+  bytes += uarch_->restore_state_counted(*snapshot.uarch, same);
+  bytes += regs_->restore_state_counted(*snapshot.regfile, same);
+  bytes += restore_small_state(snapshot.devices, snapshot.cpu);
+  restore_stats_.bytes_copied += bytes;
+  last_restored_id_ = snapshot.id;
+  last_restored_base_id_ = snapshot.id;
+  last_overlay_pages_.clear();
+}
+
+void Machine::restore_snapshot(const Snapshot& base,
+                               const DeltaSnapshot& rung) {
+  support::require(base.uarch != nullptr && rung.uarch != nullptr &&
+                       rung.regfile != nullptr,
+                   "restore_snapshot: incomplete snapshot");
+  support::require(rung.base_id == base.id,
+                   "restore_snapshot: rung was diffed against another base");
+  const bool same =
+      delta_restore_ && rung.id != 0 && rung.id == last_restored_id_;
+  const bool same_base = same || (delta_restore_ && base.id != 0 &&
+                                  base.id == last_restored_base_id_);
+  ++restore_stats_.restores;
+  std::uint64_t bytes = 0;
+  if (same_base) {
+    ++restore_stats_.delta_restores;
+    if (!same) {
+      // Different rung over the same base: pages where the two rungs
+      // differ are a subset of the union of their overlays.
+      for (const std::uint32_t page : last_overlay_pages_) {
+        mem_->mark_page_index(page);
+      }
+      for (const std::uint32_t page : rung.memory.pages) {
+        mem_->mark_page_index(page);
+      }
+    }
+    const std::uint32_t pages = mem_->dirty_page_count();
+    bytes += mem_->restore_dirty(base.memory, rung.memory);
+    restore_stats_.pages_copied += pages;
+    restore_stats_.delta_pages_copied += pages;
+  } else {
+    bytes += mem_->restore_full(base.memory, rung.memory);
+    restore_stats_.pages_copied += kNumPages;
+  }
+  bytes += uarch_->restore_state_counted(*rung.uarch, same);
+  bytes += regs_->restore_state_counted(*rung.regfile, same);
+  bytes += restore_small_state(rung.devices, rung.cpu);
+  restore_stats_.bytes_copied += bytes;
+  last_restored_id_ = rung.id;
+  last_restored_base_id_ = base.id;
+  last_overlay_pages_ = rung.memory.pages;
 }
 
 std::optional<RunEvent> Machine::poll_events() {

@@ -1,12 +1,15 @@
 #include "sefi/sim/phys_mem.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "sefi/support/error.hpp"
 
 namespace sefi::sim {
 
-PhysicalMemory::PhysicalMemory() : ram_(kRamSize, 0) {}
+PhysicalMemory::PhysicalMemory()
+    : ram_(kRamSize, 0), dirty_(kDirtyWords, 0) {}
 
 std::uint8_t PhysicalMemory::read8(std::uint32_t addr) const {
   return ram_[addr];
@@ -26,14 +29,26 @@ std::uint32_t PhysicalMemory::read32(std::uint32_t addr) const {
 
 void PhysicalMemory::write8(std::uint32_t addr, std::uint8_t value) {
   ram_[addr] = value;
+  mark_page(addr);
 }
 
 void PhysicalMemory::write16(std::uint32_t addr, std::uint16_t value) {
   std::memcpy(ram_.data() + addr, &value, 2);
+  mark_page(addr);  // aligned: cannot straddle a page
 }
 
 void PhysicalMemory::write32(std::uint32_t addr, std::uint32_t value) {
   std::memcpy(ram_.data() + addr, &value, 4);
+  mark_page(addr);  // aligned: cannot straddle a page
+}
+
+void PhysicalMemory::mark_range(std::uint32_t addr, std::uint32_t size) {
+  if (size == 0) return;
+  const std::uint32_t first = addr >> kPageShift;
+  const std::uint32_t last = (addr + size - 1) >> kPageShift;
+  for (std::uint32_t page = first; page <= last; ++page) {
+    dirty_[page / kBitsPerWord] |= 1ull << (page % kBitsPerWord);
+  }
 }
 
 void PhysicalMemory::backdoor_write(std::uint32_t addr,
@@ -41,12 +56,14 @@ void PhysicalMemory::backdoor_write(std::uint32_t addr,
   support::require(in_ram(addr, static_cast<std::uint32_t>(data.size())),
                    "backdoor_write: out of RAM");
   std::memcpy(ram_.data() + addr, data.data(), data.size());
+  mark_range(addr, static_cast<std::uint32_t>(data.size()));
 }
 
 void PhysicalMemory::backdoor_fill(std::uint32_t addr, std::uint32_t size,
                                    std::uint8_t value) {
   support::require(in_ram(addr, size), "backdoor_fill: out of RAM");
   std::memset(ram_.data() + addr, value, size);
+  mark_range(addr, size);
 }
 
 std::span<const std::uint8_t> PhysicalMemory::backdoor_read(
@@ -55,6 +72,107 @@ std::span<const std::uint8_t> PhysicalMemory::backdoor_read(
   return {ram_.data() + addr, size};
 }
 
-void PhysicalMemory::clear() { std::fill(ram_.begin(), ram_.end(), 0); }
+void PhysicalMemory::clear() {
+  std::fill(ram_.begin(), ram_.end(), 0);
+  mark_all_dirty();
+}
+
+int PhysicalMemory::PageDelta::find(std::uint32_t page) const {
+  const auto it = std::lower_bound(pages.begin(), pages.end(), page);
+  if (it == pages.end() || *it != page) return -1;
+  return static_cast<int>(it - pages.begin());
+}
+
+PhysicalMemory::PageDelta PhysicalMemory::diff_pages(
+    const PhysicalMemory& base) const {
+  PageDelta delta;
+  for (std::uint32_t page = 0; page < kNumPages; ++page) {
+    const std::size_t off = static_cast<std::size_t>(page) * kPageSize;
+    if (std::memcmp(ram_.data() + off, base.ram_.data() + off, kPageSize) ==
+        0) {
+      continue;
+    }
+    delta.pages.push_back(page);
+    delta.bytes.insert(delta.bytes.end(), ram_.begin() + off,
+                       ram_.begin() + off + kPageSize);
+  }
+  return delta;
+}
+
+std::uint64_t PhysicalMemory::restore_full(const PhysicalMemory& saved) {
+  std::memcpy(ram_.data(), saved.ram_.data(), kRamSize);
+  clear_dirty();
+  return kRamSize;
+}
+
+std::uint64_t PhysicalMemory::restore_full(const PhysicalMemory& base,
+                                           const PageDelta& delta) {
+  std::memcpy(ram_.data(), base.ram_.data(), kRamSize);
+  for (std::size_t i = 0; i < delta.pages.size(); ++i) {
+    std::memcpy(ram_.data() +
+                    static_cast<std::size_t>(delta.pages[i]) * kPageSize,
+                delta.page_data(i), kPageSize);
+  }
+  clear_dirty();
+  return kRamSize + delta.pages.size() * kPageSize;
+}
+
+std::uint64_t PhysicalMemory::restore_dirty(const PhysicalMemory& saved) {
+  std::uint64_t bytes = 0;
+  for (std::uint32_t word = 0; word < kDirtyWords; ++word) {
+    std::uint64_t mask = dirty_[word];
+    while (mask != 0) {
+      const auto bit =
+          static_cast<std::uint32_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      const std::size_t off =
+          (static_cast<std::size_t>(word) * kBitsPerWord + bit) * kPageSize;
+      std::memcpy(ram_.data() + off, saved.ram_.data() + off, kPageSize);
+      bytes += kPageSize;
+    }
+  }
+  clear_dirty();
+  return bytes;
+}
+
+std::uint64_t PhysicalMemory::restore_dirty(const PhysicalMemory& base,
+                                            const PageDelta& delta) {
+  std::uint64_t bytes = 0;
+  for (std::uint32_t word = 0; word < kDirtyWords; ++word) {
+    std::uint64_t mask = dirty_[word];
+    while (mask != 0) {
+      const auto bit =
+          static_cast<std::uint32_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      const std::uint32_t page =
+          word * kBitsPerWord + bit;
+      const std::size_t off = static_cast<std::size_t>(page) * kPageSize;
+      const int in_delta = delta.find(page);
+      const std::uint8_t* src = in_delta >= 0
+                                    ? delta.page_data(in_delta)
+                                    : base.ram_.data() + off;
+      std::memcpy(ram_.data() + off, src, kPageSize);
+      bytes += kPageSize;
+    }
+  }
+  clear_dirty();
+  return bytes;
+}
+
+std::uint32_t PhysicalMemory::dirty_page_count() const {
+  std::uint32_t count = 0;
+  for (const std::uint64_t word : dirty_) {
+    count += static_cast<std::uint32_t>(std::popcount(word));
+  }
+  return count;
+}
+
+void PhysicalMemory::clear_dirty() {
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+}
+
+void PhysicalMemory::mark_all_dirty() {
+  std::fill(dirty_.begin(), dirty_.end(), ~0ull);
+}
 
 }  // namespace sefi::sim

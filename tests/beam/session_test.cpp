@@ -72,6 +72,26 @@ TEST(Session, IsDeterministic) {
   EXPECT_DOUBLE_EQ(a.fluence_per_cm2, b.fluence_per_cm2);
 }
 
+TEST(Session, DeltaRestoreKnobDoesNotChangeOutcomes) {
+  // Beam sessions never restore snapshots — the powered board carries
+  // its corruption forward — so the delta-restore knob must be inert.
+  // This guards against a future change accidentally routing session
+  // reboots through snapshot restore (which would wipe RAM corruption
+  // and change the System-Crash physics vs the paper's setup).
+  BeamConfig with = small_session(60);
+  with.delta_restore = true;
+  BeamConfig without = small_session(60);
+  without.delta_restore = false;
+  const BeamResult a = run_beam_session(susan(), with);
+  const BeamResult b = run_beam_session(susan(), without);
+  EXPECT_EQ(a.sdc, b.sdc);
+  EXPECT_EQ(a.app_crash, b.app_crash);
+  EXPECT_EQ(a.sys_crash, b.sys_crash);
+  EXPECT_EQ(a.strikes, b.strikes);
+  EXPECT_EQ(a.reboots, b.reboots);
+  EXPECT_DOUBLE_EQ(a.fluence_per_cm2, b.fluence_per_cm2);
+}
+
 TEST(Session, SeedChangesTheSession) {
   BeamConfig other = small_session();
   other.seed ^= 0x1234;

@@ -168,10 +168,101 @@ TEST(CampaignExecutor, CheckpointLadderDoesNotChangeResults) {
     EXPECT_EQ(flat.stats.checkpoints, 1u);
     EXPECT_EQ(laddered.stats.checkpoints, 8u);
     // The ladder must actually skip replay work, not just match results.
-    EXPECT_EQ(flat.stats.replay_cycles_saved, 0u);
-    EXPECT_GT(laddered.stats.replay_cycles_saved, 0u);
+    // A flat rig still saves boot cycles (it restores the spawn snapshot
+    // instead of re-booting), so only the ladder component is zero.
+    EXPECT_EQ(flat.stats.replay_cycles_saved_ladder, 0u);
+    EXPECT_GT(flat.stats.replay_cycles_saved_boot, 0u);
+    EXPECT_GT(laddered.stats.replay_cycles_saved_ladder, 0u);
     EXPECT_LT(laddered.stats.replay_cycles, flat.stats.replay_cycles);
   }
+}
+
+// Delta restore is an executor fast path, never part of a campaign's
+// identity: outcomes must be bit-identical with it on or off, for any
+// thread count and ladder size (the ISSUE's acceptance matrix).
+TEST(CampaignExecutor, DeltaRestoreDoesNotChangeResults) {
+  const auto& workload = susan();
+  for (const std::uint64_t threads : {1, 4}) {
+    for (const std::uint64_t checkpoints : {1, 8}) {
+      CampaignConfig config = small_campaign();
+      config.faults_per_component = 8;
+      config.threads = threads;
+      config.checkpoints = checkpoints;
+      config.rig.delta_restore = false;
+      const WorkloadFiResult full = run_fi_campaign(workload, config);
+      config.rig.delta_restore = true;
+      const WorkloadFiResult delta = run_fi_campaign(workload, config);
+      expect_same_counts(full, delta, "delta-vs-full");
+      EXPECT_EQ(full.stats.delta_restores, 0u);
+      EXPECT_GT(delta.stats.delta_restores, 0u);
+    }
+  }
+}
+
+// The perf claim itself: per-injection restore cost must shrink by at
+// least 2x once restores are proportional to state touched.
+TEST(CampaignExecutor, DeltaRestoreCutsRestoreBytes) {
+  CampaignConfig config = small_campaign();
+  config.faults_per_component = 12;
+  config.threads = 1;
+  config.checkpoints = 8;
+  config.rig.delta_restore = false;
+  const WorkloadFiResult full = run_fi_campaign(susan(), config);
+  config.rig.delta_restore = true;
+  const WorkloadFiResult delta = run_fi_campaign(susan(), config);
+  ASSERT_GT(full.stats.restore_bytes_copied, 0u);
+  ASSERT_GT(delta.stats.restore_bytes_copied, 0u);
+  const double reduction =
+      static_cast<double>(full.stats.restore_bytes_copied) /
+      static_cast<double>(delta.stats.restore_bytes_copied);
+  EXPECT_GE(reduction, 2.0) << "full=" << full.stats.restore_bytes_copied
+                            << " delta=" << delta.stats.restore_bytes_copied;
+  // Pages-per-delta-restore must be well below the full 4096-page image.
+  EXPECT_GT(delta.stats.pages_dirtied_avg, 0.0);
+  EXPECT_LT(delta.stats.pages_dirtied_avg, 2048.0);
+}
+
+// Satellite: the split replay accounting must sum consistently and be
+// invariant under the thread count (each component depends only on the
+// pre-sampled fault list, not on scheduling).
+TEST(CampaignExecutor, ReplaySavingsSplitSumsAcrossThreads) {
+  CampaignConfig config = small_campaign();
+  config.faults_per_component = 10;
+  config.checkpoints = 8;
+  config.threads = 1;
+  const WorkloadFiResult serial = run_fi_campaign(susan(), config);
+  config.threads = 4;
+  const WorkloadFiResult threaded = run_fi_campaign(susan(), config);
+  for (const WorkloadFiResult* result : {&serial, &threaded}) {
+    EXPECT_EQ(result->stats.replay_cycles_saved,
+              result->stats.replay_cycles_saved_ladder +
+                  result->stats.replay_cycles_saved_boot);
+    // Every injection skips the whole boot prefix exactly once.
+    EXPECT_GT(result->stats.replay_cycles_saved_boot, 0u);
+    EXPECT_EQ(result->stats.replay_cycles_saved_boot % result->stats.injections,
+              0u);
+  }
+  EXPECT_EQ(serial.stats.replay_cycles_saved_ladder,
+            threaded.stats.replay_cycles_saved_ladder);
+  EXPECT_EQ(serial.stats.replay_cycles_saved_boot,
+            threaded.stats.replay_cycles_saved_boot);
+  EXPECT_EQ(serial.stats.replay_cycles, threaded.stats.replay_cycles);
+}
+
+// Ladder rungs above spawn are sparse deltas: a K=8 ladder must cost far
+// less than 8 full machine images.
+TEST(InjectionRig, DeltaLadderIsSparse) {
+  const InjectionRig flat(susan(), scaled_rig(), workloads::kDefaultInputSeed,
+                          /*checkpoints=*/1);
+  const InjectionRig laddered(susan(), scaled_rig(),
+                              workloads::kDefaultInputSeed,
+                              /*checkpoints=*/8);
+  const std::uint64_t full_image = flat.ladder_resident_bytes();
+  ASSERT_GT(full_image, 0u);
+  EXPECT_GE(laddered.checkpoint_count(), 2u);
+  // Full ladders would cost checkpoint_count() * full_image; the delta
+  // ladder must stay below two full images even at K=8.
+  EXPECT_LT(laddered.ladder_resident_bytes(), 2 * full_image);
 }
 
 TEST(CampaignExecutor, StatsReportThroughput) {

@@ -1,0 +1,196 @@
+// Delta-restore round-trip tests: a restore that copies only dirty state
+// must leave the machine bit-identical to a full restore — and to the
+// saved image itself — after every kind of mutation the simulator can
+// apply (CPU stores, backdoor/DMA writes, fault flips in all six arrays,
+// device traffic, further execution).
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "sefi/kernel/kernel.hpp"
+#include "sefi/microarch/detailed.hpp"
+#include "sefi/sim/machine.hpp"
+#include "sefi/sim/memmap.hpp"
+#include "sefi/support/error.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace sefi::sim {
+namespace {
+
+Machine workload_machine() {
+  Machine m = microarch::make_detailed_machine();
+  const auto& w = workloads::workload_by_name("SusanE");
+  kernel::install_system(m, kernel::build_kernel(),
+                         w.build(workloads::kDefaultInputSeed),
+                         workloads::kWorkloadStackTop);
+  m.boot();
+  return m;
+}
+
+/// Scribbles on every restore-tracked state class: executes further
+/// (CPU stores, cache fills, TLB inserts, device traffic), flips bits in
+/// all six injectable arrays, and writes RAM through the DMA backdoor.
+void mutate_everything(Machine& m) {
+  m.run_until_cycle(m.cpu().cycles() + 40'000);
+  auto& model = microarch::detailed_model(m);
+  for (std::uint64_t bit = 0; bit < 32; ++bit) {
+    model.l1i().flip_bit(bit * 131 % model.l1i().bit_count());
+    model.l1d().flip_bit(bit * 137 % model.l1d().bit_count());
+    model.l2().flip_bit(bit * 139 % model.l2().bit_count());
+    model.itlb().flip_bit(bit % model.itlb().bit_count());
+    model.dtlb().flip_bit(bit % model.dtlb().bit_count());
+    model.regfile().flip_bit(bit * 7 % model.regfile().bit_count());
+  }
+  const std::uint8_t junk[64] = {0xAB};
+  m.memory().backdoor_write(kRamSize / 2, junk);
+  m.memory().backdoor_fill(kRamSize - 4096, 128, 0x5C);
+}
+
+bool ram_matches(Machine& a, const PhysicalMemory& saved) {
+  const auto live = a.memory().backdoor_read(0, kRamSize);
+  const auto want = saved.backdoor_read(0, kRamSize);
+  return std::equal(live.begin(), live.end(), want.begin());
+}
+
+TEST(DeltaRestore, DeltaPathMatchesFullRestoreAndColdRun) {
+  // Cold reference: uninterrupted run to completion.
+  Machine reference = workload_machine();
+  const RunEvent ref_event = reference.run(100'000'000);
+  ASSERT_EQ(ref_event.kind, RunEventKind::kExit);
+
+  Machine m = workload_machine();
+  m.run_until_cycle(reference.cpu().cycles() / 2);
+  const Machine::Snapshot snapshot = m.save_snapshot();
+
+  // First restore is necessarily full (no baseline yet).
+  m.restore_snapshot(snapshot);
+  EXPECT_EQ(m.restore_stats().delta_restores, 0u);
+
+  // Mutate every state class, then restore again: the delta path fires
+  // and must reproduce the saved image exactly.
+  mutate_everything(m);
+  m.restore_snapshot(snapshot);
+  EXPECT_EQ(m.restore_stats().restores, 2u);
+  EXPECT_EQ(m.restore_stats().delta_restores, 1u);
+  EXPECT_TRUE(ram_matches(m, snapshot.memory));
+
+  // And the delta restore must have copied far less than the machine.
+  EXPECT_LT(m.restore_stats().bytes_copied,
+            2 * snapshot.resident_bytes());
+
+  // Execution from the delta-restored state finishes bit-identically to
+  // the cold run.
+  const RunEvent event = m.run(100'000'000);
+  EXPECT_EQ(event.kind, ref_event.kind);
+  EXPECT_EQ(event.payload, ref_event.payload);
+  EXPECT_EQ(m.console(), reference.console());
+  EXPECT_EQ(m.cpu().cycles(), reference.cpu().cycles());
+  EXPECT_EQ(m.cpu().instructions(), reference.cpu().instructions());
+  EXPECT_EQ(m.counters().l1d_accesses, reference.counters().l1d_accesses);
+  EXPECT_EQ(m.counters().branch_misses, reference.counters().branch_misses);
+}
+
+TEST(DeltaRestore, DisabledKnobForcesFullRestores) {
+  Machine m = workload_machine();
+  m.set_delta_restore(false);
+  m.run_until_cycle(30'000);
+  const Machine::Snapshot snapshot = m.save_snapshot();
+  m.restore_snapshot(snapshot);
+  mutate_everything(m);
+  m.restore_snapshot(snapshot);
+  EXPECT_EQ(m.restore_stats().restores, 2u);
+  EXPECT_EQ(m.restore_stats().delta_restores, 0u);
+  EXPECT_TRUE(ram_matches(m, snapshot.memory));
+}
+
+TEST(DeltaRestore, BootInvalidatesTheDeltaBaseline) {
+  Machine m = workload_machine();
+  m.run_until_cycle(30'000);
+  const Machine::Snapshot snapshot = m.save_snapshot();
+  m.restore_snapshot(snapshot);
+  m.boot();  // untracked bulk reset: the baseline is gone
+  m.restore_snapshot(snapshot);
+  // Both restores must have been full — a delta here would under-copy.
+  EXPECT_EQ(m.restore_stats().delta_restores, 0u);
+  EXPECT_TRUE(ram_matches(m, snapshot.memory));
+}
+
+TEST(DeltaRestore, RungRestoreMatchesFullAcrossRungSwitches) {
+  Machine m = workload_machine();
+  m.run_until_cycle(30'000);
+  const Machine::Snapshot base = m.save_snapshot();
+  m.run_until_cycle(80'000);
+  // Write-back caches may not have evicted anything to RAM yet; give the
+  // rung a guaranteed RAM difference through the DMA backdoor so the
+  // overlay bookkeeping is actually exercised.
+  const std::uint8_t marker[16] = {0xD1, 0x7F};
+  m.memory().backdoor_write(kRamSize - 3 * 4096, marker);
+  const Machine::DeltaSnapshot rung = m.save_delta_snapshot(base);
+  EXPECT_EQ(rung.base_id, base.id);
+  EXPECT_GT(rung.memory.pages.size(), 0u);
+  // The rung must be sparse: far fewer pages than the whole image.
+  EXPECT_LT(rung.memory.pages.size(), kNumPages / 2);
+
+  // Reference RAM image of base+rung via a full restore.
+  Machine full = workload_machine();
+  full.set_delta_restore(false);
+  full.restore_snapshot(base, rung);
+  const Machine::Snapshot composed = full.save_snapshot();
+
+  Machine d = workload_machine();
+  d.restore_snapshot(base, rung);  // full (no baseline)
+  mutate_everything(d);
+  d.restore_snapshot(base, rung);  // same-rung delta
+  EXPECT_EQ(d.restore_stats().delta_restores, 1u);
+  EXPECT_TRUE(ram_matches(d, composed.memory));
+
+  // Switching to the base itself stays on the delta path: the pages
+  // where base and rung differ are bounded by the rung's overlay.
+  mutate_everything(d);
+  d.restore_snapshot(base);
+  EXPECT_EQ(d.restore_stats().delta_restores, 2u);
+  EXPECT_TRUE(ram_matches(d, base.memory));
+
+  // And back to the rung again — still delta, still exact.
+  mutate_everything(d);
+  d.restore_snapshot(base, rung);
+  EXPECT_EQ(d.restore_stats().delta_restores, 3u);
+  EXPECT_TRUE(ram_matches(d, composed.memory));
+
+  // Execution equivalence: delta-restored and full-restored machines run
+  // to bit-identical completion.
+  const RunEvent want = full.run(100'000'000);
+  const RunEvent got = d.run(100'000'000);
+  EXPECT_EQ(got.kind, want.kind);
+  EXPECT_EQ(got.payload, want.payload);
+  EXPECT_EQ(d.console(), full.console());
+  EXPECT_EQ(d.cpu().cycles(), full.cpu().cycles());
+}
+
+TEST(DeltaRestore, RungRejectsMismatchedBase) {
+  Machine m = workload_machine();
+  m.run_until_cycle(30'000);
+  const Machine::Snapshot base = m.save_snapshot();
+  m.run_until_cycle(60'000);
+  const Machine::DeltaSnapshot rung = m.save_delta_snapshot(base);
+  const Machine::Snapshot other = m.save_snapshot();
+  EXPECT_THROW(m.restore_snapshot(other, rung), support::SefiError);
+}
+
+TEST(DeltaRestore, CrossConfigRestoreIsRejected) {
+  // The counted/delta restore path must keep the cross-configuration
+  // guard: restoring a snapshot from a machine with different array
+  // geometry throws SefiError instead of truncating.
+  Machine a = microarch::make_detailed_machine();
+  microarch::DetailedConfig smaller;
+  smaller.l2 = {64 * 1024, 32, 8};
+  Machine b = microarch::make_detailed_machine(smaller);
+  EXPECT_THROW(b.restore_snapshot(a.save_snapshot()), support::SefiError);
+  // Register-file size mismatches are caught by the regfile model.
+  microarch::DetailedConfig regs;
+  regs.phys_regs = 128;
+  Machine c = microarch::make_detailed_machine(regs);
+  EXPECT_THROW(c.restore_snapshot(a.save_snapshot()), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::sim
