@@ -35,6 +35,28 @@ inline core::LabConfig lab_config() {
   return core::LabConfig::from_env();
 }
 
+/// One machine-readable JSON line with the lab's cache counters, so a
+/// bench run records whether its numbers came from fresh campaigns or
+/// replayed cache entries (and whether any entry was corrupt). Printed
+/// by every figure bench after its sweep.
+inline void print_cache_telemetry(const core::AssessmentLab& lab) {
+  const core::ResultCache::Telemetry t = lab.cache_telemetry();
+  std::printf(
+      "{\"bench\":\"cache_telemetry\",\"memo_hits\":%llu,"
+      "\"disk_hits\":%llu,\"misses\":%llu,\"stores\":%llu,"
+      "\"store_failures\":%llu,\"corrupt_quarantined\":%llu,"
+      "\"version_skew\":%llu,\"bytes_read\":%llu,\"bytes_written\":%llu}\n",
+      static_cast<unsigned long long>(t.memo_hits),
+      static_cast<unsigned long long>(t.disk_hits),
+      static_cast<unsigned long long>(t.misses),
+      static_cast<unsigned long long>(t.stores),
+      static_cast<unsigned long long>(t.store_failures),
+      static_cast<unsigned long long>(t.corrupt_quarantined),
+      static_cast<unsigned long long>(t.version_skew),
+      static_cast<unsigned long long>(t.bytes_read),
+      static_cast<unsigned long long>(t.bytes_written));
+}
+
 inline void print_campaign_banner(const core::LabConfig& config) {
   std::printf(
       "[sefi] campaign: %llu faults/component (paper: 1000), %llu beam "

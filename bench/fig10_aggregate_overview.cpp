@@ -18,5 +18,6 @@ int main() {
       "\n(paper: SDC averages nearly coincide; adding Application Crashes "
       "widens the gap to 4.3x and adding\n System Crashes to 10.9x — still "
       "within one order of magnitude, which is the headline claim.)\n");
+  sefi::bench::print_cache_telemetry(lab);
   return 0;
 }

@@ -22,5 +22,6 @@ int main() {
       "whose Application Crash rate is higher;\n small-input benchmarks — "
       "Dijkstra, MatMul, StringSearch, Susans — show the highest System "
       "Crash FIT.)\n");
+  sefi::bench::print_cache_telemetry(lab);
   return 0;
 }

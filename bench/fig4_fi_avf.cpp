@@ -22,5 +22,6 @@ int main() {
       "(paper shape: SDCs concentrate in the data-holding structures — L1D "
       "and L2; L1I faults mostly crash;\n TLB vulnerability sits in the "
       "physical-page field; the register file spreads across classes.)\n");
+  sefi::bench::print_cache_telemetry(lab);
   return 0;
 }

@@ -22,5 +22,6 @@ int main() {
   }
   std::printf("\n%s", sefi::report::render_fig5(rows, fit_raw).c_str());
   std::printf("(paper FIT_raw: 2.76e-05 FIT/bit for the Zynq's 28nm SRAM)\n");
+  sefi::bench::print_cache_telemetry(lab);
   return 0;
 }

@@ -19,5 +19,6 @@ int main() {
       "(paper: 10 of 13 benchmarks within 4x, 7 within 2x; the largest "
       "gaps — MatMul, StringSearch, CRC32 —\n occur where absolute SDC "
       "rates are tiny and within statistical error.)\n");
+  sefi::bench::print_cache_telemetry(lab);
   return 0;
 }

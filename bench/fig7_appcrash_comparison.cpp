@@ -20,5 +20,6 @@ int main() {
       "(paper: beam is always higher, from 1.5x to ~500x — crashes are "
       "triggered by logic/control state the\n simulator does not model; "
       "StringSearch, MatMul and Qsort exceed two orders of magnitude.)\n");
+  sefi::bench::print_cache_telemetry(lab);
   return 0;
 }

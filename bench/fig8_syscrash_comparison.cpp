@@ -20,5 +20,6 @@ int main() {
       "smallest-input benchmarks leave kernel state\n cache-resident and "
       "beam-exposed, and the platform's un-modeled interfaces add an "
       "intrinsic crash floor.)\n");
+  sefi::bench::print_cache_telemetry(lab);
   return 0;
 }

@@ -20,5 +20,6 @@ int main() {
       "(paper: combining the classes shrinks the per-benchmark gaps — "
       "MatMul and Qsort fall from ~100x to <10x,\n and JpegD/RijndaelE/"
       "RijndaelD reach 1.08x-1.26x.)\n");
+  sefi::bench::print_cache_telemetry(lab);
   return 0;
 }

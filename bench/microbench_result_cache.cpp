@@ -1,0 +1,137 @@
+// Result-cache storage-layer throughput tracker.
+//
+// The cache is the serving layer for every bench binary: a cached
+// paper sweep is 13 workloads x 2 campaign kinds re-read by ~20
+// processes, so store/load cost and the checksum overhead should stay
+// measurable across commits. Emits one machine-readable JSON line per
+// tier:
+//
+//   {"bench":"result_cache","tier":"disk","entries":512,
+//    "store_wall_seconds":...,"stores_per_sec":...,
+//    "load_wall_seconds":...,"loads_per_sec":...,
+//    "bytes_written":...,"bytes_read":...,"corrupt_quarantined":0}
+//
+// The disk tier stores N synthetic FI results then loads them from a
+// *fresh* cache instance (cold memo, every load pays read + checksum +
+// parse). The memo tier re-loads the same keys from the now-warm
+// instance (every load is a map hit). A final corrupt cell truncates
+// every entry mid-file and re-loads, timing the quarantine path — and
+// asserting not one torn entry parses.
+//
+// Knobs: argv[1] entry count (default 512).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sefi/core/result_cache.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+sefi::fi::WorkloadFiResult synthetic_result(std::uint64_t i) {
+  sefi::fi::WorkloadFiResult result;
+  result.workload = "Synthetic" + std::to_string(i);
+  for (std::size_t c = 0; c < result.components.size(); ++c) {
+    auto& comp = result.components[c];
+    comp.component = static_cast<sefi::microarch::ComponentKind>(c);
+    comp.bits = 4096 + i;
+    comp.counts = {100 + i, i % 7, i % 5, i % 3};
+    comp.error_margin = 0.01;
+  }
+  return result;
+}
+
+void emit(const char* tier, std::uint64_t entries, double store_wall,
+          double load_wall, const sefi::core::ResultCache::Telemetry& t) {
+  std::printf(
+      "{\"bench\":\"result_cache\",\"tier\":\"%s\",\"entries\":%llu,"
+      "\"store_wall_seconds\":%.4f,\"stores_per_sec\":%.1f,"
+      "\"load_wall_seconds\":%.4f,\"loads_per_sec\":%.1f,"
+      "\"bytes_written\":%llu,\"bytes_read\":%llu,"
+      "\"corrupt_quarantined\":%llu}\n",
+      tier, static_cast<unsigned long long>(entries), store_wall,
+      store_wall > 0 ? static_cast<double>(entries) / store_wall : 0.0,
+      load_wall,
+      load_wall > 0 ? static_cast<double>(entries) / load_wall : 0.0,
+      static_cast<unsigned long long>(t.bytes_written),
+      static_cast<unsigned long long>(t.bytes_read),
+      static_cast<unsigned long long>(t.corrupt_quarantined));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t entries =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 512;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sefi-cache-bench").string();
+  std::filesystem::remove_all(dir);
+
+  std::vector<std::string> keys;
+  keys.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    keys.push_back(sefi::core::ResultCache::make_key(
+        "fi", 0xBE7C000000000000ULL + i, "Synthetic" + std::to_string(i)));
+  }
+
+  // Disk tier: sealed stores, then cold loads from a fresh instance.
+  const sefi::core::ResultCache writer(dir);
+  auto start = Clock::now();
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    writer.store_fi(keys[i], synthetic_result(i));
+  }
+  const double store_wall = seconds_since(start);
+
+  const sefi::core::ResultCache cold_reader(dir);
+  start = Clock::now();
+  for (const std::string& key : keys) {
+    if (cold_reader.load_fi(key) == nullptr) {
+      std::fprintf(stderr, "FATAL: cold load missed %s\n", key.c_str());
+      return 1;
+    }
+  }
+  const double cold_load_wall = seconds_since(start);
+  {
+    auto t = cold_reader.telemetry();
+    t.bytes_written = writer.telemetry().bytes_written;
+    emit("disk", entries, store_wall, cold_load_wall, t);
+  }
+
+  // Memo tier: the same loads again on the now-warm instance.
+  start = Clock::now();
+  for (const std::string& key : keys) {
+    if (cold_reader.load_fi(key) == nullptr) return 1;
+  }
+  emit("memo", entries, 0.0, seconds_since(start),
+       sefi::core::ResultCache::Telemetry{});
+
+  // Corrupt cell: truncate every entry mid-file, then load through a
+  // fresh instance — each must read as a quarantined miss, never parse.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const auto size = std::filesystem::file_size(entry.path());
+    std::filesystem::resize_file(entry.path(), size / 2);
+  }
+  const sefi::core::ResultCache torn_reader(dir);
+  start = Clock::now();
+  for (const std::string& key : keys) {
+    if (torn_reader.load_fi(key) != nullptr) {
+      std::fprintf(stderr, "FATAL: torn entry parsed: %s\n", key.c_str());
+      return 1;
+    }
+  }
+  emit("corrupt", entries, 0.0, seconds_since(start),
+       torn_reader.telemetry());
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -14,6 +14,17 @@
 //           [--checkpoints K]
 //       Fault-injection campaign; print per-component classification
 //       and executor throughput. N=0 means hardware concurrency.
+//   sefi_cli cache stats [--sweep]
+//       On-disk result-cache report (entries, corrupt, stale, bytes);
+//       --sweep additionally runs the full compare_all sweep through
+//       the cache and prints hit/miss/store/corrupt telemetry.
+//   sefi_cli cache verify
+//       Checksum-verify every entry; quarantine the bad ones.
+//   sefi_cli cache gc
+//       Drop quarantined entries, stale temps, and old-format files.
+//
+// The cache directory is SEFI_CACHE_DIR (default .sefi-cache, matching
+// the bench suite).
 //
 // Components: L1I L1D L2 RegFile ITLB DTLB.
 #include <cstdio>
@@ -45,7 +56,10 @@ int usage() {
                "       sefi_cli beam <workload> [runs]\n"
                "       sefi_cli beamsweep [runs] [--threads N]\n"
                "       sefi_cli fi <workload> [faults-per-component]"
-               " [--threads N] [--checkpoints K]\n");
+               " [--threads N] [--checkpoints K]\n"
+               "       sefi_cli cache stats [--sweep]\n"
+               "       sefi_cli cache verify\n"
+               "       sefi_cli cache gc\n");
   return 2;
 }
 
@@ -256,6 +270,84 @@ int cmd_fi(const std::vector<std::string>& args) {
   return 0;
 }
 
+void print_telemetry(const core::ResultCache::Telemetry& t) {
+  std::printf(
+      "telemetry: %llu hits (%llu memo + %llu disk), %llu misses, "
+      "%llu stores, %llu store failures\n"
+      "           %llu corrupt quarantined, %llu version-skew skipped | "
+      "%llu bytes read, %llu bytes written\n",
+      static_cast<unsigned long long>(t.hits()),
+      static_cast<unsigned long long>(t.memo_hits),
+      static_cast<unsigned long long>(t.disk_hits),
+      static_cast<unsigned long long>(t.misses),
+      static_cast<unsigned long long>(t.stores),
+      static_cast<unsigned long long>(t.store_failures),
+      static_cast<unsigned long long>(t.corrupt_quarantined),
+      static_cast<unsigned long long>(t.version_skew),
+      static_cast<unsigned long long>(t.bytes_read),
+      static_cast<unsigned long long>(t.bytes_written));
+}
+
+int cmd_cache(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  // Mirror the bench suite's default so `cache` subcommands inspect the
+  // same directory the benches populate.
+  if (std::getenv("SEFI_CACHE_DIR") == nullptr) {
+    ::setenv("SEFI_CACHE_DIR", ".sefi-cache", 0);
+  }
+  const core::ResultCache cache = core::ResultCache::from_env();
+  if (!cache.enabled()) {
+    std::fprintf(stderr, "cache disabled (SEFI_CACHE_DIR is empty)\n");
+    return 1;
+  }
+
+  if (args[0] == "stats") {
+    const bool sweep = args.size() > 1 && args[1] == "--sweep";
+    if (args.size() > (sweep ? 2u : 1u)) return usage();
+    const auto report = cache.verify(false);
+    std::printf("cache dir: %s\n", cache.directory().c_str());
+    std::printf(
+        "entries: %llu (%llu valid, %llu corrupt, %llu old-format) | "
+        "%llu quarantined, %llu stale temps | %llu bytes\n",
+        static_cast<unsigned long long>(report.entries),
+        static_cast<unsigned long long>(report.valid),
+        static_cast<unsigned long long>(report.corrupt),
+        static_cast<unsigned long long>(report.version_skew),
+        static_cast<unsigned long long>(report.quarantined),
+        static_cast<unsigned long long>(report.temp_files),
+        static_cast<unsigned long long>(report.bytes));
+    if (sweep) {
+      core::AssessmentLab lab(core::LabConfig::from_env());
+      const auto comparisons = lab.compare_all();
+      std::printf("sweep: %zu workloads compared\n", comparisons.size());
+      print_telemetry(lab.cache_telemetry());
+    }
+    return 0;
+  }
+
+  if (args[0] == "verify" && args.size() == 1) {
+    const auto report = cache.verify(true);
+    std::printf(
+        "verified %llu entries: %llu valid, %llu corrupt (quarantined), "
+        "%llu old-format (run `cache gc` to reclaim)\n",
+        static_cast<unsigned long long>(report.entries),
+        static_cast<unsigned long long>(report.valid),
+        static_cast<unsigned long long>(report.corrupt),
+        static_cast<unsigned long long>(report.version_skew));
+    return report.corrupt > 0 ? 1 : 0;
+  }
+
+  if (args[0] == "gc" && args.size() == 1) {
+    const auto report = cache.gc();
+    std::printf("gc: removed %llu files, reclaimed %llu bytes\n",
+                static_cast<unsigned long long>(report.removed_files),
+                static_cast<unsigned long long>(report.bytes_reclaimed));
+    return 0;
+  }
+
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,6 +361,7 @@ int main(int argc, char** argv) {
     if (command == "beam") return cmd_beam(args);
     if (command == "beamsweep") return cmd_beamsweep(args);
     if (command == "fi") return cmd_fi(args);
+    if (command == "cache") return cmd_cache(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -122,16 +121,27 @@ class AssessmentLab {
   static AggregateComparison aggregate(
       const std::vector<WorkloadComparison>& sweep);
 
+  /// The lab's result cache (in-process memo over the optional
+  /// SEFI_CACHE_DIR disk tier). Campaign results returned by run_fi /
+  /// run_beam live in its memo, so references stay valid for the lab's
+  /// lifetime.
+  const ResultCache& cache() const { return cache_; }
+
+  /// Snapshot of what the cache did so far in this process — hits per
+  /// tier, misses, stores, failures, quarantined entries, bytes moved.
+  /// CLI and bench binaries report this after their sweeps.
+  ResultCache::Telemetry cache_telemetry() const {
+    return cache_.telemetry();
+  }
+
  private:
-  /// Loads a cached beam result (memory, then disk) into the in-memory
-  /// cache; false when the session still needs to be run.
+  /// True when a beam result for the workload is already available in
+  /// the cache (memo or disk); false when the session must be run.
   bool load_cached_beam(const workloads::Workload& workload);
 
   LabConfig config_;
-  ResultCache disk_cache_ = ResultCache::from_env();
+  ResultCache cache_ = ResultCache::from_env();
   std::optional<double> fit_raw_;
-  std::map<std::string, fi::WorkloadFiResult> fi_cache_;
-  std::map<std::string, beam::BeamResult> beam_cache_;
 };
 
 }  // namespace sefi::core

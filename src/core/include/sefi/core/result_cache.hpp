@@ -1,17 +1,33 @@
-// On-disk campaign result cache.
+// Crash-safe concurrent campaign result cache.
 //
 // Campaigns are deterministic functions of (configuration, workload,
 // seeds), so their results can be cached and shared by the bench
 // binaries — Figs. 3-10 all consume the same sweep, and each bench is a
-// separate process. The cache is opt-in: set SEFI_CACHE_DIR to a
+// separate process. The disk tier is opt-in: set SEFI_CACHE_DIR to a
 // directory to enable it (the bench suite does this in its run recipe).
 //
-// Entries are small human-readable text files keyed by a hash of the
-// full campaign fingerprint (every parameter that affects the result,
-// plus a format version), so stale entries can never be confused with
-// current ones — change a knob and the key changes.
+// Storage contract (format v5, DESIGN.md §9):
+//   - entries are human-readable text files keyed by a hash of the full
+//     campaign fingerprint (every parameter that affects the result,
+//     plus a format version) — change a knob and the key changes;
+//   - every entry carries a trailing FNV-1a checksum footer
+//     (support::seal); an entry that fails verification is treated as a
+//     miss, quarantined (renamed *.quarantined so it is never re-read),
+//     and never parsed — a torn write can't corrupt downstream figures;
+//   - writes go to a process-unique temp sibling and are published with
+//     one atomic rename (support::write_file_atomic); concurrent
+//     same-key writers resolve to last-rename-wins, and the read path
+//     takes no file locks;
+//   - a typed in-process memo tier sits above the disk tier, so
+//     repeated loads of the same key (Lab::compare_all re-reading beam
+//     results, bench binaries sharing a lab) deserialize at most once
+//     per process. The memo works even when the disk tier is disabled.
+//
+// All methods are safe to call from any number of threads.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -40,25 +56,94 @@ std::uint64_t fingerprint(const beam::BeamConfig& config);
 
 class ResultCache {
  public:
-  /// `directory` empty disables the cache (all loads miss, stores no-op).
+  /// Counters for everything the cache did in this process. Snapshot
+  /// semantics: telemetry() copies the live counters under the lock.
+  struct Telemetry {
+    std::uint64_t memo_hits = 0;   ///< served from the in-process tier
+    std::uint64_t disk_hits = 0;   ///< read + checksum-verified from disk
+    std::uint64_t misses = 0;      ///< no usable entry anywhere
+    std::uint64_t stores = 0;      ///< entries atomically published
+    std::uint64_t store_failures = 0;  ///< write/rename failed (counted,
+                                       ///< temp dropped, nothing published)
+    std::uint64_t corrupt_quarantined = 0;  ///< failed checksum/parse,
+                                            ///< renamed *.quarantined
+    std::uint64_t version_skew = 0;  ///< old-format entries skipped
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+
+    std::uint64_t hits() const { return memo_hits + disk_hits; }
+  };
+
+  /// One pass over the cache directory (verify()).
+  struct ScanReport {
+    std::uint64_t entries = 0;      ///< *.txt files examined
+    std::uint64_t valid = 0;        ///< checksum + parseable version
+    std::uint64_t corrupt = 0;      ///< failed checksum, current format
+    std::uint64_t version_skew = 0; ///< older format version
+    std::uint64_t quarantined = 0;  ///< *.quarantined files present
+    std::uint64_t temp_files = 0;   ///< stale atomic-write temps
+    std::uint64_t bytes = 0;        ///< total size of everything above
+  };
+
+  struct GcReport {
+    std::uint64_t removed_files = 0;
+    std::uint64_t bytes_reclaimed = 0;
+  };
+
+  /// `directory` empty disables the disk tier (stores no-op, loads only
+  /// hit the in-process memo).
   explicit ResultCache(std::string directory);
 
-  /// Reads SEFI_CACHE_DIR; unset/empty -> disabled cache.
+  /// Reads SEFI_CACHE_DIR; unset/empty -> disabled disk tier.
   static ResultCache from_env();
 
   bool enabled() const { return !directory_.empty(); }
+  const std::string& directory() const { return directory_; }
 
+  /// Raw payload tier: load verifies + strips the checksum footer
+  /// (quarantining bad entries), store seals + atomically publishes.
+  /// store returns false when the disk write failed (disabled cache
+  /// no-ops return true — nothing was supposed to be written).
   std::optional<std::string> load(const std::string& key) const;
-  void store(const std::string& key, const std::string& payload) const;
+  bool store(const std::string& key, const std::string& payload) const;
+
+  /// Typed tier: memoized deserialized results. Returned pointers and
+  /// references stay valid for the life of the cache object (entries
+  /// are never evicted). load_* returns nullptr on miss; store_*
+  /// memoizes, writes the disk tier, and returns the memoized entry.
+  const fi::WorkloadFiResult* load_fi(const std::string& key) const;
+  const fi::WorkloadFiResult& store_fi(const std::string& key,
+                                       fi::WorkloadFiResult result) const;
+  const beam::BeamResult* load_beam(const std::string& key) const;
+  const beam::BeamResult& store_beam(const std::string& key,
+                                     beam::BeamResult result) const;
+
+  Telemetry telemetry() const;
+
+  /// Scans every entry in the cache directory, checksum-verifying each.
+  /// With `quarantine_bad`, corrupt entries are renamed *.quarantined
+  /// so subsequent loads skip straight to a miss.
+  ScanReport verify(bool quarantine_bad = false) const;
+
+  /// Removes quarantined entries, stale atomic-write temps, and entries
+  /// that no longer verify (corrupt or written by an older format).
+  GcReport gc() const;
 
   /// Cache key for a campaign kind ("fi"/"beam"), fingerprint, workload.
+  /// The workload component is sanitized to [A-Za-z0-9_-] and length-
+  /// capped, with a hash of the raw name appended, so arbitrary workload
+  /// names can neither escape the cache directory nor collide.
   static std::string make_key(const std::string& kind,
                               std::uint64_t fingerprint,
                               const std::string& workload);
 
  private:
+  struct State;  ///< memo maps + telemetry, behind one mutex
+
   std::string path_for(const std::string& key) const;
+
   std::string directory_;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace sefi::core

@@ -79,19 +79,13 @@ double AssessmentLab::fit_raw_per_bit() {
     const std::string key = ResultCache::make_key(
         "beam", fingerprint(calibration),
         workloads::l1_pattern_workload().info().name);
-    beam::BeamResult result;
-    bool have = false;
-    if (const auto cached = disk_cache_.load(key)) {
-      if (auto parsed = deserialize_beam(*cached)) {
-        result = std::move(*parsed);
-        have = true;
-      }
-    }
-    if (!have) {
-      result = beam::run_beam_session(workloads::l1_pattern_workload(),
-                                      calibration);
-      disk_cache_.store(key, serialize(result));
-    }
+    const beam::BeamResult* cached = cache_.load_beam(key);
+    const beam::BeamResult& result =
+        cached != nullptr
+            ? *cached
+            : cache_.store_beam(
+                  key, beam::run_beam_session(
+                           workloads::l1_pattern_workload(), calibration));
     fit_raw_ =
         result.fit_sdc() / static_cast<double>(beam::l1_pattern_bits());
     support::require(*fit_raw_ > 0,
@@ -103,38 +97,23 @@ double AssessmentLab::fit_raw_per_bit() {
 
 const fi::WorkloadFiResult& AssessmentLab::run_fi(
     const workloads::Workload& workload) {
-  const std::string& name = workload.info().name;
-  auto it = fi_cache_.find(name);
-  if (it != fi_cache_.end()) return it->second;
-
-  const std::string key =
-      ResultCache::make_key("fi", fingerprint(config_.fi), name);
-  if (const auto cached = disk_cache_.load(key)) {
-    if (auto parsed = deserialize_fi(*cached)) {
-      return fi_cache_.emplace(name, std::move(*parsed)).first->second;
-    }
+  const std::string key = ResultCache::make_key(
+      "fi", fingerprint(config_.fi), workload.info().name);
+  if (const fi::WorkloadFiResult* cached = cache_.load_fi(key)) {
+    return *cached;
   }
-  fi::WorkloadFiResult result = fi::run_fi_campaign(workload, config_.fi);
-  disk_cache_.store(key, serialize(result));
-  return fi_cache_.emplace(name, std::move(result)).first->second;
+  return cache_.store_fi(key, fi::run_fi_campaign(workload, config_.fi));
 }
 
 const beam::BeamResult& AssessmentLab::run_beam(
     const workloads::Workload& workload) {
-  const std::string& name = workload.info().name;
-  auto it = beam_cache_.find(name);
-  if (it != beam_cache_.end()) return it->second;
-
-  const std::string key =
-      ResultCache::make_key("beam", fingerprint(config_.beam), name);
-  if (const auto cached = disk_cache_.load(key)) {
-    if (auto parsed = deserialize_beam(*cached)) {
-      return beam_cache_.emplace(name, std::move(*parsed)).first->second;
-    }
+  const std::string key = ResultCache::make_key(
+      "beam", fingerprint(config_.beam), workload.info().name);
+  if (const beam::BeamResult* cached = cache_.load_beam(key)) {
+    return *cached;
   }
-  beam::BeamResult result = beam::run_beam_session(workload, config_.beam);
-  disk_cache_.store(key, serialize(result));
-  return beam_cache_.emplace(name, std::move(result)).first->second;
+  return cache_.store_beam(key,
+                           beam::run_beam_session(workload, config_.beam));
 }
 
 FiFitRates AssessmentLab::convert_to_fit(const fi::WorkloadFiResult& result) {
@@ -162,17 +141,9 @@ WorkloadComparison AssessmentLab::compare(
 }
 
 bool AssessmentLab::load_cached_beam(const workloads::Workload& workload) {
-  const std::string& name = workload.info().name;
-  if (beam_cache_.count(name) != 0) return true;
-  const std::string key =
-      ResultCache::make_key("beam", fingerprint(config_.beam), name);
-  if (const auto cached = disk_cache_.load(key)) {
-    if (auto parsed = deserialize_beam(*cached)) {
-      beam_cache_.emplace(name, std::move(*parsed));
-      return true;
-    }
-  }
-  return false;
+  const std::string key = ResultCache::make_key(
+      "beam", fingerprint(config_.beam), workload.info().name);
+  return cache_.load_beam(key) != nullptr;
 }
 
 std::vector<WorkloadComparison> AssessmentLab::compare_all() {
@@ -190,11 +161,9 @@ std::vector<WorkloadComparison> AssessmentLab::compare_all() {
     const std::vector<beam::BeamResult> results =
         beam::run_beam_sessions(beam_missing, config_.beam);
     for (std::size_t i = 0; i < beam_missing.size(); ++i) {
-      const std::string& name = beam_missing[i]->info().name;
-      const std::string key =
-          ResultCache::make_key("beam", fingerprint(config_.beam), name);
-      disk_cache_.store(key, serialize(results[i]));
-      beam_cache_.emplace(name, results[i]);
+      const std::string key = ResultCache::make_key(
+          "beam", fingerprint(config_.beam), beam_missing[i]->info().name);
+      cache_.store_beam(key, results[i]);
     }
   }
   // FI campaigns parallelize internally (run_fi_campaign fans injections

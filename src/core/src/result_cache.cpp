@@ -1,11 +1,17 @@
 #include "sefi/core/result_cache.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include "sefi/support/fsio.hpp"
 #include "sefi/support/hash.hpp"
+#include "sefi/support/seal.hpp"
 #include "sefi/support/strings.hpp"
 
 namespace sefi::core {
@@ -15,7 +21,9 @@ namespace {
 /// Bump on any change to the serialized formats below OR to simulator
 /// behaviour that alters campaign outcomes for identical configurations.
 /// v4: per-component FI sampling streams moved to SplitMix64 derivation.
-constexpr int kFormatVersion = 4;
+/// v5: entries sealed with an FNV-1a checksum footer and published via
+///     atomic rename; pre-v5 caches are unreadable (gc drops them).
+constexpr int kFormatVersion = 5;
 
 void hash_double(support::Fnv1a& h, double value) {
   h.update(support::format_sci(value));
@@ -46,6 +54,30 @@ void hash_kernel(support::Fnv1a& h, const kernel::KernelConfig& k) {
   hash_u64(h, k.mapped_pages);
   hash_u64(h, k.kernel_pages);
   hash_u64(h, k.sched_footprint_words);
+}
+
+/// Format version claimed by a serialized payload's first line
+/// ("fi v<N>" / "beam v<N>"), or nullopt when the text leads with
+/// anything else. Used to tell stale-format entries (ignorable, gc
+/// reclaims them) from genuine corruption (quarantined on sight).
+std::optional<int> payload_version(const std::string& text) {
+  std::istringstream is(text);
+  std::string tag, version;
+  is >> tag >> version;
+  if (!is || (tag != "fi" && tag != "beam")) return std::nullopt;
+  if (version.size() < 2 || version[0] != 'v') return std::nullopt;
+  int value = 0;
+  for (std::size_t i = 1; i < version.size(); ++i) {
+    if (version[i] < '0' || version[i] > '9') return std::nullopt;
+    value = value * 10 + (version[i] - '0');
+  }
+  return value;
+}
+
+void quarantine_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  if (ec) std::filesystem::remove(path, ec);
 }
 
 }  // namespace
@@ -132,6 +164,12 @@ std::optional<fi::WorkloadFiResult> deserialize_fi(const std::string& text) {
         sdc >> comp.counts.sdc >> app >> comp.counts.app_crash >> sys >>
         comp.counts.sys_crash >> margin >> comp.error_margin;
     if (!is || tag != "component") return std::nullopt;
+    // A component id outside the enum would construct a bogus
+    // ComponentKind that component_name()/ProtectionPolicy would index
+    // out of range with — reject it here instead.
+    if (kind < 0 || kind >= static_cast<int>(microarch::kNumComponents)) {
+      return std::nullopt;
+    }
     comp.component = static_cast<microarch::ComponentKind>(kind);
   }
   return result;
@@ -171,8 +209,83 @@ std::optional<beam::BeamResult> deserialize_beam(const std::string& text) {
   return result;
 }
 
+// --- ResultCache -----------------------------------------------------------
+
+struct ResultCache::State {
+  std::mutex mutex;
+  Telemetry telemetry;
+  std::map<std::string, fi::WorkloadFiResult> fi_memo;
+  std::map<std::string, beam::BeamResult> beam_memo;
+
+  // Everything below assumes `mutex` is held.
+
+  /// Disk tier load: read, checksum-verify, strip the footer. Counts a
+  /// disk hit only for a verified payload; corrupt entries are
+  /// quarantined, stale-format entries left in place for gc.
+  std::optional<std::string> disk_load(const ResultCache& cache,
+                                       const std::string& key) {
+    if (!cache.enabled()) {
+      ++telemetry.misses;
+      return std::nullopt;
+    }
+    const std::string path = cache.path_for(key);
+    auto raw = support::read_file(path);
+    if (!raw) {
+      ++telemetry.misses;
+      return std::nullopt;
+    }
+    telemetry.bytes_read += raw->size();
+    auto body = support::unseal(*raw);
+    if (!body) {
+      ++telemetry.misses;
+      const auto version = payload_version(*raw);
+      if (version.has_value() && *version != kFormatVersion) {
+        ++telemetry.version_skew;
+      } else {
+        ++telemetry.corrupt_quarantined;
+        quarantine_file(path);
+      }
+      return std::nullopt;
+    }
+    ++telemetry.disk_hits;
+    return body;
+  }
+
+  /// Disk tier store: seal and atomically publish. Failures drop the
+  /// temp file (inside write_file_atomic) and are only counted.
+  bool disk_store(const ResultCache& cache, const std::string& key,
+                  const std::string& payload) {
+    if (!cache.enabled()) return true;
+    std::error_code ec;
+    std::filesystem::create_directories(cache.directory_, ec);
+    const std::string sealed = support::seal(payload);
+    if (!support::write_file_atomic(cache.path_for(key), sealed)) {
+      ++telemetry.store_failures;
+      return false;
+    }
+    ++telemetry.stores;
+    telemetry.bytes_written += sealed.size();
+    return true;
+  }
+
+  /// A checksum-valid payload that still fails deserialize: re-book the
+  /// provisional disk hit as a corrupt (or stale-format) miss.
+  void demote_unparseable(const ResultCache& cache, const std::string& key,
+                          const std::string& body) {
+    --telemetry.disk_hits;
+    ++telemetry.misses;
+    const auto version = payload_version(body);
+    if (version.has_value() && *version != kFormatVersion) {
+      ++telemetry.version_skew;
+    } else {
+      ++telemetry.corrupt_quarantined;
+      quarantine_file(cache.path_for(key));
+    }
+  }
+};
+
 ResultCache::ResultCache(std::string directory)
-    : directory_(std::move(directory)) {}
+    : directory_(std::move(directory)), state_(std::make_shared<State>()) {}
 
 ResultCache ResultCache::from_env() {
   const char* dir = std::getenv("SEFI_CACHE_DIR");
@@ -182,8 +295,23 @@ ResultCache ResultCache::from_env() {
 std::string ResultCache::make_key(const std::string& kind,
                                   std::uint64_t fingerprint,
                                   const std::string& workload) {
+  // The workload name is user-controlled text destined for a filename:
+  // restrict it to [A-Za-z0-9_-] and cap its length, then append a hash
+  // of the raw name so sanitization can never make two distinct
+  // workloads share a key ("a/b" vs "a_b", or long names truncating to
+  // the same prefix).
+  std::string sanitized;
+  sanitized.reserve(workload.size());
+  for (char c : workload) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    sanitized += ok ? c : '_';
+  }
+  if (sanitized.size() > 48) sanitized.resize(48);
+  if (sanitized.empty()) sanitized = "w";
   std::ostringstream os;
-  os << kind << "-" << workload << "-" << std::hex << fingerprint;
+  os << kind << "-" << sanitized << "-" << std::hex
+     << support::fnv1a(workload) << "-" << fingerprint;
   return os.str();
 }
 
@@ -192,21 +320,136 @@ std::string ResultCache::path_for(const std::string& key) const {
 }
 
 std::optional<std::string> ResultCache::load(const std::string& key) const {
-  if (!enabled()) return std::nullopt;
-  std::ifstream in(path_for(key));
-  if (!in) return std::nullopt;
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->disk_load(*this, key);
 }
 
-void ResultCache::store(const std::string& key,
+bool ResultCache::store(const std::string& key,
                         const std::string& payload) const {
-  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->disk_store(*this, key, payload);
+}
+
+const fi::WorkloadFiResult* ResultCache::load_fi(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (auto it = state_->fi_memo.find(key); it != state_->fi_memo.end()) {
+    ++state_->telemetry.memo_hits;
+    return &it->second;
+  }
+  auto body = state_->disk_load(*this, key);
+  if (!body) return nullptr;
+  auto parsed = deserialize_fi(*body);
+  if (!parsed) {
+    state_->demote_unparseable(*this, key, *body);
+    return nullptr;
+  }
+  return &state_->fi_memo.emplace(key, std::move(*parsed)).first->second;
+}
+
+const fi::WorkloadFiResult& ResultCache::store_fi(
+    const std::string& key, fi::WorkloadFiResult result) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->disk_store(*this, key, serialize(result));
+  return state_->fi_memo.try_emplace(key, std::move(result)).first->second;
+}
+
+const beam::BeamResult* ResultCache::load_beam(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (auto it = state_->beam_memo.find(key); it != state_->beam_memo.end()) {
+    ++state_->telemetry.memo_hits;
+    return &it->second;
+  }
+  auto body = state_->disk_load(*this, key);
+  if (!body) return nullptr;
+  auto parsed = deserialize_beam(*body);
+  if (!parsed) {
+    state_->demote_unparseable(*this, key, *body);
+    return nullptr;
+  }
+  return &state_->beam_memo.emplace(key, std::move(*parsed)).first->second;
+}
+
+const beam::BeamResult& ResultCache::store_beam(const std::string& key,
+                                                beam::BeamResult result) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->disk_store(*this, key, serialize(result));
+  return state_->beam_memo.try_emplace(key, std::move(result)).first->second;
+}
+
+ResultCache::Telemetry ResultCache::telemetry() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->telemetry;
+}
+
+ResultCache::ScanReport ResultCache::verify(bool quarantine_bad) const {
+  ScanReport report;
+  if (!enabled()) return report;
   std::error_code ec;
-  std::filesystem::create_directories(directory_, ec);
-  std::ofstream out(path_for(key));
-  out << payload;
+  std::filesystem::directory_iterator it(directory_, ec);
+  if (ec) return report;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string path = entry.path().string();
+    const std::uint64_t size = entry.file_size(ec);
+    if (name.ends_with(".quarantined")) {
+      ++report.quarantined;
+      report.bytes += size;
+    } else if (name.find(support::kTempInfix) != std::string::npos) {
+      ++report.temp_files;
+      report.bytes += size;
+    } else if (name.ends_with(".txt")) {
+      ++report.entries;
+      report.bytes += size;
+      const auto raw = support::read_file(path);
+      const auto body = raw ? support::unseal(*raw) : std::nullopt;
+      const auto version = body ? payload_version(*body)
+                          : raw ? payload_version(*raw)
+                                : std::nullopt;
+      if (body.has_value() && version == kFormatVersion) {
+        ++report.valid;
+      } else if (version.has_value() && *version != kFormatVersion) {
+        ++report.version_skew;
+      } else {
+        ++report.corrupt;
+        if (quarantine_bad) quarantine_file(path);
+      }
+    }
+  }
+  return report;
+}
+
+ResultCache::GcReport ResultCache::gc() const {
+  GcReport report;
+  if (!enabled()) return report;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory_, ec);
+  if (ec) return report;
+  std::vector<std::pair<std::string, std::uint64_t>> doomed;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string path = entry.path().string();
+    const std::uint64_t size = entry.file_size(ec);
+    if (name.ends_with(".quarantined") ||
+        name.find(support::kTempInfix) != std::string::npos) {
+      doomed.emplace_back(path, size);
+    } else if (name.ends_with(".txt")) {
+      const auto raw = support::read_file(path);
+      const auto body = raw ? support::unseal(*raw) : std::nullopt;
+      if (!body.has_value() || payload_version(*body) != kFormatVersion) {
+        doomed.emplace_back(path, size);
+      }
+    }
+  }
+  for (const auto& [path, size] : doomed) {
+    if (std::filesystem::remove(path, ec)) {
+      ++report.removed_files;
+      report.bytes_reclaimed += size;
+    }
+  }
+  return report;
 }
 
 }  // namespace sefi::core

@@ -1,0 +1,35 @@
+// Crash-safe file I/O primitives.
+//
+// The result cache (and any future on-disk artifact) must survive two
+// hazards: a killed process mid-write, and two processes publishing the
+// same path concurrently. Both are solved the classic way — write the
+// whole payload to a process-unique temp sibling, then publish it with
+// one atomic rename(2). Readers either see the old complete file or the
+// new complete file, never a torn mixture; concurrent same-path writers
+// resolve to last-rename-wins.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sefi::support {
+
+/// Reads a whole file as bytes. std::nullopt when the file cannot be
+/// opened or a read error occurs (never a partial payload).
+std::optional<std::string> read_file(const std::string& path);
+
+/// Atomically publishes `payload` at `path`: writes a unique temp
+/// sibling (`<path>.tmp-<pid>-<seq>`), checks every stream operation,
+/// then renames over `path`. Returns false on any failure — the temp
+/// file is removed and `path` is left untouched (its previous content,
+/// if any, stays intact).
+bool write_file_atomic(const std::string& path, std::string_view payload);
+
+/// Name a write_file_atomic temp sibling would use (exposed so cache
+/// scans can recognize and garbage-collect stale temps from killed
+/// processes). A file is a temp sibling iff its name contains this
+/// infix.
+inline constexpr std::string_view kTempInfix = ".tmp-";
+
+}  // namespace sefi::support

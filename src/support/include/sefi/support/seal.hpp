@@ -1,0 +1,27 @@
+// Checksummed payload framing ("sealing").
+//
+// A sealed payload is the payload bytes followed by one footer line:
+//
+//   fnv1a <16 lowercase hex digits>\n
+//
+// where the digest covers every byte before the footer. unseal() only
+// returns a payload when the footer parses exactly AND the digest
+// matches, so truncation at any byte offset, a flipped bit, or an
+// unsealed legacy file all read as "not a valid payload" instead of
+// parsing into garbage. The framing is content-agnostic — the cache
+// seals serialized results, but any text artifact can use it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sefi::support {
+
+/// Appends the checksum footer line to `payload`.
+std::string seal(std::string payload);
+
+/// Verifies and strips the footer. std::nullopt when the footer is
+/// missing, malformed, or its digest does not match the body.
+std::optional<std::string> unseal(const std::string& sealed);
+
+}  // namespace sefi::support

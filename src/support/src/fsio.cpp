@@ -1,0 +1,55 @@
+#include "sefi/support/fsio.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+namespace sefi::support {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  // istreambuf iteration (rather than `os << in.rdbuf()`) so an empty
+  // file reads as an empty payload, not a stream failure.
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return data;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view payload) {
+  // pid + per-process counter makes the temp name unique across every
+  // concurrent writer, so no two stores ever share a temp file.
+  static std::atomic<std::uint64_t> sequence{0};
+  std::string temp = path;
+  temp += kTempInfix;
+  temp += std::to_string(static_cast<long long>(::getpid()));
+  temp += '-';
+  temp += std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+
+  const auto discard = [&temp] {
+    std::error_code ec;
+    std::filesystem::remove(temp, ec);
+    return false;
+  };
+
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    out.close();
+    if (out.fail()) return discard();
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) return discard();
+  return true;
+}
+
+}  // namespace sefi::support

@@ -1,0 +1,67 @@
+#include "sefi/support/seal.hpp"
+
+#include <cstdio>
+
+#include "sefi/support/hash.hpp"
+
+namespace sefi::support {
+
+namespace {
+
+constexpr std::string_view kFooterPrefix = "fnv1a ";
+constexpr std::size_t kHexDigits = 16;
+// "fnv1a " + 16 hex digits + '\n'.
+constexpr std::size_t kFooterSize = 6 + kHexDigits + 1;
+
+std::string format_digest(std::uint64_t digest) {
+  char buf[kHexDigits + 1];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf, kHexDigits);
+}
+
+/// Parses exactly 16 lowercase hex digits; nullopt on anything else.
+std::optional<std::uint64_t> parse_digest(std::string_view hex) {
+  if (hex.size() != kHexDigits) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string seal(std::string payload) {
+  const std::uint64_t digest = fnv1a(payload);
+  payload += kFooterPrefix;
+  payload += format_digest(digest);
+  payload += '\n';
+  return payload;
+}
+
+std::optional<std::string> unseal(const std::string& sealed) {
+  if (sealed.size() < kFooterSize || sealed.back() != '\n') {
+    return std::nullopt;
+  }
+  const std::size_t body_size = sealed.size() - kFooterSize;
+  const std::string_view footer(sealed.data() + body_size, kFooterSize);
+  if (footer.substr(0, kFooterPrefix.size()) != kFooterPrefix) {
+    return std::nullopt;
+  }
+  const auto digest = parse_digest(footer.substr(kFooterPrefix.size(),
+                                                 kHexDigits));
+  if (!digest) return std::nullopt;
+  const std::string_view body(sealed.data(), body_size);
+  if (fnv1a(body) != *digest) return std::nullopt;
+  return std::string(body);
+}
+
+}  // namespace sefi::support

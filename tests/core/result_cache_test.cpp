@@ -2,10 +2,50 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "sefi/support/seal.hpp"
 
 namespace sefi::core {
 namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh cache directory per test; helpers for raw file manipulation
+/// (the corruption suite works below the ResultCache API on purpose).
+class CacheDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test directory: ctest runs each test in its own parallel
+    // process, so a shared path would race.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("sefi-cache-") + info->name())).string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string entry_path(const std::string& key) const {
+    return dir_ + "/" + key + ".txt";
+  }
+
+  static void write_raw(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  static std::string read_raw(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  std::string dir_;
+};
 
 fi::WorkloadFiResult sample_fi_result() {
   fi::WorkloadFiResult result;
@@ -121,6 +161,239 @@ TEST(ResultCache, KeysEncodeKindWorkloadAndFingerprint) {
   EXPECT_NE(key.find("CRC32"), std::string::npos);
   EXPECT_NE(key.find("abcd"), std::string::npos);
   EXPECT_NE(key, ResultCache::make_key("beam", 0xabcd, "CRC32"));
+}
+
+TEST(Serialization, FiRejectsOutOfRangeComponentKind) {
+  std::string text = serialize(sample_fi_result());
+  const auto broken = [&text](const std::string& bogus) {
+    std::string copy = text;
+    const std::size_t pos = copy.find("component 0 ");
+    EXPECT_NE(pos, std::string::npos);
+    copy.replace(pos, std::string("component 0").size(), "component " + bogus);
+    return copy;
+  };
+  ASSERT_TRUE(deserialize_fi(text).has_value());
+  EXPECT_FALSE(deserialize_fi(broken("6")).has_value());
+  EXPECT_FALSE(deserialize_fi(broken("99")).has_value());
+  EXPECT_FALSE(deserialize_fi(broken("-1")).has_value());
+}
+
+TEST(ResultCache, MakeKeySanitizesWorkloadNames) {
+  const std::string key =
+      ResultCache::make_key("fi", 0x1, "../../etc/passwd");
+  EXPECT_EQ(key.find('/'), std::string::npos);
+  EXPECT_EQ(key.find('.'), std::string::npos);
+  // Names that sanitize to the same text still get distinct keys (the
+  // raw-name hash keeps them apart), so no filename collision is
+  // possible.
+  EXPECT_NE(ResultCache::make_key("fi", 0x1, "a/b"),
+            ResultCache::make_key("fi", 0x1, "a_b"));
+  const std::string long_a(300, 'x');
+  const std::string long_b = long_a + "y";
+  const std::string key_a = ResultCache::make_key("fi", 0x1, long_a);
+  EXPECT_LT(key_a.size(), 120u);
+  EXPECT_NE(key_a, ResultCache::make_key("fi", 0x1, long_b));
+}
+
+TEST_F(CacheDirTest, RoundTripIsBitIdenticalForFiAndBeam) {
+  const std::string fi_payload = serialize(sample_fi_result());
+  const std::string beam_payload = serialize(sample_beam_result());
+  {
+    const ResultCache writer(dir_);
+    EXPECT_TRUE(writer.store("fi-key", fi_payload));
+    EXPECT_TRUE(writer.store("beam-key", beam_payload));
+  }
+  const ResultCache reader(dir_);  // fresh instance: cold memo, disk path
+  EXPECT_EQ(reader.load("fi-key"), fi_payload);
+  EXPECT_EQ(reader.load("beam-key"), beam_payload);
+}
+
+TEST_F(CacheDirTest, TornWriteNeverYieldsASuccessfulDeserialize) {
+  const ResultCache writer(dir_);
+  const std::string key = "fi-torn";
+  writer.store_fi(key, sample_fi_result());
+  const std::string sealed = read_raw(entry_path(key));
+  ASSERT_GT(sealed.size(), 0u);
+  for (std::size_t len = 0; len < sealed.size(); ++len) {
+    write_raw(entry_path(key), sealed.substr(0, len));
+    const ResultCache reader(dir_);
+    EXPECT_EQ(reader.load_fi(key), nullptr)
+        << "entry truncated to " << len << " bytes deserialized";
+    EXPECT_FALSE(fs::exists(entry_path(key)))
+        << "torn entry not quarantined at " << len << " bytes";
+  }
+}
+
+TEST_F(CacheDirTest, BitFlippedEntryLoadsAsMiss) {
+  const ResultCache writer(dir_);
+  const std::string key = "beam-flip";
+  writer.store(key, serialize(sample_beam_result()));
+  const std::string sealed = read_raw(entry_path(key));
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    std::string tampered = sealed;
+    tampered[i] = static_cast<char>(tampered[i] ^ 0x08);
+    write_raw(entry_path(key), tampered);
+    const ResultCache reader(dir_);
+    EXPECT_FALSE(reader.load(key).has_value())
+        << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST_F(CacheDirTest, EmptyEntryIsAQuarantinedMiss) {
+  write_raw(entry_path("empty"), "");
+  const ResultCache cache(dir_);
+  EXPECT_FALSE(cache.load("empty").has_value());
+  EXPECT_FALSE(fs::exists(entry_path("empty")));
+  EXPECT_TRUE(fs::exists(entry_path("empty") + ".quarantined"));
+  EXPECT_EQ(cache.telemetry().corrupt_quarantined, 1u);
+  EXPECT_EQ(cache.telemetry().misses, 1u);
+}
+
+TEST_F(CacheDirTest, VersionSkewIsIgnoredNotQuarantined) {
+  // A pre-v5 entry: no checksum footer at all.
+  write_raw(entry_path("old"),
+            "fi v4\nworkload CRC32\ncomponent 0 bits 10 masked 1 sdc 0 "
+            "app 0 sys 0 margin 0.1\n");
+  const ResultCache cache(dir_);
+  EXPECT_EQ(cache.load_fi("old"), nullptr);
+  EXPECT_TRUE(fs::exists(entry_path("old")));  // left for gc, not renamed
+  EXPECT_EQ(cache.telemetry().version_skew, 1u);
+  EXPECT_EQ(cache.telemetry().corrupt_quarantined, 0u);
+
+  // A sealed entry from a hypothetical other version: checksum passes,
+  // the version tag says "not ours" — also an ignored miss.
+  write_raw(entry_path("future"), support::seal("beam v9\nworkload FFT\n"));
+  EXPECT_EQ(cache.load_beam("future"), nullptr);
+  EXPECT_TRUE(fs::exists(entry_path("future")));
+  EXPECT_EQ(cache.telemetry().version_skew, 2u);
+  EXPECT_EQ(cache.telemetry().corrupt_quarantined, 0u);
+}
+
+TEST_F(CacheDirTest, ConcurrentWritersOnOneKeyLeaveOneValidEntry) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+  const std::string key = "beam-hammer";
+  std::vector<std::string> payloads;
+  for (int t = 0; t < kThreads; ++t) {
+    beam::BeamResult result = sample_beam_result();
+    result.runs = 1000 + static_cast<std::uint64_t>(t);
+    payloads.push_back(serialize(result));
+  }
+  // One ResultCache instance per thread on the same directory — the
+  // cross-process topology the bench suite creates.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &payloads, &key, t] {
+      const ResultCache cache(dir_);
+      for (int round = 0; round < kRounds; ++round) {
+        ASSERT_TRUE(cache.store(key, payloads[t]));
+        const auto seen = cache.load(key);
+        ASSERT_TRUE(seen.has_value());
+        // Whatever we read must be some writer's complete payload.
+        EXPECT_NE(std::find(payloads.begin(), payloads.end(), *seen),
+                  payloads.end());
+        ASSERT_TRUE(deserialize_beam(*seen).has_value());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir_)) {
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);  // exactly one entry, no temp litter
+  const ResultCache reader(dir_);
+  const auto final_payload = reader.load(key);
+  ASSERT_TRUE(final_payload.has_value());
+  EXPECT_NE(std::find(payloads.begin(), payloads.end(), *final_payload),
+            payloads.end());
+  EXPECT_EQ(reader.telemetry().corrupt_quarantined, 0u);
+}
+
+TEST_F(CacheDirTest, TelemetryCountsEveryTier) {
+  const ResultCache cache(dir_);
+  EXPECT_EQ(cache.load_fi("k"), nullptr);
+  EXPECT_EQ(cache.telemetry().misses, 1u);
+
+  cache.store_fi("k", sample_fi_result());
+  EXPECT_EQ(cache.telemetry().stores, 1u);
+  EXPECT_GT(cache.telemetry().bytes_written, 0u);
+
+  ASSERT_NE(cache.load_fi("k"), nullptr);  // memo tier
+  EXPECT_EQ(cache.telemetry().memo_hits, 1u);
+  EXPECT_EQ(cache.telemetry().disk_hits, 0u);
+
+  const ResultCache fresh(dir_);  // disk tier
+  ASSERT_NE(fresh.load_fi("k"), nullptr);
+  EXPECT_EQ(fresh.telemetry().disk_hits, 1u);
+  EXPECT_GT(fresh.telemetry().bytes_read, 0u);
+  ASSERT_NE(fresh.load_fi("k"), nullptr);  // now memoized there too
+  EXPECT_EQ(fresh.telemetry().memo_hits, 1u);
+}
+
+TEST_F(CacheDirTest, FailedStoreIsCountedAndPublishesNothing) {
+  // A cache directory nested under a regular file can never be created:
+  // every store must fail cleanly.
+  write_raw(dir_ + "/blocker", "i am a file");
+  const ResultCache cache(dir_ + "/blocker/cache");
+  EXPECT_FALSE(cache.store("k", "payload"));
+  EXPECT_EQ(cache.telemetry().store_failures, 1u);
+  EXPECT_EQ(cache.telemetry().stores, 0u);
+  // The typed tier still memoizes the result so this process keeps
+  // working; only the disk publish failed.
+  const fi::WorkloadFiResult& memoized =
+      cache.store_fi("k2", sample_fi_result());
+  EXPECT_EQ(memoized.workload, "CRC32");
+  EXPECT_EQ(cache.telemetry().store_failures, 2u);
+  EXPECT_EQ(cache.load_fi("k2"), &memoized);
+}
+
+TEST(ResultCache, MemoServesResultsWhenDiskDisabled) {
+  const ResultCache cache("");
+  EXPECT_EQ(cache.load_beam("k"), nullptr);
+  const beam::BeamResult& stored = cache.store_beam("k", sample_beam_result());
+  EXPECT_EQ(cache.load_beam("k"), &stored);
+  EXPECT_EQ(cache.telemetry().memo_hits, 1u);
+  EXPECT_EQ(cache.telemetry().stores, 0u);
+  EXPECT_EQ(cache.telemetry().store_failures, 0u);
+}
+
+TEST_F(CacheDirTest, VerifyAndGcPartitionTheDirectory) {
+  const ResultCache cache(dir_);
+  cache.store("good", serialize(sample_beam_result()));
+  write_raw(entry_path("corrupt"), "garbage that is not sealed");
+  write_raw(entry_path("old"), "fi v4\nworkload X\n");
+  write_raw(dir_ + "/stale.txt.tmp-999-0", "half a wri");
+  write_raw(dir_ + "/dead.txt.quarantined", "previously quarantined");
+
+  const auto report = cache.verify(false);
+  EXPECT_EQ(report.entries, 3u);
+  EXPECT_EQ(report.valid, 1u);
+  EXPECT_EQ(report.corrupt, 1u);
+  EXPECT_EQ(report.version_skew, 1u);
+  EXPECT_EQ(report.temp_files, 1u);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_GT(report.bytes, 0u);
+
+  // verify(quarantine_bad) renames the corrupt entry out of the way.
+  const auto after = cache.verify(true);
+  EXPECT_EQ(after.corrupt, 1u);
+  EXPECT_FALSE(fs::exists(entry_path("corrupt")));
+  EXPECT_TRUE(fs::exists(entry_path("corrupt") + ".quarantined"));
+
+  // gc drops quarantined + temps + old-format; the valid entry stays.
+  const auto gc = cache.gc();
+  EXPECT_EQ(gc.removed_files, 4u);  // corrupt.q, dead.q, temp, old
+  EXPECT_GT(gc.bytes_reclaimed, 0u);
+  EXPECT_TRUE(fs::exists(entry_path("good")));
+  const ResultCache reader(dir_);
+  EXPECT_TRUE(reader.load("good").has_value());
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir_)) {
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,120 @@
+#include "sefi/support/fsio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+namespace sefi::support {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FsioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test directory: ctest runs each test in its own parallel
+    // process, so a shared path would race.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("sefi-fsio-") + info->name())).string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(FsioTest, ReadMissingFileIsNullopt) {
+  EXPECT_FALSE(read_file(path("missing")).has_value());
+}
+
+TEST_F(FsioTest, WriteThenReadRoundTripsBytes) {
+  const std::string payload("line one\nline two\0binary\xff tail", 30);
+  ASSERT_TRUE(write_file_atomic(path("f"), payload));
+  const auto loaded = read_file(path("f"));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+}
+
+TEST_F(FsioTest, OverwriteReplacesWholePayload) {
+  ASSERT_TRUE(write_file_atomic(path("f"), "a much longer first payload"));
+  ASSERT_TRUE(write_file_atomic(path("f"), "short"));
+  EXPECT_EQ(read_file(path("f")), "short");
+}
+
+TEST_F(FsioTest, LeavesNoTempFilesBehind) {
+  ASSERT_TRUE(write_file_atomic(path("f"), "payload"));
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    ++files;
+    EXPECT_EQ(entry.path().filename().string(), "f");
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(FsioTest, FailedWriteLeavesTargetAndDirectoryUntouched) {
+  ASSERT_TRUE(write_file_atomic(path("f"), "original"));
+  // A path whose parent is a regular file cannot be created: the write
+  // must fail without disturbing anything.
+  EXPECT_FALSE(write_file_atomic(path("f") + "/child", "x"));
+  EXPECT_EQ(read_file(path("f")), "original");
+  // And no temp siblings appeared anywhere in the directory.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string(), "f");
+  }
+}
+
+TEST_F(FsioTest, ConcurrentWritersLeaveOneCompletePayload) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::string> payloads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Distinct sizes so a torn mixture of two payloads is detectable.
+    payloads.push_back(std::string(100 + 37 * t, static_cast<char>('a' + t)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &payloads, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        ASSERT_TRUE(write_file_atomic(path("shared"), payloads[t]));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto final_payload = read_file(path("shared"));
+  ASSERT_TRUE(final_payload.has_value());
+  EXPECT_NE(std::find(payloads.begin(), payloads.end(), *final_payload),
+            payloads.end());
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir_)) {
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(FsioTest, ReadersNeverObserveTornWrites) {
+  const std::string a(256, 'a');
+  const std::string b(4096, 'b');
+  ASSERT_TRUE(write_file_atomic(path("shared"), a));
+  std::thread writer([this, &a, &b] {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(write_file_atomic(path("shared"), i % 2 != 0 ? a : b));
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const auto seen = read_file(path("shared"));
+    ASSERT_TRUE(seen.has_value());
+    EXPECT_TRUE(*seen == a || *seen == b)
+        << "torn read of " << seen->size() << " bytes";
+  }
+  writer.join();
+}
+
+}  // namespace
+}  // namespace sefi::support

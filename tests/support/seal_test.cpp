@@ -1,0 +1,68 @@
+#include "sefi/support/seal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sefi::support {
+namespace {
+
+TEST(Seal, RoundTripsPayloadBitIdentically) {
+  const std::string payload = "fi v5\nworkload CRC32\ncomponent 0 bits 7\n";
+  const std::string sealed = seal(payload);
+  EXPECT_GT(sealed.size(), payload.size());
+  const auto unsealed = unseal(sealed);
+  ASSERT_TRUE(unsealed.has_value());
+  EXPECT_EQ(*unsealed, payload);
+}
+
+TEST(Seal, RoundTripsEmptyAndBinaryPayloads) {
+  for (const std::string payload :
+       {std::string(), std::string("no trailing newline"),
+        std::string("\0\xff\x01 binary", 9)}) {
+    const auto unsealed = unseal(seal(payload));
+    ASSERT_TRUE(unsealed.has_value());
+    EXPECT_EQ(*unsealed, payload);
+  }
+}
+
+TEST(Seal, FooterIsOneTerminatedLine) {
+  const std::string sealed = seal("body\n");
+  EXPECT_EQ(sealed.back(), '\n');
+  EXPECT_NE(sealed.find("body\nfnv1a "), std::string::npos);
+}
+
+TEST(Seal, RejectsUnsealedText) {
+  EXPECT_FALSE(unseal("").has_value());
+  EXPECT_FALSE(unseal("plain text with no footer\n").has_value());
+  EXPECT_FALSE(unseal("fi v4\nworkload CRC32\n").has_value());
+}
+
+TEST(Seal, RejectsTruncationAtEveryOffset) {
+  const std::string sealed = seal("fi v5\nworkload Qsort\nruns 10 sdc 2\n");
+  for (std::size_t len = 0; len < sealed.size(); ++len) {
+    EXPECT_FALSE(unseal(sealed.substr(0, len)).has_value())
+        << "truncation to " << len << " bytes unsealed";
+  }
+}
+
+TEST(Seal, RejectsEverySingleBitFlip) {
+  const std::string sealed = seal("beam v5\nworkload FFT\nruns 600\n");
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string tampered = sealed;
+      tampered[i] = static_cast<char>(tampered[i] ^ (1 << bit));
+      EXPECT_FALSE(unseal(tampered).has_value())
+          << "bit " << bit << " of byte " << i << " flipped undetected";
+    }
+  }
+}
+
+TEST(Seal, RejectsAppendedBytes) {
+  const std::string sealed = seal("payload\n");
+  EXPECT_FALSE(unseal(sealed + "x").has_value());
+  EXPECT_FALSE(unseal(sealed + "\n").has_value());
+}
+
+}  // namespace
+}  // namespace sefi::support
