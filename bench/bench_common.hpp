@@ -55,6 +55,21 @@ inline void print_cache_telemetry(const core::AssessmentLab& lab) {
       static_cast<unsigned long long>(t.version_skew),
       static_cast<unsigned long long>(t.bytes_read),
       static_cast<unsigned long long>(t.bytes_written));
+  // Companion line: what the campaign supervisor did (retries, harness
+  // errors, watchdog hits, journal replays). All-zero on a healthy run,
+  // so any nonzero field in a CI log is a flag worth reading.
+  const core::AssessmentLab::SupervisorTelemetry s =
+      lab.supervisor_telemetry();
+  std::printf(
+      "{\"bench\":\"supervisor_telemetry\",\"tasks_run\":%llu,"
+      "\"journal_replayed\":%llu,\"retries\":%llu,\"harness_errors\":%llu,"
+      "\"watchdog_hits\":%llu,\"cancelled_tasks\":%llu}\n",
+      static_cast<unsigned long long>(s.tasks_run),
+      static_cast<unsigned long long>(s.journal_replayed),
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.harness_errors),
+      static_cast<unsigned long long>(s.watchdog_hits),
+      static_cast<unsigned long long>(s.cancelled_tasks));
 }
 
 inline void print_campaign_banner(const core::LabConfig& config) {

@@ -71,6 +71,8 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       "\"replay_cycles_saved_boot\":%llu,"
       "\"full_restores\":%llu,\"delta_restores\":%llu,"
       "\"restore_bytes_copied\":%llu,\"pages_dirtied_avg\":%.3f,"
+      "\"task_retries\":%llu,\"harness_errors\":%llu,"
+      "\"watchdog_hits\":%llu,"
       "\"speedup_vs_serial\":%.3f,\"full_vs_delta_speedup\":%.3f}\n",
       result.workload.c_str(), static_cast<unsigned long long>(s.threads),
       static_cast<unsigned long long>(s.checkpoints), delta_restore ? 1 : 0,
@@ -85,6 +87,9 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       static_cast<unsigned long long>(s.delta_restores),
       static_cast<unsigned long long>(s.restore_bytes_copied),
       s.pages_dirtied_avg,
+      static_cast<unsigned long long>(s.task_retries),
+      static_cast<unsigned long long>(s.harness_errors),
+      static_cast<unsigned long long>(s.watchdog_hits),
       s.wall_seconds > 0 ? serial_wall / s.wall_seconds : 0.0,
       s.wall_seconds > 0 ? full_twin_wall / s.wall_seconds : 0.0);
   std::fflush(stdout);

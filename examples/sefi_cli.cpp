@@ -14,6 +14,13 @@
 //           [--checkpoints K]
 //       Fault-injection campaign; print per-component classification
 //       and executor throughput. N=0 means hardware concurrency.
+//   sefi_cli campaign run|resume|status <workload> [faults] [--threads N]
+//       Supervised, journaled FI campaign through the lab + cache.
+//       `run` starts fresh (discarding any resume journal), `resume`
+//       continues an interrupted campaign from its journal, `status`
+//       reports journal/cache state without running anything. Ctrl-C
+//       drains cooperatively: in-flight injections finish and are
+//       journaled, then the command exits 130 with a resume hint.
 //   sefi_cli cache stats [--sweep]
 //       On-disk result-cache report (entries, corrupt, stale, bytes);
 //       --sweep additionally runs the full compare_all sweep through
@@ -35,6 +42,7 @@
 
 #include "sefi/beam/session.hpp"
 #include "sefi/core/lab.hpp"
+#include "sefi/exec/supervisor.hpp"
 #include "sefi/fi/campaign.hpp"
 #include "sefi/kernel/kernel.hpp"
 #include "sefi/microarch/detailed.hpp"
@@ -57,6 +65,8 @@ int usage() {
                "       sefi_cli beamsweep [runs] [--threads N]\n"
                "       sefi_cli fi <workload> [faults-per-component]"
                " [--threads N] [--checkpoints K]\n"
+               "       sefi_cli campaign run|resume|status <workload>"
+               " [faults] [--threads N]\n"
                "       sefi_cli cache stats [--sweep]\n"
                "       sefi_cli cache verify\n"
                "       sefi_cli cache gc\n");
@@ -214,36 +224,22 @@ int cmd_beamsweep(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_fi(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
-  const auto& w = workloads::workload_by_name(args[0]);
-  fi::CampaignConfig config;
-  config.rig.uarch = core::scaled_uarch();
-  config.rig.delta_restore =
-      support::env_u64("SEFI_DELTA_RESTORE", 1) != 0;
-  config.faults_per_component = 150;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "--threads" && i + 1 < args.size()) {
-      config.threads = std::strtoull(args[++i].c_str(), nullptr, 10);
-    } else if (args[i] == "--checkpoints" && i + 1 < args.size()) {
-      config.checkpoints = std::strtoull(args[++i].c_str(), nullptr, 10);
-    } else if (i == 1) {
-      config.faults_per_component =
-          std::strtoull(args[1].c_str(), nullptr, 10);
-    } else {
-      return usage();
-    }
-  }
-  const fi::WorkloadFiResult result = fi::run_fi_campaign(w, config);
-  std::printf("%-10s %8s %8s %8s %8s %8s %9s\n", "component", "masked",
-              "sdc", "appcr", "syscr", "AVF%", "margin%");
+// Shared by `fi` and `campaign`: the per-component classification table
+// plus the executor / restore / supervisor stat lines. The line prefixes
+// ("executor:", "restore:", "supervisor:") are stable — CI's
+// kill-and-resume smoke test filters them out when diffing a resumed
+// campaign against a clean one, since throughput is run-dependent.
+void print_fi_result(const fi::WorkloadFiResult& result) {
+  std::printf("%-10s %8s %8s %8s %8s %8s %8s %9s\n", "component", "masked",
+              "sdc", "appcr", "syscr", "harness", "AVF%", "margin%");
   for (const auto& comp : result.components) {
-    std::printf("%-10s %8llu %8llu %8llu %8llu %8.1f %9.2f\n",
+    std::printf("%-10s %8llu %8llu %8llu %8llu %8llu %8.1f %9.2f\n",
                 microarch::component_name(comp.component).c_str(),
                 static_cast<unsigned long long>(comp.counts.masked),
                 static_cast<unsigned long long>(comp.counts.sdc),
                 static_cast<unsigned long long>(comp.counts.app_crash),
                 static_cast<unsigned long long>(comp.counts.sys_crash),
+                static_cast<unsigned long long>(comp.counts.harness_error),
                 comp.avf() * 100, comp.error_margin * 100);
   }
   const fi::CampaignStats& stats = result.stats;
@@ -267,6 +263,105 @@ int cmd_fi(const std::vector<std::string>& args) {
       static_cast<double>(stats.restore_bytes_copied) / (1024.0 * 1024.0),
       stats.pages_dirtied_avg,
       static_cast<double>(stats.ladder_resident_bytes) / (1024.0 * 1024.0));
+  std::printf(
+      "supervisor: %llu run + %llu replayed from journal | %llu retries, "
+      "%llu harness errors, %llu watchdog hits, %llu cancelled\n",
+      static_cast<unsigned long long>(stats.tasks_run),
+      static_cast<unsigned long long>(stats.journal_replayed),
+      static_cast<unsigned long long>(stats.task_retries),
+      static_cast<unsigned long long>(stats.harness_errors),
+      static_cast<unsigned long long>(stats.watchdog_hits),
+      static_cast<unsigned long long>(stats.cancelled_tasks));
+}
+
+int cmd_fi(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto& w = workloads::workload_by_name(args[0]);
+  fi::CampaignConfig config;
+  config.rig.uarch = core::scaled_uarch();
+  config.rig.delta_restore =
+      support::env_u64("SEFI_DELTA_RESTORE", 1) != 0;
+  config.max_task_retries = support::env_u64("SEFI_MAX_TASK_RETRIES", 2);
+  config.task_deadline_ms = support::env_u64("SEFI_TASK_DEADLINE_MS", 0);
+  config.faults_per_component = 150;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      config.threads = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--checkpoints" && i + 1 < args.size()) {
+      config.checkpoints = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (i == 1) {
+      config.faults_per_component =
+          std::strtoull(args[1].c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  const fi::WorkloadFiResult result = fi::run_fi_campaign(w, config);
+  print_fi_result(result);
+  return 0;
+}
+
+int cmd_campaign(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string& action = args[0];
+  if (action != "run" && action != "resume" && action != "status") {
+    return usage();
+  }
+  const auto& w = workloads::workload_by_name(args[1]);
+  // Journals live next to the cache entries; mirror the bench suite's
+  // default directory so `campaign` and `cache` agree.
+  if (std::getenv("SEFI_CACHE_DIR") == nullptr) {
+    ::setenv("SEFI_CACHE_DIR", ".sefi-cache", 0);
+  }
+  core::LabConfig config = core::LabConfig::from_env();
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      config.fi.threads = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (i == 2) {
+      config.fi.faults_per_component =
+          std::strtoull(args[2].c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+
+  if (action == "status") {
+    const core::AssessmentLab lab(config);
+    const auto status = lab.fi_journal_status(w);
+    std::printf("workload: %s (%llu injections)\n", w.info().name.c_str(),
+                static_cast<unsigned long long>(status.total));
+    std::printf("cached result: %s\n", status.cached ? "yes" : "no");
+    if (!status.enabled) {
+      std::printf("journal: disabled (SEFI_JOURNAL=0 or no cache dir)\n");
+    } else if (status.present) {
+      std::printf("journal: %llu/%llu injections resolved (%s)\n",
+                  static_cast<unsigned long long>(status.records),
+                  static_cast<unsigned long long>(status.total),
+                  status.path.c_str());
+    } else {
+      std::printf("journal: none (%s)\n", status.path.c_str());
+    }
+    return 0;
+  }
+
+  // Cooperative SIGINT drain: first ^C stops workers from pulling new
+  // injections (in-flight ones finish and journal), a second ^C restores
+  // the default handler.
+  exec::sigint_token().reset();
+  exec::install_sigint_drain();
+  config.fi.cancel = &exec::sigint_token();
+  config.beam.cancel = &exec::sigint_token();
+
+  core::AssessmentLab lab(config);
+  if (action == "run") lab.discard_fi_journal(w);
+  try {
+    print_fi_result(lab.run_fi(w));
+  } catch (const core::CampaignInterrupted& interrupted) {
+    std::fprintf(stderr, "interrupted: %s\n", interrupted.what());
+    std::fprintf(stderr, "resume with: sefi_cli campaign resume %s\n",
+                 w.info().name.c_str());
+    return 130;
+  }
   return 0;
 }
 
@@ -361,6 +456,7 @@ int main(int argc, char** argv) {
     if (command == "beam") return cmd_beam(args);
     if (command == "beamsweep") return cmd_beamsweep(args);
     if (command == "fi") return cmd_fi(args);
+    if (command == "campaign") return cmd_campaign(args);
     if (command == "cache") return cmd_cache(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

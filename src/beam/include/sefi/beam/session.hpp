@@ -30,12 +30,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "sefi/exec/supervisor.hpp"
 #include "sefi/kernel/kernel.hpp"
 #include "sefi/microarch/detailed.hpp"
 #include "sefi/stats/confidence.hpp"
+#include "sefi/support/journal.hpp"
 #include "sefi/workloads/workload.hpp"
 
 namespace sefi::beam {
@@ -108,6 +111,26 @@ struct BeamConfig {
   /// session's result is bit-identical to a serial sweep because its
   /// randomness is seeded per workload, never shared across sessions.
   std::uint64_t threads = 0;
+
+  // Supervisor knobs (DESIGN.md §10). Like `threads`, these are
+  // execution policy, never result identity: session randomness is
+  // seeded per workload, so a retried or resumed session replays the
+  // exact same beam.
+  /// Extra attempts after a failed one before a session books a
+  /// harness error.
+  std::uint64_t max_task_retries = 2;
+  /// Wall-clock watchdog per session attempt, ms; 0 = off.
+  std::uint64_t task_deadline_ms = 0;
+  /// Cooperative stop flag (SIGINT drain); may be null.
+  const exec::CancellationToken* cancel = nullptr;
+  /// Crash-safe resume journal for multi-session sweeps; may be null.
+  /// Completed sessions found in it are skipped and their recorded
+  /// results reused; newly completed ones are appended.
+  support::TaskJournal* journal = nullptr;
+  /// Test-only fault hook, called as (session_index, attempt) before
+  /// each session attempt; a throw simulates a harness fault. Null in
+  /// production.
+  std::function<void(std::size_t, std::uint64_t)> session_fault_hook;
 };
 
 struct BeamResult {
@@ -133,15 +156,45 @@ struct BeamResult {
                                double confidence = 0.95) const;
 };
 
-/// Runs one beam session for `workload`.
+/// Runs one beam session for `workload`. `guard` (nullable) is polled at
+/// every scheduling event of the session loop so supervised sweeps can
+/// cancel or deadline a stuck session; it may throw TaskCancelled /
+/// TaskDeadlineExceeded out of this call.
 BeamResult run_beam_session(const workloads::Workload& workload,
-                            const BeamConfig& config);
+                            const BeamConfig& config,
+                            const exec::TaskGuard* guard = nullptr);
+
+/// Supervisor telemetry of one multi-session sweep (execution metadata,
+/// never part of any result's identity).
+struct BeamSweepStats {
+  /// Terminal state per session index: kDone (ran here), kSkipped
+  /// (replayed from the journal), kHarnessError (attempts exhausted, or
+  /// journaled as such), kPending (cancelled before it could run).
+  std::vector<exec::TaskState> states;
+  std::uint64_t sessions_run = 0;      ///< sessions executed this process
+  std::uint64_t journal_replayed = 0;  ///< sessions restored from journal
+  std::uint64_t retries = 0;
+  std::uint64_t harness_errors = 0;
+  std::uint64_t watchdog_hits = 0;
+  std::uint64_t cancelled_tasks = 0;
+  bool cancelled = false;  ///< sweep stopped before every session resolved
+};
 
 /// Runs one independent beam session per workload, fanned out over
 /// config.threads workers (the paper's multi-board parallelism: each
 /// session is its own powered machine under its own beam). Results are
 /// returned in input order and are bit-identical to running the
-/// sessions serially one by one.
+/// sessions serially one by one. Runs under the campaign supervisor:
+/// a session that keeps throwing is retried then marked as a harness
+/// error (its result slot stays default-constructed) instead of
+/// aborting the sweep, and config.journal / config.cancel provide
+/// crash-safe resume and cooperative cancellation. `sweep_stats`
+/// (nullable) receives the supervisor telemetry.
+std::vector<BeamResult> run_beam_sessions(
+    const std::vector<const workloads::Workload*>& session_workloads,
+    const BeamConfig& config, BeamSweepStats* sweep_stats);
+
+/// Convenience overload without telemetry.
 std::vector<BeamResult> run_beam_sessions(
     const std::vector<const workloads::Workload*>& session_workloads,
     const BeamConfig& config);

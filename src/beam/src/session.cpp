@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
+
+#include "sefi/exec/supervisor.hpp"
 
 #include "sefi/exec/parallel.hpp"
 #include "sefi/stats/fit.hpp"
@@ -86,7 +89,11 @@ class Session {
         rng_(config.seed ^ support::fnv1a(workload.info().name)),
         kernel_image_(kernel::build_kernel(config.kernel)),
         app_image_(workload.build(config.input_seed)),
-        spawn_addr_(kernel_image_.symbol("spawn")) {
+        spawn_addr_(kernel_image_.symbol("spawn")),
+        // Resolved once per session: getenv takes a libc lock on some
+        // platforms and this flag used to be consulted on every
+        // iteration of the session hot loop.
+        debug_(std::getenv("SEFI_DEBUG") != nullptr) {
     run_golden();
     modeled_bits_total_ = 0;
     // Component weights need a machine; build the first session machine.
@@ -110,7 +117,7 @@ class Session {
     schedule_next_strike();
   }
 
-  BeamResult run() {
+  BeamResult run(const exec::TaskGuard* guard) {
     BeamResult result;
     result.workload = workload_.info().name;
     result.accel_flux_per_cm2_s = accel_flux_;
@@ -149,6 +156,10 @@ class Session {
     };
 
     while (runs_done < config_.runs && now() < session_cap) {
+      // Supervised sweeps poll here — once per scheduling event (strike
+      // delivery, watchdog, run boundary) — so cancellation and the
+      // wall-clock deadline interrupt a stuck session cooperatively.
+      if (guard != nullptr) guard->check();
       const std::uint64_t deadline =
           run_start + golden_cycles_ * config_.hang_budget_factor;
       const std::uint64_t target =
@@ -157,7 +168,7 @@ class Session {
       if (target > now()) {
         event = machine_->run_until_cycle(target - base_);
       }
-      if (std::getenv("SEFI_DEBUG")) {
+      if (debug_) {
         std::fprintf(stderr, "iter: now=%llu target=%llu deadline=%llu strike=%llu ev=%d\n",
           (unsigned long long)now(), (unsigned long long)target,
           (unsigned long long)deadline, (unsigned long long)next_strike_,
@@ -393,34 +404,147 @@ class Session {
   double strike_rate_per_cycle_ = 0;
   double accel_flux_ = 0;
   std::uint64_t next_strike_ = 0;
+  bool debug_ = false;
 };
+
+// Journal payload for one completed session: a single line carrying the
+// workload name plus every BeamResult field, doubles at full round-trip
+// precision. Anything that fails to parse (or names a different
+// workload) is ignored and the session simply re-runs — a journal can
+// cost recomputation, never a wrong result.
+std::string journal_encode(const BeamResult& result) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "b " << result.workload << ' ' << result.runs << ' ' << result.sdc
+      << ' ' << result.app_crash << ' ' << result.sys_crash << ' '
+      << result.strikes << ' ' << result.reboots << ' '
+      << result.exposure_seconds << ' ' << result.fluence_per_cm2 << ' '
+      << result.accel_flux_per_cm2_s;
+  return out.str();
+}
+
+bool journal_decode(const std::string& payload,
+                    const std::string& expected_workload, BeamResult* result) {
+  std::istringstream in(payload);
+  std::string tag, workload;
+  BeamResult parsed;
+  if (!(in >> tag >> workload >> parsed.runs >> parsed.sdc >>
+        parsed.app_crash >> parsed.sys_crash >> parsed.strikes >>
+        parsed.reboots >> parsed.exposure_seconds >> parsed.fluence_per_cm2 >>
+        parsed.accel_flux_per_cm2_s)) {
+    return false;
+  }
+  if (tag != "b" || workload != expected_workload) return false;
+  parsed.workload = workload;
+  *result = parsed;
+  return true;
+}
+
+/// Journal marker for a session whose retry budget ran out: a resume
+/// must keep the harness-error verdict instead of re-burning retries.
+constexpr const char* kJournalHarnessError = "x";
 
 }  // namespace
 
 BeamResult run_beam_session(const workloads::Workload& workload,
-                            const BeamConfig& config) {
+                            const BeamConfig& config,
+                            const exec::TaskGuard* guard) {
   support::require(config.runs > 0, "run_beam_session: need at least one run");
   support::require(config.strikes_per_run > 0,
                    "run_beam_session: strikes_per_run must be positive");
   Session session(workload, config);
-  return session.run();
+  return session.run(guard);
+}
+
+std::vector<BeamResult> run_beam_sessions(
+    const std::vector<const workloads::Workload*>& session_workloads,
+    const BeamConfig& config, BeamSweepStats* sweep_stats) {
+  // Each session owns its machine and seeds its RNG from the workload
+  // name, so sessions share nothing — fan them out under the supervisor
+  // and collect results by input index. Session randomness never depends
+  // on scheduling, so a retried, resumed, or re-ordered sweep yields
+  // bit-identical per-session results.
+  const std::size_t count = session_workloads.size();
+  std::vector<BeamResult> results(count);
+
+  // Replay the resume journal (if any) before dispatch.
+  std::vector<char> replayed(count, 0);
+  std::vector<char> replayed_harness(count, 0);
+  if (config.journal != nullptr) {
+    for (std::size_t index = 0; index < count; ++index) {
+      const std::string* payload =
+          config.journal->lookup(static_cast<std::uint64_t>(index));
+      if (payload == nullptr) continue;
+      if (*payload == kJournalHarnessError) {
+        replayed[index] = 1;
+        replayed_harness[index] = 1;
+        continue;
+      }
+      if (journal_decode(*payload, session_workloads[index]->info().name,
+                         &results[index])) {
+        replayed[index] = 1;
+      }
+    }
+  }
+
+  const std::size_t threads = exec::resolve_threads(config.threads, count);
+  exec::SupervisorConfig supervisor;
+  supervisor.threads = threads;
+  supervisor.max_task_retries = config.max_task_retries;
+  supervisor.task_deadline_ms = config.task_deadline_ms;
+  supervisor.cancel = config.cancel;
+
+  const exec::SupervisorReport report = exec::run_supervised(
+      supervisor, count,
+      [&](std::size_t index) { return replayed[index] != 0; },
+      [&](std::size_t, std::size_t index, std::uint64_t attempt,
+          const exec::TaskGuard& guard) {
+        if (config.session_fault_hook) {
+          config.session_fault_hook(index, attempt);
+        }
+        results[index] =
+            run_beam_session(*session_workloads[index], config, &guard);
+        if (config.journal != nullptr) {
+          config.journal->record(static_cast<std::uint64_t>(index),
+                                 journal_encode(results[index]));
+        }
+      },
+      /*recover=*/nullptr);
+
+  // Terminal states per session: journaled harness errors keep their
+  // verdict, and freshly exhausted sessions journal theirs so a resume
+  // does not re-burn the retry budget. Harness-errored result slots stay
+  // default-constructed (zero runs) — callers must consult the states.
+  std::vector<exec::TaskState> states = report.states;
+  std::uint64_t harness_errors = 0;
+  for (std::size_t index = 0; index < count; ++index) {
+    if (replayed_harness[index] != 0) {
+      states[index] = exec::TaskState::kHarnessError;
+    } else if (report.states[index] == exec::TaskState::kHarnessError &&
+               config.journal != nullptr) {
+      config.journal->record(static_cast<std::uint64_t>(index),
+                             kJournalHarnessError);
+    }
+    if (states[index] == exec::TaskState::kHarnessError) ++harness_errors;
+  }
+
+  if (sweep_stats != nullptr) {
+    sweep_stats->states = std::move(states);
+    sweep_stats->sessions_run = report.completed;
+    sweep_stats->journal_replayed = report.skipped;
+    sweep_stats->retries = report.retries;
+    sweep_stats->harness_errors = harness_errors;
+    sweep_stats->watchdog_hits = report.watchdog_hits;
+    sweep_stats->cancelled_tasks = report.cancelled_tasks;
+    sweep_stats->cancelled = report.cancelled;
+  }
+  return results;
 }
 
 std::vector<BeamResult> run_beam_sessions(
     const std::vector<const workloads::Workload*>& session_workloads,
     const BeamConfig& config) {
-  // Each session owns its machine and seeds its RNG from the workload
-  // name, so sessions share nothing — fan them out and collect results
-  // by input index.
-  std::vector<BeamResult> results(session_workloads.size());
-  const std::size_t threads =
-      exec::resolve_threads(config.threads, session_workloads.size());
-  exec::for_each_task(threads, session_workloads.size(),
-                      [&](std::size_t, std::size_t index) {
-                        results[index] = run_beam_session(
-                            *session_workloads[index], config);
-                      });
-  return results;
+  return run_beam_sessions(session_workloads, config, nullptr);
 }
 
 std::uint64_t l1_pattern_bits() {

@@ -27,6 +27,7 @@
 #include "sefi/core/result_cache.hpp"
 #include "sefi/fi/campaign.hpp"
 #include "sefi/stats/fit.hpp"
+#include "sefi/support/error.hpp"
 #include "sefi/workloads/workload.hpp"
 
 namespace sefi::core {
@@ -47,15 +48,47 @@ struct LabConfig {
   fi::CampaignConfig fi;
   beam::BeamConfig beam;
 
+  /// Crash-safe resume journals for interrupted campaigns (DESIGN.md
+  /// §10). Journals live next to the cache entries, so they require the
+  /// disk cache (SEFI_CACHE_DIR); with the cache disabled this flag is
+  /// ignored. SEFI_JOURNAL=0 turns journaling off.
+  bool journal_enabled = true;
+
   /// Reads campaign sizes from the environment (SEFI_FAULTS,
-  /// SEFI_BEAM_RUNS, SEFI_SEED) and executor knobs (SEFI_THREADS,
-  /// SEFI_CHECKPOINTS, SEFI_DELTA_RESTORE), falling back to the given
-  /// defaults — the bench binaries' knobs for quick vs. paper-scale
-  /// campaigns. Installs the scaled microarchitecture in both setups.
-  /// The executor knobs never change results (see fi::CampaignConfig),
-  /// only wall-clock.
+  /// SEFI_BEAM_RUNS, SEFI_SEED), executor knobs (SEFI_THREADS,
+  /// SEFI_CHECKPOINTS, SEFI_DELTA_RESTORE), and supervisor knobs
+  /// (SEFI_MAX_TASK_RETRIES, SEFI_TASK_DEADLINE_MS, SEFI_JOURNAL),
+  /// falling back to the given defaults — the bench binaries' knobs for
+  /// quick vs. paper-scale campaigns. Installs the scaled
+  /// microarchitecture in both setups. The executor and supervisor
+  /// knobs never change results (see fi::CampaignConfig), only
+  /// wall-clock and fault tolerance.
   static LabConfig from_env(std::uint64_t default_faults = 150,
                             std::uint64_t default_beam_runs = 600);
+};
+
+/// Thrown by run_fi / compare_all when a cooperative cancellation (the
+/// SIGINT drain, or any CancellationToken wired into the campaign
+/// configs) stopped a campaign before every experiment resolved.
+/// Finished work is preserved — completed beam sessions are cached, and
+/// with journaling enabled every finished injection is journaled — so
+/// re-running the same command resumes instead of starting over. The
+/// partial result itself is never cached or memoized.
+class CampaignInterrupted : public support::SefiError {
+ public:
+  CampaignInterrupted(const std::string& message, std::uint64_t resolved,
+                      std::uint64_t total)
+      : support::SefiError(message), resolved_(resolved), total_(total) {}
+
+  /// Tasks already resolved (journaled, cached, or replayed) when the
+  /// campaign stopped.
+  std::uint64_t resolved() const { return resolved_; }
+  /// Tasks the campaign comprises in total.
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::uint64_t resolved_ = 0;
+  std::uint64_t total_ = 0;
 };
 
 /// Per-class FIT rates predicted from a fault-injection campaign via the
@@ -134,14 +167,54 @@ class AssessmentLab {
     return cache_.telemetry();
   }
 
+  /// What the campaign supervisor did across every campaign this lab ran
+  /// in this process (DESIGN.md §10). All-zero on a healthy, uncancelled,
+  /// journal-less run.
+  struct SupervisorTelemetry {
+    std::uint64_t tasks_run = 0;         ///< tasks executed here
+    std::uint64_t journal_replayed = 0;  ///< tasks restored from journals
+    std::uint64_t retries = 0;
+    std::uint64_t harness_errors = 0;
+    std::uint64_t watchdog_hits = 0;
+    std::uint64_t cancelled_tasks = 0;
+  };
+  SupervisorTelemetry supervisor_telemetry() const { return supervisor_; }
+
+  /// True when campaigns run by this lab keep resume journals (the flag
+  /// is on and the disk cache is enabled to hold them).
+  bool journaling_enabled() const {
+    return config_.journal_enabled && cache_.enabled();
+  }
+
+  /// Resume state of one workload's FI campaign (for status commands).
+  struct JournalStatus {
+    bool enabled = false;   ///< journaling active for this lab
+    bool present = false;   ///< an intact journal for this campaign exists
+    bool cached = false;    ///< the finished result is already cached
+    std::uint64_t records = 0;  ///< injections the journal has resolved
+    std::uint64_t total = 0;    ///< injections the campaign comprises
+    std::string path;           ///< journal file location
+  };
+  JournalStatus fi_journal_status(const workloads::Workload& workload) const;
+
+  /// Deletes the workload's FI resume journal (campaign restarts from
+  /// scratch). Returns true when a file was removed.
+  bool discard_fi_journal(const workloads::Workload& workload) const;
+
  private:
   /// True when a beam result for the workload is already available in
   /// the cache (memo or disk); false when the session must be run.
   bool load_cached_beam(const workloads::Workload& workload);
 
+  /// Journal file path for the workload's FI campaign under the current
+  /// configuration (campaign identity is baked into the name, so a
+  /// config change orphans the old journal instead of resuming from it).
+  std::string fi_journal_path(const std::string& key) const;
+
   LabConfig config_;
   ResultCache cache_ = ResultCache::from_env();
   std::optional<double> fit_raw_;
+  SupervisorTelemetry supervisor_;
 };
 
 }  // namespace sefi::core

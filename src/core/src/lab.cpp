@@ -1,5 +1,7 @@
 #include "sefi/core/lab.hpp"
 
+#include <filesystem>
+
 #include "sefi/support/error.hpp"
 #include "sefi/support/strings.hpp"
 
@@ -29,6 +31,13 @@ LabConfig LabConfig::from_env(std::uint64_t default_faults,
   const bool delta = support::env_u64("SEFI_DELTA_RESTORE", 1) != 0;
   config.fi.rig.delta_restore = delta;
   config.beam.delta_restore = delta;
+  const std::uint64_t retries = support::env_u64("SEFI_MAX_TASK_RETRIES", 2);
+  config.fi.max_task_retries = retries;
+  config.beam.max_task_retries = retries;
+  const std::uint64_t deadline = support::env_u64("SEFI_TASK_DEADLINE_MS", 0);
+  config.fi.task_deadline_ms = deadline;
+  config.beam.task_deadline_ms = deadline;
+  config.journal_enabled = support::env_u64("SEFI_JOURNAL", 1) != 0;
   const std::uint64_t seed = support::env_u64("SEFI_SEED", 0);
   if (seed != 0) {
     config.fi.seed = seed;
@@ -95,6 +104,10 @@ double AssessmentLab::fit_raw_per_bit() {
   return *fit_raw_;
 }
 
+std::string AssessmentLab::fi_journal_path(const std::string& key) const {
+  return cache_.directory() + "/" + key + ".journal";
+}
+
 const fi::WorkloadFiResult& AssessmentLab::run_fi(
     const workloads::Workload& workload) {
   const std::string key = ResultCache::make_key(
@@ -102,7 +115,41 @@ const fi::WorkloadFiResult& AssessmentLab::run_fi(
   if (const fi::WorkloadFiResult* cached = cache_.load_fi(key)) {
     return *cached;
   }
-  return cache_.store_fi(key, fi::run_fi_campaign(workload, config_.fi));
+  // Run under a resume journal when enabled: an interrupted (or killed)
+  // campaign replays its finished injections on the next run_fi call
+  // with the same configuration. The key *is* the campaign identity, so
+  // a stale journal from a different config can never be resumed from —
+  // its filename (and header) simply don't match.
+  fi::CampaignConfig campaign = config_.fi;
+  std::optional<support::TaskJournal> journal;
+  if (journaling_enabled()) {
+    journal.emplace(fi_journal_path(key), "fi " + key);
+    campaign.journal = &*journal;
+  }
+  fi::WorkloadFiResult result = fi::run_fi_campaign(workload, campaign);
+  supervisor_.tasks_run += result.stats.tasks_run;
+  supervisor_.journal_replayed += result.stats.journal_replayed;
+  supervisor_.retries += result.stats.task_retries;
+  supervisor_.harness_errors += result.stats.harness_errors;
+  supervisor_.watchdog_hits += result.stats.watchdog_hits;
+  supervisor_.cancelled_tasks += result.stats.cancelled_tasks;
+  if (result.stats.cancelled) {
+    // Leave the journal in place — it is the resume state — and do not
+    // cache or memoize the partial result.
+    const std::uint64_t resolved = result.stats.journal_replayed +
+                                   result.stats.tasks_run +
+                                   result.stats.harness_errors;
+    throw CampaignInterrupted(
+        "FI campaign for " + workload.info().name + " interrupted (" +
+            std::to_string(resolved) + "/" +
+            std::to_string(result.stats.injections) + " injections resolved" +
+            (journal.has_value() ? ", journaled; rerun to resume"
+                                 : "; enable SEFI_CACHE_DIR to resume") +
+            ")",
+        resolved, result.stats.injections);
+  }
+  if (journal.has_value()) journal->remove();
+  return cache_.store_fi(key, std::move(result));
 }
 
 const beam::BeamResult& AssessmentLab::run_beam(
@@ -140,6 +187,39 @@ WorkloadComparison AssessmentLab::compare(
   return comparison;
 }
 
+AssessmentLab::JournalStatus AssessmentLab::fi_journal_status(
+    const workloads::Workload& workload) const {
+  JournalStatus status;
+  status.enabled = journaling_enabled();
+  status.total =
+      config_.fi.faults_per_component * microarch::kNumComponents;
+  if (!cache_.enabled()) return status;
+  const std::string key = ResultCache::make_key(
+      "fi", fingerprint(config_.fi), workload.info().name);
+  status.path = fi_journal_path(key);
+  std::error_code ec;
+  status.cached =
+      std::filesystem::exists(cache_.directory() + "/" + key + ".txt", ec);
+  const support::TaskJournal::Status on_disk =
+      support::TaskJournal::inspect(status.path);
+  // A journal whose header names a different campaign is resume state
+  // for nothing — report it as absent (opening it would discard it).
+  if (on_disk.present && on_disk.header == "fi " + key) {
+    status.present = true;
+    status.records = on_disk.records;
+  }
+  return status;
+}
+
+bool AssessmentLab::discard_fi_journal(
+    const workloads::Workload& workload) const {
+  if (!cache_.enabled()) return false;
+  const std::string key = ResultCache::make_key(
+      "fi", fingerprint(config_.fi), workload.info().name);
+  std::error_code ec;
+  return std::filesystem::remove(fi_journal_path(key), ec);
+}
+
 bool AssessmentLab::load_cached_beam(const workloads::Workload& workload) {
   const std::string key = ResultCache::make_key(
       "beam", fingerprint(config_.beam), workload.info().name);
@@ -158,13 +238,54 @@ std::vector<WorkloadComparison> AssessmentLab::compare_all() {
     if (!load_cached_beam(*workload)) beam_missing.push_back(workload);
   }
   if (!beam_missing.empty()) {
+    // The sweep journal covers the *uncached* session list, which shrinks
+    // as sessions complete and get cached — so its header names the
+    // exact list it indexes. A resume with a different uncached set
+    // (some sessions finished and were cached last time) simply starts a
+    // fresh journal; the cache already carries the finished sessions.
+    beam::BeamConfig sweep_config = config_.beam;
+    std::optional<support::TaskJournal> journal;
+    if (journaling_enabled()) {
+      const std::string key = ResultCache::make_key(
+          "beamsweep", fingerprint(config_.beam), "sweep");
+      std::string header = "beam " + key;
+      for (const workloads::Workload* workload : beam_missing) {
+        header += " " + workload->info().name;
+      }
+      journal.emplace(cache_.directory() + "/" + key + ".journal", header);
+      sweep_config.journal = &*journal;
+    }
+    beam::BeamSweepStats sweep_stats;
     const std::vector<beam::BeamResult> results =
-        beam::run_beam_sessions(beam_missing, config_.beam);
+        beam::run_beam_sessions(beam_missing, sweep_config, &sweep_stats);
+    supervisor_.tasks_run += sweep_stats.sessions_run;
+    supervisor_.journal_replayed += sweep_stats.journal_replayed;
+    supervisor_.retries += sweep_stats.retries;
+    supervisor_.harness_errors += sweep_stats.harness_errors;
+    supervisor_.watchdog_hits += sweep_stats.watchdog_hits;
+    supervisor_.cancelled_tasks += sweep_stats.cancelled_tasks;
+    // Publish every session that resolved to a real result — even when
+    // the sweep was cancelled, so a resume re-runs only the remainder.
+    std::uint64_t resolved = 0;
     for (std::size_t i = 0; i < beam_missing.size(); ++i) {
+      const exec::TaskState state = sweep_stats.states[i];
+      if (state != exec::TaskState::kDone &&
+          state != exec::TaskState::kSkipped) {
+        continue;
+      }
+      ++resolved;
       const std::string key = ResultCache::make_key(
           "beam", fingerprint(config_.beam), beam_missing[i]->info().name);
       cache_.store_beam(key, results[i]);
     }
+    if (sweep_stats.cancelled) {
+      throw CampaignInterrupted(
+          "beam sweep interrupted (" + std::to_string(resolved) + "/" +
+              std::to_string(beam_missing.size()) +
+              " sessions resolved and cached; rerun to resume)",
+          resolved, beam_missing.size());
+    }
+    if (journal.has_value()) journal->remove();
   }
   // FI campaigns parallelize internally (run_fi_campaign fans injections
   // over config_.fi.threads workers), so run them one after another.

@@ -23,7 +23,10 @@ namespace {
 /// v4: per-component FI sampling streams moved to SplitMix64 derivation.
 /// v5: entries sealed with an FNV-1a checksum footer and published via
 ///     atomic rename; pre-v5 caches are unreadable (gc drops them).
-constexpr int kFormatVersion = 5;
+/// v6: FI component lines carry the harness-error count (experiments the
+///     campaign supervisor could not complete; excluded from AVF
+///     denominators).
+constexpr int kFormatVersion = 6;
 
 void hash_double(support::Fnv1a& h, double value) {
   h.update(support::format_sci(value));
@@ -101,7 +104,9 @@ std::uint64_t fingerprint(const fi::CampaignConfig& config) {
   // config.threads, config.checkpoints, and config.rig.delta_restore are
   // deliberately NOT hashed: the executor contract guarantees
   // bit-identical results for any values, so they are not part of the
-  // campaign's identity.
+  // campaign's identity. The supervisor knobs (max_task_retries,
+  // task_deadline_ms, cancel, journal, task_fault_hook) are excluded for
+  // the same reason — on a healthy harness they cannot change outcomes.
   return h.digest();
 }
 
@@ -130,7 +135,9 @@ std::uint64_t fingerprint(const beam::BeamConfig& config) {
   // config.threads and config.delta_restore are deliberately NOT hashed:
   // the former only schedules independent sessions across workers, the
   // latter is a restore fast path a beam session never exercises;
-  // neither changes any result.
+  // neither changes any result. The supervisor knobs (max_task_retries,
+  // task_deadline_ms, cancel, journal, session_fault_hook) are excluded
+  // for the same reason.
   return h.digest();
 }
 
@@ -142,7 +149,8 @@ std::string serialize(const fi::WorkloadFiResult& result) {
     os << "component " << static_cast<int>(comp.component) << " bits "
        << comp.bits << " masked " << comp.counts.masked << " sdc "
        << comp.counts.sdc << " app " << comp.counts.app_crash << " sys "
-       << comp.counts.sys_crash << " margin " << comp.error_margin << "\n";
+       << comp.counts.sys_crash << " harness " << comp.counts.harness_error
+       << " margin " << comp.error_margin << "\n";
   }
   return os.str();
 }
@@ -159,11 +167,14 @@ std::optional<fi::WorkloadFiResult> deserialize_fi(const std::string& text) {
   if (tag != "workload") return std::nullopt;
   for (auto& comp : result.components) {
     int kind = 0;
-    std::string bits, masked, sdc, app, sys, margin;
+    std::string bits, masked, sdc, app, sys, harness, margin;
     is >> tag >> kind >> bits >> comp.bits >> masked >> comp.counts.masked >>
         sdc >> comp.counts.sdc >> app >> comp.counts.app_crash >> sys >>
-        comp.counts.sys_crash >> margin >> comp.error_margin;
-    if (!is || tag != "component") return std::nullopt;
+        comp.counts.sys_crash >> harness >> comp.counts.harness_error >>
+        margin >> comp.error_margin;
+    if (!is || tag != "component" || harness != "harness") {
+      return std::nullopt;
+    }
     // A component id outside the enum would construct a bogus
     // ComponentKind that component_name()/ProtectionPolicy would index
     // out of range with — reject it here instead.

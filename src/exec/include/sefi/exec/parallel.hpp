@@ -14,7 +14,10 @@
 //     per-worker state (a private sim::Machine restored from a shared
 //     snapshot) without locking;
 //   - `threads == 1` runs inline on the calling thread — the serial path
-//     stays the serial path, with zero thread machinery in the way.
+//     stays the serial path, with zero thread machinery in the way;
+//   - a shared CancellationToken lets SIGINT handlers and supervisor
+//     watchdogs stop the drain cooperatively: workers finish their
+//     in-flight task and stop pulling new indices.
 //
 // The determinism contract: callers must (a) pre-sample all randomness
 // before dispatch and (b) write each task's result only into its own
@@ -23,8 +26,10 @@
 // asserted end-to-end for campaigns in tests/faultinject/campaign_test).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 
 namespace sefi::exec {
@@ -37,11 +42,52 @@ std::size_t hardware_threads();
 /// campaign never spawns idle workers.
 std::size_t resolve_threads(std::uint64_t requested, std::size_t task_count);
 
+/// One shared stop flag. request_stop() is async-signal-safe and
+/// thread-safe (it only stores an atomic), so the same token serves the
+/// SIGINT drain, watchdog cancellation, and test harnesses.
+class CancellationToken {
+ public:
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the token (between campaigns in one process).
+  void reset() { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+/// What a drain did. The drain contract (tested in parallel_test):
+/// every index in [0, count) is attempted exactly once, in cursor order
+/// per worker, unless cancellation stops the drain early — task
+/// exceptions are caught and counted, and do NOT abandon the remaining
+/// tasks. `completed + failed + not attempted == count` always holds;
+/// `cancelled` reports whether the token stopped the drain.
+struct DrainReport {
+  std::size_t completed = 0;  ///< tasks whose callback returned normally
+  std::size_t failed = 0;     ///< tasks whose callback threw
+  std::size_t first_failed_index = SIZE_MAX;  ///< index of first_error's task
+  std::exception_ptr first_error;  ///< the first failure observed (by time)
+  bool cancelled = false;          ///< the token stopped the drain early
+};
+
 /// Runs `task(worker, index)` for every index in [0, count), distributed
 /// over `threads` OS threads through a shared atomic cursor. Worker ids
-/// are dense in [0, threads). Blocks until all tasks finish. If any task
-/// throws, the first exception is rethrown on the calling thread after
-/// all workers drain (remaining tasks are abandoned, not executed).
+/// are dense in [0, threads). Blocks until all workers drain. Exceptions
+/// are collected per the DrainReport contract, never rethrown; `cancel`
+/// (may be nullptr) stops workers from pulling new tasks once set.
+DrainReport for_each_task(std::size_t threads, std::size_t count,
+                          const std::function<void(std::size_t worker,
+                                                   std::size_t index)>& task,
+                          const CancellationToken* cancel);
+
+/// Legacy throwing form: behaves like the DrainReport overload driven by
+/// an internal token that requests stop on the first failure, then
+/// rethrows that first exception after all workers drain (remaining
+/// tasks are abandoned, not executed). Prefer the report form for new
+/// callers — it preserves the failure count instead of racing to the
+/// first throw.
 void for_each_task(std::size_t threads, std::size_t count,
                    const std::function<void(std::size_t worker,
                                             std::size_t index)>& task);

@@ -1,0 +1,141 @@
+// Fault-tolerant campaign supervision.
+//
+// Production-scale campaigns (1,000 injections x 6 components x 13
+// workloads, beam sweeps scaled to megayears of fluence) cannot afford
+// the old executor contract where one worker exception aborts the whole
+// campaign and discards every finished injection. Real injection
+// frameworks treat harness faults as first-class outcomes — ZOFI
+// classifies runs it cannot complete instead of dying — and this layer
+// gives our executors the same three guarantees (DESIGN.md §10):
+//
+//   1. *Fault isolation.* Each task attempt runs under try/catch. A
+//      thrown exception (sim invariant violation, bad_alloc, a guest
+//      triple-fault escaping the model) fails only that attempt: the
+//      supervisor calls the caller's `recover` hook to rebuild the
+//      worker's private state (a fresh Machine restored from snapshot)
+//      and retries the SAME task up to max_task_retries times. Because
+//      campaign randomness is pre-sampled, a retry re-executes a
+//      bit-identical experiment — determinism survives recovery.
+//   2. *Wall-clock watchdog.* Every attempt carries a TaskGuard with a
+//      host-side deadline (SEFI_TASK_DEADLINE_MS). Long-running guest
+//      loops poll the guard between bounded run slices; an expired
+//      deadline aborts the attempt with TaskDeadlineExceeded, which the
+//      supervisor books as a watchdog hit and retries. This catches
+//      host-side hangs the guest-cycle hang_budget_factor cannot see.
+//   3. *Completion over abortion.* A task whose retry budget is
+//      exhausted is marked TaskState::kHarnessError and the campaign
+//      CONTINUES; harness errors flow through the stats layer as
+//      excluded-from-denominator outcomes instead of killing the run.
+//
+// Cancellation (SIGINT, watchdog escalation) reuses the work queue's
+// CancellationToken: workers finish their in-flight attempt, journal it,
+// and stop pulling — the cooperative drain `sefi_cli campaign` relies on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sefi/exec/parallel.hpp"
+
+namespace sefi::exec {
+
+/// Thrown by TaskGuard::check() when the supervisor wall-clock deadline
+/// for the current attempt has passed. The supervisor books it as a
+/// watchdog hit (and retries); it never escapes run_supervised.
+class TaskDeadlineExceeded : public std::runtime_error {
+ public:
+  explicit TaskDeadlineExceeded(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Thrown by TaskGuard::check() when campaign cancellation was
+/// requested. The supervisor leaves the task pending (not failed); it
+/// never escapes run_supervised.
+class TaskCancelled : public std::runtime_error {
+ public:
+  TaskCancelled() : std::runtime_error("task cancelled") {}
+};
+
+/// Per-attempt guard handed to every supervised task. Long-running
+/// tasks poll check() at natural yield points (the campaign drivers do
+/// so between bounded simulation slices); it throws TaskCancelled when
+/// the campaign is draining and TaskDeadlineExceeded when this
+/// attempt's wall-clock budget is spent. A default-constructed guard is
+/// inert (never throws), so unsupervised paths can share the plumbing.
+class TaskGuard {
+ public:
+  TaskGuard() = default;
+  /// `deadline_ms` == 0 disables the watchdog for this attempt.
+  TaskGuard(const CancellationToken* cancel, std::uint64_t deadline_ms);
+
+  /// Throws TaskCancelled / TaskDeadlineExceeded; returns otherwise.
+  void check() const;
+
+  bool cancel_requested() const {
+    return cancel_ != nullptr && cancel_->stop_requested();
+  }
+  bool deadline_expired() const;
+
+ private:
+  const CancellationToken* cancel_ = nullptr;
+  std::uint64_t deadline_ms_ = 0;  ///< 0 = no deadline
+  std::uint64_t start_ns_ = 0;
+};
+
+struct SupervisorConfig {
+  std::size_t threads = 1;
+  /// Extra attempts after the first failed one; 0 = fail fast to
+  /// HarnessError on the first harness fault.
+  std::uint64_t max_task_retries = 2;
+  /// Wall-clock budget per attempt, 0 = no watchdog.
+  std::uint64_t task_deadline_ms = 0;
+  /// Cooperative stop flag shared with SIGINT handlers; may be null.
+  const CancellationToken* cancel = nullptr;
+};
+
+/// Terminal state of one supervised task.
+enum class TaskState : std::uint8_t {
+  kPending = 0,      ///< never attempted, or cancelled mid-campaign
+  kDone,             ///< an attempt completed normally
+  kHarnessError,     ///< every attempt threw; retry budget exhausted
+  kSkipped,          ///< already_done() said so (journal replay)
+};
+
+struct SupervisorReport {
+  std::vector<TaskState> states;      ///< one terminal state per index
+  std::uint64_t completed = 0;        ///< kDone tasks
+  std::uint64_t skipped = 0;          ///< kSkipped tasks
+  std::uint64_t harness_errors = 0;   ///< kHarnessError tasks
+  std::uint64_t retries = 0;          ///< re-attempts after a failure
+  std::uint64_t watchdog_hits = 0;    ///< attempts killed by the deadline
+  std::uint64_t cancelled_tasks = 0;  ///< attempts abandoned to cancel
+  bool cancelled = false;             ///< the drain stopped early
+  std::string first_error;            ///< message of the first failure
+};
+
+/// Runs `task(worker, index, attempt, guard)` for every index under the
+/// fault-isolation contract above. `already_done(index)` (nullable)
+/// short-circuits journal-replayed tasks to kSkipped without invoking
+/// the task; `recover(worker)` (nullable) is invoked after every failed
+/// attempt, before the retry, to rebuild worker-private state. Neither
+/// `task` exceptions nor `recover` exceptions escape this function.
+SupervisorReport run_supervised(
+    const SupervisorConfig& config, std::size_t count,
+    const std::function<bool(std::size_t index)>& already_done,
+    const std::function<void(std::size_t worker, std::size_t index,
+                             std::uint64_t attempt,
+                             const TaskGuard& guard)>& task,
+    const std::function<void(std::size_t worker)>& recover);
+
+/// The process-wide cancellation token the SIGINT drain sets.
+CancellationToken& sigint_token();
+
+/// Installs a SIGINT handler (idempotent) that requests stop on
+/// sigint_token() — campaigns wired to the token finish in-flight
+/// tasks, journal them, and exit cleanly. A second SIGINT restores the
+/// default disposition, so an impatient third ^C kills the process.
+void install_sigint_drain();
+
+}  // namespace sefi::exec

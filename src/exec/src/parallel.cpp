@@ -1,7 +1,5 @@
 #include "sefi/exec/parallel.hpp"
 
-#include <atomic>
-#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -20,44 +18,76 @@ std::size_t resolve_threads(std::uint64_t requested, std::size_t task_count) {
   return threads == 0 ? 1 : threads;
 }
 
-void for_each_task(std::size_t threads, std::size_t count,
-                   const std::function<void(std::size_t, std::size_t)>& task) {
-  if (count == 0) return;
-  if (threads <= 1) {
-    for (std::size_t index = 0; index < count; ++index) task(0, index);
-    return;
+DrainReport for_each_task(std::size_t threads, std::size_t count,
+                          const std::function<void(std::size_t,
+                                                   std::size_t)>& task,
+                          const CancellationToken* cancel) {
+  DrainReport report;
+  if (count == 0) {
+    report.cancelled = cancel != nullptr && cancel->stop_requested();
+    return report;
   }
 
-  std::atomic<std::size_t> cursor{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
   std::mutex error_mutex;
 
+  std::atomic<std::size_t> cursor{0};
   auto drain = [&](std::size_t worker) {
     for (;;) {
+      if (cancel != nullptr && cancel->stop_requested()) return;
       const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (index >= count || failed.load(std::memory_order_relaxed)) return;
+      if (index >= count) return;
       try {
         task(worker, index);
+        completed.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+        failed.fetch_add(1, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!report.first_error) {
+          report.first_error = std::current_exception();
+          report.first_failed_index = index;
         }
-        failed.store(true, std::memory_order_relaxed);
-        return;
       }
     }
   };
 
-  std::vector<std::thread> workers;
-  workers.reserve(threads - 1);
-  for (std::size_t worker = 1; worker < threads; ++worker) {
-    workers.emplace_back(drain, worker);
+  if (threads <= 1) {
+    drain(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads - 1);
+    for (std::size_t worker = 1; worker < threads; ++worker) {
+      workers.emplace_back(drain, worker);
+    }
+    drain(0);
+    for (std::thread& worker : workers) worker.join();
   }
-  drain(0);
-  for (std::thread& worker : workers) worker.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  report.completed = completed.load(std::memory_order_relaxed);
+  report.failed = failed.load(std::memory_order_relaxed);
+  report.cancelled = cancel != nullptr && cancel->stop_requested() &&
+                     report.completed + report.failed < count;
+  return report;
+}
+
+void for_each_task(std::size_t threads, std::size_t count,
+                   const std::function<void(std::size_t, std::size_t)>& task) {
+  // First failure stops the drain (the historic contract): wrap the task
+  // so a throw requests stop before the exception is collected.
+  CancellationToken first_failure;
+  const DrainReport report = for_each_task(
+      threads, count,
+      [&](std::size_t worker, std::size_t index) {
+        try {
+          task(worker, index);
+        } catch (...) {
+          first_failure.request_stop();
+          throw;
+        }
+      },
+      &first_failure);
+  if (report.first_error) std::rethrow_exception(report.first_error);
 }
 
 }  // namespace sefi::exec

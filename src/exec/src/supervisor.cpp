@@ -1,0 +1,150 @@
+#include "sefi/exec/supervisor.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <mutex>
+
+namespace sefi::exec {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TaskGuard::TaskGuard(const CancellationToken* cancel,
+                     std::uint64_t deadline_ms)
+    : cancel_(cancel), deadline_ms_(deadline_ms) {
+  if (deadline_ms_ > 0) start_ns_ = monotonic_ns();
+}
+
+bool TaskGuard::deadline_expired() const {
+  if (deadline_ms_ == 0) return false;
+  return monotonic_ns() - start_ns_ > deadline_ms_ * 1'000'000ull;
+}
+
+void TaskGuard::check() const {
+  if (cancel_requested()) throw TaskCancelled();
+  if (deadline_expired()) {
+    throw TaskDeadlineExceeded("task exceeded supervisor deadline of " +
+                               std::to_string(deadline_ms_) + " ms");
+  }
+}
+
+SupervisorReport run_supervised(
+    const SupervisorConfig& config, std::size_t count,
+    const std::function<bool(std::size_t)>& already_done,
+    const std::function<void(std::size_t, std::size_t, std::uint64_t,
+                             const TaskGuard&)>& task,
+    const std::function<void(std::size_t)>& recover) {
+  SupervisorReport report;
+  report.states.assign(count, TaskState::kPending);
+
+  std::atomic<std::uint64_t> completed{0}, skipped{0}, harness_errors{0},
+      retries{0}, watchdog_hits{0}, cancelled_tasks{0};
+  std::mutex first_error_mutex;
+
+  auto note_first_error = [&](const std::string& message) {
+    const std::lock_guard<std::mutex> lock(first_error_mutex);
+    if (report.first_error.empty()) report.first_error = message;
+  };
+
+  auto recover_worker = [&](std::size_t worker) {
+    if (!recover) return;
+    try {
+      recover(worker);
+    } catch (...) {
+      // Recovery itself failing leaves the worker to rebuild lazily on
+      // its next attempt; nothing useful to do here.
+    }
+  };
+
+  // The wrapper owns the whole retry loop for its index, so the work
+  // queue below never sees a task exception: distinct TaskState slots
+  // are written by exactly one worker each.
+  auto wrapper = [&](std::size_t worker, std::size_t index) {
+    if (already_done && already_done(index)) {
+      report.states[index] = TaskState::kSkipped;
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      if (config.cancel != nullptr && config.cancel->stop_requested()) {
+        cancelled_tasks.fetch_add(1, std::memory_order_relaxed);
+        return;  // stays kPending; a resume re-runs it
+      }
+      const TaskGuard guard(config.cancel, config.task_deadline_ms);
+      try {
+        task(worker, index, attempt, guard);
+        report.states[index] = TaskState::kDone;
+        completed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      } catch (const TaskCancelled&) {
+        cancelled_tasks.fetch_add(1, std::memory_order_relaxed);
+        recover_worker(worker);  // the abandoned machine is mid-run
+        return;                  // stays kPending
+      } catch (const TaskDeadlineExceeded& error) {
+        watchdog_hits.fetch_add(1, std::memory_order_relaxed);
+        note_first_error(error.what());
+      } catch (const std::exception& error) {
+        note_first_error(error.what());
+      } catch (...) {
+        note_first_error("unknown exception");
+      }
+      recover_worker(worker);
+      if (attempt >= config.max_task_retries) {
+        report.states[index] = TaskState::kHarnessError;
+        harness_errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      retries.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  const DrainReport drain =
+      for_each_task(config.threads, count, wrapper, config.cancel);
+
+  report.completed = completed.load();
+  report.skipped = skipped.load();
+  report.harness_errors = harness_errors.load();
+  report.retries = retries.load();
+  report.watchdog_hits = watchdog_hits.load();
+  report.cancelled_tasks = cancelled_tasks.load();
+  report.cancelled =
+      drain.cancelled || cancelled_tasks.load() > 0 ||
+      (config.cancel != nullptr && config.cancel->stop_requested() &&
+       report.completed + report.skipped + report.harness_errors < count);
+  return report;
+}
+
+namespace {
+
+CancellationToken g_sigint_token;
+std::atomic<bool> g_sigint_installed{false};
+
+extern "C" void sefi_sigint_handler(int signal_number) {
+  // Async-signal-safe: one atomic store. A second ^C restores the
+  // default handler so the process can still be killed interactively.
+  if (g_sigint_token.stop_requested()) {
+    std::signal(signal_number, SIG_DFL);
+    std::raise(signal_number);
+    return;
+  }
+  g_sigint_token.request_stop();
+}
+
+}  // namespace
+
+CancellationToken& sigint_token() { return g_sigint_token; }
+
+void install_sigint_drain() {
+  if (g_sigint_installed.exchange(true)) return;
+  std::signal(SIGINT, sefi_sigint_handler);
+}
+
+}  // namespace sefi::exec

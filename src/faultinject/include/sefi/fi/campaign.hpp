@@ -14,17 +14,32 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sefi/exec/supervisor.hpp"
 #include "sefi/kernel/kernel.hpp"
 #include "sefi/microarch/detailed.hpp"
+#include "sefi/support/journal.hpp"
 #include "sefi/workloads/workload.hpp"
 
 namespace sefi::fi {
 
-enum class Outcome : std::uint8_t { kMasked = 0, kSdc, kAppCrash, kSysCrash };
+/// Experiment classification. The first four are the paper's outcome
+/// classes. kHarnessError is ours, not the paper's: the *harness* (not
+/// the guest) failed to complete the experiment even after retries —
+/// the ZOFI-style "run we could not classify" bucket. Harness errors
+/// are excluded from every AVF denominator (ClassCounts::total()), so
+/// they dilute sample size rather than biasing rates.
+enum class Outcome : std::uint8_t {
+  kMasked = 0,
+  kSdc,
+  kAppCrash,
+  kSysCrash,
+  kHarnessError,
+};
 
 std::string outcome_name(Outcome outcome);
 
@@ -135,7 +150,10 @@ class InjectionRig {
 
   /// Runs one injected execution and classifies its outcome (on the
   /// rig's own lazily-built Context; single-threaded convenience).
-  Outcome run_one(const FaultDescriptor& fault) const;
+  /// `guard`, when given, is polled between bounded simulation slices
+  /// so supervised campaigns can cancel or deadline a stuck run.
+  Outcome run_one(const FaultDescriptor& fault,
+                  const exec::TaskGuard* guard = nullptr) const;
 
   /// Worker-private execution state: a machine restored from the rig's
   /// shared snapshots. Each campaign worker thread owns one Context;
@@ -146,8 +164,13 @@ class InjectionRig {
    public:
     explicit Context(const InjectionRig& rig);
 
-    /// Runs one injected execution and classifies its outcome.
-    Outcome run_one(const FaultDescriptor& fault);
+    /// Runs one injected execution and classifies its outcome. `guard`
+    /// (nullable) is polled between bounded simulation slices; it may
+    /// throw TaskCancelled / TaskDeadlineExceeded out of this call, in
+    /// which case the machine is mid-run and must be restored before
+    /// reuse (the supervisor's recover hook rebuilds the Context).
+    Outcome run_one(const FaultDescriptor& fault,
+                    const exec::TaskGuard* guard = nullptr);
 
     /// Pre-injection cycles actually replayed by this context.
     std::uint64_t replay_cycles() const { return replay_cycles_; }
@@ -203,8 +226,16 @@ struct ClassCounts {
   std::uint64_t sdc = 0;
   std::uint64_t app_crash = 0;
   std::uint64_t sys_crash = 0;
+  /// Experiments the harness could not complete (retries exhausted).
+  /// Deliberately OUTSIDE total(): AVF fractions divide by classified
+  /// experiments only, so a flaky harness shrinks the sample (and
+  /// widens the error margin) instead of skewing the rates.
+  std::uint64_t harness_error = 0;
 
+  /// Classified experiments — the AVF denominator.
   std::uint64_t total() const { return masked + sdc + app_crash + sys_crash; }
+  /// Everything the campaign tried, classified or not.
+  std::uint64_t attempted() const { return total() + harness_error; }
   void add(Outcome outcome);
 };
 
@@ -243,6 +274,18 @@ struct CampaignStats {
   std::uint64_t restore_bytes_copied = 0;  ///< state bytes copied, total
   double pages_dirtied_avg = 0;  ///< RAM pages copied per delta restore
   std::uint64_t ladder_resident_bytes = 0;  ///< checkpoint ladder footprint
+  // Supervisor telemetry (DESIGN.md §10). All zero on a clean run with
+  // no journal, so figure outputs are unchanged when nothing goes wrong.
+  std::uint64_t tasks_run = 0;         ///< injections executed this process
+  std::uint64_t journal_replayed = 0;  ///< outcomes restored from the journal
+  std::uint64_t task_retries = 0;      ///< attempts re-run after a failure
+  std::uint64_t harness_errors = 0;    ///< tasks whose retry budget ran out
+  std::uint64_t watchdog_hits = 0;     ///< attempts killed by the deadline
+  std::uint64_t cancelled_tasks = 0;   ///< tasks left pending at cancel
+  /// True when the campaign was cancelled (SIGINT drain) before every
+  /// injection resolved. Counts then cover only the journaled subset and
+  /// the result must not be published or cached.
+  bool cancelled = false;
 };
 
 struct WorkloadFiResult {
@@ -269,6 +312,24 @@ struct CampaignConfig {
   /// not machine-sized snapshots — the default is correspondingly
   /// denser than a full-snapshot ladder could afford.
   std::uint64_t checkpoints = 16;
+  // Supervisor knobs (DESIGN.md §10). Like the executor knobs above they
+  // are not campaign identity and never enter cache fingerprints: on a
+  // healthy harness every injection classifies on its first attempt, so
+  // retries/deadlines/journals cannot change the merged counts.
+  /// Extra attempts after a failed one before a task books HarnessError.
+  std::uint64_t max_task_retries = 2;
+  /// Wall-clock watchdog per injection attempt, ms; 0 = off.
+  std::uint64_t task_deadline_ms = 0;
+  /// Cooperative stop flag (SIGINT drain); may be null.
+  const exec::CancellationToken* cancel = nullptr;
+  /// Crash-safe resume journal; may be null (no journaling). Completed
+  /// injections found in it are skipped and their recorded outcomes
+  /// merged; newly completed ones are appended.
+  support::TaskJournal* journal = nullptr;
+  /// Test-only fault hook, called as (fault_index, attempt) before each
+  /// injection attempt; a throw simulates a harness fault. Null in
+  /// production.
+  std::function<void(std::size_t, std::uint64_t)> task_fault_hook;
 };
 
 /// Pre-samples the full descriptor list for one (workload, component)

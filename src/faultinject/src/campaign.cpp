@@ -1,8 +1,10 @@
 #include "sefi/fi/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "sefi/exec/parallel.hpp"
+#include "sefi/exec/supervisor.hpp"
 #include "sefi/fi/protection.hpp"
 #include "sefi/stats/confidence.hpp"
 #include "sefi/support/error.hpp"
@@ -14,6 +16,59 @@ namespace sefi::fi {
 namespace {
 constexpr std::uint64_t kGoldenBudget = 500'000'000;
 constexpr std::uint64_t kSpawnPollStep = 500;
+
+// Supervised runs slice guest execution into bounded chunks and poll the
+// TaskGuard between them, so cancellation and wall-clock deadlines take
+// effect mid-injection. The machine's run loop is resumable and
+// cycle-exact, so slicing cannot perturb outcomes (tested).
+constexpr std::uint64_t kGuardSliceCycles = 4'000'000;
+
+sim::RunEvent run_guarded(sim::Machine& machine, std::uint64_t budget,
+                          const exec::TaskGuard* guard) {
+  if (guard == nullptr) return machine.run(budget);
+  for (;;) {
+    guard->check();
+    const std::uint64_t slice =
+        std::min(budget, machine.cpu().cycles() + kGuardSliceCycles);
+    const sim::RunEvent event = machine.run(slice);
+    if (event.kind != sim::RunEventKind::kCycleLimit || slice >= budget) {
+      return event;
+    }
+  }
+}
+
+std::optional<sim::RunEvent> run_until_cycle_guarded(
+    sim::Machine& machine, std::uint64_t target,
+    const exec::TaskGuard* guard) {
+  if (guard == nullptr) return machine.run_until_cycle(target);
+  for (;;) {
+    guard->check();
+    const std::uint64_t slice =
+        std::min(target, machine.cpu().cycles() + kGuardSliceCycles);
+    const auto event = machine.run_until_cycle(slice);
+    if (event.has_value() || slice >= target) return event;
+  }
+}
+
+// Journal payload for one classified injection: "o <class>". Anything
+// else (corruption that survived the checksum, a future format) fails
+// the parse and the injection simply re-runs — a journal can cost
+// recomputation, never a wrong outcome.
+std::string encode_journal_outcome(Outcome outcome) {
+  std::string payload = "o ";
+  payload.push_back(static_cast<char>('0' + static_cast<int>(outcome)));
+  return payload;
+}
+
+bool parse_journal_outcome(const std::string& payload, Outcome* outcome) {
+  if (payload.size() != 3 || payload[0] != 'o' || payload[1] != ' ') {
+    return false;
+  }
+  const char digit = payload[2];
+  if (digit < '0' || digit > '4') return false;
+  *outcome = static_cast<Outcome>(digit - '0');
+  return true;
+}
 }  // namespace
 
 std::string fault_model_name(FaultModel model) {
@@ -30,6 +85,7 @@ std::string outcome_name(Outcome outcome) {
     case Outcome::kSdc: return "SDC";
     case Outcome::kAppCrash: return "AppCrash";
     case Outcome::kSysCrash: return "SysCrash";
+    case Outcome::kHarnessError: return "HarnessError";
   }
   return "?";
 }
@@ -40,6 +96,7 @@ void ClassCounts::add(Outcome outcome) {
     case Outcome::kSdc: ++sdc; break;
     case Outcome::kAppCrash: ++app_crash; break;
     case Outcome::kSysCrash: ++sys_crash; break;
+    case Outcome::kHarnessError: ++harness_error; break;
   }
 }
 
@@ -161,9 +218,10 @@ std::size_t InjectionRig::nearest_checkpoint(std::uint64_t cycle) const {
   return best;
 }
 
-Outcome InjectionRig::run_one(const FaultDescriptor& fault) const {
+Outcome InjectionRig::run_one(const FaultDescriptor& fault,
+                              const exec::TaskGuard* guard) const {
   if (!own_context_) own_context_ = std::make_unique<Context>(*this);
-  return own_context_->run_one(fault);
+  return own_context_->run_one(fault, guard);
 }
 
 InjectionRig::Context::Context(const InjectionRig& rig)
@@ -174,7 +232,8 @@ InjectionRig::Context::Context(const InjectionRig& rig)
   machine_.set_delta_restore(rig.config_.delta_restore);
 }
 
-Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault) {
+Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault,
+                                       const exec::TaskGuard* guard) {
   // Resume from the nearest ladder rung at or below the fault cycle: the
   // pre-injection path is fault-free and deterministic, so this is
   // bit-identical to a cold boot (tested), minus the boot cost and minus
@@ -193,7 +252,7 @@ Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault) {
   ladder_cycles_saved_ += rung_cycle - golden.spawn_cycle;
 
   // Advance to the injection cycle along the (so far fault-free) path.
-  const auto early = machine_.run_until_cycle(fault.cycle);
+  const auto early = run_until_cycle_guarded(machine_, fault.cycle, guard);
   replay_cycles_ += machine_.cpu().cycles() - rung_cycle;
   if (early.has_value()) {
     // The machine stopped before the injection point — only possible if
@@ -221,7 +280,7 @@ Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault) {
 
   const RigConfig& config = rig_->config_;
   const std::uint64_t budget = golden.end_cycle * config.hang_budget_factor;
-  sim::RunEvent event = machine_.run(budget);
+  sim::RunEvent event = run_guarded(machine_, budget, guard);
   if (event.kind == sim::RunEventKind::kCycleLimit) {
     // Watchdog: probe whether the kernel still services timer IRQs.
     const std::uint64_t before = machine_.jiffies();
@@ -229,7 +288,7 @@ Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault) {
         budget + config.probe_timer_periods *
                      static_cast<std::uint64_t>(
                          config.kernel.timer_interval_cycles);
-    event = machine_.run(probe);
+    event = run_guarded(machine_, probe, guard);
     if (event.kind == sim::RunEventKind::kCycleLimit) {
       return machine_.jiffies() > before ? Outcome::kAppCrash
                                          : Outcome::kSysCrash;
@@ -306,38 +365,121 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
     faults.insert(faults.end(), sampled.begin(), sampled.end());
   }
 
-  // Fan the injections out: each worker owns a private machine restored
-  // from the rig's shared checkpoint ladder, and writes outcomes into
-  // its tasks' index slots only.
-  std::vector<Outcome> outcomes(faults.size());
+  // Replay the resume journal (if any): injections it already classified
+  // are skipped by the supervisor and their recorded outcomes merged
+  // as-is, so an interrupted-then-resumed campaign is bit-identical to an
+  // uninterrupted one (faults were pre-sampled above, so indices mean the
+  // same experiments in both processes; the journal header guards against
+  // a stale file from a different campaign).
+  std::vector<Outcome> outcomes(faults.size(), Outcome::kMasked);
+  std::vector<char> replayed(faults.size(), 0);
+  if (config.journal != nullptr) {
+    for (std::size_t index = 0; index < faults.size(); ++index) {
+      const std::string* payload =
+          config.journal->lookup(static_cast<std::uint64_t>(index));
+      if (payload == nullptr) continue;
+      Outcome outcome{};
+      if (!parse_journal_outcome(*payload, &outcome)) continue;
+      outcomes[index] = outcome;
+      replayed[index] = 1;
+    }
+  }
+
+  // Fan the injections out under the supervisor (fault isolation,
+  // retries, watchdog, cooperative cancel — DESIGN.md §10). Each worker
+  // owns a private machine restored from the rig's shared checkpoint
+  // ladder and writes outcomes into its tasks' index slots only.
   const std::size_t threads =
       exec::resolve_threads(config.threads, faults.size());
   std::vector<std::unique_ptr<InjectionRig::Context>> contexts(threads);
+
+  // Throughput counters must survive recovery: when the supervisor
+  // rebuilds a worker's Context after a failed attempt, the old
+  // context's tallies are banked here first.
+  struct WorkerTally {
+    std::uint64_t replay_cycles = 0;
+    std::uint64_t ladder_saved = 0;
+    std::uint64_t boot_saved = 0;
+    std::uint64_t full_restores = 0;
+    std::uint64_t delta_restores = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t delta_pages = 0;
+  };
+  std::vector<WorkerTally> tallies(threads);
+  auto bank_context = [&](std::size_t worker) {
+    auto& context = contexts[worker];
+    if (!context) return;
+    WorkerTally& tally = tallies[worker];
+    tally.replay_cycles += context->replay_cycles();
+    tally.ladder_saved += context->ladder_cycles_saved();
+    tally.boot_saved += context->boot_cycles_saved();
+    const sim::Machine::RestoreStats& restores = context->restore_stats();
+    tally.full_restores += restores.restores - restores.delta_restores;
+    tally.delta_restores += restores.delta_restores;
+    tally.bytes_copied += restores.bytes_copied;
+    tally.delta_pages += restores.delta_pages_copied;
+    context.reset();
+  };
+
+  exec::SupervisorConfig supervisor;
+  supervisor.threads = threads;
+  supervisor.max_task_retries = config.max_task_retries;
+  supervisor.task_deadline_ms = config.task_deadline_ms;
+  supervisor.cancel = config.cancel;
+
   const auto start = std::chrono::steady_clock::now();
-  exec::for_each_task(threads, faults.size(),
-                      [&](std::size_t worker, std::size_t index) {
-                        auto& context = contexts[worker];
-                        if (!context) {
-                          context =
-                              std::make_unique<InjectionRig::Context>(rig);
-                        }
-                        outcomes[index] = context->run_one(faults[index]);
-                      });
+  const exec::SupervisorReport report = exec::run_supervised(
+      supervisor, faults.size(),
+      [&](std::size_t index) { return replayed[index] != 0; },
+      [&](std::size_t worker, std::size_t index, std::uint64_t attempt,
+          const exec::TaskGuard& guard) {
+        if (config.task_fault_hook) config.task_fault_hook(index, attempt);
+        auto& context = contexts[worker];
+        if (!context) context = std::make_unique<InjectionRig::Context>(rig);
+        outcomes[index] = context->run_one(faults[index], &guard);
+        if (config.journal != nullptr) {
+          config.journal->record(static_cast<std::uint64_t>(index),
+                                 encode_journal_outcome(outcomes[index]));
+        }
+      },
+      bank_context);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
+  // Exhausted tasks become HarnessError outcomes. Journal them too, so a
+  // resume merges the verdict instead of re-burning the retry budget on
+  // a permanently broken experiment.
+  for (std::size_t index = 0; index < faults.size(); ++index) {
+    if (report.states[index] != exec::TaskState::kHarnessError) continue;
+    outcomes[index] = Outcome::kHarnessError;
+    if (config.journal != nullptr) {
+      config.journal->record(static_cast<std::uint64_t>(index),
+                             encode_journal_outcome(Outcome::kHarnessError));
+    }
+  }
+
   // Merge in fault-index order — bit-identical for any thread count.
+  // Pending slots (only possible after cancellation) hold no experiment
+  // and stay out of the counts; the error margin uses the classified
+  // count as its sample size, so harness errors widen the margin rather
+  // than bias the rates.
   std::size_t cursor = 0;
   for (const auto kind : microarch::kAllComponents) {
     ComponentResult& comp =
         result.components[static_cast<std::size_t>(kind)];
     for (std::uint64_t i = 0; i < config.faults_per_component; ++i) {
-      comp.counts.add(outcomes[cursor++]);
+      const std::size_t index = cursor++;
+      if (report.states[index] == exec::TaskState::kPending) continue;
+      comp.counts.add(outcomes[index]);
     }
-    comp.error_margin = stats::readjusted_error_margin(
-        static_cast<double>(comp.bits) * static_cast<double>(window),
-        config.faults_per_component, config.confidence, comp.avf());
+    const std::uint64_t classified = comp.counts.total();
+    comp.error_margin =
+        classified == 0
+            ? 0
+            : stats::readjusted_error_margin(
+                  static_cast<double>(comp.bits) * static_cast<double>(window),
+                  classified, config.confidence, comp.avf());
   }
 
   result.stats.threads = threads;
@@ -347,17 +489,25 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   result.stats.injections_per_sec =
       wall > 0 ? static_cast<double>(faults.size()) / wall : 0;
   result.stats.ladder_resident_bytes = rig.ladder_resident_bytes();
+  result.stats.tasks_run = report.completed;
+  result.stats.journal_replayed = report.skipped;
+  result.stats.task_retries = report.retries;
+  result.stats.harness_errors = report.harness_errors;
+  result.stats.watchdog_hits = report.watchdog_hits;
+  result.stats.cancelled_tasks = report.cancelled_tasks;
+  result.stats.cancelled = report.cancelled;
+  for (std::size_t worker = 0; worker < threads; ++worker) {
+    bank_context(worker);
+  }
   std::uint64_t delta_pages = 0;
-  for (const auto& context : contexts) {
-    if (!context) continue;
-    result.stats.replay_cycles += context->replay_cycles();
-    result.stats.replay_cycles_saved_ladder += context->ladder_cycles_saved();
-    result.stats.replay_cycles_saved_boot += context->boot_cycles_saved();
-    const sim::Machine::RestoreStats& restores = context->restore_stats();
-    result.stats.full_restores += restores.restores - restores.delta_restores;
-    result.stats.delta_restores += restores.delta_restores;
-    result.stats.restore_bytes_copied += restores.bytes_copied;
-    delta_pages += restores.delta_pages_copied;
+  for (const WorkerTally& tally : tallies) {
+    result.stats.replay_cycles += tally.replay_cycles;
+    result.stats.replay_cycles_saved_ladder += tally.ladder_saved;
+    result.stats.replay_cycles_saved_boot += tally.boot_saved;
+    result.stats.full_restores += tally.full_restores;
+    result.stats.delta_restores += tally.delta_restores;
+    result.stats.restore_bytes_copied += tally.bytes_copied;
+    delta_pages += tally.delta_pages;
   }
   result.stats.replay_cycles_saved = result.stats.replay_cycles_saved_ladder +
                                      result.stats.replay_cycles_saved_boot;

@@ -1,0 +1,92 @@
+// Append-only, checksummed task journal for crash-safe campaign resume.
+//
+// A campaign is a list of independent tasks addressed by index. The
+// journal persists one record per *completed* task as the campaign runs,
+// so a process killed mid-campaign loses only in-flight work: on restart
+// the journal replays the finished indices and the executor schedules
+// the rest. Durability model (mirrors the result cache, DESIGN.md §10):
+//
+//   - records are framed with a length prefix and an FNV-1a checksum
+//     footer (the support::seal footer format), so a torn append — the
+//     process died inside fwrite — is detected byte-exactly;
+//   - on open, the file is scanned front to back and truncated to its
+//     longest valid record prefix (the torn tail is discarded, never
+//     parsed);
+//   - the first record is a header naming the campaign identity; a
+//     header mismatch (different campaign, older journal format, config
+//     change) discards the whole file and starts fresh — a stale
+//     journal can only cost recomputation, never wrong results;
+//   - appends are flushed to the kernel per record, so a SIGKILL after
+//     record() returns never loses that record (power loss can — the
+//     journal trades fsync cost for "kill-safe", which is what campaign
+//     interruption and CI actually exercise).
+//
+// record() is safe to call from any number of threads.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sefi::support {
+
+class TaskJournal {
+ public:
+  /// What a journal file on disk contains (read-only peek; never
+  /// truncates or rewrites — see the constructor for that).
+  struct Status {
+    bool present = false;       ///< file exists and leads with a valid header
+    std::string header;         ///< header payload ("" when absent)
+    std::uint64_t records = 0;  ///< intact task records
+    std::uint64_t torn_bytes = 0;  ///< trailing bytes no record claims
+  };
+
+  /// Opens (creating parent directories as needed) and loads `path`.
+  /// Existing intact records whose header matches `header` are replayed
+  /// into the lookup map; a torn tail is truncated off the file; a
+  /// missing/mismatched header discards the file and starts fresh.
+  TaskJournal(std::string path, std::string header);
+  ~TaskJournal();
+
+  TaskJournal(const TaskJournal&) = delete;
+  TaskJournal& operator=(const TaskJournal&) = delete;
+
+  const std::string& path() const { return path_; }
+  const std::string& header() const { return header_; }
+
+  /// Number of records replayed from disk at open time.
+  std::size_t replayed() const { return replayed_; }
+
+  /// Payload journaled for `index`, or nullptr when the task has no
+  /// record. Pointers stay valid for the journal's lifetime.
+  const std::string* lookup(std::uint64_t index) const;
+
+  /// Appends one sealed record and flushes it. Re-recording an index
+  /// overwrites the lookup entry (last record wins on replay, matching
+  /// the append order). Returns false when the write failed — the
+  /// campaign continues, it just cannot resume past this task.
+  bool record(std::uint64_t index, std::string_view payload);
+
+  /// Closes and deletes the journal file (a completed campaign's
+  /// journal has served its purpose once the result is published).
+  bool remove();
+
+  /// Read-only inspection of a journal file (for status commands).
+  static Status inspect(const std::string& path);
+
+ private:
+  bool ensure_open_locked();
+
+  std::string path_;
+  std::string header_;
+  std::map<std::uint64_t, std::string> entries_;
+  std::size_t replayed_ = 0;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace sefi::support

@@ -1,0 +1,220 @@
+#include "sefi/support/journal.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "sefi/support/fsio.hpp"
+#include "sefi/support/seal.hpp"
+
+namespace sefi::support {
+
+namespace {
+
+// One journal record on disk ("hdr" carries the campaign identity and is
+// always the first record; "rec" carries one task result):
+//
+//   hdr <payload-bytes>\n<payload>\nfnv1a <16 hex>\n
+//   rec <task-index> <payload-bytes>\n<payload>\nfnv1a <16 hex>\n
+//
+// The checksum footer is the support::seal framing applied to everything
+// from the record tag through the payload's trailing newline, so a
+// record verifies with unseal() exactly like a cache entry does. The
+// length prefix makes payloads free-form: multi-line text (a serialized
+// BeamResult) journals as naturally as a single outcome token.
+
+constexpr std::string_view kHeaderTag = "hdr";
+constexpr std::string_view kRecordTag = "rec";
+// "fnv1a " + 16 hex + '\n'.
+constexpr std::size_t kFooterSize = 23;
+// A record's first line is tiny; cap the scan so a corrupt length field
+// can't make the parser walk megabytes looking for a newline.
+constexpr std::size_t kMaxFirstLine = 64;
+
+struct ParsedRecord {
+  bool is_header = false;
+  std::uint64_t index = 0;
+  std::string payload;
+  std::size_t total_size = 0;  ///< bytes this record occupies on disk
+};
+
+/// Parses a decimal u64; false on empty/malformed/overflowing input.
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+/// Parses one record starting at `offset`. nullopt on anything torn or
+/// malformed — the caller treats that position as the end of the valid
+/// prefix.
+std::optional<ParsedRecord> parse_record(std::string_view data,
+                                         std::size_t offset) {
+  const std::string_view rest = data.substr(offset);
+  const std::size_t line_end = rest.substr(0, kMaxFirstLine).find('\n');
+  if (line_end == std::string_view::npos) return std::nullopt;
+  const std::string_view line = rest.substr(0, line_end);
+
+  ParsedRecord record;
+  std::string_view fields = line;
+  if (fields.substr(0, kHeaderTag.size()) == kHeaderTag &&
+      fields.size() > kHeaderTag.size() &&
+      fields[kHeaderTag.size()] == ' ') {
+    record.is_header = true;
+    fields.remove_prefix(kHeaderTag.size() + 1);
+  } else if (fields.substr(0, kRecordTag.size()) == kRecordTag &&
+             fields.size() > kRecordTag.size() &&
+             fields[kRecordTag.size()] == ' ') {
+    fields.remove_prefix(kRecordTag.size() + 1);
+    const std::size_t space = fields.find(' ');
+    if (space == std::string_view::npos) return std::nullopt;
+    if (!parse_u64(fields.substr(0, space), record.index)) return std::nullopt;
+    fields.remove_prefix(space + 1);
+  } else {
+    return std::nullopt;
+  }
+  std::uint64_t payload_size = 0;
+  if (!parse_u64(fields, payload_size)) return std::nullopt;
+
+  // tag line + '\n' + payload + '\n' + footer.
+  const std::size_t body_size = line_end + 1 + payload_size + 1;
+  if (rest.size() < body_size + kFooterSize) return std::nullopt;
+  const std::string sealed(rest.substr(0, body_size + kFooterSize));
+  const auto body = unseal(sealed);
+  if (!body) return std::nullopt;
+  if (body->size() != body_size || body->back() != '\n') return std::nullopt;
+  record.payload = body->substr(line_end + 1, payload_size);
+  record.total_size = body_size + kFooterSize;
+  return record;
+}
+
+std::string frame_record(std::string_view tag_line, std::string_view payload) {
+  std::string body(tag_line);
+  body += '\n';
+  body += payload;
+  body += '\n';
+  return seal(std::move(body));
+}
+
+std::string frame_header(std::string_view header) {
+  return frame_record(std::string(kHeaderTag) + " " +
+                          std::to_string(header.size()),
+                      header);
+}
+
+std::string frame_task(std::uint64_t index, std::string_view payload) {
+  return frame_record(std::string(kRecordTag) + " " + std::to_string(index) +
+                          " " + std::to_string(payload.size()),
+                      payload);
+}
+
+}  // namespace
+
+TaskJournal::TaskJournal(std::string path, std::string header)
+    : path_(std::move(path)), header_(std::move(header)) {
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+
+  bool start_fresh = true;
+  if (const auto data = read_file(path_)) {
+    std::size_t offset = 0;
+    bool header_ok = false;
+    while (offset < data->size()) {
+      const auto record = parse_record(*data, offset);
+      if (!record) break;
+      if (offset == 0) {
+        if (!record->is_header || record->payload != header_) break;
+        header_ok = true;
+      } else if (!record->is_header) {
+        entries_[record->index] = record->payload;
+      }
+      offset += record->total_size;
+    }
+    if (header_ok) {
+      start_fresh = false;
+      replayed_ = entries_.size();
+      if (offset < data->size()) {
+        // Torn tail: drop the bytes no intact record claims, so the
+        // next append starts at a record boundary.
+        std::filesystem::resize_file(path_, offset, ec);
+      }
+    }
+  }
+  if (start_fresh) {
+    // No usable prior journal (absent, torn header, or a different
+    // campaign/format): replace the file with a fresh header.
+    entries_.clear();
+    if (!write_file_atomic(path_, frame_header(header_))) {
+      std::filesystem::remove(path_, ec);
+    }
+  }
+}
+
+TaskJournal::~TaskJournal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+const std::string* TaskJournal::lookup(std::uint64_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(index);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool TaskJournal::ensure_open_locked() {
+  if (file_ != nullptr) return true;
+  file_ = std::fopen(path_.c_str(), "ab");
+  return file_ != nullptr;
+}
+
+bool TaskJournal::record(std::uint64_t index, std::string_view payload) {
+  const std::string framed = frame_task(index, payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ensure_open_locked()) return false;
+  const bool ok =
+      std::fwrite(framed.data(), 1, framed.size(), file_) == framed.size() &&
+      std::fflush(file_) == 0;
+  if (ok) entries_[index] = std::string(payload);
+  return ok;
+}
+
+bool TaskJournal::remove() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::error_code ec;
+  return std::filesystem::remove(path_, ec);
+}
+
+TaskJournal::Status TaskJournal::inspect(const std::string& path) {
+  Status status;
+  const auto data = read_file(path);
+  if (!data) return status;
+  std::size_t offset = 0;
+  while (offset < data->size()) {
+    const auto record = parse_record(*data, offset);
+    if (!record) break;
+    if (offset == 0) {
+      if (!record->is_header) break;
+      status.present = true;
+      status.header = record->payload;
+    } else if (!record->is_header) {
+      ++status.records;
+    }
+    offset += record->total_size;
+  }
+  status.torn_bytes = data->size() - offset;
+  return status;
+}
+
+}  // namespace sefi::support

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <stdexcept>
+
 #include "sefi/core/lab.hpp"
 #include "sefi/support/error.hpp"
 
@@ -170,6 +173,168 @@ TEST(Session, NaturalYearsScalesWithFluence) {
   BeamResult result;
   result.fluence_per_cm2 = 13.0 * 24 * 365.25;  // one natural year
   EXPECT_NEAR(result.natural_years(), 1.0, 1e-9);
+}
+
+// --- Sweep supervisor: fault isolation, retries, journaled resume ---
+
+std::vector<const workloads::Workload*> small_suite() {
+  return {
+      &workloads::workload_by_name("SusanC"),
+      &workloads::workload_by_name("Qsort"),
+      &workloads::workload_by_name("CRC32"),
+  };
+}
+
+void expect_same_results(const std::vector<BeamResult>& a,
+                         const std::vector<BeamResult>& b,
+                         const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].workload, b[i].workload) << label << " session " << i;
+    EXPECT_EQ(a[i].sdc, b[i].sdc) << label << " session " << i;
+    EXPECT_EQ(a[i].app_crash, b[i].app_crash) << label << " session " << i;
+    EXPECT_EQ(a[i].sys_crash, b[i].sys_crash) << label << " session " << i;
+    EXPECT_EQ(a[i].strikes, b[i].strikes) << label << " session " << i;
+    EXPECT_EQ(a[i].reboots, b[i].reboots) << label << " session " << i;
+    EXPECT_DOUBLE_EQ(a[i].fluence_per_cm2, b[i].fluence_per_cm2)
+        << label << " session " << i;
+  }
+}
+
+TEST(SweepSupervisor, TransientSessionFaultRetriesToTheSameResult) {
+  BeamConfig config = small_session(50);
+  config.threads = 1;
+  const std::vector<BeamResult> clean =
+      run_beam_sessions(small_suite(), config);
+
+  config.session_fault_hook = [](std::size_t index, std::uint64_t attempt) {
+    if (index == 1 && attempt == 0) {
+      throw std::runtime_error("simulated transient harness fault");
+    }
+  };
+  BeamSweepStats stats;
+  const std::vector<BeamResult> retried =
+      run_beam_sessions(small_suite(), config, &stats);
+  expect_same_results(clean, retried, "transient-retry");
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.harness_errors, 0u);
+  EXPECT_EQ(stats.sessions_run, 3u);
+  EXPECT_FALSE(stats.cancelled);
+}
+
+TEST(SweepSupervisor, PermanentSessionFaultDoesNotAbortTheSweep) {
+  BeamConfig config = small_session(50);
+  config.threads = 1;
+  config.max_task_retries = 1;
+  config.session_fault_hook = [](std::size_t index, std::uint64_t) {
+    if (index == 1) throw std::runtime_error("board on fire");
+  };
+  BeamSweepStats stats;
+  const std::vector<BeamResult> results =
+      run_beam_sessions(small_suite(), config, &stats);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_EQ(stats.states.size(), 3u);
+  EXPECT_EQ(stats.states[0], exec::TaskState::kDone);
+  EXPECT_EQ(stats.states[1], exec::TaskState::kHarnessError);
+  EXPECT_EQ(stats.states[2], exec::TaskState::kDone);
+  EXPECT_EQ(stats.harness_errors, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  // The failed slot stays default-constructed; its neighbors are real.
+  EXPECT_EQ(results[1].runs, 0u);
+  EXPECT_GT(results[0].runs, 0u);
+  EXPECT_GT(results[2].runs, 0u);
+  // The completed sessions match a clean sweep's sessions exactly.
+  BeamConfig clean_config = small_session(50);
+  clean_config.threads = 1;
+  const std::vector<BeamResult> clean =
+      run_beam_sessions(small_suite(), clean_config);
+  EXPECT_EQ(results[0].sdc, clean[0].sdc);
+  EXPECT_EQ(results[2].sdc, clean[2].sdc);
+  EXPECT_EQ(results[0].strikes, clean[0].strikes);
+  EXPECT_EQ(results[2].strikes, clean[2].strikes);
+}
+
+TEST(SweepSupervisor, JournalResumeIsBitIdentical) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "sefi-beam-resume").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/sweep.journal";
+  const std::string header = "beam sweep-test SusanC Qsort CRC32";
+
+  BeamConfig config = small_session(50);
+  config.threads = 1;
+  const std::vector<BeamResult> clean =
+      run_beam_sessions(small_suite(), config);
+
+  // Interrupted sweep: the token trips before session 1 runs, so only
+  // session 0 journals.
+  exec::CancellationToken token;
+  {
+    support::TaskJournal journal(path, header);
+    BeamConfig interrupted = config;
+    interrupted.cancel = &token;
+    interrupted.journal = &journal;
+    interrupted.session_fault_hook = [&token](std::size_t index,
+                                              std::uint64_t) {
+      if (index == 1) token.request_stop();
+    };
+    BeamSweepStats stats;
+    const std::vector<BeamResult> partial =
+        run_beam_sessions(small_suite(), interrupted, &stats);
+    EXPECT_TRUE(stats.cancelled);
+    EXPECT_EQ(stats.sessions_run, 1u);
+    ASSERT_EQ(stats.states.size(), 3u);
+    EXPECT_EQ(stats.states[0], exec::TaskState::kDone);
+    EXPECT_EQ(stats.states[2], exec::TaskState::kPending);
+    // The finished session is already correct, the pending one is empty.
+    EXPECT_EQ(partial[0].sdc, clean[0].sdc);
+    EXPECT_EQ(partial[2].runs, 0u);
+  }
+
+  // Resume: a fresh journal object (the "new process") replays session 0
+  // byte-exactly and runs only the remaining two.
+  support::TaskJournal journal(path, header);
+  EXPECT_EQ(journal.replayed(), 1u);
+  BeamConfig resumed = config;
+  resumed.journal = &journal;
+  BeamSweepStats stats;
+  const std::vector<BeamResult> results =
+      run_beam_sessions(small_suite(), resumed, &stats);
+  expect_same_results(clean, results, "journal-resume");
+  EXPECT_EQ(stats.journal_replayed, 1u);
+  EXPECT_EQ(stats.sessions_run, 2u);
+  EXPECT_FALSE(stats.cancelled);
+  fs::remove_all(dir);
+}
+
+TEST(SweepSupervisor, StaleJournalHeaderForcesAFullRerun) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "sefi-beam-skew").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/sweep.journal";
+  {
+    support::TaskJournal stale(path, "beam some-other-sweep");
+    stale.record(0, "garbage payload");
+  }
+  support::TaskJournal journal(path, "beam current-sweep");
+  EXPECT_EQ(journal.replayed(), 0u);
+  BeamConfig config = small_session(50);
+  config.threads = 1;
+  config.journal = &journal;
+  BeamSweepStats stats;
+  const std::vector<BeamResult> results =
+      run_beam_sessions(small_suite(), config, &stats);
+  EXPECT_EQ(stats.journal_replayed, 0u);
+  EXPECT_EQ(stats.sessions_run, 3u);
+  BeamConfig clean_config = small_session(50);
+  clean_config.threads = 1;
+  expect_same_results(run_beam_sessions(small_suite(), clean_config), results,
+                      "header-skew");
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -128,5 +128,128 @@ TEST(Aggregate, EmptySweepIsZero) {
   EXPECT_DOUBLE_EQ(agg.fi_total, 0.0);
 }
 
+TEST(Lab, InterruptedCampaignResumesFromItsJournal) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "sefi-lab-resume").string();
+  fs::remove_all(dir);
+  ::setenv("SEFI_CACHE_DIR", dir.c_str(), 1);
+
+  LabConfig config = small_lab_config();
+  config.fi.faults_per_component = 6;
+  const auto& workload = workloads::workload_by_name("SusanC");
+
+  // Interrupted run: the cancellation token trips mid-campaign, run_fi
+  // throws, and the journal keeps every finished injection.
+  exec::CancellationToken token;
+  config.fi.cancel = &token;
+  config.fi.task_fault_hook = [&token](std::size_t index, std::uint64_t) {
+    if (index == 20) token.request_stop();
+  };
+  {
+    AssessmentLab lab(config);
+    ASSERT_TRUE(lab.journaling_enabled());
+    try {
+      lab.run_fi(workload);
+      FAIL() << "interrupted campaign did not throw";
+    } catch (const CampaignInterrupted& interrupted) {
+      EXPECT_EQ(interrupted.total(), 36u);
+      EXPECT_LT(interrupted.resolved(), interrupted.total());
+    }
+    const AssessmentLab::JournalStatus status =
+        lab.fi_journal_status(workload);
+    EXPECT_TRUE(status.enabled);
+    EXPECT_TRUE(status.present);
+    EXPECT_FALSE(status.cached);
+    EXPECT_GT(status.records, 0u);
+    EXPECT_LT(status.records, status.total);
+    EXPECT_EQ(status.total, 36u);
+  }
+
+  // Resume in a "new process": a fresh lab over the same cache dir picks
+  // the journal up, finishes the rest, and publishes the same result an
+  // uninterrupted campaign produces.
+  config.fi.cancel = nullptr;
+  config.fi.task_fault_hook = nullptr;
+  AssessmentLab lab(config);
+  const fi::WorkloadFiResult& resumed = lab.run_fi(workload);
+  EXPECT_GT(resumed.stats.journal_replayed, 0u);
+  EXPECT_FALSE(resumed.stats.cancelled);
+
+  const fi::WorkloadFiResult clean = fi::run_fi_campaign(workload, config.fi);
+  for (const auto kind : microarch::kAllComponents) {
+    const fi::ClassCounts& a = clean.component(kind).counts;
+    const fi::ClassCounts& b = resumed.component(kind).counts;
+    EXPECT_EQ(a.masked, b.masked) << microarch::component_name(kind);
+    EXPECT_EQ(a.sdc, b.sdc) << microarch::component_name(kind);
+    EXPECT_EQ(a.app_crash, b.app_crash) << microarch::component_name(kind);
+    EXPECT_EQ(a.sys_crash, b.sys_crash) << microarch::component_name(kind);
+  }
+
+  // The finished campaign retired its journal and cached its result.
+  const AssessmentLab::JournalStatus done = lab.fi_journal_status(workload);
+  EXPECT_FALSE(done.present);
+  EXPECT_TRUE(done.cached);
+  const AssessmentLab::SupervisorTelemetry telemetry =
+      lab.supervisor_telemetry();
+  EXPECT_GT(telemetry.journal_replayed, 0u);
+  EXPECT_EQ(telemetry.journal_replayed + telemetry.tasks_run, 36u);
+  ::unsetenv("SEFI_CACHE_DIR");
+  fs::remove_all(dir);
+}
+
+TEST(Lab, DiscardedJournalRestartsTheCampaignFromScratch) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "sefi-lab-discard").string();
+  fs::remove_all(dir);
+  ::setenv("SEFI_CACHE_DIR", dir.c_str(), 1);
+
+  LabConfig config = small_lab_config();
+  config.fi.faults_per_component = 6;
+  const auto& workload = workloads::workload_by_name("SusanC");
+  exec::CancellationToken token;
+  config.fi.cancel = &token;
+  config.fi.task_fault_hook = [&token](std::size_t index, std::uint64_t) {
+    if (index == 12) token.request_stop();
+  };
+  {
+    AssessmentLab lab(config);
+    EXPECT_THROW(lab.run_fi(workload), CampaignInterrupted);
+    EXPECT_TRUE(lab.fi_journal_status(workload).present);
+    EXPECT_TRUE(lab.discard_fi_journal(workload));
+    EXPECT_FALSE(lab.fi_journal_status(workload).present);
+    EXPECT_FALSE(lab.discard_fi_journal(workload));  // already gone
+  }
+
+  config.fi.cancel = nullptr;
+  config.fi.task_fault_hook = nullptr;
+  AssessmentLab lab(config);
+  const fi::WorkloadFiResult& result = lab.run_fi(workload);
+  EXPECT_EQ(result.stats.journal_replayed, 0u);  // nothing to resume from
+  EXPECT_EQ(result.stats.tasks_run, result.stats.injections);
+  ::unsetenv("SEFI_CACHE_DIR");
+  fs::remove_all(dir);
+}
+
+TEST(LabConfigFromEnv, ReadsSupervisorKnobs) {
+  ::setenv("SEFI_MAX_TASK_RETRIES", "5", 1);
+  ::setenv("SEFI_TASK_DEADLINE_MS", "1234", 1);
+  ::setenv("SEFI_JOURNAL", "0", 1);
+  const LabConfig config = LabConfig::from_env();
+  EXPECT_EQ(config.fi.max_task_retries, 5u);
+  EXPECT_EQ(config.fi.task_deadline_ms, 1234u);
+  EXPECT_EQ(config.beam.max_task_retries, 5u);
+  EXPECT_EQ(config.beam.task_deadline_ms, 1234u);
+  EXPECT_FALSE(config.journal_enabled);
+  ::unsetenv("SEFI_MAX_TASK_RETRIES");
+  ::unsetenv("SEFI_TASK_DEADLINE_MS");
+  ::unsetenv("SEFI_JOURNAL");
+  const LabConfig defaults = LabConfig::from_env();
+  EXPECT_EQ(defaults.fi.max_task_retries, 2u);
+  EXPECT_EQ(defaults.fi.task_deadline_ms, 0u);
+  EXPECT_TRUE(defaults.journal_enabled);
+}
+
 }  // namespace
 }  // namespace sefi::core

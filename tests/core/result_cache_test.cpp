@@ -91,6 +91,22 @@ TEST(Serialization, FiRoundTrip) {
   }
 }
 
+TEST(Serialization, FiRoundTripPreservesHarnessErrors) {
+  // Harness errors are part of a stored campaign result (they shrink the
+  // sample a resume would otherwise re-run), so the v6 format must carry
+  // them.
+  fi::WorkloadFiResult original = sample_fi_result();
+  original.components[2].counts.harness_error = 7;
+  const auto parsed = deserialize_fi(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->components[2].counts.harness_error, 7u);
+  EXPECT_EQ(parsed->components[0].counts.harness_error, 0u);
+  EXPECT_EQ(parsed->components[2].counts.total(),
+            original.components[2].counts.total());
+  EXPECT_EQ(parsed->components[2].counts.attempted(),
+            original.components[2].counts.attempted());
+}
+
 TEST(Serialization, BeamRoundTrip) {
   const beam::BeamResult original = sample_beam_result();
   const auto parsed = deserialize_beam(serialize(original));

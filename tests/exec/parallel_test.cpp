@@ -85,5 +85,94 @@ TEST(ForEachTask, ZeroTasksIsANoop) {
   EXPECT_FALSE(ran);
 }
 
+TEST(DrainReport, FailuresDoNotAbandonTheRemainingTasks) {
+  // The report-form contract: every index is attempted even when some
+  // throw — a flaky task costs itself, never the rest of the campaign.
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  const DrainReport report = for_each_task(
+      4, kTasks,
+      [&](std::size_t, std::size_t index) {
+        hits[index].fetch_add(1);
+        if (index % 10 == 3) throw std::runtime_error("task failed");
+      },
+      nullptr);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(report.completed, kTasks - 20);
+  EXPECT_EQ(report.failed, 20u);
+  EXPECT_EQ(report.completed + report.failed, kTasks);
+  EXPECT_FALSE(report.cancelled);
+  ASSERT_TRUE(report.first_error);
+  EXPECT_LT(report.first_failed_index, kTasks);
+  EXPECT_EQ(report.first_failed_index % 10, 3u);
+  EXPECT_THROW(std::rethrow_exception(report.first_error),
+               std::runtime_error);
+}
+
+TEST(DrainReport, SerialFirstErrorIsTheEarliestIndex) {
+  const DrainReport report = for_each_task(
+      1, 50,
+      [&](std::size_t, std::size_t index) {
+        if (index == 7 || index == 30) throw std::runtime_error("boom");
+      },
+      nullptr);
+  EXPECT_EQ(report.failed, 2u);
+  EXPECT_EQ(report.first_failed_index, 7u);
+}
+
+TEST(DrainReport, PreCancelledTokenRunsNothing) {
+  CancellationToken token;
+  token.request_stop();
+  bool ran = false;
+  const DrainReport report = for_each_task(
+      4, 100, [&](std::size_t, std::size_t) { ran = true; }, &token);
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_EQ(report.failed, 0u);
+}
+
+TEST(DrainReport, MidDrainCancelStopsPullingNewTasks) {
+  CancellationToken token;
+  std::atomic<int> ran{0};
+  const DrainReport report = for_each_task(
+      1, 100,
+      [&](std::size_t, std::size_t index) {
+        ran.fetch_add(1);
+        if (index == 9) token.request_stop();
+      },
+      &token);
+  EXPECT_TRUE(report.cancelled);
+  // The in-flight task finishes (cooperative drain), nothing after it.
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(report.completed, 10u);
+}
+
+TEST(DrainReport, CancelFlagIsFalseOnFullDrain) {
+  CancellationToken token;
+  const DrainReport report =
+      for_each_task(4, 40, [](std::size_t, std::size_t) {}, &token);
+  EXPECT_FALSE(report.cancelled);
+  EXPECT_EQ(report.completed, 40u);
+}
+
+TEST(ForEachTask, ThrowingFormAbandonsAfterFirstFailure) {
+  // The legacy overload stops dispatching once a task throws; with one
+  // worker the tasks after the failing index must never run.
+  std::vector<int> hits(50, 0);
+  EXPECT_THROW(for_each_task(1, hits.size(),
+                             [&](std::size_t, std::size_t index) {
+                               ++hits[index];
+                               if (index == 5) {
+                                 throw std::runtime_error("stop");
+                               }
+                             }),
+               std::runtime_error);
+  EXPECT_EQ(hits[5], 1);
+  for (std::size_t i = 6; i < hits.size(); ++i) EXPECT_EQ(hits[i], 0) << i;
+}
+
 }  // namespace
 }  // namespace sefi::exec

@@ -1,0 +1,319 @@
+#include "sefi/exec/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sefi::exec {
+namespace {
+
+SupervisorConfig serial_config() {
+  SupervisorConfig config;
+  config.threads = 1;
+  return config;
+}
+
+TEST(TaskGuard, DefaultGuardIsInert) {
+  const TaskGuard guard;
+  EXPECT_NO_THROW(guard.check());
+  EXPECT_FALSE(guard.cancel_requested());
+  EXPECT_FALSE(guard.deadline_expired());
+}
+
+TEST(TaskGuard, ThrowsOnCancelledToken) {
+  CancellationToken token;
+  const TaskGuard guard(&token, 0);
+  EXPECT_NO_THROW(guard.check());
+  token.request_stop();
+  EXPECT_TRUE(guard.cancel_requested());
+  EXPECT_THROW(guard.check(), TaskCancelled);
+}
+
+TEST(TaskGuard, ThrowsOnceDeadlinePasses) {
+  const TaskGuard guard(nullptr, 1);  // 1 ms budget
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(guard.deadline_expired());
+  EXPECT_THROW(guard.check(), TaskDeadlineExceeded);
+}
+
+TEST(Supervisor, CleanTasksAllComplete) {
+  std::vector<int> hits(10, 0);
+  const SupervisorReport report = run_supervised(
+      serial_config(), hits.size(), nullptr,
+      [&](std::size_t worker, std::size_t index, std::uint64_t attempt,
+          const TaskGuard&) {
+        EXPECT_EQ(worker, 0u);
+        EXPECT_EQ(attempt, 0u);
+        ++hits[index];
+      },
+      nullptr);
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(report.completed, 10u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.harness_errors, 0u);
+  EXPECT_FALSE(report.cancelled);
+  ASSERT_EQ(report.states.size(), 10u);
+  for (const TaskState state : report.states) {
+    EXPECT_EQ(state, TaskState::kDone);
+  }
+}
+
+TEST(Supervisor, TransientFailureRetriesSameIndex) {
+  // Index 3 fails once; the retry must re-run index 3 (not skip ahead)
+  // and the task must end kDone.
+  std::vector<int> attempts(6, 0);
+  const SupervisorReport report = run_supervised(
+      serial_config(), attempts.size(), nullptr,
+      [&](std::size_t, std::size_t index, std::uint64_t attempt,
+          const TaskGuard&) {
+        ++attempts[index];
+        if (index == 3 && attempt == 0) throw std::runtime_error("flaky");
+      },
+      nullptr);
+  EXPECT_EQ(attempts[3], 2);
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if (i != 3) EXPECT_EQ(attempts[i], 1) << i;
+  }
+  EXPECT_EQ(report.completed, 6u);
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_EQ(report.harness_errors, 0u);
+  EXPECT_EQ(report.states[3], TaskState::kDone);
+  EXPECT_NE(report.first_error.find("flaky"), std::string::npos);
+}
+
+TEST(Supervisor, ExhaustedRetriesBookHarnessErrorAndContinue) {
+  SupervisorConfig config = serial_config();
+  config.max_task_retries = 2;
+  std::vector<int> attempts(5, 0);
+  const SupervisorReport report = run_supervised(
+      config, attempts.size(), nullptr,
+      [&](std::size_t, std::size_t index, std::uint64_t, const TaskGuard&) {
+        ++attempts[index];
+        if (index == 1) throw std::runtime_error("permanent");
+      },
+      nullptr);
+  // 1 initial + 2 retries, then give up; the campaign continues.
+  EXPECT_EQ(attempts[1], 3);
+  EXPECT_EQ(report.harness_errors, 1u);
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(report.states[1], TaskState::kHarnessError);
+  EXPECT_EQ(report.states[4], TaskState::kDone);  // later tasks still ran
+  EXPECT_FALSE(report.cancelled);
+}
+
+TEST(Supervisor, ZeroRetriesFailsFast) {
+  SupervisorConfig config = serial_config();
+  config.max_task_retries = 0;
+  int attempts = 0;
+  const SupervisorReport report = run_supervised(
+      config, 1, nullptr,
+      [&](std::size_t, std::size_t, std::uint64_t, const TaskGuard&) {
+        ++attempts;
+        throw std::runtime_error("boom");
+      },
+      nullptr);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.harness_errors, 1u);
+}
+
+TEST(Supervisor, RecoverRunsAfterEveryFailedAttempt) {
+  SupervisorConfig config = serial_config();
+  config.max_task_retries = 2;
+  int recoveries = 0;
+  run_supervised(
+      config, 3, nullptr,
+      [&](std::size_t, std::size_t index, std::uint64_t, const TaskGuard&) {
+        if (index == 2) throw std::runtime_error("always");
+      },
+      [&](std::size_t worker) {
+        EXPECT_EQ(worker, 0u);
+        ++recoveries;
+      });
+  // Three failed attempts on index 2, each followed by a rebuild.
+  EXPECT_EQ(recoveries, 3);
+}
+
+TEST(Supervisor, ThrowingRecoverDoesNotEscape) {
+  SupervisorConfig config = serial_config();
+  config.max_task_retries = 1;
+  SupervisorReport report;
+  EXPECT_NO_THROW(report = run_supervised(
+                      config, 2, nullptr,
+                      [&](std::size_t, std::size_t index, std::uint64_t,
+                          const TaskGuard&) {
+                        if (index == 0) throw std::runtime_error("task");
+                      },
+                      [&](std::size_t) {
+                        throw std::runtime_error("recover also broken");
+                      }));
+  EXPECT_EQ(report.harness_errors, 1u);
+  EXPECT_EQ(report.completed, 1u);
+}
+
+TEST(Supervisor, AlreadyDoneSkipsWithoutInvokingTask) {
+  std::vector<int> hits(8, 0);
+  const SupervisorReport report = run_supervised(
+      serial_config(), hits.size(),
+      [](std::size_t index) { return index % 2 == 0; },
+      [&](std::size_t, std::size_t index, std::uint64_t, const TaskGuard&) {
+        ++hits[index];
+      },
+      nullptr);
+  EXPECT_EQ(report.skipped, 4u);
+  EXPECT_EQ(report.completed, 4u);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i % 2 == 0 ? 0 : 1) << i;
+    EXPECT_EQ(report.states[i],
+              i % 2 == 0 ? TaskState::kSkipped : TaskState::kDone);
+  }
+}
+
+TEST(Supervisor, CancellationLeavesRemainingTasksPending) {
+  CancellationToken token;
+  SupervisorConfig config = serial_config();
+  config.cancel = &token;
+  std::vector<int> hits(10, 0);
+  const SupervisorReport report = run_supervised(
+      config, hits.size(), nullptr,
+      [&](std::size_t, std::size_t index, std::uint64_t, const TaskGuard&) {
+        ++hits[index];
+        if (index == 3) token.request_stop();
+      },
+      nullptr);
+  EXPECT_TRUE(report.cancelled);
+  // The in-flight task (index 3) finished; nothing after it started.
+  EXPECT_EQ(report.completed, 4u);
+  for (std::size_t i = 4; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 0) << i;
+    EXPECT_EQ(report.states[i], TaskState::kPending);
+  }
+  EXPECT_EQ(report.states[3], TaskState::kDone);
+}
+
+TEST(Supervisor, TaskCancelledMidAttemptLeavesTaskPending) {
+  // A guard poll that throws TaskCancelled is a drain, not a failure:
+  // the task books neither a retry nor a harness error.
+  CancellationToken token;
+  SupervisorConfig config = serial_config();
+  config.cancel = &token;
+  const SupervisorReport report = run_supervised(
+      config, 5, nullptr,
+      [&](std::size_t, std::size_t index, std::uint64_t,
+          const TaskGuard& guard) {
+        if (index == 2) {
+          token.request_stop();
+          guard.check();  // throws TaskCancelled mid-attempt
+          FAIL() << "guard did not throw";
+        }
+      },
+      nullptr);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.harness_errors, 0u);
+  EXPECT_EQ(report.cancelled_tasks, 1u);
+  EXPECT_EQ(report.states[2], TaskState::kPending);
+}
+
+TEST(Supervisor, WatchdogDeadlineBooksHitsThenHarnessError) {
+  SupervisorConfig config = serial_config();
+  config.max_task_retries = 1;
+  config.task_deadline_ms = 1;
+  const SupervisorReport report = run_supervised(
+      config, 2, nullptr,
+      [&](std::size_t, std::size_t index, std::uint64_t,
+          const TaskGuard& guard) {
+        if (index != 1) return;
+        // A stuck task: loops forever, but polls its guard like the
+        // campaign drivers do between simulation slices.
+        for (;;) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          guard.check();
+        }
+      },
+      nullptr);
+  EXPECT_EQ(report.watchdog_hits, 2u);  // initial attempt + one retry
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_EQ(report.harness_errors, 1u);
+  EXPECT_EQ(report.states[1], TaskState::kHarnessError);
+  EXPECT_EQ(report.states[0], TaskState::kDone);
+  EXPECT_FALSE(report.cancelled);
+}
+
+TEST(Supervisor, DeadlineIsPerAttemptNotPerCampaign) {
+  // Ten tasks each sleeping ~2 ms under a 50 ms per-attempt budget: the
+  // campaign takes >20 ms total but no attempt exceeds its own deadline.
+  SupervisorConfig config = serial_config();
+  config.task_deadline_ms = 50;
+  const SupervisorReport report = run_supervised(
+      config, 10, nullptr,
+      [&](std::size_t, std::size_t, std::uint64_t, const TaskGuard& guard) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        guard.check();
+      },
+      nullptr);
+  EXPECT_EQ(report.completed, 10u);
+  EXPECT_EQ(report.watchdog_hits, 0u);
+}
+
+TEST(Supervisor, ParallelDrainMatchesSerialStates) {
+  // The terminal-state vector is part of the determinism contract: a
+  // permanent failure at fixed indices must produce identical states for
+  // any thread count.
+  const auto run = [](std::size_t threads) {
+    SupervisorConfig config;
+    config.threads = threads;
+    config.max_task_retries = 1;
+    return run_supervised(
+        config, 64, [](std::size_t index) { return index % 7 == 0; },
+        [&](std::size_t, std::size_t index, std::uint64_t, const TaskGuard&) {
+          if (index % 13 == 5) throw std::runtime_error("deterministic");
+        },
+        nullptr);
+  };
+  const SupervisorReport serial = run(1);
+  const SupervisorReport threaded = run(4);
+  EXPECT_EQ(serial.states, threaded.states);
+  EXPECT_EQ(serial.completed, threaded.completed);
+  EXPECT_EQ(serial.skipped, threaded.skipped);
+  EXPECT_EQ(serial.harness_errors, threaded.harness_errors);
+  EXPECT_EQ(serial.retries, threaded.retries);
+}
+
+TEST(Supervisor, WorkerIdsStayDenseUnderRetries) {
+  SupervisorConfig config;
+  config.threads = 3;
+  config.max_task_retries = 2;
+  std::atomic<std::size_t> max_worker{0};
+  run_supervised(
+      config, 50, nullptr,
+      [&](std::size_t worker, std::size_t index, std::uint64_t attempt,
+          const TaskGuard&) {
+        std::size_t seen = max_worker.load();
+        while (worker > seen && !max_worker.compare_exchange_weak(seen, worker)) {
+        }
+        if (index % 11 == 0 && attempt == 0) throw std::runtime_error("once");
+      },
+      [](std::size_t worker) { ASSERT_LT(worker, 3u); });
+  EXPECT_LT(max_worker.load(), 3u);
+}
+
+TEST(SigintToken, IsProcessWideAndResettable) {
+  CancellationToken& token = sigint_token();
+  token.reset();
+  EXPECT_FALSE(token.stop_requested());
+  token.request_stop();
+  EXPECT_TRUE(sigint_token().stop_requested());
+  EXPECT_EQ(&token, &sigint_token());
+  token.reset();
+  EXPECT_FALSE(sigint_token().stop_requested());
+}
+
+}  // namespace
+}  // namespace sefi::exec

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
 #include "sefi/core/lab.hpp"
 #include "sefi/support/error.hpp"
 
@@ -30,6 +34,7 @@ TEST(OutcomeName, AllNamed) {
   EXPECT_EQ(outcome_name(Outcome::kSdc), "SDC");
   EXPECT_EQ(outcome_name(Outcome::kAppCrash), "AppCrash");
   EXPECT_EQ(outcome_name(Outcome::kSysCrash), "SysCrash");
+  EXPECT_EQ(outcome_name(Outcome::kHarnessError), "HarnessError");
 }
 
 TEST(ClassCounts, AddAndTotal) {
@@ -41,6 +46,25 @@ TEST(ClassCounts, AddAndTotal) {
   counts.add(Outcome::kSysCrash);
   EXPECT_EQ(counts.masked, 2u);
   EXPECT_EQ(counts.total(), 5u);
+}
+
+TEST(ClassCounts, HarnessErrorsStayOutOfTheAvfDenominator) {
+  ClassCounts counts;
+  counts.add(Outcome::kMasked);
+  counts.add(Outcome::kSdc);
+  counts.add(Outcome::kHarnessError);
+  counts.add(Outcome::kHarnessError);
+  EXPECT_EQ(counts.harness_error, 2u);
+  EXPECT_EQ(counts.total(), 2u);      // classified experiments only
+  EXPECT_EQ(counts.attempted(), 4u);  // everything the campaign tried
+
+  // AVF fractions divide by classified experiments, so a flaky harness
+  // shrinks the sample instead of diluting the rates toward zero.
+  ComponentResult comp;
+  comp.counts = {1, 1, 0, 0};
+  comp.counts.harness_error = 2;
+  EXPECT_DOUBLE_EQ(comp.avf(), 0.5);
+  EXPECT_DOUBLE_EQ(comp.avf_sdc(), 0.5);
 }
 
 TEST(ComponentResult, AvfArithmetic) {
@@ -363,6 +387,201 @@ TEST(WorkloadFiResultAccess, ComponentLookup) {
     result.components[i].bits = i + 1;
   }
   EXPECT_EQ(result.component(microarch::ComponentKind::kL2).bits, 3u);
+}
+
+// --- Campaign supervisor: fault isolation, retries, journaled resume ---
+
+/// Fresh journal path per test (ctest parallelizes test processes).
+std::string fresh_journal_path(const std::string& tag) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / ("sefi-campaign-" + tag)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir + "/fi.journal";
+}
+
+CampaignConfig tiny_campaign(std::uint64_t faults = 6) {
+  CampaignConfig config = small_campaign();
+  config.faults_per_component = faults;
+  config.threads = 2;
+  return config;
+}
+
+TEST(CampaignSupervisor, TransientHarnessFaultRetriesToTheSameResult) {
+  const WorkloadFiResult clean = run_fi_campaign(susan(), tiny_campaign());
+
+  // One injection fails on its first attempt; the retry must re-execute
+  // the identical pre-sampled experiment, so the merged counts cannot
+  // change.
+  CampaignConfig flaky = tiny_campaign();
+  flaky.task_fault_hook = [](std::size_t index, std::uint64_t attempt) {
+    if (index == 7 && attempt == 0) {
+      throw std::runtime_error("simulated transient harness fault");
+    }
+  };
+  const WorkloadFiResult retried = run_fi_campaign(susan(), flaky);
+  expect_same_counts(clean, retried, "transient-retry");
+  EXPECT_EQ(retried.stats.task_retries, 1u);
+  EXPECT_EQ(retried.stats.harness_errors, 0u);
+  EXPECT_FALSE(retried.stats.cancelled);
+  EXPECT_EQ(clean.stats.task_retries, 0u);
+}
+
+TEST(CampaignSupervisor, PermanentHarnessFaultShrinksTheSample) {
+  CampaignConfig config = tiny_campaign();
+  config.max_task_retries = 2;
+  config.task_fault_hook = [](std::size_t index, std::uint64_t) {
+    if (index == 7) throw std::runtime_error("permanently broken");
+  };
+  const WorkloadFiResult result = run_fi_campaign(susan(), config);
+
+  // The campaign completed despite the broken experiment; the victim
+  // component lost one classified sample, nothing else changed.
+  EXPECT_EQ(result.stats.harness_errors, 1u);
+  EXPECT_EQ(result.stats.task_retries, 2u);  // the burned retry budget
+  EXPECT_FALSE(result.stats.cancelled);
+  std::uint64_t harness_total = 0;
+  for (const ComponentResult& comp : result.components) {
+    harness_total += comp.counts.harness_error;
+    EXPECT_EQ(comp.counts.attempted(), 6u)
+        << microarch::component_name(comp.component);
+  }
+  EXPECT_EQ(harness_total, 1u);
+  // Fault index 7 belongs to the second component stream (6 per
+  // component): its AVF denominator is 5, not 6.
+  const ComponentResult& victim = result.components[1];
+  EXPECT_EQ(victim.counts.harness_error, 1u);
+  EXPECT_EQ(victim.counts.total(), 5u);
+
+  const WorkloadFiResult clean = run_fi_campaign(susan(), tiny_campaign());
+  EXPECT_EQ(clean.components[1].counts.total(), 6u);
+}
+
+TEST(CampaignSupervisor, JournalResumeIsBitIdentical) {
+  const WorkloadFiResult clean = run_fi_campaign(susan(), tiny_campaign());
+  for (const std::uint64_t threads : {1, 4}) {
+    const std::string path = fresh_journal_path(
+        "resume-t" + std::to_string(threads));
+    const std::string header = "fi resume-test";
+
+    // Interrupted run: the SIGINT-style token trips mid-campaign, so
+    // some injections journal and the rest stay pending.
+    exec::CancellationToken token;
+    {
+      support::TaskJournal journal(path, header);
+      CampaignConfig interrupted = tiny_campaign();
+      interrupted.threads = threads;
+      interrupted.cancel = &token;
+      interrupted.journal = &journal;
+      interrupted.task_fault_hook = [&token](std::size_t index,
+                                             std::uint64_t) {
+        if (index == 20) token.request_stop();
+      };
+      const WorkloadFiResult partial = run_fi_campaign(susan(), interrupted);
+      EXPECT_TRUE(partial.stats.cancelled);
+      EXPECT_LT(partial.stats.tasks_run, partial.stats.injections);
+    }
+
+    // Resume: a fresh process opens the same journal and finishes only
+    // the pending injections; the merged result must be bit-identical
+    // to the never-interrupted campaign.
+    support::TaskJournal journal(path, header);
+    EXPECT_GT(journal.replayed(), 0u);
+    CampaignConfig resumed = tiny_campaign();
+    resumed.threads = threads;
+    resumed.journal = &journal;
+    const WorkloadFiResult result = run_fi_campaign(susan(), resumed);
+    expect_same_counts(clean, result, "journal-resume");
+    EXPECT_FALSE(result.stats.cancelled);
+    EXPECT_EQ(result.stats.journal_replayed, journal.replayed());
+    EXPECT_GT(result.stats.journal_replayed, 0u);
+    EXPECT_EQ(result.stats.tasks_run + result.stats.journal_replayed,
+              result.stats.injections);
+    std::filesystem::remove_all(std::filesystem::path(path).parent_path());
+  }
+}
+
+TEST(CampaignSupervisor, TornJournalTailResumesCorrectly) {
+  const std::string path = fresh_journal_path("torn");
+  const std::string header = "fi torn-test";
+  exec::CancellationToken token;
+  {
+    support::TaskJournal journal(path, header);
+    CampaignConfig interrupted = tiny_campaign();
+    interrupted.cancel = &token;
+    interrupted.journal = &journal;
+    interrupted.task_fault_hook = [&token](std::size_t index, std::uint64_t) {
+      if (index == 15) token.request_stop();
+    };
+    run_fi_campaign(susan(), interrupted);
+  }
+  // Simulate a crash inside an append: the journal gains a torn tail.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "rec 99 3\no 1";  // no checksum footer — invalid
+  }
+  support::TaskJournal journal(path, header);
+  CampaignConfig resumed = tiny_campaign();
+  resumed.journal = &journal;
+  const WorkloadFiResult result = run_fi_campaign(susan(), resumed);
+  const WorkloadFiResult clean = run_fi_campaign(susan(), tiny_campaign());
+  expect_same_counts(clean, result, "torn-tail-resume");
+  std::filesystem::remove_all(std::filesystem::path(path).parent_path());
+}
+
+TEST(CampaignSupervisor, StaleJournalHeaderForcesAFullRerun) {
+  const std::string path = fresh_journal_path("skew");
+  {
+    // A journal from a "different campaign" (changed config, older
+    // format version) occupies the path.
+    support::TaskJournal stale(path, "fi some-other-campaign");
+    stale.record(0, "o 1");
+    stale.record(1, "o 1");
+  }
+  support::TaskJournal journal(path, "fi current-campaign");
+  EXPECT_EQ(journal.replayed(), 0u);
+  CampaignConfig config = tiny_campaign();
+  config.journal = &journal;
+  const WorkloadFiResult result = run_fi_campaign(susan(), config);
+  const WorkloadFiResult clean = run_fi_campaign(susan(), tiny_campaign());
+  expect_same_counts(clean, result, "header-skew");
+  EXPECT_EQ(result.stats.journal_replayed, 0u);
+  EXPECT_EQ(result.stats.tasks_run, result.stats.injections);
+  std::filesystem::remove_all(std::filesystem::path(path).parent_path());
+}
+
+TEST(CampaignSupervisor, HarnessErrorsAreJournaledAsTerminal) {
+  const std::string path = fresh_journal_path("terminal");
+  const std::string header = "fi terminal-test";
+  {
+    support::TaskJournal journal(path, header);
+    CampaignConfig config = tiny_campaign();
+    config.journal = &journal;
+    config.max_task_retries = 1;
+    config.task_fault_hook = [](std::size_t index, std::uint64_t) {
+      if (index == 7) throw std::runtime_error("permanently broken");
+    };
+    const WorkloadFiResult first = run_fi_campaign(susan(), config);
+    EXPECT_EQ(first.stats.harness_errors, 1u);
+  }
+  // A resume must replay the HarnessError verdict instead of re-burning
+  // the retry budget on the known-broken experiment.
+  support::TaskJournal journal(path, header);
+  CampaignConfig resumed = tiny_campaign();
+  resumed.journal = &journal;
+  resumed.task_fault_hook = [](std::size_t index, std::uint64_t) {
+    EXPECT_NE(index, 7u) << "journaled harness error was re-attempted";
+  };
+  const WorkloadFiResult result = run_fi_campaign(susan(), resumed);
+  EXPECT_EQ(result.stats.harness_errors, 0u);  // none newly booked
+  EXPECT_EQ(result.stats.tasks_run, 0u);       // everything replayed
+  std::uint64_t harness_total = 0;
+  for (const ComponentResult& comp : result.components) {
+    harness_total += comp.counts.harness_error;
+  }
+  EXPECT_EQ(harness_total, 1u);  // the verdict itself survived the resume
+  std::filesystem::remove_all(std::filesystem::path(path).parent_path());
 }
 
 }  // namespace

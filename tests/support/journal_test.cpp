@@ -1,0 +1,231 @@
+#include "sefi/support/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sefi::support {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh journal path per test (ctest runs tests in parallel processes).
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("sefi-journal-") + info->name())).string();
+    fs::remove_all(dir_);
+    path_ = dir_ + "/campaign.journal";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string read_raw() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void write_raw(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  void append_raw(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(JournalTest, RecordsReplayAcrossReopen) {
+  {
+    TaskJournal journal(path_, "fi test-campaign");
+    EXPECT_EQ(journal.replayed(), 0u);
+    EXPECT_EQ(journal.lookup(3), nullptr);
+    EXPECT_TRUE(journal.record(3, "o 1"));
+    EXPECT_TRUE(journal.record(7, "o 0"));
+    ASSERT_NE(journal.lookup(3), nullptr);
+    EXPECT_EQ(*journal.lookup(3), "o 1");
+  }
+  TaskJournal reopened(path_, "fi test-campaign");
+  EXPECT_EQ(reopened.replayed(), 2u);
+  ASSERT_NE(reopened.lookup(3), nullptr);
+  EXPECT_EQ(*reopened.lookup(3), "o 1");
+  ASSERT_NE(reopened.lookup(7), nullptr);
+  EXPECT_EQ(*reopened.lookup(7), "o 0");
+  EXPECT_EQ(reopened.lookup(0), nullptr);
+}
+
+TEST_F(JournalTest, MultiLinePayloadsRoundTrip) {
+  // Beam results journal as multi-line serialized text; the length
+  // prefix (not line structure) must delimit the payload.
+  const std::string payload = "b FFT 600\nline two\n\nrec 9 3\nhdr 1";
+  {
+    TaskJournal journal(path_, "beam sweep");
+    EXPECT_TRUE(journal.record(0, payload));
+    EXPECT_TRUE(journal.record(1, ""));  // empty payload is valid too
+  }
+  TaskJournal reopened(path_, "beam sweep");
+  EXPECT_EQ(reopened.replayed(), 2u);
+  ASSERT_NE(reopened.lookup(0), nullptr);
+  EXPECT_EQ(*reopened.lookup(0), payload);
+  ASSERT_NE(reopened.lookup(1), nullptr);
+  EXPECT_EQ(*reopened.lookup(1), "");
+}
+
+TEST_F(JournalTest, ReRecordedIndexLastWins) {
+  {
+    TaskJournal journal(path_, "fi retry");
+    EXPECT_TRUE(journal.record(5, "o 4"));  // first attempt: harness error
+    EXPECT_TRUE(journal.record(5, "o 2"));  // later attempt succeeded
+    ASSERT_NE(journal.lookup(5), nullptr);
+    EXPECT_EQ(*journal.lookup(5), "o 2");
+  }
+  TaskJournal reopened(path_, "fi retry");
+  EXPECT_EQ(reopened.replayed(), 1u);  // one index, despite two records
+  ASSERT_NE(reopened.lookup(5), nullptr);
+  EXPECT_EQ(*reopened.lookup(5), "o 2");
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedNeverParsed) {
+  std::string intact;
+  {
+    TaskJournal journal(path_, "fi torn");
+    journal.record(0, "o 0");
+    journal.record(1, "o 3");
+    intact = read_raw();
+  }
+  {
+    TaskJournal full(path_, "fi torn");
+    EXPECT_EQ(full.replayed(), 2u);
+  }
+  // Kill the process at every byte of a third append: the two sealed
+  // records must survive, the torn tail must be dropped byte-exactly.
+  std::string third;
+  {
+    TaskJournal journal(path_, "fi torn");
+    journal.record(2, "o 1");
+    third = read_raw().substr(intact.size());
+  }
+  ASSERT_GT(third.size(), 0u);
+  for (std::size_t len = 0; len < third.size(); ++len) {
+    write_raw(intact + third.substr(0, len));
+    TaskJournal reopened(path_, "fi torn");
+    EXPECT_EQ(reopened.replayed(), 2u) << "torn tail of " << len << " bytes";
+    EXPECT_EQ(reopened.lookup(2), nullptr) << len;
+    ASSERT_NE(reopened.lookup(1), nullptr) << len;
+    EXPECT_EQ(*reopened.lookup(1), "o 3");
+    // The tail was physically truncated, so the next append lands on a
+    // record boundary and survives another reopen.
+    EXPECT_EQ(read_raw(), intact) << len;
+    EXPECT_TRUE(reopened.record(2, "o 1"));
+  }
+  TaskJournal final_check(path_, "fi torn");
+  EXPECT_EQ(final_check.replayed(), 3u);
+}
+
+TEST_F(JournalTest, GarbageTailIsDiscarded) {
+  {
+    TaskJournal journal(path_, "fi garbage");
+    journal.record(4, "o 2");
+  }
+  append_raw("not a record at all\x01\x02\xff");
+  TaskJournal reopened(path_, "fi garbage");
+  EXPECT_EQ(reopened.replayed(), 1u);
+  ASSERT_NE(reopened.lookup(4), nullptr);
+  EXPECT_EQ(*reopened.lookup(4), "o 2");
+}
+
+TEST_F(JournalTest, HeaderMismatchDiscardsTheFile) {
+  {
+    TaskJournal journal(path_, "fi config-A");
+    journal.record(0, "o 1");
+    journal.record(1, "o 1");
+  }
+  // A different campaign identity (config change, format bump) must not
+  // resume from the stale records — wrong results would be worse than
+  // recomputation.
+  TaskJournal other(path_, "fi config-B");
+  EXPECT_EQ(other.replayed(), 0u);
+  EXPECT_EQ(other.lookup(0), nullptr);
+  EXPECT_TRUE(other.record(0, "o 3"));
+  // And the file now belongs to config-B: reopening as A starts fresh.
+  TaskJournal back(path_, "fi config-A");
+  EXPECT_EQ(back.replayed(), 0u);
+}
+
+TEST_F(JournalTest, MissingFileStartsFresh) {
+  TaskJournal journal(path_, "fi fresh");
+  EXPECT_EQ(journal.replayed(), 0u);
+  EXPECT_TRUE(fs::exists(path_));  // header written eagerly
+  EXPECT_EQ(journal.path(), path_);
+  EXPECT_EQ(journal.header(), "fi fresh");
+}
+
+TEST_F(JournalTest, RemoveDeletesTheFile) {
+  TaskJournal journal(path_, "fi done");
+  journal.record(0, "o 0");
+  ASSERT_TRUE(fs::exists(path_));
+  EXPECT_TRUE(journal.remove());
+  EXPECT_FALSE(fs::exists(path_));
+  EXPECT_FALSE(journal.remove());  // second remove: nothing to do
+}
+
+TEST_F(JournalTest, InspectIsReadOnly) {
+  {
+    TaskJournal journal(path_, "fi inspect");
+    journal.record(0, "o 0");
+    journal.record(9, "o 2");
+  }
+  append_raw("torn");
+  const std::string before = read_raw();
+  const TaskJournal::Status status = TaskJournal::inspect(path_);
+  EXPECT_TRUE(status.present);
+  EXPECT_EQ(status.header, "fi inspect");
+  EXPECT_EQ(status.records, 2u);
+  EXPECT_EQ(status.torn_bytes, 4u);
+  EXPECT_EQ(read_raw(), before);  // inspect never truncates
+
+  EXPECT_FALSE(TaskJournal::inspect(dir_ + "/absent.journal").present);
+  write_raw("garbage with no header");
+  const TaskJournal::Status bad = TaskJournal::inspect(path_);
+  EXPECT_FALSE(bad.present);
+  EXPECT_EQ(bad.records, 0u);
+  EXPECT_GT(bad.torn_bytes, 0u);
+}
+
+TEST_F(JournalTest, ConcurrentRecordsAllSurvive) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50;
+  {
+    TaskJournal journal(path_, "fi hammer");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&journal, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          const std::uint64_t index =
+              static_cast<std::uint64_t>(t) * kPerThread + i;
+          ASSERT_TRUE(journal.record(index, "o " + std::to_string(t % 5)));
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  TaskJournal reopened(path_, "fi hammer");
+  EXPECT_EQ(reopened.replayed(), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    const std::uint64_t index = static_cast<std::uint64_t>(t) * kPerThread;
+    ASSERT_NE(reopened.lookup(index), nullptr);
+    EXPECT_EQ(*reopened.lookup(index), "o " + std::to_string(t % 5));
+  }
+}
+
+}  // namespace
+}  // namespace sefi::support
