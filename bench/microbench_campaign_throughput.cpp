@@ -29,6 +29,16 @@
 // against it. All cells produce bit-identical ClassCounts (asserted
 // here — a throughput number from a wrong result is worthless).
 //
+// After the matrix, the heaviest cell runs two more times as an
+// observability-overhead twin pair: once with every obs channel forced
+// off (metrics disabled, tracing disabled) and once with everything on
+// (metrics + span tracing + per-injection forensics). Those lines carry
+// `"obs":"off"`/`"obs":"on"`; the "on" cell's `obs_overhead` is its
+// wall-clock ratio against its "off" twin (1.00 = free). Matrix cells
+// report `"obs":"default"` — whatever the environment selected, which
+// is metrics on / tracing off unless SEFI_METRICS or SEFI_TRACE say
+// otherwise.
+//
 // Knobs: argv[1] workload name (default Qsort), argv[2] faults per
 // component (default 60); SEFI_THREADS caps the largest thread count
 // tried (default: hardware concurrency).
@@ -40,7 +50,10 @@
 #include "sefi/core/lab.hpp"
 #include "sefi/exec/parallel.hpp"
 #include "sefi/fi/campaign.hpp"
-#include "sefi/support/strings.hpp"
+#include "sefi/obs/forensics.hpp"
+#include "sefi/obs/metrics.hpp"
+#include "sefi/obs/trace.hpp"
+#include "sefi/support/env.hpp"
 #include "sefi/workloads/workload.hpp"
 
 namespace {
@@ -59,7 +72,8 @@ bool same_counts(const sefi::fi::WorkloadFiResult& a,
 }
 
 void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
-          double serial_wall, double full_twin_wall) {
+          double serial_wall, double full_twin_wall, const char* obs,
+          double obs_overhead) {
   const sefi::fi::CampaignStats& s = result.stats;
   std::printf(
       "{\"bench\":\"campaign_throughput\",\"workload\":\"%s\","
@@ -72,7 +86,7 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       "\"full_restores\":%llu,\"delta_restores\":%llu,"
       "\"restore_bytes_copied\":%llu,\"pages_dirtied_avg\":%.3f,"
       "\"task_retries\":%llu,\"harness_errors\":%llu,"
-      "\"watchdog_hits\":%llu,"
+      "\"watchdog_hits\":%llu,\"obs\":\"%s\",\"obs_overhead\":%.3f,"
       "\"speedup_vs_serial\":%.3f,\"full_vs_delta_speedup\":%.3f}\n",
       result.workload.c_str(), static_cast<unsigned long long>(s.threads),
       static_cast<unsigned long long>(s.checkpoints), delta_restore ? 1 : 0,
@@ -89,7 +103,7 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       s.pages_dirtied_avg,
       static_cast<unsigned long long>(s.task_retries),
       static_cast<unsigned long long>(s.harness_errors),
-      static_cast<unsigned long long>(s.watchdog_hits),
+      static_cast<unsigned long long>(s.watchdog_hits), obs, obs_overhead,
       s.wall_seconds > 0 ? serial_wall / s.wall_seconds : 0.0,
       s.wall_seconds > 0 ? full_twin_wall / s.wall_seconds : 0.0);
   std::fflush(stdout);
@@ -107,7 +121,7 @@ int main(int argc, char** argv) {
   config.faults_per_component = faults;
 
   const std::size_t hw = sefi::exec::resolve_threads(
-      sefi::support::env_u64("SEFI_THREADS", 0), SIZE_MAX);
+      sefi::support::env::u64("SEFI_THREADS", 0), SIZE_MAX);
 
   // Cells: serial baseline, ladder-only, threads-only, both combined.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> cells = {{1, 1},
@@ -143,8 +157,54 @@ int main(int argc, char** argv) {
         return 1;
       }
       if (!delta) full_twin_wall = result.stats.wall_seconds;
-      emit(result, delta, serial_wall, delta ? full_twin_wall : 0.0);
+      emit(result, delta, serial_wall, delta ? full_twin_wall : 0.0, "default",
+           0.0);
     }
   }
+
+  // Observability-overhead twins: the heaviest cell of the matrix, run
+  // once with every obs channel forced off and once with all of them on
+  // (metrics + span tracing + per-injection forensics buffered/written
+  // for real). Toggled in-process via Registry::set_enabled and
+  // Tracer::enable so both sides share one binary and one warmed page
+  // cache; the trace buffer is dropped unflushed and the forensics file
+  // removed — only the timing matters here.
+  config.threads = cells.back().first;
+  config.checkpoints = cells.back().second;
+  config.rig.delta_restore = true;
+  sefi::obs::Registry& registry = sefi::obs::Registry::instance();
+  sefi::obs::Tracer& tracer = sefi::obs::Tracer::instance();
+
+  registry.set_enabled(false);
+  tracer.disable();
+  const sefi::fi::WorkloadFiResult off =
+      sefi::fi::run_fi_campaign(workload, config);
+  if (!same_counts(baseline, off)) {
+    std::fprintf(stderr, "FATAL: obs=off twin diverged from the baseline\n");
+    return 1;
+  }
+  emit(off, true, serial_wall, 0.0, "off", 0.0);
+
+  registry.set_enabled(true);
+  tracer.reset();
+  tracer.enable("sefi_bench_obs_trace.json");
+  const std::string forensics_path = "sefi_bench_obs_forensics.jsonl";
+  {
+    sefi::obs::ForensicsSink sink(forensics_path);
+    config.forensics = &sink;
+    const sefi::fi::WorkloadFiResult on =
+        sefi::fi::run_fi_campaign(workload, config);
+    config.forensics = nullptr;
+    if (!same_counts(baseline, on)) {
+      std::fprintf(stderr, "FATAL: obs=on twin diverged from the baseline\n");
+      return 1;
+    }
+    const double off_wall = off.stats.wall_seconds;
+    emit(on, true, serial_wall, 0.0, "on",
+         off_wall > 0 ? on.stats.wall_seconds / off_wall : 0.0);
+  }
+  tracer.disable();
+  tracer.reset();
+  std::remove(forensics_path.c_str());
   return 0;
 }

@@ -29,6 +29,11 @@
 //       Checksum-verify every entry; quarantine the bad ones.
 //   sefi_cli cache gc
 //       Drop quarantined entries, stale temps, and old-format files.
+//   sefi_cli obs dump [--campaign <workload> [faults]]
+//       Prometheus-style text dump of the process metrics registry;
+//       --campaign first runs a mini FI campaign so the dump carries
+//       non-zero series. With SEFI_TRACE=1 the trace buffer is flushed
+//       too (path noted on stderr; stdout stays pure exposition).
 //
 // The cache directory is SEFI_CACHE_DIR (default .sefi-cache, matching
 // the bench suite).
@@ -46,9 +51,11 @@
 #include "sefi/fi/campaign.hpp"
 #include "sefi/kernel/kernel.hpp"
 #include "sefi/microarch/detailed.hpp"
+#include "sefi/obs/metrics.hpp"
+#include "sefi/obs/trace.hpp"
 #include "sefi/sim/tracer.hpp"
+#include "sefi/support/env.hpp"
 #include "sefi/support/error.hpp"
-#include "sefi/support/strings.hpp"
 #include "sefi/workloads/workload.hpp"
 
 namespace {
@@ -69,7 +76,8 @@ int usage() {
                " [faults] [--threads N]\n"
                "       sefi_cli cache stats [--sweep]\n"
                "       sefi_cli cache verify\n"
-               "       sefi_cli cache gc\n");
+               "       sefi_cli cache gc\n"
+               "       sefi_cli obs dump [--campaign <workload> [faults]]\n");
   return 2;
 }
 
@@ -279,10 +287,9 @@ int cmd_fi(const std::vector<std::string>& args) {
   const auto& w = workloads::workload_by_name(args[0]);
   fi::CampaignConfig config;
   config.rig.uarch = core::scaled_uarch();
-  config.rig.delta_restore =
-      support::env_u64("SEFI_DELTA_RESTORE", 1) != 0;
-  config.max_task_retries = support::env_u64("SEFI_MAX_TASK_RETRIES", 2);
-  config.task_deadline_ms = support::env_u64("SEFI_TASK_DEADLINE_MS", 0);
+  config.rig.delta_restore = support::env::flag("SEFI_DELTA_RESTORE", true);
+  config.max_task_retries = support::env::u64("SEFI_MAX_TASK_RETRIES", 2);
+  config.task_deadline_ms = support::env::u64("SEFI_TASK_DEADLINE_MS", 0);
   config.faults_per_component = 150;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--threads" && i + 1 < args.size()) {
@@ -338,6 +345,22 @@ int cmd_campaign(const std::vector<std::string>& args) {
                   static_cast<unsigned long long>(status.records),
                   static_cast<unsigned long long>(status.total),
                   status.path.c_str());
+      std::printf(
+          "resolved: masked=%llu sdc=%llu appcrash=%llu syscrash=%llu "
+          "harness=%llu\n",
+          static_cast<unsigned long long>(status.resolved.masked),
+          static_cast<unsigned long long>(status.resolved.sdc),
+          static_cast<unsigned long long>(status.resolved.app_crash),
+          static_cast<unsigned long long>(status.resolved.sys_crash),
+          static_cast<unsigned long long>(status.resolved.harness_error));
+      if (status.has_telemetry) {
+        std::printf(
+            "supervisor: %llu retries, %llu watchdog hits, "
+            "%llu harness errors (recovered from journal)\n",
+            static_cast<unsigned long long>(status.telemetry.retries),
+            static_cast<unsigned long long>(status.telemetry.watchdog_hits),
+            static_cast<unsigned long long>(status.telemetry.harness_errors));
+      }
     } else {
       std::printf("journal: none (%s)\n", status.path.c_str());
     }
@@ -443,6 +466,28 @@ int cmd_cache(const std::vector<std::string>& args) {
   return usage();
 }
 
+int cmd_obs(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] != "dump") return usage();
+  if (args.size() > 1) {
+    if (args[1] != "--campaign" || args.size() < 3 || args.size() > 4) {
+      return usage();
+    }
+    const auto& w = workloads::workload_by_name(args[2]);
+    fi::CampaignConfig config;
+    config.rig.uarch = core::scaled_uarch();
+    config.faults_per_component =
+        args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 10;
+    (void)fi::run_fi_campaign(w, config);
+  }
+  std::fputs(obs::Registry::instance().expose_text().c_str(), stdout);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (tracer.enabled() && tracer.flush()) {
+    std::fprintf(stderr, "trace: %zu events written to %s\n",
+                 tracer.event_count(), tracer.path().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -458,6 +503,7 @@ int main(int argc, char** argv) {
     if (command == "fi") return cmd_fi(args);
     if (command == "campaign") return cmd_campaign(args);
     if (command == "cache") return cmd_cache(args);
+    if (command == "obs") return cmd_obs(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -1,14 +1,16 @@
 #include "sefi/beam/session.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <sstream>
 
 #include "sefi/exec/supervisor.hpp"
 
 #include "sefi/exec/parallel.hpp"
+#include "sefi/obs/metrics.hpp"
+#include "sefi/obs/trace.hpp"
 #include "sefi/stats/fit.hpp"
+#include "sefi/support/env.hpp"
 #include "sefi/support/error.hpp"
 #include "sefi/support/hash.hpp"
 #include "sefi/support/rng.hpp"
@@ -90,10 +92,9 @@ class Session {
         kernel_image_(kernel::build_kernel(config.kernel)),
         app_image_(workload.build(config.input_seed)),
         spawn_addr_(kernel_image_.symbol("spawn")),
-        // Resolved once per session: getenv takes a libc lock on some
-        // platforms and this flag used to be consulted on every
-        // iteration of the session hot loop.
-        debug_(std::getenv("SEFI_DEBUG") != nullptr) {
+        // Resolved once per session (the env helper caches, but the hot
+        // loop below should not even pay its map lookup).
+        debug_(support::env::flag("SEFI_DEBUG", false)) {
     run_golden();
     modeled_bits_total_ = 0;
     // Component weights need a machine; build the first session machine.
@@ -307,6 +308,7 @@ class Session {
   std::uint64_t now() const { return base_ + machine_->cpu().cycles(); }
 
   void run_golden() {
+    const obs::Span span("golden_run", "beam");
     sim::Machine machine = microarch::make_detailed_machine(config_.uarch);
     kernel::install_system(machine, kernel_image_, app_image_,
                            workloads::kWorkloadStackTop);
@@ -449,11 +451,19 @@ constexpr const char* kJournalHarnessError = "x";
 BeamResult run_beam_session(const workloads::Workload& workload,
                             const BeamConfig& config,
                             const exec::TaskGuard* guard) {
+  const obs::Span span("beam_session", "beam");
+  static obs::Counter& sessions_metric = obs::Registry::instance().counter(
+      "sefi_beam_sessions_total", "Beam sessions executed in this process");
+  static obs::Counter& strikes_metric = obs::Registry::instance().counter(
+      "sefi_beam_strikes_total", "Particle strikes delivered across sessions");
   support::require(config.runs > 0, "run_beam_session: need at least one run");
   support::require(config.strikes_per_run > 0,
                    "run_beam_session: strikes_per_run must be positive");
   Session session(workload, config);
-  return session.run(guard);
+  BeamResult result = session.run(guard);
+  sessions_metric.add();
+  strikes_metric.add(result.strikes);
+  return result;
 }
 
 std::vector<BeamResult> run_beam_sessions(

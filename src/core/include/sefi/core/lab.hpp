@@ -194,6 +194,14 @@ class AssessmentLab {
     std::uint64_t records = 0;  ///< injections the journal has resolved
     std::uint64_t total = 0;    ///< injections the campaign comprises
     std::string path;           ///< journal file location
+    /// Outcome counts decoded from the journal's resolved injections —
+    /// what a resume would merge without re-running anything.
+    fi::ClassCounts resolved;
+    /// Supervisor incidents recovered from the journal's telemetry
+    /// record (fi::kJournalTelemetryIndex); valid when has_telemetry.
+    /// A campaign that never retried writes no telemetry record.
+    bool has_telemetry = false;
+    fi::JournalTelemetry telemetry;
   };
   JournalStatus fi_journal_status(const workloads::Workload& workload) const;
 

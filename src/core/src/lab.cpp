@@ -2,8 +2,8 @@
 
 #include <filesystem>
 
+#include "sefi/support/env.hpp"
 #include "sefi/support/error.hpp"
-#include "sefi/support/strings.hpp"
 
 namespace sefi::core {
 
@@ -23,22 +23,22 @@ LabConfig LabConfig::from_env(std::uint64_t default_faults,
   config.fi.rig.uarch = scaled_uarch();
   config.beam.uarch = scaled_uarch();
   config.fi.faults_per_component =
-      support::env_u64("SEFI_FAULTS", default_faults);
-  config.beam.runs = support::env_u64("SEFI_BEAM_RUNS", default_beam_runs);
-  config.fi.threads = support::env_u64("SEFI_THREADS", 0);
+      support::env::u64("SEFI_FAULTS", default_faults);
+  config.beam.runs = support::env::u64("SEFI_BEAM_RUNS", default_beam_runs);
+  config.fi.threads = support::env::u64("SEFI_THREADS", 0);
   config.beam.threads = config.fi.threads;
-  config.fi.checkpoints = support::env_u64("SEFI_CHECKPOINTS", 16);
-  const bool delta = support::env_u64("SEFI_DELTA_RESTORE", 1) != 0;
+  config.fi.checkpoints = support::env::u64("SEFI_CHECKPOINTS", 16);
+  const bool delta = support::env::flag("SEFI_DELTA_RESTORE", true);
   config.fi.rig.delta_restore = delta;
   config.beam.delta_restore = delta;
-  const std::uint64_t retries = support::env_u64("SEFI_MAX_TASK_RETRIES", 2);
+  const std::uint64_t retries = support::env::u64("SEFI_MAX_TASK_RETRIES", 2);
   config.fi.max_task_retries = retries;
   config.beam.max_task_retries = retries;
-  const std::uint64_t deadline = support::env_u64("SEFI_TASK_DEADLINE_MS", 0);
+  const std::uint64_t deadline = support::env::u64("SEFI_TASK_DEADLINE_MS", 0);
   config.fi.task_deadline_ms = deadline;
   config.beam.task_deadline_ms = deadline;
-  config.journal_enabled = support::env_u64("SEFI_JOURNAL", 1) != 0;
-  const std::uint64_t seed = support::env_u64("SEFI_SEED", 0);
+  config.journal_enabled = support::env::flag("SEFI_JOURNAL", true);
+  const std::uint64_t seed = support::env::u64("SEFI_SEED", 0);
   if (seed != 0) {
     config.fi.seed = seed;
     config.beam.seed = seed ^ 0xBEA3;
@@ -206,7 +206,20 @@ AssessmentLab::JournalStatus AssessmentLab::fi_journal_status(
   // for nothing — report it as absent (opening it would discard it).
   if (on_disk.present && on_disk.header == "fi " + key) {
     status.present = true;
-    status.records = on_disk.records;
+    // Count and classify the decoded injection records (last payload per
+    // index wins, matching replay); the reserved telemetry record is
+    // decoded separately and kept out of the injection counts.
+    for (const auto& [index, payload] : on_disk.entries) {
+      if (index == fi::kJournalTelemetryIndex) {
+        status.has_telemetry =
+            fi::parse_journal_telemetry(payload, &status.telemetry);
+        continue;
+      }
+      fi::Outcome outcome{};
+      if (!fi::parse_journal_outcome(payload, &outcome)) continue;
+      ++status.records;
+      status.resolved.add(outcome);
+    }
   }
   return status;
 }

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "sefi/obs/metrics.hpp"
+#include "sefi/obs/trace.hpp"
 #include "sefi/support/fsio.hpp"
 #include "sefi/support/hash.hpp"
 #include "sefi/support/seal.hpp"
@@ -235,20 +237,29 @@ struct ResultCache::State {
   /// quarantined, stale-format entries left in place for gc.
   std::optional<std::string> disk_load(const ResultCache& cache,
                                        const std::string& key) {
+    static obs::Counter& hit_metric = obs::Registry::instance().counter(
+        "sefi_cache_disk_hits_total", "Result-cache disk loads that verified");
+    static obs::Counter& miss_metric = obs::Registry::instance().counter(
+        "sefi_cache_misses_total",
+        "Result-cache lookups that fell through to recomputation");
     if (!cache.enabled()) {
       ++telemetry.misses;
+      miss_metric.add();
       return std::nullopt;
     }
+    const obs::Span span("cache_load", "cache");
     const std::string path = cache.path_for(key);
     auto raw = support::read_file(path);
     if (!raw) {
       ++telemetry.misses;
+      miss_metric.add();
       return std::nullopt;
     }
     telemetry.bytes_read += raw->size();
     auto body = support::unseal(*raw);
     if (!body) {
       ++telemetry.misses;
+      miss_metric.add();
       const auto version = payload_version(*raw);
       if (version.has_value() && *version != kFormatVersion) {
         ++telemetry.version_skew;
@@ -259,6 +270,7 @@ struct ResultCache::State {
       return std::nullopt;
     }
     ++telemetry.disk_hits;
+    hit_metric.add();
     return body;
   }
 
@@ -266,7 +278,10 @@ struct ResultCache::State {
   /// temp file (inside write_file_atomic) and are only counted.
   bool disk_store(const ResultCache& cache, const std::string& key,
                   const std::string& payload) {
+    static obs::Counter& store_metric = obs::Registry::instance().counter(
+        "sefi_cache_stores_total", "Result-cache entries published to disk");
     if (!cache.enabled()) return true;
+    const obs::Span span("cache_store", "cache");
     std::error_code ec;
     std::filesystem::create_directories(cache.directory_, ec);
     const std::string sealed = support::seal(payload);
@@ -275,6 +290,7 @@ struct ResultCache::State {
       return false;
     }
     ++telemetry.stores;
+    store_metric.add();
     telemetry.bytes_written += sealed.size();
     return true;
   }

@@ -84,6 +84,16 @@ class TaskGuard {
   std::uint64_t start_ns_ = 0;
 };
 
+/// Incidents the supervisor can report as they happen (not just in the
+/// end-of-run report). Campaign drivers use the stream to persist
+/// cumulative telemetry into the resume journal, so a killed campaign's
+/// retry/watchdog history survives into `campaign status`.
+enum class SupervisorEvent : std::uint8_t {
+  kRetry = 0,      ///< a failed attempt is about to be re-run
+  kWatchdogHit,    ///< an attempt was killed by the wall-clock deadline
+  kHarnessError,   ///< a task exhausted its retry budget
+};
+
 struct SupervisorConfig {
   std::size_t threads = 1;
   /// Extra attempts after the first failed one; 0 = fail fast to
@@ -93,6 +103,12 @@ struct SupervisorConfig {
   std::uint64_t task_deadline_ms = 0;
   /// Cooperative stop flag shared with SIGINT handlers; may be null.
   const CancellationToken* cancel = nullptr;
+  /// Incident stream, called as (event, task_index) from worker threads
+  /// at the moment the corresponding report counter increments; must be
+  /// thread-safe. Null = no streaming (the report still counts
+  /// everything). Exceptions from the callback are swallowed — incident
+  /// reporting must never fail a task.
+  std::function<void(SupervisorEvent, std::size_t)> on_event;
 };
 
 /// Terminal state of one supervised task.

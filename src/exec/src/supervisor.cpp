@@ -4,6 +4,9 @@
 #include <csignal>
 #include <mutex>
 
+#include "sefi/obs/metrics.hpp"
+#include "sefi/obs/trace.hpp"
+
 namespace sefi::exec {
 
 namespace {
@@ -64,6 +67,32 @@ SupervisorReport run_supervised(
     }
   };
 
+  // Incident metrics aggregate process-wide; the per-run report stays
+  // the per-campaign source of truth.
+  static obs::Counter& retry_metric = obs::Registry::instance().counter(
+      "sefi_supervisor_retries_total",
+      "Failed task attempts re-run by the supervisor");
+  static obs::Counter& watchdog_metric = obs::Registry::instance().counter(
+      "sefi_supervisor_watchdog_hits_total",
+      "Task attempts killed by the wall-clock deadline");
+  static obs::Counter& harness_metric = obs::Registry::instance().counter(
+      "sefi_supervisor_harness_errors_total",
+      "Tasks that exhausted their retry budget");
+
+  auto emit_event = [&](SupervisorEvent event, std::size_t index) {
+    switch (event) {
+      case SupervisorEvent::kRetry: retry_metric.add(); break;
+      case SupervisorEvent::kWatchdogHit: watchdog_metric.add(); break;
+      case SupervisorEvent::kHarnessError: harness_metric.add(); break;
+    }
+    if (!config.on_event) return;
+    try {
+      config.on_event(event, index);
+    } catch (...) {
+      // Incident reporting must never fail a task.
+    }
+  };
+
   // The wrapper owns the whole retry loop for its index, so the work
   // queue below never sees a task exception: distinct TaskState slots
   // are written by exactly one worker each.
@@ -80,6 +109,7 @@ SupervisorReport run_supervised(
       }
       const TaskGuard guard(config.cancel, config.task_deadline_ms);
       try {
+        const obs::Span span("task_attempt", "supervisor");
         task(worker, index, attempt, guard);
         report.states[index] = TaskState::kDone;
         completed.fetch_add(1, std::memory_order_relaxed);
@@ -90,6 +120,7 @@ SupervisorReport run_supervised(
         return;                  // stays kPending
       } catch (const TaskDeadlineExceeded& error) {
         watchdog_hits.fetch_add(1, std::memory_order_relaxed);
+        emit_event(SupervisorEvent::kWatchdogHit, index);
         note_first_error(error.what());
       } catch (const std::exception& error) {
         note_first_error(error.what());
@@ -100,9 +131,11 @@ SupervisorReport run_supervised(
       if (attempt >= config.max_task_retries) {
         report.states[index] = TaskState::kHarnessError;
         harness_errors.fetch_add(1, std::memory_order_relaxed);
+        emit_event(SupervisorEvent::kHarnessError, index);
         return;
       }
       retries.fetch_add(1, std::memory_order_relaxed);
+      emit_event(SupervisorEvent::kRetry, index);
     }
   };
 

@@ -25,6 +25,10 @@
 #include "sefi/support/journal.hpp"
 #include "sefi/workloads/workload.hpp"
 
+namespace sefi::obs {
+class ForensicsSink;
+}  // namespace sefi::obs
+
 namespace sefi::fi {
 
 /// Experiment classification. The first four are the paper's outcome
@@ -58,6 +62,54 @@ struct FaultDescriptor {
   std::uint64_t cycle = 0;
   FaultModel model = FaultModel::kSingleBit;
 };
+
+/// Per-injection forensics gathered by Context::run_one (the raw
+/// material of the obs forensics JSONL, DESIGN.md §11). Activation is
+/// measured with a one-shot microarch watchpoint armed on the flipped
+/// bit's storage location right after the flip: the first read of the
+/// corrupted structure entry latches the cycle counter. A fault that is
+/// overwritten before anything reads it never activates — the classic
+/// microarchitectural masking path.
+struct InjectionForensics {
+  microarch::BitSite site;  ///< decoded injection site (locate_bit)
+  std::uint64_t injection_cycle = 0;
+  bool activated = false;  ///< corrupted state was read before verdict
+  std::uint64_t first_activation_cycle = 0;  ///< valid when activated
+  /// Cycles from injection to the classification decision (0 when the
+  /// verdict was immediate: protection adjudication or a pre-injection
+  /// stop).
+  std::uint64_t latency_to_verdict_cycles = 0;
+};
+
+// -- Resume-journal payload codecs -----------------------------------------
+// Exported so status tooling (sefi_cli campaign status) can decode a
+// live journal without linking against campaign internals. Any payload
+// that fails to parse is ignored by replay — a journal can cost
+// recomputation, never a wrong outcome.
+
+/// Journal payload for one classified injection: "o <class digit>".
+std::string encode_journal_outcome(Outcome outcome);
+bool parse_journal_outcome(const std::string& payload, Outcome* outcome);
+
+/// Reserved journal index holding cumulative supervisor telemetry; far
+/// above any fault index, so it can never collide with an injection
+/// record.
+inline constexpr std::uint64_t kJournalTelemetryIndex = ~0ull;
+
+/// Supervisor incident counts persisted into the resume journal as they
+/// happen, so a killed campaign's retry/watchdog history survives into
+/// `campaign status` (the end-of-run SupervisorReport dies with the
+/// process; this record does not).
+struct JournalTelemetry {
+  std::uint64_t retries = 0;
+  std::uint64_t watchdog_hits = 0;
+  std::uint64_t harness_errors = 0;
+};
+
+/// Journal payload "t <retries> <watchdog_hits> <harness_errors>".
+std::string encode_journal_telemetry(const JournalTelemetry& telemetry);
+bool parse_journal_telemetry(const std::string& payload,
+                             JournalTelemetry* telemetry);
 
 /// Reference (fault-free) execution of the workload on the detailed model.
 struct GoldenRun {
@@ -169,8 +221,13 @@ class InjectionRig {
     /// throw TaskCancelled / TaskDeadlineExceeded out of this call, in
     /// which case the machine is mid-run and must be restored before
     /// reuse (the supervisor's recover hook rebuilds the Context).
+    /// `forensics` (nullable) receives the injection-site decode and
+    /// activation/latency measurements for this run; gathering them
+    /// costs one armed watchpoint (a sentinel compare on the
+    /// component's read path), so it is done only when requested.
     Outcome run_one(const FaultDescriptor& fault,
-                    const exec::TaskGuard* guard = nullptr);
+                    const exec::TaskGuard* guard = nullptr,
+                    InjectionForensics* forensics = nullptr);
 
     /// Pre-injection cycles actually replayed by this context.
     std::uint64_t replay_cycles() const { return replay_cycles_; }
@@ -330,6 +387,14 @@ struct CampaignConfig {
   /// injection attempt; a throw simulates a harness fault. Null in
   /// production.
   std::function<void(std::size_t, std::uint64_t)> task_fault_hook;
+  /// Per-injection forensics sink; may be null, in which case the
+  /// campaign falls back to obs::ForensicsSink::global() (non-null only
+  /// when SEFI_TRACE is on). Like the executor knobs, never part of the
+  /// campaign's identity or cache fingerprint. The campaign writes one
+  /// record per resolved injection — executed, journal-replayed, or
+  /// harness-errored — so the sink's verdict counts match the merged
+  /// ClassCounts exactly (tested).
+  obs::ForensicsSink* forensics = nullptr;
 };
 
 /// Pre-samples the full descriptor list for one (workload, component)

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 
 #include "sefi/exec/parallel.hpp"
 #include "sefi/exec/supervisor.hpp"
 #include "sefi/fi/protection.hpp"
+#include "sefi/obs/forensics.hpp"
+#include "sefi/obs/metrics.hpp"
+#include "sefi/obs/trace.hpp"
 #include "sefi/stats/confidence.hpp"
 #include "sefi/support/error.hpp"
 #include "sefi/support/hash.hpp"
@@ -50,6 +54,24 @@ std::optional<sim::RunEvent> run_until_cycle_guarded(
   }
 }
 
+// Scans an unsigned decimal field at *pos (digits only, overflow
+// rejected), advancing *pos past it.
+bool scan_u64(const std::string& text, std::size_t* pos, std::uint64_t* out) {
+  if (*pos >= text.size() || text[*pos] < '0' || text[*pos] > '9') {
+    return false;
+  }
+  std::uint64_t value = 0;
+  while (*pos < text.size() && text[*pos] >= '0' && text[*pos] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[*pos] - '0');
+    if (value > (~0ull - digit) / 10) return false;
+    value = value * 10 + digit;
+    ++*pos;
+  }
+  *out = value;
+  return true;
+}
+}  // namespace
+
 // Journal payload for one classified injection: "o <class>". Anything
 // else (corruption that survived the checksum, a future format) fails
 // the parse and the injection simply re-runs — a journal can cost
@@ -69,7 +91,31 @@ bool parse_journal_outcome(const std::string& payload, Outcome* outcome) {
   *outcome = static_cast<Outcome>(digit - '0');
   return true;
 }
-}  // namespace
+
+std::string encode_journal_telemetry(const JournalTelemetry& telemetry) {
+  return "t " + std::to_string(telemetry.retries) + ' ' +
+         std::to_string(telemetry.watchdog_hits) + ' ' +
+         std::to_string(telemetry.harness_errors);
+}
+
+bool parse_journal_telemetry(const std::string& payload,
+                             JournalTelemetry* telemetry) {
+  if (payload.size() < 2 || payload[0] != 't' || payload[1] != ' ') {
+    return false;
+  }
+  std::size_t pos = 2;
+  JournalTelemetry parsed;
+  if (!scan_u64(payload, &pos, &parsed.retries)) return false;
+  if (pos >= payload.size() || payload[pos] != ' ') return false;
+  ++pos;
+  if (!scan_u64(payload, &pos, &parsed.watchdog_hits)) return false;
+  if (pos >= payload.size() || payload[pos] != ' ') return false;
+  ++pos;
+  if (!scan_u64(payload, &pos, &parsed.harness_errors)) return false;
+  if (pos != payload.size()) return false;
+  *telemetry = parsed;
+  return true;
+}
 
 std::string fault_model_name(FaultModel model) {
   switch (model) {
@@ -142,27 +188,30 @@ InjectionRig::InjectionRig(const workloads::Workload& workload,
   sim::Machine machine = microarch::make_detailed_machine(config.uarch);
   kernel::install_system(machine, kernel_image_, app_image_,
                          workloads::kWorkloadStackTop);
-  machine.boot();
-  // The kernel's first act in spawn is the alive heartbeat; poll for it
-  // to find the start of the application window.
-  while (machine.devices().alive_count() == 0) {
-    const auto event =
-        machine.run_until_cycle(machine.cpu().cycles() + kSpawnPollStep);
-    support::require(!event.has_value(),
-                     "InjectionRig: machine stopped during boot");
-    support::require(machine.cpu().cycles() < kGoldenBudget,
-                     "InjectionRig: boot never spawned the application");
+  {
+    const obs::Span span("golden_run", "fi");
+    machine.boot();
+    // The kernel's first act in spawn is the alive heartbeat; poll for it
+    // to find the start of the application window.
+    while (machine.devices().alive_count() == 0) {
+      const auto event =
+          machine.run_until_cycle(machine.cpu().cycles() + kSpawnPollStep);
+      support::require(!event.has_value(),
+                       "InjectionRig: machine stopped during boot");
+      support::require(machine.cpu().cycles() < kGoldenBudget,
+                       "InjectionRig: boot never spawned the application");
+    }
+    golden_.spawn_cycle = machine.cpu().cycles();
+    base_ = machine.save_snapshot();
+    const sim::RunEvent event = machine.run(kGoldenBudget);
+    support::require(event.kind == sim::RunEventKind::kExit,
+                     "InjectionRig: golden run did not exit cleanly for " +
+                         workload.info().name);
+    golden_.exit_code = event.payload;
+    golden_.console = machine.console();
+    golden_.end_cycle = machine.cpu().cycles();
+    golden_.instructions = machine.cpu().instructions();
   }
-  golden_.spawn_cycle = machine.cpu().cycles();
-  base_ = machine.save_snapshot();
-  const sim::RunEvent event = machine.run(kGoldenBudget);
-  support::require(event.kind == sim::RunEventKind::kExit,
-                   "InjectionRig: golden run did not exit cleanly for " +
-                       workload.info().name);
-  golden_.exit_code = event.payload;
-  golden_.console = machine.console();
-  golden_.end_cycle = machine.cpu().cycles();
-  golden_.instructions = machine.cpu().instructions();
 
   auto& model = microarch::detailed_model(machine);
   for (const auto kind : microarch::kAllComponents) {
@@ -180,6 +229,7 @@ InjectionRig::InjectionRig(const workloads::Workload& workload,
   const std::uint64_t window = golden_.end_cycle - golden_.spawn_cycle;
   const std::uint64_t rungs = checkpoints == 0 ? 1 : checkpoints;
   if (rungs > 1 && window > 0) {
+    const obs::Span span("checkpoint_ladder", "fi");
     machine.restore_snapshot(base_);
     for (std::uint64_t rung = 1; rung < rungs; ++rung) {
       const std::uint64_t target = golden_.spawn_cycle + rung * window / rungs;
@@ -233,7 +283,8 @@ InjectionRig::Context::Context(const InjectionRig& rig)
 }
 
 Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault,
-                                       const exec::TaskGuard* guard) {
+                                       const exec::TaskGuard* guard,
+                                       InjectionForensics* forensics) {
   // Resume from the nearest ladder rung at or below the fault cycle: the
   // pre-injection path is fault-free and deterministic, so this is
   // bit-identical to a cold boot (tested), minus the boot cost and minus
@@ -241,18 +292,28 @@ Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault,
   const GoldenRun& golden = rig_->golden_;
   const std::size_t rung = rig_->nearest_checkpoint(fault.cycle);
   std::uint64_t rung_cycle = golden.spawn_cycle;
-  if (rung == 0) {
-    machine_.restore_snapshot(rig_->base_);
-  } else {
-    const DeltaRung& delta_rung = rig_->delta_rungs_[rung - 1];
-    machine_.restore_snapshot(rig_->base_, delta_rung.snapshot);
-    rung_cycle = delta_rung.cycle;
+  {
+    const obs::Span span("restore", "fi");
+    if (rung == 0) {
+      machine_.restore_snapshot(rig_->base_);
+    } else {
+      const DeltaRung& delta_rung = rig_->delta_rungs_[rung - 1];
+      machine_.restore_snapshot(rig_->base_, delta_rung.snapshot);
+      rung_cycle = delta_rung.cycle;
+    }
   }
   boot_cycles_saved_ += golden.spawn_cycle;
   ladder_cycles_saved_ += rung_cycle - golden.spawn_cycle;
+  if (forensics != nullptr) {
+    *forensics = InjectionForensics{};
+    forensics->injection_cycle = fault.cycle;
+  }
 
   // Advance to the injection cycle along the (so far fault-free) path.
-  const auto early = run_until_cycle_guarded(machine_, fault.cycle, guard);
+  const auto early = [&] {
+    const obs::Span span("replay", "fi");
+    return run_until_cycle_guarded(machine_, fault.cycle, guard);
+  }();
   replay_cycles_ += machine_.cpu().cycles() - rung_cycle;
   if (early.has_value()) {
     // The machine stopped before the injection point — only possible if
@@ -261,56 +322,83 @@ Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault,
     return Outcome::kMasked;
   }
   auto& model = microarch::detailed_model(machine_);
+  auto& component = model.component(fault.component);
+  if (forensics != nullptr) {
+    forensics->site = component.locate_bit(fault.bit);
+  }
   // Protection schemes settle the fault from the structure's state at
-  // the injection cycle (sefi/fi/protection.hpp).
+  // the injection cycle (sefi/fi/protection.hpp). An adjudicated fault
+  // never reaches the structure, so activation stays false and the
+  // verdict latency is zero.
   if (const auto adjudicated =
           adjudicate_protection(rig_->config_.protection, fault, model)) {
     return *adjudicated;
   }
-  auto& component = model.component(fault.component);
-  component.flip_bit(fault.bit);
-  // Double-bit upsets need a neighbour to flip; a one-bit structure has
-  // none (bit 0 - 1 would wrap), so the model degrades to single-bit.
-  if (fault.model == FaultModel::kDoubleBit && component.bit_count() > 1) {
-    const std::uint64_t buddy = fault.bit + 1 < component.bit_count()
-                                    ? fault.bit + 1
-                                    : fault.bit - 1;
-    component.flip_bit(buddy);
-  }
-
-  const RigConfig& config = rig_->config_;
-  const std::uint64_t budget = golden.end_cycle * config.hang_budget_factor;
-  sim::RunEvent event = run_guarded(machine_, budget, guard);
-  if (event.kind == sim::RunEventKind::kCycleLimit) {
-    // Watchdog: probe whether the kernel still services timer IRQs.
-    const std::uint64_t before = machine_.jiffies();
-    const std::uint64_t probe =
-        budget + config.probe_timer_periods *
-                     static_cast<std::uint64_t>(
-                         config.kernel.timer_interval_cycles);
-    event = run_guarded(machine_, probe, guard);
-    if (event.kind == sim::RunEventKind::kCycleLimit) {
-      return machine_.jiffies() > before ? Outcome::kAppCrash
-                                         : Outcome::kSysCrash;
+  {
+    const obs::Span span("inject", "fi");
+    component.flip_bit(fault.bit);
+    // Double-bit upsets need a neighbour to flip; a one-bit structure has
+    // none (bit 0 - 1 would wrap), so the model degrades to single-bit.
+    if (fault.model == FaultModel::kDoubleBit && component.bit_count() > 1) {
+      const std::uint64_t buddy = fault.bit + 1 < component.bit_count()
+                                      ? fault.bit + 1
+                                      : fault.bit - 1;
+      component.flip_bit(buddy);
     }
   }
-
-  switch (event.kind) {
-    case sim::RunEventKind::kExit:
-      return (event.payload == golden.exit_code &&
-              machine_.console() == golden.console)
-                 ? Outcome::kMasked
-                 : Outcome::kSdc;
-    case sim::RunEventKind::kAppCrash:
-      return Outcome::kAppCrash;
-    case sim::RunEventKind::kPanic:
-    case sim::RunEventKind::kHalted:
-    case sim::RunEventKind::kDoubleFault:
-      return Outcome::kSysCrash;
-    case sim::RunEventKind::kCycleLimit:
-      return Outcome::kSysCrash;  // unreachable (probed above)
+  // Arm the one-shot activation watch on the corrupted location. If the
+  // guard throws mid-run the watch stays armed on this machine, but the
+  // supervisor's recover hook then destroys the whole Context, so a
+  // stale watch never survives into another injection.
+  if (forensics != nullptr) {
+    component.arm_watch(fault.bit, machine_.cpu().cycle_counter());
   }
-  return Outcome::kSysCrash;
+
+  const Outcome outcome = [&]() -> Outcome {
+    const obs::Span span("execute", "fi");
+    const RigConfig& config = rig_->config_;
+    const std::uint64_t budget = golden.end_cycle * config.hang_budget_factor;
+    sim::RunEvent event = run_guarded(machine_, budget, guard);
+    if (event.kind == sim::RunEventKind::kCycleLimit) {
+      // Watchdog: probe whether the kernel still services timer IRQs.
+      const std::uint64_t before = machine_.jiffies();
+      const std::uint64_t probe =
+          budget + config.probe_timer_periods *
+                       static_cast<std::uint64_t>(
+                           config.kernel.timer_interval_cycles);
+      event = run_guarded(machine_, probe, guard);
+      if (event.kind == sim::RunEventKind::kCycleLimit) {
+        return machine_.jiffies() > before ? Outcome::kAppCrash
+                                           : Outcome::kSysCrash;
+      }
+    }
+
+    switch (event.kind) {
+      case sim::RunEventKind::kExit:
+        return (event.payload == golden.exit_code &&
+                machine_.console() == golden.console)
+                   ? Outcome::kMasked
+                   : Outcome::kSdc;
+      case sim::RunEventKind::kAppCrash:
+        return Outcome::kAppCrash;
+      case sim::RunEventKind::kPanic:
+      case sim::RunEventKind::kHalted:
+      case sim::RunEventKind::kDoubleFault:
+        return Outcome::kSysCrash;
+      case sim::RunEventKind::kCycleLimit:
+        return Outcome::kSysCrash;  // unreachable (probed above)
+    }
+    return Outcome::kSysCrash;
+  }();
+
+  if (forensics != nullptr) {
+    forensics->activated = component.watch_activated();
+    forensics->first_activation_cycle = component.watch_activation_cycle();
+    forensics->latency_to_verdict_cycles =
+        machine_.cpu().cycles() - fault.cycle;
+    component.disarm_watch();
+  }
+  return outcome;
 }
 
 std::vector<FaultDescriptor> sample_component_faults(
@@ -336,8 +424,36 @@ std::vector<FaultDescriptor> sample_component_faults(
 
 WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
                                  const CampaignConfig& config) {
+  const obs::Span campaign_span("fi_campaign", "fi");
   support::require(config.faults_per_component > 0,
                    "run_fi_campaign: need at least one fault");
+
+  // Campaign metrics, registered once per process; call sites below pay
+  // one relaxed load + branch when metrics are off (DESIGN.md §11).
+  static obs::Counter& injections_metric = obs::Registry::instance().counter(
+      "sefi_fi_injections_total",
+      "Injected runs executed in this process (journal replays excluded)");
+  static const std::array<obs::Counter*, 5> outcome_metrics = [] {
+    std::array<obs::Counter*, 5> counters{};
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      counters[i] = &obs::Registry::instance().counter(
+          "sefi_fi_outcomes_total",
+          "Injection outcomes resolved in this process, by class",
+          "class=\"" + outcome_name(static_cast<Outcome>(i)) + "\"");
+    }
+    return counters;
+  }();
+  static obs::Histogram& latency_metric = obs::Registry::instance().histogram(
+      "sefi_fi_latency_to_verdict_cycles",
+      "Guest cycles from bit flip to the classification verdict",
+      {1e4, 1e5, 1e6, 3e6, 1e7, 3e7, 1e8});
+
+  // Forensics sink: an explicitly configured one wins; otherwise the
+  // SEFI_TRACE-gated process-global sink (null when tracing is off).
+  obs::ForensicsSink* forensics = config.forensics != nullptr
+                                      ? config.forensics
+                                      : obs::ForensicsSink::global();
+
   const InjectionRig rig(workload, config.rig, config.input_seed,
                          config.checkpoints);
 
@@ -354,15 +470,18 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   // of how the injections are later scheduled over workers.
   std::vector<FaultDescriptor> faults;
   faults.reserve(microarch::kNumComponents * config.faults_per_component);
-  for (const auto kind : microarch::kAllComponents) {
-    ComponentResult& comp =
-        result.components[static_cast<std::size_t>(kind)];
-    comp.component = kind;
-    comp.bits = rig.component_bits(kind);
-    const std::vector<FaultDescriptor> sampled = sample_component_faults(
-        config, result.workload, kind, comp.bits, rig.golden().spawn_cycle,
-        window);
-    faults.insert(faults.end(), sampled.begin(), sampled.end());
+  {
+    const obs::Span span("sample_faults", "fi");
+    for (const auto kind : microarch::kAllComponents) {
+      ComponentResult& comp =
+          result.components[static_cast<std::size_t>(kind)];
+      comp.component = kind;
+      comp.bits = rig.component_bits(kind);
+      const std::vector<FaultDescriptor> sampled = sample_component_faults(
+          config, result.workload, kind, comp.bits, rig.golden().spawn_cycle,
+          window);
+      faults.insert(faults.end(), sampled.begin(), sampled.end());
+    }
   }
 
   // Replay the resume journal (if any): injections it already classified
@@ -382,6 +501,19 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
       if (!parse_journal_outcome(*payload, &outcome)) continue;
       outcomes[index] = outcome;
       replayed[index] = 1;
+      // Replayed verdicts still get a forensics record (so the sink's
+      // verdict counts match the merged ClassCounts), but the injection
+      // was not re-executed: site decode and activation are absent.
+      if (forensics != nullptr) {
+        obs::ForensicsSink::Record record;
+        record.workload = result.workload;
+        record.component = microarch::component_name(faults[index].component);
+        record.flat_bit = faults[index].bit;
+        record.injection_cycle = faults[index].cycle;
+        record.verdict = outcome_name(outcome);
+        record.replayed = true;
+        forensics->write(record);
+      }
     }
   }
 
@@ -427,6 +559,34 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   supervisor.task_deadline_ms = config.task_deadline_ms;
   supervisor.cancel = config.cancel;
 
+  // Persist cumulative supervisor telemetry into the journal as incidents
+  // happen, seeded from any prior process's record, so a killed
+  // campaign's retry/watchdog history survives into `campaign status`.
+  // The mutex serializes increment+record so the last journal record
+  // always holds the exact cumulative counts.
+  JournalTelemetry telemetry;
+  std::mutex telemetry_mutex;
+  if (config.journal != nullptr) {
+    if (const std::string* payload =
+            config.journal->lookup(kJournalTelemetryIndex)) {
+      parse_journal_telemetry(*payload, &telemetry);
+    }
+    supervisor.on_event = [&](exec::SupervisorEvent event, std::size_t) {
+      const std::lock_guard<std::mutex> lock(telemetry_mutex);
+      switch (event) {
+        case exec::SupervisorEvent::kRetry: ++telemetry.retries; break;
+        case exec::SupervisorEvent::kWatchdogHit:
+          ++telemetry.watchdog_hits;
+          break;
+        case exec::SupervisorEvent::kHarnessError:
+          ++telemetry.harness_errors;
+          break;
+      }
+      config.journal->record(kJournalTelemetryIndex,
+                             encode_journal_telemetry(telemetry));
+    };
+  }
+
   const auto start = std::chrono::steady_clock::now();
   const exec::SupervisorReport report = exec::run_supervised(
       supervisor, faults.size(),
@@ -436,10 +596,34 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
         if (config.task_fault_hook) config.task_fault_hook(index, attempt);
         auto& context = contexts[worker];
         if (!context) context = std::make_unique<InjectionRig::Context>(rig);
-        outcomes[index] = context->run_one(faults[index], &guard);
+        InjectionForensics details;
+        outcomes[index] = context->run_one(faults[index], &guard, &details);
+        injections_metric.add();
+        outcome_metrics[static_cast<std::size_t>(outcomes[index])]->add();
+        latency_metric.observe(
+            static_cast<double>(details.latency_to_verdict_cycles));
         if (config.journal != nullptr) {
           config.journal->record(static_cast<std::uint64_t>(index),
                                  encode_journal_outcome(outcomes[index]));
+        }
+        if (forensics != nullptr) {
+          obs::ForensicsSink::Record record;
+          record.workload = result.workload;
+          record.component =
+              microarch::component_name(faults[index].component);
+          record.set = details.site.entry;
+          record.way = details.site.way;
+          record.bit = details.site.bit;
+          record.field = details.site.field;
+          record.flat_bit = faults[index].bit;
+          record.injection_cycle = faults[index].cycle;
+          record.activated = details.activated;
+          record.first_activation_cycle = details.first_activation_cycle;
+          record.arch_propagated =
+              details.activated && outcomes[index] != Outcome::kMasked;
+          record.verdict = outcome_name(outcomes[index]);
+          record.latency_to_verdict_cycles = details.latency_to_verdict_cycles;
+          forensics->write(record);
         }
       },
       bank_context);
@@ -453,9 +637,21 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   for (std::size_t index = 0; index < faults.size(); ++index) {
     if (report.states[index] != exec::TaskState::kHarnessError) continue;
     outcomes[index] = Outcome::kHarnessError;
+    outcome_metrics[static_cast<std::size_t>(Outcome::kHarnessError)]->add();
     if (config.journal != nullptr) {
       config.journal->record(static_cast<std::uint64_t>(index),
                              encode_journal_outcome(Outcome::kHarnessError));
+    }
+    // No attempt completed, so the task lambda never wrote a record:
+    // book the harness error here (site decode and activation absent).
+    if (forensics != nullptr) {
+      obs::ForensicsSink::Record record;
+      record.workload = result.workload;
+      record.component = microarch::component_name(faults[index].component);
+      record.flat_bit = faults[index].bit;
+      record.injection_cycle = faults[index].cycle;
+      record.verdict = outcome_name(Outcome::kHarnessError);
+      forensics->write(record);
     }
   }
 

@@ -108,6 +108,15 @@ class CacheArray final : public InjectableComponent {
   // InjectableComponent:
   std::uint64_t bit_count() const override;
   void flip_bit(std::uint64_t bit) override;
+  BitSite locate_bit(std::uint64_t bit) const override;
+
+ protected:
+  // Watch keys (see InjectableComponent): a meta watch (valid/dirty/tag
+  // bits) activates when the watched set is consulted by an associative
+  // lookup or a dirty check; a data watch activates when the watched
+  // line's bytes are read. kNoWatch never matches a real set/line.
+  void on_arm_watch(std::uint64_t bit) override;
+  void on_disarm_watch() override;
 
  private:
   struct LineMeta {
@@ -126,11 +135,20 @@ class CacheArray final : public InjectableComponent {
   }
   void clear_dirty_sets();
 
+  static constexpr std::uint32_t kNoWatch = ~0u;
+
+  std::uint64_t bits_per_line() const {
+    return 2 + tag_bits_ +
+           static_cast<std::uint64_t>(geometry_.line_bytes) * 8;
+  }
+
   std::string name_;
   CacheGeometry geometry_;
   unsigned offset_bits_;
   unsigned index_bits_;
   unsigned tag_bits_;
+  std::uint32_t watch_set_ = kNoWatch;   ///< set of the watched bit (meta)
+  std::uint32_t watch_line_ = kNoWatch;  ///< line of the watched bit (data)
   std::vector<LineMeta> meta_;
   std::vector<std::uint8_t> data_;
   std::vector<std::uint32_t> victim_ptr_;  ///< per-set round-robin cursor

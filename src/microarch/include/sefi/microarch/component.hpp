@@ -30,10 +30,31 @@ inline constexpr std::array<ComponentKind, kNumComponents> kAllComponents = {
 
 std::string component_name(ComponentKind kind);
 
+/// Structural coordinates of one injectable bit — where a flat bit index
+/// lands inside the structure. Used by fault forensics to report
+/// injection sites as (set, way, field) instead of opaque indices.
+struct BitSite {
+  std::uint32_t entry = 0;  ///< cache set, TLB entry, or physical register
+  std::uint32_t way = 0;    ///< way within the set (0 for non-set-assoc)
+  std::uint32_t bit = 0;    ///< bit offset within the entry/line
+  const char* field = "";   ///< "valid"/"dirty"/"tag"/"data"/"vpn"/...
+};
+
 /// A hardware structure whose storage bits can be flipped by a particle
 /// strike. Bit indices are stable for a given configuration: the mapping
 /// from index to (entry, field, bit) is deterministic, so campaigns are
 /// reproducible.
+///
+/// Activation watch: forensics needs the *first-activation cycle* — the
+/// first time the guest reads state containing the corrupted bit after
+/// injection. arm_watch() plants a one-shot watch; derived classes call
+/// note_watch_hit() from their read paths when the watched location is
+/// consulted, which latches the current cycle from the armed cycle
+/// source. The watch keys deliberately live OUTSIDE snapshot/restore
+/// state: restoring a checkpoint over a corrupted structure must not
+/// clear an armed watch (the campaign arms after restore+replay and
+/// disarms before the next injection). Disarmed cost on hot read paths
+/// is one compare against a never-matching sentinel.
 class InjectableComponent {
  public:
   virtual ~InjectableComponent() = default;
@@ -43,6 +64,57 @@ class InjectableComponent {
 
   /// Flips one bit. `bit` must be < bit_count().
   virtual void flip_bit(std::uint64_t bit) = 0;
+
+  /// Coordinates of `bit` inside the structure. The default reports the
+  /// flat index as entry 0 / field "raw" for components without a
+  /// structured layout.
+  virtual BitSite locate_bit(std::uint64_t bit) const {
+    BitSite site;
+    site.bit = static_cast<std::uint32_t>(bit);
+    site.field = "raw";
+    return site;
+  }
+
+  /// Arms the one-shot activation watch on `bit`. `cycle_source` must
+  /// outlive the armed period (campaigns pass the owning CPU's cycle
+  /// counter). Re-arming resets any previous hit.
+  void arm_watch(std::uint64_t bit, const std::uint64_t* cycle_source) {
+    watch_cycles_ = cycle_source;
+    watch_hit_ = false;
+    watch_hit_cycle_ = 0;
+    on_arm_watch(bit);
+  }
+
+  /// Disarms the watch; the latched hit state stays readable until the
+  /// next arm_watch().
+  void disarm_watch() {
+    watch_cycles_ = nullptr;
+    on_disarm_watch();
+  }
+
+  bool watch_activated() const { return watch_hit_; }
+  std::uint64_t watch_activation_cycle() const { return watch_hit_cycle_; }
+
+ protected:
+  /// Derived classes translate `bit` into fast-compare keys consulted
+  /// on their read paths. The default keeps the watch inert (components
+  /// without read-path instrumentation simply never activate).
+  virtual void on_arm_watch(std::uint64_t /*bit*/) {}
+  /// Derived classes reset their keys to the never-matching sentinel.
+  virtual void on_disarm_watch() {}
+
+  /// Latches the first hit (no-op afterwards). Safe from const read
+  /// paths; not thread-safe, matching the one-machine-per-worker model.
+  void note_watch_hit() const {
+    if (watch_hit_) return;
+    watch_hit_ = true;
+    watch_hit_cycle_ = watch_cycles_ != nullptr ? *watch_cycles_ : 0;
+  }
+
+ private:
+  const std::uint64_t* watch_cycles_ = nullptr;
+  mutable bool watch_hit_ = false;
+  mutable std::uint64_t watch_hit_cycle_ = 0;
 };
 
 }  // namespace sefi::microarch

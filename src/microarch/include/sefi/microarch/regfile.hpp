@@ -40,6 +40,7 @@ class PhysRegFile final : public sim::RegFileModel,
   // InjectableComponent:
   std::uint64_t bit_count() const override;
   void flip_bit(std::uint64_t bit) override;
+  BitSite locate_bit(std::uint64_t bit) const override;
 
   unsigned num_phys() const { return static_cast<unsigned>(regs_.size()); }
   /// Physical register currently mapped to `arch_reg` (for tests).
@@ -60,7 +61,15 @@ class PhysRegFile final : public sim::RegFileModel,
            sizeof(std::uint32_t);
   }
 
+ protected:
+  // Watch keys (see InjectableComponent): activates when the watched
+  // physical register is read through the rename map.
+  void on_arm_watch(std::uint64_t bit) override;
+  void on_disarm_watch() override;
+
  private:
+  static constexpr std::uint32_t kNoWatch = ~0u;
+
   void mark_reg(std::size_t phys) {
     dirty_regs_[phys / 64] |= 1ull << (phys % 64);
   }
@@ -71,6 +80,7 @@ class PhysRegFile final : public sim::RegFileModel,
   std::vector<bool> mapped_;         ///< phys in use
   std::uint32_t next_alloc_ = 0;
   std::vector<std::uint64_t> dirty_regs_;  ///< one bit per physical reg
+  std::uint32_t watch_phys_ = kNoWatch;    ///< watched physical register
 };
 
 }  // namespace sefi::microarch

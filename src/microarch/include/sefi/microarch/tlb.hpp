@@ -59,10 +59,21 @@ class Tlb final : public InjectableComponent {
   // InjectableComponent:
   std::uint64_t bit_count() const override;
   void flip_bit(std::uint64_t bit) override;
+  BitSite locate_bit(std::uint64_t bit) const override;
 
   static constexpr unsigned kBitsPerEntry = 1 + 12 + 12 + 3;
 
+ protected:
+  // Watch keys (see InjectableComponent): a tag watch (valid/VPN bits)
+  // activates when any lookup scans the watched entry (the associative
+  // compare reads every tag); a translation watch (PPN/perms) activates
+  // only when the watched entry actually serves a hit.
+  void on_arm_watch(std::uint64_t bit) override;
+  void on_disarm_watch() override;
+
  private:
+  static constexpr std::size_t kNoWatch = ~static_cast<std::size_t>(0);
+
   struct Slot {
     bool valid = false;
     std::uint32_t vpn = 0;    // 12 bits
@@ -78,6 +89,8 @@ class Tlb final : public InjectableComponent {
   std::vector<Slot> slots_;
   std::uint32_t next_victim_ = 0;
   std::vector<std::uint64_t> dirty_entries_;  ///< one bit per slot
+  std::size_t watch_tag_entry_ = kNoWatch;    ///< entry watched on scans
+  std::size_t watch_data_entry_ = kNoWatch;   ///< entry watched on hits
 };
 
 }  // namespace sefi::microarch

@@ -52,6 +52,7 @@ std::uint32_t CacheArray::tag_of(std::uint32_t paddr) const {
 
 int CacheArray::lookup(std::uint32_t paddr) const {
   const std::uint32_t set = set_of(paddr);
+  if (set == watch_set_) note_watch_hit();  // associative compare reads meta
   const std::uint32_t tag = tag_of(paddr);
   for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
     const LineMeta& m = meta_[line_index(set, static_cast<int>(way))];
@@ -84,6 +85,9 @@ EvictedLine CacheArray::install(std::uint32_t paddr, int way,
           name_ + ": install fill size mismatch");
   const std::uint32_t set = set_of(paddr);
   const std::uint32_t idx = line_index(set, way);
+  // A fill reads the victim's meta (write-back decision) and, when the
+  // victim is valid, its stored bytes.
+  if (set == watch_set_ || idx == watch_line_) note_watch_hit();
   mark_set(set);
   LineMeta& m = meta_[idx];
 
@@ -110,6 +114,7 @@ std::span<std::uint8_t> CacheArray::line_data(std::uint32_t paddr, int way) {
   const std::uint32_t set = set_of(paddr);
   mark_set(set);  // the caller may write through the mutable span
   const std::uint32_t idx = line_index(set, way);
+  if (idx == watch_line_) note_watch_hit();
   return {data_.data() + static_cast<std::size_t>(idx) * geometry_.line_bytes,
           geometry_.line_bytes};
 }
@@ -117,6 +122,7 @@ std::span<std::uint8_t> CacheArray::line_data(std::uint32_t paddr, int way) {
 std::span<const std::uint8_t> CacheArray::line_data(std::uint32_t paddr,
                                                     int way) const {
   const std::uint32_t idx = line_index(set_of(paddr), way);
+  if (idx == watch_line_) note_watch_hit();
   return {data_.data() + static_cast<std::size_t>(idx) * geometry_.line_bytes,
           geometry_.line_bytes};
 }
@@ -128,7 +134,9 @@ void CacheArray::mark_dirty(std::uint32_t paddr, int way) {
 }
 
 bool CacheArray::is_dirty(std::uint32_t paddr, int way) const {
-  return meta_[line_index(set_of(paddr), way)].dirty;
+  const std::uint32_t set = set_of(paddr);
+  if (set == watch_set_) note_watch_hit();  // the dirty bit is meta state
+  return meta_[line_index(set, way)].dirty;
 }
 
 void CacheArray::invalidate_range(std::uint32_t start, std::uint32_t size) {
@@ -259,6 +267,46 @@ void CacheArray::flip_bit(std::uint64_t bit) {
       {data_.data() + static_cast<std::size_t>(line) * geometry_.line_bytes,
        geometry_.line_bytes},
       offset);
+}
+
+BitSite CacheArray::locate_bit(std::uint64_t bit) const {
+  require(bit < bit_count(), name_ + ": locate_bit out of range");
+  const std::uint64_t per_line = bits_per_line();
+  const auto line = static_cast<std::uint32_t>(bit / per_line);
+  const auto offset = static_cast<std::uint32_t>(bit % per_line);
+  BitSite site;
+  site.entry = line / geometry_.ways;
+  site.way = line % geometry_.ways;
+  site.bit = offset;
+  if (offset == 0) {
+    site.field = "valid";
+  } else if (offset == 1) {
+    site.field = "dirty";
+  } else if (offset < 2 + tag_bits_) {
+    site.field = "tag";
+  } else {
+    site.field = "data";
+  }
+  return site;
+}
+
+void CacheArray::on_arm_watch(std::uint64_t bit) {
+  require(bit < bit_count(), name_ + ": arm_watch out of range");
+  const std::uint64_t per_line = bits_per_line();
+  const auto line = static_cast<std::uint32_t>(bit / per_line);
+  const std::uint64_t offset = bit % per_line;
+  if (offset < 2 + tag_bits_) {
+    watch_set_ = line / geometry_.ways;
+    watch_line_ = kNoWatch;
+  } else {
+    watch_set_ = kNoWatch;
+    watch_line_ = line;
+  }
+}
+
+void CacheArray::on_disarm_watch() {
+  watch_set_ = kNoWatch;
+  watch_line_ = kNoWatch;
 }
 
 }  // namespace sefi::microarch

@@ -15,7 +15,9 @@ PhysRegFile::PhysRegFile(unsigned num_phys, unsigned num_arch) {
 }
 
 std::uint32_t PhysRegFile::read(unsigned arch_reg) {
-  return regs_[map_[arch_reg]];
+  const std::uint32_t phys = map_[arch_reg];
+  if (phys == watch_phys_) note_watch_hit();
+  return regs_[phys];
 }
 
 void PhysRegFile::write(unsigned arch_reg, std::uint32_t value) {
@@ -126,5 +128,23 @@ void PhysRegFile::flip_bit(std::uint64_t bit) {
   regs_[bit / 32] ^= 1u << (bit % 32);
   mark_reg(bit / 32);
 }
+
+BitSite PhysRegFile::locate_bit(std::uint64_t bit) const {
+  support::require(bit < bit_count(),
+                   "PhysRegFile: locate_bit out of range");
+  BitSite site;
+  site.entry = static_cast<std::uint32_t>(bit / 32);
+  site.bit = static_cast<std::uint32_t>(bit % 32);
+  site.field = "reg";
+  return site;
+}
+
+void PhysRegFile::on_arm_watch(std::uint64_t bit) {
+  support::require(bit < bit_count(),
+                   "PhysRegFile: arm_watch out of range");
+  watch_phys_ = static_cast<std::uint32_t>(bit / 32);
+}
+
+void PhysRegFile::on_disarm_watch() { watch_phys_ = kNoWatch; }
 
 }  // namespace sefi::microarch

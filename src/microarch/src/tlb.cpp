@@ -14,8 +14,13 @@ Tlb::Tlb(std::string name, unsigned entries) : name_(std::move(name)) {
 }
 
 std::optional<sim::Translation> Tlb::lookup(std::uint32_t vpn) const {
-  for (const Slot& slot : slots_) {
+  // The associative compare reads every entry's valid+VPN bits, so a
+  // tag watch activates on the first lookup after injection.
+  if (watch_tag_entry_ < slots_.size()) note_watch_hit();
+  for (std::size_t entry = 0; entry < slots_.size(); ++entry) {
+    const Slot& slot = slots_[entry];
     if (slot.valid && slot.vpn == vpn) {
+      if (entry == watch_data_entry_) note_watch_hit();
       sim::Translation t;
       t.ppn = slot.ppn;
       // Perm bits are stored shifted down by one (valid bit excluded).
@@ -108,6 +113,42 @@ void Tlb::flip_bit(std::uint64_t bit) {
   }
   offset -= 12;
   slot.perms ^= static_cast<std::uint8_t>(1u << offset);
+}
+
+BitSite Tlb::locate_bit(std::uint64_t bit) const {
+  support::require(bit < bit_count(), name_ + ": locate_bit out of range");
+  BitSite site;
+  site.entry = static_cast<std::uint32_t>(bit / kBitsPerEntry);
+  const auto offset = static_cast<std::uint32_t>(bit % kBitsPerEntry);
+  site.bit = offset;
+  if (offset == 0) {
+    site.field = "valid";
+  } else if (offset < 13) {
+    site.field = "vpn";
+  } else if (offset < 25) {
+    site.field = "ppn";
+  } else {
+    site.field = "perms";
+  }
+  return site;
+}
+
+void Tlb::on_arm_watch(std::uint64_t bit) {
+  support::require(bit < bit_count(), name_ + ": arm_watch out of range");
+  const std::size_t entry = bit / kBitsPerEntry;
+  const std::uint64_t offset = bit % kBitsPerEntry;
+  if (offset < 13) {
+    watch_tag_entry_ = entry;
+    watch_data_entry_ = kNoWatch;
+  } else {
+    watch_tag_entry_ = kNoWatch;
+    watch_data_entry_ = entry;
+  }
+}
+
+void Tlb::on_disarm_watch() {
+  watch_tag_entry_ = kNoWatch;
+  watch_data_entry_ = kNoWatch;
 }
 
 }  // namespace sefi::microarch

@@ -1,0 +1,95 @@
+// Per-injection fault forensics: one JSONL record per injection,
+// answering "where did this fault go?" — the drill-down the paper's
+// beam-vs-FI divergence analysis (Figs. 6–10) needs and end-of-campaign
+// aggregates cannot give.
+//
+// Record schema (one JSON object per line):
+//
+//   workload            benchmark name
+//   component           injected structure ("L1I", "RegFile", ...)
+//   set / way / bit     injection site within the structure (set is the
+//                       cache set, TLB entry, or physical register;
+//                       way is 0 for non-set-associative structures;
+//                       bit is the offset within the entry)
+//   field               which entry field the bit lands in ("valid",
+//                       "dirty", "tag", "data", "vpn", "ppn", "perms",
+//                       "reg")
+//   flat_bit            the raw flat bit index that was flipped
+//   injection_cycle     guest cycle the flip was applied at
+//   activated           whether the corrupted state was ever read back
+//   first_activation_cycle  guest cycle of that first read (0 when
+//                       never activated)
+//   arch_propagated     activated AND the verdict is not Masked — the
+//                       corruption reached architectural state with a
+//                       visible consequence
+//   verdict             Masked / SDC / AppCrash / SysCrash /
+//                       HarnessError
+//   latency_to_verdict_cycles  guest cycles from injection to the
+//                       cycle the verdict was decidable at
+//   replayed            true when the record was recovered from a
+//                       resume journal (site/activation fields are
+//                       absent — the injection was not re-executed)
+//
+// The sink appends under a mutex and flushes per record, mirroring the
+// task journal's kill-safety: a SIGKILLed campaign keeps every record
+// written so far.
+//
+// Enablement mirrors tracing: the process-global sink activates when
+// SEFI_TRACE is on, writing to SEFI_FORENSICS_FILE (default
+// "sefi_forensics.jsonl"). Campaign code prefers an explicitly
+// configured sink (CampaignConfig::forensics) and falls back to the
+// global one.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace sefi::obs {
+
+class ForensicsSink {
+ public:
+  struct Record {
+    std::string workload;
+    std::string component;
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    std::uint32_t bit = 0;
+    std::string field;
+    std::uint64_t flat_bit = 0;
+    std::uint64_t injection_cycle = 0;
+    bool activated = false;
+    std::uint64_t first_activation_cycle = 0;
+    bool arch_propagated = false;
+    std::string verdict;
+    std::uint64_t latency_to_verdict_cycles = 0;
+    bool replayed = false;
+  };
+
+  /// Opens `path` for appending (creating parent directories).
+  explicit ForensicsSink(std::string path);
+  ~ForensicsSink();
+
+  ForensicsSink(const ForensicsSink&) = delete;
+  ForensicsSink& operator=(const ForensicsSink&) = delete;
+
+  /// Appends one JSON line and flushes it. Thread-safe. False when the
+  /// write failed (the campaign continues; forensics are advisory).
+  bool write(const Record& record);
+
+  const std::string& path() const { return path_; }
+  std::uint64_t records_written() const;
+
+  /// The environment-configured process-wide sink: non-null iff
+  /// SEFI_TRACE is on. Created on first call.
+  static ForensicsSink* global();
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace sefi::obs

@@ -1,0 +1,219 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms with per-thread shards merged on scrape.
+//
+// Design constraints, in priority order:
+//
+//   1. Near-zero cost when disabled. Every mutation path is one relaxed
+//      atomic load of the global enabled flag and a predictable branch;
+//      no locks, no allocation, no string work. Registration (the
+//      `static Counter& c = registry().counter(...)` idiom at a call
+//      site) happens once per process regardless of the flag, so
+//      toggling at runtime needs no re-wiring.
+//   2. No cross-thread contention when enabled. Counters and histograms
+//      are sharded kShards ways; each thread hashes to a fixed shard
+//      (round-robin assignment at first touch) and only ever touches
+//      one cache line of each instrument. value()/snapshot() merge the
+//      shards — scrapes are rare, increments are not.
+//   3. Stable addresses. Instruments live behind unique_ptrs inside the
+//      registry and are handed out by reference; call sites cache the
+//      reference in a function-local static, so the per-event cost
+//      never includes a map lookup.
+//
+// The registry is process-global on purpose: campaign, beam, cache, and
+// supervisor telemetry all aggregate here across every lab/rig instance
+// in the process, which is exactly what a Prometheus-style scrape
+// (`sefi_cli obs dump`, Registry::expose_text) wants. Per-run numbers
+// stay in CampaignStats/BeamSweepStats; the registry is the roll-up.
+//
+// Enablement: SEFI_METRICS (default on; "0"/"false"/"off"/"no" disable)
+// read once at first registry use, overridable per-process with
+// set_enabled() (the microbench flips it to measure both sides without
+// re-exec).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sefi::obs {
+
+/// Shard fan-out for counters and histogram buckets. Power of two so
+/// the thread-to-shard map is a mask, sized to cover more hardware
+/// threads than the campaign executor ever runs on this class of host.
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+
+/// This thread's shard slot, assigned round-robin on first use. Stable
+/// for the thread's lifetime, so a worker's increments always hit the
+/// same cache line.
+inline std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return shard;
+}
+
+/// The global enabled flag, hoisted out of the Registry so instrument
+/// fast paths can read it without touching registry internals.
+std::atomic<bool>& metrics_enabled_flag();
+
+}  // namespace detail
+
+inline bool metrics_enabled() {
+  return detail::metrics_enabled_flag().load(std::memory_order_relaxed);
+}
+
+/// Monotonic counter. add() from any thread; value() merges shards.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    shards_[detail::this_thread_shard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-write-wins gauge (no sharding: gauges are set, not hammered).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at registration
+/// (sorted ascending; an implicit +Inf bucket is appended), counts are
+/// sharded per thread, and snapshot() merges to cumulative
+/// Prometheus-style buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) {
+    if (!metrics_enabled()) return;
+    Shard& shard = shards_[detail::this_thread_shard()];
+    shard.buckets[bucket_index(value)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    double expected = shard.sum.load(std::memory_order_relaxed);
+    while (!shard.sum.compare_exchange_weak(expected, expected + value,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< upper bounds, +Inf excluded
+    std::vector<std::uint64_t> buckets;  ///< per-bucket (bounds+1, last=+Inf)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  void reset();
+
+ private:
+  std::size_t bucket_index(double value) const {
+    // Linear scan: bucket counts are small (≤ ~16) and the bounds
+    // vector is hot in cache next to the shard being written.
+    std::size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    return i;
+  }
+
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  Shard shards_[kMetricShards];
+};
+
+/// Name + help + typed instrument store with Prometheus text exposition.
+class Registry {
+ public:
+  /// The process-wide registry. First call reads SEFI_METRICS.
+  static Registry& instance();
+
+  bool enabled() const { return metrics_enabled(); }
+  void set_enabled(bool enabled);
+
+  /// Returns the instrument registered under (name, labels), creating
+  /// it on first use. `labels` is a Prometheus label body without the
+  /// braces (e.g. `class="sdc"`), empty for an unlabelled series.
+  /// References stay valid for the process lifetime.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const std::string& labels = "");
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds,
+                       const std::string& labels = "");
+
+  /// Prometheus text exposition format: families sorted by name, one
+  /// HELP/TYPE pair per family, histogram buckets cumulative with an
+  /// +Inf bucket, _sum and _count series.
+  std::string expose_text() const;
+
+  /// Zeroes every registered instrument (registrations and cached
+  /// references stay valid). For tests and the overhead microbench.
+  void reset();
+
+ private:
+  Registry();
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<Series> series;  ///< in registration order
+  };
+
+  mutable std::mutex mutex_;
+  // std::map keeps exposition deterministically name-sorted.
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace sefi::obs

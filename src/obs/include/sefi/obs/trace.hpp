@@ -1,0 +1,112 @@
+// Span tracing in Chrome trace_event JSON (Perfetto-loadable).
+//
+// The tracer buffers begin/end/instant events in memory — a span is two
+// 32-byte entries under a mutex, cheap at the granularity this codebase
+// traces (per-injection phases, cache/journal I/O, supervisor attempts;
+// never per-instruction) — and serializes the buffer to a
+// `{"traceEvents":[...]}` JSON file on flush. Event names and
+// categories are `const char*` by contract: call sites pass string
+// literals, the tracer stores the pointers and never copies.
+//
+// Enablement: SEFI_TRACE ("1"/"true"/... on; default off), output path
+// SEFI_TRACE_FILE (default "sefi_trace.json"), both read at first use
+// of Tracer::instance(). When enabled from the environment, a flush is
+// registered with atexit so a traced CLI run always leaves a valid file
+// even without explicit flush calls. Programmatic enable(path) /
+// disable() serve tests and the overhead microbench.
+//
+// Disabled cost: Span construction is one relaxed atomic load and a
+// branch; no allocation, no lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sefi::obs {
+
+class Tracer {
+ public:
+  /// The process-wide tracer. First call reads SEFI_TRACE and
+  /// SEFI_TRACE_FILE.
+  static Tracer& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Starts buffering events; flush() (and process exit, when enabled
+  /// via the environment) writes them to `path`.
+  void enable(std::string path);
+
+  /// Stops buffering. Buffered events stay until flush() or reset().
+  void disable();
+
+  void begin(const char* name, const char* category);
+  void end(const char* name, const char* category);
+  void instant(const char* name, const char* category);
+
+  /// Serializes buffered events to the configured path (atomic
+  /// temp+rename, like every other artifact this codebase writes).
+  /// False when disabled-with-no-events or the write failed.
+  bool flush();
+
+  /// The serialized JSON document (what flush() writes). For tests.
+  std::string json() const;
+
+  const std::string& path() const { return path_; }
+  std::size_t event_count() const;
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all buffered events and the drop counter (tests/microbench).
+  void reset();
+
+ private:
+  Tracer();
+
+  struct Event {
+    const char* name;
+    const char* category;
+    char phase;  ///< 'B', 'E', or 'i'
+    std::uint32_t tid;
+    std::uint64_t ts_ns;  ///< since tracer construction
+  };
+
+  void push(const char* name, const char* category, char phase);
+  std::uint64_t now_ns() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::uint64_t epoch_ns_ = 0;
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// RAII scoped span. `name` and `category` must be string literals (or
+/// otherwise outlive the tracer buffer).
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "sefi")
+      : name_(name),
+        category_(category),
+        active_(Tracer::instance().enabled()) {
+    if (active_) Tracer::instance().begin(name_, category_);
+  }
+
+  ~Span() {
+    if (active_) Tracer::instance().end(name_, category_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool active_;
+};
+
+}  // namespace sefi::obs

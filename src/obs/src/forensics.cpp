@@ -1,0 +1,123 @@
+#include "sefi/obs/forensics.hpp"
+
+#include <filesystem>
+#include <memory>
+
+#include "sefi/support/env.hpp"
+
+namespace sefi::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_field(std::string& out, const char* key,
+                  const std::string& value) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  append_escaped(out, value);
+  out += '"';
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void append_field(std::string& out, const char* key, bool value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += value ? "true" : "false";
+}
+
+}  // namespace
+
+ForensicsSink::ForensicsSink(std::string path) : path_(std::move(path)) {
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  file_ = std::fopen(path_.c_str(), "ab");
+}
+
+ForensicsSink::~ForensicsSink() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ForensicsSink::write(const Record& record) {
+  std::string line = "{";
+  append_field(line, "workload", record.workload);
+  line += ',';
+  append_field(line, "component", record.component);
+  line += ',';
+  append_field(line, "set", static_cast<std::uint64_t>(record.set));
+  line += ',';
+  append_field(line, "way", static_cast<std::uint64_t>(record.way));
+  line += ',';
+  append_field(line, "bit", static_cast<std::uint64_t>(record.bit));
+  line += ',';
+  append_field(line, "field", record.field);
+  line += ',';
+  append_field(line, "flat_bit", record.flat_bit);
+  line += ',';
+  append_field(line, "injection_cycle", record.injection_cycle);
+  line += ',';
+  append_field(line, "activated", record.activated);
+  line += ',';
+  append_field(line, "first_activation_cycle",
+               record.first_activation_cycle);
+  line += ',';
+  append_field(line, "arch_propagated", record.arch_propagated);
+  line += ',';
+  append_field(line, "verdict", record.verdict);
+  line += ',';
+  append_field(line, "latency_to_verdict_cycles",
+               record.latency_to_verdict_cycles);
+  line += ',';
+  append_field(line, "replayed", record.replayed);
+  line += "}\n";
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return false;
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
+      std::fflush(file_) == 0;
+  if (ok) ++records_;
+  return ok;
+}
+
+std::uint64_t ForensicsSink::records_written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+ForensicsSink* ForensicsSink::global() {
+  static std::unique_ptr<ForensicsSink> sink = [] {
+    if (!support::env::flag("SEFI_TRACE", false)) {
+      return std::unique_ptr<ForensicsSink>();
+    }
+    return std::make_unique<ForensicsSink>(
+        support::env::str("SEFI_FORENSICS_FILE", "sefi_forensics.jsonl"));
+  }();
+  return sink.get();
+}
+
+}  // namespace sefi::obs

@@ -1,0 +1,216 @@
+#include "sefi/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sefi/support/env.hpp"
+
+namespace sefi::obs {
+
+namespace detail {
+
+std::atomic<bool>& metrics_enabled_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Shortest-round-trip-ish double formatting for exposition output:
+/// "%.12g" renders integers without a trailing ".000000" and keeps
+/// enough digits for every bound/sum this codebase produces.
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+std::string series_name(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+/// Joins a series' label body with one extra label (histogram `le`).
+std::string with_label(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  return labels + "," + extra;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  const std::size_t buckets = bounds_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: call sites across the process cache instrument
+  // references in function-local statics, and cross-TU destruction
+  // order is undefined — a destructed registry would dangle every one
+  // of them during exit. A process singleton needs no destructor.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Registry() {
+  detail::metrics_enabled_flag().store(
+      support::env::flag("SEFI_METRICS", true), std::memory_order_relaxed);
+}
+
+void Registry::set_enabled(bool enabled) {
+  detail::metrics_enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = families_[name];
+  if (family.help.empty()) family.help = help;
+  family.kind = Kind::kCounter;
+  for (Series& series : family.series) {
+    if (series.labels == labels) return *series.counter;
+  }
+  Series series;
+  series.labels = labels;
+  series.counter = std::make_unique<Counter>();
+  family.series.push_back(std::move(series));
+  return *family.series.back().counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = families_[name];
+  if (family.help.empty()) family.help = help;
+  family.kind = Kind::kGauge;
+  for (Series& series : family.series) {
+    if (series.labels == labels) return *series.gauge;
+  }
+  Series series;
+  series.labels = labels;
+  series.gauge = std::make_unique<Gauge>();
+  family.series.push_back(std::move(series));
+  return *family.series.back().gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bounds,
+                               const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = families_[name];
+  if (family.help.empty()) family.help = help;
+  family.kind = Kind::kHistogram;
+  for (Series& series : family.series) {
+    if (series.labels == labels) return *series.histogram;
+  }
+  Series series;
+  series.labels = labels;
+  series.histogram = std::make_unique<Histogram>(std::move(bounds));
+  family.series.push_back(std::move(series));
+  return *family.series.back().histogram;
+}
+
+std::string Registry::expose_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, family] : families_) {
+    os << "# HELP " << name << " " << family.help << "\n";
+    os << "# TYPE " << name << " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        os << "counter\n";
+        break;
+      case Kind::kGauge:
+        os << "gauge\n";
+        break;
+      case Kind::kHistogram:
+        os << "histogram\n";
+        break;
+    }
+    for (const Series& series : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          os << series_name(name, series.labels) << " "
+             << series.counter->value() << "\n";
+          break;
+        case Kind::kGauge:
+          os << series_name(name, series.labels) << " "
+             << format_double(series.gauge->value()) << "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = series.histogram->snapshot();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            cumulative += snap.buckets[i];
+            os << series_name(
+                      name + "_bucket",
+                      with_label(series.labels, "le=\"" +
+                                                    format_double(
+                                                        snap.bounds[i]) +
+                                                    "\""))
+               << " " << cumulative << "\n";
+          }
+          cumulative += snap.buckets.back();
+          os << series_name(name + "_bucket",
+                            with_label(series.labels, "le=\"+Inf\""))
+             << " " << cumulative << "\n";
+          os << series_name(name + "_sum", series.labels) << " "
+             << format_double(snap.sum) << "\n";
+          os << series_name(name + "_count", series.labels) << " "
+             << snap.count << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, family] : families_) {
+    for (Series& series : family.series) {
+      if (series.counter) series.counter->reset();
+      if (series.gauge) series.gauge->reset();
+      if (series.histogram) series.histogram->reset();
+    }
+  }
+}
+
+}  // namespace sefi::obs

@@ -1,0 +1,157 @@
+#include "sefi/obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sefi/support/env.hpp"
+#include "sefi/support/fsio.hpp"
+
+namespace sefi::obs {
+
+namespace {
+
+/// Buffer cap: a full paper-scale campaign traces ~6 events per
+/// injection, so 1M events covers two orders of magnitude beyond that.
+/// Past the cap events are dropped and counted — a bounded trace beats
+/// an unbounded allocation inside an instrumented hot path.
+constexpr std::size_t kMaxEvents = 1u << 20;
+
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// Minimal JSON string escaping; trace names are identifier-style
+/// literals, so this only ever defends against future misuse.
+void append_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+}
+
+extern "C" void sefi_trace_atexit_flush() { Tracer::instance().flush(); }
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  // Leaked on purpose: the constructor registers an atexit flush when
+  // SEFI_TRACE is on, and atexit handlers run after function-local
+  // statics have been destroyed — flushing a destructed tracer would
+  // read a freed event buffer. A process singleton needs no destructor.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Tracer() {
+  epoch_ns_ = now_ns();
+  if (support::env::flag("SEFI_TRACE", false)) {
+    enable(support::env::str("SEFI_TRACE_FILE", "sefi_trace.json"));
+    std::atexit(sefi_trace_atexit_flush);
+  }
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Tracer::enable(std::string path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  path_ = std::move(path);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::push(const char* name, const char* category, char phase) {
+  const std::uint64_t ts = now_ns() - epoch_ns_;
+  const std::uint32_t tid = this_thread_tid();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(Event{name, category, phase, tid, ts});
+}
+
+void Tracer::begin(const char* name, const char* category) {
+  if (!enabled()) return;
+  push(name, category, 'B');
+}
+
+void Tracer::end(const char* name, const char* category) {
+  if (!enabled()) return;
+  push(name, category, 'E');
+}
+
+void Tracer::instant(const char* name, const char* category) {
+  if (!enabled()) return;
+  push(name, category, 'i');
+}
+
+std::string Tracer::json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buffer[96];
+  for (const Event& event : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, event.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, event.category);
+    out += "\",\"ph\":\"";
+    out += event.phase;
+    out += '"';
+    if (event.phase == 'i') out += ",\"s\":\"t\"";
+    // trace_event timestamps are microseconds; keep ns resolution in
+    // the fraction.
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"ts\":%llu.%03llu,\"pid\":1,\"tid\":%u}",
+                  static_cast<unsigned long long>(event.ts_ns / 1000),
+                  static_cast<unsigned long long>(event.ts_ns % 1000),
+                  event.tid);
+    out += buffer;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::flush() {
+  std::string target;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (path_.empty() || events_.empty()) return false;
+    target = path_;
+  }
+  return support::write_file_atomic(target, json());
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sefi::obs

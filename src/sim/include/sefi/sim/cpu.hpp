@@ -68,6 +68,12 @@ class Cpu {
   std::uint64_t cycles() const { return cycles_; }
   std::uint64_t instructions() const { return instret_; }
 
+  /// Stable pointer to the cycle counter, valid for the CPU's lifetime.
+  /// Observability watchpoints (microarch activation watches) read it to
+  /// timestamp events without holding a reference to the whole CPU;
+  /// restore_state() rewrites the counter's value, never its address.
+  const std::uint64_t* cycle_counter() const { return &cycles_; }
+
   // Architectural state access (harness, tests, context dumps).
   std::uint32_t pc() const { return pc_; }
   void set_pc(std::uint32_t pc) { pc_ = pc; }

@@ -1,0 +1,49 @@
+// Cached, strictly-parsed environment-knob access.
+//
+// Every SEFI_* knob goes through here instead of raw std::getenv +
+// ad-hoc strtoull calls: one lookup per variable per process (the first
+// read snapshots the value under a mutex), one parser with one
+// malformed-value policy (fall back, never half-parse), and one place
+// for tests to reset the snapshot after mutating the environment with
+// ::setenv (`refresh()`).
+//
+// Deliberately NOT cached: SEFI_CACHE_DIR. The CLI and bench binaries
+// do a check-then-setenv dance on it before the first campaign, and
+// tests point it at per-case temp directories many times per process;
+// a first-read-wins cache would quietly pin the first directory. It
+// stays on std::getenv at its call sites.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sefi::support::env {
+
+/// Parses `name` as a base-10 u64. Returns `fallback` when the variable
+/// is unset, empty, or malformed — malformed meaning anything but an
+/// optionally-whitespace-padded run of digits that fits in 64 bits
+/// ("12x", "-1", "0x10", and overflow all fall back; strtoull would
+/// have accepted the first three).
+std::uint64_t u64(const char* name, std::uint64_t fallback);
+
+/// Parses `name` as a boolean: "1"/"true"/"on"/"yes" are true,
+/// "0"/"false"/"off"/"no" are false (both case-insensitive). Unset,
+/// empty, or anything else returns `fallback`.
+bool flag(const char* name, bool fallback);
+
+/// Returns the variable's raw value, or `fallback` when unset.
+/// (Empty-but-set returns the empty string: "SEFI_CACHE_DIR= " style
+/// explicit disables must stay distinguishable from unset.)
+std::string str(const char* name, const std::string& fallback);
+
+/// Returns the raw value, or nullopt when unset. The cached primitive
+/// the typed accessors above are built on.
+std::optional<std::string> raw(const char* name);
+
+/// Drops the whole snapshot cache so the next read of every variable
+/// hits the real environment again. Tests call this after ::setenv /
+/// ::unsetenv; production code never needs it.
+void refresh();
+
+}  // namespace sefi::support::env

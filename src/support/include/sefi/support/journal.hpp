@@ -43,6 +43,10 @@ class TaskJournal {
     std::string header;         ///< header payload ("" when absent)
     std::uint64_t records = 0;  ///< intact task records
     std::uint64_t torn_bytes = 0;  ///< trailing bytes no record claims
+    /// Last payload recorded per index (re-records overwrite, matching
+    /// replay semantics). Lets status commands decode outcome and
+    /// telemetry records without reopening the journal for writing.
+    std::map<std::uint64_t, std::string> entries;
   };
 
   /// Opens (creating parent directories as needed) and loads `path`.

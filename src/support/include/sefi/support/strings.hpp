@@ -23,8 +23,4 @@ std::string pad_right(const std::string& text, std::size_t width);
 /// Splits `text` on `sep`, keeping empty fields.
 std::vector<std::string> split(const std::string& text, char sep);
 
-/// Parses an environment variable as u64, returning `fallback` when unset
-/// or malformed.
-std::uint64_t env_u64(const char* name, std::uint64_t fallback);
-
 }  // namespace sefi::support

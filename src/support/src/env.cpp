@@ -1,0 +1,109 @@
+#include "sefi/support/env.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace sefi::support::env {
+
+namespace {
+
+std::mutex& cache_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, std::optional<std::string>>& cache() {
+  static std::map<std::string, std::optional<std::string>> entries;
+  return entries;
+}
+
+/// Strict base-10 u64 parser: optional surrounding whitespace, then
+/// digits only, no sign, no base prefixes, overflow rejected.
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  if (begin == end) return std::nullopt;
+  std::uint64_t value = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::string lowercase_trimmed(const std::string& text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  std::string out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    out += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> raw(const char* name) {
+  const std::lock_guard<std::mutex> lock(cache_mutex());
+  auto& entries = cache();
+  const auto it = entries.find(name);
+  if (it != entries.end()) return it->second;
+  const char* value = std::getenv(name);
+  std::optional<std::string> snapshot;
+  if (value != nullptr) snapshot = std::string(value);
+  entries.emplace(name, snapshot);
+  return snapshot;
+}
+
+std::uint64_t u64(const char* name, std::uint64_t fallback) {
+  const std::optional<std::string> value = raw(name);
+  if (!value.has_value()) return fallback;
+  const std::optional<std::uint64_t> parsed = parse_u64(*value);
+  return parsed.has_value() ? *parsed : fallback;
+}
+
+bool flag(const char* name, bool fallback) {
+  const std::optional<std::string> value = raw(name);
+  if (!value.has_value()) return fallback;
+  const std::string text = lowercase_trimmed(*value);
+  if (text == "1" || text == "true" || text == "on" || text == "yes") {
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "off" || text == "no") {
+    return false;
+  }
+  return fallback;
+}
+
+std::string str(const char* name, const std::string& fallback) {
+  const std::optional<std::string> value = raw(name);
+  return value.has_value() ? *value : fallback;
+}
+
+void refresh() {
+  const std::lock_guard<std::mutex> lock(cache_mutex());
+  cache().clear();
+}
+
+}  // namespace sefi::support::env

@@ -210,6 +210,7 @@ TaskJournal::Status TaskJournal::inspect(const std::string& path) {
       status.header = record->payload;
     } else if (!record->is_header) {
       ++status.records;
+      status.entries[record->index] = record->payload;
     }
     offset += record->total_size;
   }

@@ -1,6 +1,5 @@
 #include "sefi/support/strings.hpp"
 
-#include <cstdlib>
 #include <sstream>
 
 namespace sefi::support {
@@ -43,15 +42,6 @@ std::vector<std::string> split(const std::string& text, char sep) {
   }
   out.push_back(current);
   return out;
-}
-
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
-  return static_cast<std::uint64_t>(parsed);
 }
 
 }  // namespace sefi::support

@@ -4,6 +4,9 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <stdexcept>
+
+#include "sefi/support/env.hpp"
 
 namespace sefi::core {
 namespace {
@@ -32,6 +35,7 @@ TEST(LabConfigFromEnv, ReadsEnvironment) {
   ::setenv("SEFI_FAULTS", "77", 1);
   ::setenv("SEFI_BEAM_RUNS", "88", 1);
   ::setenv("SEFI_SEED", "99", 1);
+  support::env::refresh();  // drop the cached env snapshot
   const LabConfig config = LabConfig::from_env();
   EXPECT_EQ(config.fi.faults_per_component, 77u);
   EXPECT_EQ(config.beam.runs, 88u);
@@ -39,6 +43,7 @@ TEST(LabConfigFromEnv, ReadsEnvironment) {
   ::unsetenv("SEFI_FAULTS");
   ::unsetenv("SEFI_BEAM_RUNS");
   ::unsetenv("SEFI_SEED");
+  support::env::refresh();
   const LabConfig defaults = LabConfig::from_env(150, 600);
   EXPECT_EQ(defaults.fi.faults_per_component, 150u);
   EXPECT_EQ(defaults.beam.runs, 600u);
@@ -140,10 +145,16 @@ TEST(Lab, InterruptedCampaignResumesFromItsJournal) {
   const auto& workload = workloads::workload_by_name("SusanC");
 
   // Interrupted run: the cancellation token trips mid-campaign, run_fi
-  // throws, and the journal keeps every finished injection.
+  // throws, and the journal keeps every finished injection. A transient
+  // fault earlier in the run seeds the journal's supervisor-telemetry
+  // record so the status probe below has something to recover.
   exec::CancellationToken token;
   config.fi.cancel = &token;
-  config.fi.task_fault_hook = [&token](std::size_t index, std::uint64_t) {
+  config.fi.task_fault_hook = [&token](std::size_t index,
+                                       std::uint64_t attempt) {
+    if (index == 5 && attempt == 0) {
+      throw std::runtime_error("simulated transient fault");
+    }
     if (index == 20) token.request_stop();
   };
   {
@@ -164,6 +175,13 @@ TEST(Lab, InterruptedCampaignResumesFromItsJournal) {
     EXPECT_GT(status.records, 0u);
     EXPECT_LT(status.records, status.total);
     EXPECT_EQ(status.total, 36u);
+    // The decoded per-verdict tallies cover every journaled record, and
+    // the retry burned by the transient fault survives as recoverable
+    // supervisor telemetry.
+    EXPECT_EQ(status.resolved.attempted(), status.records);
+    EXPECT_TRUE(status.has_telemetry);
+    EXPECT_EQ(status.telemetry.retries, 1u);
+    EXPECT_EQ(status.telemetry.harness_errors, 0u);
   }
 
   // Resume in a "new process": a fresh lab over the same cache dir picks
@@ -236,6 +254,7 @@ TEST(LabConfigFromEnv, ReadsSupervisorKnobs) {
   ::setenv("SEFI_MAX_TASK_RETRIES", "5", 1);
   ::setenv("SEFI_TASK_DEADLINE_MS", "1234", 1);
   ::setenv("SEFI_JOURNAL", "0", 1);
+  support::env::refresh();
   const LabConfig config = LabConfig::from_env();
   EXPECT_EQ(config.fi.max_task_retries, 5u);
   EXPECT_EQ(config.fi.task_deadline_ms, 1234u);
@@ -245,6 +264,7 @@ TEST(LabConfigFromEnv, ReadsSupervisorKnobs) {
   ::unsetenv("SEFI_MAX_TASK_RETRIES");
   ::unsetenv("SEFI_TASK_DEADLINE_MS");
   ::unsetenv("SEFI_JOURNAL");
+  support::env::refresh();
   const LabConfig defaults = LabConfig::from_env();
   EXPECT_EQ(defaults.fi.max_task_retries, 2u);
   EXPECT_EQ(defaults.fi.task_deadline_ms, 0u);

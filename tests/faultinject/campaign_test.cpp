@@ -389,6 +389,45 @@ TEST(WorkloadFiResultAccess, ComponentLookup) {
   EXPECT_EQ(result.component(microarch::ComponentKind::kL2).bits, 3u);
 }
 
+// --- Journal payload codecs ---
+
+TEST(JournalCodec, OutcomeRoundTrips) {
+  for (const Outcome outcome :
+       {Outcome::kMasked, Outcome::kSdc, Outcome::kAppCrash,
+        Outcome::kSysCrash, Outcome::kHarnessError}) {
+    Outcome parsed = Outcome::kMasked;
+    ASSERT_TRUE(parse_journal_outcome(encode_journal_outcome(outcome),
+                                      &parsed));
+    EXPECT_EQ(parsed, outcome);
+  }
+}
+
+TEST(JournalCodec, TelemetryRoundTrips) {
+  JournalTelemetry telemetry;
+  telemetry.retries = 3;
+  telemetry.watchdog_hits = 1;
+  telemetry.harness_errors = 2;
+  JournalTelemetry parsed;
+  ASSERT_TRUE(
+      parse_journal_telemetry(encode_journal_telemetry(telemetry), &parsed));
+  EXPECT_EQ(parsed.retries, 3u);
+  EXPECT_EQ(parsed.watchdog_hits, 1u);
+  EXPECT_EQ(parsed.harness_errors, 2u);
+}
+
+TEST(JournalCodec, RejectsMalformedPayloads) {
+  Outcome outcome;
+  EXPECT_FALSE(parse_journal_outcome("", &outcome));
+  EXPECT_FALSE(parse_journal_outcome("x 1", &outcome));
+  EXPECT_FALSE(parse_journal_outcome("t 1 2 3", &outcome));
+  JournalTelemetry telemetry;
+  EXPECT_FALSE(parse_journal_telemetry("", &telemetry));
+  EXPECT_FALSE(parse_journal_telemetry("o 1", &telemetry));
+  EXPECT_FALSE(parse_journal_telemetry("t 1 2", &telemetry));
+  EXPECT_FALSE(parse_journal_telemetry("t 1 2 3 4", &telemetry));
+  EXPECT_FALSE(parse_journal_telemetry("t 1 2 x", &telemetry));
+}
+
 // --- Campaign supervisor: fault isolation, retries, journaled resume ---
 
 /// Fresh journal path per test (ctest parallelizes test processes).

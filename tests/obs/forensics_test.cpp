@@ -1,0 +1,165 @@
+#include "sefi/obs/forensics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sefi/core/lab.hpp"
+#include "sefi/fi/campaign.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace sefi::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_path(const std::string& name) {
+  const std::string path = (fs::temp_directory_path() / name).string();
+  fs::remove(path);
+  return path;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+std::size_t count_substring(const std::vector<std::string>& lines,
+                            const std::string& what) {
+  std::size_t count = 0;
+  for (const std::string& line : lines) {
+    if (line.find(what) != std::string::npos) ++count;
+  }
+  return count;
+}
+
+TEST(ForensicsSink, WritesOneJsonObjectPerLine) {
+  const std::string path = fresh_path("sefi-forensics-unit.jsonl");
+  {
+    ForensicsSink sink(path);
+    ForensicsSink::Record record;
+    record.workload = "Qsort";
+    record.component = "L1D";
+    record.set = 3;
+    record.way = 1;
+    record.bit = 17;
+    record.field = "data";
+    record.flat_bit = 12345;
+    record.injection_cycle = 1000;
+    record.activated = true;
+    record.first_activation_cycle = 1100;
+    record.arch_propagated = true;
+    record.verdict = "SDC";
+    record.latency_to_verdict_cycles = 900;
+    ASSERT_TRUE(sink.write(record));
+    record.verdict = "Masked";
+    record.arch_propagated = false;
+    ASSERT_TRUE(sink.write(record));
+    EXPECT_EQ(sink.records_written(), 2u);
+  }
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"workload\":\"Qsort\""), std::string::npos);
+    EXPECT_NE(line.find("\"component\":\"L1D\""), std::string::npos);
+    EXPECT_NE(line.find("\"field\":\"data\""), std::string::npos);
+    EXPECT_NE(line.find("\"injection_cycle\":1000"), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"verdict\":\"SDC\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"arch_propagated\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"verdict\":\"Masked\""), std::string::npos);
+  fs::remove(path);
+}
+
+// The acceptance invariant of the forensics channel: a campaign's JSONL
+// holds exactly one record per attempted injection, and the per-verdict
+// line counts equal the campaign's merged ClassCounts.
+TEST(ForensicsCampaign, VerdictCountsMatchCampaignStats) {
+  const std::string path = fresh_path("sefi-forensics-campaign.jsonl");
+  fi::CampaignConfig config;
+  config.rig.uarch = core::scaled_uarch();
+  config.faults_per_component = 6;
+  config.threads = 2;
+
+  ForensicsSink sink(path);
+  config.forensics = &sink;
+  const fi::WorkloadFiResult result =
+      fi::run_fi_campaign(workloads::workload_by_name("SusanC"), config);
+
+  fi::ClassCounts merged;
+  for (const fi::ComponentResult& comp : result.components) {
+    merged.masked += comp.counts.masked;
+    merged.sdc += comp.counts.sdc;
+    merged.app_crash += comp.counts.app_crash;
+    merged.sys_crash += comp.counts.sys_crash;
+    merged.harness_error += comp.counts.harness_error;
+  }
+
+  const std::vector<std::string> lines = read_lines(path);
+  EXPECT_EQ(sink.records_written(), lines.size());
+  EXPECT_EQ(lines.size(), result.stats.injections);
+  EXPECT_EQ(count_substring(lines, "\"verdict\":\"Masked\""), merged.masked);
+  EXPECT_EQ(count_substring(lines, "\"verdict\":\"SDC\""), merged.sdc);
+  EXPECT_EQ(count_substring(lines, "\"verdict\":\"AppCrash\""),
+            merged.app_crash);
+  EXPECT_EQ(count_substring(lines, "\"verdict\":\"SysCrash\""),
+            merged.sys_crash);
+  EXPECT_EQ(count_substring(lines, "\"verdict\":\"HarnessError\""),
+            merged.harness_error);
+
+  // Activation forensics are internally consistent: an arch-propagated
+  // record is always activated, an SDC or crash record always
+  // propagated, and a never-activated record carries cycle 0.
+  for (const std::string& line : lines) {
+    const bool activated =
+        line.find("\"activated\":true") != std::string::npos;
+    const bool propagated =
+        line.find("\"arch_propagated\":true") != std::string::npos;
+    const bool masked = line.find("\"verdict\":\"Masked\"") !=
+                        std::string::npos;
+    if (propagated) EXPECT_TRUE(activated) << line;
+    if (activated && !masked) EXPECT_TRUE(propagated) << line;
+    if (!activated) {
+      EXPECT_NE(line.find("\"first_activation_cycle\":0"), std::string::npos)
+          << line;
+    }
+  }
+  fs::remove(path);
+}
+
+// Harness errors still leave a record (site only — the injection never
+// resolved), keeping the one-line-per-injection invariant intact.
+TEST(ForensicsCampaign, HarnessErrorsAreRecorded) {
+  const std::string path = fresh_path("sefi-forensics-harness.jsonl");
+  fi::CampaignConfig config;
+  config.rig.uarch = core::scaled_uarch();
+  config.faults_per_component = 6;
+  config.threads = 2;
+  config.max_task_retries = 1;
+  config.task_fault_hook = [](std::size_t index, std::uint64_t) {
+    if (index == 7) throw std::runtime_error("permanently broken");
+  };
+
+  ForensicsSink sink(path);
+  config.forensics = &sink;
+  const fi::WorkloadFiResult result =
+      fi::run_fi_campaign(workloads::workload_by_name("SusanC"), config);
+  EXPECT_EQ(result.stats.harness_errors, 1u);
+
+  const std::vector<std::string> lines = read_lines(path);
+  EXPECT_EQ(lines.size(), result.stats.injections);
+  EXPECT_EQ(count_substring(lines, "\"verdict\":\"HarnessError\""), 1u);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace sefi::obs

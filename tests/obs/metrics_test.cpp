@@ -1,0 +1,166 @@
+#include "sefi/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sefi::obs {
+namespace {
+
+// The registry is process-global (and shared with every campaign the
+// other tests in this binary run), so tests register their own
+// uniquely-named instruments and restore the enabled flag on exit.
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = metrics_enabled();
+    Registry::instance().set_enabled(true);
+  }
+  void TearDown() override { Registry::instance().set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = true;
+};
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  Counter& c = Registry::instance().counter("test_counter_basic", "help");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, DisabledMutationsAreDropped) {
+  Counter& c = Registry::instance().counter("test_counter_disabled", "help");
+  Gauge& g = Registry::instance().gauge("test_gauge_disabled", "help");
+  c.reset();
+  g.reset();
+  Registry::instance().set_enabled(false);
+  c.add(7);
+  g.set(3.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  Registry::instance().set_enabled(true);
+  c.add(7);
+  g.set(3.5);
+  EXPECT_EQ(c.value(), 7u);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+}
+
+TEST_F(MetricsTest, SameNameAndLabelsReturnSameInstrument) {
+  Counter& a = Registry::instance().counter("test_counter_identity", "help",
+                                            "k=\"1\"");
+  Counter& b = Registry::instance().counter("test_counter_identity", "help",
+                                            "k=\"1\"");
+  Counter& other = Registry::instance().counter("test_counter_identity",
+                                                "help", "k=\"2\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  Histogram& h = Registry::instance().histogram("test_histo_bounds", "help",
+                                                {10.0, 20.0, 30.0});
+  h.reset();
+  // Prometheus buckets are `le` (less-or-equal): a value exactly on a
+  // bound lands in that bound's bucket, one past it in the next.
+  h.observe(0.0);    // -> le=10
+  h.observe(10.0);   // -> le=10 (boundary inclusive)
+  h.observe(10.01);  // -> le=20
+  h.observe(20.0);   // -> le=20
+  h.observe(30.0);   // -> le=30
+  h.observe(30.5);   // -> +Inf
+  h.observe(1e12);   // -> +Inf
+
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.buckets.size(), 4u);  // bounds + implicit +Inf
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 2u);
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0 + 10.0 + 10.01 + 20.0 + 30.0 + 30.5 + 1e12);
+}
+
+TEST_F(MetricsTest, HistogramBoundsAreSortedAndDeduplicated) {
+  Histogram& h = Registry::instance().histogram("test_histo_sort", "help",
+                                                {30.0, 10.0, 20.0, 10.0});
+  const std::vector<double> expected = {10.0, 20.0, 30.0};
+  EXPECT_EQ(h.bounds(), expected);
+}
+
+TEST_F(MetricsTest, ShardMergeSurvivesAnEightThreadHammer) {
+  Counter& c = Registry::instance().counter("test_counter_hammer", "help");
+  Histogram& h = Registry::instance().histogram("test_histo_hammer", "help",
+                                                {1.0, 2.0, 3.0});
+  c.reset();
+  h.reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        c.add();
+        h.observe(t % 4 + 0.5);  // 0.5..3.5: one value per bucket incl +Inf
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIterations);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kIterations);
+  // Two of the eight threads produced each value 0.5, 1.5, 2.5, 3.5.
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  for (const std::uint64_t bucket : snap.buckets) {
+    EXPECT_EQ(bucket, 2u * kIterations);
+  }
+  // Doubles are exact for these halves, so the CAS-merged sum is too.
+  EXPECT_DOUBLE_EQ(snap.sum, 2.0 * kIterations * (0.5 + 1.5 + 2.5 + 3.5));
+}
+
+TEST_F(MetricsTest, ExposeTextIsPrometheusShaped) {
+  Registry& registry = Registry::instance();
+  Counter& c = registry.counter("test_expose_total", "things counted");
+  Counter& labelled = registry.counter("test_expose_labelled_total",
+                                       "labelled things", "class=\"sdc\"");
+  Histogram& h =
+      registry.histogram("test_expose_seconds", "latency", {1.0, 2.0});
+  c.reset();
+  labelled.reset();
+  h.reset();
+  c.add(3);
+  labelled.add(2);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+
+  const std::string text = registry.expose_text();
+  EXPECT_NE(text.find("# HELP test_expose_total things counted\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expose_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expose_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("test_expose_labelled_total{class=\"sdc\"} 2\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("test_expose_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expose_seconds_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expose_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expose_seconds_sum 11\n"), std::string::npos);
+  EXPECT_NE(text.find("test_expose_seconds_count 3\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sefi::obs

@@ -1,0 +1,239 @@
+#include "sefi/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sefi::obs {
+namespace {
+
+// Minimal recursive-descent JSON validator — enough to prove the trace
+// the tracer emits would survive a real parser (CI double-checks with
+// `python3 -m json.tool`), without pulling a JSON library into the
+// test binary.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string expected(word);
+    if (text_.compare(pos_, expected.size(), expected) != 0) return false;
+    pos_ += expected.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_substring(const std::string& text, const std::string& what) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(what); pos != std::string::npos;
+       pos = text.find(what, pos + what.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// The tracer is process-global; each test enables it with a scratch
+// path, and restores the disabled-and-empty state on exit so campaign
+// tests elsewhere in the binary stay untraced.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().reset();
+    path_ = (std::filesystem::temp_directory_path() / "sefi-trace-test.json")
+                .string();
+    std::filesystem::remove(path_);
+    Tracer::instance().enable(path_);
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().reset();
+    std::filesystem::remove(path_);
+  }
+
+  std::string path_;
+};
+
+TEST_F(TraceTest, SpansEmitBalancedValidJson) {
+  {
+    const Span outer("outer", "test");
+    {
+      const Span inner("inner", "test");
+    }
+    Tracer::instance().instant("marker", "test");
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 5u);
+
+  const std::string json = Tracer::instance().json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(count_substring(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_substring(json, "\"ph\":\"E\""), 2u);
+  EXPECT_EQ(count_substring(json, "\"ph\":\"i\""), 1u);
+  EXPECT_EQ(count_substring(json, "\"name\":\"inner\""), 2u);
+}
+
+TEST_F(TraceTest, EmptyBufferIsStillValidJson) {
+  const std::string json = Tracer::instance().json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+}
+
+TEST_F(TraceTest, DisabledSpansCostNoEvents) {
+  Tracer::instance().disable();
+  {
+    const Span span("ignored", "test");
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+TEST_F(TraceTest, FlushWritesTheConfiguredFile) {
+  {
+    const Span span("flushed", "test");
+  }
+  ASSERT_TRUE(Tracer::instance().flush());
+  std::ifstream in(path_);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string on_disk = buffer.str();
+  EXPECT_EQ(on_disk, Tracer::instance().json());
+  JsonChecker checker(on_disk);
+  EXPECT_TRUE(checker.valid());
+}
+
+TEST_F(TraceTest, ConcurrentSpansStayBalancedPerThread) {
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        const Span span("worker_span", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const std::string json = Tracer::instance().json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid());
+  EXPECT_EQ(count_substring(json, "\"ph\":\"B\""),
+            static_cast<std::size_t>(kThreads) * kSpans);
+  EXPECT_EQ(count_substring(json, "\"ph\":\"E\""),
+            static_cast<std::size_t>(kThreads) * kSpans);
+}
+
+}  // namespace
+}  // namespace sefi::obs

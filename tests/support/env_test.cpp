@@ -1,0 +1,123 @@
+#include "sefi/support/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sefi::support {
+namespace {
+
+// Every test mutates the real environment, so each one uses its own
+// variable name and calls env::refresh() after ::setenv/::unsetenv —
+// the helper snapshots a variable on first read for the process
+// lifetime otherwise.
+
+void set(const char* name, const char* value) {
+  ASSERT_EQ(::setenv(name, value, 1), 0);
+  env::refresh();
+}
+
+void unset(const char* name) {
+  ASSERT_EQ(::unsetenv(name), 0);
+  env::refresh();
+}
+
+TEST(EnvU64, ParsesPlainDigits) {
+  set("SEFI_TEST_U64_PLAIN", "1234567890123");
+  EXPECT_EQ(env::u64("SEFI_TEST_U64_PLAIN", 7), 1234567890123ull);
+  unset("SEFI_TEST_U64_PLAIN");
+}
+
+TEST(EnvU64, UnsetFallsBack) {
+  unset("SEFI_TEST_U64_UNSET");
+  EXPECT_EQ(env::u64("SEFI_TEST_U64_UNSET", 42), 42u);
+}
+
+TEST(EnvU64, EmptyFallsBack) {
+  set("SEFI_TEST_U64_EMPTY", "");
+  EXPECT_EQ(env::u64("SEFI_TEST_U64_EMPTY", 42), 42u);
+  unset("SEFI_TEST_U64_EMPTY");
+}
+
+TEST(EnvU64, WhitespacePaddingAccepted) {
+  set("SEFI_TEST_U64_PAD", "  64 ");
+  EXPECT_EQ(env::u64("SEFI_TEST_U64_PAD", 0), 64u);
+  unset("SEFI_TEST_U64_PAD");
+}
+
+TEST(EnvU64, MalformedFallsBack) {
+  // strtoull would have quietly accepted the first three of these
+  // (trailing junk, negative wraparound, hex); the strict parser
+  // refuses anything that is not a pure digit run.
+  for (const char* bad : {"12x", "-1", "0x10", "not_a_number", "1 2", "+3"}) {
+    set("SEFI_TEST_U64_BAD", bad);
+    EXPECT_EQ(env::u64("SEFI_TEST_U64_BAD", 99), 99u) << "value: " << bad;
+  }
+  unset("SEFI_TEST_U64_BAD");
+}
+
+TEST(EnvU64, OverflowFallsBack) {
+  set("SEFI_TEST_U64_MAX", "18446744073709551615");  // exactly 2^64-1
+  EXPECT_EQ(env::u64("SEFI_TEST_U64_MAX", 0), 18446744073709551615ull);
+  set("SEFI_TEST_U64_MAX", "18446744073709551616");  // 2^64: overflow
+  EXPECT_EQ(env::u64("SEFI_TEST_U64_MAX", 5), 5u);
+  set("SEFI_TEST_U64_MAX", "99999999999999999999999999");
+  EXPECT_EQ(env::u64("SEFI_TEST_U64_MAX", 5), 5u);
+  unset("SEFI_TEST_U64_MAX");
+}
+
+TEST(EnvFlag, RecognizedSpellings) {
+  for (const char* yes : {"1", "true", "on", "yes", "TRUE", "On", "YES"}) {
+    set("SEFI_TEST_FLAG", yes);
+    EXPECT_TRUE(env::flag("SEFI_TEST_FLAG", false)) << "value: " << yes;
+  }
+  for (const char* no : {"0", "false", "off", "no", "FALSE", "Off", "NO"}) {
+    set("SEFI_TEST_FLAG", no);
+    EXPECT_FALSE(env::flag("SEFI_TEST_FLAG", true)) << "value: " << no;
+  }
+  unset("SEFI_TEST_FLAG");
+}
+
+TEST(EnvFlag, UnsetAndGarbageFallBack) {
+  unset("SEFI_TEST_FLAG_G");
+  EXPECT_TRUE(env::flag("SEFI_TEST_FLAG_G", true));
+  EXPECT_FALSE(env::flag("SEFI_TEST_FLAG_G", false));
+  for (const char* bad : {"", "2", "maybe", "yess", "onn"}) {
+    set("SEFI_TEST_FLAG_G", bad);
+    EXPECT_TRUE(env::flag("SEFI_TEST_FLAG_G", true)) << "value: " << bad;
+    EXPECT_FALSE(env::flag("SEFI_TEST_FLAG_G", false)) << "value: " << bad;
+  }
+  unset("SEFI_TEST_FLAG_G");
+}
+
+TEST(EnvStr, EmptyButSetIsNotUnset) {
+  set("SEFI_TEST_STR", "hello");
+  EXPECT_EQ(env::str("SEFI_TEST_STR", "fb"), "hello");
+  set("SEFI_TEST_STR", "");
+  EXPECT_EQ(env::str("SEFI_TEST_STR", "fb"), "");
+  unset("SEFI_TEST_STR");
+  EXPECT_EQ(env::str("SEFI_TEST_STR", "fb"), "fb");
+}
+
+TEST(EnvRaw, NulloptWhenUnset) {
+  unset("SEFI_TEST_RAW");
+  EXPECT_FALSE(env::raw("SEFI_TEST_RAW").has_value());
+  set("SEFI_TEST_RAW", "v");
+  ASSERT_TRUE(env::raw("SEFI_TEST_RAW").has_value());
+  EXPECT_EQ(*env::raw("SEFI_TEST_RAW"), "v");
+  unset("SEFI_TEST_RAW");
+}
+
+TEST(EnvCache, FirstReadWinsUntilRefresh) {
+  set("SEFI_TEST_CACHE", "1");
+  EXPECT_EQ(env::u64("SEFI_TEST_CACHE", 0), 1u);
+  // Mutate without refresh(): the snapshot must still answer.
+  ASSERT_EQ(::setenv("SEFI_TEST_CACHE", "2", 1), 0);
+  EXPECT_EQ(env::u64("SEFI_TEST_CACHE", 0), 1u);
+  env::refresh();
+  EXPECT_EQ(env::u64("SEFI_TEST_CACHE", 0), 2u);
+  unset("SEFI_TEST_CACHE");
+}
+
+}  // namespace
+}  // namespace sefi::support

@@ -2,8 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-
 namespace sefi::support {
 namespace {
 
@@ -38,16 +36,6 @@ TEST(Split, NoSeparator) {
   const auto parts = split("abc", ',');
   ASSERT_EQ(parts.size(), 1u);
   EXPECT_EQ(parts[0], "abc");
-}
-
-TEST(EnvU64, FallbackWhenUnsetOrMalformed) {
-  ::unsetenv("SEFI_TEST_ENV_U64");
-  EXPECT_EQ(env_u64("SEFI_TEST_ENV_U64", 7), 7u);
-  ::setenv("SEFI_TEST_ENV_U64", "not_a_number", 1);
-  EXPECT_EQ(env_u64("SEFI_TEST_ENV_U64", 7), 7u);
-  ::setenv("SEFI_TEST_ENV_U64", "123", 1);
-  EXPECT_EQ(env_u64("SEFI_TEST_ENV_U64", 7), 123u);
-  ::unsetenv("SEFI_TEST_ENV_U64");
 }
 
 }  // namespace
