@@ -29,6 +29,19 @@
 // against it. All cells produce bit-identical ClassCounts (asserted
 // here — a throughput number from a wrong result is worthless).
 //
+// Ratio fields (`speedup_vs_serial`, `full_vs_delta_speedup`,
+// `obs_overhead`, `fastpath_speedup`) appear on a line only when the
+// twin they divide by actually ran; a cell with no twin omits the field
+// rather than printing a meaningless 0.000.
+//
+// After the matrix, the heaviest cell runs once per interpreter
+// fast-path tier (SEFI_FASTPATH=off/decode/block — DESIGN.md §12).
+// Those lines carry `"fastpath":"<tier>"` plus the uop-cache counters,
+// and the decode/block cells report `fastpath_speedup` against their
+// own off twin; every tier must reproduce the baseline ClassCounts
+// bit-for-bit. Matrix cells record the environment's tier (block by
+// default) in their own `fastpath` field.
+//
 // After the matrix, the heaviest cell runs two more times as an
 // observability-overhead twin pair: once with every obs channel forced
 // off (metrics disabled, tracing disabled) and once with everything on
@@ -53,6 +66,7 @@
 #include "sefi/obs/forensics.hpp"
 #include "sefi/obs/metrics.hpp"
 #include "sefi/obs/trace.hpp"
+#include "sefi/sim/uop.hpp"
 #include "sefi/support/env.hpp"
 #include "sefi/workloads/workload.hpp"
 
@@ -71,9 +85,19 @@ bool same_counts(const sefi::fi::WorkloadFiResult& a,
   return true;
 }
 
+/// Derived-ratio inputs for one emitted cell. A zero twin wall means "no
+/// twin ran" and the corresponding ratio field is omitted from the JSON
+/// line entirely — a ratio against a twin that didn't run is not 0.000,
+/// it is undefined.
+struct EmitTwins {
+  double serial_wall = 0;     ///< speedup_vs_serial denominator source
+  double full_twin_wall = 0;  ///< full-restore twin of a delta cell
+  double obs_off_wall = 0;    ///< obs=off twin of the obs=on cell
+  double fastpath_off_wall = 0;  ///< fastpath=off twin of a fastpath cell
+};
+
 void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
-          double serial_wall, double full_twin_wall, const char* obs,
-          double obs_overhead) {
+          const char* obs, const char* fastpath, const EmitTwins& twins) {
   const sefi::fi::CampaignStats& s = result.stats;
   std::printf(
       "{\"bench\":\"campaign_throughput\",\"workload\":\"%s\","
@@ -86,8 +110,9 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       "\"full_restores\":%llu,\"delta_restores\":%llu,"
       "\"restore_bytes_copied\":%llu,\"pages_dirtied_avg\":%.3f,"
       "\"task_retries\":%llu,\"harness_errors\":%llu,"
-      "\"watchdog_hits\":%llu,\"obs\":\"%s\",\"obs_overhead\":%.3f,"
-      "\"speedup_vs_serial\":%.3f,\"full_vs_delta_speedup\":%.3f}\n",
+      "\"watchdog_hits\":%llu,\"obs\":\"%s\",\"fastpath\":\"%s\","
+      "\"uop_hits\":%llu,\"uop_decode_hits\":%llu,\"uop_misses\":%llu,"
+      "\"uop_invalidations\":%llu,\"guest_mips\":%.1f",
       result.workload.c_str(), static_cast<unsigned long long>(s.threads),
       static_cast<unsigned long long>(s.checkpoints), delta_restore ? 1 : 0,
       static_cast<unsigned long long>(s.injections / 6),
@@ -103,10 +128,36 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       s.pages_dirtied_avg,
       static_cast<unsigned long long>(s.task_retries),
       static_cast<unsigned long long>(s.harness_errors),
-      static_cast<unsigned long long>(s.watchdog_hits), obs, obs_overhead,
-      s.wall_seconds > 0 ? serial_wall / s.wall_seconds : 0.0,
-      s.wall_seconds > 0 ? full_twin_wall / s.wall_seconds : 0.0);
+      static_cast<unsigned long long>(s.watchdog_hits), obs, fastpath,
+      static_cast<unsigned long long>(s.uop_hits),
+      static_cast<unsigned long long>(s.uop_decode_hits),
+      static_cast<unsigned long long>(s.uop_misses),
+      static_cast<unsigned long long>(s.uop_invalidations), s.guest_mips);
+  const double wall = s.wall_seconds;
+  if (twins.serial_wall > 0 && wall > 0) {
+    std::printf(",\"speedup_vs_serial\":%.3f", twins.serial_wall / wall);
+  }
+  if (twins.full_twin_wall > 0 && wall > 0) {
+    std::printf(",\"full_vs_delta_speedup\":%.3f",
+                twins.full_twin_wall / wall);
+  }
+  if (twins.obs_off_wall > 0 && wall > 0) {
+    std::printf(",\"obs_overhead\":%.3f", wall / twins.obs_off_wall);
+  }
+  if (twins.fastpath_off_wall > 0 && wall > 0) {
+    std::printf(",\"fastpath_speedup\":%.3f",
+                twins.fastpath_off_wall / wall);
+  }
+  std::printf("}\n");
   std::fflush(stdout);
+}
+
+/// Switches the interpreter fast-path tier for campaigns started after
+/// this call: Cpu reads SEFI_FASTPATH at construction, and every machine
+/// in run_fi_campaign is constructed inside the call.
+void set_fastpath_env(const char* tier) {
+  ::setenv("SEFI_FASTPATH", tier, 1);
+  sefi::support::env::refresh();
 }
 
 }  // namespace
@@ -130,6 +181,11 @@ int main(int argc, char** argv) {
     cells.emplace_back(hw, 1);
     cells.emplace_back(hw, 8);
   }
+
+  // The whole matrix runs under the environment's fast-path tier (block
+  // unless SEFI_FASTPATH overrides it); each line records which.
+  const char* matrix_tier =
+      sefi::sim::fastpath_name(sefi::sim::fastpath_from_env());
 
   const auto& workload = sefi::workloads::workload_by_name(name);
   double serial_wall = 0;
@@ -157,10 +213,43 @@ int main(int argc, char** argv) {
         return 1;
       }
       if (!delta) full_twin_wall = result.stats.wall_seconds;
-      emit(result, delta, serial_wall, delta ? full_twin_wall : 0.0, "default",
-           0.0);
+      EmitTwins twins;
+      twins.serial_wall = serial_wall;
+      twins.full_twin_wall = delta ? full_twin_wall : 0.0;
+      emit(result, delta, "default", matrix_tier, twins);
     }
   }
+
+  // Fast-path twins: the heaviest cell, once per tier. The off run is the
+  // pre-uop-cache interpreter; decode and block report their wall-clock
+  // speedup against it. Tiers are toggled through the real env knob so
+  // the bench exercises the same wiring campaigns use, and every tier
+  // must reproduce the baseline ClassCounts bit-for-bit — a fast path
+  // that changes verdicts is a broken fast path, not a fast one.
+  config.threads = cells.back().first;
+  config.checkpoints = cells.back().second;
+  config.rig.delta_restore = true;
+  double fastpath_off_wall = 0;
+  for (const char* tier : {"off", "decode", "block"}) {
+    set_fastpath_env(tier);
+    const sefi::fi::WorkloadFiResult result =
+        sefi::fi::run_fi_campaign(workload, config);
+    if (!same_counts(baseline, result)) {
+      std::fprintf(stderr,
+                   "FATAL: fastpath=%s diverged from the baseline\n", tier);
+      return 1;
+    }
+    if (std::string(tier) == "off") {
+      fastpath_off_wall = result.stats.wall_seconds;
+    }
+    EmitTwins twins;
+    twins.serial_wall = serial_wall;
+    twins.fastpath_off_wall =
+        std::string(tier) == "off" ? 0.0 : fastpath_off_wall;
+    emit(result, true, "default", tier, twins);
+  }
+  ::unsetenv("SEFI_FASTPATH");
+  sefi::support::env::refresh();
 
   // Observability-overhead twins: the heaviest cell of the matrix, run
   // once with every obs channel forced off and once with all of them on
@@ -183,7 +272,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FATAL: obs=off twin diverged from the baseline\n");
     return 1;
   }
-  emit(off, true, serial_wall, 0.0, "off", 0.0);
+  {
+    EmitTwins twins;
+    twins.serial_wall = serial_wall;
+    emit(off, true, "off", matrix_tier, twins);
+  }
 
   registry.set_enabled(true);
   tracer.reset();
@@ -199,9 +292,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FATAL: obs=on twin diverged from the baseline\n");
       return 1;
     }
-    const double off_wall = off.stats.wall_seconds;
-    emit(on, true, serial_wall, 0.0, "on",
-         off_wall > 0 ? on.stats.wall_seconds / off_wall : 0.0);
+    EmitTwins twins;
+    twins.serial_wall = serial_wall;
+    twins.obs_off_wall = off.stats.wall_seconds;
+    emit(on, true, "on", matrix_tier, twins);
   }
   tracer.disable();
   tracer.reset();

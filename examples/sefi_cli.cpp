@@ -263,6 +263,16 @@ void print_fi_result(const fi::WorkloadFiResult& result) {
       static_cast<unsigned long long>(stats.replay_cycles_saved),
       static_cast<unsigned long long>(stats.replay_cycles_saved_ladder),
       static_cast<unsigned long long>(stats.replay_cycles_saved_boot));
+  // "executor:" prefix on purpose: run-dependent, CI filters it (above).
+  std::printf(
+      "executor: fastpath %s | uops %llu fast + %llu decode hits, "
+      "%llu misses, %llu invalidations | %.1f guest MIPS\n",
+      sim::fastpath_name(sim::fastpath_from_env()),
+      static_cast<unsigned long long>(stats.uop_hits),
+      static_cast<unsigned long long>(stats.uop_decode_hits),
+      static_cast<unsigned long long>(stats.uop_misses),
+      static_cast<unsigned long long>(stats.uop_invalidations),
+      stats.guest_mips);
   std::printf(
       "restore: %llu delta + %llu full | %.2f MB copied "
       "(%.3f pages/delta-restore) | ladder resident %.2f MB\n",

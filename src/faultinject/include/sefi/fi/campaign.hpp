@@ -245,6 +245,15 @@ class InjectionRig {
     const sim::Machine::RestoreStats& restore_stats() const {
       return machine_.restore_stats();
     }
+    /// Uop-cache accounting of this context's CPU (DESIGN.md §12).
+    const sim::UopStats& uop_stats() const {
+      return machine_.cpu().uop_stats();
+    }
+    /// Instructions retired by this context's CPU across all restores
+    /// (the guest-MIPS numerator).
+    std::uint64_t guest_instructions() const {
+      return machine_.cpu().lifetime_instructions();
+    }
 
    private:
     const InjectionRig* rig_;
@@ -331,6 +340,15 @@ struct CampaignStats {
   std::uint64_t restore_bytes_copied = 0;  ///< state bytes copied, total
   double pages_dirtied_avg = 0;  ///< RAM pages copied per delta restore
   std::uint64_t ladder_resident_bytes = 0;  ///< checkpoint ladder footprint
+  // Interpreter fast-path counters (DESIGN.md §12), summed over workers.
+  // All zero with SEFI_FASTPATH=off; the merged ClassCounts are identical
+  // for every tier (tested), so these are diagnostics, not identity.
+  std::uint64_t uop_hits = 0;           ///< fetch+decode both skipped
+  std::uint64_t uop_decode_hits = 0;    ///< only the re-decode skipped
+  std::uint64_t uop_misses = 0;         ///< full fetch+decode+fill steps
+  std::uint64_t uop_invalidations = 0;  ///< stale uops found and replaced
+  std::uint64_t guest_instructions = 0; ///< retired, incl. replay windows
+  double guest_mips = 0;  ///< guest_instructions / wall_seconds / 1e6
   // Supervisor telemetry (DESIGN.md §10). All zero on a clean run with
   // no journal, so figure outputs are unchanged when nothing goes wrong.
   std::uint64_t tasks_run = 0;         ///< injections executed this process

@@ -447,6 +447,22 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
       "sefi_fi_latency_to_verdict_cycles",
       "Guest cycles from bit flip to the classification verdict",
       {1e4, 1e5, 1e6, 3e6, 1e7, 3e7, 1e8});
+  // Interpreter fast-path telemetry (DESIGN.md §12). Booked once per
+  // campaign from the merged tallies, not per step — the hot loop stays
+  // free of metric loads.
+  static obs::Counter& uop_hits_metric = obs::Registry::instance().counter(
+      "sefi_uop_cache_hits_total",
+      "Uop-cache fast hits (fetch and decode both skipped)");
+  static obs::Counter& uop_misses_metric = obs::Registry::instance().counter(
+      "sefi_uop_cache_misses_total",
+      "Uop-cache misses (full fetch+decode+fill steps)");
+  static obs::Counter& uop_invalidations_metric =
+      obs::Registry::instance().counter(
+          "sefi_uop_cache_invalidations_total",
+          "Stale uop-cache entries found and replaced");
+  static obs::Gauge& guest_mips_metric = obs::Registry::instance().gauge(
+      "sefi_guest_mips",
+      "Guest instructions retired per wall-clock microsecond, last campaign");
 
   // Forensics sink: an explicitly configured one wins; otherwise the
   // SEFI_TRACE-gated process-global sink (null when tracing is off).
@@ -536,6 +552,8 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
     std::uint64_t delta_restores = 0;
     std::uint64_t bytes_copied = 0;
     std::uint64_t delta_pages = 0;
+    sim::UopStats uops;
+    std::uint64_t guest_instructions = 0;
   };
   std::vector<WorkerTally> tallies(threads);
   auto bank_context = [&](std::size_t worker) {
@@ -550,6 +568,12 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
     tally.delta_restores += restores.delta_restores;
     tally.bytes_copied += restores.bytes_copied;
     tally.delta_pages += restores.delta_pages_copied;
+    const sim::UopStats& uops = context->uop_stats();
+    tally.uops.hits += uops.hits;
+    tally.uops.decode_hits += uops.decode_hits;
+    tally.uops.misses += uops.misses;
+    tally.uops.invalidations += uops.invalidations;
+    tally.guest_instructions += context->guest_instructions();
     context.reset();
   };
 
@@ -704,7 +728,24 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
     result.stats.delta_restores += tally.delta_restores;
     result.stats.restore_bytes_copied += tally.bytes_copied;
     delta_pages += tally.delta_pages;
+    result.stats.uop_hits += tally.uops.hits;
+    result.stats.uop_decode_hits += tally.uops.decode_hits;
+    result.stats.uop_misses += tally.uops.misses;
+    result.stats.uop_invalidations += tally.uops.invalidations;
+    result.stats.guest_instructions += tally.guest_instructions;
   }
+  // The golden run executed by the rig at construction also retired guest
+  // instructions, but its machine is not a worker context; the gauge
+  // covers the campaign's injection phase, which dominates.
+  if (wall > 0) {
+    result.stats.guest_mips =
+        static_cast<double>(result.stats.guest_instructions) / wall / 1e6;
+  }
+  uop_hits_metric.add(result.stats.uop_hits);
+  uop_misses_metric.add(result.stats.uop_misses +
+                        result.stats.uop_invalidations);
+  uop_invalidations_metric.add(result.stats.uop_invalidations);
+  guest_mips_metric.set(result.stats.guest_mips);
   result.stats.replay_cycles_saved = result.stats.replay_cycles_saved_ladder +
                                      result.stats.replay_cycles_saved_boot;
   if (result.stats.delta_restores > 0) {

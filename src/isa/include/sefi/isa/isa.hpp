@@ -127,8 +127,33 @@ std::uint32_t encode(const Instruction& inst);
 /// CPU reports as an undefined-instruction exception.
 std::optional<Instruction> decode(std::uint32_t word) noexcept;
 
-/// Evaluates condition `cond` against CPSR flags.
-bool cond_holds(Cond cond, std::uint32_t cpsr_value) noexcept;
+/// Evaluates condition `cond` against CPSR flags. Header-inline so the
+/// interpreter's branch handler (the hottest control-flow path) can fold
+/// the flag tests into the caller.
+constexpr bool cond_holds(Cond cond, std::uint32_t cpsr_value) noexcept {
+  const bool n = (cpsr_value & cpsr::kFlagN) != 0;
+  const bool z = (cpsr_value & cpsr::kFlagZ) != 0;
+  const bool c = (cpsr_value & cpsr::kFlagC) != 0;
+  const bool o = (cpsr_value & cpsr::kFlagV) != 0;
+  switch (cond) {
+    case Cond::eq: return z;
+    case Cond::ne: return !z;
+    case Cond::cs: return c;
+    case Cond::cc: return !c;
+    case Cond::mi: return n;
+    case Cond::pl: return !n;
+    case Cond::vs: return o;
+    case Cond::vc: return !o;
+    case Cond::hi: return c && !z;
+    case Cond::ls: return !c || z;
+    case Cond::ge: return n == o;
+    case Cond::lt: return n != o;
+    case Cond::gt: return !z && n == o;
+    case Cond::le: return z || n != o;
+    case Cond::al: return true;
+  }
+  return false;
+}
 
 /// Human-readable mnemonic of an opcode ("add", "ldr", ...).
 std::string opcode_name(Opcode op);

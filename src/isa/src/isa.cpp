@@ -203,31 +203,6 @@ std::optional<Instruction> decode(std::uint32_t word) noexcept {
   return inst;
 }
 
-bool cond_holds(Cond cond, std::uint32_t v) noexcept {
-  const bool n = (v & cpsr::kFlagN) != 0;
-  const bool z = (v & cpsr::kFlagZ) != 0;
-  const bool c = (v & cpsr::kFlagC) != 0;
-  const bool o = (v & cpsr::kFlagV) != 0;
-  switch (cond) {
-    case Cond::eq: return z;
-    case Cond::ne: return !z;
-    case Cond::cs: return c;
-    case Cond::cc: return !c;
-    case Cond::mi: return n;
-    case Cond::pl: return !n;
-    case Cond::vs: return o;
-    case Cond::vc: return !o;
-    case Cond::hi: return c && !z;
-    case Cond::ls: return !c || z;
-    case Cond::ge: return n == o;
-    case Cond::lt: return n != o;
-    case Cond::gt: return !z && n == o;
-    case Cond::le: return z || n != o;
-    case Cond::al: return true;
-  }
-  return false;
-}
-
 std::string opcode_name(Opcode op) {
   static constexpr std::array<const char*,
                               static_cast<std::size_t>(Opcode::kOpcodeCount)>

@@ -44,8 +44,44 @@ class CacheArray final : public InjectableComponent {
  public:
   CacheArray(std::string name, const CacheGeometry& geometry);
 
+  CacheArray(const CacheArray&) = default;
+  CacheArray(CacheArray&&) = default;
+  CacheArray& operator=(CacheArray&&) = default;
+  /// Copy-assignment (snapshot restore) keeps the generation stamp
+  /// monotonic: the restored array gets max(live, saved) + 1, never the
+  /// saved value — a stamp observed before the restore must never be
+  /// observable again (see state_stamp()).
+  CacheArray& operator=(const CacheArray& other);
+
   const CacheGeometry& geometry() const { return geometry_; }
   const std::string& name() const { return name_; }
+
+  /// Monotonic whole-array generation stamp, bumped by every mutation
+  /// whose reach is not confined to one set: invalidate_range, reset,
+  /// restore_from, copy-assignment, and flip_bit. Ordinary line fills go
+  /// through the per-set stamp below instead (an install can only change
+  /// what lookup()/line_data() return for its own set), so a warm uop
+  /// cache is not globally invalidated by every capacity miss. Direct
+  /// writes through a mutable line_data() span are NOT tracked (the
+  /// detailed model only writes D-side lines that way; I-side line bytes
+  /// change only through the tracked paths). The CPU's uop cache compares
+  /// both stamps to prove a fetch that hit here before would replay
+  /// bit-identically. Never 0.
+  std::uint64_t state_stamp() const { return state_stamp_; }
+
+  /// Per-set fill stamp, bumped by install() for the victim's set. Valid
+  /// only while state_stamp() is unchanged (whole-array events don't
+  /// touch the per-set counters; the global bump already invalidates
+  /// every proof).
+  std::uint64_t set_stamp(std::uint32_t set) const {
+    return set_stamps_[set];
+  }
+
+  /// Set index a physical address maps to (for recording which set_stamp
+  /// guards a cached fetch proof).
+  std::uint32_t set_index(std::uint32_t paddr) const {
+    return set_of(paddr);
+  }
 
   /// Looks up `paddr`; returns the way index or -1 on miss. Comparison
   /// uses the stored (possibly corrupted) tag and valid bits.
@@ -147,6 +183,8 @@ class CacheArray final : public InjectableComponent {
   unsigned offset_bits_;
   unsigned index_bits_;
   unsigned tag_bits_;
+  std::uint64_t state_stamp_ = 1;  ///< see state_stamp()
+  std::vector<std::uint64_t> set_stamps_;  ///< see set_stamp()
   std::uint32_t watch_set_ = kNoWatch;   ///< set of the watched bit (meta)
   std::uint32_t watch_line_ = kNoWatch;  ///< line of the watched bit (data)
   std::vector<LineMeta> meta_;

@@ -95,6 +95,12 @@ class InjectableComponent {
   bool watch_activated() const { return watch_hit_; }
   std::uint64_t watch_activation_cycle() const { return watch_hit_cycle_; }
 
+  /// True while an activation watch is armed. Read paths that are pure on
+  /// the disarmed fast path (e.g. the uop cache's proven-pure fetch skip)
+  /// must fall back to the real read path while a watch is armed, so the
+  /// watch can latch its first-activation cycle.
+  bool watch_armed() const { return watch_cycles_ != nullptr; }
+
  protected:
   /// Derived classes translate `bit` into fast-compare keys consulted
   /// on their read paths. The default keeps the watch inert (components

@@ -60,6 +60,27 @@ class DetailedModel final : public sim::UarchModel {
   sim::MemFault write(std::uint32_t va, unsigned size, std::uint32_t value,
                       bool kernel_mode, bool mmu_enabled) override;
   void on_branch(std::uint32_t pc, bool taken, std::uint32_t target) override;
+  /// Fetch purity contract for the CPU's uop fast path: a fetch that hits
+  /// both the I-TLB and the L1I mutates no model state (lookups are pure —
+  /// replacement is round-robin and only advanced on fills, counters and
+  /// stall cycles accrue only on misses), so the global stamp is the sum
+  /// of the two arrays' whole-array generation stamps. Both are monotonic
+  /// and bump on every mutation not confined to one L1I set or one I-TLB
+  /// entry (TLB flushes, invalidations, resets, restores, bit flips), so
+  /// the sum never repeats; L1I line fills and I-TLB inserts bump the
+  /// per-set/per-entry stamps instead, surfaced via ifetch_set_stamp()
+  /// and ifetch_tlb_stamp(). Returns 0 while a forensics watch is armed
+  /// but not yet activated on either array: watch latching is the one
+  /// pure-hit side effect, and real fetches must run until it fires
+  /// (afterwards the one-shot watch is inert and the fast path resumes).
+  std::uint64_t ifetch_stamp() const override;
+  std::uint64_t ifetch_set_stamp(std::uint32_t l1i_set) const override;
+  std::uint64_t ifetch_tlb_stamp(std::uint32_t itlb_entry) const override;
+  bool ifetch_proof_ok(std::uint64_t stamp, std::uint32_t l1i_set,
+                       std::uint64_t set_stamp, std::uint32_t itlb_entry,
+                       std::uint64_t itlb_stamp) const override;
+  bool fetch_probe(std::uint32_t va, bool kernel_mode, bool mmu_enabled,
+                   FetchProof* proof) override;
   std::uint64_t drain_extra_cycles() override;
   const sim::PerfCounters& counters() const override { return counters_; }
   void reset() override;

@@ -23,8 +23,38 @@ class Tlb final : public InjectableComponent {
  public:
   Tlb(std::string name, unsigned entries);
 
+  Tlb(const Tlb&) = default;
+  Tlb(Tlb&&) = default;
+  Tlb& operator=(Tlb&&) = default;
+  /// Copy-assignment (snapshot restore) keeps the generation stamp
+  /// monotonic — same contract as CacheArray::operator=.
+  Tlb& operator=(const Tlb& other);
+
   unsigned entries() const { return static_cast<unsigned>(slots_.size()); }
   const std::string& name() const { return name_; }
+
+  /// Monotonic generation stamp, bumped by every mutation whose reach is
+  /// not confined to one entry: reset, restore_from, copy-assignment, and
+  /// flip_bit. Ordinary insert()s bump only the overwritten entry's
+  /// per-entry stamp (see entry_stamp) — an insert can change lookup
+  /// results only for pages that previously won at the victim entry,
+  /// because the inserted VPN just missed (no valid entry matched it) and
+  /// every other slot is untouched. Same uop-cache purity contract as
+  /// CacheArray::state_stamp(). Never 0.
+  std::uint64_t state_stamp() const { return state_stamp_; }
+
+  /// Fill stamp of one entry, bumped each time insert() overwrites it.
+  /// Meaningful only while state_stamp() is unchanged; the (global,
+  /// entry) stamp pair never repeats with different slot contents.
+  std::uint64_t entry_stamp(std::uint32_t entry) const {
+    return entry_stamps_[entry];
+  }
+
+  /// Index of the entry lookup(`vpn`) would hit right now (first valid
+  /// match), writing its translation to `*translation`; -1 on miss. Pure
+  /// scan: no watch latching, no replacement update — the uop fast path's
+  /// side-effect-free probe.
+  int probe_entry(std::uint32_t vpn, sim::Translation* translation) const;
 
   /// Looks up `vpn`; first matching valid entry wins (a corrupted tag can
   /// alias another page — that is the fault model, not a bug).
@@ -86,6 +116,8 @@ class Tlb final : public InjectableComponent {
   }
 
   std::string name_;
+  std::uint64_t state_stamp_ = 1;  ///< see state_stamp()
+  std::vector<std::uint64_t> entry_stamps_;  ///< see entry_stamp()
   std::vector<Slot> slots_;
   std::uint32_t next_victim_ = 0;
   std::vector<std::uint64_t> dirty_entries_;  ///< one bit per slot

@@ -38,8 +38,19 @@ CacheArray::CacheArray(std::string name, const CacheGeometry& geometry)
   data_.resize(static_cast<std::size_t>(geometry.lines()) *
                geometry.line_bytes);
   victim_ptr_.assign(geometry.sets(), 0);
+  set_stamps_.assign(geometry.sets(), 1);
   dirty_sets_.assign((geometry.sets() + 63) / 64, 0);
   mark_all_dirty();  // no restore baseline yet; everything counts as dirty
+}
+
+CacheArray& CacheArray::operator=(const CacheArray& other) {
+  if (this == &other) return *this;
+  const std::uint64_t stamp =
+      std::max(state_stamp_, other.state_stamp_) + 1;
+  CacheArray copy(other);
+  *this = std::move(copy);
+  state_stamp_ = stamp;
+  return *this;
 }
 
 std::uint32_t CacheArray::set_of(std::uint32_t paddr) const {
@@ -89,6 +100,7 @@ EvictedLine CacheArray::install(std::uint32_t paddr, int way,
   // victim is valid, its stored bytes.
   if (set == watch_set_ || idx == watch_line_) note_watch_hit();
   mark_set(set);
+  ++set_stamps_[set];  // a fill only disturbs its own set
   LineMeta& m = meta_[idx];
 
   EvictedLine evicted;
@@ -140,6 +152,7 @@ bool CacheArray::is_dirty(std::uint32_t paddr, int way) const {
 }
 
 void CacheArray::invalidate_range(std::uint32_t start, std::uint32_t size) {
+  ++state_stamp_;
   const std::uint64_t end = static_cast<std::uint64_t>(start) + size;
   for (std::uint32_t set = 0; set < geometry_.sets(); ++set) {
     for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
@@ -179,6 +192,7 @@ std::uint32_t CacheArray::valid_lines() const {
 }
 
 void CacheArray::reset() {
+  ++state_stamp_;
   std::fill(meta_.begin(), meta_.end(), LineMeta{});
   std::fill(data_.begin(), data_.end(), 0);
   std::fill(victim_ptr_.begin(), victim_ptr_.end(), 0);
@@ -207,6 +221,7 @@ std::uint64_t CacheArray::restore_from(const CacheArray& saved, bool delta) {
               geometry_.line_bytes == saved.geometry_.line_bytes &&
               geometry_.ways == saved.geometry_.ways,
           name_ + ": restore_from geometry mismatch");
+  ++state_stamp_;
   std::uint64_t bytes = 0;
   if (!delta) {
     meta_ = saved.meta_;
@@ -243,6 +258,7 @@ std::uint64_t CacheArray::bit_count() const {
 
 void CacheArray::flip_bit(std::uint64_t bit) {
   require(bit < bit_count(), name_ + ": flip_bit out of range");
+  ++state_stamp_;
   const std::uint64_t per_line =
       2 + tag_bits_ + static_cast<std::uint64_t>(geometry_.line_bytes) * 8;
   const auto line = static_cast<std::uint32_t>(bit / per_line);

@@ -1,6 +1,7 @@
 #include "sefi/microarch/detailed.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "sefi/support/error.hpp"
 
@@ -176,6 +177,95 @@ MemResult DetailedModel::fetch(std::uint32_t va, bool kernel_mode,
   std::uint32_t word;
   std::memcpy(&word, line.data() + offset, 4);
   return {MemFault::kNone, word};
+}
+
+namespace {
+
+/// True while a forensics watch on `c` could still latch: armed and not
+/// yet activated. Watches are one-shot (note_watch_hit is a no-op after
+/// the first hit), so once activated a pure-hit read has no side effect
+/// left to lose and the fetch fast path may resume mid-run.
+template <typename Component>
+bool watch_pending(const Component& c) {
+  return c.watch_armed() && !c.watch_activated();
+}
+
+}  // namespace
+
+std::uint64_t DetailedModel::ifetch_stamp() const {
+  if (watch_pending(l1i_) || watch_pending(itlb_)) return 0;
+  // Sum of two monotonic counters: non-decreasing, and strictly larger
+  // after any I-side mutation not confined to one L1I set or one I-TLB
+  // entry — an equal stamp proves that translation rules and whole-array
+  // state are unchanged (fills and inserts are covered by the per-set
+  // and per-entry stamps).
+  return l1i_.state_stamp() + itlb_.state_stamp();
+}
+
+std::uint64_t DetailedModel::ifetch_set_stamp(std::uint32_t l1i_set) const {
+  return l1i_.set_stamp(l1i_set);
+}
+
+std::uint64_t DetailedModel::ifetch_tlb_stamp(std::uint32_t itlb_entry) const {
+  if (itlb_entry == FetchProof::kNoTlbEntry) return 0;  // MMU-off proofs
+  return itlb_.entry_stamp(itlb_entry);
+}
+
+bool DetailedModel::ifetch_proof_ok(std::uint64_t stamp,
+                                    std::uint32_t l1i_set,
+                                    std::uint64_t set_stamp,
+                                    std::uint32_t itlb_entry,
+                                    std::uint64_t itlb_stamp) const {
+  // Single-dispatch twin of the three accessors above, in hit-guard
+  // evaluation order: global stamp (subsumes the watch gate — a pending
+  // watch makes ifetch_stamp() read 0, which a nonzero stored stamp can
+  // never equal), then per-set, then per-entry.
+  if (stamp == 0 || stamp != ifetch_stamp()) return false;
+  if (set_stamp != l1i_.set_stamp(l1i_set)) return false;
+  if (itlb_entry == FetchProof::kNoTlbEntry) return itlb_stamp == 0;
+  return itlb_stamp == itlb_.entry_stamp(itlb_entry);
+}
+
+bool DetailedModel::fetch_probe(std::uint32_t va, bool kernel_mode,
+                                bool mmu_enabled, FetchProof* proof) {
+  if (va % 4 != 0) return false;
+  // While a watch is armed and unlatched, even a pure hit has a side
+  // effect (latching the first-activation cycle); refuse so real fetches
+  // keep running until the watch fires.
+  if (watch_pending(l1i_) || watch_pending(itlb_)) return false;
+  // Mirror translate()'s fault checks: any path that would fault or walk
+  // is "not a pure hit" and falls back to fetch().
+  if (sim::DeviceBlock::contains(va)) return false;
+  if (!sim::PhysicalMemory::in_ram(va, 1)) return false;
+  std::uint32_t pa = va;
+  proof->itlb_entry = FetchProof::kNoTlbEntry;
+  proof->itlb_stamp = 0;
+  if (mmu_enabled) {
+    sim::Translation hit;
+    const int entry = itlb_.probe_entry(va >> sim::kPageShift, &hit);
+    if (entry < 0) return false;
+    if (!sim::access_allowed(hit.perms, AccessKind::kFetch, kernel_mode)) {
+      return false;
+    }
+    pa = (hit.ppn << sim::kPageShift) | (va & (sim::kPageSize - 1));
+    if (!sim::PhysicalMemory::in_ram(pa, 1)) return false;
+    proof->itlb_entry = static_cast<std::uint32_t>(entry);
+    proof->itlb_stamp = itlb_.entry_stamp(proof->itlb_entry);
+  } else if (!kernel_mode) {
+    return false;
+  }
+  const int way = std::as_const(l1i_).lookup(pa);
+  if (way < 0) return false;
+  // Const overload: no dirty-set marking. A skipped pure hit changes no
+  // array contents, so leaving its set unmarked keeps delta restores
+  // bit-identical (marks only widen what gets copied back).
+  const auto line = std::as_const(l1i_).line_data(pa, way);
+  std::uint32_t w = 0;
+  std::memcpy(&w, line.data() + (pa & (config_.l1i.line_bytes - 1)), 4);
+  proof->word = w;
+  proof->l1i_set = l1i_.set_index(pa);
+  proof->l1i_set_stamp = l1i_.set_stamp(proof->l1i_set);
+  return true;
 }
 
 MemResult DetailedModel::read(std::uint32_t va, unsigned size,

@@ -9,8 +9,19 @@ namespace sefi::microarch {
 Tlb::Tlb(std::string name, unsigned entries) : name_(std::move(name)) {
   support::require(entries >= 1, name_ + ": needs at least one entry");
   slots_.resize(entries);
+  entry_stamps_.assign(entries, 1);
   dirty_entries_.assign((entries + 63) / 64, 0);
   mark_all_dirty();  // no restore baseline yet
+}
+
+Tlb& Tlb::operator=(const Tlb& other) {
+  if (this == &other) return *this;
+  const std::uint64_t stamp =
+      std::max(state_stamp_, other.state_stamp_) + 1;
+  Tlb copy(other);
+  *this = std::move(copy);
+  state_stamp_ = stamp;
+  return *this;
 }
 
 std::optional<sim::Translation> Tlb::lookup(std::uint32_t vpn) const {
@@ -31,7 +42,20 @@ std::optional<sim::Translation> Tlb::lookup(std::uint32_t vpn) const {
   return std::nullopt;
 }
 
+int Tlb::probe_entry(std::uint32_t vpn, sim::Translation* translation) const {
+  for (std::size_t entry = 0; entry < slots_.size(); ++entry) {
+    const Slot& slot = slots_[entry];
+    if (slot.valid && slot.vpn == vpn) {
+      translation->ppn = slot.ppn;
+      translation->perms = static_cast<std::uint8_t>(slot.perms << 1);
+      return static_cast<int>(entry);
+    }
+  }
+  return -1;
+}
+
 void Tlb::insert(std::uint32_t vpn, const sim::Translation& translation) {
+  ++entry_stamps_[next_victim_];  // an insert only disturbs its victim
   Slot& slot = slots_[next_victim_];
   mark_entry(next_victim_);
   next_victim_ = (next_victim_ + 1) % slots_.size();
@@ -50,6 +74,7 @@ unsigned Tlb::valid_entries() const {
 }
 
 void Tlb::reset() {
+  ++state_stamp_;
   for (Slot& slot : slots_) slot = Slot{};
   next_victim_ = 0;
   mark_all_dirty();
@@ -70,6 +95,7 @@ unsigned Tlb::dirty_entry_count() const {
 std::uint64_t Tlb::restore_from(const Tlb& saved, bool delta) {
   support::require(slots_.size() == saved.slots_.size(),
                    name_ + ": restore_from entry-count mismatch");
+  ++state_stamp_;
   std::uint64_t bytes = sizeof(std::uint32_t);  // replacement cursor
   next_victim_ = saved.next_victim_;
   if (!delta) {
@@ -94,6 +120,7 @@ std::uint64_t Tlb::bit_count() const {
 
 void Tlb::flip_bit(std::uint64_t bit) {
   support::require(bit < bit_count(), name_ + ": flip_bit out of range");
+  ++state_stamp_;
   mark_entry(bit / kBitsPerEntry);
   Slot& slot = slots_[bit / kBitsPerEntry];
   std::uint64_t offset = bit % kBitsPerEntry;

@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "sefi/isa/isa.hpp"
 #include "sefi/sim/devices.hpp"
 #include "sefi/sim/uarch_iface.hpp"
+#include "sefi/sim/uop.hpp"
 
 namespace sefi::sim {
 
@@ -68,6 +70,21 @@ class Cpu {
   std::uint64_t cycles() const { return cycles_; }
   std::uint64_t instructions() const { return instret_; }
 
+  /// Instructions retired over the CPU's whole lifetime, across snapshot
+  /// restores (restore_state rewinds instret_ to the checkpoint's value;
+  /// this counter keeps counting). Campaigns divide it by wall time for
+  /// the guest-MIPS gauge.
+  std::uint64_t lifetime_instructions() const { return lifetime_instret_; }
+
+  /// Active fast-path tier. The constructor reads SEFI_FASTPATH; tests
+  /// and benches switch tiers in-process with set_fastpath() (the uop
+  /// cache is dropped and rebuilt, stats are kept).
+  FastPath fastpath() const { return fastpath_; }
+  void set_fastpath(FastPath mode);
+
+  /// Uop-cache hit/miss accounting since construction.
+  const UopStats& uop_stats() const { return uop_stats_; }
+
   /// Stable pointer to the cycle counter, valid for the CPU's lifetime.
   /// Observability watchpoints (microarch activation watches) read it to
   /// timestamp events without holding a reference to the whole CPU;
@@ -107,12 +124,16 @@ class Cpu {
   void restore_state(const State& state);
 
  private:
+  friend struct ExecOps;  ///< per-opcode handlers (cpu.cpp)
+
   void enter_exception(Vector vec, std::uint32_t return_pc);
   void raise_undef();
   void raise_mem_fault(Vector vec);
   void set_flags_sub(std::uint32_t a, std::uint32_t b);
   void set_flags_fcmp(float a, float b);
   void execute(const isa::Instruction& inst);
+  std::uint64_t step_fast();
+  void restamp_and_predecode(Uop& entry);
 
   UarchModel& uarch_;
   RegFileModel& regs_;
@@ -127,10 +148,17 @@ class Cpu {
   CpuStop stop_ = CpuStop::kRunning;
   std::uint64_t cycles_ = 0;
   std::uint64_t instret_ = 0;
+  std::uint64_t lifetime_instret_ = 0;  ///< NOT rewound by restore_state
+
+  FastPath fastpath_;
+  std::unique_ptr<UopCache> uops_;  ///< null when fastpath_ == kOff
+  UopStats uop_stats_;
 };
 
 /// Base cycle cost of an instruction (detailed-model issue cost; the
 /// functional model uses it too so "atomic" cycle counts are comparable).
+/// A constexpr table lookup shared by the interpreter and the uop
+/// predecoder, so the two can never diverge.
 unsigned base_cost(isa::Opcode op);
 
 }  // namespace sefi::sim

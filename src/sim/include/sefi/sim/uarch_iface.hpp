@@ -90,6 +90,95 @@ class UarchModel {
   virtual void on_branch(std::uint32_t pc, bool taken,
                          std::uint32_t target) = 0;
 
+  // --- Pure-fetch support (the CPU's predecoded-uop fast path) ---
+  //
+  // A model may advertise that its instruction-fetch path is a pure
+  // function of a generation-stamped state: as long as the stamp is
+  // unchanged, a fetch that previously hit would return the same word
+  // again while mutating NO model state (no counters, no replacement
+  // update, no stall cycles). The CPU then skips such fetches entirely
+  // and replays the cached outcome — bit-identically, because by contract
+  // there was nothing else to replay. Models that cannot guarantee this
+  // keep the defaults and the CPU falls back to real fetches.
+
+  /// Whole-array generation stamp covering every fetch-path mutation
+  /// whose reach is not confined to one L1I set or one I-TLB entry:
+  /// TLB flushes, fault-injected bit flips, invalidations, resets, and
+  /// snapshot restores. Must change whenever any of that state changes
+  /// and must never repeat an earlier value. Ordinary L1I line fills and
+  /// I-TLB inserts are deliberately NOT covered — they are tracked by
+  /// the per-set and per-entry stamps below, so one capacity miss
+  /// doesn't void every cached proof. Returning 0 means "no purity
+  /// guarantee right now" (unsupported model, or a forensics watch is
+  /// armed on fetch-path state and real fetches must run so it can
+  /// latch). The default disables the fast path.
+  virtual std::uint64_t ifetch_stamp() const { return 0; }
+
+  /// Fill stamp of one L1I set (as reported by fetch_probe). Bumped by
+  /// every line fill into that set; meaningful only while ifetch_stamp()
+  /// is unchanged.
+  virtual std::uint64_t ifetch_set_stamp(std::uint32_t l1i_set) const {
+    (void)l1i_set;
+    return 0;
+  }
+
+  /// Fill stamp of one I-TLB entry (as reported by fetch_probe). Bumped
+  /// each time an insert overwrites that entry; meaningful only while
+  /// ifetch_stamp() is unchanged. Must return 0 for
+  /// FetchProof::kNoTlbEntry (the MMU-off sentinel).
+  virtual std::uint64_t ifetch_tlb_stamp(std::uint32_t itlb_entry) const {
+    (void)itlb_entry;
+    return 0;
+  }
+
+  /// One-call validity check for a stored proof: true iff `stamp` is
+  /// nonzero and all three stamps still read the stored values. Exactly
+  /// equivalent to comparing against the three accessors above — this
+  /// exists so the per-instruction hit guard pays one virtual dispatch
+  /// instead of three. Models that override the accessors get the
+  /// correct default; the detailed model overrides this too with direct
+  /// member reads.
+  virtual bool ifetch_proof_ok(std::uint64_t stamp, std::uint32_t l1i_set,
+                               std::uint64_t set_stamp,
+                               std::uint32_t itlb_entry,
+                               std::uint64_t itlb_stamp) const {
+    return stamp != 0 && stamp == ifetch_stamp() &&
+           set_stamp == ifetch_set_stamp(l1i_set) &&
+           itlb_stamp == ifetch_tlb_stamp(itlb_entry);
+  }
+
+  /// Side-effect-free fetch probe: if a real fetch of `va` right now
+  /// would be a pure hit (no state mutation, no stall cycles), fills in
+  /// the proof and returns true. Any miss, fault, or uncertainty returns
+  /// false (the caller then uses fetch()). The default matches the
+  /// default ifetch_stamp(): no guarantee, always false.
+  ///
+  /// A proof stays valid while all three stamps still read the same:
+  /// the global stamp pins translation rules and array-wide state, the
+  /// set stamp pins the L1I set the proven line lives in, and the entry
+  /// stamp pins the I-TLB entry the translation won at. Under that
+  /// triple a real fetch would return `word` again while mutating
+  /// nothing and stalling nothing.
+  struct FetchProof {
+    static constexpr std::uint32_t kNoTlbEntry = 0xFFFFFFFFu;
+
+    std::uint32_t word = 0;          ///< word the fetch would return
+    std::uint32_t l1i_set = 0;       ///< L1I set holding the hit line
+    std::uint64_t l1i_set_stamp = 0; ///< that set's fill stamp
+    std::uint32_t itlb_entry = kNoTlbEntry;  ///< winning I-TLB entry, or
+                                             ///< kNoTlbEntry when MMU off
+    std::uint64_t itlb_stamp = 0;    ///< that entry's fill stamp (0 when
+                                     ///< MMU off, matching the accessor)
+  };
+  virtual bool fetch_probe(std::uint32_t va, bool kernel_mode,
+                           bool mmu_enabled, FetchProof* proof) {
+    (void)va;
+    (void)kernel_mode;
+    (void)mmu_enabled;
+    (void)proof;
+    return false;
+  }
+
   /// Cycles accumulated by the model since the last drain (stalls, miss
   /// penalties, mispredict penalties). The CPU adds these to base costs.
   virtual std::uint64_t drain_extra_cycles() = 0;

@@ -1,0 +1,115 @@
+// Predecoded-uop cache for the interpreter hot loop (DESIGN.md §12).
+//
+// Campaign wall-time is dominated by re-executing identical guest code:
+// the golden run plus every restore-and-replay window step the same small
+// loops millions of times, and the baseline Cpu::step() pays a full
+// I-TLB scan + L1I lookup + isa::decode + dispatch switch for every one
+// of them. This cache memoizes the per-PC outcome of fetch+decode as a
+// "uop": the fetched word, the decoded fields, the pre-resolved handler
+// pointer, and the precomputed base cost.
+//
+// Three tiers, selected by the SEFI_FASTPATH environment knob:
+//   off    — the baseline interpreter, byte-for-byte the old hot loop.
+//   decode — every step still performs the real uarch_.fetch() (so every
+//            microarchitectural side effect — miss fills, walk stalls,
+//            counters, forensics watches — happens exactly as before) and
+//            only the re-decode is skipped, guarded by comparing the
+//            fetched word against the cached one. Safe for every model.
+//   block  — additionally skips the fetch itself when the model proves it
+//            would be a pure hit: entries are stamped with the model's
+//            ifetch_stamp() generation, and a hit requires the stamp (and
+//            the kernel/MMU mode bits) to be unchanged. Stamps bump on
+//            every I-side mutation — fills, guest-visible invalidations,
+//            fault-injected bit flips, snapshot restores — so staleness
+//            is structurally impossible (see UarchModel::ifetch_stamp).
+//            On a miss the filler predecodes the straight-line run ahead
+//            of the PC into uops via side-effect-free probes, so a basic
+//            block is decoded once per invalidation, not once per step.
+//
+// The cache is direct-mapped on word-index bits of the PC and lives
+// per-Cpu (one per campaign worker; nothing is shared across threads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sefi/isa/isa.hpp"
+
+namespace sefi::sim {
+
+class Cpu;
+
+/// Fast-path tier. Numeric order matters: higher tiers strictly add
+/// optimizations on top of lower ones.
+enum class FastPath : std::uint8_t {
+  kOff = 0,    ///< baseline interpreter
+  kDecode,     ///< real fetch every step, skip re-decode on word match
+  kBlock,      ///< skip proven-pure fetches via generation stamps
+};
+
+/// Parses SEFI_FASTPATH ("off" | "decode" | "block", case-sensitive)
+/// through support::env. Unset or unrecognized values yield the default,
+/// kBlock — the tier is verdict-invariant by construction, so it is on
+/// unless explicitly disabled.
+FastPath fastpath_from_env();
+
+/// Knob-value name of a tier ("off"/"decode"/"block").
+const char* fastpath_name(FastPath mode);
+
+/// Executes one instruction's architectural semantics. Handlers advance
+/// pc_ themselves (fall-through adds 4; branches/exceptions set it).
+using UopHandler = void (*)(Cpu&, const isa::Instruction&);
+
+/// One predecoded instruction. `pc` doubles as the tag; 1 is unreachable
+/// (the CPU only fetches word-aligned PCs), so fresh slots never match.
+struct Uop {
+  static constexpr std::uint32_t kNoPc = 1;
+
+  std::uint32_t pc = kNoPc;     ///< tag: guest PC this entry describes
+  std::uint32_t word = 0;       ///< instruction word fetched from `pc`
+  std::uint64_t stamp = 0;      ///< ifetch_stamp() at validation; 0 = none
+  std::uint64_t set_stamp = 0;  ///< fill stamp of `l1i_set` at validation
+  std::uint64_t itlb_stamp = 0; ///< fill stamp of `itlb_entry` (0 MMU-off)
+  isa::Instruction inst;        ///< decoded fields
+  UopHandler fn = nullptr;      ///< pre-resolved handler
+  std::uint32_t l1i_set = 0;    ///< L1I set the proven line lives in
+  std::uint32_t itlb_entry = 0; ///< I-TLB entry the translation won at
+  std::uint8_t cost = 1;        ///< precomputed base cycle cost
+  bool touches_uarch = false;   ///< may stall or mutate the memory system
+  bool kernel = false;          ///< mode bits the stamp was taken under —
+  bool mmu = false;             ///< translation depends on both
+};
+
+/// Hit/miss accounting, surfaced through CampaignStats and the obs
+/// registry (sefi_uop_cache_*). `hits` are block-tier fast hits (fetch
+/// and decode both skipped); `decode_hits` skipped only the decode;
+/// `invalidations` count stale entries found for the fetched PC.
+struct UopStats {
+  std::uint64_t hits = 0;
+  std::uint64_t decode_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+};
+
+/// Direct-mapped uop array. 8 Ki entries cover 32 KB of guest code —
+/// larger than any kernel+workload image in the suite — at ~48 bytes per
+/// entry per worker.
+class UopCache {
+ public:
+  static constexpr std::uint32_t kEntries = 8192;  // power of two
+
+  UopCache() : slots_(kEntries) {}
+
+  Uop& slot(std::uint32_t pc) {
+    return slots_[(pc >> 2) & (kEntries - 1)];
+  }
+
+  void clear() {
+    slots_.assign(kEntries, Uop{});
+  }
+
+ private:
+  std::vector<Uop> slots_;
+};
+
+}  // namespace sefi::sim

@@ -1,5 +1,6 @@
 #include "sefi/sim/cpu.hpp"
 
+#include <array>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -17,37 +18,461 @@ namespace flags = isa::cpsr;
 
 constexpr unsigned kExceptionEntryCost = 3;
 
+/// Straight-line predecode depth on a uop miss: enough to cover the
+/// bodies of the suite's hot loops in one or two fills without paying
+/// probe+decode for code that never runs.
+constexpr unsigned kPredecodeRunAhead = 8;
+
 float as_float(std::uint32_t bits) { return std::bit_cast<float>(bits); }
 std::uint32_t as_bits(float value) { return std::bit_cast<std::uint32_t>(value); }
 
 }  // namespace
 
-unsigned base_cost(Opcode op) {
-  switch (op) {
-    case Opcode::kMul:
-      return 3;
-    case Opcode::kSdiv:
-    case Opcode::kUdiv:
-      return 10;
-    case Opcode::kFadd:
-    case Opcode::kFsub:
-    case Opcode::kFcmp:
-    case Opcode::kFcvtws:
-    case Opcode::kFcvtsw:
-      return 2;
-    case Opcode::kFmul:
-      return 3;
-    case Opcode::kFdiv:
-      return 12;
-    case Opcode::kFsqrt:
-      return 14;
-    default:
-      return 1;
+// One static handler per opcode, each replicating the exact architectural
+// semantics *and side-effect order* of the original dispatch switch: the
+// same register-file reads (no extras — an added read could latch a
+// forensics watch the baseline would not), the same uarch calls, the same
+// early returns on faults. Handlers advance pc_ themselves; fall-through
+// is pc_ += 4.
+struct ExecOps {
+  // R-format ALU: read rn and rm, write rd.
+#define SEFI_OP_ALU_RR(NAME, EXPR)                        \
+  static void NAME(Cpu& c, const Instruction& i) {        \
+    const std::uint32_t rn = c.regs_.read(i.rn);          \
+    const std::uint32_t rm = c.regs_.read(i.rm);          \
+    c.regs_.write(i.rd, (EXPR));                          \
+    c.pc_ += 4;                                           \
   }
+  SEFI_OP_ALU_RR(add, rn + rm)
+  SEFI_OP_ALU_RR(sub, rn - rm)
+  SEFI_OP_ALU_RR(and_, rn & rm)
+  SEFI_OP_ALU_RR(orr, rn | rm)
+  SEFI_OP_ALU_RR(eor, rn ^ rm)
+  SEFI_OP_ALU_RR(lsl, rn << (rm & 31))
+  SEFI_OP_ALU_RR(lsr, rn >> (rm & 31))
+  SEFI_OP_ALU_RR(asr, static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(rn) >> (rm & 31)))
+  SEFI_OP_ALU_RR(mul, rn * rm)
+  SEFI_OP_ALU_RR(udiv, rm == 0 ? 0 : rn / rm)
+  SEFI_OP_ALU_RR(fadd, as_bits(as_float(rn) + as_float(rm)))
+  SEFI_OP_ALU_RR(fsub, as_bits(as_float(rn) - as_float(rm)))
+  SEFI_OP_ALU_RR(fmul, as_bits(as_float(rn) * as_float(rm)))
+  SEFI_OP_ALU_RR(fdiv, as_bits(as_float(rn) / as_float(rm)))
+#undef SEFI_OP_ALU_RR
+
+  static void sdiv(Cpu& c, const Instruction& i) {
+    const auto a = static_cast<std::int32_t>(c.regs_.read(i.rn));
+    const auto b = static_cast<std::int32_t>(c.regs_.read(i.rm));
+    // ARM semantics: divide by zero yields 0; INT_MIN/-1 wraps.
+    std::int32_t q = 0;
+    if (b != 0) {
+      q = (a == std::numeric_limits<std::int32_t>::min() && b == -1) ? a
+                                                                     : a / b;
+    }
+    c.regs_.write(i.rd, static_cast<std::uint32_t>(q));
+    c.pc_ += 4;
+  }
+
+  static void cmp(Cpu& c, const Instruction& i) {
+    const std::uint32_t rn = c.regs_.read(i.rn);
+    const std::uint32_t rm = c.regs_.read(i.rm);
+    c.set_flags_sub(rn, rm);
+    c.pc_ += 4;
+  }
+
+  static void mov(Cpu& c, const Instruction& i) {
+    c.regs_.write(i.rd, c.regs_.read(i.rm));
+    c.pc_ += 4;
+  }
+
+  static void fcmp(Cpu& c, const Instruction& i) {
+    const std::uint32_t rn = c.regs_.read(i.rn);
+    const std::uint32_t rm = c.regs_.read(i.rm);
+    c.set_flags_fcmp(as_float(rn), as_float(rm));
+    c.pc_ += 4;
+  }
+
+  static void fcvtws(Cpu& c, const Instruction& i) {
+    const float v = as_float(c.regs_.read(i.rn));
+    std::int32_t out = 0;
+    if (std::isnan(v)) {
+      out = 0;
+    } else if (v >= 2147483648.0f) {
+      out = std::numeric_limits<std::int32_t>::max();
+    } else if (v < -2147483648.0f) {
+      out = std::numeric_limits<std::int32_t>::min();
+    } else {
+      out = static_cast<std::int32_t>(v);
+    }
+    c.regs_.write(i.rd, static_cast<std::uint32_t>(out));
+    c.pc_ += 4;
+  }
+
+  static void fcvtsw(Cpu& c, const Instruction& i) {
+    c.regs_.write(i.rd, as_bits(static_cast<float>(static_cast<std::int32_t>(
+                            c.regs_.read(i.rn)))));
+    c.pc_ += 4;
+  }
+
+  static void fsqrt(Cpu& c, const Instruction& i) {
+    c.regs_.write(i.rd, as_bits(std::sqrt(as_float(c.regs_.read(i.rn)))));
+    c.pc_ += 4;
+  }
+
+  // I-format ALU: read rn, write rd. imm is pre-extended by the decoder.
+#define SEFI_OP_ALU_RI(NAME, EXPR)                        \
+  static void NAME(Cpu& c, const Instruction& i) {        \
+    const std::uint32_t rn = c.regs_.read(i.rn);          \
+    const auto uimm = static_cast<std::uint32_t>(i.imm);  \
+    (void)uimm;                                           \
+    c.regs_.write(i.rd, (EXPR));                          \
+    c.pc_ += 4;                                           \
+  }
+  SEFI_OP_ALU_RI(addi, rn + uimm)
+  SEFI_OP_ALU_RI(subi, rn - uimm)
+  SEFI_OP_ALU_RI(andi, rn & uimm)
+  SEFI_OP_ALU_RI(orri, rn | uimm)
+  SEFI_OP_ALU_RI(eori, rn ^ uimm)
+  SEFI_OP_ALU_RI(lsli, rn << (uimm & 31))
+  SEFI_OP_ALU_RI(lsri, rn >> (uimm & 31))
+  SEFI_OP_ALU_RI(asri, static_cast<std::uint32_t>(
+                           static_cast<std::int32_t>(rn) >> (uimm & 31)))
+#undef SEFI_OP_ALU_RI
+
+  static void cmpi(Cpu& c, const Instruction& i) {
+    c.set_flags_sub(c.regs_.read(i.rn), static_cast<std::uint32_t>(i.imm));
+    c.pc_ += 4;
+  }
+
+  static void movi(Cpu& c, const Instruction& i) {
+    c.regs_.write(i.rd, static_cast<std::uint32_t>(i.imm) & 0xffffu);
+    c.pc_ += 4;
+  }
+
+  static void movt(Cpu& c, const Instruction& i) {
+    const std::uint32_t rd = c.regs_.read(i.rd);
+    c.regs_.write(i.rd, (rd & 0xffffu) |
+                            (static_cast<std::uint32_t>(i.imm) << 16));
+    c.pc_ += 4;
+  }
+
+  // Loads: address from rn [+ rm | + imm], fault raises a data abort and
+  // leaves pc_ on the faulting instruction (enter_exception rewrites it).
+  static void do_load(Cpu& c, const Instruction& i, std::uint32_t va,
+                      unsigned size) {
+    const MemResult r =
+        c.uarch_.read(va, size, c.kernel_mode(), c.mmu_enabled());
+    if (!r.ok()) {
+      c.raise_mem_fault(Vector::kDataAbort);
+      return;
+    }
+    c.regs_.write(i.rd, r.data);
+    c.pc_ += 4;
+  }
+  static void ldr(Cpu& c, const Instruction& i) {
+    do_load(c, i, c.regs_.read(i.rn) + static_cast<std::uint32_t>(i.imm), 4);
+  }
+  static void ldrb(Cpu& c, const Instruction& i) {
+    do_load(c, i, c.regs_.read(i.rn) + static_cast<std::uint32_t>(i.imm), 1);
+  }
+  static void ldrh(Cpu& c, const Instruction& i) {
+    do_load(c, i, c.regs_.read(i.rn) + static_cast<std::uint32_t>(i.imm), 2);
+  }
+  static void ldrr(Cpu& c, const Instruction& i) {
+    const std::uint32_t rn = c.regs_.read(i.rn);
+    const std::uint32_t rm = c.regs_.read(i.rm);
+    do_load(c, i, rn + rm, 4);
+  }
+
+  static void do_store(Cpu& c, const Instruction& i, std::uint32_t va,
+                       unsigned size) {
+    const std::uint32_t value = c.regs_.read(i.rd);
+    const MemFault fault =
+        c.uarch_.write(va, size, value, c.kernel_mode(), c.mmu_enabled());
+    if (fault != MemFault::kNone) {
+      c.raise_mem_fault(Vector::kDataAbort);
+      return;
+    }
+    c.pc_ += 4;
+  }
+  static void str(Cpu& c, const Instruction& i) {
+    do_store(c, i, c.regs_.read(i.rn) + static_cast<std::uint32_t>(i.imm), 4);
+  }
+  static void strb(Cpu& c, const Instruction& i) {
+    do_store(c, i, c.regs_.read(i.rn) + static_cast<std::uint32_t>(i.imm), 1);
+  }
+  static void strh(Cpu& c, const Instruction& i) {
+    do_store(c, i, c.regs_.read(i.rn) + static_cast<std::uint32_t>(i.imm), 2);
+  }
+  static void strr(Cpu& c, const Instruction& i) {
+    const std::uint32_t rn = c.regs_.read(i.rn);
+    const std::uint32_t rm = c.regs_.read(i.rm);
+    do_store(c, i, rn + rm, 4);
+  }
+
+  // Branches. on_branch sees the branch's own pc (not yet advanced).
+  static void b(Cpu& c, const Instruction& i) {
+    const std::uint32_t next_pc = c.pc_ + 4;
+    const bool taken = isa::cond_holds(i.cond, c.cpsr_);
+    const std::uint32_t target =
+        next_pc + static_cast<std::uint32_t>(i.imm) * 4;
+    c.uarch_.on_branch(c.pc_, taken, target);
+    c.pc_ = taken ? target : next_pc;
+  }
+  static void bl(Cpu& c, const Instruction& i) {
+    const std::uint32_t next_pc = c.pc_ + 4;
+    const std::uint32_t target =
+        next_pc + static_cast<std::uint32_t>(i.imm) * 4;
+    c.regs_.write(14, next_pc);
+    c.uarch_.on_branch(c.pc_, true, target);
+    c.pc_ = target;
+  }
+  static void br(Cpu& c, const Instruction& i) {
+    const std::uint32_t target = c.regs_.read(i.rn);
+    c.uarch_.on_branch(c.pc_, true, target);
+    c.pc_ = target;
+  }
+  static void blr(Cpu& c, const Instruction& i) {
+    const std::uint32_t target = c.regs_.read(i.rn);
+    c.regs_.write(14, c.pc_ + 4);
+    c.uarch_.on_branch(c.pc_, true, target);
+    c.pc_ = target;
+  }
+
+  // System.
+  static void svc(Cpu& c, const Instruction&) {
+    c.enter_exception(Vector::kSvc, c.pc_ + 4);
+  }
+  static void eret(Cpu& c, const Instruction&) {
+    if (!c.kernel_mode()) {
+      c.raise_undef();
+      return;
+    }
+    c.in_exception_ = false;
+    c.regs_.write(13, c.banked_usp_);
+    c.pc_ = c.elr_;
+    c.cpsr_ = c.spsr_;
+  }
+#define SEFI_OP_MRS(NAME, SRC)                            \
+  static void NAME(Cpu& c, const Instruction& i) {        \
+    if (!c.kernel_mode()) {                               \
+      c.raise_undef();                                    \
+      return;                                             \
+    }                                                     \
+    c.regs_.write(i.rd, (SRC));                           \
+    c.pc_ += 4;                                           \
+  }
+#define SEFI_OP_MSR(NAME, DST)                            \
+  static void NAME(Cpu& c, const Instruction& i) {        \
+    if (!c.kernel_mode()) {                               \
+      c.raise_undef();                                    \
+      return;                                             \
+    }                                                     \
+    (DST) = c.regs_.read(i.rn);                           \
+    c.pc_ += 4;                                           \
+  }
+  SEFI_OP_MRS(mrs, c.cpsr_)
+  SEFI_OP_MSR(msr, c.cpsr_)
+  SEFI_OP_MRS(mrs_elr, c.elr_)
+  SEFI_OP_MSR(msr_elr, c.elr_)
+  SEFI_OP_MRS(mrs_spsr, c.spsr_)
+  SEFI_OP_MSR(msr_spsr, c.spsr_)
+  SEFI_OP_MRS(mrs_usp, c.banked_usp_)
+  SEFI_OP_MSR(msr_usp, c.banked_usp_)
+#undef SEFI_OP_MRS
+#undef SEFI_OP_MSR
+
+  static void tlbflush(Cpu& c, const Instruction&) {
+    if (!c.kernel_mode()) {
+      c.raise_undef();
+      return;
+    }
+    c.uarch_.flush_tlbs();
+    c.pc_ += 4;
+  }
+  static void hlt(Cpu& c, const Instruction&) {
+    if (!c.kernel_mode()) {
+      c.raise_undef();
+      return;
+    }
+    c.stop_ = CpuStop::kHalted;
+  }
+  static void nop(Cpu& c, const Instruction&) { c.pc_ += 4; }
+  static void undef(Cpu& c, const Instruction&) { c.raise_undef(); }
+};
+
+namespace {
+
+// The dispatch/cost/classification tables. Built at compile time, indexed
+// by Opcode, with one extra sentinel slot for kOpcodeCount (undefined
+// encoding). make_handler_table() fills slots by enum name, so reordering
+// the Opcode enum cannot silently mis-dispatch, and the final check makes
+// an unhandled opcode a compile error instead of a null call.
+
+constexpr std::size_t kTableSize =
+    static_cast<std::size_t>(Opcode::kOpcodeCount) + 1;
+
+using HandlerTable = std::array<UopHandler, kTableSize>;
+using CostTable = std::array<std::uint8_t, kTableSize>;
+using FlagTable = std::array<bool, kTableSize>;
+
+consteval HandlerTable make_handler_table() {
+  HandlerTable t{};
+  // Coverage is tracked in a parallel bool array rather than by comparing
+  // the stored pointers against null afterwards: function-address
+  // comparisons are not constant expressions under -fsanitize.
+  FlagTable filled{};
+  auto set = [&t, &filled](Opcode op, UopHandler fn) {
+    t[static_cast<std::size_t>(op)] = fn;
+    filled[static_cast<std::size_t>(op)] = true;
+  };
+  set(Opcode::kAdd, &ExecOps::add);
+  set(Opcode::kSub, &ExecOps::sub);
+  set(Opcode::kAnd, &ExecOps::and_);
+  set(Opcode::kOrr, &ExecOps::orr);
+  set(Opcode::kEor, &ExecOps::eor);
+  set(Opcode::kLsl, &ExecOps::lsl);
+  set(Opcode::kLsr, &ExecOps::lsr);
+  set(Opcode::kAsr, &ExecOps::asr);
+  set(Opcode::kMul, &ExecOps::mul);
+  set(Opcode::kSdiv, &ExecOps::sdiv);
+  set(Opcode::kUdiv, &ExecOps::udiv);
+  set(Opcode::kCmp, &ExecOps::cmp);
+  set(Opcode::kMov, &ExecOps::mov);
+  set(Opcode::kFadd, &ExecOps::fadd);
+  set(Opcode::kFsub, &ExecOps::fsub);
+  set(Opcode::kFmul, &ExecOps::fmul);
+  set(Opcode::kFdiv, &ExecOps::fdiv);
+  set(Opcode::kFcmp, &ExecOps::fcmp);
+  set(Opcode::kFcvtws, &ExecOps::fcvtws);
+  set(Opcode::kFcvtsw, &ExecOps::fcvtsw);
+  set(Opcode::kFsqrt, &ExecOps::fsqrt);
+  set(Opcode::kAddi, &ExecOps::addi);
+  set(Opcode::kSubi, &ExecOps::subi);
+  set(Opcode::kAndi, &ExecOps::andi);
+  set(Opcode::kOrri, &ExecOps::orri);
+  set(Opcode::kEori, &ExecOps::eori);
+  set(Opcode::kLsli, &ExecOps::lsli);
+  set(Opcode::kLsri, &ExecOps::lsri);
+  set(Opcode::kAsri, &ExecOps::asri);
+  set(Opcode::kCmpi, &ExecOps::cmpi);
+  set(Opcode::kMovi, &ExecOps::movi);
+  set(Opcode::kMovt, &ExecOps::movt);
+  set(Opcode::kLdr, &ExecOps::ldr);
+  set(Opcode::kStr, &ExecOps::str);
+  set(Opcode::kLdrb, &ExecOps::ldrb);
+  set(Opcode::kStrb, &ExecOps::strb);
+  set(Opcode::kLdrh, &ExecOps::ldrh);
+  set(Opcode::kStrh, &ExecOps::strh);
+  set(Opcode::kLdrr, &ExecOps::ldrr);
+  set(Opcode::kStrr, &ExecOps::strr);
+  set(Opcode::kB, &ExecOps::b);
+  set(Opcode::kBl, &ExecOps::bl);
+  set(Opcode::kBr, &ExecOps::br);
+  set(Opcode::kBlr, &ExecOps::blr);
+  set(Opcode::kSvc, &ExecOps::svc);
+  set(Opcode::kEret, &ExecOps::eret);
+  set(Opcode::kMrs, &ExecOps::mrs);
+  set(Opcode::kMsr, &ExecOps::msr);
+  set(Opcode::kMrsElr, &ExecOps::mrs_elr);
+  set(Opcode::kMsrElr, &ExecOps::msr_elr);
+  set(Opcode::kMrsSpsr, &ExecOps::mrs_spsr);
+  set(Opcode::kMsrSpsr, &ExecOps::msr_spsr);
+  set(Opcode::kMrsUsp, &ExecOps::mrs_usp);
+  set(Opcode::kMsrUsp, &ExecOps::msr_usp);
+  set(Opcode::kTlbFlush, &ExecOps::tlbflush);
+  set(Opcode::kHlt, &ExecOps::hlt);
+  set(Opcode::kNop, &ExecOps::nop);
+  set(Opcode::kOpcodeCount, &ExecOps::undef);
+  for (const bool was_set : filled) {
+    if (!was_set) throw "opcode without a handler";
+  }
+  return t;
+}
+
+consteval CostTable make_cost_table() {
+  CostTable t{};
+  t.fill(1);
+  auto set = [&t](Opcode op, std::uint8_t cost) {
+    t[static_cast<std::size_t>(op)] = cost;
+  };
+  set(Opcode::kMul, 3);
+  set(Opcode::kSdiv, 10);
+  set(Opcode::kUdiv, 10);
+  set(Opcode::kFadd, 2);
+  set(Opcode::kFsub, 2);
+  set(Opcode::kFcmp, 2);
+  set(Opcode::kFcvtws, 2);
+  set(Opcode::kFcvtsw, 2);
+  set(Opcode::kFmul, 3);
+  set(Opcode::kFdiv, 12);
+  set(Opcode::kFsqrt, 14);
+  return t;
+}
+
+/// Opcodes whose handlers may call into the uarch model (loads/stores,
+/// branch resolution, TLB flushes) and so may accrue stall cycles that a
+/// step must drain. Everything else provably leaves extra_cycles at zero,
+/// letting the block-tier fast path skip drain_extra_cycles() entirely.
+consteval FlagTable make_touches_uarch_table() {
+  FlagTable t{};
+  auto set = [&t](Opcode op) { t[static_cast<std::size_t>(op)] = true; };
+  set(Opcode::kLdr);
+  set(Opcode::kStr);
+  set(Opcode::kLdrb);
+  set(Opcode::kStrb);
+  set(Opcode::kLdrh);
+  set(Opcode::kStrh);
+  set(Opcode::kLdrr);
+  set(Opcode::kStrr);
+  set(Opcode::kB);
+  set(Opcode::kBl);
+  set(Opcode::kBr);
+  set(Opcode::kBlr);
+  set(Opcode::kTlbFlush);
+  return t;
+}
+
+/// Opcodes that end a straight-line predecode run (control flow leaves or
+/// the machine stops). Mode-changing system ops (msr, eret targets) need
+/// no special casing: every uop records the kernel/MMU bits it was
+/// validated under, and a mode change simply misses on the compare.
+consteval FlagTable make_ends_block_table() {
+  FlagTable t{};
+  auto set = [&t](Opcode op) { t[static_cast<std::size_t>(op)] = true; };
+  set(Opcode::kB);
+  set(Opcode::kBl);
+  set(Opcode::kBr);
+  set(Opcode::kBlr);
+  set(Opcode::kSvc);
+  set(Opcode::kEret);
+  set(Opcode::kHlt);
+  return t;
+}
+
+constexpr HandlerTable kHandlers = make_handler_table();
+constexpr CostTable kBaseCost = make_cost_table();
+constexpr FlagTable kTouchesUarch = make_touches_uarch_table();
+constexpr FlagTable kEndsBlock = make_ends_block_table();
+
+}  // namespace
+
+unsigned base_cost(Opcode op) {
+  return kBaseCost[static_cast<std::size_t>(op)];
 }
 
 Cpu::Cpu(UarchModel& uarch, RegFileModel& regs, DeviceBlock& devices)
-    : uarch_(uarch), regs_(regs), devices_(devices) {}
+    : uarch_(uarch),
+      regs_(regs),
+      devices_(devices),
+      fastpath_(fastpath_from_env()) {
+  if (fastpath_ != FastPath::kOff) uops_ = std::make_unique<UopCache>();
+}
+
+void Cpu::set_fastpath(FastPath mode) {
+  fastpath_ = mode;
+  uops_ = mode == FastPath::kOff ? nullptr : std::make_unique<UopCache>();
+}
 
 void Cpu::reset() {
   pc_ = 4 * static_cast<std::uint32_t>(Vector::kReset);
@@ -60,6 +485,9 @@ void Cpu::reset() {
   cycles_ = 0;
   instret_ = 0;
   regs_.reset();
+  // Correctness never needs this (stale uops miss on their word or stamp
+  // guards), but a cold boot makes every cached uop garbage; drop them.
+  if (uops_) uops_->clear();
 }
 
 std::uint32_t Cpu::reg(unsigned index) const {
@@ -104,6 +532,10 @@ void Cpu::restore_state(const State& state) {
   stop_ = state.stop;
   cycles_ = state.cycles;
   instret_ = state.instructions;
+  // lifetime_instret_ deliberately keeps counting across restores. The
+  // uop cache also survives: block-tier entries are guarded by the uarch
+  // generation stamp (which every snapshot restore bumps), decode-tier
+  // entries by the word compare against the real fetch.
 }
 
 void Cpu::force_kernel_entry(std::uint32_t pc) {
@@ -158,6 +590,9 @@ std::uint64_t Cpu::step() {
     cycles_ += kExceptionEntryCost;
     return kExceptionEntryCost;
   }
+
+  if (fastpath_ != FastPath::kOff) return step_fast();
+
   const MemResult f = uarch_.fetch(pc_, kernel_mode(), mmu_enabled());
   if (!f.ok()) {
     raise_mem_fault(Vector::kPrefetchAbort);
@@ -176,215 +611,144 @@ std::uint64_t Cpu::step() {
 
   const std::uint64_t cycles_before = cycles_;
   ++instret_;
-  cycles_ += base_cost(decoded->op);
-  execute(*decoded);
+  ++lifetime_instret_;
+  const auto idx = static_cast<std::size_t>(decoded->op);
+  cycles_ += kBaseCost[idx];
+  kHandlers[idx](*this, *decoded);
   cycles_ += uarch_.drain_extra_cycles();
   return cycles_ - cycles_before;
 }
 
-void Cpu::execute(const Instruction& inst) {
-  const std::uint32_t next_pc = pc_ + 4;
-  auto rd = [&] { return regs_.read(inst.rd); };
-  auto rn = [&] { return regs_.read(inst.rn); };
-  auto rm = [&] { return regs_.read(inst.rm); };
-  auto wr = [&](std::uint32_t v) { regs_.write(inst.rd, v); };
-  const auto uimm = static_cast<std::uint32_t>(inst.imm);
+// IRQ and alignment checks already ran (same code path as the slow tier);
+// from here the step is fetch + decode + execute.
+std::uint64_t Cpu::step_fast() {
+  const bool kernel = kernel_mode();
+  const bool mmu = mmu_enabled();
+  Uop& e = uops_->slot(pc_);
 
-  switch (inst.op) {
-    case Opcode::kAdd: wr(rn() + rm()); break;
-    case Opcode::kSub: wr(rn() - rm()); break;
-    case Opcode::kAnd: wr(rn() & rm()); break;
-    case Opcode::kOrr: wr(rn() | rm()); break;
-    case Opcode::kEor: wr(rn() ^ rm()); break;
-    case Opcode::kLsl: wr(rn() << (rm() & 31)); break;
-    case Opcode::kLsr: wr(rn() >> (rm() & 31)); break;
-    case Opcode::kAsr:
-      wr(static_cast<std::uint32_t>(static_cast<std::int32_t>(rn()) >>
-                                    (rm() & 31)));
-      break;
-    case Opcode::kMul: wr(rn() * rm()); break;
-    case Opcode::kSdiv: {
-      const auto a = static_cast<std::int32_t>(rn());
-      const auto b = static_cast<std::int32_t>(rm());
-      // ARM semantics: divide by zero yields 0; INT_MIN/-1 wraps.
-      std::int32_t q = 0;
-      if (b != 0) {
-        q = (a == std::numeric_limits<std::int32_t>::min() && b == -1)
-                ? a
-                : a / b;
-      }
-      wr(static_cast<std::uint32_t>(q));
-      break;
-    }
-    case Opcode::kUdiv: wr(rm() == 0 ? 0 : rn() / rm()); break;
-    case Opcode::kCmp: set_flags_sub(rn(), rm()); break;
-    case Opcode::kMov: wr(rm()); break;
-
-    case Opcode::kFadd: wr(as_bits(as_float(rn()) + as_float(rm()))); break;
-    case Opcode::kFsub: wr(as_bits(as_float(rn()) - as_float(rm()))); break;
-    case Opcode::kFmul: wr(as_bits(as_float(rn()) * as_float(rm()))); break;
-    case Opcode::kFdiv: wr(as_bits(as_float(rn()) / as_float(rm()))); break;
-    case Opcode::kFcmp: set_flags_fcmp(as_float(rn()), as_float(rm())); break;
-    case Opcode::kFcvtws: {
-      const float v = as_float(rn());
-      std::int32_t out = 0;
-      if (std::isnan(v)) {
-        out = 0;
-      } else if (v >= 2147483648.0f) {
-        out = std::numeric_limits<std::int32_t>::max();
-      } else if (v < -2147483648.0f) {
-        out = std::numeric_limits<std::int32_t>::min();
-      } else {
-        out = static_cast<std::int32_t>(v);
-      }
-      wr(static_cast<std::uint32_t>(out));
-      break;
-    }
-    case Opcode::kFcvtsw:
-      wr(as_bits(static_cast<float>(static_cast<std::int32_t>(rn()))));
-      break;
-    case Opcode::kFsqrt: wr(as_bits(std::sqrt(as_float(rn())))); break;
-
-    case Opcode::kAddi: wr(rn() + uimm); break;
-    case Opcode::kSubi: wr(rn() - uimm); break;
-    case Opcode::kAndi: wr(rn() & uimm); break;
-    case Opcode::kOrri: wr(rn() | uimm); break;
-    case Opcode::kEori: wr(rn() ^ uimm); break;
-    case Opcode::kLsli: wr(rn() << (uimm & 31)); break;
-    case Opcode::kLsri: wr(rn() >> (uimm & 31)); break;
-    case Opcode::kAsri:
-      wr(static_cast<std::uint32_t>(static_cast<std::int32_t>(rn()) >>
-                                    (uimm & 31)));
-      break;
-    case Opcode::kCmpi: set_flags_sub(rn(), uimm); break;
-    case Opcode::kMovi: wr(uimm & 0xffffu); break;
-    case Opcode::kMovt: wr((rd() & 0xffffu) | (uimm << 16)); break;
-
-    case Opcode::kLdr:
-    case Opcode::kLdrb:
-    case Opcode::kLdrh:
-    case Opcode::kLdrr: {
-      const std::uint32_t va =
-          inst.op == Opcode::kLdrr ? rn() + rm() : rn() + uimm;
-      const unsigned size = inst.op == Opcode::kLdrb   ? 1
-                            : inst.op == Opcode::kLdrh ? 2
-                                                       : 4;
-      const MemResult r = uarch_.read(va, size, kernel_mode(), mmu_enabled());
-      if (!r.ok()) {
-        raise_mem_fault(Vector::kDataAbort);
-        return;
-      }
-      wr(r.data);
-      break;
-    }
-    case Opcode::kStr:
-    case Opcode::kStrb:
-    case Opcode::kStrh:
-    case Opcode::kStrr: {
-      const std::uint32_t va =
-          inst.op == Opcode::kStrr ? rn() + rm() : rn() + uimm;
-      const unsigned size = inst.op == Opcode::kStrb   ? 1
-                            : inst.op == Opcode::kStrh ? 2
-                                                       : 4;
-      const MemFault fault =
-          uarch_.write(va, size, rd(), kernel_mode(), mmu_enabled());
-      if (fault != MemFault::kNone) {
-        raise_mem_fault(Vector::kDataAbort);
-        return;
-      }
-      break;
-    }
-
-    case Opcode::kB: {
-      const bool taken = isa::cond_holds(inst.cond, cpsr_);
-      const std::uint32_t target =
-          next_pc + static_cast<std::uint32_t>(inst.imm) * 4;
-      uarch_.on_branch(pc_, taken, target);
-      pc_ = taken ? target : next_pc;
-      return;
-    }
-    case Opcode::kBl: {
-      const std::uint32_t target =
-          next_pc + static_cast<std::uint32_t>(inst.imm) * 4;
-      regs_.write(14, next_pc);
-      uarch_.on_branch(pc_, true, target);
-      pc_ = target;
-      return;
-    }
-    case Opcode::kBr: {
-      const std::uint32_t target = rn();
-      uarch_.on_branch(pc_, true, target);
-      pc_ = target;
-      return;
-    }
-    case Opcode::kBlr: {
-      const std::uint32_t target = rn();
-      regs_.write(14, next_pc);
-      uarch_.on_branch(pc_, true, target);
-      pc_ = target;
-      return;
-    }
-
-    case Opcode::kSvc:
-      enter_exception(Vector::kSvc, next_pc);
-      return;
-    case Opcode::kEret:
-      if (!kernel_mode()) {
-        raise_undef();
-        return;
-      }
-      in_exception_ = false;
-      regs_.write(13, banked_usp_);
-      pc_ = elr_;
-      cpsr_ = spsr_;
-      return;
-    case Opcode::kMrs:
-      if (!kernel_mode()) { raise_undef(); return; }
-      wr(cpsr_);
-      break;
-    case Opcode::kMsr:
-      if (!kernel_mode()) { raise_undef(); return; }
-      cpsr_ = rn();
-      break;
-    case Opcode::kMrsElr:
-      if (!kernel_mode()) { raise_undef(); return; }
-      wr(elr_);
-      break;
-    case Opcode::kMsrElr:
-      if (!kernel_mode()) { raise_undef(); return; }
-      elr_ = rn();
-      break;
-    case Opcode::kMrsSpsr:
-      if (!kernel_mode()) { raise_undef(); return; }
-      wr(spsr_);
-      break;
-    case Opcode::kMsrSpsr:
-      if (!kernel_mode()) { raise_undef(); return; }
-      spsr_ = rn();
-      break;
-    case Opcode::kMrsUsp:
-      if (!kernel_mode()) { raise_undef(); return; }
-      wr(banked_usp_);
-      break;
-    case Opcode::kMsrUsp:
-      if (!kernel_mode()) { raise_undef(); return; }
-      banked_usp_ = rn();
-      break;
-    case Opcode::kTlbFlush:
-      if (!kernel_mode()) { raise_undef(); return; }
-      uarch_.flush_tlbs();
-      break;
-    case Opcode::kHlt:
-      if (!kernel_mode()) { raise_undef(); return; }
-      stop_ = CpuStop::kHalted;
-      return;
-    case Opcode::kNop:
-      break;
-    case Opcode::kOpcodeCount:
-      raise_undef();
-      return;
+  // Block-tier fast hit: the entry was validated by a side-effect-free
+  // probe under this exact (global stamp, set stamp, TLB-entry stamp,
+  // mode) tuple, and all three stamps still match, so a real fetch would
+  // return e.word while mutating nothing and stalling nothing — skip it.
+  // Decode-tier entries never carry a stamp, so they can't take this
+  // branch.
+  if (e.pc == pc_ && e.kernel == kernel && e.mmu == mmu &&
+      uarch_.ifetch_proof_ok(e.stamp, e.l1i_set, e.set_stamp, e.itlb_entry,
+                             e.itlb_stamp)) {
+    ++uop_stats_.hits;
+    const std::uint64_t cycles_before = cycles_;
+    ++instret_;
+    ++lifetime_instret_;
+    cycles_ += e.cost;
+    e.fn(*this, e.inst);
+    // ALU/system uops can't have accrued stall cycles (extra_cycles is
+    // always zero at step entry: every exit path below drains or provably
+    // accrued nothing), so the drain is skipped for them.
+    if (e.touches_uarch) cycles_ += uarch_.drain_extra_cycles();
+    return cycles_ - cycles_before;
   }
-  pc_ = next_pc;
+
+  // Real fetch: every miss fill, walk stall, counter increment, and
+  // forensics-watch latch happens exactly as on the slow tier.
+  const MemResult f = uarch_.fetch(pc_, kernel, mmu);
+  if (!f.ok()) {
+    raise_mem_fault(Vector::kPrefetchAbort);
+    const std::uint64_t c = kExceptionEntryCost + uarch_.drain_extra_cycles();
+    cycles_ += c;
+    return c;
+  }
+
+  if (e.pc == pc_ && e.word == f.data) {
+    ++uop_stats_.decode_hits;  // word verified: the decode is still valid
+  } else {
+    if (e.pc == pc_) ++uop_stats_.invalidations;
+    ++uop_stats_.misses;
+    const auto decoded = isa::decode(f.data);
+    if (!decoded) {
+      e = Uop{};  // don't cache undefined encodings
+      raise_undef();
+      const std::uint64_t c =
+          kExceptionEntryCost + uarch_.drain_extra_cycles();
+      cycles_ += c;
+      return c;
+    }
+    const auto idx = static_cast<std::size_t>(decoded->op);
+    e.pc = pc_;
+    e.word = f.data;
+    e.inst = *decoded;
+    e.fn = kHandlers[idx];
+    e.cost = kBaseCost[idx];
+    e.touches_uarch = kTouchesUarch[idx];
+  }
+  e.kernel = kernel;
+  e.mmu = mmu;
+  e.stamp = 0;
+  if (fastpath_ == FastPath::kBlock) restamp_and_predecode(e);
+
+  const std::uint64_t cycles_before = cycles_;
+  ++instret_;
+  ++lifetime_instret_;
+  cycles_ += e.cost;
+  e.fn(*this, e.inst);
+  cycles_ += uarch_.drain_extra_cycles();  // the real fetch may have stalled
+  return cycles_ - cycles_before;
+}
+
+// Stamps `entry` if the model proves a fetch of it would now be a pure
+// hit, then predecodes the straight-line run behind it under the same
+// generation. Probes are side-effect-free, so predecoding N instructions
+// ahead is *observably identical* to not predecoding them: the proof that
+// a future fetch replays purely is established now and enforced later by
+// the stamp compare at hit time.
+void Cpu::restamp_and_predecode(Uop& entry) {
+  // Read the stamp AFTER the caller's real fetch: a miss fill just bumped
+  // it, and the entry must be tagged with the post-fill generation.
+  const std::uint64_t stamp = uarch_.ifetch_stamp();
+  if (stamp == 0) return;  // no purity guarantee (model or armed watch)
+  UarchModel::FetchProof proof;
+  if (!uarch_.fetch_probe(entry.pc, entry.kernel, entry.mmu, &proof) ||
+      proof.word != entry.word) {
+    return;  // not a pure hit (e.g. a corrupted tag aliased the line)
+  }
+  entry.stamp = stamp;
+  entry.l1i_set = proof.l1i_set;
+  entry.set_stamp = proof.l1i_set_stamp;
+  entry.itlb_entry = proof.itlb_entry;
+  entry.itlb_stamp = proof.itlb_stamp;
+  if (kEndsBlock[static_cast<std::size_t>(entry.inst.op)]) return;
+  std::uint32_t va = entry.pc;
+  for (unsigned n = 0; n < kPredecodeRunAhead; ++n) {
+    va += 4;
+    Uop& next = uops_->slot(va);
+    if (next.pc == va && next.stamp == stamp && next.kernel == entry.kernel &&
+        next.mmu == entry.mmu &&
+        uarch_.ifetch_proof_ok(next.stamp, next.l1i_set, next.set_stamp,
+                               next.itlb_entry, next.itlb_stamp)) {
+      break;  // already predecoded under this generation
+    }
+    if (!uarch_.fetch_probe(va, entry.kernel, entry.mmu, &proof)) break;
+    const auto decoded = isa::decode(proof.word);
+    if (!decoded) break;
+    const auto idx = static_cast<std::size_t>(decoded->op);
+    next.pc = va;
+    next.word = proof.word;
+    next.inst = *decoded;
+    next.fn = kHandlers[idx];
+    next.cost = kBaseCost[idx];
+    next.touches_uarch = kTouchesUarch[idx];
+    next.kernel = entry.kernel;
+    next.mmu = entry.mmu;
+    next.stamp = stamp;
+    next.l1i_set = proof.l1i_set;
+    next.set_stamp = proof.l1i_set_stamp;
+    next.itlb_entry = proof.itlb_entry;
+    next.itlb_stamp = proof.itlb_stamp;
+    if (kEndsBlock[idx]) break;
+  }
+}
+
+void Cpu::execute(const Instruction& inst) {
+  kHandlers[static_cast<std::size_t>(inst.op)](*this, inst);
 }
 
 }  // namespace sefi::sim

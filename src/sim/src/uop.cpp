@@ -1,0 +1,23 @@
+#include "sefi/sim/uop.hpp"
+
+#include "sefi/support/env.hpp"
+
+namespace sefi::sim {
+
+FastPath fastpath_from_env() {
+  const std::string value = support::env::str("SEFI_FASTPATH", "block");
+  if (value == "off") return FastPath::kOff;
+  if (value == "decode") return FastPath::kDecode;
+  return FastPath::kBlock;
+}
+
+const char* fastpath_name(FastPath mode) {
+  switch (mode) {
+    case FastPath::kOff: return "off";
+    case FastPath::kDecode: return "decode";
+    case FastPath::kBlock: return "block";
+  }
+  return "?";
+}
+
+}  // namespace sefi::sim

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <optional>
 #include <stdexcept>
 
+#include "../support_fastpath_scope.hpp"
 #include "sefi/core/lab.hpp"
 #include "sefi/support/error.hpp"
 
@@ -93,6 +95,29 @@ TEST(Session, DeltaRestoreKnobDoesNotChangeOutcomes) {
   EXPECT_EQ(a.strikes, b.strikes);
   EXPECT_EQ(a.reboots, b.reboots);
   EXPECT_DOUBLE_EQ(a.fluence_per_cm2, b.fluence_per_cm2);
+}
+
+TEST(Session, FastpathTierDoesNotChangeOutcomes) {
+  // The uop fast path must be invisible to beam physics: a session keeps
+  // one machine powered across runs with corruption accumulating in the
+  // arrays, which is exactly the state the stamp guards must track.
+  std::optional<BeamResult> baseline;
+  std::optional<BeamResult> block;
+  {
+    sefi::testing::ScopedFastpath off("off");
+    baseline = run_beam_session(susan(), small_session(60));
+  }
+  {
+    sefi::testing::ScopedFastpath fast("block");
+    block = run_beam_session(susan(), small_session(60));
+  }
+  EXPECT_EQ(baseline->sdc, block->sdc);
+  EXPECT_EQ(baseline->app_crash, block->app_crash);
+  EXPECT_EQ(baseline->sys_crash, block->sys_crash);
+  EXPECT_EQ(baseline->strikes, block->strikes);
+  EXPECT_EQ(baseline->reboots, block->reboots);
+  EXPECT_EQ(baseline->runs, block->runs);
+  EXPECT_DOUBLE_EQ(baseline->fluence_per_cm2, block->fluence_per_cm2);
 }
 
 TEST(Session, SeedChangesTheSession) {

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "../support_fastpath_scope.hpp"
 #include "sefi/support/seal.hpp"
 
 namespace sefi::core {
@@ -177,6 +178,23 @@ TEST(ResultCache, KeysEncodeKindWorkloadAndFingerprint) {
   EXPECT_NE(key.find("CRC32"), std::string::npos);
   EXPECT_NE(key.find("abcd"), std::string::npos);
   EXPECT_NE(key, ResultCache::make_key("beam", 0xabcd, "CRC32"));
+}
+
+TEST(Fingerprint, IgnoresFastpathKnob) {
+  // SEFI_FASTPATH selects an executor fast path that is bit-identical by
+  // contract, so it must not enter the campaign fingerprint: results
+  // cached under one tier stay valid (and are found) under any other.
+  fi::CampaignConfig fi_config;
+  beam::BeamConfig beam_config;
+  std::uint64_t fi_off = 0, beam_off = 0;
+  {
+    sefi::testing::ScopedFastpath off("off");
+    fi_off = fingerprint(fi_config);
+    beam_off = fingerprint(beam_config);
+  }
+  sefi::testing::ScopedFastpath fast("block");
+  EXPECT_EQ(fingerprint(fi_config), fi_off);
+  EXPECT_EQ(fingerprint(beam_config), beam_off);
 }
 
 TEST(Serialization, FiRejectsOutOfRangeComponentKind) {

@@ -4,8 +4,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
+#include "../support_fastpath_scope.hpp"
 #include "sefi/core/lab.hpp"
 #include "sefi/support/error.hpp"
 
@@ -621,6 +623,39 @@ TEST(CampaignSupervisor, HarnessErrorsAreJournaledAsTerminal) {
   }
   EXPECT_EQ(harness_total, 1u);  // the verdict itself survived the resume
   std::filesystem::remove_all(std::filesystem::path(path).parent_path());
+}
+
+// The uop fast path is an executor optimization, never part of a
+// campaign's identity: verdict tallies must be bit-identical with it on
+// or off, serial and threaded (the ISSUE's acceptance matrix). The block
+// tier skips proven-pure fetches entirely, so this exercises the full
+// stamp-invalidation story — injections into L1I/I-TLB state, forensics
+// watches, snapshot restores — against the baseline interpreter.
+TEST(CampaignExecutor, FastpathTierDoesNotChangeResults) {
+  for (const std::uint64_t threads : {1, 4}) {
+    CampaignConfig config = small_campaign();
+    config.faults_per_component = 10;
+    config.threads = threads;
+    config.checkpoints = 8;
+    std::optional<WorkloadFiResult> baseline;
+    std::optional<WorkloadFiResult> block;
+    {
+      sefi::testing::ScopedFastpath off("off");
+      baseline = run_fi_campaign(susan(), config);
+    }
+    {
+      sefi::testing::ScopedFastpath fast("block");
+      block = run_fi_campaign(susan(), config);
+    }
+    expect_same_counts(*baseline, *block, "fastpath off-vs-block");
+    // Tier diagnostics must reflect what actually ran: the baseline
+    // never consults the uop cache, the block tier must live off it.
+    EXPECT_EQ(baseline->stats.uop_hits, 0u);
+    EXPECT_EQ(baseline->stats.uop_decode_hits, 0u);
+    EXPECT_GT(block->stats.uop_hits, 0u);
+    EXPECT_GT(block->stats.guest_instructions, 0u);
+    EXPECT_GT(block->stats.guest_mips, 0.0);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,44 @@
+// Test helper: forces the SEFI_FASTPATH knob for one scope.
+//
+// The Cpu reads the knob at construction through the first-read-wins
+// support::env cache, so campaign-level tests that compare tiers must
+// both set the process environment and refresh that cache — and put the
+// previous value back on exit, or they would leak tier state into
+// whichever test ctest schedules next in the same process.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "sefi/support/env.hpp"
+
+namespace sefi::testing {
+
+class ScopedFastpath {
+ public:
+  explicit ScopedFastpath(const char* tier) {
+    const char* old = std::getenv("SEFI_FASTPATH");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv("SEFI_FASTPATH", tier, 1);
+    support::env::refresh();
+  }
+
+  ScopedFastpath(const ScopedFastpath&) = delete;
+  ScopedFastpath& operator=(const ScopedFastpath&) = delete;
+
+  ~ScopedFastpath() {
+    if (had_old_) {
+      ::setenv("SEFI_FASTPATH", old_.c_str(), 1);
+    } else {
+      ::unsetenv("SEFI_FASTPATH");
+    }
+    support::env::refresh();
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+}  // namespace sefi::testing
