@@ -27,14 +27,19 @@ int main() {
     const auto& fi = lab.run_fi(w);
     std::printf("%s (%llu occupancy samples):\n", name,
                 static_cast<unsigned long long>(occupancy.samples));
-    std::printf("  %-10s %14s %14s %10s\n", "component", "occupancy %",
-                "FI AVF %", "bound ok");
+    std::printf("  %-10s %14s %14s %12s %10s\n", "component", "occupancy %",
+                "FI AVF %", "margin ±%", "bound ok");
     for (const auto kind : sefi::microarch::kAllComponents) {
       const double bound = occupancy.component(kind);
       const double avf = fi.component(kind).avf();
-      std::printf("  %-10s %14.1f %14.1f %10s\n",
+      // The slack is the campaign's own re-adjusted error margin, not a
+      // hardcoded allowance: the bound holds when the occupancy covers
+      // the AVF to within the statistical uncertainty of the estimate.
+      const double margin = fi.component(kind).error_margin;
+      std::printf("  %-10s %14.1f %14.1f %12.1f %10s\n",
                   sefi::microarch::component_name(kind).c_str(), bound * 100,
-                  avf * 100, bound + 0.05 >= avf ? "yes" : "NO");
+                  avf * 100, margin * 100,
+                  bound + margin >= avf ? "yes" : "NO");
     }
   }
   std::printf(

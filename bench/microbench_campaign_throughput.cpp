@@ -52,6 +52,14 @@
 // is metrics on / tracing off unless SEFI_METRICS or SEFI_TRACE say
 // otherwise.
 //
+// After the matrix, the heaviest cell runs once per fault-site pruning
+// mode (SEFI_PRUNE=off/classify/sample — DESIGN.md §13). Those lines
+// carry `"prune":"<mode>"` plus the pruned-site counters, and the
+// classify/sample cells report `prune_speedup` against their own off
+// twin; classify must reproduce the baseline ClassCounts bit-for-bit,
+// while sample must agree with the baseline AVF to within the combined
+// confidence intervals. Matrix cells report `"prune":"off"`.
+//
 // Knobs: argv[1] workload name (default Qsort), argv[2] faults per
 // component (default 60); SEFI_THREADS caps the largest thread count
 // tried (default: hardware concurrency).
@@ -94,10 +102,12 @@ struct EmitTwins {
   double full_twin_wall = 0;  ///< full-restore twin of a delta cell
   double obs_off_wall = 0;    ///< obs=off twin of the obs=on cell
   double fastpath_off_wall = 0;  ///< fastpath=off twin of a fastpath cell
+  double prune_off_wall = 0;  ///< prune=off twin of a classify/sample cell
 };
 
 void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
-          const char* obs, const char* fastpath, const EmitTwins& twins) {
+          const char* obs, const char* fastpath, const char* prune,
+          const EmitTwins& twins) {
   const sefi::fi::CampaignStats& s = result.stats;
   std::printf(
       "{\"bench\":\"campaign_throughput\",\"workload\":\"%s\","
@@ -112,7 +122,9 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       "\"task_retries\":%llu,\"harness_errors\":%llu,"
       "\"watchdog_hits\":%llu,\"obs\":\"%s\",\"fastpath\":\"%s\","
       "\"uop_hits\":%llu,\"uop_decode_hits\":%llu,\"uop_misses\":%llu,"
-      "\"uop_invalidations\":%llu,\"guest_mips\":%.1f",
+      "\"uop_invalidations\":%llu,\"guest_mips\":%.1f,"
+      "\"prune\":\"%s\",\"pruned_sites\":%llu,\"live_sites\":%llu,"
+      "\"pruned_fraction\":%.3f",
       result.workload.c_str(), static_cast<unsigned long long>(s.threads),
       static_cast<unsigned long long>(s.checkpoints), delta_restore ? 1 : 0,
       static_cast<unsigned long long>(s.injections / 6),
@@ -132,7 +144,9 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       static_cast<unsigned long long>(s.uop_hits),
       static_cast<unsigned long long>(s.uop_decode_hits),
       static_cast<unsigned long long>(s.uop_misses),
-      static_cast<unsigned long long>(s.uop_invalidations), s.guest_mips);
+      static_cast<unsigned long long>(s.uop_invalidations), s.guest_mips,
+      prune, static_cast<unsigned long long>(s.pruned_sites),
+      static_cast<unsigned long long>(s.live_sites), s.pruned_fraction);
   const double wall = s.wall_seconds;
   if (twins.serial_wall > 0 && wall > 0) {
     std::printf(",\"speedup_vs_serial\":%.3f", twins.serial_wall / wall);
@@ -147,6 +161,9 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
   if (twins.fastpath_off_wall > 0 && wall > 0) {
     std::printf(",\"fastpath_speedup\":%.3f",
                 twins.fastpath_off_wall / wall);
+  }
+  if (twins.prune_off_wall > 0 && wall > 0) {
+    std::printf(",\"prune_speedup\":%.3f", twins.prune_off_wall / wall);
   }
   std::printf("}\n");
   std::fflush(stdout);
@@ -216,7 +233,7 @@ int main(int argc, char** argv) {
       EmitTwins twins;
       twins.serial_wall = serial_wall;
       twins.full_twin_wall = delta ? full_twin_wall : 0.0;
-      emit(result, delta, "default", matrix_tier, twins);
+      emit(result, delta, "default", matrix_tier, "off", twins);
     }
   }
 
@@ -246,10 +263,63 @@ int main(int argc, char** argv) {
     twins.serial_wall = serial_wall;
     twins.fastpath_off_wall =
         std::string(tier) == "off" ? 0.0 : fastpath_off_wall;
-    emit(result, true, "default", tier, twins);
+    emit(result, true, "default", tier, "off", twins);
   }
   ::unsetenv("SEFI_FASTPATH");
   sefi::support::env::refresh();
+
+  // Prune twins: the heaviest cell, once per pruning mode. The off run
+  // is the exhaustive executor; classify and sample report their
+  // wall-clock speedup against it. Classify must reproduce the baseline
+  // ClassCounts bit-for-bit (pruned sites are *proven* Masked); sample
+  // only has to land inside the combined confidence intervals.
+  config.threads = cells.back().first;
+  config.checkpoints = cells.back().second;
+  config.rig.delta_restore = true;
+  double prune_off_wall = 0;
+  sefi::fi::WorkloadFiResult prune_off_result;
+  for (const char* mode : {"off", "classify", "sample"}) {
+    config.prune = sefi::fi::prune_mode_from_name(mode);
+    const sefi::fi::WorkloadFiResult result =
+        sefi::fi::run_fi_campaign(workload, config);
+    const std::string mode_name(mode);
+    if (mode_name == "off") {
+      prune_off_wall = result.stats.wall_seconds;
+      prune_off_result = result;
+      if (!same_counts(baseline, result)) {
+        std::fprintf(stderr,
+                     "FATAL: prune=off twin diverged from the baseline\n");
+        return 1;
+      }
+    } else if (mode_name == "classify") {
+      if (!same_counts(baseline, result)) {
+        std::fprintf(stderr,
+                     "FATAL: prune=classify diverged from the baseline\n");
+        return 1;
+      }
+    } else {
+      for (const auto kind : sefi::microarch::kAllComponents) {
+        const auto& sampled = result.component(kind);
+        const auto& exhaustive = prune_off_result.component(kind);
+        const double gap = sampled.avf() - exhaustive.avf();
+        const double slack =
+            sampled.error_margin + exhaustive.error_margin + 1e-9;
+        if (gap > slack || -gap > slack) {
+          std::fprintf(stderr,
+                       "FATAL: prune=sample AVF for %s outside the combined "
+                       "confidence interval (gap %.4f, slack %.4f)\n",
+                       sefi::microarch::component_name(kind).c_str(), gap,
+                       slack);
+          return 1;
+        }
+      }
+    }
+    EmitTwins twins;
+    twins.serial_wall = serial_wall;
+    twins.prune_off_wall = mode_name == "off" ? 0.0 : prune_off_wall;
+    emit(result, true, "default", matrix_tier, mode, twins);
+  }
+  config.prune = sefi::fi::PruneMode::kOff;
 
   // Observability-overhead twins: the heaviest cell of the matrix, run
   // once with every obs channel forced off and once with all of them on
@@ -275,7 +345,7 @@ int main(int argc, char** argv) {
   {
     EmitTwins twins;
     twins.serial_wall = serial_wall;
-    emit(off, true, "off", matrix_tier, twins);
+    emit(off, true, "off", matrix_tier, "off", twins);
   }
 
   registry.set_enabled(true);
@@ -295,7 +365,7 @@ int main(int argc, char** argv) {
     EmitTwins twins;
     twins.serial_wall = serial_wall;
     twins.obs_off_wall = off.stats.wall_seconds;
-    emit(on, true, "on", matrix_tier, twins);
+    emit(on, true, "on", matrix_tier, "off", twins);
   }
   tracer.disable();
   tracer.reset();

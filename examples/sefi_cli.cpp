@@ -281,6 +281,16 @@ void print_fi_result(const fi::WorkloadFiResult& result) {
       static_cast<double>(stats.restore_bytes_copied) / (1024.0 * 1024.0),
       stats.pages_dirtied_avg,
       static_cast<double>(stats.ladder_resident_bytes) / (1024.0 * 1024.0));
+  // "executor:" prefix on purpose: pruning changes how the result was
+  // computed, not (in classify mode) what it is, so CI's diff-based
+  // smoke tests filter this line like the other run-dependent ones.
+  std::printf(
+      "executor: prune %llu sites skipped + %llu live (%llu executed) | "
+      "pruned fraction %.3f\n",
+      static_cast<unsigned long long>(stats.pruned_sites),
+      static_cast<unsigned long long>(stats.live_sites),
+      static_cast<unsigned long long>(stats.live_sites_executed),
+      stats.pruned_fraction);
   std::printf(
       "supervisor: %llu run + %llu replayed from journal | %llu retries, "
       "%llu harness errors, %llu watchdog hits, %llu cancelled\n",
@@ -300,6 +310,8 @@ int cmd_fi(const std::vector<std::string>& args) {
   config.rig.delta_restore = support::env::flag("SEFI_DELTA_RESTORE", true);
   config.max_task_retries = support::env::u64("SEFI_MAX_TASK_RETRIES", 2);
   config.task_deadline_ms = support::env::u64("SEFI_TASK_DEADLINE_MS", 0);
+  config.prune =
+      fi::prune_mode_from_name(support::env::str("SEFI_PRUNE", "off"));
   config.faults_per_component = 150;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--threads" && i + 1 < args.size()) {

@@ -37,6 +37,13 @@ LabConfig LabConfig::from_env(std::uint64_t default_faults,
   const std::uint64_t deadline = support::env::u64("SEFI_TASK_DEADLINE_MS", 0);
   config.fi.task_deadline_ms = deadline;
   config.beam.task_deadline_ms = deadline;
+  config.fi.prune =
+      fi::prune_mode_from_name(support::env::str("SEFI_PRUNE", "off"));
+  const std::string prune_fraction =
+      support::env::str("SEFI_PRUNE_FRACTION", "");
+  if (!prune_fraction.empty()) {
+    config.fi.prune_sample_fraction = std::stod(prune_fraction);
+  }
   config.journal_enabled = support::env::flag("SEFI_JOURNAL", true);
   const std::uint64_t seed = support::env::u64("SEFI_SEED", 0);
   if (seed != 0) {

@@ -28,7 +28,10 @@ namespace {
 /// v6: FI component lines carry the harness-error count (experiments the
 ///     campaign supervisor could not complete; excluded from AVF
 ///     denominators).
-constexpr int kFormatVersion = 6;
+/// v7: FI fingerprints cover the prune mode (and sample fraction); FI
+///     component lines carry pruned/live/estimator-variance fields. A
+///     pruned and an exhaustive campaign must never share a cache entry.
+constexpr int kFormatVersion = 7;
 
 void hash_double(support::Fnv1a& h, double value) {
   h.update(support::format_sci(value));
@@ -103,6 +106,16 @@ std::uint64_t fingerprint(const fi::CampaignConfig& config) {
   }
   hash_u64(h, config.rig.hang_budget_factor);
   hash_u64(h, config.rig.probe_timer_periods);
+  // The prune mode IS campaign identity: kClassify proves the same
+  // counts without executing pruned sites, but kSample changes what the
+  // numbers mean (reweighted estimates), and mixing pruned and
+  // exhaustive entries under one key would make a cache hit depend on
+  // which mode ran first. The sample fraction only matters when
+  // sampling is on.
+  hash_u64(h, static_cast<std::uint64_t>(config.prune));
+  if (config.prune == fi::PruneMode::kSample) {
+    hash_double(h, config.prune_sample_fraction);
+  }
   // config.threads, config.checkpoints, and config.rig.delta_restore are
   // deliberately NOT hashed: the executor contract guarantees
   // bit-identical results for any values, so they are not part of the
@@ -145,6 +158,7 @@ std::uint64_t fingerprint(const beam::BeamConfig& config) {
 
 std::string serialize(const fi::WorkloadFiResult& result) {
   std::ostringstream os;
+  os.precision(17);
   os << "fi v" << kFormatVersion << "\n";
   os << "workload " << result.workload << "\n";
   for (const fi::ComponentResult& comp : result.components) {
@@ -152,7 +166,9 @@ std::string serialize(const fi::WorkloadFiResult& result) {
        << comp.bits << " masked " << comp.counts.masked << " sdc "
        << comp.counts.sdc << " app " << comp.counts.app_crash << " sys "
        << comp.counts.sys_crash << " harness " << comp.counts.harness_error
-       << " margin " << comp.error_margin << "\n";
+       << " margin " << comp.error_margin << " pruned " << comp.pruned_masked
+       << " live " << comp.live_sites << " estvar "
+       << comp.estimator_variance << "\n";
   }
   return os.str();
 }
@@ -169,12 +185,15 @@ std::optional<fi::WorkloadFiResult> deserialize_fi(const std::string& text) {
   if (tag != "workload") return std::nullopt;
   for (auto& comp : result.components) {
     int kind = 0;
-    std::string bits, masked, sdc, app, sys, harness, margin;
+    std::string bits, masked, sdc, app, sys, harness, margin, pruned, live,
+        estvar;
     is >> tag >> kind >> bits >> comp.bits >> masked >> comp.counts.masked >>
         sdc >> comp.counts.sdc >> app >> comp.counts.app_crash >> sys >>
         comp.counts.sys_crash >> harness >> comp.counts.harness_error >>
-        margin >> comp.error_margin;
-    if (!is || tag != "component" || harness != "harness") {
+        margin >> comp.error_margin >> pruned >> comp.pruned_masked >> live >>
+        comp.live_sites >> estvar >> comp.estimator_variance;
+    if (!is || tag != "component" || harness != "harness" ||
+        pruned != "pruned" || estvar != "estvar") {
       return std::nullopt;
     }
     // A component id outside the enum would construct a bogus

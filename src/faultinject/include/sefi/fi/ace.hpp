@@ -20,8 +20,11 @@
 namespace sefi::fi {
 
 struct OccupancyResult {
-  /// Time-averaged fraction of each component's entries that were valid.
+  /// Time-averaged fraction of each component's entries that were valid
+  /// over the application window (event-exact integration).
   std::array<double, microarch::kNumComponents> occupancy{};
+  /// Total integration steps (valid-count change points) across the six
+  /// components.
   std::uint64_t samples = 0;
 
   double component(microarch::ComponentKind kind) const {
@@ -29,8 +32,11 @@ struct OccupancyResult {
   }
 };
 
-/// Runs the workload's golden execution on the detailed model, sampling
-/// component occupancy every `sample_period_cycles`.
+/// Measures each component's time-averaged valid-entry occupancy over
+/// the workload's application window, by exact integration of the
+/// golden liveness recording's valid-count events (no periodic
+/// sampling; `sample_period_cycles` is validated non-zero for interface
+/// compatibility and otherwise unused).
 OccupancyResult measure_occupancy(const workloads::Workload& workload,
                                   const RigConfig& rig,
                                   std::uint64_t input_seed,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sefi/exec/supervisor.hpp"
+#include "sefi/fi/liveness.hpp"
 #include "sefi/kernel/kernel.hpp"
 #include "sefi/microarch/detailed.hpp"
 #include "sefi/support/journal.hpp"
@@ -55,6 +56,27 @@ std::string outcome_name(Outcome outcome);
 enum class FaultModel : std::uint8_t { kSingleBit = 0, kDoubleBit };
 
 std::string fault_model_name(FaultModel model);
+
+/// Fault-site pruning strategy (DESIGN.md §13). Pruning consults the
+/// golden run's liveness recording to classify sites whose flipped bits
+/// are provably never read before being overwritten as Masked without
+/// executing them.
+///   kOff      — inject every sampled site (the paper's baseline);
+///   kClassify — skip provably-masked sites, execute every live one;
+///             the merged ClassCounts are bit-identical to kOff (tested);
+///   kSample   — additionally execute only a uniform subsample of the
+///             live sites and reweight the estimators (importance
+///             sampling over the live stratum; see sefi/stats/estimator).
+/// Unlike the executor knobs, the prune mode CHANGES what kSample
+/// results mean, so it is part of campaign identity and enters result
+/// cache fingerprints for every mode.
+enum class PruneMode : std::uint8_t { kOff = 0, kClassify, kSample };
+
+std::string prune_mode_name(PruneMode mode);
+
+/// Parses a SEFI_PRUNE-style string ("off" | "classify" | "sample");
+/// throws SefiError on anything else.
+PruneMode prune_mode_from_name(const std::string& name);
 
 struct FaultDescriptor {
   microarch::ComponentKind component;
@@ -183,12 +205,39 @@ class InjectionRig {
  public:
   /// `checkpoints` is the ladder size K (clamped to >= 1; rung 0 is
   /// always the spawn snapshot, so K = 1 reproduces the classic
-  /// replay-from-spawn rig).
+  /// replay-from-spawn rig). With `record_liveness` the golden replay of
+  /// the application window additionally records per-region liveness
+  /// intervals for every injectable component (one extra window replay
+  /// with the interpreter fast path forced off, so the recorded read
+  /// stream is a superset of any injected run's — see DESIGN.md §13).
   InjectionRig(const workloads::Workload& workload, const RigConfig& config,
-               std::uint64_t input_seed, std::uint64_t checkpoints = 1);
+               std::uint64_t input_seed, std::uint64_t checkpoints = 1,
+               bool record_liveness = false);
 
   const GoldenRun& golden() const { return golden_; }
   const RigConfig& config() const { return config_; }
+
+  /// Liveness recording of the golden window, or null when the rig was
+  /// built without `record_liveness`.
+  const LivenessMap* liveness() const { return liveness_.get(); }
+
+  /// True iff the liveness recording proves this fault can only ever be
+  /// Masked: every bit the fault model flips lands in a region that is
+  /// dead over the fault cycle's whole landing window (never read again
+  /// before overwrite), and the component carries no protection scheme
+  /// (protected components adjudicate to detection outcomes without a
+  /// read, so their sites are never pruned). The landing window is
+  /// [cycle, cycle + prune_slack()]: the flip lands at the first
+  /// instruction boundary at or past the fault cycle, which can trail
+  /// it by up to the longest single step of the golden window (see the
+  /// cycle-stamp note in sefi/fi/liveness.hpp). Requires a rig built
+  /// with `record_liveness`.
+  bool provably_masked(const FaultDescriptor& fault) const;
+
+  /// Cycle slack provably_masked assumes between a fault's nominal
+  /// cycle and the boundary where the flip lands (the recording
+  /// machine's max_step_cycles).
+  std::uint64_t prune_slack() const { return prune_slack_; }
 
   /// Number of ladder rungs actually captured (>= 1).
   std::size_t checkpoint_count() const { return 1 + delta_rungs_.size(); }
@@ -275,12 +324,31 @@ class InjectionRig {
   /// spawn snapshot, i > 0 is delta_rungs_[i - 1].
   std::size_t nearest_checkpoint(std::uint64_t cycle) const;
 
+  /// Bit -> liveness-region map of one component, captured at recording
+  /// time so classification outlives the recording machine. Regions
+  /// repeat with `period` bits; a positive `split` divides each period
+  /// into a meta region (bits < split) and a data region (the rest).
+  struct RegionLayout {
+    std::uint64_t period = 1;
+    std::uint64_t split = 0;
+
+    std::uint32_t region(std::uint64_t bit) const {
+      const std::uint64_t index = bit / period;
+      if (split == 0) return static_cast<std::uint32_t>(index);
+      return static_cast<std::uint32_t>(index * 2 +
+                                        (bit % period < split ? 0 : 1));
+    }
+  };
+
   const workloads::Workload& workload_;
   RigConfig config_;
   isa::Program kernel_image_;
   isa::Program app_image_;
   GoldenRun golden_;
   std::array<std::uint64_t, microarch::kNumComponents> component_bits_{};
+  std::array<RegionLayout, microarch::kNumComponents> region_layout_{};
+  std::unique_ptr<LivenessMap> liveness_;
+  std::uint64_t prune_slack_ = 0;
   sim::Machine::Snapshot base_;        ///< rung 0: the spawn snapshot
   std::vector<DeltaRung> delta_rungs_; ///< rungs 1..K-1, diffs vs base_
   mutable std::unique_ptr<Context> own_context_;  ///< lazy, for run_one
@@ -309,10 +377,28 @@ struct ClassCounts {
 struct ComponentResult {
   microarch::ComponentKind component{};
   std::uint64_t bits = 0;  ///< component size in storage bits
+  /// Per-class outcomes over the WHOLE sample: pruned sites are merged
+  /// here as Masked (their verdict is proven, not guessed), so
+  /// counts.total() - pruned_masked is the number of sites actually
+  /// executed.
   ClassCounts counts;
   double error_margin = 0;  ///< re-adjusted Leveugle margin (99%)
+  /// Sites proven Masked by the liveness pass without executing them
+  /// (0 with PruneMode::kOff).
+  std::uint64_t pruned_masked = 0;
+  /// Sites not provably masked (classified sites minus pruned_masked);
+  /// the live-stratum size of the reweighted estimators.
+  std::uint64_t live_sites = 0;
+  /// Sampling variance of avf() under PruneMode::kSample (0 when every
+  /// live site was executed — the estimator is then exact over the
+  /// sample and error_margin carries the Leveugle margin instead).
+  double estimator_variance = 0;
 
-  double avf() const;            ///< non-masked fraction
+  /// Non-masked fraction. Exhaustive campaigns (kOff / kClassify, where
+  /// every live site executed) use the exact per-sample fraction; under
+  /// kSample this is the reweighted live-stratum estimate
+  /// (live/n) * p_hat (see sefi/stats/estimator.hpp).
+  double avf() const;
   double avf_sdc() const;
   double avf_app_crash() const;
   double avf_sys_crash() const;
@@ -351,6 +437,12 @@ struct CampaignStats {
   double guest_mips = 0;  ///< guest_instructions / wall_seconds / 1e6
   // Supervisor telemetry (DESIGN.md §10). All zero on a clean run with
   // no journal, so figure outputs are unchanged when nothing goes wrong.
+  // Fault-site pruning telemetry (DESIGN.md §13), summed over components.
+  // All zero with SEFI_PRUNE=off.
+  std::uint64_t pruned_sites = 0;   ///< proven Masked without execution
+  std::uint64_t live_sites = 0;     ///< sites not provably masked
+  std::uint64_t live_sites_executed = 0;  ///< live sites actually injected
+  double pruned_fraction = 0;       ///< pruned_sites / classified sites
   std::uint64_t tasks_run = 0;         ///< injections executed this process
   std::uint64_t journal_replayed = 0;  ///< outcomes restored from the journal
   std::uint64_t task_retries = 0;      ///< attempts re-run after a failure
@@ -377,6 +469,15 @@ struct CampaignConfig {
   std::uint64_t input_seed = workloads::kDefaultInputSeed;
   double confidence = 0.99;                   ///< the paper's level
   FaultModel fault_model = FaultModel::kSingleBit;  ///< the paper's model
+  /// Fault-site pruning (DESIGN.md §13). NOT an executor knob: the mode
+  /// is part of campaign identity and enters result cache fingerprints —
+  /// a pruned and an exhaustive campaign must never share a cache entry
+  /// even though kClassify is count-identical to kOff (kSample is not).
+  PruneMode prune = PruneMode::kOff;
+  /// Fraction of live (non-pruned) sites executed under
+  /// PruneMode::kSample; clamped to (0, 1], at least one site per
+  /// component. Ignored by the other modes.
+  double prune_sample_fraction = 0.25;
   RigConfig rig;
   // Executor knobs. Results are bit-identical for any values (tested):
   // descriptors are pre-sampled before dispatch and merged in fault-index

@@ -1,0 +1,134 @@
+// Golden-run liveness recording for fault-site pruning (DESIGN.md §13).
+//
+// A ComponentLiveness subscribes (as a microarch::AccessObserver) to one
+// component's def/use stream during a single fault-free replay of the
+// application window and compresses it into per-region *live intervals*:
+// the cycle ranges during which a flip in that region could still be
+// observed. The classifier then answers, for any sampled fault site
+// (bit, cycle), whether the flip is provably masked — the region's next
+// access at or after the flip is an overwrite (or there is none), so no
+// read can ever see the corrupted value.
+//
+// Cycle-stamp semantics: an injected run's flip lands at the first
+// instruction *boundary* B at or past the fault cycle C, but events are
+// stamped with the live cycle counter, which the CPU advances *during*
+// a step (base cost before the handler, stalls as they accrue). The
+// step that crosses C finishes before the flip, so events stamped in
+// [C, B] can still pre-date the flip, and B itself can trail C by up to
+// the longest single step (sim::Machine::max_step_cycles). Pruning a
+// site (bit, cycle) is therefore sound only if the region is dead over
+// the whole window [C, C + max_step] — see live_in — not merely at C;
+// a post-flip read is consumed iff some live interval contains B + 1,
+// and B + 1 always falls inside that window. The recording replay must
+// also observe a superset of the reads any injected run can perform
+// (the rig forces the interpreter fast path off while recording, see
+// InjectionRig).
+//
+// The same pass integrates exact valid-entry occupancy (the ACE bound of
+// sefi/fi/ace.hpp) from the valid-count deltas, replacing periodic
+// sampling with event-exact integration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sefi/microarch/component.hpp"
+#include "sefi/microarch/observer.hpp"
+
+namespace sefi::fi {
+
+class ComponentLiveness final : public microarch::AccessObserver {
+ public:
+  /// Starts a recording: `regions` liveness regions, `cycles` the live
+  /// CPU cycle counter (must outlive the recording), `valid_now` the
+  /// component's current valid-entry count, `valid_after_reset` the
+  /// count a whole-structure reset re-establishes, `capacity` the
+  /// entry count occupancy fractions are reported against.
+  void begin(std::uint32_t regions, const std::uint64_t* cycles,
+             std::uint64_t valid_now, std::uint64_t valid_after_reset,
+             std::uint64_t capacity);
+
+  /// Ends the recording at `end_cycle` (closes the occupancy integral).
+  void finish(std::uint64_t end_cycle);
+
+  // AccessObserver:
+  void on_region_read(std::uint32_t region) override;
+  void on_region_kill(std::uint32_t region) override;
+  void on_kill_all() override;
+  void on_valid_delta(int delta) override;
+
+  /// True once begin()..finish() completed.
+  bool recorded() const { return recorded_; }
+
+  /// True iff a flip in `region` at `cycle` could still be observed:
+  /// some live interval contains `cycle`. False means provably masked.
+  bool live_at(std::uint32_t region, std::uint64_t cycle) const;
+
+  /// True iff some live interval intersects the inclusive cycle range
+  /// [lo, hi]. The pruner's query: a flip requested at cycle C lands at
+  /// an instruction boundary up to max_step_cycles later, so the sound
+  /// masked proof needs the region dead over that whole slack window,
+  /// not just at C (see the cycle-stamp note above).
+  bool live_in(std::uint32_t region, std::uint64_t lo,
+               std::uint64_t hi) const;
+
+  /// Time-averaged valid-entry fraction over the recorded window
+  /// (event-exact ACE occupancy).
+  double mean_occupancy() const;
+
+  /// Occupancy integration steps taken (valid-count change points); the
+  /// event-exact analogue of the old periodic sample count.
+  std::uint64_t occupancy_steps() const { return occ_steps_; }
+
+  /// Total live intervals stored (diagnostics / memory accounting).
+  std::uint64_t interval_count() const;
+
+ private:
+  struct Interval {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;  ///< inclusive
+  };
+
+  std::vector<std::vector<Interval>> intervals_;
+  /// Exclusive lower bound the next read interval may start at:
+  /// (stamp of the region's last kill) + 1; 0 before any kill.
+  std::vector<std::uint64_t> kill_bound_;
+  std::uint64_t kill_all_bound_ = 0;
+  const std::uint64_t* cycles_ = nullptr;
+  bool recorded_ = false;
+
+  // Occupancy integration.
+  std::uint64_t begin_cycle_ = 0;
+  std::uint64_t end_cycle_ = 0;
+  std::uint64_t last_occ_cycle_ = 0;
+  std::uint64_t valid_count_ = 0;
+  std::uint64_t valid_after_reset_ = 0;
+  std::uint64_t capacity_ = 0;
+  double occ_integral_ = 0;  ///< sum of valid_count * dt
+  std::uint64_t occ_steps_ = 0;
+};
+
+/// Liveness of all six injectable components, recorded in one pass.
+class LivenessMap {
+ public:
+  ComponentLiveness& component(microarch::ComponentKind kind) {
+    return components_[static_cast<std::size_t>(kind)];
+  }
+  const ComponentLiveness& component(microarch::ComponentKind kind) const {
+    return components_[static_cast<std::size_t>(kind)];
+  }
+
+  /// True once every component finished recording.
+  bool recorded() const {
+    for (const ComponentLiveness& live : components_) {
+      if (!live.recorded()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<ComponentLiveness, microarch::kNumComponents> components_;
+};
+
+}  // namespace sefi::fi

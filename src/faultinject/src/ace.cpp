@@ -10,50 +10,25 @@ OccupancyResult measure_occupancy(const workloads::Workload& workload,
                                   std::uint64_t sample_period_cycles) {
   support::require(sample_period_cycles > 0,
                    "measure_occupancy: zero sample period");
-  sim::Machine machine = microarch::make_detailed_machine(rig.uarch);
-  kernel::install_system(machine, kernel::build_kernel(rig.kernel),
-                         workload.build(input_seed),
-                         workloads::kWorkloadStackTop);
-  machine.boot();
+  // Occupancy now rides the rig's liveness recording (DESIGN.md §13):
+  // one golden window replay integrates valid-entry counts exactly at
+  // every change point instead of sampling them periodically, so the
+  // result no longer depends on the sampling period (kept as a
+  // validated knob for interface compatibility). The integration window
+  // is the application window — the same interval fault campaigns
+  // sample cycles from.
+  const InjectionRig recorded(workload, rig, input_seed, /*checkpoints=*/1,
+                              /*record_liveness=*/true);
+  const LivenessMap* liveness = recorded.liveness();
+  support::require(liveness != nullptr && liveness->recorded(),
+                   "measure_occupancy: liveness recording missing for " +
+                       workload.info().name);
 
-  auto& model = microarch::detailed_model(machine);
   OccupancyResult result;
-  std::array<double, microarch::kNumComponents> sums{};
-
-  for (;;) {
-    const auto event = machine.run_until_cycle(machine.cpu().cycles() +
-                                               sample_period_cycles);
-    auto record = [&](microarch::ComponentKind kind, double fraction) {
-      sums[static_cast<std::size_t>(kind)] += fraction;
-    };
-    record(microarch::ComponentKind::kL1I,
-           static_cast<double>(model.l1i().valid_lines()) /
-               model.l1i().geometry().lines());
-    record(microarch::ComponentKind::kL1D,
-           static_cast<double>(model.l1d().valid_lines()) /
-               model.l1d().geometry().lines());
-    record(microarch::ComponentKind::kL2,
-           static_cast<double>(model.l2().valid_lines()) /
-               model.l2().geometry().lines());
-    record(microarch::ComponentKind::kRegFile,
-           static_cast<double>(model.regfile().mapped_count()) /
-               model.regfile().num_phys());
-    record(microarch::ComponentKind::kITlb,
-           static_cast<double>(model.itlb().valid_entries()) /
-               model.itlb().entries());
-    record(microarch::ComponentKind::kDTlb,
-           static_cast<double>(model.dtlb().valid_entries()) /
-               model.dtlb().entries());
-    ++result.samples;
-    if (event.has_value()) {
-      support::require(event->kind == sim::RunEventKind::kExit,
-                       "measure_occupancy: golden run did not exit for " +
-                           workload.info().name);
-      break;
-    }
-  }
-  for (std::size_t i = 0; i < sums.size(); ++i) {
-    result.occupancy[i] = sums[i] / static_cast<double>(result.samples);
+  for (const auto kind : microarch::kAllComponents) {
+    const ComponentLiveness& live = liveness->component(kind);
+    result.occupancy[static_cast<std::size_t>(kind)] = live.mean_occupancy();
+    result.samples += live.occupancy_steps();
   }
   return result;
 }

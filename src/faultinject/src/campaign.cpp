@@ -11,6 +11,7 @@
 #include "sefi/obs/metrics.hpp"
 #include "sefi/obs/trace.hpp"
 #include "sefi/stats/confidence.hpp"
+#include "sefi/stats/estimator.hpp"
 #include "sefi/support/error.hpp"
 #include "sefi/support/hash.hpp"
 #include "sefi/support/rng.hpp"
@@ -125,6 +126,23 @@ std::string fault_model_name(FaultModel model) {
   return "?";
 }
 
+std::string prune_mode_name(PruneMode mode) {
+  switch (mode) {
+    case PruneMode::kOff: return "off";
+    case PruneMode::kClassify: return "classify";
+    case PruneMode::kSample: return "sample";
+  }
+  return "?";
+}
+
+PruneMode prune_mode_from_name(const std::string& name) {
+  if (name == "off") return PruneMode::kOff;
+  if (name == "classify") return PruneMode::kClassify;
+  if (name == "sample") return PruneMode::kSample;
+  throw support::SefiError("unknown prune mode \"" + name +
+                           "\" (want off|classify|sample)");
+}
+
 std::string outcome_name(Outcome outcome) {
   switch (outcome) {
     case Outcome::kMasked: return "Masked";
@@ -146,27 +164,41 @@ void ClassCounts::add(Outcome outcome) {
   }
 }
 
+namespace {
+// Shared rate arithmetic for the avf() family. Exhaustive campaigns
+// (kOff and kClassify: every live site executed, so the classified
+// counts cover the whole sample) divide exactly as the unpruned code
+// always did — the same two integers in the same order — so kClassify
+// is bit-identical to kOff. Only a genuinely subsampled live stratum
+// (kSample) takes the reweighted path.
+double outcome_rate(const ComponentResult& result, std::uint64_t faulty) {
+  const std::uint64_t total = result.counts.total();
+  if (total == 0) return 0;
+  const std::uint64_t executed = total - result.pruned_masked;
+  if (result.live_sites == 0 || executed >= result.live_sites) {
+    return static_cast<double>(faulty) / static_cast<double>(total);
+  }
+  if (executed == 0) return 0;
+  const std::uint64_t n = result.pruned_masked + result.live_sites;
+  const double weight = static_cast<double>(result.live_sites) /
+                        static_cast<double>(n);
+  return weight * static_cast<double>(faulty) /
+         static_cast<double>(executed);
+}
+}  // namespace
+
 double ComponentResult::avf() const {
-  const std::uint64_t n = counts.total();
-  if (n == 0) return 0;
-  return static_cast<double>(n - counts.masked) / static_cast<double>(n);
+  return outcome_rate(*this, counts.total() - counts.masked);
 }
 
-double ComponentResult::avf_sdc() const {
-  const std::uint64_t n = counts.total();
-  return n == 0 ? 0 : static_cast<double>(counts.sdc) / static_cast<double>(n);
-}
+double ComponentResult::avf_sdc() const { return outcome_rate(*this, counts.sdc); }
 
 double ComponentResult::avf_app_crash() const {
-  const std::uint64_t n = counts.total();
-  return n == 0 ? 0
-               : static_cast<double>(counts.app_crash) / static_cast<double>(n);
+  return outcome_rate(*this, counts.app_crash);
 }
 
 double ComponentResult::avf_sys_crash() const {
-  const std::uint64_t n = counts.total();
-  return n == 0 ? 0
-               : static_cast<double>(counts.sys_crash) / static_cast<double>(n);
+  return outcome_rate(*this, counts.sys_crash);
 }
 
 const ComponentResult& WorkloadFiResult::component(
@@ -174,9 +206,48 @@ const ComponentResult& WorkloadFiResult::component(
   return components[static_cast<std::size_t>(kind)];
 }
 
+namespace {
+// Captures an InjectableComponent's bit -> region map as closed-form
+// (period, split) parameters so pruning can classify fault sites long
+// after the recording machine is gone. Every component's bit_region is
+// periodic with at most one internal split; the first bits of regions 1
+// and 2 pin both parameters exactly (a single-region-per-period layout
+// like the register file is the degenerate split at period/2).
+template <typename Layout>
+Layout capture_region_layout(const microarch::InjectableComponent& comp) {
+  Layout layout;
+  const std::uint64_t bits = comp.bit_count();
+  layout.period = bits == 0 ? 1 : bits;
+  layout.split = 0;
+  std::uint64_t first_of_1 = bits;
+  for (std::uint64_t bit = 0; bit < bits; ++bit) {
+    const std::uint32_t region = comp.bit_region(bit);
+    if (region == 1 && first_of_1 == bits) first_of_1 = bit;
+    if (region == 2) {
+      layout.period = bit;
+      layout.split = first_of_1;
+      break;
+    }
+  }
+  if (layout.split == 0 && first_of_1 < bits) {
+    // Two regions total: one period spanning the whole structure.
+    layout.split = first_of_1;
+  }
+  // Cross-check the closed form against the component's own map at the
+  // boundaries it must reproduce.
+  for (const std::uint64_t probe :
+       {std::uint64_t{0}, first_of_1, bits > 0 ? bits - 1 : 0}) {
+    if (probe >= bits) continue;
+    support::require(layout.region(probe) == comp.bit_region(probe),
+                     "InjectionRig: region layout capture mismatch");
+  }
+  return layout;
+}
+}  // namespace
+
 InjectionRig::InjectionRig(const workloads::Workload& workload,
                            const RigConfig& config, std::uint64_t input_seed,
-                           std::uint64_t checkpoints)
+                           std::uint64_t checkpoints, bool record_liveness)
     : workload_(workload),
       config_(config),
       kernel_image_(kernel::build_kernel(config.kernel)),
@@ -228,9 +299,52 @@ InjectionRig::InjectionRig(const workloads::Workload& workload,
   // the full window.
   const std::uint64_t window = golden_.end_cycle - golden_.spawn_cycle;
   const std::uint64_t rungs = checkpoints == 0 ? 1 : checkpoints;
-  if (rungs > 1 && window > 0) {
+  const bool build_ladder = rungs > 1 && window > 0;
+  const bool record = record_liveness && window > 0;
+  if (build_ladder || record) {
     const obs::Span span("checkpoint_ladder", "fi");
     machine.restore_snapshot(base_);
+    // Liveness recording shares the ladder's window replay. It must
+    // observe every read an injected run might perform, so the replay
+    // forces the interpreter fast path off: uop purity proofs let the
+    // fast tiers skip real L1I/ITLB reads that an injected run would
+    // re-materialize (a flip bumps state stamps and voids the proofs),
+    // making the fastpath-off read stream a strict superset of any
+    // tier's. Injected runs may then run whichever tier is configured.
+    const sim::FastPath tier = machine.cpu().fastpath();
+    if (record) {
+      machine.cpu().set_fastpath(sim::FastPath::kOff);
+      liveness_ = std::make_unique<LivenessMap>();
+      auto& model = microarch::detailed_model(machine);
+      const std::uint64_t* cycles = machine.cpu().cycle_counter();
+      const auto attach = [&](microarch::ComponentKind kind,
+                              std::uint64_t valid_now,
+                              std::uint64_t valid_after_reset,
+                              std::uint64_t capacity) {
+        auto& comp = model.component(kind);
+        region_layout_[static_cast<std::size_t>(kind)] =
+            capture_region_layout<RegionLayout>(comp);
+        ComponentLiveness& live = liveness_->component(kind);
+        live.begin(comp.region_count(), cycles, valid_now, valid_after_reset,
+                   capacity);
+        comp.set_access_observer(&live);
+      };
+      attach(microarch::ComponentKind::kL1I, model.l1i().valid_lines(), 0,
+             model.l1i().region_count() / 2);
+      attach(microarch::ComponentKind::kL1D, model.l1d().valid_lines(), 0,
+             model.l1d().region_count() / 2);
+      attach(microarch::ComponentKind::kL2, model.l2().valid_lines(), 0,
+             model.l2().region_count() / 2);
+      attach(microarch::ComponentKind::kITlb, model.itlb().valid_entries(),
+             0, model.itlb().entries());
+      attach(microarch::ComponentKind::kDTlb, model.dtlb().valid_entries(),
+             0, model.dtlb().entries());
+      // The renamer keeps every architectural register mapped at all
+      // times (reset included), so regfile occupancy is arch/phys.
+      attach(microarch::ComponentKind::kRegFile,
+             model.regfile().mapped_count(), model.regfile().mapped_count(),
+             model.regfile().num_phys());
+    }
     for (std::uint64_t rung = 1; rung < rungs; ++rung) {
       const std::uint64_t target = golden_.spawn_cycle + rung * window / rungs;
       const std::uint64_t last = delta_rungs_.empty()
@@ -241,7 +355,62 @@ InjectionRig::InjectionRig(const workloads::Workload& workload,
       delta_rungs_.push_back(
           {machine.cpu().cycles(), machine.save_delta_snapshot(base_)});
     }
+    if (record) {
+      // Run the rest of the window to the golden exit so the recording
+      // covers every cycle an injected fault can land on.
+      const sim::RunEvent event = machine.run(kGoldenBudget);
+      support::require(event.kind == sim::RunEventKind::kExit,
+                       "InjectionRig: liveness replay did not exit cleanly");
+      auto& model = microarch::detailed_model(machine);
+      for (const auto kind : microarch::kAllComponents) {
+        model.component(kind).set_access_observer(nullptr);
+        liveness_->component(kind).finish(machine.cpu().cycles());
+      }
+      // An injected run's flip lands at the first instruction boundary
+      // at or past the fault cycle, up to one max-length step later;
+      // provably_masked must require the region dead over that whole
+      // slack window. The recording machine just replayed boot plus the
+      // full golden window, so its max step bounds every step a flip
+      // can straddle.
+      prune_slack_ = machine.max_step_cycles();
+      machine.cpu().set_fastpath(tier);
+    }
   }
+}
+
+bool InjectionRig::provably_masked(const FaultDescriptor& fault) const {
+  support::require(liveness_ != nullptr,
+                   "InjectionRig: provably_masked needs record_liveness");
+  // Protected components adjudicate faults from codeword state without a
+  // structural read, so liveness says nothing about their outcomes.
+  if (config_.protection.component(fault.component) != Protection::kNone) {
+    return false;
+  }
+  const std::size_t index = static_cast<std::size_t>(fault.component);
+  const ComponentLiveness& live = liveness_->component(fault.component);
+  const RegionLayout& layout = region_layout_[index];
+  // The flip lands at the first instruction boundary at or past
+  // fault.cycle — up to prune_slack_ cycles later — so the masked proof
+  // needs the region dead over the whole landing window, not just at
+  // the nominal cycle (see the cycle-stamp note in liveness.hpp).
+  const std::uint64_t land_hi = fault.cycle + prune_slack_;
+  if (live.live_in(layout.region(fault.bit), fault.cycle, land_hi)) {
+    return false;
+  }
+  if (fault.model == FaultModel::kDoubleBit) {
+    const std::uint64_t bits = component_bits_[index];
+    if (bits <= 1) {
+      // Degenerate double-bit on a one-bit structure flips only the one
+      // bit — already proven dead above.
+      return true;
+    }
+    const std::uint64_t buddy =
+        fault.bit + 1 < bits ? fault.bit + 1 : fault.bit - 1;
+    if (live.live_in(layout.region(buddy), fault.cycle, land_hi)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::uint64_t InjectionRig::ladder_resident_bytes() const {
@@ -463,6 +632,20 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   static obs::Gauge& guest_mips_metric = obs::Registry::instance().gauge(
       "sefi_guest_mips",
       "Guest instructions retired per wall-clock microsecond, last campaign");
+  // Fault-site pruning telemetry (DESIGN.md §13).
+  static obs::Counter& pruned_sites_metric = obs::Registry::instance().counter(
+      "sefi_fi_pruned_sites_total",
+      "Fault sites proven Masked by liveness pruning (never executed)");
+  static obs::Counter& live_sites_metric = obs::Registry::instance().counter(
+      "sefi_fi_live_sites_total",
+      "Fault sites not provably masked (the live stratum)");
+  static obs::Gauge& pruned_fraction_metric = obs::Registry::instance().gauge(
+      "sefi_fi_pruned_fraction",
+      "Pruned fraction of classified fault sites, last campaign");
+  static obs::Gauge& estimator_variance_metric =
+      obs::Registry::instance().gauge(
+          "sefi_fi_estimator_variance_max",
+          "Largest per-component AVF estimator variance, last campaign");
 
   // Forensics sink: an explicitly configured one wins; otherwise the
   // SEFI_TRACE-gated process-global sink (null when tracing is off).
@@ -471,7 +654,8 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
                                       : obs::ForensicsSink::global();
 
   const InjectionRig rig(workload, config.rig, config.input_seed,
-                         config.checkpoints);
+                         config.checkpoints,
+                         /*record_liveness=*/config.prune != PruneMode::kOff);
 
   WorkloadFiResult result;
   result.workload = workload.info().name;
@@ -530,6 +714,74 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
         record.replayed = true;
         forensics->write(record);
       }
+    }
+  }
+
+  // Fault-site pruning (DESIGN.md §13): classify every sampled site
+  // against the golden liveness recording before dispatch. Provably
+  // masked sites book their (certain) Masked verdict here and never
+  // reach a worker; under kSample the live remainder is further thinned
+  // to a uniform without-replacement subsample per component, chosen
+  // from a dedicated RNG substream so the choice is independent of the
+  // fault-sampling streams and of execution order.
+  enum class Disposition : std::uint8_t {
+    kExecute = 0,
+    kPrunedMasked,
+    kLiveUnsampled,
+  };
+  std::vector<Disposition> disposition(faults.size(), Disposition::kExecute);
+  if (config.prune != PruneMode::kOff) {
+    const obs::Span span("prune_classify", "fi");
+    double sample_fraction = config.prune_sample_fraction;
+    if (!(sample_fraction > 0) || sample_fraction > 1) sample_fraction = 1;
+    std::vector<std::size_t> live_indices;
+    std::size_t base = 0;
+    for (const auto kind : microarch::kAllComponents) {
+      live_indices.clear();
+      for (std::uint64_t i = 0; i < config.faults_per_component; ++i) {
+        const std::size_t index = base + i;
+        if (rig.provably_masked(faults[index])) {
+          disposition[index] = Disposition::kPrunedMasked;
+          pruned_sites_metric.add();
+          outcome_metrics[static_cast<std::size_t>(Outcome::kMasked)]->add();
+          if (forensics != nullptr) {
+            obs::ForensicsSink::Record record;
+            record.workload = result.workload;
+            record.component =
+                microarch::component_name(faults[index].component);
+            record.flat_bit = faults[index].bit;
+            record.injection_cycle = faults[index].cycle;
+            record.verdict = outcome_name(Outcome::kMasked);
+            record.pruned = true;
+            forensics->write(record);
+          }
+        } else {
+          live_indices.push_back(index);
+          live_sites_metric.add();
+        }
+      }
+      if (config.prune == PruneMode::kSample && !live_indices.empty()) {
+        const std::uint64_t live =
+            static_cast<std::uint64_t>(live_indices.size());
+        const std::uint64_t chosen = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   sample_fraction * static_cast<double>(live) + 0.5));
+        if (chosen < live) {
+          // Partial Fisher-Yates: the first `chosen` slots end up a
+          // uniform without-replacement draw from the live sites.
+          support::Xoshiro256 rng(support::derive_stream_seed(
+              config.seed ^ support::fnv1a(result.workload + "#prune"),
+              static_cast<std::uint64_t>(kind)));
+          for (std::uint64_t j = 0; j < chosen; ++j) {
+            const std::uint64_t pick = j + rng.below(live - j);
+            std::swap(live_indices[j], live_indices[pick]);
+          }
+          for (std::uint64_t j = chosen; j < live; ++j) {
+            disposition[live_indices[j]] = Disposition::kLiveUnsampled;
+          }
+        }
+      }
+      base += config.faults_per_component;
     }
   }
 
@@ -614,7 +866,10 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   const auto start = std::chrono::steady_clock::now();
   const exec::SupervisorReport report = exec::run_supervised(
       supervisor, faults.size(),
-      [&](std::size_t index) { return replayed[index] != 0; },
+      [&](std::size_t index) {
+        return replayed[index] != 0 ||
+               disposition[index] != Disposition::kExecute;
+      },
       [&](std::size_t worker, std::size_t index, std::uint64_t attempt,
           const exec::TaskGuard& guard) {
         if (config.task_fault_hook) config.task_fault_hook(index, attempt);
@@ -685,22 +940,72 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   // count as its sample size, so harness errors widen the margin rather
   // than bias the rates.
   std::size_t cursor = 0;
+  double estimator_variance_max = 0;
   for (const auto kind : microarch::kAllComponents) {
     ComponentResult& comp =
         result.components[static_cast<std::size_t>(kind)];
     for (std::uint64_t i = 0; i < config.faults_per_component; ++i) {
       const std::size_t index = cursor++;
+      switch (disposition[index]) {
+        case Disposition::kPrunedMasked:
+          // Proven verdict, merged like any other Masked outcome so the
+          // counts cover the whole sample.
+          comp.counts.add(Outcome::kMasked);
+          ++comp.pruned_masked;
+          continue;
+        case Disposition::kLiveUnsampled:
+          // Part of the live stratum but deliberately not executed; it
+          // contributes to the estimator weights only.
+          ++comp.live_sites;
+          continue;
+        case Disposition::kExecute:
+          break;
+      }
       if (report.states[index] == exec::TaskState::kPending) continue;
       comp.counts.add(outcomes[index]);
+      // Harness errors shrink the executed subsample instead of the
+      // live stratum: they stay out of live_sites exactly as they stay
+      // out of counts.total(), so kClassify remains count-identical to
+      // kOff even on a flaky harness. With pruning off nothing was
+      // classified into strata, so the telemetry stays all-zero.
+      if (config.prune != PruneMode::kOff &&
+          outcomes[index] != Outcome::kHarnessError) {
+        ++comp.live_sites;
+      }
     }
     const std::uint64_t classified = comp.counts.total();
-    comp.error_margin =
-        classified == 0
-            ? 0
-            : stats::readjusted_error_margin(
-                  static_cast<double>(comp.bits) * static_cast<double>(window),
-                  classified, config.confidence, comp.avf());
+    const std::uint64_t executed = classified - comp.pruned_masked;
+    if (config.prune == PruneMode::kSample && executed < comp.live_sites) {
+      const stats::PrunedEstimate estimate = stats::pruned_estimate(
+          comp.pruned_masked, comp.live_sites, executed,
+          classified - comp.counts.masked, config.confidence);
+      comp.estimator_variance = estimate.variance;
+      comp.error_margin = estimate.ci_half_width;
+    } else {
+      comp.error_margin =
+          classified == 0
+              ? 0
+              : stats::readjusted_error_margin(
+                    static_cast<double>(comp.bits) *
+                        static_cast<double>(window),
+                    classified, config.confidence, comp.avf());
+    }
+    estimator_variance_max =
+        std::max(estimator_variance_max, comp.estimator_variance);
+    if (config.prune != PruneMode::kOff) {
+      result.stats.pruned_sites += comp.pruned_masked;
+      result.stats.live_sites += comp.live_sites;
+      result.stats.live_sites_executed += executed;
+    }
   }
+  if (result.stats.pruned_sites + result.stats.live_sites > 0) {
+    result.stats.pruned_fraction =
+        static_cast<double>(result.stats.pruned_sites) /
+        static_cast<double>(result.stats.pruned_sites +
+                            result.stats.live_sites);
+  }
+  pruned_fraction_metric.set(result.stats.pruned_fraction);
+  estimator_variance_metric.set(estimator_variance_max);
 
   result.stats.threads = threads;
   result.stats.checkpoints = rig.checkpoint_count();
@@ -710,7 +1015,17 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
       wall > 0 ? static_cast<double>(faults.size()) / wall : 0;
   result.stats.ladder_resident_bytes = rig.ladder_resident_bytes();
   result.stats.tasks_run = report.completed;
-  result.stats.journal_replayed = report.skipped;
+  // The supervisor's skip count covers journal replays AND prune skips;
+  // only the former are journal_replayed. Pruned sites are never
+  // journaled, so the two sets are disjoint.
+  std::uint64_t prune_skipped = 0;
+  for (std::size_t i = 0; i < disposition.size(); ++i) {
+    if (disposition[i] != Disposition::kExecute &&
+        report.states[i] == exec::TaskState::kSkipped) {
+      ++prune_skipped;
+    }
+  }
+  result.stats.journal_replayed = report.skipped - prune_skipped;
   result.stats.task_retries = report.retries;
   result.stats.harness_errors = report.harness_errors;
   result.stats.watchdog_hits = report.watchdog_hits;

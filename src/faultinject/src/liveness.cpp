@@ -1,0 +1,125 @@
+#include "sefi/fi/liveness.hpp"
+
+#include <algorithm>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::fi {
+
+void ComponentLiveness::begin(std::uint32_t regions,
+                              const std::uint64_t* cycles,
+                              std::uint64_t valid_now,
+                              std::uint64_t valid_after_reset,
+                              std::uint64_t capacity) {
+  support::require(cycles != nullptr, "ComponentLiveness: null cycle counter");
+  support::require(regions > 0, "ComponentLiveness: component has no regions");
+  intervals_.assign(regions, {});
+  kill_bound_.assign(regions, 0);
+  kill_all_bound_ = 0;
+  cycles_ = cycles;
+  recorded_ = false;
+  begin_cycle_ = *cycles;
+  last_occ_cycle_ = begin_cycle_;
+  valid_count_ = valid_now;
+  valid_after_reset_ = valid_after_reset;
+  capacity_ = capacity;
+  occ_integral_ = 0;
+  occ_steps_ = 0;
+}
+
+void ComponentLiveness::finish(std::uint64_t end_cycle) {
+  support::require(cycles_ != nullptr,
+                   "ComponentLiveness: finish without begin");
+  end_cycle_ = std::max(end_cycle, last_occ_cycle_);
+  occ_integral_ += static_cast<double>(valid_count_) *
+                   static_cast<double>(end_cycle_ - last_occ_cycle_);
+  last_occ_cycle_ = end_cycle_;
+  ++occ_steps_;
+  cycles_ = nullptr;
+  recorded_ = true;
+}
+
+void ComponentLiveness::on_region_read(std::uint32_t region) {
+  const std::uint64_t stamp = *cycles_;
+  // The read extends the region's liveness from just after its last
+  // kill (or the recording start) up to this stamp.
+  const std::uint64_t lo = std::max(kill_bound_[region], kill_all_bound_);
+  if (lo > stamp) return;  // killed at this very stamp already
+  std::vector<Interval>& list = intervals_[region];
+  if (!list.empty() && list.back().hi + 1 >= lo) {
+    list.back().hi = std::max(list.back().hi, stamp);
+  } else {
+    list.push_back({lo, stamp});
+  }
+}
+
+void ComponentLiveness::on_region_kill(std::uint32_t region) {
+  // A flip strictly after this stamp cannot be seen by reads up to and
+  // including it, so the next interval starts at stamp + 1.
+  kill_bound_[region] = std::max(kill_bound_[region], *cycles_ + 1);
+}
+
+void ComponentLiveness::on_kill_all() {
+  kill_all_bound_ = std::max(kill_all_bound_, *cycles_ + 1);
+  // Whole-structure reset: occupancy snaps to the post-reset count.
+  const std::uint64_t stamp = *cycles_;
+  occ_integral_ += static_cast<double>(valid_count_) *
+                   static_cast<double>(stamp - last_occ_cycle_);
+  last_occ_cycle_ = stamp;
+  valid_count_ = valid_after_reset_;
+  ++occ_steps_;
+}
+
+void ComponentLiveness::on_valid_delta(int delta) {
+  const std::uint64_t stamp = *cycles_;
+  occ_integral_ += static_cast<double>(valid_count_) *
+                   static_cast<double>(stamp - last_occ_cycle_);
+  last_occ_cycle_ = stamp;
+  const std::int64_t next = static_cast<std::int64_t>(valid_count_) + delta;
+  valid_count_ = next < 0 ? 0 : static_cast<std::uint64_t>(next);
+  ++occ_steps_;
+}
+
+bool ComponentLiveness::live_at(std::uint32_t region,
+                                std::uint64_t cycle) const {
+  support::require(recorded_, "ComponentLiveness: query before recording");
+  support::require(region < intervals_.size(),
+                   "ComponentLiveness: region out of range");
+  const std::vector<Interval>& list = intervals_[region];
+  // First interval whose hi >= cycle; live iff it also starts <= cycle.
+  auto it = std::lower_bound(
+      list.begin(), list.end(), cycle,
+      [](const Interval& iv, std::uint64_t c) { return iv.hi < c; });
+  return it != list.end() && it->lo <= cycle;
+}
+
+bool ComponentLiveness::live_in(std::uint32_t region, std::uint64_t lo,
+                                std::uint64_t hi) const {
+  support::require(recorded_, "ComponentLiveness: query before recording");
+  support::require(region < intervals_.size(),
+                   "ComponentLiveness: region out of range");
+  support::require(lo <= hi, "ComponentLiveness: inverted query range");
+  const std::vector<Interval>& list = intervals_[region];
+  // First interval whose hi >= lo; it intersects [lo, hi] iff it also
+  // starts at or before hi (intervals are sorted and disjoint).
+  auto it = std::lower_bound(
+      list.begin(), list.end(), lo,
+      [](const Interval& iv, std::uint64_t c) { return iv.hi < c; });
+  return it != list.end() && it->lo <= hi;
+}
+
+double ComponentLiveness::mean_occupancy() const {
+  support::require(recorded_, "ComponentLiveness: query before recording");
+  if (capacity_ == 0 || end_cycle_ <= begin_cycle_) return 0;
+  return occ_integral_ /
+         (static_cast<double>(capacity_) *
+          static_cast<double>(end_cycle_ - begin_cycle_));
+}
+
+std::uint64_t ComponentLiveness::interval_count() const {
+  std::uint64_t total = 0;
+  for (const std::vector<Interval>& list : intervals_) total += list.size();
+  return total;
+}
+
+}  // namespace sefi::fi

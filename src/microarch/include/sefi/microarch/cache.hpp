@@ -146,6 +146,18 @@ class CacheArray final : public InjectableComponent {
   void flip_bit(std::uint64_t bit) override;
   BitSite locate_bit(std::uint64_t bit) const override;
 
+  // Liveness regions: each line contributes a meta region (valid +
+  // dirty + tag — consulted together by every associative compare) and
+  // a data region (the stored bytes). region = line*2 + (meta ? 0 : 1).
+  std::uint32_t region_count() const override {
+    return geometry_.lines() * 2;
+  }
+  std::uint32_t bit_region(std::uint64_t bit) const override {
+    const std::uint64_t per_line = bits_per_line();
+    const auto line = static_cast<std::uint32_t>(bit / per_line);
+    return line * 2 + (bit % per_line < 2 + tag_bits_ ? 0 : 1);
+  }
+
  protected:
   // Watch keys (see InjectableComponent): a meta watch (valid/dirty/tag
   // bits) activates when the watched set is consulted by an associative

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "sefi/microarch/observer.hpp"
+
 namespace sefi::microarch {
 
 enum class ComponentKind : std::uint8_t {
@@ -101,6 +103,21 @@ class InjectableComponent {
   /// watch can latch its first-activation cycle.
   bool watch_armed() const { return watch_cycles_ != nullptr; }
 
+  /// Liveness regions (see AccessObserver): the component's bits are
+  /// partitioned into regions read/killed as units. Components without
+  /// def/use instrumentation report one region and never emit events,
+  /// so every site in them stays conservatively live.
+  virtual std::uint32_t region_count() const { return 1; }
+  virtual std::uint32_t bit_region(std::uint64_t /*bit*/) const { return 0; }
+
+  /// Attaches (or, with nullptr, detaches) the def/use observer. The
+  /// pointer is transient: snapshot copies and copy-assignment restores
+  /// drop it (see ObserverHook). Pass null when recording ends — the
+  /// component must outlive an attached observer.
+  void set_access_observer(AccessObserver* observer) {
+    observer_.attach(observer);
+  }
+
  protected:
   /// Derived classes translate `bit` into fast-compare keys consulted
   /// on their read paths. The default keeps the watch inert (components
@@ -117,10 +134,16 @@ class InjectableComponent {
     watch_hit_cycle_ = watch_cycles_ != nullptr ? *watch_cycles_ : 0;
   }
 
+  /// Current observer, or nullptr. Hot read paths must guard every
+  /// event emission with a null check (one load+branch when detached,
+  /// same cost class as the disarmed watch compare).
+  AccessObserver* access_observer() const { return observer_.get(); }
+
  private:
   const std::uint64_t* watch_cycles_ = nullptr;
   mutable bool watch_hit_ = false;
   mutable std::uint64_t watch_hit_cycle_ = 0;
+  ObserverHook observer_;
 };
 
 }  // namespace sefi::microarch

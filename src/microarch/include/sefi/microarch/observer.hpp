@@ -1,0 +1,73 @@
+// Access-observer plumbing for golden-run liveness recording.
+//
+// An AccessObserver subscribes to the def/use stream of one injectable
+// component at *region* granularity: a region is the smallest group of
+// storage bits the component reads or overwrites as a unit (a cache
+// line's meta bits or data bytes, a TLB entry's tag or translation
+// half, one physical register). The fault-site pruner replays the
+// golden run once with an observer attached and turns the stream into
+// per-region liveness intervals (DESIGN.md §13).
+//
+// Events carry no timestamps: the observer owns its clock (the
+// campaign recorder samples the CPU cycle counter), keeping the
+// component side free of sim dependencies.
+#pragma once
+
+#include <cstdint>
+
+namespace sefi::microarch {
+
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  /// The guest consulted bits of `region`: its value can influence
+  /// execution from here on. Conservative call sites over-report
+  /// (recording a read that is later discarded is sound; missing one
+  /// is not).
+  virtual void on_region_read(std::uint32_t region) = 0;
+
+  /// Every bit of `region` was overwritten with values independent of
+  /// its prior content (a line fill, a TLB insert, a register write).
+  /// A flip landing between a kill and the next read is unobservable.
+  virtual void on_region_kill(std::uint32_t region) = 0;
+
+  /// Whole-structure kill (reset / flush): every region at once.
+  virtual void on_kill_all() = 0;
+
+  /// The number of valid entries changed by `delta` (occupancy
+  /// integration; fires after the corresponding kill event).
+  virtual void on_valid_delta(int delta) = 0;
+};
+
+/// Holder for a component's observer pointer with *transient* copy
+/// semantics: copying (snapshot capture, copy-assignment restore)
+/// always detaches — a snapshot must never smuggle a dangling observer
+/// back into a live array, and a whole-array restore invalidates the
+/// recording anyway. Moves transfer ownership normally.
+class ObserverHook {
+ public:
+  ObserverHook() = default;
+  ObserverHook(const ObserverHook&) noexcept : ptr_(nullptr) {}
+  ObserverHook& operator=(const ObserverHook&) noexcept {
+    ptr_ = nullptr;
+    return *this;
+  }
+  ObserverHook(ObserverHook&& other) noexcept : ptr_(other.ptr_) {
+    other.ptr_ = nullptr;
+  }
+  ObserverHook& operator=(ObserverHook&& other) noexcept {
+    ptr_ = other.ptr_;
+    other.ptr_ = nullptr;
+    return *this;
+  }
+
+  void attach(AccessObserver* observer) { ptr_ = observer; }
+  void detach() { ptr_ = nullptr; }
+  AccessObserver* get() const { return ptr_; }
+
+ private:
+  AccessObserver* ptr_ = nullptr;
+};
+
+}  // namespace sefi::microarch

@@ -42,6 +42,15 @@ class PhysRegFile final : public sim::RegFileModel,
   void flip_bit(std::uint64_t bit) override;
   BitSite locate_bit(std::uint64_t bit) const override;
 
+  // Liveness regions: one per physical register (read and written as
+  // 32-bit units through the rename map).
+  std::uint32_t region_count() const override {
+    return static_cast<std::uint32_t>(regs_.size());
+  }
+  std::uint32_t bit_region(std::uint64_t bit) const override {
+    return static_cast<std::uint32_t>(bit / 32);
+  }
+
   unsigned num_phys() const { return static_cast<unsigned>(regs_.size()); }
   /// Physical register currently mapped to `arch_reg` (for tests).
   unsigned mapping(unsigned arch_reg) const { return map_[arch_reg]; }

@@ -91,6 +91,17 @@ class Tlb final : public InjectableComponent {
   void flip_bit(std::uint64_t bit) override;
   BitSite locate_bit(std::uint64_t bit) const override;
 
+  // Liveness regions: each entry contributes a tag region (valid + VPN
+  // — scanned by every associative lookup) and a translation region
+  // (PPN + perms — consumed only by hits). region = entry*2 + half.
+  std::uint32_t region_count() const override {
+    return static_cast<std::uint32_t>(slots_.size()) * 2;
+  }
+  std::uint32_t bit_region(std::uint64_t bit) const override {
+    const auto entry = static_cast<std::uint32_t>(bit / kBitsPerEntry);
+    return entry * 2 + (bit % kBitsPerEntry < 13 ? 0 : 1);
+  }
+
   static constexpr unsigned kBitsPerEntry = 1 + 12 + 12 + 3;
 
  protected:

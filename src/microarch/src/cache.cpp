@@ -64,6 +64,13 @@ std::uint32_t CacheArray::tag_of(std::uint32_t paddr) const {
 int CacheArray::lookup(std::uint32_t paddr) const {
   const std::uint32_t set = set_of(paddr);
   if (set == watch_set_) note_watch_hit();  // associative compare reads meta
+  if (AccessObserver* o = access_observer()) {
+    // The compare consults every way's valid bit (a flipped valid bit
+    // on an invalid line resurrects it), so the whole set's meta is read.
+    for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
+      o->on_region_read(line_index(set, static_cast<int>(way)) * 2);
+    }
+  }
   const std::uint32_t tag = tag_of(paddr);
   for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
     const LineMeta& m = meta_[line_index(set, static_cast<int>(way))];
@@ -74,6 +81,11 @@ int CacheArray::lookup(std::uint32_t paddr) const {
 
 int CacheArray::pick_victim(std::uint32_t paddr) {
   const std::uint32_t set = set_of(paddr);
+  if (AccessObserver* o = access_observer()) {
+    for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
+      o->on_region_read(line_index(set, static_cast<int>(way)) * 2);
+    }
+  }
   for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
     if (!meta_[line_index(set, static_cast<int>(way))].valid) {
       return static_cast<int>(way);
@@ -102,6 +114,17 @@ EvictedLine CacheArray::install(std::uint32_t paddr, int way,
   mark_set(set);
   ++set_stamps_[set];  // a fill only disturbs its own set
   LineMeta& m = meta_[idx];
+  if (AccessObserver* o = access_observer()) {
+    // The write-back decision consults the victim's meta; the stored
+    // bytes are consumed only when they will actually be written back
+    // (clean victims are discarded, so a flip in them dies here). The
+    // fill then overwrites valid/dirty/tag and the data bytes.
+    o->on_region_read(idx * 2);
+    if (m.valid && m.dirty) o->on_region_read(idx * 2 + 1);
+    o->on_region_kill(idx * 2);
+    o->on_region_kill(idx * 2 + 1);
+    if (!m.valid) o->on_valid_delta(+1);
+  }
 
   EvictedLine evicted;
   evicted.valid = m.valid;
@@ -127,6 +150,10 @@ std::span<std::uint8_t> CacheArray::line_data(std::uint32_t paddr, int way) {
   mark_set(set);  // the caller may write through the mutable span
   const std::uint32_t idx = line_index(set, way);
   if (idx == watch_line_) note_watch_hit();
+  // Conservatively a read even when the caller only stores: partial
+  // stores leave the line's other bits observable, so the region can
+  // never be killed here, and treating it as live is the sound side.
+  if (AccessObserver* o = access_observer()) o->on_region_read(idx * 2 + 1);
   return {data_.data() + static_cast<std::size_t>(idx) * geometry_.line_bytes,
           geometry_.line_bytes};
 }
@@ -135,6 +162,7 @@ std::span<const std::uint8_t> CacheArray::line_data(std::uint32_t paddr,
                                                     int way) const {
   const std::uint32_t idx = line_index(set_of(paddr), way);
   if (idx == watch_line_) note_watch_hit();
+  if (AccessObserver* o = access_observer()) o->on_region_read(idx * 2 + 1);
   return {data_.data() + static_cast<std::size_t>(idx) * geometry_.line_bytes,
           geometry_.line_bytes};
 }
@@ -148,21 +176,35 @@ void CacheArray::mark_dirty(std::uint32_t paddr, int way) {
 bool CacheArray::is_dirty(std::uint32_t paddr, int way) const {
   const std::uint32_t set = set_of(paddr);
   if (set == watch_set_) note_watch_hit();  // the dirty bit is meta state
-  return meta_[line_index(set, way)].dirty;
+  const std::uint32_t idx = line_index(set, way);
+  if (AccessObserver* o = access_observer()) o->on_region_read(idx * 2);
+  return meta_[idx].dirty;
 }
 
 void CacheArray::invalidate_range(std::uint32_t start, std::uint32_t size) {
   ++state_stamp_;
+  AccessObserver* o = access_observer();
   const std::uint64_t end = static_cast<std::uint64_t>(start) + size;
   for (std::uint32_t set = 0; set < geometry_.sets(); ++set) {
     for (std::uint32_t way = 0; way < geometry_.ways; ++way) {
-      LineMeta& m = meta_[line_index(set, static_cast<int>(way))];
+      const std::uint32_t idx = line_index(set, static_cast<int>(way));
+      LineMeta& m = meta_[idx];
+      // The scan consults every line's valid bit (and valid lines'
+      // tags); an invalidated line's tag and bytes then become
+      // unreachable until the next fill overwrites them, which is a
+      // kill at region granularity.
+      if (o != nullptr) o->on_region_read(idx * 2);
       if (!m.valid) continue;
       const std::uint32_t base = line_paddr(set, static_cast<int>(way));
       if (base < end && start < base + geometry_.line_bytes) {
         m.valid = false;
         m.dirty = false;
         mark_set(set);
+        if (o != nullptr) {
+          o->on_region_kill(idx * 2);
+          o->on_region_kill(idx * 2 + 1);
+          o->on_valid_delta(-1);
+        }
       }
     }
   }
@@ -193,6 +235,7 @@ std::uint32_t CacheArray::valid_lines() const {
 
 void CacheArray::reset() {
   ++state_stamp_;
+  if (AccessObserver* o = access_observer()) o->on_kill_all();
   std::fill(meta_.begin(), meta_.end(), LineMeta{});
   std::fill(data_.begin(), data_.end(), 0);
   std::fill(victim_ptr_.begin(), victim_ptr_.end(), 0);

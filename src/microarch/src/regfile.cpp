@@ -17,6 +17,7 @@ PhysRegFile::PhysRegFile(unsigned num_phys, unsigned num_arch) {
 std::uint32_t PhysRegFile::read(unsigned arch_reg) {
   const std::uint32_t phys = map_[arch_reg];
   if (phys == watch_phys_) note_watch_hit();
+  if (AccessObserver* o = access_observer()) o->on_region_read(phys);
   return regs_[phys];
 }
 
@@ -32,9 +33,13 @@ void PhysRegFile::write(unsigned arch_reg, std::uint32_t value) {
   mapped_[candidate] = true;
   regs_[candidate] = value;
   mark_reg(candidate);
+  // The allocated register is overwritten without being consulted; the
+  // retired one simply gets no further reads until its own realloc.
+  if (AccessObserver* o = access_observer()) o->on_region_kill(candidate);
 }
 
 void PhysRegFile::reset() {
+  if (AccessObserver* o = access_observer()) o->on_kill_all();
   std::fill(regs_.begin(), regs_.end(), 0);
   std::fill(mapped_.begin(), mapped_.end(), false);
   for (std::uint32_t i = 0; i < map_.size(); ++i) {

@@ -28,10 +28,22 @@ std::optional<sim::Translation> Tlb::lookup(std::uint32_t vpn) const {
   // The associative compare reads every entry's valid+VPN bits, so a
   // tag watch activates on the first lookup after injection.
   if (watch_tag_entry_ < slots_.size()) note_watch_hit();
+  AccessObserver* o = access_observer();
+  if (o != nullptr) {
+    // Every entry's valid bit is consulted (a flipped valid bit on an
+    // invalid entry resurrects a garbage translation), so every tag
+    // region is read by every lookup.
+    for (std::size_t entry = 0; entry < slots_.size(); ++entry) {
+      o->on_region_read(static_cast<std::uint32_t>(entry) * 2);
+    }
+  }
   for (std::size_t entry = 0; entry < slots_.size(); ++entry) {
     const Slot& slot = slots_[entry];
     if (slot.valid && slot.vpn == vpn) {
       if (entry == watch_data_entry_) note_watch_hit();
+      if (o != nullptr) {
+        o->on_region_read(static_cast<std::uint32_t>(entry) * 2 + 1);
+      }
       sim::Translation t;
       t.ppn = slot.ppn;
       // Perm bits are stored shifted down by one (valid bit excluded).
@@ -58,6 +70,12 @@ void Tlb::insert(std::uint32_t vpn, const sim::Translation& translation) {
   ++entry_stamps_[next_victim_];  // an insert only disturbs its victim
   Slot& slot = slots_[next_victim_];
   mark_entry(next_victim_);
+  if (AccessObserver* o = access_observer()) {
+    // The victim is overwritten wholesale without being consulted.
+    o->on_region_kill(next_victim_ * 2);
+    o->on_region_kill(next_victim_ * 2 + 1);
+    if (!slot.valid) o->on_valid_delta(+1);
+  }
   next_victim_ = (next_victim_ + 1) % slots_.size();
   slot.valid = true;
   slot.vpn = vpn & 0xfffu;
@@ -75,6 +93,7 @@ unsigned Tlb::valid_entries() const {
 
 void Tlb::reset() {
   ++state_stamp_;
+  if (AccessObserver* o = access_observer()) o->on_kill_all();
   for (Slot& slot : slots_) slot = Slot{};
   next_victim_ = 0;
   mark_all_dirty();

@@ -29,6 +29,9 @@
 //   replayed            true when the record was recovered from a
 //                       resume journal (site/activation fields are
 //                       absent — the injection was not re-executed)
+//   pruned              true when the verdict was proven by the golden
+//                       liveness recording instead of executed
+//                       (always Masked; site/activation fields absent)
 //
 // The sink appends under a mutex and flushes per record, mirroring the
 // task journal's kill-safety: a SIGKILLed campaign keeps every record
@@ -65,6 +68,7 @@ class ForensicsSink {
     std::string verdict;
     std::uint64_t latency_to_verdict_cycles = 0;
     bool replayed = false;
+    bool pruned = false;
   };
 
   /// Opens `path` for appending (creating parent directories).

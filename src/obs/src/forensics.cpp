@@ -93,6 +93,8 @@ bool ForensicsSink::write(const Record& record) {
                record.latency_to_verdict_cycles);
   line += ',';
   append_field(line, "replayed", record.replayed);
+  line += ',';
+  append_field(line, "pruned", record.pruned);
   line += "}\n";
 
   const std::lock_guard<std::mutex> lock(mutex_);

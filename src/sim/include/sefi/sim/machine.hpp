@@ -143,6 +143,14 @@ class Machine {
   /// stops before reaching the target.
   std::optional<RunEvent> run_until_cycle(std::uint64_t target_cycle);
 
+  /// Largest cycle count any single CPU step has consumed on this
+  /// machine so far. Bounds how far past a requested cycle the stop
+  /// point of run_until_cycle can land (the step that crosses the
+  /// target finishes first) — the slack the fault-site pruner must
+  /// assume between a fault's nominal cycle and the boundary where the
+  /// flip actually lands (DESIGN.md §13).
+  std::uint64_t max_step_cycles() const { return max_step_cycles_; }
+
   const std::string& console() const { return devices_->console(); }
   std::uint64_t jiffies() const { return devices_->jiffies(); }
 
@@ -172,6 +180,7 @@ class Machine {
   std::unique_ptr<Cpu> cpu_;
 
   bool delta_restore_ = true;
+  std::uint64_t max_step_cycles_ = 0;
   /// Id of the snapshot this machine restored last; 0 = none/unknown
   /// (boot() resets it, forcing the next restore to be full).
   std::uint64_t last_restored_id_ = 0;

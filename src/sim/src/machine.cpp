@@ -205,6 +205,7 @@ RunEvent Machine::run(std::uint64_t max_cycles) {
       return RunEvent{RunEventKind::kCycleLimit, 0};
     }
     const std::uint64_t consumed = cpu_->step();
+    if (consumed > max_step_cycles_) max_step_cycles_ = consumed;
     devices_->tick(consumed);
     if (const auto event = poll_events()) return *event;
   }
@@ -213,6 +214,7 @@ RunEvent Machine::run(std::uint64_t max_cycles) {
 std::optional<RunEvent> Machine::run_until_cycle(std::uint64_t target_cycle) {
   while (cpu_->cycles() < target_cycle) {
     const std::uint64_t consumed = cpu_->step();
+    if (consumed > max_step_cycles_) max_step_cycles_ = consumed;
     devices_->tick(consumed);
     if (const auto event = poll_events()) return event;
   }

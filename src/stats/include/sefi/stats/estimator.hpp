@@ -1,0 +1,41 @@
+// Stratified AVF estimator for pruned fault-injection campaigns
+// (DESIGN.md §13).
+//
+// Fault-site pruning splits a component's sampled sites into two strata:
+//   dead — provably never read before overwrite; outcome is Masked with
+//          certainty (a zero-variance stratum);
+//   live — everything else; a uniform without-replacement subsample of
+//          size m is actually executed and its faulty fraction p_hat
+//          observed.
+// The population estimate reweights the live stratum by its prevalence:
+//   AVF_hat = (live / n) * p_hat,            n = dead + live
+//   Var     = (live / n)^2 * p_hat (1 - p_hat) / m * (live - m)/(live - 1)
+// (the last factor is the finite-population correction for sampling the
+// live stratum without replacement). The dead stratum contributes zero
+// to both. When m == live the campaign is exhaustive over live sites and
+// the estimator degenerates to the naive fraction with zero sampling
+// variance from the live stratum subsampling.
+#pragma once
+
+#include <cstdint>
+
+namespace sefi::stats {
+
+struct PrunedEstimate {
+  double rate = 0;           ///< reweighted population rate estimate
+  double variance = 0;       ///< Var of the estimator
+  double ci_half_width = 0;  ///< z(confidence) * sqrt(variance)
+};
+
+/// Estimates a population outcome rate from a pruned campaign.
+///   `dead`     sites proven Masked without execution,
+///   `live`     sites not provably masked,
+///   `executed` live sites actually injected and classified (m <= live),
+///   `faulty`   executed sites showing the outcome of interest.
+/// Throws SefiError on inconsistent counts (executed > live,
+/// faulty > executed). Returns all zeros when no site was classified.
+PrunedEstimate pruned_estimate(std::uint64_t dead, std::uint64_t live,
+                               std::uint64_t executed, std::uint64_t faulty,
+                               double confidence);
+
+}  // namespace sefi::stats

@@ -1,0 +1,42 @@
+#include "sefi/stats/estimator.hpp"
+
+#include <cmath>
+
+#include "sefi/stats/confidence.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::stats {
+
+PrunedEstimate pruned_estimate(std::uint64_t dead, std::uint64_t live,
+                               std::uint64_t executed, std::uint64_t faulty,
+                               double confidence) {
+  support::require(executed <= live,
+                   "pruned_estimate: executed exceeds live sites");
+  support::require(faulty <= executed,
+                   "pruned_estimate: faulty exceeds executed sites");
+  PrunedEstimate estimate;
+  const std::uint64_t n = dead + live;
+  if (n == 0 || executed == 0) {
+    // Nothing classified (or the whole sample proved dead with no live
+    // remainder): the rate is exactly the dead stratum's zero.
+    return estimate;
+  }
+  const double weight =
+      static_cast<double>(live) / static_cast<double>(n);
+  const double p_hat =
+      static_cast<double>(faulty) / static_cast<double>(executed);
+  estimate.rate = weight * p_hat;
+  if (executed < live && live > 1) {
+    const double fpc = static_cast<double>(live - executed) /
+                       static_cast<double>(live - 1);
+    estimate.variance = weight * weight * p_hat * (1.0 - p_hat) /
+                        static_cast<double>(executed) * fpc;
+  }
+  estimate.ci_half_width =
+      estimate.variance > 0
+          ? z_score(confidence) * std::sqrt(estimate.variance)
+          : 0;
+  return estimate;
+}
+
+}  // namespace sefi::stats

@@ -108,6 +108,22 @@ TEST(Serialization, FiRoundTripPreservesHarnessErrors) {
             original.components[2].counts.attempted());
 }
 
+TEST(Serialization, FiRoundTripPreservesPruneTelemetry) {
+  // Prune telemetry is part of a stored result: a cached pruned
+  // campaign must replay with its strata and variance intact.
+  fi::WorkloadFiResult original = sample_fi_result();
+  original.components[1].pruned_masked = 9;
+  original.components[1].live_sites = 11;
+  original.components[1].estimator_variance = 1.25e-3;
+  const auto parsed = deserialize_fi(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->components[1].pruned_masked, 9u);
+  EXPECT_EQ(parsed->components[1].live_sites, 11u);
+  EXPECT_DOUBLE_EQ(parsed->components[1].estimator_variance, 1.25e-3);
+  EXPECT_EQ(parsed->components[0].pruned_masked, 0u);
+  EXPECT_DOUBLE_EQ(parsed->components[0].estimator_variance, 0.0);
+}
+
 TEST(Serialization, BeamRoundTrip) {
   const beam::BeamResult original = sample_beam_result();
   const auto parsed = deserialize_beam(serialize(original));
@@ -143,6 +159,31 @@ TEST(Fingerprint, SensitiveToEveryKnob) {
   beam_config.sigma_bit_cm2 /= 2;
   beam_config.platform.resources[0].p_sys_crash += 0.01;
   EXPECT_NE(fingerprint(beam_config), beam_base);
+}
+
+TEST(Fingerprint, PruneModeIsCampaignIdentity) {
+  // Mixing pruned and exhaustive campaigns through one cache entry must
+  // be impossible: every prune mode fingerprints differently, even
+  // kClassify whose counts are bit-identical to kOff.
+  fi::CampaignConfig config;
+  config.prune = fi::PruneMode::kOff;
+  const std::uint64_t off = fingerprint(config);
+  config.prune = fi::PruneMode::kClassify;
+  const std::uint64_t classify = fingerprint(config);
+  config.prune = fi::PruneMode::kSample;
+  const std::uint64_t sample = fingerprint(config);
+  EXPECT_NE(off, classify);
+  EXPECT_NE(off, sample);
+  EXPECT_NE(classify, sample);
+
+  // The subsample fraction shapes results only under kSample, so only
+  // there does it enter the fingerprint.
+  config.prune_sample_fraction = 0.5;
+  EXPECT_NE(fingerprint(config), sample);
+  config.prune = fi::PruneMode::kOff;
+  const std::uint64_t off_half = fingerprint(config);
+  config.prune_sample_fraction = 0.25;
+  EXPECT_EQ(fingerprint(config), off_half);
 }
 
 TEST(Fingerprint, StableForEqualConfigs) {

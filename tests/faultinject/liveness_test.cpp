@@ -1,0 +1,455 @@
+#include "sefi/fi/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sefi/core/lab.hpp"
+#include "sefi/fi/campaign.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::fi {
+namespace {
+
+// --- ComponentLiveness unit tests (fake cycle counter) ---
+
+/// Recorder over `regions` regions driven by a hand-advanced clock.
+struct Recorder {
+  std::uint64_t clock = 0;
+  ComponentLiveness live;
+  explicit Recorder(std::uint32_t regions, std::uint64_t valid_now = 0,
+                    std::uint64_t valid_after_reset = 0,
+                    std::uint64_t capacity = 1) {
+    live.begin(regions, &clock, valid_now, valid_after_reset, capacity);
+  }
+};
+
+TEST(ComponentLiveness, WriteThenReadIsLiveBetweenThem) {
+  Recorder rec(1);
+  rec.clock = 10;
+  rec.live.on_region_kill(0);  // write: value before this is dead
+  rec.clock = 20;
+  rec.live.on_region_read(0);
+  rec.live.finish(30);
+  // A flip at the write stamp itself is overwritten; from the next
+  // boundary up to the read it is observable.
+  EXPECT_FALSE(rec.live.live_at(0, 10));
+  EXPECT_TRUE(rec.live.live_at(0, 11));
+  EXPECT_TRUE(rec.live.live_at(0, 15));
+  EXPECT_TRUE(rec.live.live_at(0, 20));
+  EXPECT_FALSE(rec.live.live_at(0, 21));
+  EXPECT_EQ(rec.live.interval_count(), 1u);
+}
+
+TEST(ComponentLiveness, WriteThenOverwriteIsNeverLive) {
+  Recorder rec(1);
+  rec.clock = 10;
+  rec.live.on_region_kill(0);
+  rec.clock = 50;
+  rec.live.on_region_kill(0);  // overwritten, never read
+  rec.live.finish(100);
+  for (const std::uint64_t cycle : {0u, 10u, 30u, 49u, 50u, 99u}) {
+    EXPECT_FALSE(rec.live.live_at(0, cycle)) << "cycle " << cycle;
+  }
+  EXPECT_EQ(rec.live.interval_count(), 0u);
+}
+
+TEST(ComponentLiveness, InvalidateClosesTheInterval) {
+  Recorder rec(1);
+  rec.clock = 20;
+  rec.live.on_region_read(0);  // live from recording start to 20
+  rec.clock = 30;
+  rec.live.on_region_kill(0);  // invalidation closes the liveness
+  rec.clock = 100;
+  rec.live.on_region_read(0);  // new interval after the invalidate
+  rec.live.finish(120);
+  EXPECT_TRUE(rec.live.live_at(0, 0));
+  EXPECT_TRUE(rec.live.live_at(0, 20));
+  // Between the last pre-invalidate read and the invalidation a flip is
+  // wiped before anything reads it.
+  EXPECT_FALSE(rec.live.live_at(0, 25));
+  EXPECT_FALSE(rec.live.live_at(0, 30));
+  EXPECT_TRUE(rec.live.live_at(0, 31));
+  EXPECT_TRUE(rec.live.live_at(0, 100));
+  EXPECT_FALSE(rec.live.live_at(0, 101));
+  EXPECT_EQ(rec.live.interval_count(), 2u);
+}
+
+TEST(ComponentLiveness, RestoreResetsEveryRegionsIntervals) {
+  Recorder rec(2);
+  rec.clock = 20;
+  rec.live.on_region_read(0);
+  rec.live.on_region_read(1);
+  rec.clock = 40;
+  rec.live.on_kill_all();  // whole-structure reset (snapshot restore)
+  rec.clock = 60;
+  rec.live.on_region_read(0);  // must not bridge across the reset
+  rec.live.finish(80);
+  // Pre-reset liveness is untouched (those reads really happened)...
+  EXPECT_TRUE(rec.live.live_at(0, 15));
+  EXPECT_TRUE(rec.live.live_at(1, 15));
+  // ...but the reset bounds every region's next interval, including
+  // region 1 which was never individually killed.
+  EXPECT_FALSE(rec.live.live_at(0, 30));
+  EXPECT_FALSE(rec.live.live_at(0, 40));
+  EXPECT_TRUE(rec.live.live_at(0, 41));
+  EXPECT_TRUE(rec.live.live_at(0, 60));
+  EXPECT_FALSE(rec.live.live_at(1, 50));
+}
+
+TEST(ComponentLiveness, BackToBackReadsCoalesce) {
+  Recorder rec(1);
+  rec.clock = 10;
+  rec.live.on_region_read(0);
+  rec.clock = 11;
+  rec.live.on_region_read(0);  // adjacent: extends, no new interval
+  rec.clock = 20;
+  rec.live.on_region_kill(0);
+  rec.clock = 25;
+  rec.live.on_region_read(0);  // gap after a kill: new interval
+  rec.live.finish(30);
+  EXPECT_EQ(rec.live.interval_count(), 2u);
+  EXPECT_TRUE(rec.live.live_at(0, 11));
+  EXPECT_FALSE(rec.live.live_at(0, 21 - 1));  // killed at 20
+  EXPECT_TRUE(rec.live.live_at(0, 21));
+}
+
+TEST(ComponentLiveness, ReadAtTheKillStampStaysDead) {
+  Recorder rec(1);
+  rec.clock = 10;
+  rec.live.on_region_kill(0);
+  rec.live.on_region_read(0);  // same stamp: the kill wins (lo > stamp)
+  rec.live.finish(20);
+  EXPECT_FALSE(rec.live.live_at(0, 10));
+  EXPECT_EQ(rec.live.interval_count(), 0u);
+}
+
+TEST(ComponentLiveness, LiveInReportsIntervalOverlap) {
+  Recorder rec(1);
+  rec.clock = 10;
+  rec.live.on_region_kill(0);
+  rec.clock = 20;
+  rec.live.on_region_read(0);  // live interval [11, 20]
+  rec.live.finish(40);
+  // Ranges that touch the interval anywhere report live; disjoint
+  // ranges on either side do not.
+  EXPECT_TRUE(rec.live.live_in(0, 11, 20));
+  EXPECT_TRUE(rec.live.live_in(0, 0, 11));    // overlaps the left edge
+  EXPECT_TRUE(rec.live.live_in(0, 20, 35));   // overlaps the right edge
+  EXPECT_TRUE(rec.live.live_in(0, 0, 100));   // spans the interval
+  EXPECT_TRUE(rec.live.live_in(0, 15, 15));   // degenerate point query
+  EXPECT_FALSE(rec.live.live_in(0, 0, 10));   // all before
+  EXPECT_FALSE(rec.live.live_in(0, 21, 100));  // all after
+  EXPECT_THROW(rec.live.live_in(0, 30, 20), support::SefiError);
+}
+
+TEST(ComponentLiveness, LiveInSeesTheDeadGapBetweenIntervals) {
+  Recorder rec(1);
+  rec.clock = 10;
+  rec.live.on_region_read(0);  // [0, 10]
+  rec.clock = 20;
+  rec.live.on_region_kill(0);
+  rec.clock = 50;
+  rec.live.on_region_read(0);  // [21, 50]
+  rec.live.finish(60);
+  // A slack window wholly inside the dead gap stays prunable; one that
+  // reaches the next interval does not — exactly the boundary-landing
+  // case that makes the pruner query a window instead of a point.
+  EXPECT_FALSE(rec.live.live_in(0, 11, 20));
+  EXPECT_TRUE(rec.live.live_in(0, 11, 21));
+}
+
+TEST(ComponentLiveness, OccupancyIntegratesValidDeltas) {
+  Recorder rec(1, /*valid_now=*/0, /*valid_after_reset=*/0, /*capacity=*/10);
+  rec.clock = 10;
+  rec.live.on_valid_delta(5);
+  rec.live.finish(20);
+  // 0 entries for 10 cycles, then 5 of 10 entries for 10 cycles.
+  EXPECT_DOUBLE_EQ(rec.live.mean_occupancy(), 0.25);
+  EXPECT_EQ(rec.live.occupancy_steps(), 2u);
+}
+
+TEST(ComponentLiveness, OccupancySnapsOnReset) {
+  Recorder rec(1, /*valid_now=*/4, /*valid_after_reset=*/0, /*capacity=*/4);
+  rec.clock = 10;
+  rec.live.on_kill_all();  // full for 10 cycles, then emptied
+  rec.live.finish(20);
+  EXPECT_DOUBLE_EQ(rec.live.mean_occupancy(), 0.5);
+}
+
+TEST(ComponentLiveness, QueriesBeforeRecordingThrow) {
+  std::uint64_t clock = 0;
+  ComponentLiveness live;
+  live.begin(1, &clock, 0, 0, 1);
+  EXPECT_THROW(live.live_at(0, 0), support::SefiError);
+  EXPECT_THROW(live.mean_occupancy(), support::SefiError);
+}
+
+// --- Rig-level pruning: recording, soundness, fault-model handling ---
+
+RigConfig scaled_rig() {
+  RigConfig rig;
+  rig.uarch = core::scaled_uarch();
+  return rig;
+}
+
+const workloads::Workload& susan() {
+  return workloads::workload_by_name("SusanC");
+}
+
+TEST(LivenessRecording, RigRecordsAllComponents) {
+  const InjectionRig rig(susan(), scaled_rig(), workloads::kDefaultInputSeed,
+                         /*checkpoints=*/1, /*record_liveness=*/true);
+  ASSERT_NE(rig.liveness(), nullptr);
+  ASSERT_TRUE(rig.liveness()->recorded());
+  for (const auto kind : microarch::kAllComponents) {
+    const ComponentLiveness& live = rig.liveness()->component(kind);
+    EXPECT_GE(live.mean_occupancy(), 0.0)
+        << microarch::component_name(kind);
+    EXPECT_LE(live.mean_occupancy(), 1.0)
+        << microarch::component_name(kind);
+    EXPECT_GT(live.occupancy_steps(), 0u)
+        << microarch::component_name(kind);
+  }
+  // A workload that runs at all must leave live intervals somewhere.
+  EXPECT_GT(rig.liveness()->component(microarch::ComponentKind::kRegFile)
+                .interval_count(),
+            0u);
+}
+
+TEST(LivenessRecording, RigWithoutRecordingRejectsPruneQueries) {
+  const InjectionRig rig(susan(), scaled_rig(), workloads::kDefaultInputSeed);
+  EXPECT_EQ(rig.liveness(), nullptr);
+  FaultDescriptor fault;
+  fault.component = microarch::ComponentKind::kL1D;
+  EXPECT_THROW(rig.provably_masked(fault), support::SefiError);
+}
+
+// The soundness contract behind the whole optimisation: every site the
+// classifier prunes, executed for real, must come back Masked. Checked
+// for both fault models over a fresh sample per component.
+TEST(PruneSoundness, EveryPrunedSiteExecutesToMasked) {
+  std::uint64_t pruned = 0;
+  for (const char* name : {"SusanC", "CRC32"}) {
+    const auto& workload = workloads::workload_by_name(name);
+    const InjectionRig rig(workload, scaled_rig(),
+                           workloads::kDefaultInputSeed,
+                           /*checkpoints=*/4, /*record_liveness=*/true);
+    const std::uint64_t spawn = rig.golden().spawn_cycle;
+    const std::uint64_t window = rig.golden().end_cycle - spawn;
+    for (const FaultModel model :
+         {FaultModel::kSingleBit, FaultModel::kDoubleBit}) {
+      CampaignConfig config;
+      config.faults_per_component = 15;
+      config.fault_model = model;
+      for (const auto kind : microarch::kAllComponents) {
+        const auto faults = sample_component_faults(
+            config, name, kind, rig.component_bits(kind), spawn, window);
+        for (const FaultDescriptor& fault : faults) {
+          if (!rig.provably_masked(fault)) continue;
+          ++pruned;
+          EXPECT_EQ(rig.run_one(fault), Outcome::kMasked)
+              << name << " " << fault_model_name(model) << " "
+              << microarch::component_name(kind) << " bit " << fault.bit
+              << " cycle " << fault.cycle;
+        }
+      }
+    }
+  }
+  // The check must not pass vacuously: pruning has to fire somewhere.
+  EXPECT_GT(pruned, 0u);
+}
+
+// A double-bit fault also flips the buddy bit, which can land in the
+// *next* liveness region; pruning must consult both. The register file
+// makes the straddle concrete: bit 32r+31's buddy lives in region r+1.
+TEST(PruneSoundness, DoubleBitBuddyStraddlesRegionBoundary) {
+  const InjectionRig rig(susan(), scaled_rig(), workloads::kDefaultInputSeed,
+                         /*checkpoints=*/1, /*record_liveness=*/true);
+  const ComponentLiveness& live =
+      rig.liveness()->component(microarch::ComponentKind::kRegFile);
+  const std::uint64_t spawn = rig.golden().spawn_cycle;
+  const std::uint64_t window = rig.golden().end_cycle - spawn;
+  const std::uint64_t step = window / 256 + 1;
+  const std::uint32_t regions =
+      static_cast<std::uint32_t>(rig.component_bits(
+                                     microarch::ComponentKind::kRegFile) /
+                                 32);
+  bool found = false;
+  for (std::uint32_t r = 0; !found && r + 1 < regions; ++r) {
+    for (std::uint64_t c = spawn; c < spawn + window; c += step) {
+      // Region r must be dead over the whole landing window the pruner
+      // assumes (the flip can land up to prune_slack cycles past c).
+      if (live.live_in(r, c, c + rig.prune_slack()) || !live.live_at(r + 1, c))
+        continue;
+      // Region r dead, region r+1 live at cycle c: the single-bit flip
+      // in r is provably masked, the double-bit flip is not (its buddy
+      // can still be read).
+      FaultDescriptor fault;
+      fault.component = microarch::ComponentKind::kRegFile;
+      fault.bit = 32ull * r + 31;
+      fault.cycle = c;
+      fault.model = FaultModel::kSingleBit;
+      EXPECT_TRUE(rig.provably_masked(fault));
+      fault.model = FaultModel::kDoubleBit;
+      EXPECT_FALSE(rig.provably_masked(fault));
+      FaultDescriptor buddy = fault;
+      buddy.bit = 32ull * r + 32;  // first bit of the live region
+      buddy.model = FaultModel::kSingleBit;
+      EXPECT_FALSE(rig.provably_masked(buddy));
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "no cycle with a dead region adjacent to a live one; the "
+         "workload/geometry no longer exercises the straddle";
+}
+
+// Whatever the straddle details, the buddy rule must satisfy the
+// implication: a pruned double-bit site means both single-bit halves
+// are individually pruned too.
+TEST(PruneSoundness, DoubleBitPruningImpliesBothHalvesPruned) {
+  const InjectionRig rig(susan(), scaled_rig(), workloads::kDefaultInputSeed,
+                         /*checkpoints=*/1, /*record_liveness=*/true);
+  const std::uint64_t spawn = rig.golden().spawn_cycle;
+  const std::uint64_t window = rig.golden().end_cycle - spawn;
+  CampaignConfig config;
+  config.faults_per_component = 40;
+  config.fault_model = FaultModel::kDoubleBit;
+  for (const auto kind : microarch::kAllComponents) {
+    const std::uint64_t bits = rig.component_bits(kind);
+    const auto faults = sample_component_faults(config, "SusanC", kind, bits,
+                                                spawn, window);
+    for (FaultDescriptor fault : faults) {
+      if (!rig.provably_masked(fault)) continue;
+      FaultDescriptor half = fault;
+      half.model = FaultModel::kSingleBit;
+      EXPECT_TRUE(rig.provably_masked(half));
+      half.bit = fault.bit + 1 < bits ? fault.bit + 1 : fault.bit - 1;
+      EXPECT_TRUE(rig.provably_masked(half));
+    }
+  }
+}
+
+// --- Campaign-level acceptance: classify ≡ off, sample reweights ---
+
+void expect_same_counts(const WorkloadFiResult& a, const WorkloadFiResult& b,
+                        const char* label) {
+  for (const auto kind : microarch::kAllComponents) {
+    const ClassCounts& ca = a.component(kind).counts;
+    const ClassCounts& cb = b.component(kind).counts;
+    EXPECT_EQ(ca.masked, cb.masked)
+        << label << " " << microarch::component_name(kind);
+    EXPECT_EQ(ca.sdc, cb.sdc)
+        << label << " " << microarch::component_name(kind);
+    EXPECT_EQ(ca.app_crash, cb.app_crash)
+        << label << " " << microarch::component_name(kind);
+    EXPECT_EQ(ca.sys_crash, cb.sys_crash)
+        << label << " " << microarch::component_name(kind);
+  }
+}
+
+CampaignConfig small_campaign() {
+  CampaignConfig config;
+  config.rig = scaled_rig();
+  config.faults_per_component = 20;
+  return config;
+}
+
+// The ISSUE's acceptance matrix: SEFI_PRUNE=classify must produce
+// bit-identical per-component tallies to off — with strictly fewer
+// injections actually executed — on serial and threaded runs alike.
+TEST(CampaignPrune, ClassifyDoesNotChangeResults) {
+  for (const std::uint64_t threads : {1, 4}) {
+    CampaignConfig config = small_campaign();
+    config.threads = threads;
+    config.checkpoints = 4;
+    config.prune = PruneMode::kOff;
+    const WorkloadFiResult off = run_fi_campaign(susan(), config);
+    config.prune = PruneMode::kClassify;
+    const WorkloadFiResult classify = run_fi_campaign(susan(), config);
+
+    expect_same_counts(off, classify, "classify-vs-off");
+    for (const auto kind : microarch::kAllComponents) {
+      EXPECT_DOUBLE_EQ(off.component(kind).avf(), classify.component(kind).avf())
+          << microarch::component_name(kind);
+      EXPECT_DOUBLE_EQ(off.component(kind).error_margin,
+                       classify.component(kind).error_margin)
+          << microarch::component_name(kind);
+    }
+
+    // Off mode books no prune telemetry at all.
+    EXPECT_EQ(off.stats.pruned_sites, 0u);
+    EXPECT_EQ(off.stats.live_sites, 0u);
+    EXPECT_DOUBLE_EQ(off.stats.pruned_fraction, 0.0);
+
+    // Classify pruned something and executed strictly fewer injections.
+    EXPECT_GT(classify.stats.pruned_sites, 0u);
+    EXPECT_EQ(classify.stats.pruned_sites + classify.stats.live_sites,
+              classify.stats.injections);
+    EXPECT_EQ(classify.stats.live_sites_executed, classify.stats.live_sites);
+    EXPECT_LT(classify.stats.tasks_run, off.stats.tasks_run);
+    EXPECT_GT(classify.stats.pruned_fraction, 0.0);
+    // Prune skips must not masquerade as journal replays.
+    EXPECT_EQ(classify.stats.journal_replayed, 0u);
+  }
+}
+
+TEST(CampaignPrune, SampleSubsamplesAndReweights) {
+  CampaignConfig config = small_campaign();
+  config.faults_per_component = 24;
+  config.prune = PruneMode::kOff;
+  const WorkloadFiResult off = run_fi_campaign(susan(), config);
+  config.prune = PruneMode::kSample;
+  config.prune_sample_fraction = 0.5;
+  const WorkloadFiResult sampled = run_fi_campaign(susan(), config);
+
+  EXPECT_GT(sampled.stats.pruned_sites, 0u);
+  EXPECT_LT(sampled.stats.live_sites_executed, sampled.stats.live_sites);
+  EXPECT_LT(sampled.stats.tasks_run, off.stats.tasks_run);
+
+  for (const auto kind : microarch::kAllComponents) {
+    const ComponentResult& exhaustive = off.component(kind);
+    const ComponentResult& comp = sampled.component(kind);
+    // The reweighted estimate agrees with the exhaustive one to within
+    // the two estimators' combined uncertainty.
+    const double gap = comp.avf() - exhaustive.avf();
+    const double slack =
+        comp.error_margin + exhaustive.error_margin + 1e-9;
+    EXPECT_LE(gap, slack) << microarch::component_name(kind);
+    EXPECT_LE(-gap, slack) << microarch::component_name(kind);
+    EXPECT_GE(comp.estimator_variance, 0.0);
+    // Estimates stay inside [0, 1] despite reweighting.
+    EXPECT_GE(comp.avf(), 0.0);
+    EXPECT_LE(comp.avf(), 1.0);
+  }
+}
+
+TEST(CampaignPrune, SampleIsDeterministicAcrossThreadCounts) {
+  CampaignConfig config = small_campaign();
+  config.prune = PruneMode::kSample;
+  config.prune_sample_fraction = 0.5;
+  config.threads = 1;
+  const WorkloadFiResult serial = run_fi_campaign(susan(), config);
+  config.threads = 4;
+  const WorkloadFiResult threaded = run_fi_campaign(susan(), config);
+  expect_same_counts(serial, threaded, "sample-threads");
+  EXPECT_EQ(serial.stats.pruned_sites, threaded.stats.pruned_sites);
+  EXPECT_EQ(serial.stats.live_sites_executed,
+            threaded.stats.live_sites_executed);
+}
+
+TEST(PruneModeNames, RoundTripAndReject) {
+  EXPECT_EQ(prune_mode_name(PruneMode::kOff), "off");
+  EXPECT_EQ(prune_mode_name(PruneMode::kClassify), "classify");
+  EXPECT_EQ(prune_mode_name(PruneMode::kSample), "sample");
+  EXPECT_EQ(prune_mode_from_name("off"), PruneMode::kOff);
+  EXPECT_EQ(prune_mode_from_name("classify"), PruneMode::kClassify);
+  EXPECT_EQ(prune_mode_from_name("sample"), PruneMode::kSample);
+  EXPECT_THROW(prune_mode_from_name("on"), support::SefiError);
+  EXPECT_THROW(prune_mode_from_name(""), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::fi

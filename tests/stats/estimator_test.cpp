@@ -1,0 +1,71 @@
+#include "sefi/stats/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::stats {
+namespace {
+
+TEST(PrunedEstimate, NothingClassifiedIsAllZeros) {
+  const PrunedEstimate est = pruned_estimate(0, 0, 0, 0, 0.99);
+  EXPECT_DOUBLE_EQ(est.rate, 0.0);
+  EXPECT_DOUBLE_EQ(est.variance, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci_half_width, 0.0);
+}
+
+TEST(PrunedEstimate, AllDeadIsExactZero) {
+  // Every site proven Masked: the rate is 0 with certainty.
+  const PrunedEstimate est = pruned_estimate(50, 0, 0, 0, 0.99);
+  EXPECT_DOUBLE_EQ(est.rate, 0.0);
+  EXPECT_DOUBLE_EQ(est.variance, 0.0);
+}
+
+TEST(PrunedEstimate, ExhaustiveLiveStratumDegeneratesToNaiveFraction) {
+  // m == live: no subsampling happened, so the estimate must equal the
+  // plain faulty / n fraction with zero sampling variance.
+  const PrunedEstimate est = pruned_estimate(10, 10, 10, 5, 0.99);
+  EXPECT_DOUBLE_EQ(est.rate, 5.0 / 20.0);
+  EXPECT_DOUBLE_EQ(est.variance, 0.0);
+  EXPECT_DOUBLE_EQ(est.ci_half_width, 0.0);
+}
+
+TEST(PrunedEstimate, ReweightsByLivePrevalence) {
+  // 50 dead + 50 live, 25 executed, 10 faulty: p_hat = 0.4 over the
+  // live stratum, reweighted by live/n = 0.5.
+  const PrunedEstimate est = pruned_estimate(50, 50, 25, 10, 0.99);
+  EXPECT_DOUBLE_EQ(est.rate, 0.5 * 0.4);
+  const double fpc = (50.0 - 25.0) / (50.0 - 1.0);
+  EXPECT_DOUBLE_EQ(est.variance, 0.25 * 0.4 * 0.6 / 25.0 * fpc);
+  EXPECT_GT(est.ci_half_width, 0.0);
+}
+
+TEST(PrunedEstimate, DegenerateObservationsHaveZeroVariance) {
+  // p_hat of exactly 0 or 1 carries no binomial variance.
+  EXPECT_DOUBLE_EQ(pruned_estimate(10, 40, 20, 0, 0.99).variance, 0.0);
+  EXPECT_DOUBLE_EQ(pruned_estimate(10, 40, 20, 20, 0.99).variance, 0.0);
+  EXPECT_DOUBLE_EQ(pruned_estimate(10, 40, 20, 20, 0.99).rate, 0.8 * 1.0);
+}
+
+TEST(PrunedEstimate, WiderConfidenceWidensTheInterval) {
+  const PrunedEstimate narrow = pruned_estimate(50, 50, 25, 10, 0.90);
+  const PrunedEstimate wide = pruned_estimate(50, 50, 25, 10, 0.99);
+  EXPECT_DOUBLE_EQ(narrow.variance, wide.variance);
+  EXPECT_GT(wide.ci_half_width, narrow.ci_half_width);
+}
+
+TEST(PrunedEstimate, FinitePopulationCorrectionShrinksVariance) {
+  // Sampling a larger share of the live stratum must not increase the
+  // variance: the fpc factor (live - m) / (live - 1) decreases in m.
+  const double var_small = pruned_estimate(0, 100, 25, 10, 0.99).variance;
+  const double var_large = pruned_estimate(0, 100, 75, 30, 0.99).variance;
+  EXPECT_GT(var_small, var_large);
+}
+
+TEST(PrunedEstimate, ThrowsOnInconsistentCounts) {
+  EXPECT_THROW(pruned_estimate(0, 10, 11, 0, 0.99), support::SefiError);
+  EXPECT_THROW(pruned_estimate(0, 10, 5, 6, 0.99), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::stats
