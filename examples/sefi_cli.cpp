@@ -14,13 +14,31 @@
 //           [--checkpoints K]
 //       Fault-injection campaign; print per-component classification
 //       and executor throughput. N=0 means hardware concurrency.
-//   sefi_cli campaign run|resume|status <workload> [faults] [--threads N]
+//   sefi_cli campaign run|resume|status|export <workload> [faults]
+//           [--threads N]
 //       Supervised, journaled FI campaign through the lab + cache.
 //       `run` starts fresh (discarding any resume journal), `resume`
 //       continues an interrupted campaign from its journal, `status`
-//       reports journal/cache state without running anything. Ctrl-C
-//       drains cooperatively: in-flight injections finish and are
-//       journaled, then the command exits 130 with a resume hint.
+//       reports journal/cache state without running anything, `export`
+//       prints the finished result in the cache's canonical serialized
+//       form (the single-process reference CI diffs serve results
+//       against). Ctrl-C drains cooperatively: in-flight injections
+//       finish and are journaled, then the command exits 130 with a
+//       resume hint.
+//   sefi_cli serve [--workers N] [--once]
+//       Campaign-as-a-service coordinator (DESIGN.md §14): polls
+//       <cache>/serve/inbox/*.req, runs each requested campaign sharded
+//       across N worker processes (SEFI_WORKERS; lease SEFI_LEASE_MS)
+//       with journaled leases and work stealing, and publishes the
+//       merged result — bit-identical to a single-process run — to
+//       <cache>/serve/outbox/<id>.result (failures to <id>.error).
+//       --once drains the inbox once and exits instead of polling.
+//   sefi_cli submit <workload> [faults] [--wait]
+//       Enqueue a campaign request for a running `serve`; --wait blocks
+//       until its result (exit 0) or error (exit 1) is published.
+//   sefi_cli shutdown
+//       Ask the running `serve` coordinator to exit after the current
+//       request.
 //   sefi_cli cache stats [--sweep]
 //       On-disk result-cache report (entries, corrupt, stale, bytes);
 //       --sweep additionally runs the full compare_all sweep through
@@ -39,14 +57,20 @@
 // the bench suite).
 //
 // Components: L1I L1D L2 RegFile ITLB DTLB.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sefi/beam/session.hpp"
 #include "sefi/core/lab.hpp"
+#include "sefi/core/service.hpp"
 #include "sefi/exec/supervisor.hpp"
 #include "sefi/fi/campaign.hpp"
 #include "sefi/kernel/kernel.hpp"
@@ -56,6 +80,7 @@
 #include "sefi/sim/tracer.hpp"
 #include "sefi/support/env.hpp"
 #include "sefi/support/error.hpp"
+#include "sefi/support/fsio.hpp"
 #include "sefi/workloads/workload.hpp"
 
 namespace {
@@ -72,8 +97,11 @@ int usage() {
                "       sefi_cli beamsweep [runs] [--threads N]\n"
                "       sefi_cli fi <workload> [faults-per-component]"
                " [--threads N] [--checkpoints K]\n"
-               "       sefi_cli campaign run|resume|status <workload>"
+               "       sefi_cli campaign run|resume|status|export <workload>"
                " [faults] [--threads N]\n"
+               "       sefi_cli serve [--workers N] [--once]\n"
+               "       sefi_cli submit <workload> [faults] [--wait]\n"
+               "       sefi_cli shutdown\n"
                "       sefi_cli cache stats [--sweep]\n"
                "       sefi_cli cache verify\n"
                "       sefi_cli cache gc\n"
@@ -333,7 +361,8 @@ int cmd_fi(const std::vector<std::string>& args) {
 int cmd_campaign(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   const std::string& action = args[0];
-  if (action != "run" && action != "resume" && action != "status") {
+  if (action != "run" && action != "resume" && action != "status" &&
+      action != "export") {
     return usage();
   }
   const auto& w = workloads::workload_by_name(args[1]);
@@ -389,6 +418,14 @@ int cmd_campaign(const std::vector<std::string>& args) {
     return 0;
   }
 
+  if (action == "export") {
+    // Canonical serialized form only, nothing else on stdout: the serve
+    // outbox publishes the same bytes, so CI can `diff` the two files.
+    core::AssessmentLab lab(config);
+    std::fputs(core::serialize(lab.run_fi(w)).c_str(), stdout);
+    return 0;
+  }
+
   // Cooperative SIGINT drain: first ^C stops workers from pulling new
   // injections (in-flight ones finish and journal), a second ^C restores
   // the default handler.
@@ -407,6 +444,208 @@ int cmd_campaign(const std::vector<std::string>& args) {
                  w.info().name.c_str());
     return 130;
   }
+  return 0;
+}
+
+// -- Campaign-as-a-service (DESIGN.md §14) ----------------------------------
+// The request transport is the filesystem, same durability story as the
+// cache itself: submit atomically publishes <id>.req into the inbox,
+// serve claims it by unlink, runs the sharded campaign, and atomically
+// publishes <id>.result (or <id>.error) into the outbox. The request id
+// is `<workload>-<faults>`, so a request is idempotent: re-submitting
+// the same campaign overwrites the same files.
+
+std::string serve_root() {
+  return core::ResultCache::from_env().directory() + "/serve";
+}
+
+std::string request_id(const std::string& workload, std::uint64_t faults) {
+  return workload + "-" + std::to_string(faults);
+}
+
+/// Parses an inbox request ("workload <name>\nfaults <n>\n"); faults 0
+/// means "serve's default campaign size".
+bool parse_request(const std::string& text, std::string* workload,
+                   std::uint64_t* faults) {
+  std::istringstream is(text);
+  std::string tag;
+  *faults = 0;
+  if (!(is >> tag >> *workload) || tag != "workload") return false;
+  if (is >> tag && (tag != "faults" || !(is >> *faults))) return false;
+  return true;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  if (std::getenv("SEFI_CACHE_DIR") == nullptr) {
+    ::setenv("SEFI_CACHE_DIR", ".sefi-cache", 0);
+  }
+  core::ServeConfig serve;
+  serve.workers = support::env::u64("SEFI_WORKERS", 4);
+  serve.lease_ms = support::env::u64("SEFI_LEASE_MS", 120'000);
+  serve.self_kill_marker = support::env::str("SEFI_SERVE_SELF_KILL", "");
+  bool once = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--workers" && i + 1 < args.size()) {
+      serve.workers = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--once") {
+      once = true;
+    } else {
+      return usage();
+    }
+  }
+  const core::LabConfig base = core::LabConfig::from_env();
+  const std::string root = serve_root();
+  if (root == "/serve") {
+    std::fprintf(stderr, "serve: needs SEFI_CACHE_DIR (journals and the "
+                         "request queue live there)\n");
+    return 1;
+  }
+  namespace fs = std::filesystem;
+  const std::string inbox = root + "/inbox";
+  const std::string outbox = root + "/outbox";
+  const std::string stop = root + "/stop";
+  fs::create_directories(inbox);
+  fs::create_directories(outbox);
+  std::printf("serve: %llu workers, lease %llu ms, inbox %s\n",
+              static_cast<unsigned long long>(serve.workers),
+              static_cast<unsigned long long>(serve.lease_ms), inbox.c_str());
+  std::fflush(stdout);
+
+  for (;;) {
+    std::vector<std::string> requests;
+    for (const auto& entry : fs::directory_iterator(inbox)) {
+      if (entry.path().extension() == ".req") {
+        requests.push_back(entry.path().string());
+      }
+    }
+    std::sort(requests.begin(), requests.end());  // stable service order
+    for (const std::string& request_path : requests) {
+      const std::string id = fs::path(request_path).stem().string();
+      const std::optional<std::string> text =
+          support::read_file(request_path);
+      std::error_code ec;
+      fs::remove(request_path, ec);  // claim: at most one execution
+      std::string workload_name;
+      std::uint64_t faults = 0;
+      if (!text || !parse_request(*text, &workload_name, &faults)) {
+        (void)support::write_file_atomic(outbox + "/" + id + ".error",
+                                         "malformed request\n");
+        continue;
+      }
+      try {
+        const auto& w = workloads::workload_by_name(workload_name);
+        core::LabConfig config = base;
+        if (faults > 0) config.fi.faults_per_component = faults;
+        core::AssessmentLab lab(config);
+        core::ServeStats stats;
+        const fi::WorkloadFiResult& result =
+            core::serve_fi_campaign(lab, w, serve, &stats);
+        std::printf(
+            "serve: %s -> %llu shards (%llu resumed), %llu done | "
+            "%llu leases reclaimed (%llu expiries), %llu worker deaths, "
+            "%llu respawned | %llu records merged\n",
+            id.c_str(), static_cast<unsigned long long>(stats.shards),
+            static_cast<unsigned long long>(stats.shards_resumed),
+            static_cast<unsigned long long>(stats.shards_done),
+            static_cast<unsigned long long>(stats.leases_reclaimed),
+            static_cast<unsigned long long>(stats.lease_expiries),
+            static_cast<unsigned long long>(stats.worker_deaths),
+            static_cast<unsigned long long>(stats.workers_respawned),
+            static_cast<unsigned long long>(stats.merged_records));
+        std::fflush(stdout);
+        if (!support::write_file_atomic(outbox + "/" + id + ".result",
+                                        core::serialize(result))) {
+          throw support::SefiError("could not publish result for " + id);
+        }
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "serve: %s failed: %s\n", id.c_str(),
+                     error.what());
+        (void)support::write_file_atomic(outbox + "/" + id + ".error",
+                                         std::string(error.what()) + "\n");
+      }
+    }
+    if (fs::exists(stop)) {
+      std::error_code ec;
+      fs::remove(stop, ec);
+      std::printf("serve: stop requested, exiting\n");
+      break;
+    }
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  return 0;
+}
+
+int cmd_submit(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  if (std::getenv("SEFI_CACHE_DIR") == nullptr) {
+    ::setenv("SEFI_CACHE_DIR", ".sefi-cache", 0);
+  }
+  const std::string& workload_name = args[0];
+  (void)workloads::workload_by_name(workload_name);  // fail fast on typos
+  std::uint64_t faults = 0;
+  bool wait = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--wait") {
+      wait = true;
+    } else if (i == 1) {
+      faults = std::strtoull(args[1].c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  const std::string root = serve_root();
+  if (root == "/serve") {
+    std::fprintf(stderr, "submit: needs SEFI_CACHE_DIR\n");
+    return 1;
+  }
+  std::filesystem::create_directories(root + "/inbox");
+  std::filesystem::create_directories(root + "/outbox");
+  const std::string id = request_id(workload_name, faults);
+  const std::string result_path = root + "/outbox/" + id + ".result";
+  const std::string error_path = root + "/outbox/" + id + ".error";
+  // A re-submitted campaign means "run it again": clear stale outcomes
+  // so --wait observes this request, not a previous one's files.
+  std::error_code ec;
+  std::filesystem::remove(result_path, ec);
+  std::filesystem::remove(error_path, ec);
+  std::string request = "workload " + workload_name + "\n";
+  if (faults > 0) request += "faults " + std::to_string(faults) + "\n";
+  if (!support::write_file_atomic(root + "/inbox/" + id + ".req", request)) {
+    std::fprintf(stderr, "submit: could not write request\n");
+    return 1;
+  }
+  std::printf("submitted %s\n", id.c_str());
+  if (!wait) return 0;
+  for (;;) {
+    if (std::filesystem::exists(result_path)) {
+      std::printf("result: %s\n", result_path.c_str());
+      return 0;
+    }
+    if (std::filesystem::exists(error_path)) {
+      const auto text = support::read_file(error_path);
+      std::fprintf(stderr, "error: %s", text ? text->c_str() : "(unknown)\n");
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+int cmd_shutdown() {
+  if (std::getenv("SEFI_CACHE_DIR") == nullptr) {
+    ::setenv("SEFI_CACHE_DIR", ".sefi-cache", 0);
+  }
+  const std::string root = serve_root();
+  if (root == "/serve") {
+    std::fprintf(stderr, "shutdown: needs SEFI_CACHE_DIR\n");
+    return 1;
+  }
+  std::filesystem::create_directories(root);
+  if (!support::write_file_atomic(root + "/stop", "stop\n")) {
+    std::fprintf(stderr, "shutdown: could not write stop file\n");
+    return 1;
+  }
+  std::printf("shutdown requested (%s/stop)\n", root.c_str());
   return 0;
 }
 
@@ -479,9 +718,13 @@ int cmd_cache(const std::vector<std::string>& args) {
 
   if (args[0] == "gc" && args.size() == 1) {
     const auto report = cache.gc();
-    std::printf("gc: removed %llu files, reclaimed %llu bytes\n",
-                static_cast<unsigned long long>(report.removed_files),
-                static_cast<unsigned long long>(report.bytes_reclaimed));
+    std::printf(
+        "gc: removed %llu files (%llu stale temps), reclaimed %llu bytes, "
+        "migrated %llu flat entries into shards\n",
+        static_cast<unsigned long long>(report.removed_files),
+        static_cast<unsigned long long>(report.temps_swept),
+        static_cast<unsigned long long>(report.bytes_reclaimed),
+        static_cast<unsigned long long>(report.migrated));
     return 0;
   }
 
@@ -524,6 +767,9 @@ int main(int argc, char** argv) {
     if (command == "beamsweep") return cmd_beamsweep(args);
     if (command == "fi") return cmd_fi(args);
     if (command == "campaign") return cmd_campaign(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "submit") return cmd_submit(args);
+    if (command == "shutdown" && args.empty()) return cmd_shutdown();
     if (command == "cache") return cmd_cache(args);
     if (command == "obs") return cmd_obs(args);
   } catch (const std::exception& error) {

@@ -18,6 +18,11 @@
 //     one atomic rename (support::write_file_atomic); concurrent
 //     same-key writers resolve to last-rename-wins, and the read path
 //     takes no file locks;
+//   - entries are sharded across 256 subdirectories by the low byte of
+//     the key's FNV-1a hash (`<dir>/<ab>/<key>.txt`), so thousands of
+//     concurrent campaigns don't contend on one directory's dentry
+//     lock; loads fall back to the pre-shard flat path transparently
+//     and `gc` migrates flat entries into their shard;
 //   - a typed in-process memo tier sits above the disk tier, so
 //     repeated loads of the same key (Lab::compare_all re-reading beam
 //     results, bench binaries sharing a lab) deserialize at most once
@@ -68,6 +73,10 @@ class ResultCache {
     std::uint64_t corrupt_quarantined = 0;  ///< failed checksum/parse,
                                             ///< renamed *.quarantined
     std::uint64_t version_skew = 0;  ///< old-format entries skipped
+    std::uint64_t stale_temps_swept = 0;  ///< orphaned atomic-write temps
+                                          ///< removed by gc()
+    std::uint64_t flat_migrated = 0;  ///< flat-layout entries moved into
+                                      ///< their shard subdirectory by gc()
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
 
@@ -88,6 +97,10 @@ class ResultCache {
   struct GcReport {
     std::uint64_t removed_files = 0;
     std::uint64_t bytes_reclaimed = 0;
+    std::uint64_t temps_swept = 0;  ///< of removed_files, how many were
+                                    ///< stale atomic-write temps
+    std::uint64_t migrated = 0;     ///< valid flat-layout entries moved
+                                    ///< into their shard subdirectory
   };
 
   /// `directory` empty disables the disk tier (stores no-op, loads only
@@ -125,9 +138,25 @@ class ResultCache {
   /// so subsequent loads skip straight to a miss.
   ScanReport verify(bool quarantine_bad = false) const;
 
-  /// Removes quarantined entries, stale atomic-write temps, and entries
-  /// that no longer verify (corrupt or written by an older format).
+  /// Removes quarantined entries, entries that no longer verify
+  /// (corrupt or written by an older format), and orphaned atomic-write
+  /// temps older than the grace period (`SEFI_TEMP_GRACE_MS`, default
+  /// 15 min — a live writer's temp exists only for milliseconds, so age
+  /// is what distinguishes a crashed writer's orphan from an in-flight
+  /// publish). Also migrates valid flat-layout entries into their shard
+  /// subdirectory.
   GcReport gc() const;
+
+  /// True when a verified-format entry file exists for `key` (sharded
+  /// layout, or the pre-shard flat layout). Existence only — the
+  /// payload is not checksummed.
+  bool has_entry(const std::string& key) const;
+
+  /// Canonical (sharded) on-disk path for `key`: the shard is the low
+  /// byte of the key's FNV-1a hash, as two lowercase hex digits —
+  /// `<dir>/<ab>/<key>.txt`. Loads fall back to the flat pre-shard path
+  /// transparently; gc migrates flat entries here.
+  std::string entry_path(const std::string& key) const;
 
   /// Cache key for a campaign kind ("fi"/"beam"), fingerprint, workload.
   /// The workload component is sanitized to [A-Za-z0-9_-] and length-
@@ -141,6 +170,7 @@ class ResultCache {
   struct State;  ///< memo maps + telemetry, behind one mutex
 
   std::string path_for(const std::string& key) const;
+  std::string flat_path_for(const std::string& key) const;
 
   std::string directory_;
   std::shared_ptr<State> state_;

@@ -1,0 +1,75 @@
+// Campaign-as-a-service: multi-process FI campaign scale-out.
+//
+// serve_fi_campaign runs one workload's FI campaign sharded across N
+// worker *processes* (DESIGN.md §14). The division of labor:
+//
+//   - the fault-index space [0, faults) is cut into contiguous shards;
+//   - an exec::run_process_pool coordinator leases shards to forked
+//     workers with work-stealing; every lease event (claim / done /
+//     reclaim) is journaled per shard in the existing TaskJournal
+//     format (`<key>.leases.journal`), so a SIGKILL'd worker's shard is
+//     observable and a killed *coordinator* resumes past finished
+//     shards;
+//   - each worker executes its shard through the ordinary
+//     run_fi_campaign with config.range_begin/range_end set and a
+//     per-shard resume journal (`<key>.shard<s>.journal`) — a worker
+//     killed mid-shard loses only in-flight injections;
+//   - the coordinator merges by *journal concatenation*: every shard
+//     journal's outcome records are appended into the campaign's
+//     standard resume journal, and the normal AssessmentLab::run_fi
+//     journal-replay path performs the final merge in fault-index
+//     order. Merged ClassCounts are therefore bit-identical to a
+//     single-process run at any worker count, by construction of the
+//     replay path (and enforced by test and CI smoke).
+//
+// Requires an enabled disk cache with journaling (the journals are the
+// transport); throws SefiError otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sefi/core/lab.hpp"
+
+namespace sefi::core {
+
+struct ServeConfig {
+  /// Worker processes (SEFI_WORKERS; clamped to >= 1).
+  std::size_t workers = 4;
+  /// Wall-clock lease per shard assignment, ms (SEFI_LEASE_MS); a
+  /// worker holding a shard longer is SIGKILL'd and the shard
+  /// reassigned. 0 = no expiry (worker death still reclaims).
+  std::uint64_t lease_ms = 120'000;
+  /// Shard granularity: ~shards_per_worker shards per worker, so
+  /// work-stealing has slack without shrinking shards into pure
+  /// golden-run overhead.
+  std::uint64_t shards_per_worker = 4;
+  /// Test/CI hook: when non-empty, the first worker process to create
+  /// this marker file (O_EXCL — exactly one winner) SIGKILLs itself
+  /// before running its shard, exercising the lease-reclaim path
+  /// deterministically. Wired to SEFI_SERVE_SELF_KILL by the CLI.
+  std::string self_kill_marker;
+};
+
+/// What the coordinator did (campaign stats live in the result itself).
+struct ServeStats {
+  std::uint64_t shards = 0;
+  std::uint64_t shards_done = 0;
+  std::uint64_t shards_resumed = 0;     ///< skipped via lease journal
+  std::uint64_t leases_reclaimed = 0;   ///< worker deaths + expiries
+  std::uint64_t lease_expiries = 0;     ///< coordinator-initiated kills
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t workers_respawned = 0;
+  std::uint64_t merged_records = 0;     ///< outcome records concatenated
+};
+
+/// Runs the workload's FI campaign under `lab`'s configuration across
+/// `config.workers` processes and returns the merged (cached) result —
+/// bit-identical to lab.run_fi(workload) in a single process. `stats`
+/// (nullable) receives the coordinator's report.
+const fi::WorkloadFiResult& serve_fi_campaign(AssessmentLab& lab,
+                                              const workloads::Workload& workload,
+                                              const ServeConfig& config,
+                                              ServeStats* stats = nullptr);
+
+}  // namespace sefi::core

@@ -204,9 +204,7 @@ AssessmentLab::JournalStatus AssessmentLab::fi_journal_status(
   const std::string key = ResultCache::make_key(
       "fi", fingerprint(config_.fi), workload.info().name);
   status.path = fi_journal_path(key);
-  std::error_code ec;
-  status.cached =
-      std::filesystem::exists(cache_.directory() + "/" + key + ".txt", ec);
+  status.cached = cache_.has_entry(key);
   const support::TaskJournal::Status on_disk =
       support::TaskJournal::inspect(status.path);
   // A journal whose header names a different campaign is resume state

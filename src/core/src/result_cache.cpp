@@ -1,6 +1,7 @@
 #include "sefi/core/result_cache.hpp"
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
@@ -11,6 +12,7 @@
 
 #include "sefi/obs/metrics.hpp"
 #include "sefi/obs/trace.hpp"
+#include "sefi/support/env.hpp"
 #include "sefi/support/fsio.hpp"
 #include "sefi/support/hash.hpp"
 #include "sefi/support/seal.hpp"
@@ -86,6 +88,46 @@ void quarantine_file(const std::string& path) {
   std::error_code ec;
   std::filesystem::rename(path, path + ".quarantined", ec);
   if (ec) std::filesystem::remove(path, ec);
+}
+
+/// Shard subdirectory for a key: the low byte of its FNV-1a hash as two
+/// lowercase hex digits. Purely a function of the key, so every process
+/// (and every format version from v7 on) agrees on the placement.
+std::string shard_name(const std::string& key) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const auto byte = static_cast<unsigned>(support::fnv1a(key) & 0xffu);
+  return {kHex[byte >> 4], kHex[byte & 0xf]};
+}
+
+/// Whether a directory name is one of the 256 shard subdirectories (the
+/// cache dir also hosts journals and the serve queue, which scans must
+/// leave alone).
+bool is_shard_dir(const std::string& name) {
+  if (name.size() != 2) return false;
+  for (char c : name) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+/// Grace period before gc treats an atomic-write temp as orphaned. A
+/// live writer holds its temp for milliseconds; anything older than
+/// this was abandoned by a crashed process.
+std::chrono::milliseconds temp_grace() {
+  return std::chrono::milliseconds(
+      support::env::u64("SEFI_TEMP_GRACE_MS", 15 * 60 * 1000));
+}
+
+/// True when `path`'s mtime is older than the temp grace period. A
+/// stat failure (file already renamed/removed by its writer) reports
+/// not-stale, so a racing publish is never swept.
+bool temp_is_stale(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return false;
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  return age > temp_grace();
 }
 
 }  // namespace
@@ -267,8 +309,15 @@ struct ResultCache::State {
       return std::nullopt;
     }
     const obs::Span span("cache_load", "cache");
-    const std::string path = cache.path_for(key);
+    // Sharded layout first; fall back to the pre-shard flat path so a
+    // cache written before the layout change keeps hitting (gc migrates
+    // flat entries into their shard lazily).
+    std::string path = cache.path_for(key);
     auto raw = support::read_file(path);
+    if (!raw) {
+      path = cache.flat_path_for(key);
+      raw = support::read_file(path);
+    }
     if (!raw) {
       ++telemetry.misses;
       miss_metric.add();
@@ -302,7 +351,8 @@ struct ResultCache::State {
     if (!cache.enabled()) return true;
     const obs::Span span("cache_store", "cache");
     std::error_code ec;
-    std::filesystem::create_directories(cache.directory_, ec);
+    std::filesystem::create_directories(
+        cache.directory_ + "/" + shard_name(key), ec);
     const std::string sealed = support::seal(payload);
     if (!support::write_file_atomic(cache.path_for(key), sealed)) {
       ++telemetry.store_failures;
@@ -325,7 +375,13 @@ struct ResultCache::State {
       ++telemetry.version_skew;
     } else {
       ++telemetry.corrupt_quarantined;
-      quarantine_file(cache.path_for(key));
+      // The bad payload may have been read from either layout.
+      std::error_code ec;
+      std::string target = cache.path_for(key);
+      if (!std::filesystem::exists(target, ec)) {
+        target = cache.flat_path_for(key);
+      }
+      quarantine_file(target);
     }
   }
 };
@@ -362,7 +418,22 @@ std::string ResultCache::make_key(const std::string& kind,
 }
 
 std::string ResultCache::path_for(const std::string& key) const {
+  return directory_ + "/" + shard_name(key) + "/" + key + ".txt";
+}
+
+std::string ResultCache::flat_path_for(const std::string& key) const {
   return directory_ + "/" + key + ".txt";
+}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  return path_for(key);
+}
+
+bool ResultCache::has_entry(const std::string& key) const {
+  if (!enabled()) return false;
+  std::error_code ec;
+  return std::filesystem::exists(path_for(key), ec) ||
+         std::filesystem::exists(flat_path_for(key), ec);
 }
 
 std::optional<std::string> ResultCache::load(const std::string& key) const {
@@ -428,38 +499,61 @@ ResultCache::Telemetry ResultCache::telemetry() const {
   return state_->telemetry;
 }
 
+namespace {
+
+/// The directories a cache scan owns: the top level plus the 256 shard
+/// subdirectories. Journals, the serve queue, and any other subtree in
+/// the cache dir are deliberately not visited.
+std::vector<std::string> scan_dirs(const std::string& directory) {
+  std::vector<std::string> dirs{directory};
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory, ec);
+  if (ec) return dirs;
+  for (const auto& entry : it) {
+    if (entry.is_directory(ec) &&
+        is_shard_dir(entry.path().filename().string())) {
+      dirs.push_back(entry.path().string());
+    }
+  }
+  return dirs;
+}
+
+}  // namespace
+
 ResultCache::ScanReport ResultCache::verify(bool quarantine_bad) const {
   ScanReport report;
   if (!enabled()) return report;
   std::error_code ec;
-  std::filesystem::directory_iterator it(directory_, ec);
-  if (ec) return report;
-  for (const auto& entry : it) {
-    if (!entry.is_regular_file(ec)) continue;
-    const std::string name = entry.path().filename().string();
-    const std::string path = entry.path().string();
-    const std::uint64_t size = entry.file_size(ec);
-    if (name.ends_with(".quarantined")) {
-      ++report.quarantined;
-      report.bytes += size;
-    } else if (name.find(support::kTempInfix) != std::string::npos) {
-      ++report.temp_files;
-      report.bytes += size;
-    } else if (name.ends_with(".txt")) {
-      ++report.entries;
-      report.bytes += size;
-      const auto raw = support::read_file(path);
-      const auto body = raw ? support::unseal(*raw) : std::nullopt;
-      const auto version = body ? payload_version(*body)
-                          : raw ? payload_version(*raw)
-                                : std::nullopt;
-      if (body.has_value() && version == kFormatVersion) {
-        ++report.valid;
-      } else if (version.has_value() && *version != kFormatVersion) {
-        ++report.version_skew;
-      } else {
-        ++report.corrupt;
-        if (quarantine_bad) quarantine_file(path);
+  for (const std::string& dir : scan_dirs(directory_)) {
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) continue;
+    for (const auto& entry : it) {
+      if (!entry.is_regular_file(ec)) continue;
+      const std::string name = entry.path().filename().string();
+      const std::string path = entry.path().string();
+      const std::uint64_t size = entry.file_size(ec);
+      if (name.ends_with(".quarantined")) {
+        ++report.quarantined;
+        report.bytes += size;
+      } else if (name.find(support::kTempInfix) != std::string::npos) {
+        ++report.temp_files;
+        report.bytes += size;
+      } else if (name.ends_with(".txt")) {
+        ++report.entries;
+        report.bytes += size;
+        const auto raw = support::read_file(path);
+        const auto body = raw ? support::unseal(*raw) : std::nullopt;
+        const auto version = body ? payload_version(*body)
+                            : raw ? payload_version(*raw)
+                                  : std::nullopt;
+        if (body.has_value() && version == kFormatVersion) {
+          ++report.valid;
+        } else if (version.has_value() && *version != kFormatVersion) {
+          ++report.version_skew;
+        } else {
+          ++report.corrupt;
+          if (quarantine_bad) quarantine_file(path);
+        }
       }
     }
   }
@@ -469,23 +563,46 @@ ResultCache::ScanReport ResultCache::verify(bool quarantine_bad) const {
 ResultCache::GcReport ResultCache::gc() const {
   GcReport report;
   if (!enabled()) return report;
+  static obs::Counter& swept_metric = obs::Registry::instance().counter(
+      "sefi_cache_stale_temps_swept_total",
+      "Orphaned atomic-write temp files removed by cache gc");
+  static obs::Counter& migrate_metric = obs::Registry::instance().counter(
+      "sefi_cache_flat_migrated_total",
+      "Flat-layout cache entries moved into their shard subdirectory");
   std::error_code ec;
-  std::filesystem::directory_iterator it(directory_, ec);
-  if (ec) return report;
   std::vector<std::pair<std::string, std::uint64_t>> doomed;
-  for (const auto& entry : it) {
-    if (!entry.is_regular_file(ec)) continue;
-    const std::string name = entry.path().filename().string();
-    const std::string path = entry.path().string();
-    const std::uint64_t size = entry.file_size(ec);
-    if (name.ends_with(".quarantined") ||
-        name.find(support::kTempInfix) != std::string::npos) {
-      doomed.emplace_back(path, size);
-    } else if (name.ends_with(".txt")) {
-      const auto raw = support::read_file(path);
-      const auto body = raw ? support::unseal(*raw) : std::nullopt;
-      if (!body.has_value() || payload_version(*body) != kFormatVersion) {
+  std::vector<std::pair<std::string, std::uint64_t>> doomed_temps;
+  const std::vector<std::string> dirs = scan_dirs(directory_);
+  for (const std::string& dir : dirs) {
+    const bool top_level = dir == directory_;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) continue;
+    for (const auto& entry : it) {
+      if (!entry.is_regular_file(ec)) continue;
+      const std::string name = entry.path().filename().string();
+      const std::string path = entry.path().string();
+      const std::uint64_t size = entry.file_size(ec);
+      if (name.ends_with(".quarantined")) {
         doomed.emplace_back(path, size);
+      } else if (name.find(support::kTempInfix) != std::string::npos) {
+        // A temp younger than the grace period may belong to a live
+        // writer mid-publish; only provably orphaned ones are swept.
+        if (temp_is_stale(entry.path())) doomed_temps.emplace_back(path, size);
+      } else if (name.ends_with(".txt")) {
+        const auto raw = support::read_file(path);
+        const auto body = raw ? support::unseal(*raw) : std::nullopt;
+        const std::string key = name.substr(0, name.size() - 4);
+        if (!body.has_value() || payload_version(*body) != kFormatVersion) {
+          doomed.emplace_back(path, size);
+        } else if (top_level) {
+          // Valid flat-layout entry: migrate into its shard. The rename
+          // is atomic; a concurrent sharded store of the same key wins
+          // or loses whole-file, never torn.
+          std::filesystem::create_directories(
+              directory_ + "/" + shard_name(key), ec);
+          std::filesystem::rename(path, path_for(key), ec);
+          if (!ec) ++report.migrated;
+        }
       }
     }
   }
@@ -494,6 +611,20 @@ ResultCache::GcReport ResultCache::gc() const {
       ++report.removed_files;
       report.bytes_reclaimed += size;
     }
+  }
+  for (const auto& [path, size] : doomed_temps) {
+    if (std::filesystem::remove(path, ec)) {
+      ++report.removed_files;
+      ++report.temps_swept;
+      report.bytes_reclaimed += size;
+    }
+  }
+  if (report.temps_swept > 0) swept_metric.add(report.temps_swept);
+  if (report.migrated > 0) migrate_metric.add(report.migrated);
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->telemetry.stale_temps_swept += report.temps_swept;
+    state_->telemetry.flat_migrated += report.migrated;
   }
   return report;
 }

@@ -1,0 +1,216 @@
+#include "sefi/core/service.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "sefi/obs/metrics.hpp"
+#include "sefi/support/error.hpp"
+#include "sefi/support/journal.hpp"
+#include "sefi/exec/procpool.hpp"
+
+namespace sefi::core {
+
+namespace {
+
+std::string shard_journal_path(const std::string& dir, const std::string& key,
+                               std::size_t shard) {
+  return dir + "/" + key + ".shard" + std::to_string(shard) + ".journal";
+}
+
+std::string shard_journal_header(const std::string& key, std::size_t shard) {
+  return "fi " + key + " shard " + std::to_string(shard);
+}
+
+/// Wall-clock epoch milliseconds, journaled with each lease claim so an
+/// outside observer (or a restarted coordinator) can tell an expired
+/// lease from a live one.
+std::uint64_t epoch_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const fi::WorkloadFiResult& serve_fi_campaign(
+    AssessmentLab& lab, const workloads::Workload& workload,
+    const ServeConfig& config, ServeStats* stats) {
+  support::require(lab.journaling_enabled(),
+                   "serve_fi_campaign: needs SEFI_CACHE_DIR and journaling "
+                   "(the journals are the shard transport)");
+  static obs::Counter& merged_metric = obs::Registry::instance().counter(
+      "sefi_serve_merged_records_total",
+      "Shard-journal outcome records concatenated into campaign journals");
+
+  ServeStats local_stats;
+  ServeStats& out = stats != nullptr ? *stats : local_stats;
+  out = ServeStats{};
+
+  const std::string key = ResultCache::make_key(
+      "fi", fingerprint(lab.config().fi), workload.info().name);
+  if (const fi::WorkloadFiResult* cached = lab.cache().load_fi(key)) {
+    return *cached;
+  }
+
+  const std::string dir = lab.cache().directory();
+  const std::string lease_path = dir + "/" + key + ".leases.journal";
+  const std::string lease_header = "lease " + key;
+
+  const std::uint64_t total =
+      lab.config().fi.faults_per_component * microarch::kNumComponents;
+  const std::uint64_t workers = std::max<std::uint64_t>(config.workers, 1);
+  const std::uint64_t shard_count = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(
+             total, workers * std::max<std::uint64_t>(
+                                  config.shards_per_worker, 1)));
+  out.shards = shard_count;
+  const auto shard_begin = [&](std::size_t shard) {
+    return shard * total / shard_count;
+  };
+
+  // Coordinator resume: a shard whose lease journal says "done" and
+  // whose shard journal is still intact needs no re-execution — its
+  // outcome records merge below exactly as if it just finished.
+  std::vector<std::size_t> todo;
+  {
+    const support::TaskJournal::Status leases =
+        support::TaskJournal::inspect(lease_path);
+    for (std::size_t shard = 0; shard < shard_count; ++shard) {
+      bool resumed = false;
+      if (leases.present && leases.header == lease_header) {
+        const auto it = leases.entries.find(shard);
+        if (it != leases.entries.end() &&
+            it->second.rfind("done ", 0) == 0) {
+          const support::TaskJournal::Status on_disk =
+              support::TaskJournal::inspect(shard_journal_path(dir, key, shard));
+          resumed = on_disk.present &&
+                    on_disk.header == shard_journal_header(key, shard);
+        }
+      }
+      if (resumed) {
+        ++out.shards_resumed;
+      } else {
+        todo.push_back(shard);
+      }
+    }
+  }
+
+  if (!todo.empty()) {
+    support::TaskJournal leases(lease_path, lease_header);
+
+    exec::ProcPoolConfig pool;
+    pool.workers = static_cast<std::size_t>(workers);
+    pool.lease_ms = config.lease_ms;
+    pool.on_assign = [&](std::size_t index, std::size_t worker) {
+      leases.record(todo[index], "claim " + std::to_string(worker) + " " +
+                                     std::to_string(epoch_ms() +
+                                                    config.lease_ms));
+    };
+    pool.on_done = [&](std::size_t index, std::size_t worker) {
+      leases.record(todo[index], "done " + std::to_string(worker));
+    };
+    pool.on_reclaim = [&](std::size_t index, std::size_t worker) {
+      leases.record(todo[index], "reclaim " + std::to_string(worker));
+    };
+
+    // Worker-side state: the rig (golden run + checkpoint ladder) is
+    // built once per worker process and reused across every shard the
+    // worker is leased — each child gets its own copy-on-write slot.
+    std::optional<fi::InjectionRig> rig_slot;
+    const auto run_shard = [&](std::size_t index) {
+      const std::size_t shard = todo[index];
+      if (!config.self_kill_marker.empty()) {
+        // Deterministic kill hook: exactly one worker (the O_EXCL
+        // winner) dies here, before contributing anything, so tests and
+        // CI can assert the lease-reclaim path end to end.
+        const int fd = ::open(config.self_kill_marker.c_str(),
+                              O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+        if (fd >= 0) {
+          ::close(fd);
+          ::kill(::getpid(), SIGKILL);
+        }
+      }
+      fi::CampaignConfig campaign = lab.config().fi;
+      if (!rig_slot.has_value()) {
+        rig_slot.emplace(workload, campaign.rig, campaign.input_seed,
+                         campaign.checkpoints,
+                         /*record_liveness=*/campaign.prune !=
+                             fi::PruneMode::kOff);
+      }
+      campaign.cancel = nullptr;
+      campaign.task_fault_hook = nullptr;
+      campaign.range_begin = shard_begin(shard);
+      campaign.range_end = shard_begin(shard + 1);
+      // One executor thread per worker process: parallelism comes from
+      // the process pool, not from oversubscribed threads inside it.
+      campaign.threads = 1;
+      support::TaskJournal shard_journal(shard_journal_path(dir, key, shard),
+                                         shard_journal_header(key, shard));
+      campaign.journal = &shard_journal;
+      (void)fi::run_fi_campaign(*rig_slot, campaign);
+    };
+
+    const exec::ProcPoolReport report =
+        exec::run_process_pool(pool, todo.size(), run_shard);
+    out.shards_done = report.shards_done;
+    out.leases_reclaimed = report.leases_reclaimed;
+    out.lease_expiries = report.lease_expiries;
+    out.worker_deaths = report.worker_deaths;
+    out.workers_respawned = report.workers_respawned;
+    if (!report.completed) {
+      throw support::SefiError(
+          "serve_fi_campaign: worker pool did not finish: " +
+          (report.first_error.empty() ? std::string("unknown failure")
+                                      : report.first_error));
+    }
+  }
+  out.shards_done += out.shards_resumed;
+
+  // Merge by journal concatenation: append every shard's outcome
+  // records into the campaign's standard resume journal, then let the
+  // ordinary run_fi journal-replay path do the fault-index-ordered
+  // merge. This reuses the replay machinery proven bit-identical for
+  // interrupted single-process campaigns, so any worker count (and any
+  // kill/reclaim history) converges to the same ClassCounts.
+  {
+    support::TaskJournal main_journal(dir + "/" + key + ".journal",
+                                      "fi " + key);
+    for (std::size_t shard = 0; shard < shard_count; ++shard) {
+      const support::TaskJournal::Status on_disk =
+          support::TaskJournal::inspect(shard_journal_path(dir, key, shard));
+      if (!on_disk.present ||
+          on_disk.header != shard_journal_header(key, shard)) {
+        continue;
+      }
+      for (const auto& [index, payload] : on_disk.entries) {
+        if (index == fi::kJournalTelemetryIndex) continue;
+        main_journal.record(index, payload);
+        ++out.merged_records;
+      }
+    }
+  }
+  merged_metric.add(out.merged_records);
+
+  // The journal-replay merge run. Any index a shard failed to journal
+  // (none, on a completed pool) would simply execute here — the merge
+  // is self-healing, never silently short.
+  const fi::WorkloadFiResult& result = lab.run_fi(workload);
+
+  // The campaign is cached; the shard transport has served its purpose.
+  std::error_code ec;
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    std::filesystem::remove(shard_journal_path(dir, key, shard), ec);
+  }
+  std::filesystem::remove(lease_path, ec);
+  return result;
+}
+
+}  // namespace sefi::core

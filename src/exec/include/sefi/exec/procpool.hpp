@@ -1,0 +1,84 @@
+// Multi-process work pool with leased assignments.
+//
+// The thread pool in parallel.hpp scales a campaign inside one process;
+// this pool scales it across processes — the unit the serve coordinator
+// (DESIGN.md §14) hands out is a *shard* of fault indices, and the
+// failure model is harder: a worker process can be SIGKILL'd, OOM'd, or
+// wedged, and the coordinator must get its shard back. Three mechanisms
+// deliver that:
+//
+//   1. *Fork-per-worker with a line protocol.* Workers are forked
+//      children connected by two pipes. The parent assigns work with
+//      "s <shard>\n", the child answers "d <shard>\n" (done) or
+//      "e <shard>\n" (the shard callback threw), and EOF on the command
+//      pipe tells the child to _exit. Children never return into the
+//      parent's stack.
+//   2. *Dynamic assignment == work stealing.* Shards live in one pending
+//      queue; a worker gets its next shard the moment it finishes the
+//      last one, so a fast worker drains what a slow one never claimed.
+//   3. *Leases.* Every assignment carries a wall-clock lease
+//      (`lease_ms`). A worker that dies (pipe EOF) or overruns its lease
+//      (SIGKILL'd by the parent) forfeits the shard, which goes back in
+//      the queue for the next free worker; the worker slot is respawned
+//      while the respawn budget lasts. The caller journals lease events
+//      through the on_assign/on_done/on_reclaim hooks.
+//
+// Determinism: the pool only schedules; the caller's shard callback is
+// responsible for writing results somewhere order-independent (the
+// serve coordinator journals per-shard outcome records and merges them
+// by fault index, so any assignment order yields identical results).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sefi::exec {
+
+struct ProcPoolConfig {
+  /// Worker processes to fork (clamped to >= 1).
+  std::size_t workers = 4;
+  /// Wall-clock lease per shard assignment, ms; a worker holding a
+  /// shard longer is presumed wedged, SIGKILL'd, and its shard
+  /// reassigned. 0 = leases never expire (death still reclaims).
+  std::uint64_t lease_ms = 0;
+  /// Times a shard may be attempted before the pool gives up on it
+  /// (first assignment included). A shard that poisons every worker it
+  /// lands on must not wedge the pool forever.
+  std::uint64_t max_shard_attempts = 3;
+  /// Worker processes respawned after deaths/lease kills before the
+  /// pool stops replacing them (survivors still drain the queue).
+  std::uint64_t respawn_budget = 16;
+  // Parent-side event hooks (all nullable, called from the coordinator
+  // loop — never from a signal handler or a child).
+  std::function<void(std::size_t shard, std::size_t worker)> on_assign;
+  std::function<void(std::size_t shard, std::size_t worker)> on_done;
+  /// A shard came back: its holder died or its lease expired.
+  std::function<void(std::size_t shard, std::size_t worker)> on_reclaim;
+};
+
+struct ProcPoolReport {
+  std::uint64_t shards_done = 0;
+  std::uint64_t shards_failed = 0;      ///< exhausted max_shard_attempts
+  std::uint64_t leases_reclaimed = 0;   ///< reassignments after death/expiry
+  std::uint64_t lease_expiries = 0;     ///< of those, parent-initiated kills
+  std::uint64_t worker_deaths = 0;      ///< children that exited unbidden
+  std::uint64_t workers_respawned = 0;
+  bool completed = false;  ///< every shard ran to done
+  std::string first_error;
+};
+
+/// Forks `config.workers` children, each executing `run_shard(shard)`
+/// for the shards the parent assigns it, and blocks until every shard
+/// in [0, shard_count) is done (or unrecoverable). In the child,
+/// `run_shard` returning normally reports done; throwing reports a
+/// shard error (the shard is re-attempted elsewhere, up to
+/// max_shard_attempts); the child never returns from this call — it
+/// _exit()s when the parent closes its command pipe. The parent must be
+/// effectively single-threaded at call time (fork semantics).
+ProcPoolReport run_process_pool(
+    const ProcPoolConfig& config, std::size_t shard_count,
+    const std::function<void(std::size_t shard)>& run_shard);
+
+}  // namespace sefi::exec

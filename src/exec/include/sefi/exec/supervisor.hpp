@@ -134,9 +134,12 @@ struct SupervisorReport {
 /// Runs `task(worker, index, attempt, guard)` for every index under the
 /// fault-isolation contract above. `already_done(index)` (nullable)
 /// short-circuits journal-replayed tasks to kSkipped without invoking
-/// the task; `recover(worker)` (nullable) is invoked after every failed
-/// attempt, before the retry, to rebuild worker-private state. Neither
-/// `task` exceptions nor `recover` exceptions escape this function.
+/// the task; if the probe itself throws (corrupt journal record, I/O
+/// error) the task is treated as not-done and re-executed through the
+/// normal attempt loop — a bad probe can never poison the drain.
+/// `recover(worker)` (nullable) is invoked after every failed attempt,
+/// before the retry, to rebuild worker-private state. Neither `task`
+/// exceptions nor `recover` exceptions escape this function.
 SupervisorReport run_supervised(
     const SupervisorConfig& config, std::size_t count,
     const std::function<bool(std::size_t index)>& already_done,

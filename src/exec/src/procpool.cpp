@@ -1,0 +1,377 @@
+#include "sefi/exec/procpool.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <vector>
+
+#include "sefi/obs/metrics.hpp"
+
+namespace sefi::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ssize_t read_retry(int fd, char* buf, std::size_t len) {
+  ssize_t n;
+  do {
+    n = ::read(fd, buf, len);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Child main loop: read "s <shard>" commands until EOF, run the shard
+/// callback, answer "d <shard>" / "e <shard>". Never returns — the
+/// child must not unwind into the parent's stack (atexit handlers,
+/// gtest state, buffered streams all belong to the parent image).
+[[noreturn]] void child_loop(
+    int cmd_fd, int res_fd,
+    const std::function<void(std::size_t shard)>& run_shard) {
+  std::string buffer;
+  char chunk[256];
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      const ssize_t n = read_retry(cmd_fd, chunk, sizeof(chunk));
+      if (n <= 0) ::_exit(0);  // parent closed the pipe: drain is over
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (line.size() < 3 || line[0] != 's' || line[1] != ' ') ::_exit(2);
+    std::size_t shard = 0;
+    for (std::size_t i = 2; i < line.size(); ++i) {
+      if (line[i] < '0' || line[i] > '9') ::_exit(2);
+      shard = shard * 10 + static_cast<std::size_t>(line[i] - '0');
+    }
+    bool ok = true;
+    try {
+      run_shard(shard);
+    } catch (...) {
+      ok = false;
+    }
+    const std::string reply =
+        std::string(ok ? "d " : "e ") + std::to_string(shard) + "\n";
+    if (!write_all(res_fd, reply)) ::_exit(3);
+  }
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int cmd_fd = -1;  ///< parent -> child assignments
+  int res_fd = -1;  ///< child -> parent replies
+  bool alive = false;
+  bool busy = false;
+  std::size_t shard = 0;
+  Clock::time_point lease_deadline{};
+  std::string buffer;  ///< partial reply line
+};
+
+obs::Gauge& worker_up_gauge(std::size_t worker) {
+  return obs::Registry::instance().gauge(
+      "sefi_serve_worker_up", "Liveness of each serve worker process slot",
+      "worker=\"" + std::to_string(worker) + "\"");
+}
+
+}  // namespace
+
+ProcPoolReport run_process_pool(
+    const ProcPoolConfig& config, std::size_t shard_count,
+    const std::function<void(std::size_t shard)>& run_shard) {
+  ProcPoolReport report;
+  if (shard_count == 0) {
+    report.completed = true;
+    return report;
+  }
+
+  static obs::Counter& done_metric = obs::Registry::instance().counter(
+      "sefi_serve_shards_done_total",
+      "Shards completed by serve worker processes");
+  static obs::Counter& reclaim_metric = obs::Registry::instance().counter(
+      "sefi_serve_leases_reclaimed_total",
+      "Shard leases reclaimed after worker death or expiry");
+  static obs::Counter& respawn_metric = obs::Registry::instance().counter(
+      "sefi_serve_workers_respawned_total",
+      "Serve worker processes respawned after a death or lease kill");
+
+  // A dead child's command pipe raises SIGPIPE on the parent's next
+  // assignment write; the write error is handled, the signal must not
+  // kill the coordinator.
+  struct sigaction ignore_pipe {};
+  struct sigaction saved_pipe {};
+  ignore_pipe.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &ignore_pipe, &saved_pipe);
+
+  const std::size_t worker_count =
+      std::min<std::size_t>(std::max<std::size_t>(config.workers, 1),
+                            shard_count);
+  std::vector<Worker> workers(worker_count);
+  std::deque<std::size_t> pending;
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    pending.push_back(shard);
+  }
+  std::vector<std::uint64_t> attempts(shard_count, 0);
+  std::vector<char> done(shard_count, 0);
+  std::uint64_t done_count = 0, failed_count = 0, respawns = 0;
+
+  const auto note_error = [&](const std::string& message) {
+    if (report.first_error.empty()) report.first_error = message;
+  };
+
+  const auto spawn = [&](std::size_t slot) -> bool {
+    int to_child[2], to_parent[2];
+    if (::pipe(to_child) != 0) return false;
+    if (::pipe(to_parent) != 0) {
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (int fd : {to_child[0], to_child[1], to_parent[0], to_parent[1]}) {
+        ::close(fd);
+      }
+      return false;
+    }
+    if (pid == 0) {
+      // Child: keep only its own two pipe ends; every inherited parent
+      // fd (other workers' pipes included) is closed so a worker's EOF
+      // is visible the moment it alone dies.
+      ::close(to_child[1]);
+      ::close(to_parent[0]);
+      for (const Worker& other : workers) {
+        if (other.cmd_fd >= 0) ::close(other.cmd_fd);
+        if (other.res_fd >= 0) ::close(other.res_fd);
+      }
+      child_loop(to_child[0], to_parent[1], run_shard);
+    }
+    ::close(to_child[0]);
+    ::close(to_parent[1]);
+    Worker& worker = workers[slot];
+    worker.pid = pid;
+    worker.cmd_fd = to_child[1];
+    worker.res_fd = to_parent[0];
+    worker.alive = true;
+    worker.busy = false;
+    worker.buffer.clear();
+    worker_up_gauge(slot).set(1);
+    return true;
+  };
+
+  const auto retire = [&](std::size_t slot, bool kill_first) {
+    Worker& worker = workers[slot];
+    if (!worker.alive) return;
+    if (kill_first) ::kill(worker.pid, SIGKILL);
+    ::close(worker.cmd_fd);
+    ::close(worker.res_fd);
+    worker.cmd_fd = worker.res_fd = -1;
+    int status = 0;
+    pid_t reaped;
+    do {
+      reaped = ::waitpid(worker.pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    worker.alive = false;
+    worker_up_gauge(slot).set(0);
+    if (worker.busy) {
+      // The shard comes back to the queue unless its attempt budget is
+      // spent — a shard that kills every holder must not spin forever.
+      worker.busy = false;
+      ++report.leases_reclaimed;
+      reclaim_metric.add();
+      if (config.on_reclaim) config.on_reclaim(worker.shard, slot);
+      if (attempts[worker.shard] < config.max_shard_attempts) {
+        pending.push_front(worker.shard);
+      } else {
+        ++failed_count;
+        note_error("shard " + std::to_string(worker.shard) +
+                   " exhausted its attempt budget (worker deaths)");
+      }
+    }
+  };
+
+  const auto assign = [&](std::size_t slot) {
+    Worker& worker = workers[slot];
+    while (!pending.empty()) {
+      const std::size_t shard = pending.front();
+      pending.pop_front();
+      ++attempts[shard];
+      if (!write_all(worker.cmd_fd, "s " + std::to_string(shard) + "\n")) {
+        // Assignment never reached the child: hand the shard to someone
+        // else without burning its attempt, and retire the dead worker.
+        --attempts[shard];
+        pending.push_front(shard);
+        retire(slot, /*kill_first=*/false);
+        return;
+      }
+      worker.busy = true;
+      worker.shard = shard;
+      worker.lease_deadline =
+          Clock::now() + std::chrono::milliseconds(
+                             config.lease_ms == 0 ? 0 : config.lease_ms);
+      if (config.on_assign) config.on_assign(shard, slot);
+      return;
+    }
+  };
+
+  for (std::size_t slot = 0; slot < worker_count; ++slot) {
+    if (!spawn(slot)) {
+      note_error("fork/pipe failed while spawning serve workers");
+      break;
+    }
+  }
+
+  const auto alive_workers = [&] {
+    std::size_t n = 0;
+    for (const Worker& worker : workers) n += worker.alive ? 1 : 0;
+    return n;
+  };
+
+  while (done_count + failed_count < shard_count && alive_workers() > 0) {
+    // Feed every idle worker before sleeping.
+    for (std::size_t slot = 0; slot < worker_count; ++slot) {
+      if (workers[slot].alive && !workers[slot].busy && !pending.empty()) {
+        assign(slot);
+      }
+    }
+
+    // Sleep until a reply, a death, or the nearest lease deadline.
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    int timeout_ms = -1;
+    const auto now = Clock::now();
+    for (std::size_t slot = 0; slot < worker_count; ++slot) {
+      const Worker& worker = workers[slot];
+      if (!worker.alive) continue;
+      fds.push_back({worker.res_fd, POLLIN, 0});
+      fd_slot.push_back(slot);
+      if (worker.busy && config.lease_ms > 0) {
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(worker.lease_deadline - now).count();
+        const int ms = remaining <= 0 ? 0 : static_cast<int>(
+            std::min<long long>(remaining, 60'000));
+        timeout_ms = timeout_ms < 0 ? ms : std::min(timeout_ms, ms);
+      }
+    }
+    if (fds.empty()) break;
+    int ready;
+    do {
+      ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+
+    // Replies and deaths.
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t slot = fd_slot[i];
+      Worker& worker = workers[slot];
+      if (!worker.alive) continue;
+      char chunk[256];
+      const ssize_t n = read_retry(worker.res_fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        // EOF: the child died (SIGKILL, OOM, crash).
+        ++report.worker_deaths;
+        retire(slot, /*kill_first=*/false);
+        if (!pending.empty() && respawns < config.respawn_budget) {
+          if (spawn(slot)) {
+            ++respawns;
+            respawn_metric.add();
+          }
+        }
+        continue;
+      }
+      worker.buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t newline;
+      while ((newline = worker.buffer.find('\n')) != std::string::npos) {
+        const std::string line = worker.buffer.substr(0, newline);
+        worker.buffer.erase(0, newline + 1);
+        if (line.size() < 3 || (line[0] != 'd' && line[0] != 'e') ||
+            line[1] != ' ') {
+          continue;  // garbled reply; the lease/death machinery recovers
+        }
+        std::size_t shard = 0;
+        bool parsed = true;
+        for (std::size_t j = 2; j < line.size() && parsed; ++j) {
+          parsed = line[j] >= '0' && line[j] <= '9';
+          if (parsed) shard = shard * 10 + static_cast<std::size_t>(line[j] - '0');
+        }
+        if (!parsed || shard >= shard_count || !worker.busy ||
+            worker.shard != shard) {
+          continue;
+        }
+        worker.busy = false;
+        if (line[0] == 'd') {
+          if (done[shard] == 0) {
+            done[shard] = 1;
+            ++done_count;
+            done_metric.add();
+          }
+          if (config.on_done) config.on_done(shard, slot);
+        } else if (attempts[shard] < config.max_shard_attempts) {
+          pending.push_back(shard);
+        } else {
+          ++failed_count;
+          note_error("shard " + std::to_string(shard) +
+                     " exhausted its attempt budget (shard errors)");
+        }
+      }
+    }
+
+    // Lease expiries: a busy worker past its deadline is presumed
+    // wedged; SIGKILL it, reclaim the shard, respawn the slot.
+    if (config.lease_ms > 0) {
+      const auto deadline_now = Clock::now();
+      for (std::size_t slot = 0; slot < worker_count; ++slot) {
+        Worker& worker = workers[slot];
+        if (!worker.alive || !worker.busy) continue;
+        if (worker.lease_deadline > deadline_now) continue;
+        ++report.lease_expiries;
+        retire(slot, /*kill_first=*/true);
+        if (respawns < config.respawn_budget && spawn(slot)) {
+          ++respawns;
+          respawn_metric.add();
+        }
+      }
+    }
+  }
+
+  // Drain: closing the command pipes tells surviving children to exit.
+  for (std::size_t slot = 0; slot < worker_count; ++slot) {
+    retire(slot, /*kill_first=*/false);
+  }
+
+  report.shards_done = done_count;
+  report.shards_failed = failed_count;
+  report.workers_respawned = respawns;
+  report.completed = done_count == shard_count;
+  if (!report.completed && report.first_error.empty()) {
+    note_error("serve worker pool stopped with " +
+               std::to_string(shard_count - done_count) +
+               " shards unfinished");
+  }
+  ::sigaction(SIGPIPE, &saved_pipe, nullptr);
+  return report;
+}
+
+}  // namespace sefi::exec

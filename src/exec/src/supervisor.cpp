@@ -97,7 +97,20 @@ SupervisorReport run_supervised(
   // queue below never sees a task exception: distinct TaskState slots
   // are written by exactly one worker each.
   auto wrapper = [&](std::size_t worker, std::size_t index) {
-    if (already_done && already_done(index)) {
+    // The journal probe may itself throw (corrupt record, I/O error).
+    // That must not escape into the work queue: treat the task as
+    // not-done and fall through to the attempt loop, which re-executes
+    // it from scratch and records the outcome fresh.
+    bool done_already = false;
+    try {
+      done_already = already_done && already_done(index);
+    } catch (const std::exception& error) {
+      note_first_error(std::string("already_done probe threw: ") +
+                       error.what());
+    } catch (...) {
+      note_first_error("already_done probe threw: unknown exception");
+    }
+    if (done_already) {
       report.states[index] = TaskState::kSkipped;
       skipped.fetch_add(1, std::memory_order_relaxed);
       return;

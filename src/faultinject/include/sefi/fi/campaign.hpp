@@ -216,6 +216,7 @@ class InjectionRig {
 
   const GoldenRun& golden() const { return golden_; }
   const RigConfig& config() const { return config_; }
+  const workloads::Workload& workload() const { return workload_; }
 
   /// Liveness recording of the golden window, or null when the rig was
   /// built without `record_liveness`.
@@ -502,6 +503,16 @@ struct CampaignConfig {
   /// injections found in it are skipped and their recorded outcomes
   /// merged; newly completed ones are appended.
   support::TaskJournal* journal = nullptr;
+  /// Executor-only fault-index window [range_begin, range_end): indices
+  /// outside it are neither executed, journal-replayed, nor merged —
+  /// the serve coordinator hands each worker process a shard this way.
+  /// Fault sampling, prune classification, and the kSample subsample
+  /// draw are ALWAYS computed over the full index space (they are
+  /// deterministic functions of the config), so a shard journals
+  /// exactly the records the full-range merge run would have produced
+  /// for those indices. Like threads, never part of campaign identity.
+  std::uint64_t range_begin = 0;
+  std::uint64_t range_end = ~0ull;
   /// Test-only fault hook, called as (fault_index, attempt) before each
   /// injection attempt; a throw simulates a harness fault. Null in
   /// production.
@@ -528,6 +539,15 @@ std::vector<FaultDescriptor> sample_component_faults(
 /// injections over config.threads workers (each with a private machine
 /// restored from the rig's shared checkpoint ladder).
 WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
+                                 const CampaignConfig& config);
+
+/// Same campaign on a caller-owned rig — the serve workers reuse one
+/// golden run + checkpoint ladder across every shard of a campaign
+/// instead of rebuilding it per assignment. The rig must have been
+/// built from `config.rig` / `config.input_seed` (and with liveness
+/// recording when config.prune != kOff); results are then identical to
+/// the workload overload.
+WorkloadFiResult run_fi_campaign(const InjectionRig& rig,
                                  const CampaignConfig& config);
 
 }  // namespace sefi::fi

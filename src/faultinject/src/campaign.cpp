@@ -593,9 +593,24 @@ std::vector<FaultDescriptor> sample_component_faults(
 
 WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
                                  const CampaignConfig& config) {
+  const InjectionRig rig(workload, config.rig, config.input_seed,
+                         config.checkpoints,
+                         /*record_liveness=*/config.prune != PruneMode::kOff);
+  return run_fi_campaign(rig, config);
+}
+
+WorkloadFiResult run_fi_campaign(const InjectionRig& rig,
+                                 const CampaignConfig& config) {
   const obs::Span campaign_span("fi_campaign", "fi");
   support::require(config.faults_per_component > 0,
                    "run_fi_campaign: need at least one fault");
+  support::require(config.range_begin < config.range_end,
+                   "run_fi_campaign: empty fault-index range");
+  // Executor-only shard window; everything identity-relevant (sampling,
+  // prune classification) still covers the full index space.
+  const auto in_range = [&](std::size_t index) {
+    return index >= config.range_begin && index < config.range_end;
+  };
 
   // Campaign metrics, registered once per process; call sites below pay
   // one relaxed load + branch when metrics are off (DESIGN.md §11).
@@ -653,12 +668,8 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
                                       ? config.forensics
                                       : obs::ForensicsSink::global();
 
-  const InjectionRig rig(workload, config.rig, config.input_seed,
-                         config.checkpoints,
-                         /*record_liveness=*/config.prune != PruneMode::kOff);
-
   WorkloadFiResult result;
-  result.workload = workload.info().name;
+  result.workload = rig.workload().info().name;
 
   const std::uint64_t window =
       rig.golden().end_cycle - rig.golden().spawn_cycle;
@@ -694,6 +705,7 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   std::vector<char> replayed(faults.size(), 0);
   if (config.journal != nullptr) {
     for (std::size_t index = 0; index < faults.size(); ++index) {
+      if (!in_range(index)) continue;
       const std::string* payload =
           config.journal->lookup(static_cast<std::uint64_t>(index));
       if (payload == nullptr) continue;
@@ -740,24 +752,30 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
       live_indices.clear();
       for (std::uint64_t i = 0; i < config.faults_per_component; ++i) {
         const std::size_t index = base + i;
+        // Classification (and the live-index list feeding the kSample
+        // draw below) must cover out-of-range indices too, so every
+        // shard derives the identical disposition vector; only the
+        // telemetry/forensics bookkeeping is scoped to this range.
         if (rig.provably_masked(faults[index])) {
           disposition[index] = Disposition::kPrunedMasked;
-          pruned_sites_metric.add();
-          outcome_metrics[static_cast<std::size_t>(Outcome::kMasked)]->add();
-          if (forensics != nullptr) {
-            obs::ForensicsSink::Record record;
-            record.workload = result.workload;
-            record.component =
-                microarch::component_name(faults[index].component);
-            record.flat_bit = faults[index].bit;
-            record.injection_cycle = faults[index].cycle;
-            record.verdict = outcome_name(Outcome::kMasked);
-            record.pruned = true;
-            forensics->write(record);
+          if (in_range(index)) {
+            pruned_sites_metric.add();
+            outcome_metrics[static_cast<std::size_t>(Outcome::kMasked)]->add();
+            if (forensics != nullptr) {
+              obs::ForensicsSink::Record record;
+              record.workload = result.workload;
+              record.component =
+                  microarch::component_name(faults[index].component);
+              record.flat_bit = faults[index].bit;
+              record.injection_cycle = faults[index].cycle;
+              record.verdict = outcome_name(Outcome::kMasked);
+              record.pruned = true;
+              forensics->write(record);
+            }
           }
         } else {
           live_indices.push_back(index);
-          live_sites_metric.add();
+          if (in_range(index)) live_sites_metric.add();
         }
       }
       if (config.prune == PruneMode::kSample && !live_indices.empty()) {
@@ -867,7 +885,7 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   const exec::SupervisorReport report = exec::run_supervised(
       supervisor, faults.size(),
       [&](std::size_t index) {
-        return replayed[index] != 0 ||
+        return !in_range(index) || replayed[index] != 0 ||
                disposition[index] != Disposition::kExecute;
       },
       [&](std::size_t worker, std::size_t index, std::uint64_t attempt,
@@ -946,6 +964,9 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
         result.components[static_cast<std::size_t>(kind)];
     for (std::uint64_t i = 0; i < config.faults_per_component; ++i) {
       const std::size_t index = cursor++;
+      // Shard runs merge only their window; the coordinator's full-range
+      // merge over the combined journal covers everything.
+      if (!in_range(index)) continue;
       switch (disposition[index]) {
         case Disposition::kPrunedMasked:
           // Proven verdict, merged like any other Masked outcome so the
@@ -1018,9 +1039,11 @@ WorkloadFiResult run_fi_campaign(const workloads::Workload& workload,
   // The supervisor's skip count covers journal replays AND prune skips;
   // only the former are journal_replayed. Pruned sites are never
   // journaled, so the two sets are disjoint.
+  // Out-of-range shard skips are neither replays nor prune skips; they
+  // fold into the correction below so journal_replayed stays exact.
   std::uint64_t prune_skipped = 0;
   for (std::size_t i = 0; i < disposition.size(); ++i) {
-    if (disposition[i] != Disposition::kExecute &&
+    if ((disposition[i] != Disposition::kExecute || !in_range(i)) &&
         report.states[i] == exec::TaskState::kSkipped) {
       ++prune_skipped;
     }

@@ -3,10 +3,11 @@
 // The result cache (and any future on-disk artifact) must survive two
 // hazards: a killed process mid-write, and two processes publishing the
 // same path concurrently. Both are solved the classic way — write the
-// whole payload to a process-unique temp sibling, then publish it with
-// one atomic rename(2). Readers either see the old complete file or the
-// new complete file, never a torn mixture; concurrent same-path writers
-// resolve to last-rename-wins.
+// whole payload to a process-unique temp sibling, fsync it, publish it
+// with one atomic rename(2), then fsync the parent directory so the
+// rename itself is durable. Readers either see the old complete file or
+// the new complete file, never a torn mixture; concurrent same-path
+// writers resolve to last-rename-wins.
 #pragma once
 
 #include <optional>
@@ -19,12 +20,27 @@ namespace sefi::support {
 /// opened or a read error occurs (never a partial payload).
 std::optional<std::string> read_file(const std::string& path);
 
-/// Atomically publishes `payload` at `path`: writes a unique temp
-/// sibling (`<path>.tmp-<pid>-<seq>`), checks every stream operation,
-/// then renames over `path`. Returns false on any failure — the temp
-/// file is removed and `path` is left untouched (its previous content,
-/// if any, stays intact).
+/// Atomically and durably publishes `payload` at `path`: writes a
+/// unique temp sibling (`<path>.tmp-<pid>-<seq>`), fsyncs it, renames
+/// over `path`, then fsyncs the parent directory so a power loss after
+/// return cannot roll the rename back to a zero-length or stale file.
+/// Returns false on any failure — the temp file is removed and `path`
+/// is left untouched (its previous content, if any, stays intact).
+///
+/// Durability knob: `SEFI_FSYNC=off` (or set_fsync(false)) skips both
+/// fsync calls — atomicity against a killed *process* is preserved (the
+/// rename is still all-or-nothing) but durability against a killed
+/// *machine* is not. Tests that churn thousands of cache entries use it
+/// to stay fast; production leaves it on (the default).
 bool write_file_atomic(const std::string& path, std::string_view payload);
+
+/// Programmatic override of the SEFI_FSYNC knob (process-wide).
+/// Pass std::nullopt to fall back to the environment again.
+void set_fsync(std::optional<bool> enabled);
+
+/// Whether write_file_atomic will fsync on the next call (override if
+/// set, else SEFI_FSYNC, else on).
+bool fsync_enabled();
 
 /// Name a write_file_atomic temp sibling would use (exposed so cache
 /// scans can recognize and garbage-collect stale temps from killed

@@ -1,14 +1,72 @@
 #include "sefi/support/fsio.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <mutex>
+
+#include "sefi/support/env.hpp"
 
 namespace sefi::support {
+namespace {
+
+// Process-wide programmatic override of SEFI_FSYNC. -1 = defer to the
+// environment, 0/1 = forced off/on. Tests flip this instead of racing
+// setenv against other threads.
+std::atomic<int> g_fsync_override{-1};
+
+// Full fd-based write: open, write all bytes (retrying short writes and
+// EINTR), optionally fsync, close. Returns false on any failure.
+bool write_all(const std::string& temp, std::string_view payload,
+               bool do_fsync) {
+  int fd = -1;
+  do {
+    fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+
+  const char* data = payload.data();
+  std::size_t left = payload.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (do_fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return false;
+  }
+  return ::close(fd) == 0;
+}
+
+// fsync the directory containing `path` so the rename that just
+// happened inside it survives a power loss. Failure here is reported:
+// the entry exists but its durability promise is broken.
+bool fsync_parent_dir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  int fd = -1;
+  do {
+    fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
 
 std::optional<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -19,6 +77,17 @@ std::optional<std::string> read_file(const std::string& path) {
                    std::istreambuf_iterator<char>());
   if (in.bad()) return std::nullopt;
   return data;
+}
+
+void set_fsync(std::optional<bool> enabled) {
+  g_fsync_override.store(enabled ? (*enabled ? 1 : 0) : -1,
+                         std::memory_order_relaxed);
+}
+
+bool fsync_enabled() {
+  const int forced = g_fsync_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return env::flag("SEFI_FSYNC", true);
 }
 
 bool write_file_atomic(const std::string& path, std::string_view payload) {
@@ -37,18 +106,17 @@ bool write_file_atomic(const std::string& path, std::string_view payload) {
     return false;
   };
 
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(payload.data(),
-              static_cast<std::streamsize>(payload.size()));
-    out.flush();
-    out.close();
-    if (out.fail()) return discard();
-  }
+  const bool do_fsync = fsync_enabled();
+  if (!write_all(temp, payload, do_fsync)) return discard();
+
   std::error_code ec;
   std::filesystem::rename(temp, path, ec);
   if (ec) return discard();
+
+  // The rename is only durable once the directory entry itself is on
+  // disk; without this a crash can resurrect the old file — or, on a
+  // fresh path, no file at all — after the caller was told "published".
+  if (do_fsync && !fsync_parent_dir(path)) return false;
   return true;
 }
 

@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 #include <vector>
 
 #include "../support_fastpath_scope.hpp"
+#include "sefi/support/env.hpp"
 #include "sefi/support/seal.hpp"
 
 namespace sefi::core {
@@ -31,6 +33,9 @@ class CacheDirTest : public ::testing::Test {
   }
   void TearDown() override { fs::remove_all(dir_); }
 
+  /// The pre-shard FLAT location of an entry — used to fabricate
+  /// legacy-layout files; the cache's canonical (sharded) location is
+  /// ResultCache::entry_path.
   std::string entry_path(const std::string& key) const {
     return dir_ + "/" + key + ".txt";
   }
@@ -287,14 +292,15 @@ TEST_F(CacheDirTest, TornWriteNeverYieldsASuccessfulDeserialize) {
   const ResultCache writer(dir_);
   const std::string key = "fi-torn";
   writer.store_fi(key, sample_fi_result());
-  const std::string sealed = read_raw(entry_path(key));
+  const std::string stored_path = writer.entry_path(key);
+  const std::string sealed = read_raw(stored_path);
   ASSERT_GT(sealed.size(), 0u);
   for (std::size_t len = 0; len < sealed.size(); ++len) {
-    write_raw(entry_path(key), sealed.substr(0, len));
+    write_raw(stored_path, sealed.substr(0, len));
     const ResultCache reader(dir_);
     EXPECT_EQ(reader.load_fi(key), nullptr)
         << "entry truncated to " << len << " bytes deserialized";
-    EXPECT_FALSE(fs::exists(entry_path(key)))
+    EXPECT_FALSE(fs::exists(stored_path))
         << "torn entry not quarantined at " << len << " bytes";
   }
 }
@@ -303,11 +309,12 @@ TEST_F(CacheDirTest, BitFlippedEntryLoadsAsMiss) {
   const ResultCache writer(dir_);
   const std::string key = "beam-flip";
   writer.store(key, serialize(sample_beam_result()));
-  const std::string sealed = read_raw(entry_path(key));
+  const std::string stored_path = writer.entry_path(key);
+  const std::string sealed = read_raw(stored_path);
   for (std::size_t i = 0; i < sealed.size(); ++i) {
     std::string tampered = sealed;
     tampered[i] = static_cast<char>(tampered[i] ^ 0x08);
-    write_raw(entry_path(key), tampered);
+    write_raw(stored_path, tampered);
     const ResultCache reader(dir_);
     EXPECT_FALSE(reader.load(key).has_value())
         << "flip at byte " << i << " went undetected";
@@ -457,18 +464,96 @@ TEST_F(CacheDirTest, VerifyAndGcPartitionTheDirectory) {
   EXPECT_FALSE(fs::exists(entry_path("corrupt")));
   EXPECT_TRUE(fs::exists(entry_path("corrupt") + ".quarantined"));
 
-  // gc drops quarantined + temps + old-format; the valid entry stays.
+  // gc drops quarantined + stale temps + old-format; the valid entry
+  // stays. Grace period 0 so the just-written temp already counts as a
+  // crashed writer's orphan.
+  ::setenv("SEFI_TEMP_GRACE_MS", "0", 1);
+  support::env::refresh();
   const auto gc = cache.gc();
+  ::unsetenv("SEFI_TEMP_GRACE_MS");
+  support::env::refresh();
   EXPECT_EQ(gc.removed_files, 4u);  // corrupt.q, dead.q, temp, old
+  EXPECT_EQ(gc.temps_swept, 1u);
   EXPECT_GT(gc.bytes_reclaimed, 0u);
-  EXPECT_TRUE(fs::exists(entry_path("good")));
+  EXPECT_TRUE(fs::exists(cache.entry_path("good")));
   const ResultCache reader(dir_);
   EXPECT_TRUE(reader.load("good").has_value());
+  // Only the valid entry's shard subdirectory remains at the top level.
   std::size_t files = 0;
   for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir_)) {
     ++files;
   }
   EXPECT_EQ(files, 1u);
+}
+
+TEST_F(CacheDirTest, EntriesLandInTwoHexShardSubdirectories) {
+  const ResultCache cache(dir_);
+  ASSERT_TRUE(cache.store("some-key", serialize(sample_beam_result())));
+  const std::string stored_path = cache.entry_path("some-key");
+  EXPECT_TRUE(fs::exists(stored_path));
+  EXPECT_FALSE(fs::exists(entry_path("some-key")));  // not flat
+  // Path shape: <dir>/<ab>/<key>.txt with ab two lowercase hex digits.
+  const std::string shard =
+      fs::path(stored_path).parent_path().filename().string();
+  ASSERT_EQ(shard.size(), 2u);
+  for (const char c : shard) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << shard;
+  }
+  EXPECT_EQ(fs::path(stored_path).parent_path().parent_path().string(), dir_);
+  EXPECT_TRUE(cache.has_entry("some-key"));
+  EXPECT_FALSE(cache.has_entry("other-key"));
+}
+
+TEST_F(CacheDirTest, FlatLayoutEntriesLoadTransparently) {
+  // Fabricate a pre-shard cache: a valid sealed entry at the flat path.
+  {
+    const ResultCache writer(dir_);
+    ASSERT_TRUE(writer.store("legacy", serialize(sample_beam_result())));
+    fs::rename(writer.entry_path("legacy"), entry_path("legacy"));
+  }
+  const ResultCache reader(dir_);
+  EXPECT_TRUE(reader.has_entry("legacy"));
+  EXPECT_NE(reader.load_beam("legacy"), nullptr);
+  EXPECT_EQ(reader.telemetry().disk_hits, 1u);
+}
+
+TEST_F(CacheDirTest, GcMigratesFlatEntriesIntoShards) {
+  const ResultCache cache(dir_);
+  ASSERT_TRUE(cache.store("migrate-me", serialize(sample_beam_result())));
+  fs::rename(cache.entry_path("migrate-me"), entry_path("migrate-me"));
+
+  const auto report = cache.gc();
+  EXPECT_EQ(report.migrated, 1u);
+  EXPECT_EQ(report.removed_files, 0u);  // migration moves, never deletes
+  EXPECT_FALSE(fs::exists(entry_path("migrate-me")));
+  EXPECT_TRUE(fs::exists(cache.entry_path("migrate-me")));
+  EXPECT_EQ(cache.telemetry().flat_migrated, 1u);
+
+  const ResultCache reader(dir_);
+  EXPECT_NE(reader.load_beam("migrate-me"), nullptr);
+}
+
+TEST_F(CacheDirTest, OrphanedTempsSurviveTheGracePeriodThenSweep) {
+  const ResultCache cache(dir_);
+  ASSERT_TRUE(cache.store("live", serialize(sample_beam_result())));
+  write_raw(dir_ + "/crashed.txt.tmp-424242-7", "partial pub");
+
+  // Young temp + default 15-min grace: a live writer could own it.
+  const auto young = cache.gc();
+  EXPECT_EQ(young.temps_swept, 0u);
+  EXPECT_TRUE(fs::exists(dir_ + "/crashed.txt.tmp-424242-7"));
+
+  // Grace 0: the same temp is now a crashed writer's orphan.
+  ::setenv("SEFI_TEMP_GRACE_MS", "0", 1);
+  support::env::refresh();
+  const auto swept = cache.gc();
+  ::unsetenv("SEFI_TEMP_GRACE_MS");
+  support::env::refresh();
+  EXPECT_EQ(swept.temps_swept, 1u);
+  EXPECT_FALSE(fs::exists(dir_ + "/crashed.txt.tmp-424242-7"));
+  EXPECT_EQ(cache.telemetry().stale_temps_swept, 1u);
+  // The published entry is untouched throughout.
+  EXPECT_NE(cache.load_beam("live"), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+#include "sefi/core/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "sefi/support/error.hpp"
+
+namespace sefi::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Small enough to fork freely, big enough that every worker count gets
+/// multiple shards with several indices each.
+LabConfig tiny_config() {
+  LabConfig config = LabConfig::from_env(8, 50);
+  config.fi.faults_per_component = 8;
+  config.fi.threads = 2;
+  config.beam.runs = 50;
+  return config;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = (fs::temp_directory_path() /
+             (std::string("sefi-serve-") + info->name())).string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    ::unsetenv("SEFI_CACHE_DIR");
+    fs::remove_all(root_);
+  }
+
+  /// Points SEFI_CACHE_DIR (deliberately uncached, see support/env.hpp)
+  /// at a fresh per-purpose directory for the next lab construction.
+  std::string use_cache(const std::string& name) {
+    const std::string dir = root_ + "/" + name;
+    ::setenv("SEFI_CACHE_DIR", dir.c_str(), 1);
+    return dir;
+  }
+
+  std::string root_;
+};
+
+// The tentpole contract: serve's merged ClassCounts are bit-identical
+// to a single-process lab.run_fi at ANY worker count. Byte-equality of
+// the canonical serialized form is the strongest version of that.
+TEST_F(ServiceTest, MergedResultIsBitIdenticalForAnyWorkerCount) {
+  const auto& w = workloads::workload_by_name("CRC32");
+  use_cache("single");
+  AssessmentLab single(tiny_config());
+  const std::string reference = serialize(single.run_fi(w));
+
+  for (const std::size_t workers : {1u, 4u}) {
+    use_cache("served-" + std::to_string(workers));
+    AssessmentLab lab(tiny_config());
+    ServeConfig config;
+    config.workers = workers;
+    config.shards_per_worker = 2;
+    config.lease_ms = 0;  // no expiry races in tests
+    ServeStats stats;
+    const fi::WorkloadFiResult& result =
+        serve_fi_campaign(lab, w, config, &stats);
+    EXPECT_EQ(serialize(result), reference) << workers << " workers";
+    EXPECT_EQ(stats.shards_done, stats.shards);
+    EXPECT_GT(stats.merged_records, 0u);
+    EXPECT_EQ(stats.worker_deaths, 0u);
+  }
+}
+
+// SIGKILL one worker mid-campaign: its lease is reclaimed, the shard is
+// re-run elsewhere, and the merged bytes still match single-process.
+TEST_F(ServiceTest, KilledWorkerLeaseIsReclaimedAndResultUnchanged) {
+  const auto& w = workloads::workload_by_name("CRC32");
+  use_cache("single");
+  AssessmentLab single(tiny_config());
+  const std::string reference = serialize(single.run_fi(w));
+
+  use_cache("killed");
+  AssessmentLab lab(tiny_config());
+  ServeConfig config;
+  config.workers = 3;
+  config.lease_ms = 0;
+  config.self_kill_marker = root_ + "/kill-marker";
+  ServeStats stats;
+  const fi::WorkloadFiResult& result =
+      serve_fi_campaign(lab, w, config, &stats);
+  EXPECT_EQ(serialize(result), reference);
+  EXPECT_GE(stats.worker_deaths, 1u);
+  EXPECT_GE(stats.leases_reclaimed, 1u);
+  EXPECT_EQ(stats.shards_done, stats.shards);
+}
+
+TEST_F(ServiceTest, SecondServeIsServedFromTheCache) {
+  const auto& w = workloads::workload_by_name("CRC32");
+  use_cache("cache");
+  AssessmentLab lab(tiny_config());
+  ServeConfig config;
+  config.workers = 2;
+  config.lease_ms = 0;
+  ServeStats first_stats;
+  ServeStats second_stats;
+  const fi::WorkloadFiResult& first =
+      serve_fi_campaign(lab, w, config, &first_stats);
+  const fi::WorkloadFiResult& second =
+      serve_fi_campaign(lab, w, config, &second_stats);
+  EXPECT_EQ(&first, &second);  // the lab's memo tier, no re-run
+  EXPECT_GT(first_stats.shards_done, 0u);
+  EXPECT_EQ(second_stats.shards, 0u);
+  EXPECT_EQ(second_stats.merged_records, 0u);
+}
+
+TEST_F(ServiceTest, ShardTransportFilesAreCleanedUpAfterMerge) {
+  const auto& w = workloads::workload_by_name("CRC32");
+  const std::string dir = use_cache("cleanup");
+  AssessmentLab lab(tiny_config());
+  ServeConfig config;
+  config.workers = 2;
+  config.lease_ms = 0;
+  (void)serve_fi_campaign(lab, w, config, nullptr);
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".shard"), std::string::npos) << name;
+    EXPECT_EQ(name.find(".leases."), std::string::npos) << name;
+  }
+}
+
+TEST_F(ServiceTest, ThrowsWithoutAJournalingCache) {
+  const auto& w = workloads::workload_by_name("CRC32");
+  ::unsetenv("SEFI_CACHE_DIR");  // disabled disk tier -> no journals
+  AssessmentLab lab(tiny_config());
+  EXPECT_THROW(serve_fi_campaign(lab, w, ServeConfig{}, nullptr),
+               support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::core

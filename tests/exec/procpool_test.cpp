@@ -1,0 +1,153 @@
+#include "sefi/exec/procpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sefi::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+// run_shard executes in forked CHILD processes: side effects must go
+// through the filesystem, not parent memory. The parent-side hooks
+// (on_assign/on_done/on_reclaim) are the only in-memory observers.
+class ProcPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("sefi-procpool-") + info->name())).string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  /// Appends one byte to `name` (attempt counter usable from children).
+  void touch_append(const std::string& name) const {
+    const int fd =
+        ::open(path(name).c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::write(fd, "x", 1), 1);
+    ::close(fd);
+  }
+
+  std::uintmax_t size_of(const std::string& name) const {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path(name), ec);
+    return ec ? 0 : size;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ProcPoolTest, EveryShardRunsExactlyOnce) {
+  ProcPoolConfig config;
+  config.workers = 4;
+  std::vector<int> done_hook(16, 0);
+  config.on_done = [&](std::size_t shard, std::size_t) { ++done_hook[shard]; };
+  const ProcPoolReport report = run_process_pool(
+      config, 16,
+      [&](std::size_t shard) { touch_append("shard-" + std::to_string(shard)); });
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.shards_done, 16u);
+  EXPECT_EQ(report.shards_failed, 0u);
+  EXPECT_EQ(report.worker_deaths, 0u);
+  for (std::size_t shard = 0; shard < 16; ++shard) {
+    EXPECT_EQ(size_of("shard-" + std::to_string(shard)), 1u) << shard;
+    EXPECT_EQ(done_hook[shard], 1) << shard;
+  }
+}
+
+TEST_F(ProcPoolTest, SingleWorkerDrainsTheWholeQueue) {
+  ProcPoolConfig config;
+  config.workers = 1;
+  const ProcPoolReport report = run_process_pool(config, 5, [&](std::size_t shard) {
+    touch_append("shard-" + std::to_string(shard));
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.shards_done, 5u);
+}
+
+TEST_F(ProcPoolTest, ThrowingShardIsRetriedThenBookedFailed) {
+  ProcPoolConfig config;
+  config.workers = 2;
+  config.max_shard_attempts = 3;
+  const ProcPoolReport report = run_process_pool(config, 4, [&](std::size_t shard) {
+    if (shard == 1) {
+      touch_append("attempts");
+      throw std::runtime_error("poisoned shard");
+    }
+    touch_append("shard-" + std::to_string(shard));
+  });
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.shards_failed, 1u);
+  EXPECT_EQ(report.shards_done, 3u);
+  // A throwing callback reports "e" over the pipe — the worker survives
+  // and the shard is re-attempted exactly max_shard_attempts times.
+  EXPECT_EQ(size_of("attempts"), config.max_shard_attempts);
+  EXPECT_FALSE(report.first_error.empty());
+}
+
+TEST_F(ProcPoolTest, KilledWorkerShardIsReclaimedAndFinished) {
+  ProcPoolConfig config;
+  config.workers = 3;
+  std::uint64_t reclaim_hook = 0;
+  config.on_reclaim = [&](std::size_t, std::size_t) { ++reclaim_hook; };
+  const ProcPoolReport report = run_process_pool(config, 9, [&](std::size_t shard) {
+    // Exactly one worker (the O_EXCL winner) dies holding its shard.
+    const int fd = ::open(path("killed").c_str(),
+                          O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      ::kill(::getpid(), SIGKILL);
+    }
+    touch_append("shard-" + std::to_string(shard));
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.shards_done, 9u);
+  EXPECT_GE(report.worker_deaths, 1u);
+  EXPECT_GE(report.leases_reclaimed, 1u);
+  EXPECT_GE(report.workers_respawned, 1u);
+  EXPECT_EQ(reclaim_hook, report.leases_reclaimed);
+  for (std::size_t shard = 0; shard < 9; ++shard) {
+    EXPECT_GE(size_of("shard-" + std::to_string(shard)), 1u) << shard;
+  }
+}
+
+TEST_F(ProcPoolTest, ExpiredLeaseIsKilledAndReassigned) {
+  ProcPoolConfig config;
+  config.workers = 2;
+  config.lease_ms = 200;
+  const ProcPoolReport report = run_process_pool(config, 4, [&](std::size_t shard) {
+    // The first claimant of shard 0 wedges forever; the lease must
+    // expire, the parent SIGKILLs it, and a respawned worker (or the
+    // surviving one) refinishes the shard.
+    if (shard == 0) {
+      const int fd = ::open(path("wedged").c_str(),
+                            O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+      if (fd >= 0) {
+        ::close(fd);
+        for (;;) ::pause();
+      }
+    }
+    touch_append("shard-" + std::to_string(shard));
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.shards_done, 4u);
+  EXPECT_GE(report.lease_expiries, 1u);
+  EXPECT_GE(report.leases_reclaimed, 1u);
+  EXPECT_EQ(size_of("shard-0"), 1u);
+}
+
+}  // namespace
+}  // namespace sefi::exec

@@ -174,6 +174,31 @@ TEST(Supervisor, AlreadyDoneSkipsWithoutInvokingTask) {
   }
 }
 
+TEST(Supervisor, ThrowingAlreadyDoneProbeFallsThroughToExecution) {
+  // A probe throw (e.g. a corrupt journal index mid-lookup) must treat
+  // the task as not-done and execute it — never poison the whole drain
+  // or mark the task skipped on the strength of a broken probe.
+  std::vector<int> hits(6, 0);
+  const SupervisorReport report = run_supervised(
+      serial_config(), hits.size(),
+      [](std::size_t index) -> bool {
+        if (index == 2) throw std::runtime_error("probe corrupt");
+        return index == 4;  // a genuinely-done neighbor still skips
+      },
+      [&](std::size_t, std::size_t index, std::uint64_t, const TaskGuard&) {
+        ++hits[index];
+      },
+      nullptr);
+  EXPECT_EQ(hits[2], 1);  // probed-throw task ran anyway
+  EXPECT_EQ(hits[4], 0);  // genuinely-done task still skipped
+  EXPECT_EQ(report.states[2], TaskState::kDone);
+  EXPECT_EQ(report.states[4], TaskState::kSkipped);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.completed, 5u);
+  EXPECT_EQ(report.harness_errors, 0u);  // a probe throw is not a task failure
+  EXPECT_NE(report.first_error.find("probe"), std::string::npos);
+}
+
 TEST(Supervisor, CancellationLeavesRemainingTasksPending) {
   CancellationToken token;
   SupervisorConfig config = serial_config();
