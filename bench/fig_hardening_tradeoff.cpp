@@ -1,0 +1,185 @@
+// Hardening tradeoff matrix: mitigation effectiveness vs. runtime cost.
+//
+// Runs the full 13-benchmark sweep once per protection level
+// (SEFI_HARDEN tiers — DESIGN.md §15) through both assessment
+// strategies, and emits one machine-readable JSON line per
+// (workload, mode) cell:
+//
+//   {"bench":"hardening_tradeoff","workload":"Qsort","mode":"tmr+cfcss",
+//    "runtime_overhead":2.41,"code_growth":3.02,
+//    "avf_sdc_mean":0.0213,"avf_detected_mean":0.0087,
+//    "fi_fit_sdc":...,"fi_fit_detected":...,"fi_fit_total":...,
+//    "fi_detected":13,"beam_fit_sdc":...,"beam_fit_detected":...,
+//    "beam_detected":2,
+//    "sdc_avf_reduction":0.62,"sdc_fit_reduction":0.64,
+//    "beam_sdc_fit_reduction":0.58}
+//
+// Field semantics:
+//   runtime_overhead   hardened golden application-window cycles over
+//                      the baseline's (fault-free detailed-model run) —
+//                      the price paid on every execution, faults or not
+//   code_growth        (original + inserted) / original instructions
+//   avf_sdc_mean       mean SDC AVF over the 6 injected components
+//   *_reduction        1 - hardened/baseline, present only when the
+//                      baseline rate is nonzero (a reduction against a
+//                      zero baseline is undefined, not 1.0)
+//   fi_detected /      total Detected verdicts (FI: summed over the 6
+//   beam_detected      components; beam: per session)
+//
+// The AVF→FIT conversion uses the *baseline* lab's FIT_raw calibration
+// for every mode: FIT_raw is a property of the SRAM (measured by
+// beaming the unprotected L1-pattern benchmark), not of the workload
+// under test, so hardening must not perturb the yardstick it is
+// measured with.
+//
+// Expected shape (and the acceptance bar for the hardening tentpole):
+// tmr+cfcss shows an SDC AVF reduction on every workload, bought with a
+// multi-x runtime_overhead — register-file and TLB faults get repaired
+// or detected, while L1D data faults that flow through loads reach all
+// replicas and stay SDCs (the documented memory coverage gap of
+// register-level replication; see DESIGN.md §15).
+//
+// Knobs: the shared bench environment (SEFI_FAULTS, SEFI_BEAM_RUNS,
+// SEFI_SEED, SEFI_THREADS, SEFI_CACHE_DIR). SEFI_HARDEN is ignored —
+// this bench owns the mode axis.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sefi/fi/campaign.hpp"
+#include "sefi/harden/harden.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace {
+
+struct BaselineCell {
+  double window_cycles = 0;  ///< golden application-window cycles
+  double avf_sdc_mean = 0;
+  double fi_fit_sdc = 0;
+  double beam_fit_sdc = 0;
+};
+
+double mean_avf_sdc(const sefi::fi::WorkloadFiResult& result) {
+  double sum = 0;
+  for (const auto kind : sefi::microarch::kAllComponents) {
+    sum += result.component(kind).avf_sdc();
+  }
+  return sum / sefi::microarch::kNumComponents;
+}
+
+double mean_avf_detected(const sefi::fi::WorkloadFiResult& result) {
+  double sum = 0;
+  for (const auto kind : sefi::microarch::kAllComponents) {
+    sum += result.component(kind).avf_detected();
+  }
+  return sum / sefi::microarch::kNumComponents;
+}
+
+std::uint64_t total_detected(const sefi::fi::WorkloadFiResult& result) {
+  std::uint64_t sum = 0;
+  for (const auto kind : sefi::microarch::kAllComponents) {
+    sum += result.component(kind).counts.detected;
+  }
+  return sum;
+}
+
+/// 1 - hardened/baseline as a printable field, or omitted when the
+/// baseline is zero.
+void print_reduction(const char* field, double hardened, double baseline) {
+  if (baseline > 0) {
+    std::printf(",\"%s\":%.4f", field, 1.0 - hardened / baseline);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const sefi::core::LabConfig base = sefi::bench::lab_config();
+  sefi::bench::print_campaign_banner(base);
+
+  // Baseline lab first: it owns the FIT_raw calibration and the
+  // per-workload baselines every reduction is measured against.
+  sefi::core::LabConfig off_config = base;
+  off_config.fi.rig.harden = sefi::harden::HardenMode::kOff;
+  off_config.beam.harden = sefi::harden::HardenMode::kOff;
+  sefi::core::AssessmentLab off_lab(off_config);
+
+  std::printf("calibrating FIT_raw (beaming L1Pattern, unprotected)...\n");
+  off_lab.fit_raw_per_bit();
+
+  const auto& workloads = sefi::workloads::all_workloads();
+  std::vector<BaselineCell> baselines;
+
+  for (const auto mode : sefi::harden::kAllHardenModes) {
+    const std::string mode_name = sefi::harden::harden_mode_name(mode);
+    sefi::core::LabConfig config = base;
+    config.fi.rig.harden = mode;
+    config.beam.harden = mode;
+    // One lab per mode; all share the disk cache, and campaign identity
+    // (fingerprint v8) keeps the modes' entries apart.
+    sefi::core::AssessmentLab own_lab(config);
+    sefi::core::AssessmentLab& lab =
+        mode == sefi::harden::HardenMode::kOff ? off_lab : own_lab;
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const auto* w = workloads[i];
+      std::fprintf(stderr, "[%s] %s...\n", mode_name.c_str(),
+                   w->info().name.c_str());
+
+      // Static cost: instruction growth from the transform accounting.
+      sefi::harden::HardenReport report;
+      sefi::harden::apply(w->build(config.fi.input_seed), mode, {}, &report);
+      const double code_growth =
+          report.original_instructions == 0
+              ? 1.0
+              : static_cast<double>(report.original_instructions +
+                                    report.inserted_instructions) /
+                    static_cast<double>(report.original_instructions);
+
+      // Dynamic cost: fault-free golden window on the detailed model —
+      // the same golden every injection replays from.
+      sefi::fi::InjectionRig rig(*w, config.fi.rig, config.fi.input_seed);
+      const double window_cycles = static_cast<double>(
+          rig.golden().end_cycle - rig.golden().spawn_cycle);
+
+      // Effectiveness: both assessment strategies, baseline calibration.
+      const sefi::fi::WorkloadFiResult& fi = lab.run_fi(*w);
+      const sefi::beam::BeamResult& beam = lab.run_beam(*w);
+      const sefi::core::FiFitRates fit = off_lab.convert_to_fit(fi);
+
+      if (mode == sefi::harden::HardenMode::kOff) {
+        baselines.push_back({window_cycles, mean_avf_sdc(fi), fit.sdc,
+                             beam.fit_sdc()});
+      }
+      const BaselineCell& bl = baselines[i];
+
+      std::printf(
+          "{\"bench\":\"hardening_tradeoff\",\"workload\":\"%s\","
+          "\"mode\":\"%s\",\"runtime_overhead\":%.3f,"
+          "\"code_growth\":%.3f,\"avf_sdc_mean\":%.5f,"
+          "\"avf_detected_mean\":%.5f,\"fi_fit_sdc\":%.4f,"
+          "\"fi_fit_detected\":%.4f,\"fi_fit_total\":%.4f,"
+          "\"fi_detected\":%llu,\"beam_fit_sdc\":%.4f,"
+          "\"beam_fit_detected\":%.4f,\"beam_detected\":%llu",
+          w->info().name.c_str(), mode_name.c_str(),
+          bl.window_cycles > 0 ? window_cycles / bl.window_cycles : 0.0,
+          code_growth, mean_avf_sdc(fi), mean_avf_detected(fi), fit.sdc,
+          fit.detected, fit.total(),
+          static_cast<unsigned long long>(total_detected(fi)),
+          beam.fit_sdc(), beam.fit_detected(),
+          static_cast<unsigned long long>(beam.detected));
+      print_reduction("sdc_avf_reduction", mean_avf_sdc(fi), bl.avf_sdc_mean);
+      print_reduction("sdc_fit_reduction", fit.sdc, bl.fi_fit_sdc);
+      print_reduction("beam_sdc_fit_reduction", beam.fit_sdc(),
+                      bl.beam_fit_sdc);
+      std::printf("}\n");
+      std::fflush(stdout);
+    }
+    if (mode != sefi::harden::HardenMode::kOff) {
+      sefi::bench::print_cache_telemetry(own_lab);
+    }
+  }
+  sefi::bench::print_cache_telemetry(off_lab);
+  return 0;
+}

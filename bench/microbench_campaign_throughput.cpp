@@ -60,6 +60,16 @@
 // while sample must agree with the baseline AVF to within the combined
 // confidence intervals. Matrix cells report `"prune":"off"`.
 //
+// After the matrix, the heaviest cell runs once per hardening mode
+// (SEFI_HARDEN=off/dwc/tmr/cfcss/tmr+cfcss — DESIGN.md §15). The off
+// twin is the identity transform and must reproduce the baseline
+// ClassCounts bit-for-bit; the protected cells inject into a *different
+// guest binary* (the hardened twin), so their verdict mix legitimately
+// differs — each line carries `"harden":"<mode>"`, the campaign's total
+// Detected count, and `harden_overhead`, the wall-clock ratio against
+// the off twin (the executor-side price of the longer hardened run).
+// Matrix cells report `"harden":"off"`.
+//
 // Knobs: argv[1] workload name (default Qsort), argv[2] faults per
 // component (default 60); SEFI_THREADS caps the largest thread count
 // tried (default: hardware concurrency).
@@ -71,6 +81,7 @@
 #include "sefi/core/lab.hpp"
 #include "sefi/exec/parallel.hpp"
 #include "sefi/fi/campaign.hpp"
+#include "sefi/harden/harden.hpp"
 #include "sefi/obs/forensics.hpp"
 #include "sefi/obs/metrics.hpp"
 #include "sefi/obs/trace.hpp"
@@ -103,12 +114,17 @@ struct EmitTwins {
   double obs_off_wall = 0;    ///< obs=off twin of the obs=on cell
   double fastpath_off_wall = 0;  ///< fastpath=off twin of a fastpath cell
   double prune_off_wall = 0;  ///< prune=off twin of a classify/sample cell
+  double harden_off_wall = 0;  ///< harden=off twin of a protected cell
 };
 
 void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
           const char* obs, const char* fastpath, const char* prune,
-          const EmitTwins& twins) {
+          const char* harden, const EmitTwins& twins) {
   const sefi::fi::CampaignStats& s = result.stats;
+  std::uint64_t detected = 0;
+  for (const auto kind : sefi::microarch::kAllComponents) {
+    detected += result.component(kind).counts.detected;
+  }
   std::printf(
       "{\"bench\":\"campaign_throughput\",\"workload\":\"%s\","
       "\"threads\":%llu,\"checkpoints\":%llu,\"delta_restore\":%d,"
@@ -124,7 +140,7 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       "\"uop_hits\":%llu,\"uop_decode_hits\":%llu,\"uop_misses\":%llu,"
       "\"uop_invalidations\":%llu,\"guest_mips\":%.1f,"
       "\"prune\":\"%s\",\"pruned_sites\":%llu,\"live_sites\":%llu,"
-      "\"pruned_fraction\":%.3f",
+      "\"pruned_fraction\":%.3f,\"harden\":\"%s\",\"detected\":%llu",
       result.workload.c_str(), static_cast<unsigned long long>(s.threads),
       static_cast<unsigned long long>(s.checkpoints), delta_restore ? 1 : 0,
       static_cast<unsigned long long>(s.injections / 6),
@@ -146,7 +162,8 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
       static_cast<unsigned long long>(s.uop_misses),
       static_cast<unsigned long long>(s.uop_invalidations), s.guest_mips,
       prune, static_cast<unsigned long long>(s.pruned_sites),
-      static_cast<unsigned long long>(s.live_sites), s.pruned_fraction);
+      static_cast<unsigned long long>(s.live_sites), s.pruned_fraction,
+      harden, static_cast<unsigned long long>(detected));
   const double wall = s.wall_seconds;
   if (twins.serial_wall > 0 && wall > 0) {
     std::printf(",\"speedup_vs_serial\":%.3f", twins.serial_wall / wall);
@@ -164,6 +181,9 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
   }
   if (twins.prune_off_wall > 0 && wall > 0) {
     std::printf(",\"prune_speedup\":%.3f", twins.prune_off_wall / wall);
+  }
+  if (twins.harden_off_wall > 0 && wall > 0) {
+    std::printf(",\"harden_overhead\":%.3f", wall / twins.harden_off_wall);
   }
   std::printf("}\n");
   std::fflush(stdout);
@@ -233,7 +253,7 @@ int main(int argc, char** argv) {
       EmitTwins twins;
       twins.serial_wall = serial_wall;
       twins.full_twin_wall = delta ? full_twin_wall : 0.0;
-      emit(result, delta, "default", matrix_tier, "off", twins);
+      emit(result, delta, "default", matrix_tier, "off", "off", twins);
     }
   }
 
@@ -263,7 +283,7 @@ int main(int argc, char** argv) {
     twins.serial_wall = serial_wall;
     twins.fastpath_off_wall =
         std::string(tier) == "off" ? 0.0 : fastpath_off_wall;
-    emit(result, true, "default", tier, "off", twins);
+    emit(result, true, "default", tier, "off", "off", twins);
   }
   ::unsetenv("SEFI_FASTPATH");
   sefi::support::env::refresh();
@@ -317,9 +337,41 @@ int main(int argc, char** argv) {
     EmitTwins twins;
     twins.serial_wall = serial_wall;
     twins.prune_off_wall = mode_name == "off" ? 0.0 : prune_off_wall;
-    emit(result, true, "default", matrix_tier, mode, twins);
+    emit(result, true, "default", matrix_tier, mode, "off", twins);
   }
   config.prune = sefi::fi::PruneMode::kOff;
+
+  // Hardening twins: the heaviest cell, once per protection level. The
+  // off twin is the identity transform — it must reproduce the baseline
+  // ClassCounts bit-for-bit. The protected twins inject into the
+  // hardened guest binary, so their counts are their own; what they
+  // track across commits is harden_overhead (executor wall-clock vs the
+  // off twin — longer golden windows, more sites, same rig machinery)
+  // and the Detected tally the new verdict class produces.
+  config.threads = cells.back().first;
+  config.checkpoints = cells.back().second;
+  config.rig.delta_restore = true;
+  double harden_off_wall = 0;
+  for (const auto mode : sefi::harden::kAllHardenModes) {
+    config.rig.harden = mode;
+    const sefi::fi::WorkloadFiResult result =
+        sefi::fi::run_fi_campaign(workload, config);
+    const bool is_off = mode == sefi::harden::HardenMode::kOff;
+    if (is_off) {
+      harden_off_wall = result.stats.wall_seconds;
+      if (!same_counts(baseline, result)) {
+        std::fprintf(stderr,
+                     "FATAL: harden=off twin diverged from the baseline\n");
+        return 1;
+      }
+    }
+    EmitTwins twins;
+    twins.serial_wall = serial_wall;
+    twins.harden_off_wall = is_off ? 0.0 : harden_off_wall;
+    emit(result, true, "default", matrix_tier, "off",
+         sefi::harden::harden_mode_name(mode).c_str(), twins);
+  }
+  config.rig.harden = sefi::harden::HardenMode::kOff;
 
   // Observability-overhead twins: the heaviest cell of the matrix, run
   // once with every obs channel forced off and once with all of them on
@@ -345,7 +397,7 @@ int main(int argc, char** argv) {
   {
     EmitTwins twins;
     twins.serial_wall = serial_wall;
-    emit(off, true, "off", matrix_tier, "off", twins);
+    emit(off, true, "off", matrix_tier, "off", "off", twins);
   }
 
   registry.set_enabled(true);
@@ -365,7 +417,7 @@ int main(int argc, char** argv) {
     EmitTwins twins;
     twins.serial_wall = serial_wall;
     twins.obs_off_wall = off.stats.wall_seconds;
-    emit(on, true, "on", matrix_tier, "off", twins);
+    emit(on, true, "on", matrix_tier, "off", "off", twins);
   }
   tracer.disable();
   tracer.reset();

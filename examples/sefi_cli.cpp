@@ -109,6 +109,13 @@ int usage() {
   return 2;
 }
 
+/// Every subcommand that builds a workload image honors SEFI_HARDEN, so
+/// a hardened binary can be driven through the same surfaces as the
+/// unprotected one (`campaign`/`serve` pick it up via LabConfig::from_env).
+harden::HardenMode harden_from_env() {
+  return harden::harden_mode_from_name(support::env::str("SEFI_HARDEN", "off"));
+}
+
 microarch::ComponentKind parse_component(const std::string& name) {
   for (const auto kind : microarch::kAllComponents) {
     if (microarch::component_name(kind) == name) return kind;
@@ -151,9 +158,11 @@ int cmd_run(const std::vector<std::string>& args) {
   sim::Machine m = functional
                        ? sim::Machine::make_functional()
                        : microarch::make_detailed_machine(core::scaled_uarch());
-  kernel::install_system(m, kernel::build_kernel(),
-                         w.build(workloads::kDefaultInputSeed),
-                         workloads::kWorkloadStackTop);
+  kernel::install_system(
+      m, kernel::build_kernel(),
+      harden::apply(w.build(workloads::kDefaultInputSeed), harden_from_env(),
+                    {}),
+      workloads::kWorkloadStackTop);
   m.boot();
   if (trace > 0) {
     std::printf("%s", sim::trace_execution(m, {trace, true}).c_str());
@@ -193,6 +202,7 @@ int cmd_inject(const std::vector<std::string>& args) {
   }
   fi::RigConfig rig;
   rig.uarch = core::scaled_uarch();
+  rig.harden = harden_from_env();
   const fi::InjectionRig injector(w, rig, workloads::kDefaultInputSeed);
   std::printf("golden: %llu cycles, window [%llu, %llu]\n",
               static_cast<unsigned long long>(injector.golden().end_cycle),
@@ -212,30 +222,33 @@ int cmd_beam(const std::vector<std::string>& args) {
   const auto& w = workloads::workload_by_name(args[0]);
   beam::BeamConfig config;
   config.uarch = core::scaled_uarch();
+  config.harden = harden_from_env();
   if (args.size() > 1) {
     config.runs = std::strtoull(args[1].c_str(), nullptr, 10);
   }
   const beam::BeamResult r = beam::run_beam_session(w, config);
   std::printf(
       "%llu runs, %llu strikes, %llu reboots | events: sdc=%llu app=%llu "
-      "sys=%llu\n",
+      "sys=%llu det=%llu\n",
       static_cast<unsigned long long>(r.runs),
       static_cast<unsigned long long>(r.strikes),
       static_cast<unsigned long long>(r.reboots),
       static_cast<unsigned long long>(r.sdc),
       static_cast<unsigned long long>(r.app_crash),
-      static_cast<unsigned long long>(r.sys_crash));
+      static_cast<unsigned long long>(r.sys_crash),
+      static_cast<unsigned long long>(r.detected));
   std::printf(
-      "FIT: sdc=%.3f app=%.3f sys=%.3f total=%.3f | fluence %.3e n/cm2 "
-      "(%.2f M-years natural)\n",
-      r.fit_sdc(), r.fit_app_crash(), r.fit_sys_crash(), r.fit_total(),
-      r.fluence_per_cm2, r.natural_years() / 1e6);
+      "FIT: sdc=%.3f app=%.3f sys=%.3f det=%.3f total=%.3f | fluence %.3e "
+      "n/cm2 (%.2f M-years natural)\n",
+      r.fit_sdc(), r.fit_app_crash(), r.fit_sys_crash(), r.fit_detected(),
+      r.fit_total(), r.fluence_per_cm2, r.natural_years() / 1e6);
   return 0;
 }
 
 int cmd_beamsweep(const std::vector<std::string>& args) {
   beam::BeamConfig config;
   config.uarch = core::scaled_uarch();
+  config.harden = harden_from_env();
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--threads" && i + 1 < args.size()) {
       config.threads = std::strtoull(args[++i].c_str(), nullptr, 10);
@@ -266,17 +279,31 @@ int cmd_beamsweep(const std::vector<std::string>& args) {
 // kill-and-resume smoke test filters them out when diffing a resumed
 // campaign against a clean one, since throughput is run-dependent.
 void print_fi_result(const fi::WorkloadFiResult& result) {
-  std::printf("%-10s %8s %8s %8s %8s %8s %8s %9s\n", "component", "masked",
-              "sdc", "appcr", "syscr", "harness", "AVF%", "margin%");
+  // The "detected" column appears only when some run actually reached a
+  // hardened workload's detection handler: SEFI_HARDEN=off output stays
+  // byte-identical to pre-hardening builds (CI diffs it against
+  // committed reference fixtures).
+  bool any_detected = false;
   for (const auto& comp : result.components) {
-    std::printf("%-10s %8llu %8llu %8llu %8llu %8llu %8.1f %9.2f\n",
+    any_detected = any_detected || comp.counts.detected > 0;
+  }
+  std::printf("%-10s %8s %8s %8s %8s %8s", "component", "masked", "sdc",
+              "appcr", "syscr", "harness");
+  if (any_detected) std::printf(" %8s", "detect");
+  std::printf(" %8s %9s\n", "AVF%", "margin%");
+  for (const auto& comp : result.components) {
+    std::printf("%-10s %8llu %8llu %8llu %8llu %8llu",
                 microarch::component_name(comp.component).c_str(),
                 static_cast<unsigned long long>(comp.counts.masked),
                 static_cast<unsigned long long>(comp.counts.sdc),
                 static_cast<unsigned long long>(comp.counts.app_crash),
                 static_cast<unsigned long long>(comp.counts.sys_crash),
-                static_cast<unsigned long long>(comp.counts.harness_error),
-                comp.avf() * 100, comp.error_margin * 100);
+                static_cast<unsigned long long>(comp.counts.harness_error));
+    if (any_detected) {
+      std::printf(" %8llu",
+                  static_cast<unsigned long long>(comp.counts.detected));
+    }
+    std::printf(" %8.1f %9.2f\n", comp.avf() * 100, comp.error_margin * 100);
   }
   const fi::CampaignStats& stats = result.stats;
   std::printf(
@@ -340,6 +367,7 @@ int cmd_fi(const std::vector<std::string>& args) {
   config.task_deadline_ms = support::env::u64("SEFI_TASK_DEADLINE_MS", 0);
   config.prune =
       fi::prune_mode_from_name(support::env::str("SEFI_PRUNE", "off"));
+  config.rig.harden = harden_from_env();
   config.faults_per_component = 150;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--threads" && i + 1 < args.size()) {
@@ -398,12 +426,13 @@ int cmd_campaign(const std::vector<std::string>& args) {
                   status.path.c_str());
       std::printf(
           "resolved: masked=%llu sdc=%llu appcrash=%llu syscrash=%llu "
-          "harness=%llu\n",
+          "harness=%llu detected=%llu\n",
           static_cast<unsigned long long>(status.resolved.masked),
           static_cast<unsigned long long>(status.resolved.sdc),
           static_cast<unsigned long long>(status.resolved.app_crash),
           static_cast<unsigned long long>(status.resolved.sys_crash),
-          static_cast<unsigned long long>(status.resolved.harness_error));
+          static_cast<unsigned long long>(status.resolved.harness_error),
+          static_cast<unsigned long long>(status.resolved.detected));
       if (status.has_telemetry) {
         std::printf(
             "supervisor: %llu retries, %llu watchdog hits, "
@@ -740,6 +769,7 @@ int cmd_obs(const std::vector<std::string>& args) {
     const auto& w = workloads::workload_by_name(args[2]);
     fi::CampaignConfig config;
     config.rig.uarch = core::scaled_uarch();
+    config.rig.harden = harden_from_env();
     config.faults_per_component =
         args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 10;
     (void)fi::run_fi_campaign(w, config);

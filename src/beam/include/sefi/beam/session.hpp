@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "sefi/exec/supervisor.hpp"
+#include "sefi/harden/harden.hpp"
 #include "sefi/kernel/kernel.hpp"
 #include "sefi/microarch/detailed.hpp"
 #include "sefi/stats/confidence.hpp"
@@ -71,6 +72,13 @@ struct BeamConfig {
   microarch::DetailedConfig uarch;
   kernel::KernelConfig kernel;
   PlatformModel platform = PlatformModel::zynq_default();
+
+  /// Software hardening transform applied to the workload image before
+  /// exposure (sefi/harden: DWC / TMR / CFCSS). The same hardened binary
+  /// a hardened FI campaign injects — the mitigation-vs-overhead bench
+  /// compares both setups on it. Result identity: enters cache
+  /// fingerprints whenever != kOff.
+  harden::HardenMode harden = harden::HardenMode::kOff;
 
   /// Per-bit sensitivity (cross section), cm^2/bit. Default is in the
   /// published range for 28 nm SRAM; FIT_raw calibration (§VI) recovers
@@ -139,6 +147,11 @@ struct BeamResult {
   std::uint64_t sdc = 0;
   std::uint64_t app_crash = 0;
   std::uint64_t sys_crash = 0;
+  /// Runs whose corruption was caught by the hardened workload's own
+  /// detector (console carries the detection banner). Always 0 with
+  /// BeamConfig::harden == kOff. Not an SDC: the output interface
+  /// reported the error instead of silently corrupting.
+  std::uint64_t detected = 0;
   std::uint64_t strikes = 0;
   std::uint64_t reboots = 0;
   double exposure_seconds = 0;
@@ -148,6 +161,10 @@ struct BeamResult {
   double fit_sdc() const;
   double fit_app_crash() const;
   double fit_sys_crash() const;
+  /// FIT of detected-and-reported errors (0 with hardening off).
+  double fit_detected() const;
+  /// Sum over every observed error class, detected included — with
+  /// hardening off this is exactly the pre-hardening three-class total.
   double fit_total() const;
   /// Natural-exposure equivalent of the session fluence, in years.
   double natural_years() const;

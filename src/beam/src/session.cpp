@@ -59,8 +59,13 @@ double BeamResult::fit_sys_crash() const {
       stats::cross_section(static_cast<double>(sys_crash), fluence_per_cm2));
 }
 
+double BeamResult::fit_detected() const {
+  return stats::fit_from_cross_section(
+      stats::cross_section(static_cast<double>(detected), fluence_per_cm2));
+}
+
 double BeamResult::fit_total() const {
-  return fit_sdc() + fit_app_crash() + fit_sys_crash();
+  return fit_sdc() + fit_app_crash() + fit_sys_crash() + fit_detected();
 }
 
 double BeamResult::natural_years() const {
@@ -90,7 +95,8 @@ class Session {
         config_(config),
         rng_(config.seed ^ support::fnv1a(workload.info().name)),
         kernel_image_(kernel::build_kernel(config.kernel)),
-        app_image_(workload.build(config.input_seed)),
+        app_image_(
+            harden::apply(workload.build(config.input_seed), config.harden)),
         spawn_addr_(kernel_image_.symbol("spawn")),
         // Resolved once per session (the env helper caches, but the hot
         // loop below should not even pay its map lookup).
@@ -246,6 +252,19 @@ class Session {
         case sim::RunEventKind::kExit: {
           const std::string run_console =
               machine_->console().substr(console_mark);
+          // A hardened workload that trips its own detector exits
+          // through the detection handler; the banner may trail partial
+          // legitimate output, so match by containment. Detected runs
+          // are not SDCs (the error was reported, not silent) and do
+          // not feed the SDC-storm reboot heuristic.
+          if (run_console.find(harden::kDetectConsole) != std::string::npos) {
+            ++runs_done;
+            ++result.detected;
+            consecutive_app_crashes = 0;
+            consecutive_sdcs = 0;
+            begin_next_run(/*reloaded=*/false);
+            break;
+          }
           const bool correct =
               event->payload == golden_exit_ && run_console == golden_console_;
           ++runs_done;
@@ -421,7 +440,7 @@ std::string journal_encode(const BeamResult& result) {
       << ' ' << result.app_crash << ' ' << result.sys_crash << ' '
       << result.strikes << ' ' << result.reboots << ' '
       << result.exposure_seconds << ' ' << result.fluence_per_cm2 << ' '
-      << result.accel_flux_per_cm2_s;
+      << result.accel_flux_per_cm2_s << ' ' << result.detected;
   return out.str();
 }
 
@@ -433,7 +452,9 @@ bool journal_decode(const std::string& payload,
   if (!(in >> tag >> workload >> parsed.runs >> parsed.sdc >>
         parsed.app_crash >> parsed.sys_crash >> parsed.strikes >>
         parsed.reboots >> parsed.exposure_seconds >> parsed.fluence_per_cm2 >>
-        parsed.accel_flux_per_cm2_s)) {
+        parsed.accel_flux_per_cm2_s >> parsed.detected)) {
+    // Version skew (a pre-Detected journal line has one field fewer) or
+    // corruption: fail the parse and re-run the session.
     return false;
   }
   if (tag != "b" || workload != expected_workload) return false;

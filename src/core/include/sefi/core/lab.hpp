@@ -55,7 +55,8 @@ struct LabConfig {
   bool journal_enabled = true;
 
   /// Reads campaign sizes from the environment (SEFI_FAULTS,
-  /// SEFI_BEAM_RUNS, SEFI_SEED), executor knobs (SEFI_THREADS,
+  /// SEFI_BEAM_RUNS, SEFI_SEED), the hardening mode (SEFI_HARDEN,
+  /// applied to both setups), executor knobs (SEFI_THREADS,
   /// SEFI_CHECKPOINTS, SEFI_DELTA_RESTORE), and supervisor knobs
   /// (SEFI_MAX_TASK_RETRIES, SEFI_TASK_DEADLINE_MS, SEFI_JOURNAL),
   /// falling back to the given defaults — the bench binaries' knobs for
@@ -97,7 +98,10 @@ struct FiFitRates {
   double sdc = 0;
   double app_crash = 0;
   double sys_crash = 0;
-  double total() const { return sdc + app_crash + sys_crash; }
+  /// Errors caught by a hardened workload's own detector (0 with
+  /// SEFI_HARDEN=off) — reported, not silent, so listed apart from SDC.
+  double detected = 0;
+  double total() const { return sdc + app_crash + sys_crash + detected; }
 };
 
 /// Full beam-vs-FI comparison for one workload (Figs. 6-9 rows).

@@ -39,6 +39,10 @@ LabConfig LabConfig::from_env(std::uint64_t default_faults,
   config.beam.task_deadline_ms = deadline;
   config.fi.prune =
       fi::prune_mode_from_name(support::env::str("SEFI_PRUNE", "off"));
+  const harden::HardenMode harden_mode =
+      harden::harden_mode_from_name(support::env::str("SEFI_HARDEN", "off"));
+  config.fi.rig.harden = harden_mode;
+  config.beam.harden = harden_mode;
   const std::string prune_fraction =
       support::env::str("SEFI_PRUNE_FRACTION", "");
   if (!prune_fraction.empty()) {
@@ -180,6 +184,7 @@ FiFitRates AssessmentLab::convert_to_fit(const fi::WorkloadFiResult& result) {
         stats::fit_from_avf(fit_raw, bits, comp.avf_app_crash());
     rates.sys_crash +=
         stats::fit_from_avf(fit_raw, bits, comp.avf_sys_crash());
+    rates.detected += stats::fit_from_avf(fit_raw, bits, comp.avf_detected());
   }
   return rates;
 }

@@ -33,7 +33,11 @@ namespace {
 /// v7: FI fingerprints cover the prune mode (and sample fraction); FI
 ///     component lines carry pruned/live/estimator-variance fields. A
 ///     pruned and an exhaustive campaign must never share a cache entry.
-constexpr int kFormatVersion = 7;
+/// v8: hardened workloads (sefi/harden). FI component lines and beam
+///     result lines carry the Detected count; fingerprints cover the
+///     harden mode — but only when it is not kOff, so within v8 an
+///     off-mode fingerprint is independent of the hardening feature.
+constexpr int kFormatVersion = 8;
 
 void hash_double(support::Fnv1a& h, double value) {
   h.update(support::format_sci(value));
@@ -158,6 +162,16 @@ std::uint64_t fingerprint(const fi::CampaignConfig& config) {
   if (config.prune == fi::PruneMode::kSample) {
     hash_double(h, config.prune_sample_fraction);
   }
+  // The harden mode transforms the injected binary, so it is campaign
+  // identity — but it is hashed only when a transform is actually
+  // applied, keeping off-mode fingerprints independent of the feature.
+  if (config.rig.harden != harden::HardenMode::kOff) {
+    h.update("harden");
+    h.update(harden::harden_mode_name(config.rig.harden));
+    // The muted twin is a different binary with different outcomes, so
+    // it must never share an entry with the armed build.
+    hash_u64(h, config.rig.harden_options.mute_detection ? 1 : 0);
+  }
   // config.threads, config.checkpoints, and config.rig.delta_restore are
   // deliberately NOT hashed: the executor contract guarantees
   // bit-identical results for any values, so they are not part of the
@@ -189,6 +203,12 @@ std::uint64_t fingerprint(const beam::BeamConfig& config) {
   hash_u64(h, config.input_seed);
   hash_u64(h, config.hang_budget_factor);
   hash_u64(h, config.probe_timer_periods);
+  // Hardening transforms the exposed binary: identity, hashed only when
+  // actually on (see the FI fingerprint note).
+  if (config.harden != harden::HardenMode::kOff) {
+    h.update("harden");
+    h.update(harden::harden_mode_name(config.harden));
+  }
   // config.threads and config.delta_restore are deliberately NOT hashed:
   // the former only schedules independent sessions across workers, the
   // latter is a restore fast path a beam session never exercises;
@@ -208,9 +228,9 @@ std::string serialize(const fi::WorkloadFiResult& result) {
        << comp.bits << " masked " << comp.counts.masked << " sdc "
        << comp.counts.sdc << " app " << comp.counts.app_crash << " sys "
        << comp.counts.sys_crash << " harness " << comp.counts.harness_error
-       << " margin " << comp.error_margin << " pruned " << comp.pruned_masked
-       << " live " << comp.live_sites << " estvar "
-       << comp.estimator_variance << "\n";
+       << " detected " << comp.counts.detected << " margin "
+       << comp.error_margin << " pruned " << comp.pruned_masked << " live "
+       << comp.live_sites << " estvar " << comp.estimator_variance << "\n";
   }
   return os.str();
 }
@@ -227,15 +247,16 @@ std::optional<fi::WorkloadFiResult> deserialize_fi(const std::string& text) {
   if (tag != "workload") return std::nullopt;
   for (auto& comp : result.components) {
     int kind = 0;
-    std::string bits, masked, sdc, app, sys, harness, margin, pruned, live,
-        estvar;
+    std::string bits, masked, sdc, app, sys, harness, detected, margin,
+        pruned, live, estvar;
     is >> tag >> kind >> bits >> comp.bits >> masked >> comp.counts.masked >>
         sdc >> comp.counts.sdc >> app >> comp.counts.app_crash >> sys >>
         comp.counts.sys_crash >> harness >> comp.counts.harness_error >>
-        margin >> comp.error_margin >> pruned >> comp.pruned_masked >> live >>
-        comp.live_sites >> estvar >> comp.estimator_variance;
+        detected >> comp.counts.detected >> margin >> comp.error_margin >>
+        pruned >> comp.pruned_masked >> live >> comp.live_sites >> estvar >>
+        comp.estimator_variance;
     if (!is || tag != "component" || harness != "harness" ||
-        pruned != "pruned" || estvar != "estvar") {
+        detected != "detected" || pruned != "pruned" || estvar != "estvar") {
       return std::nullopt;
     }
     // A component id outside the enum would construct a bogus
@@ -255,8 +276,9 @@ std::string serialize(const beam::BeamResult& result) {
   os << "beam v" << kFormatVersion << "\n";
   os << "workload " << result.workload << "\n";
   os << "runs " << result.runs << " sdc " << result.sdc << " app "
-     << result.app_crash << " sys " << result.sys_crash << " strikes "
-     << result.strikes << " reboots " << result.reboots << "\n";
+     << result.app_crash << " sys " << result.sys_crash << " detected "
+     << result.detected << " strikes " << result.strikes << " reboots "
+     << result.reboots << "\n";
   os << "exposure " << result.exposure_seconds << " fluence "
      << result.fluence_per_cm2 << " flux " << result.accel_flux_per_cm2_s
      << "\n";
@@ -271,12 +293,13 @@ std::optional<beam::BeamResult> deserialize_beam(const std::string& text) {
     return std::nullopt;
   }
   beam::BeamResult result;
-  std::string f1, f2, f3, f4, f5, f6;
+  std::string f1, f2, f3, f4, f5, f6, f7;
   is >> tag >> result.workload;
   if (tag != "workload") return std::nullopt;
   is >> f1 >> result.runs >> f2 >> result.sdc >> f3 >> result.app_crash >>
-      f4 >> result.sys_crash >> f5 >> result.strikes >> f6 >> result.reboots;
-  if (!is || f1 != "runs") return std::nullopt;
+      f4 >> result.sys_crash >> f5 >> result.detected >> f6 >>
+      result.strikes >> f7 >> result.reboots;
+  if (!is || f1 != "runs" || f5 != "detected") return std::nullopt;
   is >> f1 >> result.exposure_seconds >> f2 >> result.fluence_per_cm2 >> f3 >>
       result.accel_flux_per_cm2_s;
   if (!is || f1 != "exposure") return std::nullopt;

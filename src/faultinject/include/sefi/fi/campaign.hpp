@@ -21,6 +21,7 @@
 
 #include "sefi/exec/supervisor.hpp"
 #include "sefi/fi/liveness.hpp"
+#include "sefi/harden/harden.hpp"
 #include "sefi/kernel/kernel.hpp"
 #include "sefi/microarch/detailed.hpp"
 #include "sefi/support/journal.hpp"
@@ -44,9 +45,21 @@ enum class Outcome : std::uint8_t {
   kAppCrash,
   kSysCrash,
   kHarnessError,
+  /// A hardened workload's own detector (DWC/TMR compare, CFCSS
+  /// signature check — see sefi/harden) caught the corruption and the
+  /// guest exited through the detection handler. Only reachable when
+  /// RigConfig::harden != kOff. Appended after kHarnessError so every
+  /// pre-existing enum value (and journal digit) is unchanged.
+  kDetected,
+  kOutcomeCount,  ///< sentinel, keep last
 };
 
 std::string outcome_name(Outcome outcome);
+
+/// True for values a codec may accept: a known class, not a sentinel.
+constexpr bool outcome_in_range(std::uint8_t value) {
+  return value < static_cast<std::uint8_t>(Outcome::kOutcomeCount);
+}
 
 /// Transient fault model. The paper's campaigns use single bit flips and
 /// flag the simplification as a source of under-estimation (§II-B):
@@ -171,6 +184,19 @@ struct RigConfig {
   kernel::KernelConfig kernel;
   /// Protection schemes applied during injection (default: none).
   ProtectionPolicy protection;
+  /// Software hardening transform applied to the workload image before
+  /// the golden run (sefi/harden: DWC / TMR / CFCSS). Campaign identity:
+  /// enters result-cache fingerprints whenever != kOff. The golden run,
+  /// checkpoint ladder, and liveness recording are all taken over the
+  /// hardened image, so prune soundness holds per hardened variant.
+  harden::HardenMode harden = harden::HardenMode::kOff;
+  /// Hardening transform options. The one option, mute_detection,
+  /// builds the layout-identical muted twin (every detect branch falls
+  /// through), used by the detection-soundness suite to replay a
+  /// Detected fault and observe the outcome the detector preempted.
+  /// Ignored when harden == kOff; campaign identity whenever it can
+  /// change results (hashed alongside the mode).
+  harden::HardenOptions harden_options;
   /// Hang watchdog: an injected run is declared hung after
   /// hang_budget_factor * golden end cycles.
   std::uint64_t hang_budget_factor = 4;
@@ -366,9 +392,17 @@ struct ClassCounts {
   /// experiments only, so a flaky harness shrinks the sample (and
   /// widens the error margin) instead of skewing the rates.
   std::uint64_t harness_error = 0;
+  /// Runs caught by a hardened workload's software detector. A real
+  /// outcome class (the fault corrupted state and was noticed), so it
+  /// is INSIDE total(): detection converts would-be SDC/crash into
+  /// Detected without shrinking the AVF denominator. Always 0 with
+  /// hardening off.
+  std::uint64_t detected = 0;
 
   /// Classified experiments — the AVF denominator.
-  std::uint64_t total() const { return masked + sdc + app_crash + sys_crash; }
+  std::uint64_t total() const {
+    return masked + sdc + app_crash + sys_crash + detected;
+  }
   /// Everything the campaign tried, classified or not.
   std::uint64_t attempted() const { return total() + harness_error; }
   void add(Outcome outcome);
@@ -403,6 +437,11 @@ struct ComponentResult {
   double avf_sdc() const;
   double avf_app_crash() const;
   double avf_sys_crash() const;
+  /// Fraction caught by the workload's own software detector (0 with
+  /// hardening off). Part of avf() — detected faults are not masked —
+  /// but separated out so mitigation benches can split "still dangerous"
+  /// (SDC + crashes) from "noticed in time".
+  double avf_detected() const;
 };
 
 /// Executor throughput report for one campaign (how the result was

@@ -88,7 +88,12 @@ bool parse_journal_outcome(const std::string& payload, Outcome* outcome) {
     return false;
   }
   const char digit = payload[2];
-  if (digit < '0' || digit > '4') return false;
+  // Reject anything outside the known classes — including the enum's
+  // sentinel and digits a future format version might emit. A rejected
+  // payload re-runs the injection; it never fabricates an outcome.
+  if (digit < '0' || !outcome_in_range(static_cast<std::uint8_t>(digit - '0'))) {
+    return false;
+  }
   *outcome = static_cast<Outcome>(digit - '0');
   return true;
 }
@@ -150,6 +155,8 @@ std::string outcome_name(Outcome outcome) {
     case Outcome::kAppCrash: return "AppCrash";
     case Outcome::kSysCrash: return "SysCrash";
     case Outcome::kHarnessError: return "HarnessError";
+    case Outcome::kDetected: return "Detected";
+    case Outcome::kOutcomeCount: break;
   }
   return "?";
 }
@@ -161,6 +168,8 @@ void ClassCounts::add(Outcome outcome) {
     case Outcome::kAppCrash: ++app_crash; break;
     case Outcome::kSysCrash: ++sys_crash; break;
     case Outcome::kHarnessError: ++harness_error; break;
+    case Outcome::kDetected: ++detected; break;
+    case Outcome::kOutcomeCount: break;
   }
 }
 
@@ -199,6 +208,10 @@ double ComponentResult::avf_app_crash() const {
 
 double ComponentResult::avf_sys_crash() const {
   return outcome_rate(*this, counts.sys_crash);
+}
+
+double ComponentResult::avf_detected() const {
+  return outcome_rate(*this, counts.detected);
 }
 
 const ComponentResult& WorkloadFiResult::component(
@@ -251,7 +264,8 @@ InjectionRig::InjectionRig(const workloads::Workload& workload,
     : workload_(workload),
       config_(config),
       kernel_image_(kernel::build_kernel(config.kernel)),
-      app_image_(workload.build(input_seed)) {
+      app_image_(harden::apply(workload.build(input_seed), config.harden,
+                               config.harden_options)) {
   // Golden run: cold machine, record the application window and the
   // fault-free output; checkpoint at the window start so injected runs
   // skip boot. The machine is construction-local — injected runs execute
@@ -544,6 +558,15 @@ Outcome InjectionRig::Context::run_one(const FaultDescriptor& fault,
 
     switch (event.kind) {
       case sim::RunEventKind::kExit:
+        // A hardened workload that trips its own DWC/TMR/CFCSS check
+        // exits through the detection handler, whose banner can land
+        // after partial legitimate output — match by containment, not
+        // equality. Golden consoles are hex digests and can never
+        // contain the banner, so fault-free runs are unaffected.
+        if (machine_.console().find(harden::kDetectConsole) !=
+            std::string::npos) {
+          return Outcome::kDetected;
+        }
         return (event.payload == golden.exit_code &&
                 machine_.console() == golden.console)
                    ? Outcome::kMasked
@@ -617,8 +640,10 @@ WorkloadFiResult run_fi_campaign(const InjectionRig& rig,
   static obs::Counter& injections_metric = obs::Registry::instance().counter(
       "sefi_fi_injections_total",
       "Injected runs executed in this process (journal replays excluded)");
-  static const std::array<obs::Counter*, 5> outcome_metrics = [] {
-    std::array<obs::Counter*, 5> counters{};
+  static constexpr std::size_t kOutcomeClasses =
+      static_cast<std::size_t>(Outcome::kOutcomeCount);
+  static const std::array<obs::Counter*, kOutcomeClasses> outcome_metrics = [] {
+    std::array<obs::Counter*, kOutcomeClasses> counters{};
     for (std::size_t i = 0; i < counters.size(); ++i) {
       counters[i] = &obs::Registry::instance().counter(
           "sefi_fi_outcomes_total",

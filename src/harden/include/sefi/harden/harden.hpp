@@ -1,0 +1,89 @@
+// Software fault-tolerance transforms for SEFI-A9 guest programs.
+//
+// `apply` post-processes a finished workload image by replaying its
+// recorded builder-event stream (isa::BuildEvent) through a fresh
+// Assembler, interleaving COAST-style protection code:
+//
+//   DWC    duplicate-with-compare: every data-flow instruction is
+//          shadowed into a memory-resident shadow register bank; at
+//          synchronization points (compares, stores, loads, syscalls)
+//          the shadow is compared against the primary and a mismatch
+//          branches to a detection handler.
+//   TMR    the same duplication into two shadow banks plus a majority
+//          vote at sync points: a single diverging copy is repaired
+//          (fault -> Masked), a three-way disagreement is detected.
+//   CFCSS  control-flow checking by software signatures: each basic
+//          block carries a compile-time signature; a runtime signature
+//          register (in the bank) is XOR-stepped on block entry and
+//          checked at the first flag-dead position of the block, so a
+//          control-flow escape lands in a block whose check fails.
+//
+// The detection handler prints `kDetectConsole` through the normal
+// console syscall path and exits; the harness classifies that console
+// as Outcome::kDetected. Fault-free, every hardened variant produces
+// byte-identical console output to the baseline program — enforced by
+// tests/workloads/harden_equivalence_test.cpp.
+//
+// Reserved-register ABI: none. The 13 workloads use all 16 GPRs, so the
+// shadow bank lives in guest memory appended to the image, and the
+// transform borrows scratch registers by spilling them to a red zone
+// below sp (the kernel services IRQs on a banked stack and guest code
+// never reads below sp, so the slots are private). See DESIGN.md §15
+// for the transform algebra and the documented coverage gaps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sefi/isa/assembler.hpp"
+
+namespace sefi::harden {
+
+/// Protection level applied to a workload image. Part of campaign
+/// identity (result-cache fingerprint) whenever != kOff.
+enum class HardenMode : std::uint8_t {
+  kOff = 0,
+  kDwc,       ///< duplicate-with-compare (detect only)
+  kTmr,       ///< triplicate + majority vote (repair, then detect)
+  kCfcss,     ///< control-flow signatures only
+  kTmrCfcss,  ///< TMR data protection + CFCSS control protection
+};
+
+inline constexpr HardenMode kAllHardenModes[] = {
+    HardenMode::kOff, HardenMode::kDwc, HardenMode::kTmr, HardenMode::kCfcss,
+    HardenMode::kTmrCfcss};
+
+/// Canonical knob spelling: off|dwc|tmr|cfcss|tmr+cfcss (SEFI_HARDEN).
+std::string harden_mode_name(HardenMode mode);
+/// Parses a knob spelling; throws SefiError on anything else.
+HardenMode harden_mode_from_name(const std::string& name);
+
+/// Console output of the detection handler. Distinct from every
+/// workload's golden console (those are 8 lowercase-hex digests).
+inline constexpr char kDetectConsole[] = "!detected!";
+
+struct HardenOptions {
+  /// Builds the layout-identical "muted twin": every detect branch is
+  /// retargeted to fall through, so a fault that would have been
+  /// Detected instead runs to its unhardened outcome. Used by the
+  /// detection-soundness test to measure what detection preempted.
+  bool mute_detection = false;
+};
+
+/// Transform accounting, for overhead benches and tests.
+struct HardenReport {
+  std::uint64_t original_instructions = 0;
+  std::uint64_t inserted_instructions = 0;
+  std::uint64_t blocks = 0;          ///< CFCSS basic blocks
+  std::uint64_t checked_blocks = 0;  ///< blocks with a signature check
+  std::uint64_t sync_checks = 0;     ///< DWC/TMR sync-point check sites
+};
+
+/// Applies `mode` to `program`. kOff returns the input unchanged
+/// (bit-identical, including events). Requires the program to carry its
+/// builder-event stream (Program::events).
+isa::Program apply(const isa::Program& program, HardenMode mode,
+                   const HardenOptions& options = {},
+                   HardenReport* report = nullptr);
+
+}  // namespace sefi::harden

@@ -1,0 +1,739 @@
+#include "sefi/harden/harden.hpp"
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sefi/sim/cpu.hpp"
+#include "sefi/support/error.hpp"
+
+namespace sefi::harden {
+
+using isa::Assembler;
+using isa::BuildEvent;
+using isa::Cond;
+using isa::Instruction;
+using isa::Label;
+using isa::Opcode;
+using isa::Reg;
+using support::require;
+
+std::string harden_mode_name(HardenMode mode) {
+  switch (mode) {
+    case HardenMode::kOff: return "off";
+    case HardenMode::kDwc: return "dwc";
+    case HardenMode::kTmr: return "tmr";
+    case HardenMode::kCfcss: return "cfcss";
+    case HardenMode::kTmrCfcss: return "tmr+cfcss";
+  }
+  return "?";
+}
+
+HardenMode harden_mode_from_name(const std::string& name) {
+  for (const HardenMode mode : kAllHardenModes) {
+    if (harden_mode_name(mode) == name) return mode;
+  }
+  throw support::SefiError("unknown harden mode: " + name +
+                           " (expected off|dwc|tmr|cfcss|tmr+cfcss)");
+}
+
+namespace {
+
+// Shadow bank layout (guest memory appended to the image). Slot = 4 *
+// register index inside each bank; the signature register G sits after
+// both banks so the layout is mode-independent.
+constexpr std::int32_t kBank1 = 0;
+constexpr std::int32_t kBank2 = 64;
+constexpr std::int32_t kSigSlot = 128;
+constexpr std::uint32_t kBankBytes = 132;
+
+constexpr std::uint8_t kSp = 13;
+constexpr std::uint8_t kLr = 14;
+
+/// What the transform does around one instruction.
+enum class OpKind {
+  kAluRR,     ///< rd = rn op rm (integer and float R-format)
+  kAluUnary,  ///< rd = op(rn) (fcvt/fsqrt)
+  kMovReg,    ///< rd = rm
+  kAluImm,    ///< rd = rn op imm
+  kLoadImm,   ///< rd = mem[rn + imm]
+  kLoadReg,   ///< rd = mem[rn + rm]
+  kStoreImm,  ///< mem[rn + imm] = rd
+  kStoreReg,  ///< mem[rn + rm] = rd
+  kCompare,   ///< cmp/cmpi/fcmp: writes flags, reads regs
+  kSvc,       ///< syscall: kernel clobbers r0-r4, flags survive (eret)
+  kTransfer,  ///< br/blr/eret/hlt
+  kOtherDef,  ///< defines rd some other way (mrs family)
+  kNeutral,   ///< no GPR def, no sync point (nop, msr family, tlbflush)
+};
+
+OpKind classify(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd:
+    case Opcode::kOrr: case Opcode::kEor: case Opcode::kLsl:
+    case Opcode::kLsr: case Opcode::kAsr: case Opcode::kMul:
+    case Opcode::kSdiv: case Opcode::kUdiv: case Opcode::kFadd:
+    case Opcode::kFsub: case Opcode::kFmul: case Opcode::kFdiv:
+      return OpKind::kAluRR;
+    case Opcode::kFcvtws: case Opcode::kFcvtsw: case Opcode::kFsqrt:
+      return OpKind::kAluUnary;
+    case Opcode::kMov:
+      return OpKind::kMovReg;
+    case Opcode::kAddi: case Opcode::kSubi: case Opcode::kAndi:
+    case Opcode::kOrri: case Opcode::kEori: case Opcode::kLsli:
+    case Opcode::kLsri: case Opcode::kAsri:
+      return OpKind::kAluImm;
+    // movi fully overwrites rd from the (immune) instruction stream and
+    // movt merges into it; both resync the shadow from the primary. For
+    // movt that forgives a pre-existing corruption of rd's low half —
+    // a documented detection gap, not a correctness one (execution
+    // matches the unhardened program exactly).
+    case Opcode::kMovi: case Opcode::kMovt:
+      return OpKind::kOtherDef;
+    case Opcode::kLdr: case Opcode::kLdrb: case Opcode::kLdrh:
+      return OpKind::kLoadImm;
+    case Opcode::kLdrr:
+      return OpKind::kLoadReg;
+    case Opcode::kStr: case Opcode::kStrb: case Opcode::kStrh:
+      return OpKind::kStoreImm;
+    case Opcode::kStrr:
+      return OpKind::kStoreReg;
+    case Opcode::kCmp: case Opcode::kCmpi: case Opcode::kFcmp:
+      return OpKind::kCompare;
+    case Opcode::kSvc:
+      return OpKind::kSvc;
+    case Opcode::kB: case Opcode::kBl: case Opcode::kBr: case Opcode::kBlr:
+    case Opcode::kEret: case Opcode::kHlt:
+      return OpKind::kTransfer;
+    case Opcode::kMrs: case Opcode::kMrsElr: case Opcode::kMrsSpsr:
+    case Opcode::kMrsUsp:
+      return OpKind::kOtherDef;
+    default:
+      return OpKind::kNeutral;
+  }
+}
+
+bool is_code_event(const BuildEvent& e) {
+  switch (e.kind) {
+    case BuildEvent::Kind::kInstr:
+    case BuildEvent::Kind::kBranch:
+    case BuildEvent::Kind::kBranchLink:
+    case BuildEvent::Kind::kLoadLabel:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// NZCV liveness at the edge *before* each event, by backward fixpoint
+/// over the event graph. Flags are written only by cmp/cmpi/fcmp and
+/// read only by conditional branches; unconditional branches and calls
+/// are followed through their labels, indirect transfers are assumed
+/// live (conservative), and svc preserves flags (the kernel erets with
+/// the SPSR saved at exception entry). The transform may insert its own
+/// cmp-based checks exactly at the edges reported dead.
+std::vector<bool> flags_live_before(const std::vector<BuildEvent>& events) {
+  const std::size_t n = events.size();
+  std::map<std::uint32_t, std::size_t> bind_at;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (events[i].kind == BuildEvent::Kind::kBind) {
+      bind_at.emplace(events[i].label, i);
+    }
+  }
+  std::vector<char> live(n + 1, 0);
+  bool changed = true;
+  for (int pass = 0; changed && pass < 64; ++pass) {
+    changed = false;
+    for (std::size_t i = n; i-- > 0;) {
+      const BuildEvent& e = events[i];
+      bool v = false;
+      switch (e.kind) {
+        case BuildEvent::Kind::kBranch:
+          if (e.cond != Cond::al) {
+            v = true;  // reads flags
+          } else {
+            const auto it = bind_at.find(e.label);
+            v = it == bind_at.end() ? true : live[it->second] != 0;
+          }
+          break;
+        case BuildEvent::Kind::kBranchLink: {
+          const auto it = bind_at.find(e.label);
+          v = it == bind_at.end() ? true : live[it->second] != 0;
+          break;
+        }
+        case BuildEvent::Kind::kInstr:
+          switch (classify(e.inst.op)) {
+            case OpKind::kCompare:
+              v = false;  // writes before any read
+              break;
+            case OpKind::kTransfer:
+              // br/blr targets are unknown; eret/hlt never appear in
+              // user code but would end the flag's life anyway.
+              v = e.inst.op == Opcode::kBr || e.inst.op == Opcode::kBlr;
+              break;
+            default:
+              v = live[i + 1] != 0;
+              break;
+          }
+          break;
+        case BuildEvent::Kind::kData:
+          v = true;  // falling into data: keep hands off
+          break;
+        default:
+          v = live[i + 1] != 0;
+          break;
+      }
+      if (v != (live[i] != 0)) {
+        live[i] = v ? 1 : 0;
+        changed = true;
+      }
+    }
+  }
+  return std::vector<bool>(live.begin(), live.end() - 1);
+}
+
+// --- CFCSS basic-block analysis -------------------------------------------
+
+struct BlockMeta {
+  enum class Update : std::uint8_t { kNone, kXor, kReseed };
+  std::uint32_t sig = 0;
+  bool fall_pred = false;   ///< reachable by fallthrough from block i-1
+  bool after_call = false;  ///< starts at a call-return point
+  bool bl_target = false;   ///< function entry (bl target)
+  bool entry = false;       ///< program entry block (G seeded by init)
+  std::vector<std::size_t> sources;  ///< blocks branching here
+  Update update = Update::kNone;
+  std::uint32_t delta = 0;           ///< XOR step for single-pred blocks
+  bool check = false;
+  std::size_t check_event = SIZE_MAX;
+};
+
+struct BlockAnalysis {
+  std::vector<BlockMeta> blocks;
+  std::vector<std::size_t> block_of;  ///< per event index
+};
+
+BlockAnalysis analyze_blocks(const std::vector<BuildEvent>& events,
+                             const std::vector<bool>& flags_live) {
+  const std::size_t n = events.size();
+  BlockAnalysis out;
+  out.block_of.assign(n, 0);
+
+  std::set<std::uint32_t> control;       // labels that are branch targets
+  std::set<std::uint32_t> bl_targets;    // labels that are call targets
+  for (const BuildEvent& e : events) {
+    if (e.kind == BuildEvent::Kind::kBranch) control.insert(e.label);
+    if (e.kind == BuildEvent::Kind::kBranchLink) {
+      control.insert(e.label);
+      bl_targets.insert(e.label);
+    }
+  }
+
+  std::map<std::uint32_t, std::size_t> label_block;
+  out.blocks.emplace_back();
+  out.blocks[0].entry = true;
+  std::size_t cur = 0;
+  bool cur_has_code = false;
+  // 0 = block open, 1 = boundary with fallthrough, 2 = no fallthrough,
+  // 3 = call-return point.
+  int pending = 0;
+  const auto start_block = [&](int reason) {
+    out.blocks.emplace_back();
+    cur = out.blocks.size() - 1;
+    out.blocks[cur].fall_pred = reason == 1;
+    out.blocks[cur].after_call = reason == 3;
+    cur_has_code = false;
+    pending = 0;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const BuildEvent& e = events[i];
+    if (e.kind == BuildEvent::Kind::kBind && control.contains(e.label)) {
+      if (cur_has_code || pending != 0) {
+        start_block(pending == 0 ? 1 : pending);
+      }
+      label_block[e.label] = cur;
+      if (bl_targets.contains(e.label)) out.blocks[cur].bl_target = true;
+      out.block_of[i] = cur;
+      continue;
+    }
+    if (is_code_event(e)) {
+      if (pending != 0) start_block(pending);
+      out.block_of[i] = cur;
+      cur_has_code = true;
+      if (e.kind == BuildEvent::Kind::kBranch) {
+        pending = e.cond == Cond::al ? 2 : 1;
+      } else if (e.kind == BuildEvent::Kind::kBranchLink) {
+        pending = 3;
+      } else if (e.kind == BuildEvent::Kind::kInstr) {
+        const Opcode op = e.inst.op;
+        if (op == Opcode::kBlr) {
+          pending = 3;
+        } else if (op == Opcode::kBr || op == Opcode::kEret ||
+                   op == Opcode::kHlt) {
+          pending = 2;
+        }
+      }
+      continue;
+    }
+    out.block_of[i] = cur;
+  }
+
+  // Branch sources (by containing block).
+  for (std::size_t i = 0; i < n; ++i) {
+    const BuildEvent& e = events[i];
+    if (e.kind != BuildEvent::Kind::kBranch &&
+        e.kind != BuildEvent::Kind::kBranchLink) {
+      continue;
+    }
+    const auto it = label_block.find(e.label);
+    if (it == label_block.end()) continue;  // label bound in data only
+    if (e.kind == BuildEvent::Kind::kBranch) {
+      out.blocks[it->second].sources.push_back(out.block_of[i]);
+    }
+  }
+
+  // Signatures: bijective 16-bit spread of the block index.
+  for (std::size_t b = 0; b < out.blocks.size(); ++b) {
+    out.blocks[b].sig =
+        (static_cast<std::uint32_t>(b + 1) * 0x9E37u) & 0xFFFFu;
+  }
+
+  // Update/check policy. Single-predecessor blocks XOR-step G and get a
+  // runtime check; blocks whose predecessor set is unknown (function
+  // entries, call-return points) or mixed re-seed G unchecked — the
+  // simplification of classic CFCSS's run-time adjusting signature D,
+  // documented in DESIGN.md §15.
+  for (std::size_t b = 0; b < out.blocks.size(); ++b) {
+    BlockMeta& block = out.blocks[b];
+    std::set<std::uint32_t> preds;
+    if (block.fall_pred && b > 0) preds.insert(out.blocks[b - 1].sig);
+    for (const std::size_t s : block.sources) preds.insert(out.blocks[s].sig);
+    if (block.bl_target || block.after_call) {
+      block.update = BlockMeta::Update::kReseed;
+    } else if (block.entry) {
+      if (preds.empty()) {
+        block.update = BlockMeta::Update::kNone;  // init seeds G
+        block.check = true;
+      } else {
+        block.update = BlockMeta::Update::kReseed;
+      }
+    } else if (preds.size() == 1) {
+      block.update = BlockMeta::Update::kXor;
+      block.delta = *preds.begin() ^ block.sig;
+      block.check = true;
+    } else {
+      block.update = BlockMeta::Update::kReseed;
+    }
+  }
+
+  // Place each check at the block's first flag-dead code event.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_code_event(events[i])) continue;
+    BlockMeta& block = out.blocks[out.block_of[i]];
+    if (!block.check || block.check_event != SIZE_MAX) continue;
+    if (!flags_live[i]) block.check_event = i;
+  }
+  return out;
+}
+
+// --- the transformer -------------------------------------------------------
+
+class Transformer {
+ public:
+  Transformer(const isa::Program& program, HardenMode mode,
+              const HardenOptions& options)
+      : program_(program),
+        mode_(mode),
+        options_(options),
+        dup_(mode == HardenMode::kDwc || mode == HardenMode::kTmr ||
+             mode == HardenMode::kTmrCfcss),
+        tmr_(mode == HardenMode::kTmr || mode == HardenMode::kTmrCfcss),
+        cfcss_(mode == HardenMode::kCfcss || mode == HardenMode::kTmrCfcss),
+        a_(program.base),
+        bank_(a_.make_label()),
+        detect_(a_.make_label()) {}
+
+  isa::Program run(HardenReport* report) {
+    const std::vector<BuildEvent>& events = program_.events;
+    flags_live_ = flags_live_before(events);
+    if (cfcss_) {
+      analysis_ = analyze_blocks(events, flags_live_);
+      report_.blocks = analysis_.blocks.size();
+    } else {
+      // Duplication still needs call-target knowledge for lr resyncs.
+      analysis_ = analyze_blocks(events, flags_live_);
+    }
+
+    bool has_entry_event = false;
+    for (const BuildEvent& e : events) {
+      if (e.kind == BuildEvent::Kind::kEntry) has_entry_event = true;
+      if (is_code_event(e)) {
+        report_.original_instructions +=
+            e.kind == BuildEvent::Kind::kLoadLabel ? 2 : 1;
+      }
+    }
+
+    std::size_t emitted_block = SIZE_MAX;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const BuildEvent& e = events[i];
+      if (!is_code_event(e)) {
+        replay_plain(e);
+        if (e.kind == BuildEvent::Kind::kEntry) flush_init();
+        continue;
+      }
+      if (!init_emitted_ && !has_entry_event) flush_init();
+      const std::size_t b = analysis_.block_of[i];
+      if (b != emitted_block) {
+        emitted_block = b;
+        enter_block(analysis_.blocks[b]);
+      }
+      if (cfcss_ && analysis_.blocks[b].check_event == i) {
+        emit_sig_check(analysis_.blocks[b].sig);
+      }
+      emit_instrumented(e, !flags_live_[i]);
+    }
+    emit_detect_handler_and_bank();
+
+    isa::Program out = a_.finish();
+    if (report != nullptr) *report = report_;
+    return out;
+  }
+
+ private:
+  Label lab(std::uint32_t id) {
+    const auto [it, inserted] = labels_.try_emplace(id);
+    if (inserted) it->second = a_.make_label();
+    return it->second;
+  }
+
+  void replay_plain(const BuildEvent& e) {
+    switch (e.kind) {
+      case BuildEvent::Kind::kBind: a_.bind(lab(e.label)); break;
+      case BuildEvent::Kind::kData: a_.bytes(e.data); break;
+      case BuildEvent::Kind::kAlign: a_.align(e.value); break;
+      case BuildEvent::Kind::kSymbol: a_.symbol(e.name); break;
+      case BuildEvent::Kind::kEntry: a_.entry_here(); break;
+      default: break;
+    }
+  }
+
+  static std::array<std::uint8_t, 3> scratches(
+      std::initializer_list<std::uint8_t> avoid) {
+    std::array<std::uint8_t, 3> out{};
+    std::size_t k = 0;
+    for (std::uint8_t r = 0; r < 7 && k < 3; ++r) {
+      bool taken = false;
+      for (const std::uint8_t x : avoid) taken = taken || x == r;
+      if (!taken) out[k++] = r;
+    }
+    return out;
+  }
+
+  static Reg reg(std::uint8_t r) { return static_cast<Reg>(r); }
+
+  // Scratch registers live in a red zone below sp: guest code never
+  // reads below its stack pointer and IRQs run on the banked kernel
+  // stack, so the slots are private to the inserted sequence.
+  void spill(const std::uint8_t* s, int count) {
+    for (int i = 0; i < count; ++i) a_.str(reg(s[i]), Reg::sp, -4 * (i + 1));
+  }
+  void unspill(const std::uint8_t* s, int count) {
+    for (int i = 0; i < count; ++i) a_.ldr(reg(s[i]), Reg::sp, -4 * (i + 1));
+  }
+
+  void detect_branch(Cond cond) {
+    if (options_.mute_detection) {
+      // Layout-identical twin: the branch is still emitted (and still
+      // taken on mismatch) but lands on the next instruction.
+      const Label skip = a_.make_label();
+      a_.b(cond, skip);
+      a_.bind(skip);
+    } else {
+      a_.b(cond, detect_);
+    }
+  }
+
+  /// Seeds the shadow banks from the primaries and G from the entry
+  /// signature. Runs at program (re)entry, so every spawn starts with
+  /// shadows exactly mirroring architectural state.
+  void flush_init() {
+    init_emitted_ = true;
+    const std::uint32_t mark = a_.here();
+    const std::uint8_t s0 = 0, s1 = 1;  // r0/r1, both spilled
+    const std::uint8_t sp2[] = {s0, s1};
+    spill(sp2, 2);
+    a_.load_label(reg(s0), bank_);
+    if (dup_) {
+      for (std::uint8_t r = 0; r < isa::kNumGprs; ++r) {
+        if (r == s0) continue;  // holds the bank base; seeded below
+        a_.str(reg(r), reg(s0), kBank1 + 4 * r);
+        if (tmr_) a_.str(reg(r), reg(s0), kBank2 + 4 * r);
+      }
+      a_.ldr(reg(s1), Reg::sp, -4);  // original r0
+      a_.str(reg(s1), reg(s0), kBank1 + 4 * s0);
+      if (tmr_) a_.str(reg(s1), reg(s0), kBank2 + 4 * s0);
+    }
+    if (cfcss_) {
+      a_.movi(reg(s1), analysis_.blocks[0].sig);
+      a_.str(reg(s1), reg(s0), kSigSlot);
+    }
+    unspill(sp2, 2);
+    report_.inserted_instructions += (a_.here() - mark) / 4;
+  }
+
+  void enter_block(const BlockMeta& block) {
+    const std::uint32_t mark = a_.here();
+    // bl wrote lr on the way in; the shadow must follow before any
+    // callee-prologue sync point (push {lr}) compares them.
+    if (dup_ && block.bl_target) resync_unmarked({kLr});
+    if (cfcss_ && block.update != BlockMeta::Update::kNone) {
+      const std::uint8_t s[] = {0, 1};
+      spill(s, 2);
+      a_.load_label(reg(s[0]), bank_);
+      if (block.update == BlockMeta::Update::kXor) {
+        a_.ldr(reg(s[1]), reg(s[0]), kSigSlot);
+        a_.eori(reg(s[1]), reg(s[1]), static_cast<std::int32_t>(block.delta));
+      } else {
+        a_.movi(reg(s[1]), block.sig);
+      }
+      a_.str(reg(s[1]), reg(s[0]), kSigSlot);
+      unspill(s, 2);
+    }
+    report_.inserted_instructions += (a_.here() - mark) / 4;
+  }
+
+  void emit_sig_check(std::uint32_t sig) {
+    const std::uint32_t mark = a_.here();
+    const std::uint8_t s[] = {0, 1};
+    spill(s, 2);
+    a_.load_label(reg(s[0]), bank_);
+    a_.ldr(reg(s[1]), reg(s[0]), kSigSlot);
+    a_.cmpi(reg(s[1]), static_cast<std::int32_t>(sig));
+    detect_branch(Cond::ne);
+    unspill(s, 2);
+    ++report_.checked_blocks;
+    report_.inserted_instructions += (a_.here() - mark) / 4;
+  }
+
+  /// DWC compare (or TMR vote) of `regs` against their shadows. Only
+  /// called at flag-dead edges.
+  void sync_point(std::initializer_list<std::uint8_t> regs) {
+    const std::uint32_t mark = a_.here();
+    const auto s = scratches(regs);
+    spill(s.data(), 3);
+    a_.load_label(reg(s[0]), bank_);
+    std::set<std::uint8_t> seen;
+    for (const std::uint8_t r : regs) {
+      if (!seen.insert(r).second) continue;
+      if (tmr_) {
+        vote(r, s[0], s[1], s[2]);
+      } else {
+        a_.ldr(reg(s[1]), reg(s[0]), kBank1 + 4 * r);
+        a_.cmp(reg(s[1]), reg(r));
+        detect_branch(Cond::ne);
+      }
+    }
+    unspill(s.data(), 3);
+    ++report_.sync_checks;
+    report_.inserted_instructions += (a_.here() - mark) / 4;
+  }
+
+  /// Majority vote with repair: a single diverging copy (either shadow
+  /// or the primary) is overwritten by the agreeing pair — the fault
+  /// becomes Masked; three-way disagreement is detected.
+  void vote(std::uint8_t r, std::uint8_t bank, std::uint8_t c1,
+            std::uint8_t c2) {
+    const Label ok = a_.make_label();
+    const Label split = a_.make_label();
+    a_.ldr(reg(c1), reg(bank), kBank1 + 4 * r);
+    a_.cmp(reg(r), reg(c1));
+    a_.b(Cond::eq, ok);
+    a_.ldr(reg(c2), reg(bank), kBank2 + 4 * r);
+    a_.cmp(reg(r), reg(c2));
+    a_.b(Cond::ne, split);
+    a_.str(reg(r), reg(bank), kBank1 + 4 * r);  // copy 1 lost the vote
+    a_.b(ok);
+    a_.bind(split);
+    a_.cmp(reg(c1), reg(c2));
+    detect_branch(Cond::ne);
+    a_.mov(reg(r), reg(c1));  // primary lost the vote
+    a_.bind(ok);
+  }
+
+  void resync_unmarked(std::initializer_list<std::uint8_t> regs) {
+    const auto s = scratches(regs);
+    spill(s.data(), 1);
+    a_.load_label(reg(s[0]), bank_);
+    for (const std::uint8_t r : regs) {
+      a_.str(reg(r), reg(s[0]), kBank1 + 4 * r);
+      if (tmr_) a_.str(reg(r), reg(s[0]), kBank2 + 4 * r);
+    }
+    unspill(s.data(), 1);
+  }
+
+  void resync(std::initializer_list<std::uint8_t> regs) {
+    const std::uint32_t mark = a_.here();
+    resync_unmarked(regs);
+    report_.inserted_instructions += (a_.here() - mark) / 4;
+  }
+
+  /// Replays the shadow computation of a defining instruction into the
+  /// shadow bank(s).
+  void shadow_update(const Instruction& in, OpKind kind) {
+    const std::uint32_t mark = a_.here();
+    const auto s = scratches({in.rd, in.rn, in.rm});
+    spill(s.data(), 3);
+    a_.load_label(reg(s[0]), bank_);
+    const int banks = tmr_ ? 2 : 1;
+    for (int bk = 0; bk < banks; ++bk) {
+      const std::int32_t off = bk == 0 ? kBank1 : kBank2;
+      Instruction shadow = in;
+      shadow.rd = s[1];
+      switch (kind) {
+        case OpKind::kAluRR:
+          a_.ldr(reg(s[1]), reg(s[0]), off + 4 * in.rn);
+          a_.ldr(reg(s[2]), reg(s[0]), off + 4 * in.rm);
+          shadow.rn = s[1];
+          shadow.rm = s[2];
+          a_.emit(shadow);
+          break;
+        case OpKind::kAluUnary:
+          a_.ldr(reg(s[1]), reg(s[0]), off + 4 * in.rn);
+          shadow.rn = s[1];
+          a_.emit(shadow);
+          break;
+        case OpKind::kMovReg:
+          a_.ldr(reg(s[1]), reg(s[0]), off + 4 * in.rm);
+          break;
+        case OpKind::kAluImm:
+          a_.ldr(reg(s[1]), reg(s[0]), off + 4 * in.rn);
+          shadow.rn = s[1];
+          a_.emit(shadow);
+          break;
+        default:
+          break;
+      }
+      a_.str(reg(s[1]), reg(s[0]), off + 4 * in.rd);
+    }
+    unspill(s.data(), 3);
+    report_.inserted_instructions += (a_.here() - mark) / 4;
+  }
+
+  void emit_instrumented(const BuildEvent& e, bool flags_dead) {
+    if (e.kind == BuildEvent::Kind::kBranch) {
+      a_.b(e.cond, lab(e.label));
+      return;
+    }
+    if (e.kind == BuildEvent::Kind::kBranchLink) {
+      a_.bl(lab(e.label));
+      return;
+    }
+    if (e.kind == BuildEvent::Kind::kLoadLabel) {
+      a_.load_label(reg(e.reg), lab(e.label));
+      if (dup_) resync({e.reg});
+      return;
+    }
+    const Instruction& in = e.inst;
+    const OpKind kind = classify(in.op);
+    if (dup_) {
+      switch (kind) {
+        case OpKind::kCompare:
+          // The edge before a flag writer is flag-dead by definition.
+          if (in.op == Opcode::kCmpi) {
+            sync_point({in.rn});
+          } else {
+            sync_point({in.rn, in.rm});
+          }
+          break;
+        case OpKind::kStoreImm:
+          if (flags_dead) sync_point({in.rd, in.rn});
+          break;
+        case OpKind::kStoreReg:
+          if (flags_dead) sync_point({in.rd, in.rn, in.rm});
+          break;
+        case OpKind::kLoadImm:
+          if (flags_dead) sync_point({in.rn});
+          break;
+        case OpKind::kLoadReg:
+          if (flags_dead) sync_point({in.rn, in.rm});
+          break;
+        case OpKind::kSvc:
+          if (flags_dead) sync_point({0, 1, 7});  // syscall args + number
+          break;
+        default:
+          break;
+      }
+    }
+    a_.emit(in);
+    if (!dup_) return;
+    switch (kind) {
+      case OpKind::kAluRR:
+      case OpKind::kAluUnary:
+      case OpKind::kMovReg:
+      case OpKind::kAluImm:
+        shadow_update(in, kind);
+        break;
+      case OpKind::kLoadImm:
+      case OpKind::kLoadReg:
+      case OpKind::kOtherDef:
+        // Memory is not duplicated: a load is a resync point for rd.
+        resync({in.rd});
+        break;
+      case OpKind::kSvc:
+        resync({0, 1, 2, 3, 4});  // the kernel clobbers r0-r4
+        break;
+      default:
+        break;
+    }
+  }
+
+  void emit_detect_handler_and_bank() {
+    a_.align(4);
+    a_.bind(detect_);
+    for (const char* c = kDetectConsole; *c != '\0'; ++c) {
+      a_.movi(Reg::r0, static_cast<std::uint8_t>(*c));
+      a_.movi(Reg::r7, sim::sysno::kPutc);
+      a_.svc(0);
+    }
+    a_.movi(Reg::r0, 0);
+    a_.movi(Reg::r7, sim::sysno::kExit);
+    a_.svc(0);
+    a_.align(4);
+    a_.bind(bank_);
+    a_.zero(kBankBytes);
+  }
+
+  const isa::Program& program_;
+  HardenMode mode_;
+  HardenOptions options_;
+  bool dup_;
+  bool tmr_;
+  bool cfcss_;
+  Assembler a_;
+  Label bank_;
+  Label detect_;
+  std::map<std::uint32_t, Label> labels_;
+  std::vector<bool> flags_live_;
+  BlockAnalysis analysis_;
+  HardenReport report_;
+  bool init_emitted_ = false;
+};
+
+}  // namespace
+
+isa::Program apply(const isa::Program& program, HardenMode mode,
+                   const HardenOptions& options, HardenReport* report) {
+  if (mode == HardenMode::kOff) {
+    if (report != nullptr) *report = HardenReport{};
+    return program;
+  }
+  require(!program.events.empty(),
+          "harden::apply: program carries no builder events (was it "
+          "deserialized rather than built?)");
+  Transformer transformer(program, mode, options);
+  return transformer.run(report);
+}
+
+}  // namespace sefi::harden

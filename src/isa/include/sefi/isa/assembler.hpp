@@ -25,17 +25,51 @@
 
 namespace sefi::isa {
 
+/// One recorded builder action. The stream, replayed through a fresh
+/// Assembler, reproduces the program bit-for-bit: branches and label
+/// loads stay symbolic here and re-resolve at finish(), which is what
+/// lets post-processing transforms (src/harden) expand the instruction
+/// stream without breaking branch targets or data references.
+struct BuildEvent {
+  enum class Kind : std::uint8_t {
+    kInstr,       ///< label-free instruction; `inst` encodes verbatim
+    kBranch,      ///< b(cond, label)
+    kBranchLink,  ///< bl(label)
+    kLoadLabel,   ///< load_label(reg, label) pseudo-op (movi+movt pair)
+    kBind,        ///< label bound at this position
+    kData,        ///< raw data bytes (word/half/byte/float32/bytes/zero)
+    kAlign,       ///< align(value)
+    kSymbol,      ///< named symbol recorded at this position
+    kEntry,       ///< entry_here()
+  };
+  Kind kind = Kind::kInstr;
+  Instruction inst{};              ///< kInstr
+  Cond cond = Cond::al;            ///< kBranch condition
+  std::uint8_t reg = 0;            ///< kLoadLabel destination register
+  std::uint32_t label = 0;         ///< source-assembler label id
+  std::uint32_t value = 0;         ///< kAlign alignment
+  std::vector<std::uint8_t> data;  ///< kData payload (coalesced)
+  std::string name;                ///< kSymbol name
+};
+
 /// A finished guest program image: raw bytes to be loaded at `base`.
 struct Program {
   std::uint32_t base = 0;
   std::uint32_t entry = 0;
   std::vector<std::uint8_t> bytes;
   std::map<std::string, std::uint32_t> symbols;
+  /// The builder-action stream that produced `bytes` (see BuildEvent).
+  std::vector<BuildEvent> events;
 
   std::uint32_t size() const { return static_cast<std::uint32_t>(bytes.size()); }
   /// Address of a named symbol; throws SefiError if absent.
   std::uint32_t symbol(const std::string& name) const;
 };
+
+/// Rebuilds a program from its recorded event stream through a fresh
+/// Assembler. The result is bit-identical to the original — the fidelity
+/// contract the harden transforms (and their tests) rest on.
+Program replay_events(const Program& program);
 
 /// An opaque label handle. Valid only for the Assembler that created it.
 class Label {
@@ -64,6 +98,10 @@ class Assembler {
   std::uint32_t here() const;
   /// Address a bound label resolves to; throws if unbound.
   std::uint32_t address_of(Label label) const;
+
+  /// Emits an already-decoded, label-free instruction verbatim (used by
+  /// event replay and the harden transforms).
+  void emit(const Instruction& inst);
 
   // --- integer ALU ------------------------------------------------------
   void add(Reg rd, Reg rn, Reg rm) { emit_r(Opcode::kAdd, rd, rn, rm); }
@@ -173,6 +211,9 @@ class Assembler {
   void emit_r(Opcode op, Reg rd, Reg rn, Reg rm);
   void emit_i(Opcode op, Reg rd, Reg rn, std::int32_t imm);
   void emit_word(std::uint32_t word);
+  void record(BuildEvent event);
+  void record_instr(const Instruction& inst);
+  void record_data(const std::uint8_t* data, std::size_t size);
 
   std::uint32_t base_;
   std::uint32_t entry_;
@@ -180,6 +221,8 @@ class Assembler {
   std::vector<std::int64_t> label_offsets_;  ///< -1 = unbound
   std::vector<Fixup> fixups_;
   std::map<std::string, std::uint32_t> symbols_;
+  std::vector<BuildEvent> events_;
+  bool suppress_events_ = false;  ///< pseudo-op internals record once
   bool finished_ = false;
 };
 

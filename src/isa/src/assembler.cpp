@@ -29,14 +29,27 @@ void Assembler::bind(Label label) {
   require(label.id_ < label_offsets_.size(), "bind: foreign label");
   require(label_offsets_[label.id_] < 0, "bind: label bound twice");
   label_offsets_[label.id_] = static_cast<std::int64_t>(bytes_.size());
+  BuildEvent e;
+  e.kind = BuildEvent::Kind::kBind;
+  e.label = label.id_;
+  record(std::move(e));
 }
 
 void Assembler::symbol(const std::string& name) {
   require(!symbols_.contains(name), "symbol: duplicate symbol " + name);
   symbols_[name] = here();
+  BuildEvent e;
+  e.kind = BuildEvent::Kind::kSymbol;
+  e.name = name;
+  record(std::move(e));
 }
 
-void Assembler::entry_here() { entry_ = here(); }
+void Assembler::entry_here() {
+  entry_ = here();
+  BuildEvent e;
+  e.kind = BuildEvent::Kind::kEntry;
+  record(std::move(e));
+}
 
 std::uint32_t Assembler::here() const {
   return base_ + static_cast<std::uint32_t>(bytes_.size());
@@ -63,6 +76,7 @@ void Assembler::emit_r(Opcode op, Reg rd, Reg rn, Reg rm) {
   i.rn = reg_index(rn);
   i.rm = reg_index(rm);
   require(bytes_.size() % 4 == 0, "emit: misaligned instruction");
+  record_instr(i);
   emit_word(encode(i));
 }
 
@@ -73,7 +87,36 @@ void Assembler::emit_i(Opcode op, Reg rd, Reg rn, std::int32_t imm) {
   i.rn = reg_index(rn);
   i.imm = imm;
   require(bytes_.size() % 4 == 0, "emit: misaligned instruction");
+  record_instr(i);
   emit_word(encode(i));
+}
+
+void Assembler::emit(const Instruction& inst) {
+  require(bytes_.size() % 4 == 0, "emit: misaligned instruction");
+  record_instr(inst);
+  emit_word(encode(inst));
+}
+
+void Assembler::record(BuildEvent event) {
+  if (!suppress_events_) events_.push_back(std::move(event));
+}
+
+void Assembler::record_instr(const Instruction& inst) {
+  BuildEvent e;
+  e.kind = BuildEvent::Kind::kInstr;
+  e.inst = inst;
+  record(std::move(e));
+}
+
+void Assembler::record_data(const std::uint8_t* data, std::size_t size) {
+  if (suppress_events_) return;
+  // Coalesce adjacent data directives: big tables stay one event.
+  if (events_.empty() || events_.back().kind != BuildEvent::Kind::kData) {
+    BuildEvent e;
+    e.kind = BuildEvent::Kind::kData;
+    events_.push_back(std::move(e));
+  }
+  events_.back().data.insert(events_.back().data.end(), data, data + size);
 }
 
 void Assembler::movi(Reg rd, std::uint32_t imm16) {
@@ -81,6 +124,7 @@ void Assembler::movi(Reg rd, std::uint32_t imm16) {
   i.op = Opcode::kMovi;
   i.rd = reg_index(rd);
   i.imm = static_cast<std::int32_t>(imm16);
+  record_instr(i);
   emit_word(encode(i));
 }
 
@@ -89,6 +133,7 @@ void Assembler::movt(Reg rd, std::uint32_t imm16) {
   i.op = Opcode::kMovt;
   i.rd = reg_index(rd);
   i.imm = static_cast<std::int32_t>(imm16);
+  record_instr(i);
   emit_word(encode(i));
 }
 
@@ -99,12 +144,19 @@ void Assembler::mov_imm32(Reg rd, std::uint32_t value) {
 
 void Assembler::load_label(Reg rd, Label label) {
   require(label.id_ < label_offsets_.size(), "load_label: foreign label");
+  BuildEvent e;
+  e.kind = BuildEvent::Kind::kLoadLabel;
+  e.reg = reg_index(rd);
+  e.label = label.id_;
+  record(std::move(e));
+  suppress_events_ = true;  // the movi/movt pair is one recorded pseudo-op
   fixups_.push_back({static_cast<std::uint32_t>(bytes_.size()), label.id_,
                      FixupKind::kAbsLo16});
   movi(rd, 0);
   fixups_.push_back({static_cast<std::uint32_t>(bytes_.size()), label.id_,
                      FixupKind::kAbsHi16});
   movt(rd, 0);
+  suppress_events_ = false;
 }
 
 void Assembler::mov_float(Reg rd, float value) {
@@ -113,6 +165,11 @@ void Assembler::mov_float(Reg rd, float value) {
 
 void Assembler::b(Cond cond, Label target) {
   require(target.id_ < label_offsets_.size(), "b: foreign label");
+  BuildEvent e;
+  e.kind = BuildEvent::Kind::kBranch;
+  e.cond = cond;
+  e.label = target.id_;
+  record(std::move(e));
   fixups_.push_back({static_cast<std::uint32_t>(bytes_.size()), target.id_,
                      FixupKind::kBranchCond});
   Instruction i;
@@ -124,6 +181,10 @@ void Assembler::b(Cond cond, Label target) {
 
 void Assembler::bl(Label target) {
   require(target.id_ < label_offsets_.size(), "bl: foreign label");
+  BuildEvent e;
+  e.kind = BuildEvent::Kind::kBranchLink;
+  e.label = target.id_;
+  record(std::move(e));
   fixups_.push_back({static_cast<std::uint32_t>(bytes_.size()), target.id_,
                      FixupKind::kBranchLink});
   Instruction i;
@@ -136,6 +197,7 @@ void Assembler::svc(std::uint32_t number) {
   Instruction i;
   i.op = Opcode::kSvc;
   i.imm = static_cast<std::int32_t>(number);
+  record_instr(i);
   emit_word(encode(i));
 }
 
@@ -161,30 +223,51 @@ void Assembler::pop(std::initializer_list<Reg> regs) {
   addi(Reg::sp, Reg::sp, count * 4);
 }
 
-void Assembler::word(std::uint32_t value) { emit_word(value); }
-
-void Assembler::half(std::uint16_t value) {
-  bytes_.push_back(static_cast<std::uint8_t>(value));
-  bytes_.push_back(static_cast<std::uint8_t>(value >> 8));
+void Assembler::word(std::uint32_t value) {
+  const std::uint8_t raw[4] = {static_cast<std::uint8_t>(value),
+                               static_cast<std::uint8_t>(value >> 8),
+                               static_cast<std::uint8_t>(value >> 16),
+                               static_cast<std::uint8_t>(value >> 24)};
+  record_data(raw, 4);
+  emit_word(value);
 }
 
-void Assembler::byte(std::uint8_t value) { bytes_.push_back(value); }
+void Assembler::half(std::uint16_t value) {
+  const std::uint8_t raw[2] = {static_cast<std::uint8_t>(value),
+                               static_cast<std::uint8_t>(value >> 8)};
+  record_data(raw, 2);
+  bytes_.push_back(raw[0]);
+  bytes_.push_back(raw[1]);
+}
+
+void Assembler::byte(std::uint8_t value) {
+  record_data(&value, 1);
+  bytes_.push_back(value);
+}
 
 void Assembler::float32(float value) {
-  emit_word(std::bit_cast<std::uint32_t>(value));
+  const std::uint32_t w = std::bit_cast<std::uint32_t>(value);
+  word(w);
 }
 
 void Assembler::bytes(const std::vector<std::uint8_t>& data) {
+  record_data(data.data(), data.size());
   bytes_.insert(bytes_.end(), data.begin(), data.end());
 }
 
 void Assembler::zero(std::uint32_t count) {
+  const std::vector<std::uint8_t> zeros(count, 0);
+  record_data(zeros.data(), zeros.size());
   bytes_.insert(bytes_.end(), count, 0);
 }
 
 void Assembler::align(std::uint32_t alignment) {
   require(alignment != 0 && (alignment & (alignment - 1)) == 0,
           "align: alignment must be a power of two");
+  BuildEvent e;
+  e.kind = BuildEvent::Kind::kAlign;
+  e.value = alignment;
+  record(std::move(e));
   while (bytes_.size() % alignment != 0) bytes_.push_back(0);
 }
 
@@ -223,7 +306,50 @@ Program Assembler::finish() {
   p.entry = entry_;
   p.bytes = std::move(bytes_);
   p.symbols = std::move(symbols_);
+  p.events = std::move(events_);
   return p;
+}
+
+Program replay_events(const Program& program) {
+  Assembler a(program.base);
+  std::map<std::uint32_t, Label> labels;
+  const auto label_of = [&](std::uint32_t id) {
+    auto [it, inserted] = labels.try_emplace(id);
+    if (inserted) it->second = a.make_label();
+    return it->second;
+  };
+  for (const BuildEvent& e : program.events) {
+    switch (e.kind) {
+      case BuildEvent::Kind::kInstr:
+        a.emit(e.inst);
+        break;
+      case BuildEvent::Kind::kBranch:
+        a.b(e.cond, label_of(e.label));
+        break;
+      case BuildEvent::Kind::kBranchLink:
+        a.bl(label_of(e.label));
+        break;
+      case BuildEvent::Kind::kLoadLabel:
+        a.load_label(static_cast<Reg>(e.reg), label_of(e.label));
+        break;
+      case BuildEvent::Kind::kBind:
+        a.bind(label_of(e.label));
+        break;
+      case BuildEvent::Kind::kData:
+        a.bytes(e.data);
+        break;
+      case BuildEvent::Kind::kAlign:
+        a.align(e.value);
+        break;
+      case BuildEvent::Kind::kSymbol:
+        a.symbol(e.name);
+        break;
+      case BuildEvent::Kind::kEntry:
+        a.entry_here();
+        break;
+    }
+  }
+  return a.finish();
 }
 
 }  // namespace sefi::isa

@@ -129,6 +129,50 @@ TEST(Serialization, FiRoundTripPreservesPruneTelemetry) {
   EXPECT_DOUBLE_EQ(parsed->components[0].estimator_variance, 0.0);
 }
 
+TEST(Serialization, FiRoundTripPreservesDetected) {
+  // Detected verdicts (hardened workloads, DESIGN.md §15) are part of a
+  // stored campaign result — they sit inside the AVF denominator, so a
+  // replayed entry that dropped them would shift every rate.
+  fi::WorkloadFiResult original = sample_fi_result();
+  original.components[3].counts.detected = 5;
+  const auto parsed = deserialize_fi(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->components[3].counts.detected, 5u);
+  EXPECT_EQ(parsed->components[0].counts.detected, 0u);
+  EXPECT_EQ(parsed->components[3].counts.total(),
+            original.components[3].counts.total());
+}
+
+TEST(Serialization, FiRejectsPayloadWithoutDetectedField) {
+  // A v8-tagged payload whose component lines lack the detected field
+  // (e.g. a hand-upgraded v7 entry) must deserialize to a miss, never
+  // to a result with fabricated zeros in a verdict class.
+  std::string text = serialize(sample_fi_result());
+  std::string::size_type at;
+  while ((at = text.find(" detected 0")) != std::string::npos) {
+    text.erase(at, std::string(" detected 0").size());
+  }
+  EXPECT_FALSE(deserialize_fi(text).has_value());
+}
+
+TEST(Serialization, BeamRejectsPayloadWithoutDetectedField) {
+  std::string text = serialize(sample_beam_result());
+  const auto at = text.find(" detected 0");
+  ASSERT_NE(at, std::string::npos);
+  text.erase(at, std::string(" detected 0").size());
+  EXPECT_FALSE(deserialize_beam(text).has_value());
+}
+
+TEST(Serialization, BeamRoundTripPreservesDetected) {
+  beam::BeamResult original = sample_beam_result();
+  original.detected = 4;
+  const auto parsed = deserialize_beam(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->detected, 4u);
+  EXPECT_DOUBLE_EQ(parsed->fit_detected(), original.fit_detected());
+  EXPECT_DOUBLE_EQ(parsed->fit_total(), original.fit_total());
+}
+
 TEST(Serialization, BeamRoundTrip) {
   const beam::BeamResult original = sample_beam_result();
   const auto parsed = deserialize_beam(serialize(original));
@@ -189,6 +233,31 @@ TEST(Fingerprint, PruneModeIsCampaignIdentity) {
   const std::uint64_t off_half = fingerprint(config);
   config.prune_sample_fraction = 0.25;
   EXPECT_EQ(fingerprint(config), off_half);
+}
+
+TEST(Fingerprint, HardenModeIsCampaignIdentityOnlyWhenOn) {
+  // Hardened campaigns inject into a different guest binary, so every
+  // protection level fingerprints apart — but SEFI_HARDEN=off must not
+  // enter the hash at all, so pre-hardening cache entries (and the CI
+  // bit-identity references) keep their fingerprints.
+  fi::CampaignConfig fi_config;
+  fi_config.rig.harden = harden::HardenMode::kOff;
+  const std::uint64_t fi_off = fingerprint(fi_config);
+  std::vector<std::uint64_t> fi_prints = {fi_off};
+  for (const auto mode :
+       {harden::HardenMode::kDwc, harden::HardenMode::kTmr,
+        harden::HardenMode::kCfcss, harden::HardenMode::kTmrCfcss}) {
+    fi_config.rig.harden = mode;
+    fi_prints.push_back(fingerprint(fi_config));
+  }
+  std::sort(fi_prints.begin(), fi_prints.end());
+  EXPECT_EQ(std::unique(fi_prints.begin(), fi_prints.end()), fi_prints.end());
+
+  beam::BeamConfig beam_config;
+  beam_config.harden = harden::HardenMode::kOff;
+  const std::uint64_t beam_off = fingerprint(beam_config);
+  beam_config.harden = harden::HardenMode::kTmrCfcss;
+  EXPECT_NE(fingerprint(beam_config), beam_off);
 }
 
 TEST(Fingerprint, StableForEqualConfigs) {

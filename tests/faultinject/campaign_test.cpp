@@ -37,6 +37,7 @@ TEST(OutcomeName, AllNamed) {
   EXPECT_EQ(outcome_name(Outcome::kAppCrash), "AppCrash");
   EXPECT_EQ(outcome_name(Outcome::kSysCrash), "SysCrash");
   EXPECT_EQ(outcome_name(Outcome::kHarnessError), "HarnessError");
+  EXPECT_EQ(outcome_name(Outcome::kDetected), "Detected");
 }
 
 TEST(ClassCounts, AddAndTotal) {
@@ -46,8 +47,12 @@ TEST(ClassCounts, AddAndTotal) {
   counts.add(Outcome::kSdc);
   counts.add(Outcome::kAppCrash);
   counts.add(Outcome::kSysCrash);
+  counts.add(Outcome::kDetected);
   EXPECT_EQ(counts.masked, 2u);
-  EXPECT_EQ(counts.total(), 5u);
+  EXPECT_EQ(counts.detected, 1u);
+  // Detected runs are classified experiments: they sit inside the AVF
+  // denominator (and numerator — the fault was not masked).
+  EXPECT_EQ(counts.total(), 6u);
 }
 
 TEST(ClassCounts, HarnessErrorsStayOutOfTheAvfDenominator) {
@@ -396,7 +401,7 @@ TEST(WorkloadFiResultAccess, ComponentLookup) {
 TEST(JournalCodec, OutcomeRoundTrips) {
   for (const Outcome outcome :
        {Outcome::kMasked, Outcome::kSdc, Outcome::kAppCrash,
-        Outcome::kSysCrash, Outcome::kHarnessError}) {
+        Outcome::kSysCrash, Outcome::kHarnessError, Outcome::kDetected}) {
     Outcome parsed = Outcome::kMasked;
     ASSERT_TRUE(parse_journal_outcome(encode_journal_outcome(outcome),
                                       &parsed));
@@ -428,6 +433,48 @@ TEST(JournalCodec, RejectsMalformedPayloads) {
   EXPECT_FALSE(parse_journal_telemetry("t 1 2", &telemetry));
   EXPECT_FALSE(parse_journal_telemetry("t 1 2 3 4", &telemetry));
   EXPECT_FALSE(parse_journal_telemetry("t 1 2 x", &telemetry));
+}
+
+// Forward-compatibility sweep over the outcome byte: a journal written
+// by a future format (or a corrupted one) must never fabricate a
+// verdict. Every possible byte in the digit position is tried; exactly
+// the kOutcomeCount known classes parse, everything else — including
+// the enum's own sentinel and digits beyond it — is rejected, which
+// makes the resume path re-run that injection instead of trusting it.
+TEST(JournalCodec, OutcomeByteSweepRejectsEverythingOutOfRange) {
+  const int known = static_cast<int>(Outcome::kOutcomeCount);
+  int accepted = 0;
+  for (int byte = 0; byte < 256; ++byte) {
+    std::string payload = "o ";
+    payload.push_back(static_cast<char>(byte));
+    Outcome outcome = Outcome::kHarnessError;
+    const bool in_range = byte >= '0' && byte < '0' + known;
+    EXPECT_EQ(parse_journal_outcome(payload, &outcome), in_range)
+        << "byte " << byte;
+    if (in_range) {
+      ++accepted;
+      EXPECT_EQ(static_cast<int>(outcome), byte - '0');
+    }
+  }
+  EXPECT_EQ(accepted, known);
+  // The guard the sweep leans on, spelled out: the sentinel itself and
+  // anything past it are out of range.
+  EXPECT_TRUE(outcome_in_range(0));
+  EXPECT_TRUE(
+      outcome_in_range(static_cast<std::uint8_t>(Outcome::kDetected)));
+  EXPECT_FALSE(
+      outcome_in_range(static_cast<std::uint8_t>(Outcome::kOutcomeCount)));
+  EXPECT_FALSE(outcome_in_range(0xFF));
+}
+
+// A journal record that encodes kDetected must survive the round trip —
+// the verdict class campaigns write when hardening fires (DESIGN.md
+// §15) is resumable like every other class.
+TEST(JournalCodec, DetectedVerdictIsJournalable) {
+  Outcome parsed = Outcome::kMasked;
+  ASSERT_TRUE(parse_journal_outcome(
+      encode_journal_outcome(Outcome::kDetected), &parsed));
+  EXPECT_EQ(parsed, Outcome::kDetected);
 }
 
 // --- Campaign supervisor: fault isolation, retries, journaled resume ---

@@ -1,0 +1,128 @@
+// Detection-soundness suite for hardened workloads (DESIGN.md §15).
+//
+// Two properties, both on real injected runs:
+//
+//   1. No detection without activation. Every run classified Detected
+//      must have *consumed* the corrupted state — the rig's one-shot
+//      activation watchpoint latched before the verdict. A detector
+//      that fires on a fault nothing ever read would be a false
+//      positive, and the fault-free equivalence suite already pins the
+//      zero-fault case (no banner, golden console).
+//
+//   2. Detection preempts real corruption. Replaying a Detected fault
+//      on the layout-identical *muted twin* (every detect branch
+//      retargeted to fall through — same bytes, same addresses, same
+//      golden run) shows the outcome the detector preempted. Not every
+//      detection maps to a visible failure: a fault that lands in the
+//      transform's own redundant state (shadow bank, signature slot)
+//      trips a check but is benign once muted — the conservative side
+//      of duplication-with-compare. So the per-fault assertion is that
+//      the muted twin never reports Detected (the handler is
+//      unreachable), and the aggregate assertion is that a nonzero
+//      share of detections preempted a non-Masked outcome.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "../support_fastpath_scope.hpp"
+#include "sefi/core/lab.hpp"
+#include "sefi/fi/campaign.hpp"
+#include "sefi/harden/harden.hpp"
+
+namespace sefi::fi {
+namespace {
+
+struct SoundnessTally {
+  std::uint64_t runs = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t detected_activated = 0;
+  std::uint64_t preempted_non_masked = 0;
+  std::uint64_t muted_detected = 0;  ///< must stay zero
+};
+
+/// Injects the same sampled fault set into the armed rig and, for every
+/// Detected verdict, into the muted twin.
+SoundnessTally sweep(const workloads::Workload& workload,
+                     harden::HardenMode mode,
+                     const std::vector<microarch::ComponentKind>& components,
+                     std::uint64_t faults_per_component) {
+  CampaignConfig config;
+  config.rig.uarch = core::scaled_uarch();
+  config.rig.harden = mode;
+  config.faults_per_component = faults_per_component;
+
+  InjectionRig armed(workload, config.rig, config.input_seed);
+
+  RigConfig muted_rig = config.rig;
+  muted_rig.harden_options.mute_detection = true;
+  InjectionRig muted(workload, muted_rig, config.input_seed);
+
+  // Layout-identical twins: the same golden window, byte for byte —
+  // which is what makes replaying the *same* FaultDescriptor on both
+  // meaningful (same cycle hits the same dynamic instruction, same flat
+  // bit hits the same structure entry).
+  EXPECT_EQ(armed.golden().console, muted.golden().console);
+  EXPECT_EQ(armed.golden().spawn_cycle, muted.golden().spawn_cycle);
+  EXPECT_EQ(armed.golden().end_cycle, muted.golden().end_cycle);
+
+  const std::uint64_t spawn = armed.golden().spawn_cycle;
+  const std::uint64_t window = armed.golden().end_cycle - spawn;
+
+  InjectionRig::Context armed_ctx(armed);
+  InjectionRig::Context muted_ctx(muted);
+
+  SoundnessTally tally;
+  for (const auto kind : components) {
+    const auto faults = sample_component_faults(
+        config, workload.info().name, kind, armed.component_bits(kind),
+        spawn, window);
+    for (const auto& fault : faults) {
+      InjectionForensics forensics;
+      const Outcome outcome = armed_ctx.run_one(fault, nullptr, &forensics);
+      ++tally.runs;
+      if (outcome != Outcome::kDetected) continue;
+      ++tally.detected;
+      if (forensics.activated) ++tally.detected_activated;
+      const Outcome muted_outcome = muted_ctx.run_one(fault);
+      if (muted_outcome == Outcome::kDetected) ++tally.muted_detected;
+      if (muted_outcome != Outcome::kMasked &&
+          muted_outcome != Outcome::kDetected) {
+        ++tally.preempted_non_masked;
+      }
+    }
+  }
+  return tally;
+}
+
+TEST(HardenDetectionSoundness, DwcDetectionsAreActivatedRealFaults) {
+  const auto tally = sweep(
+      workloads::workload_by_name("CRC32"), harden::HardenMode::kDwc,
+      {microarch::ComponentKind::kRegFile, microarch::ComponentKind::kL1D},
+      25);
+  // The sweep is seeded and deterministic, so a nonzero detection count
+  // is a stable property of this configuration, not a flaky threshold.
+  ASSERT_GT(tally.detected, 0u);
+  EXPECT_EQ(tally.detected_activated, tally.detected)
+      << "a Detected verdict without a latched activation is a false "
+         "positive";
+  EXPECT_EQ(tally.muted_detected, 0u)
+      << "the muted twin's handler must be unreachable";
+  EXPECT_GT(tally.preempted_non_masked, 0u)
+      << "no detection preempted a visible failure — the detector only "
+         "ever fired on its own redundant state";
+}
+
+TEST(HardenDetectionSoundness, TmrCfcssDetectionsAreActivatedRealFaults) {
+  const auto tally = sweep(
+      workloads::workload_by_name("Qsort"), harden::HardenMode::kTmrCfcss,
+      {microarch::ComponentKind::kRegFile, microarch::ComponentKind::kL1I,
+       microarch::ComponentKind::kDTlb},
+      25);
+  ASSERT_GT(tally.detected, 0u);
+  EXPECT_EQ(tally.detected_activated, tally.detected);
+  EXPECT_EQ(tally.muted_detected, 0u);
+}
+
+}  // namespace
+}  // namespace sefi::fi

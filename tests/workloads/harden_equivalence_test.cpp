@@ -1,0 +1,145 @@
+// Fault-free equivalence guard for the harden transforms: every hardened
+// variant of every workload must behave exactly like the baseline when no
+// fault is injected — byte-identical console output, exit 0, and no trip
+// to the detection handler. A transform bug (bad shadow bookkeeping, a
+// signature mismatch on a legal path, a clobbered scratch register) shows
+// up here as a console diff or a spurious "!detected!".
+#include "sefi/harden/harden.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sefi/kernel/kernel.hpp"
+#include "sefi/microarch/detailed.hpp"
+#include "sefi/sim/machine.hpp"
+#include "sefi/support/error.hpp"
+#include "sefi/workloads/workload.hpp"
+
+namespace sefi::harden {
+namespace {
+
+using workloads::kDefaultInputSeed;
+using workloads::kWorkloadStackTop;
+using workloads::Workload;
+
+// Hardened code multiplies the dynamic instruction count; give the
+// heaviest variant (tmr+cfcss on the largest workload) generous room.
+constexpr std::uint64_t kCycleBudget = 1'200'000'000;
+
+struct HardenedRun {
+  sim::RunEventKind kind;
+  std::uint32_t code;
+  std::string console;
+  std::uint64_t instructions;
+};
+
+HardenedRun run_hardened(const Workload& w, HardenMode mode, bool detailed,
+                         const HardenOptions& options = {}) {
+  const isa::Program hardened = apply(w.build(kDefaultInputSeed), mode, options);
+  sim::Machine m = detailed ? microarch::make_detailed_machine()
+                            : sim::Machine::make_functional();
+  kernel::install_system(m, kernel::build_kernel(), hardened,
+                         kWorkloadStackTop);
+  m.boot();
+  const sim::RunEvent event = m.run(kCycleBudget);
+  return {event.kind, event.payload, m.console(), m.cpu().instructions()};
+}
+
+struct Case {
+  const Workload* workload;
+  HardenMode mode;
+};
+
+class HardenEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(HardenEquivalence, FaultFreeConsoleMatchesBaseline) {
+  const auto& [workload, mode] = GetParam();
+  const HardenedRun run = run_hardened(*workload, mode, /*detailed=*/false);
+  EXPECT_EQ(run.kind, sim::RunEventKind::kExit);
+  EXPECT_EQ(run.code, 0u);
+  EXPECT_EQ(run.console, workload->expected_console(kDefaultInputSeed));
+  EXPECT_EQ(run.console.find(kDetectConsole), std::string::npos);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const Workload* w : workloads::all_workloads()) {
+    for (const HardenMode mode : kAllHardenModes) {
+      if (mode == HardenMode::kOff) continue;  // covered by workload_test
+      cases.push_back({w, mode});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, HardenEquivalence, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.workload->info().name + "_" +
+                         harden_mode_name(info.param.mode);
+      for (char& c : name) {
+        if (c == '+') c = '_';
+      }
+      return name;
+    });
+
+// The detailed (cache/TLB/pipeline) model executes the same hardened
+// image; one representative per technique keeps the runtime sane.
+TEST(HardenEquivalenceDetailed, RepresentativePerMode) {
+  for (const HardenMode mode :
+       {HardenMode::kDwc, HardenMode::kTmr, HardenMode::kTmrCfcss}) {
+    const Workload& w = workloads::workload_by_name("CRC32");
+    const HardenedRun run = run_hardened(w, mode, /*detailed=*/true);
+    EXPECT_EQ(run.kind, sim::RunEventKind::kExit) << harden_mode_name(mode);
+    EXPECT_EQ(run.console, w.expected_console(kDefaultInputSeed))
+        << harden_mode_name(mode);
+  }
+}
+
+// The muted twin must be the same size as the detecting build (it is the
+// layout-identical control for the detection-soundness test) and equally
+// transparent fault-free.
+TEST(HardenMutedTwin, LayoutIdenticalAndTransparent) {
+  const Workload& w = workloads::workload_by_name("Qsort");
+  const isa::Program base = w.build(kDefaultInputSeed);
+  for (const HardenMode mode : {HardenMode::kDwc, HardenMode::kTmrCfcss}) {
+    const isa::Program armed = apply(base, mode);
+    const isa::Program muted = apply(base, mode, {.mute_detection = true});
+    EXPECT_EQ(armed.bytes.size(), muted.bytes.size())
+        << harden_mode_name(mode);
+    EXPECT_EQ(armed.entry, muted.entry);
+    HardenedRun run =
+        run_hardened(w, mode, /*detailed=*/false, {.mute_detection = true});
+    EXPECT_EQ(run.console, w.expected_console(kDefaultInputSeed))
+        << harden_mode_name(mode);
+  }
+}
+
+// Transform accounting sanity: hardening inserts real work and CFCSS
+// actually forms and checks blocks.
+TEST(HardenReportTest, CountsArePopulated) {
+  const Workload& w = workloads::workload_by_name("Dijkstra");
+  const isa::Program base = w.build(kDefaultInputSeed);
+  HardenReport report;
+  const isa::Program hardened = apply(base, HardenMode::kTmrCfcss, {}, &report);
+  EXPECT_GT(hardened.bytes.size(), base.bytes.size());
+  EXPECT_GT(report.original_instructions, 0u);
+  EXPECT_GT(report.inserted_instructions, 0u);
+  EXPECT_GT(report.blocks, 1u);
+  EXPECT_GT(report.checked_blocks, 0u);
+  EXPECT_GT(report.sync_checks, 0u);
+
+  HardenReport off_report;
+  const isa::Program same = apply(base, HardenMode::kOff, {}, &off_report);
+  EXPECT_EQ(same.bytes, base.bytes);
+  EXPECT_EQ(off_report.inserted_instructions, 0u);
+}
+
+TEST(HardenModeNames, RoundTrip) {
+  for (const HardenMode mode : kAllHardenModes) {
+    EXPECT_EQ(harden_mode_from_name(harden_mode_name(mode)), mode);
+  }
+  EXPECT_THROW(harden_mode_from_name("dmr"), support::SefiError);
+}
+
+}  // namespace
+}  // namespace sefi::harden
