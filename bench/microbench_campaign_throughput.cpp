@@ -52,6 +52,15 @@
 // is metrics on / tracing off unless SEFI_METRICS or SEFI_TRACE say
 // otherwise.
 //
+// After the obs twins, the heaviest delta cell runs once more with the
+// HTTP observability plane live (DESIGN.md §16): an in-process
+// obs::HttpServer on an ephemeral loopback port, one thread pumping
+// poll_once and a scraper thread hammering GET /metrics for the whole
+// campaign. That line carries `"obs":"http"` and `obs_http_overhead` —
+// its wall-clock ratio against the identical unscraped heaviest matrix
+// cell — and must reproduce the baseline ClassCounts bit-for-bit: a
+// scrape that perturbs verdicts would disqualify the plane outright.
+//
 // After the matrix, the heaviest cell runs once per fault-site pruning
 // mode (SEFI_PRUNE=off/classify/sample — DESIGN.md §13). Those lines
 // carry `"prune":"<mode>"` plus the pruned-site counters, and the
@@ -73,9 +82,11 @@
 // Knobs: argv[1] workload name (default Qsort), argv[2] faults per
 // component (default 60); SEFI_THREADS caps the largest thread count
 // tried (default: hardware concurrency).
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sefi/core/lab.hpp"
@@ -83,6 +94,7 @@
 #include "sefi/fi/campaign.hpp"
 #include "sefi/harden/harden.hpp"
 #include "sefi/obs/forensics.hpp"
+#include "sefi/obs/http.hpp"
 #include "sefi/obs/metrics.hpp"
 #include "sefi/obs/trace.hpp"
 #include "sefi/sim/uop.hpp"
@@ -112,6 +124,7 @@ struct EmitTwins {
   double serial_wall = 0;     ///< speedup_vs_serial denominator source
   double full_twin_wall = 0;  ///< full-restore twin of a delta cell
   double obs_off_wall = 0;    ///< obs=off twin of the obs=on cell
+  double http_off_wall = 0;   ///< unscraped twin of the obs=http cell
   double fastpath_off_wall = 0;  ///< fastpath=off twin of a fastpath cell
   double prune_off_wall = 0;  ///< prune=off twin of a classify/sample cell
   double harden_off_wall = 0;  ///< harden=off twin of a protected cell
@@ -175,6 +188,9 @@ void emit(const sefi::fi::WorkloadFiResult& result, bool delta_restore,
   if (twins.obs_off_wall > 0 && wall > 0) {
     std::printf(",\"obs_overhead\":%.3f", wall / twins.obs_off_wall);
   }
+  if (twins.http_off_wall > 0 && wall > 0) {
+    std::printf(",\"obs_http_overhead\":%.3f", wall / twins.http_off_wall);
+  }
   if (twins.fastpath_off_wall > 0 && wall > 0) {
     std::printf(",\"fastpath_speedup\":%.3f",
                 twins.fastpath_off_wall / wall);
@@ -226,6 +242,7 @@ int main(int argc, char** argv) {
 
   const auto& workload = sefi::workloads::workload_by_name(name);
   double serial_wall = 0;
+  double heavy_delta_wall = 0;  ///< last (heaviest) delta cell of the matrix
   bool have_baseline = false;
   sefi::fi::WorkloadFiResult baseline;
   for (const auto& [threads, checkpoints] : cells) {
@@ -250,6 +267,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       if (!delta) full_twin_wall = result.stats.wall_seconds;
+      if (delta) heavy_delta_wall = result.stats.wall_seconds;
       EmitTwins twins;
       twins.serial_wall = serial_wall;
       twins.full_twin_wall = delta ? full_twin_wall : 0.0;
@@ -422,5 +440,74 @@ int main(int argc, char** argv) {
   tracer.disable();
   tracer.reset();
   std::remove(forensics_path.c_str());
+
+  // HTTP-scrape twin: the heaviest delta cell once more with the §16
+  // plane live. The serve CLI never runs the server from a thread (the
+  // coordinator loop pumps it — fork safety); the bench has no forks,
+  // so threads let a scraper poll GET /metrics every 10 ms — orders of
+  // magnitude faster than any real Prometheus interval — hitting the
+  // registry's merge-on-scrape path concurrently with the executor hot
+  // loop. obs_http_overhead divides by the unscraped heaviest matrix
+  // cell — identical config, metrics on, no server. (A no-sleep scrape
+  // loop would just measure CPU theft from the executor, not the
+  // plane's cost.)
+  config.threads = cells.back().first;
+  config.checkpoints = cells.back().second;
+  config.rig.delta_restore = true;
+  registry.set_enabled(true);
+  {
+    sefi::obs::HttpServer server;
+    if (!server.start(0)) {
+      std::fprintf(stderr,
+                   "FATAL: obs=http twin could not bind a loopback port\n");
+      return 1;
+    }
+    server.set_handler([&registry](const sefi::obs::HttpRequest& request) {
+      sefi::obs::HttpResponse response;
+      if (request.path == "/metrics") {
+        response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = registry.expose_text();
+      } else {
+        response.status = 404;
+        response.body = "not found\n";
+      }
+      return response;
+    });
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> scrapes{0};
+    std::thread pump([&] {
+      while (!stop.load(std::memory_order_relaxed)) server.poll_once(10);
+    });
+    std::thread scraper([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto response = sefi::obs::http_get(server.port(), "/metrics");
+        if (response && response->status == 200 && !response->body.empty()) {
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    const sefi::fi::WorkloadFiResult scraped =
+        sefi::fi::run_fi_campaign(workload, config);
+    stop.store(true);
+    scraper.join();
+    pump.join();
+    server.stop();
+    if (!same_counts(baseline, scraped)) {
+      std::fprintf(stderr,
+                   "FATAL: obs=http twin diverged from the baseline\n");
+      return 1;
+    }
+    if (scrapes.load() == 0) {
+      std::fprintf(stderr,
+                   "FATAL: obs=http twin finished without a single "
+                   "successful scrape\n");
+      return 1;
+    }
+    EmitTwins twins;
+    twins.serial_wall = serial_wall;
+    twins.http_off_wall = heavy_delta_wall;
+    emit(scraped, true, "http", matrix_tier, "off", "off", twins);
+  }
   return 0;
 }

@@ -75,7 +75,9 @@
 #include "sefi/fi/campaign.hpp"
 #include "sefi/kernel/kernel.hpp"
 #include "sefi/microarch/detailed.hpp"
+#include "sefi/obs/http.hpp"
 #include "sefi/obs/metrics.hpp"
+#include "sefi/obs/snapshot.hpp"
 #include "sefi/obs/trace.hpp"
 #include "sefi/sim/tracer.hpp"
 #include "sefi/support/env.hpp"
@@ -99,13 +101,15 @@ int usage() {
                " [--threads N] [--checkpoints K]\n"
                "       sefi_cli campaign run|resume|status|export <workload>"
                " [faults] [--threads N]\n"
-               "       sefi_cli serve [--workers N] [--once]\n"
+               "       sefi_cli serve [--workers N] [--once]"
+               " (SEFI_HTTP_PORT serves /metrics /status /healthz)\n"
                "       sefi_cli submit <workload> [faults] [--wait]\n"
                "       sefi_cli shutdown\n"
                "       sefi_cli cache stats [--sweep]\n"
                "       sefi_cli cache verify\n"
                "       sefi_cli cache gc\n"
-               "       sefi_cli obs dump [--campaign <workload> [faults]]\n");
+               "       sefi_cli obs dump [--campaign <workload> [faults]]"
+               " [--merged]\n");
   return 2;
 }
 
@@ -533,8 +537,53 @@ int cmd_serve(const std::vector<std::string>& args) {
   const std::string inbox = root + "/inbox";
   const std::string outbox = root + "/outbox";
   const std::string stop = root + "/stop";
+  const std::string workers_dir = root + "/workers";
   fs::create_directories(inbox);
   fs::create_directories(outbox);
+  // Fresh serve process, fresh fleet: stale <pid>.metrics fallback files
+  // from an earlier coordinator would otherwise merge as phantom workers.
+  {
+    std::error_code ec;
+    fs::remove_all(workers_dir, ec);
+    fs::create_directories(workers_dir, ec);
+  }
+  core::ServeMonitor monitor(workers_dir);
+  monitor.set_pool_info(serve.workers, serve.lease_ms,
+                        /*respawn_budget=*/16);
+  serve.monitor = &monitor;
+
+  // The observability plane (DESIGN.md §16). Off by default; served
+  // from this coordinator thread — never a background thread, which
+  // could not coexist with the fork-per-worker pool.
+  obs::HttpServer http;
+  const std::uint64_t http_port = support::env::u64("SEFI_HTTP_PORT", 0);
+  if (http_port != 0) {
+    if (!http.start(static_cast<std::uint16_t>(http_port))) {
+      std::fprintf(stderr, "serve: could not bind 127.0.0.1:%llu\n",
+                   static_cast<unsigned long long>(http_port));
+      return 1;
+    }
+    http.set_handler([&monitor](const obs::HttpRequest& request) {
+      obs::HttpResponse response;
+      if (request.path == "/metrics") {
+        response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = monitor.metrics_text();
+      } else if (request.path == "/status") {
+        response.content_type = "application/json";
+        response.body = monitor.status_json();
+      } else if (request.path == "/healthz") {
+        response.body = "ok\n";
+      } else {
+        response.status = 404;
+        response.body = "not found\n";
+      }
+      return response;
+    });
+    serve.on_tick = [&http] { (void)http.poll_once(0); };
+    std::printf("serve: http on 127.0.0.1:%d (/metrics /status /healthz)\n",
+                http.port());
+  }
+
   std::printf("serve: %llu workers, lease %llu ms, inbox %s\n",
               static_cast<unsigned long long>(serve.workers),
               static_cast<unsigned long long>(serve.lease_ms), inbox.c_str());
@@ -600,7 +649,13 @@ int cmd_serve(const std::vector<std::string>& args) {
       break;
     }
     if (once) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    // Idle wait doubles as the HTTP service loop: scrapes between
+    // campaigns answer from the last merged fleet view.
+    if (http.running()) {
+      (void)http.poll_once(200);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
   }
   return 0;
 }
@@ -762,6 +817,17 @@ int cmd_cache(const std::vector<std::string>& args) {
 
 int cmd_obs(const std::vector<std::string>& args) {
   if (args.empty() || args[0] != "dump") return usage();
+  if (args.size() == 2 && args[1] == "--merged") {
+    // Fleet view without the HTTP plane: fold this process's registry
+    // with every worker's `<serve>/workers/<pid>.metrics` fallback file
+    // (torn files are quarantined by the decode seal check).
+    if (std::getenv("SEFI_CACHE_DIR") == nullptr) {
+      ::setenv("SEFI_CACHE_DIR", ".sefi-cache", 0);
+    }
+    const core::ServeMonitor monitor(serve_root() + "/workers");
+    std::fputs(monitor.metrics_text().c_str(), stdout);
+    return 0;
+  }
   if (args.size() > 1) {
     if (args[1] != "--campaign" || args.size() < 3 || args.size() > 4) {
       return usage();

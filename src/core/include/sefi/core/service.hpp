@@ -26,12 +26,140 @@
 // transport); throws SefiError otherwise.
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "sefi/core/lab.hpp"
+#include "sefi/obs/snapshot.hpp"
 
 namespace sefi::core {
+
+/// Fleet-wide observability for the serve coordinator (DESIGN.md §16).
+///
+/// The monitor owns three views the HTTP plane (and `obs dump
+/// --merged`) serves:
+///
+///   1. *Merged metrics.* Workers ship registry snapshots over the
+///      pool's reply pipe after every shard and at exit; each also
+///      lands as `<workers_dir>/<pid>.metrics` so a SIGKILL'd worker's
+///      last flush survives. merged_snapshot() folds the coordinator's
+///      own registry with the freshest per-pid snapshot (pipe first,
+///      file fallback) — counters sum, histograms bucket-add, gauges
+///      stand per-source — so a fleet scrape reads like one process.
+///   2. *Campaign status.* Shard dispositions with lease ages, worker
+///      up/down and respawn budgets, throughput and ETA.
+///   3. *Convergence.* A running per-component AVF estimate with the
+///      finite-population-corrected CI from sefi/stats/estimator,
+///      updated as shard journals fill; once the campaign merges, the
+///      final estimator (the paper's re-adjusted margin) replaces the
+///      running one, so /status converges to exactly what the cached
+///      result reports.
+///
+/// All methods are thread-safe; the serve CLI drives everything from
+/// the coordinator thread, tests and the bench may not.
+class ServeMonitor {
+ public:
+  /// `workers_dir` is where workers drop `<pid>.metrics` fallback
+  /// files (created on demand).
+  explicit ServeMonitor(std::string workers_dir);
+
+  const std::string& workers_dir() const { return workers_dir_; }
+
+  /// Pool shape, for /status (set once by the serve loop).
+  void set_pool_info(std::uint64_t workers, std::uint64_t lease_ms,
+                     std::uint64_t respawn_budget);
+
+  // -- campaign lifecycle (driven by serve_fi_campaign) ------------------
+  void begin_campaign(const std::string& key, const std::string& workload,
+                      std::uint64_t faults_per_component,
+                      std::uint64_t shard_count, double confidence);
+  void note_resumed(std::size_t shard);
+  void note_assign(std::size_t shard, std::size_t worker);
+  void note_done(std::size_t shard, std::size_t worker);
+  void note_reclaim(std::size_t shard, std::size_t worker);
+
+  /// Folds one worker's encoded registry snapshot (keyed by pid — a
+  /// respawned slot never clobbers its predecessor's last words).
+  /// Corrupt payloads are counted and skipped, never merged.
+  void fold_worker_snapshot(std::uint64_t pid, const std::string& payload);
+
+  /// Mid-flight per-component tallies decoded from the shard journals.
+  struct ComponentProgress {
+    std::uint64_t attempted = 0;   ///< journal records seen (all classes)
+    std::uint64_t classified = 0;  ///< attempted minus harness errors
+    std::uint64_t faulty = 0;      ///< classified and not Masked
+    std::array<std::uint64_t, 6> by_class{};  ///< per Outcome digit
+  };
+  void update_convergence(
+      const std::array<ComponentProgress, microarch::kNumComponents>&
+          progress);
+
+  /// The merged campaign result is in: pin the per-component AVF and
+  /// error margin to the final estimator values.
+  void finish_campaign(const fi::WorkloadFiResult& result);
+
+  void note_campaign_served();
+
+  // -- serving side ------------------------------------------------------
+  /// Coordinator registry + every worker snapshot, merged.
+  obs::MetricsSnapshot merged_snapshot() const;
+  /// Prometheus exposition of merged_snapshot().
+  std::string metrics_text() const;
+  /// The /status JSON document.
+  std::string status_json() const;
+
+ private:
+  enum class ShardState { kPending, kClaimed, kDone, kResumed };
+  struct ShardInfo {
+    ShardState state = ShardState::kPending;
+    std::size_t worker = 0;
+    std::uint64_t claim_epoch_ms = 0;
+    std::uint64_t reclaims = 0;
+  };
+  struct ComponentView {
+    ComponentProgress progress;
+    double avf = 0;
+    double ci_half_width = 0;   ///< FPC CI while running; 0 once exact
+    double error_margin = 0;    ///< final re-adjusted margin (post-merge)
+  };
+
+  void refresh_gauges_locked();
+
+  mutable std::mutex mutex_;
+  std::string workers_dir_;
+  std::uint64_t pool_workers_ = 0;
+  std::uint64_t pool_lease_ms_ = 0;
+  std::uint64_t pool_respawn_budget_ = 0;
+
+  bool campaign_active_ = false;
+  bool campaign_done_ = false;
+  std::string campaign_key_;
+  std::string campaign_workload_;
+  std::uint64_t faults_per_component_ = 0;
+  double confidence_ = 0.99;
+  std::vector<ShardInfo> shards_;
+  std::array<ComponentView, microarch::kNumComponents> components_{};
+  std::uint64_t campaigns_served_ = 0;
+
+  // Throughput baseline: first convergence sample after begin_campaign.
+  bool have_rate_baseline_ = false;
+  std::uint64_t baseline_resolved_ = 0;
+  std::chrono::steady_clock::time_point baseline_time_{};
+  double injections_per_sec_ = 0;
+  double eta_seconds_ = 0;
+
+  std::map<std::uint64_t, obs::MetricsSnapshot> worker_snapshots_;
+  std::uint64_t snapshots_folded_ = 0;
+  // mutable: merged_snapshot() is const but quarantines torn fallback
+  // files it happens to read.
+  mutable std::uint64_t snapshots_skipped_ = 0;
+};
 
 struct ServeConfig {
   /// Worker processes (SEFI_WORKERS; clamped to >= 1).
@@ -49,6 +177,16 @@ struct ServeConfig {
   /// before running its shard, exercising the lease-reclaim path
   /// deterministically. Wired to SEFI_SERVE_SELF_KILL by the CLI.
   std::string self_kill_marker;
+  /// Observability plane (nullable). When set, the coordinator reports
+  /// shard dispositions, folds worker metric snapshots, and refreshes
+  /// the convergence gauges from the shard journals as they fill.
+  ServeMonitor* monitor = nullptr;
+  /// Coordinator-loop hook, called at least every ~50 ms while the
+  /// worker pool runs; the serve CLI services the HTTP plane here so
+  /// /metrics answers mid-campaign. Nullable.
+  std::function<void()> on_tick;
+  /// Shard-journal convergence refresh cadence, ms (with a monitor).
+  std::uint64_t monitor_refresh_ms = 500;
 };
 
 /// What the coordinator did (campaign stats live in the result itself).

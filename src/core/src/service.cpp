@@ -6,14 +6,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <optional>
 #include <vector>
 
-#include "sefi/obs/metrics.hpp"
-#include "sefi/support/error.hpp"
-#include "sefi/support/journal.hpp"
 #include "sefi/exec/procpool.hpp"
+#include "sefi/obs/forensics.hpp"
+#include "sefi/obs/metrics.hpp"
+#include "sefi/obs/trace.hpp"
+#include "sefi/stats/estimator.hpp"
+#include "sefi/support/error.hpp"
+#include "sefi/support/fsio.hpp"
+#include "sefi/support/journal.hpp"
 
 namespace sefi::core {
 
@@ -38,7 +43,512 @@ std::uint64_t epoch_ms() {
           .count());
 }
 
+/// "sefi_forensics.jsonl" + pid 123 -> "sefi_forensics.123.jsonl".
+std::string pid_suffixed(const std::string& path, std::uint64_t pid) {
+  const std::filesystem::path p(path);
+  const std::string ext = p.extension().string();
+  std::filesystem::path stem = p;
+  stem.replace_extension();
+  return stem.string() + "." + std::to_string(pid) + ext;
+}
+
+/// Files next to `base` named `<stem>.<digits><ext>` — the per-pid
+/// artifacts workers of any (current or crashed) generation left.
+std::vector<std::string> sibling_pid_files(const std::string& base) {
+  std::vector<std::string> out;
+  const std::filesystem::path p(base);
+  const std::string ext = p.extension().string();
+  const std::string stem = p.stem().string();
+  std::filesystem::path parent = p.parent_path();
+  if (parent.empty()) parent = ".";
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(parent, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= stem.size() + 1 + ext.size()) continue;
+    if (name.rfind(stem + ".", 0) != 0) continue;
+    if (!ext.empty() && name.compare(name.size() - ext.size(), ext.size(),
+                                     ext) != 0) {
+      continue;
+    }
+    const std::string middle = name.substr(
+        stem.size() + 1, name.size() - stem.size() - 1 - ext.size());
+    if (middle.empty() ||
+        middle.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Appends every worker's per-pid forensics JSONL into the
+/// coordinator's own file (JSONL concatenation is merge) and removes
+/// the worker files.
+void concat_worker_forensics() {
+  obs::ForensicsSink* sink = obs::ForensicsSink::global();
+  if (sink == nullptr) return;
+  std::error_code ec;
+  for (const std::string& file : sibling_pid_files(sink->path())) {
+    if (const std::optional<std::string> content = support::read_file(file)) {
+      if (!content->empty()) {
+        if (std::FILE* out = std::fopen(sink->path().c_str(), "ab")) {
+          std::fwrite(content->data(), 1, content->size(), out);
+          std::fclose(out);
+        }
+      }
+    }
+    std::filesystem::remove(file, ec);
+  }
+}
+
+/// Combines every worker's per-pid Chrome trace into one
+/// `<stem>.workers<ext>` document (traceEvents arrays concatenated)
+/// and removes the per-pid files. The coordinator's own trace still
+/// flushes to the base path at exit; the workers artifact sits beside
+/// it.
+void combine_worker_traces() {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (!tracer.enabled() || tracer.path().empty()) return;
+  const std::vector<std::string> files = sibling_pid_files(tracer.path());
+  if (files.empty()) return;
+  std::string events;
+  std::error_code ec;
+  for (const std::string& file : files) {
+    if (const std::optional<std::string> content = support::read_file(file)) {
+      const std::size_t open = content->find('[');
+      const std::size_t close = content->rfind(']');
+      if (open != std::string::npos && close != std::string::npos &&
+          close > open + 1) {
+        const std::string inner = content->substr(open + 1, close - open - 1);
+        if (inner.find_first_not_of(" \t\r\n") != std::string::npos) {
+          if (!events.empty()) events += ",";
+          events += inner;
+        }
+      }
+    }
+    std::filesystem::remove(file, ec);
+  }
+  const std::filesystem::path p(tracer.path());
+  std::filesystem::path stem = p;
+  stem.replace_extension();
+  const std::string combined =
+      stem.string() + ".workers" + p.extension().string();
+  (void)support::write_file_atomic(combined,
+                                   "{\"traceEvents\":[" + events + "]}");
+}
+
+void json_escape_into(std::string& out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string json_string(const std::string& text) {
+  std::string out = "\"";
+  json_escape_into(out, text);
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// ServeMonitor
+// ---------------------------------------------------------------------------
+
+ServeMonitor::ServeMonitor(std::string workers_dir)
+    : workers_dir_(std::move(workers_dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(workers_dir_, ec);
+}
+
+void ServeMonitor::set_pool_info(std::uint64_t workers, std::uint64_t lease_ms,
+                                 std::uint64_t respawn_budget) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pool_workers_ = workers;
+  pool_lease_ms_ = lease_ms;
+  pool_respawn_budget_ = respawn_budget;
+}
+
+void ServeMonitor::begin_campaign(const std::string& key,
+                                  const std::string& workload,
+                                  std::uint64_t faults_per_component,
+                                  std::uint64_t shard_count,
+                                  double confidence) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  campaign_active_ = true;
+  campaign_done_ = false;
+  campaign_key_ = key;
+  campaign_workload_ = workload;
+  faults_per_component_ = faults_per_component;
+  confidence_ = confidence;
+  shards_.assign(shard_count, ShardInfo{});
+  components_ = {};
+  have_rate_baseline_ = false;
+  baseline_resolved_ = 0;
+  injections_per_sec_ = 0;
+  eta_seconds_ = 0;
+  refresh_gauges_locked();
+}
+
+void ServeMonitor::note_resumed(std::size_t shard) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= shards_.size()) return;
+  shards_[shard].state = ShardState::kResumed;
+}
+
+void ServeMonitor::note_assign(std::size_t shard, std::size_t worker) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= shards_.size()) return;
+  shards_[shard].state = ShardState::kClaimed;
+  shards_[shard].worker = worker;
+  shards_[shard].claim_epoch_ms = epoch_ms();
+}
+
+void ServeMonitor::note_done(std::size_t shard, std::size_t worker) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= shards_.size()) return;
+  shards_[shard].state = ShardState::kDone;
+  shards_[shard].worker = worker;
+}
+
+void ServeMonitor::note_reclaim(std::size_t shard, std::size_t worker) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= shards_.size()) return;
+  shards_[shard].state = ShardState::kPending;
+  shards_[shard].worker = worker;
+  ++shards_[shard].reclaims;
+}
+
+void ServeMonitor::fold_worker_snapshot(std::uint64_t pid,
+                                        const std::string& payload) {
+  obs::MetricsSnapshot snap;
+  if (!obs::decode_snapshot(payload, snap)) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++snapshots_skipped_;
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  worker_snapshots_[pid] = std::move(snap);
+  ++snapshots_folded_;
+}
+
+void ServeMonitor::update_convergence(
+    const std::array<ComponentProgress, microarch::kNumComponents>&
+        progress) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (campaign_done_) return;  // the final estimator has already landed
+  std::uint64_t resolved_total = 0;
+  for (std::size_t i = 0; i < microarch::kNumComponents; ++i) {
+    ComponentView& view = components_[i];
+    view.progress = progress[i];
+    const ComponentProgress& p = progress[i];
+    view.avf =
+        p.classified > 0 ? static_cast<double>(p.faulty) / p.classified : 0.0;
+    view.ci_half_width = 0;
+    if (faults_per_component_ > 0 && p.classified > 0) {
+      // Finite-population-corrected CI over the sampled population: the
+      // shard journals are a without-replacement draw of the
+      // faults_per_component sites, so the half-width shrinks to zero
+      // exactly when the component's sample is fully resolved.
+      const std::uint64_t executed =
+          std::min(p.classified, faults_per_component_);
+      const std::uint64_t faulty = std::min(p.faulty, executed);
+      view.ci_half_width =
+          stats::pruned_estimate(0, faults_per_component_, executed, faulty,
+                                 confidence_)
+              .ci_half_width;
+    }
+    resolved_total += p.classified;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  if (!have_rate_baseline_) {
+    have_rate_baseline_ = true;
+    baseline_resolved_ = resolved_total;
+    baseline_time_ = now;
+  } else if (resolved_total > baseline_resolved_) {
+    const double seconds =
+        std::chrono::duration<double>(now - baseline_time_).count();
+    if (seconds > 0) {
+      injections_per_sec_ =
+          static_cast<double>(resolved_total - baseline_resolved_) / seconds;
+    }
+  }
+  const std::uint64_t total = faults_per_component_ * microarch::kNumComponents;
+  eta_seconds_ = (injections_per_sec_ > 0 && total > resolved_total)
+                     ? static_cast<double>(total - resolved_total) /
+                           injections_per_sec_
+                     : 0.0;
+  refresh_gauges_locked();
+}
+
+void ServeMonitor::finish_campaign(const fi::WorkloadFiResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  campaign_active_ = false;
+  campaign_done_ = true;
+  ++campaigns_served_;
+  for (std::size_t i = 0; i < microarch::kNumComponents; ++i) {
+    const fi::ComponentResult& final = result.components[i];
+    ComponentView& view = components_[i];
+    // Pin the live estimate to the merged campaign's own numbers: the
+    // counts include pruned-as-Masked sites, avf() is the (possibly
+    // reweighted) estimator, and error_margin is the paper's
+    // re-adjusted Leveugle margin — /status now answers exactly what
+    // the cached result would.
+    const fi::ClassCounts& c = final.counts;
+    view.progress.attempted = c.attempted();
+    view.progress.classified = c.total();
+    view.progress.faulty = c.total() - c.masked;
+    view.progress.by_class = {c.masked,       c.sdc,
+                              c.app_crash,    c.sys_crash,
+                              c.harness_error, c.detected};
+    view.avf = final.avf();
+    view.ci_half_width = 0;
+    view.error_margin = final.error_margin;
+  }
+  eta_seconds_ = 0;
+  refresh_gauges_locked();
+}
+
+void ServeMonitor::note_campaign_served() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++campaigns_served_;
+}
+
+void ServeMonitor::refresh_gauges_locked() {
+  obs::Registry& registry = obs::Registry::instance();
+  std::uint64_t resolved = 0;
+  for (const ComponentView& view : components_) {
+    resolved += view.progress.classified;
+  }
+  registry
+      .gauge("sefi_campaign_resolved_injections",
+             "Injections resolved so far in the campaign being served")
+      .set(static_cast<double>(resolved));
+  registry
+      .gauge("sefi_campaign_total_injections",
+             "Sampled injections in the campaign being served")
+      .set(static_cast<double>(faults_per_component_ *
+                               microarch::kNumComponents));
+  registry
+      .gauge("sefi_campaign_injections_per_sec",
+             "Fleet-wide resolution rate of the campaign being served")
+      .set(injections_per_sec_);
+  registry
+      .gauge("sefi_campaign_eta_seconds",
+             "Estimated seconds until the campaign being served resolves")
+      .set(eta_seconds_);
+  for (std::size_t i = 0; i < microarch::kNumComponents; ++i) {
+    const std::string label =
+        "component=\"" + microarch::component_name(microarch::kAllComponents[i]) +
+        "\"";
+    registry
+        .gauge("sefi_campaign_avf_estimate",
+               "Running per-component AVF estimate of the campaign being "
+               "served",
+               label)
+        .set(components_[i].avf);
+    registry
+        .gauge("sefi_campaign_avf_ci_half_width",
+               "Finite-population-corrected CI half-width of the running "
+               "AVF estimate",
+               label)
+        .set(components_[i].ci_half_width);
+  }
+}
+
+obs::MetricsSnapshot ServeMonitor::merged_snapshot() const {
+  std::map<std::uint64_t, obs::MetricsSnapshot> snaps;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snaps = worker_snapshots_;
+  }
+  // SIGKILL fallback: pids that never shipped a pipe snapshot may still
+  // have flushed a `<pid>.metrics` file after an earlier shard. Torn or
+  // corrupt files fail the seal check and are quarantined as skipped.
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(workers_dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    const std::string suffix = ".metrics";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string pid_str = name.substr(0, name.size() - suffix.size());
+    if (pid_str.empty() ||
+        pid_str.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const std::uint64_t pid = std::stoull(pid_str);
+    if (snaps.count(pid) != 0) continue;
+    const std::optional<std::string> content =
+        support::read_file(entry.path().string());
+    obs::MetricsSnapshot snap;
+    if (content && obs::decode_snapshot(*content, snap)) {
+      snaps.emplace(pid, std::move(snap));
+    } else {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++snapshots_skipped_;
+    }
+  }
+
+  obs::MetricsSnapshot merged = obs::Registry::instance().snapshot();
+  for (const auto& [pid, snap] : snaps) {
+    obs::merge_snapshot(merged, snap, std::to_string(pid));
+  }
+  return merged;
+}
+
+std::string ServeMonitor::metrics_text() const {
+  return obs::expose_text(merged_snapshot());
+}
+
+std::string ServeMonitor::status_json() const {
+  // Worker liveness and respawn totals live in the coordinator's own
+  // registry (the pool maintains them); read them out of a snapshot so
+  // /status needs no extra bookkeeping hooks.
+  const obs::MetricsSnapshot registry_snap =
+      obs::Registry::instance().snapshot();
+  double workers_up = 0;
+  double respawned = 0;
+  for (const obs::MetricsSnapshot::Family& family : registry_snap.families) {
+    if (family.name == "sefi_serve_worker_up") {
+      for (const obs::MetricsSnapshot::Series& series : family.series) {
+        workers_up += series.gauge;
+      }
+    } else if (family.name == "sefi_serve_workers_respawned_total") {
+      for (const obs::MetricsSnapshot::Series& series : family.series) {
+        respawned += static_cast<double>(series.counter);
+      }
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t now_ms = epoch_ms();
+  std::string out = "{";
+  out += "\"healthy\":true,";
+  out += "\"pool\":{\"workers\":" + std::to_string(pool_workers_) +
+         ",\"lease_ms\":" + std::to_string(pool_lease_ms_) +
+         ",\"respawn_budget\":" + std::to_string(pool_respawn_budget_) + "},";
+  out += "\"fleet\":{\"workers_up\":" + json_number(workers_up) +
+         ",\"workers_respawned\":" + json_number(respawned) +
+         ",\"worker_snapshots\":" + std::to_string(worker_snapshots_.size()) +
+         ",\"snapshots_folded\":" + std::to_string(snapshots_folded_) +
+         ",\"snapshots_skipped\":" + std::to_string(snapshots_skipped_) + "},";
+
+  out += "\"campaign\":";
+  if (campaign_key_.empty()) {
+    out += "null,";
+  } else {
+    std::uint64_t resolved = 0;
+    for (const ComponentView& view : components_) {
+      resolved += view.progress.classified;
+    }
+    std::uint64_t pending = 0, claimed = 0, done = 0, resumed = 0,
+                  reclaims = 0;
+    for (const ShardInfo& shard : shards_) {
+      switch (shard.state) {
+        case ShardState::kPending:
+          ++pending;
+          break;
+        case ShardState::kClaimed:
+          ++claimed;
+          break;
+        case ShardState::kDone:
+          ++done;
+          break;
+        case ShardState::kResumed:
+          ++resumed;
+          break;
+      }
+      reclaims += shard.reclaims;
+    }
+    out += "{\"key\":" + json_string(campaign_key_) +
+           ",\"workload\":" + json_string(campaign_workload_) +
+           ",\"state\":" +
+           json_string(campaign_done_
+                           ? "done"
+                           : (campaign_active_ ? "running" : "idle")) +
+           ",\"faults_per_component\":" +
+           std::to_string(faults_per_component_) +
+           ",\"total_injections\":" +
+           std::to_string(faults_per_component_ * microarch::kNumComponents) +
+           ",\"resolved_injections\":" + std::to_string(resolved) +
+           ",\"injections_per_sec\":" + json_number(injections_per_sec_) +
+           ",\"eta_seconds\":" + json_number(eta_seconds_) + ",";
+    out += "\"shards\":{\"total\":" + std::to_string(shards_.size()) +
+           ",\"pending\":" + std::to_string(pending) +
+           ",\"claimed\":" + std::to_string(claimed) +
+           ",\"done\":" + std::to_string(done) +
+           ",\"resumed\":" + std::to_string(resumed) +
+           ",\"reclaims\":" + std::to_string(reclaims) + "},";
+    out += "\"shard_states\":[";
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const ShardInfo& shard = shards_[i];
+      if (i != 0) out += ",";
+      const char* state = shard.state == ShardState::kPending   ? "pending"
+                          : shard.state == ShardState::kClaimed ? "claimed"
+                          : shard.state == ShardState::kDone    ? "done"
+                                                                : "resumed";
+      out += "{\"shard\":" + std::to_string(i) + ",\"state\":\"" + state +
+             "\",\"worker\":" + std::to_string(shard.worker) +
+             ",\"reclaims\":" + std::to_string(shard.reclaims);
+      if (shard.state == ShardState::kClaimed && shard.claim_epoch_ms > 0 &&
+          now_ms >= shard.claim_epoch_ms) {
+        out += ",\"lease_age_ms\":" +
+               std::to_string(now_ms - shard.claim_epoch_ms);
+      }
+      out += "}";
+    }
+    out += "],";
+    out += "\"components\":[";
+    for (std::size_t i = 0; i < microarch::kNumComponents; ++i) {
+      const ComponentView& view = components_[i];
+      const ComponentProgress& p = view.progress;
+      if (i != 0) out += ",";
+      out += "{\"component\":" +
+             json_string(
+                 microarch::component_name(microarch::kAllComponents[i])) +
+             ",\"resolved\":" + std::to_string(p.classified) +
+             ",\"sampled\":" + std::to_string(faults_per_component_) +
+             ",\"avf\":" + json_number(view.avf) +
+             ",\"ci_half_width\":" + json_number(view.ci_half_width) +
+             ",\"error_margin\":" + json_number(view.error_margin) +
+             ",\"counts\":{\"masked\":" + std::to_string(p.by_class[0]) +
+             ",\"sdc\":" + std::to_string(p.by_class[1]) +
+             ",\"app_crash\":" + std::to_string(p.by_class[2]) +
+             ",\"sys_crash\":" + std::to_string(p.by_class[3]) +
+             ",\"harness_error\":" + std::to_string(p.by_class[4]) +
+             ",\"detected\":" + std::to_string(p.by_class[5]) + "}}";
+    }
+    out += "]},";
+  }
+  out += "\"campaigns_served\":" + std::to_string(campaigns_served_) + "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// serve_fi_campaign
+// ---------------------------------------------------------------------------
 
 const fi::WorkloadFiResult& serve_fi_campaign(
     AssessmentLab& lab, const workloads::Workload& workload,
@@ -63,9 +573,17 @@ const fi::WorkloadFiResult& serve_fi_campaign(
   const std::string dir = lab.cache().directory();
   const std::string lease_path = dir + "/" + key + ".leases.journal";
   const std::string lease_header = "lease " + key;
+  const std::string workers_dir = config.monitor != nullptr
+                                      ? config.monitor->workers_dir()
+                                      : dir + "/serve/workers";
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(workers_dir, ec);
+  }
 
-  const std::uint64_t total =
-      lab.config().fi.faults_per_component * microarch::kNumComponents;
+  const std::uint64_t faults_per_component =
+      lab.config().fi.faults_per_component;
+  const std::uint64_t total = faults_per_component * microarch::kNumComponents;
   const std::uint64_t workers = std::max<std::uint64_t>(config.workers, 1);
   const std::uint64_t shard_count = std::max<std::uint64_t>(
       1, std::min<std::uint64_t>(
@@ -74,6 +592,49 @@ const fi::WorkloadFiResult& serve_fi_campaign(
   out.shards = shard_count;
   const auto shard_begin = [&](std::size_t shard) {
     return shard * total / shard_count;
+  };
+
+  if (config.monitor != nullptr) {
+    config.monitor->begin_campaign(key, workload.info().name,
+                                   faults_per_component, shard_count,
+                                   lab.config().fi.confidence);
+  }
+
+  // Mid-flight convergence: decode every shard journal on disk into
+  // per-component outcome tallies. Cheap at serve shard sizes, and
+  // reading the journals (not executor internals) means resumed and
+  // reclaimed work is counted exactly once.
+  const auto refresh_convergence = [&] {
+    if (config.monitor == nullptr) return;
+    std::array<ServeMonitor::ComponentProgress, microarch::kNumComponents>
+        progress{};
+    for (std::size_t shard = 0; shard < shard_count; ++shard) {
+      const support::TaskJournal::Status on_disk =
+          support::TaskJournal::inspect(shard_journal_path(dir, key, shard));
+      if (!on_disk.present ||
+          on_disk.header != shard_journal_header(key, shard)) {
+        continue;
+      }
+      for (const auto& [index, payload] : on_disk.entries) {
+        if (index == fi::kJournalTelemetryIndex) continue;
+        fi::Outcome outcome;
+        if (!fi::parse_journal_outcome(payload, &outcome)) continue;
+        const std::size_t component =
+            faults_per_component == 0
+                ? microarch::kNumComponents
+                : static_cast<std::size_t>(index / faults_per_component);
+        if (component >= microarch::kNumComponents) continue;
+        ServeMonitor::ComponentProgress& p = progress[component];
+        ++p.attempted;
+        const auto digit = static_cast<std::size_t>(outcome);
+        if (digit < p.by_class.size()) ++p.by_class[digit];
+        if (outcome != fi::Outcome::kHarnessError) {
+          ++p.classified;
+          if (outcome != fi::Outcome::kMasked) ++p.faulty;
+        }
+      }
+    }
+    config.monitor->update_convergence(progress);
   };
 
   // Coordinator resume: a shard whose lease journal says "done" and
@@ -97,6 +658,7 @@ const fi::WorkloadFiResult& serve_fi_campaign(
       }
       if (resumed) {
         ++out.shards_resumed;
+        if (config.monitor != nullptr) config.monitor->note_resumed(shard);
       } else {
         todo.push_back(shard);
       }
@@ -113,13 +675,69 @@ const fi::WorkloadFiResult& serve_fi_campaign(
       leases.record(todo[index], "claim " + std::to_string(worker) + " " +
                                      std::to_string(epoch_ms() +
                                                     config.lease_ms));
+      if (config.monitor != nullptr) {
+        config.monitor->note_assign(todo[index], worker);
+      }
     };
     pool.on_done = [&](std::size_t index, std::size_t worker) {
       leases.record(todo[index], "done " + std::to_string(worker));
+      if (config.monitor != nullptr) {
+        config.monitor->note_done(todo[index], worker);
+      }
     };
     pool.on_reclaim = [&](std::size_t index, std::size_t worker) {
       leases.record(todo[index], "reclaim " + std::to_string(worker));
+      if (config.monitor != nullptr) {
+        config.monitor->note_reclaim(todo[index], worker);
+      }
     };
+
+    // Each worker resets its inherited registry (its snapshots must
+    // carry only its own work — the coordinator's numbers are folded
+    // separately) and re-points the global forensics/trace files to
+    // pid-suffixed paths so N workers stop overwriting one another.
+    pool.child_init = [] {
+      obs::Registry::instance().reset();
+      const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+      if (obs::ForensicsSink* sink = obs::ForensicsSink::global()) {
+        obs::ForensicsSink::reopen_global(pid_suffixed(sink->path(), pid));
+      }
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        tracer.reset();  // drop the parent's buffered spans (it keeps its own)
+        tracer.enable(pid_suffixed(tracer.path(), pid));
+      }
+    };
+    pool.worker_snapshot = [&workers_dir]() -> std::string {
+      if (!obs::Registry::instance().enabled()) return std::string();
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) (void)tracer.flush();
+      const std::string payload =
+          obs::encode_snapshot(obs::Registry::instance().snapshot());
+      (void)support::write_file_atomic(
+          workers_dir + "/" + std::to_string(::getpid()) + ".metrics",
+          payload);
+      return payload;
+    };
+    pool.on_snapshot = [&](std::size_t, std::uint64_t pid,
+                           const std::string& payload) {
+      if (config.monitor != nullptr) {
+        config.monitor->fold_worker_snapshot(pid, payload);
+      }
+    };
+    if (config.monitor != nullptr || config.on_tick) {
+      auto next_refresh = std::chrono::steady_clock::now();
+      pool.on_tick = [&, next_refresh]() mutable {
+        const auto now = std::chrono::steady_clock::now();
+        if (config.monitor != nullptr && now >= next_refresh) {
+          next_refresh =
+              now + std::chrono::milliseconds(std::max<std::uint64_t>(
+                        config.monitor_refresh_ms, 50));
+          refresh_convergence();
+        }
+        if (config.on_tick) config.on_tick();
+      };
+    }
 
     // Worker-side state: the rig (golden run + checkpoint ladder) is
     // built once per worker process and reused across every shard the
@@ -156,6 +774,15 @@ const fi::WorkloadFiResult& serve_fi_campaign(
                                          shard_journal_header(key, shard));
       campaign.journal = &shard_journal;
       (void)fi::run_fi_campaign(*rig_slot, campaign);
+      // Counted inside the worker: the merged fleet view's sum across
+      // workers must equal the coordinator's own shards-done counter
+      // (the CI smoke asserts exactly that).
+      static obs::Counter& worker_done_metric =
+          obs::Registry::instance().counter(
+              "sefi_serve_worker_shards_done_total",
+              "Shards completed, counted inside the worker process that ran "
+              "them");
+      worker_done_metric.add();
     };
 
     const exec::ProcPoolReport report =
@@ -173,6 +800,7 @@ const fi::WorkloadFiResult& serve_fi_campaign(
     }
   }
   out.shards_done += out.shards_resumed;
+  refresh_convergence();  // the 100%-resolved view, before journals merge
 
   // Merge by journal concatenation: append every shard's outcome
   // records into the campaign's standard resume journal, then let the
@@ -203,6 +831,14 @@ const fi::WorkloadFiResult& serve_fi_campaign(
   // (none, on a completed pool) would simply execute here — the merge
   // is self-healing, never silently short.
   const fi::WorkloadFiResult& result = lab.run_fi(workload);
+
+  if (config.monitor != nullptr) config.monitor->finish_campaign(result);
+
+  // One artifact per campaign, not one per worker: concatenate the
+  // per-pid forensics JSONLs into the coordinator's file and fold the
+  // per-pid Chrome traces into `<trace>.workers.json`.
+  concat_worker_forensics();
+  combine_worker_traces();
 
   // The campaign is cached; the shard transport has served its purpose.
   std::error_code ec;

@@ -10,9 +10,11 @@
 //   1. *Fork-per-worker with a line protocol.* Workers are forked
 //      children connected by two pipes. The parent assigns work with
 //      "s <shard>\n", the child answers "d <shard>\n" (done) or
-//      "e <shard>\n" (the shard callback threw), and EOF on the command
-//      pipe tells the child to _exit. Children never return into the
-//      parent's stack.
+//      "e <shard>\n" (the shard callback threw), optionally preceded by
+//      "m <hex>\n" metric-snapshot lines (worker_snapshot hook; one
+//      more is flushed when the parent closes the command pipe), and
+//      EOF on the command pipe tells the child to _exit. Children never
+//      return into the parent's stack.
 //   2. *Dynamic assignment == work stealing.* Shards live in one pending
 //      queue; a worker gets its next shard the moment it finishes the
 //      last one, so a fast worker drains what a slow one never claimed.
@@ -56,6 +58,29 @@ struct ProcPoolConfig {
   std::function<void(std::size_t shard, std::size_t worker)> on_done;
   /// A shard came back: its holder died or its lease expired.
   std::function<void(std::size_t shard, std::size_t worker)> on_reclaim;
+
+  // --- Cross-process observability hooks (DESIGN.md §16) ---
+  /// Child-side hook run once right after fork, before the first
+  /// command is read. Serve uses it to reset the inherited metrics
+  /// registry and re-point trace/forensics files per pid.
+  std::function<void()> child_init;
+  /// Child-side snapshot provider, called after every shard completes
+  /// (success or error) and once more when the parent closes the
+  /// command pipe. A non-empty result is shipped to the parent as an
+  /// "m <hex(payload)>\n" reply line ahead of the "d"/"e" line, so the
+  /// parent folds the snapshot before it observes shard-done.
+  std::function<std::string()> worker_snapshot;
+  /// Parent-side sink for shipped snapshots. `pid` identifies the
+  /// producing process — keyed by pid, a respawned slot never clobbers
+  /// its predecessor's last payload.
+  std::function<void(std::size_t worker, std::uint64_t pid,
+                     const std::string& payload)>
+      on_snapshot;
+  /// Parent-side hook called every coordinator loop pass; when set, the
+  /// pool also caps its poll sleep at tick_ms so the hook keeps firing
+  /// while workers crunch. Serve services the HTTP plane here.
+  std::function<void()> on_tick;
+  std::uint64_t tick_ms = 50;
 };
 
 struct ProcPoolReport {

@@ -42,20 +42,75 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
+/// Hex transport coding for snapshot payloads: the reply pipe is
+/// line-delimited, so arbitrary payload bytes (newlines included)
+/// travel as two hex digits each.
+std::string hex_encode(const std::string& data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (unsigned char c : data) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+  }
+  return out;
+}
+
+bool hex_decode(const std::string& hex, std::string& out) {
+  out.clear();
+  if (hex.size() % 2 != 0) return false;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
 /// Child main loop: read "s <shard>" commands until EOF, run the shard
-/// callback, answer "d <shard>" / "e <shard>". Never returns — the
-/// child must not unwind into the parent's stack (atexit handlers,
-/// gtest state, buffered streams all belong to the parent image).
+/// callback, answer "d <shard>" / "e <shard>" (after an optional
+/// "m <hex>" snapshot line). Never returns — the child must not unwind
+/// into the parent's stack (atexit handlers, gtest state, buffered
+/// streams all belong to the parent image).
 [[noreturn]] void child_loop(
-    int cmd_fd, int res_fd,
+    int cmd_fd, int res_fd, const ProcPoolConfig& config,
     const std::function<void(std::size_t shard)>& run_shard) {
+  if (config.child_init) {
+    try {
+      config.child_init();
+    } catch (...) {
+      ::_exit(4);
+    }
+  }
+  const auto flush_snapshot = [&] {
+    if (!config.worker_snapshot) return true;
+    std::string payload;
+    try {
+      payload = config.worker_snapshot();
+    } catch (...) {
+      return true;  // snapshots are advisory; never fail the shard
+    }
+    if (payload.empty()) return true;
+    return write_all(res_fd, "m " + hex_encode(payload) + "\n");
+  };
   std::string buffer;
   char chunk[256];
   for (;;) {
     const std::size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
       const ssize_t n = read_retry(cmd_fd, chunk, sizeof(chunk));
-      if (n <= 0) ::_exit(0);  // parent closed the pipe: drain is over
+      if (n <= 0) {
+        // Parent closed the pipe: flush the exit snapshot, then leave.
+        flush_snapshot();
+        ::_exit(0);
+      }
       buffer.append(chunk, static_cast<std::size_t>(n));
       continue;
     }
@@ -73,6 +128,7 @@ bool write_all(int fd, const std::string& data) {
     } catch (...) {
       ok = false;
     }
+    if (!flush_snapshot()) ::_exit(3);
     const std::string reply =
         std::string(ok ? "d " : "e ") + std::to_string(shard) + "\n";
     if (!write_all(res_fd, reply)) ::_exit(3);
@@ -166,7 +222,7 @@ ProcPoolReport run_process_pool(
         if (other.cmd_fd >= 0) ::close(other.cmd_fd);
         if (other.res_fd >= 0) ::close(other.res_fd);
       }
-      child_loop(to_child[0], to_parent[1], run_shard);
+      child_loop(to_child[0], to_parent[1], config, run_shard);
     }
     ::close(to_child[0]);
     ::close(to_parent[1]);
@@ -181,13 +237,55 @@ ProcPoolReport run_process_pool(
     return true;
   };
 
+  const auto sink_snapshot_line = [&](std::size_t slot,
+                                      const std::string& line) {
+    if (line.size() < 2 || line[0] != 'm' || line[1] != ' ') return false;
+    std::string payload;
+    if (config.on_snapshot && hex_decode(line.substr(2), payload)) {
+      config.on_snapshot(slot, static_cast<std::uint64_t>(workers[slot].pid),
+                         payload);
+    }
+    return true;
+  };
+
   const auto retire = [&](std::size_t slot, bool kill_first) {
     Worker& worker = workers[slot];
     if (!worker.alive) return;
     if (kill_first) ::kill(worker.pid, SIGKILL);
     ::close(worker.cmd_fd);
+    worker.cmd_fd = -1;
+    if (!kill_first && config.worker_snapshot) {
+      // Closing the command pipe told the child to flush one last
+      // snapshot before _exit; drain trailing "m" lines until EOF,
+      // bounded so a wedged child cannot pin the coordinator.
+      const auto drain_deadline =
+          Clock::now() + std::chrono::milliseconds(5000);
+      char chunk[4096];
+      for (;;) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                drain_deadline - Clock::now())
+                .count();
+        if (remaining <= 0) break;
+        pollfd pfd{worker.res_fd, POLLIN, 0};
+        int ready;
+        do {
+          ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+        } while (ready < 0 && errno == EINTR);
+        if (ready <= 0) break;
+        const ssize_t n = read_retry(worker.res_fd, chunk, sizeof(chunk));
+        if (n <= 0) break;
+        worker.buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t newline;
+        while ((newline = worker.buffer.find('\n')) != std::string::npos) {
+          const std::string line = worker.buffer.substr(0, newline);
+          worker.buffer.erase(0, newline + 1);
+          sink_snapshot_line(slot, line);
+        }
+      }
+    }
     ::close(worker.res_fd);
-    worker.cmd_fd = worker.res_fd = -1;
+    worker.res_fd = -1;
     int status = 0;
     pid_t reaped;
     do {
@@ -276,10 +374,18 @@ ProcPoolReport run_process_pool(
       }
     }
     if (fds.empty()) break;
+    if (config.on_tick) {
+      // Cap the sleep so the tick hook keeps firing while workers
+      // crunch (serve's HTTP plane is serviced from it).
+      const int tick = static_cast<int>(std::min<std::uint64_t>(
+          std::max<std::uint64_t>(config.tick_ms, 1), 60'000));
+      timeout_ms = timeout_ms < 0 ? tick : std::min(timeout_ms, tick);
+    }
     int ready;
     do {
       ready = ::poll(fds.data(), fds.size(), timeout_ms);
     } while (ready < 0 && errno == EINTR);
+    if (config.on_tick) config.on_tick();
 
     // Replies and deaths.
     for (std::size_t i = 0; i < fds.size(); ++i) {
@@ -306,6 +412,7 @@ ProcPoolReport run_process_pool(
       while ((newline = worker.buffer.find('\n')) != std::string::npos) {
         const std::string line = worker.buffer.substr(0, newline);
         worker.buffer.erase(0, newline + 1);
+        if (sink_snapshot_line(slot, line)) continue;
         if (line.size() < 3 || (line[0] != 'd' && line[0] != 'e') ||
             line[1] != ' ') {
           continue;  // garbled reply; the lease/death machinery recovers

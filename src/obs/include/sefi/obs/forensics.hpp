@@ -89,6 +89,13 @@ class ForensicsSink {
   /// SEFI_TRACE is on. Created on first call.
   static ForensicsSink* global();
 
+  /// Replaces the global sink with one appending to `path`. No-op when
+  /// forensics are disabled (global() is null). Serve workers call this
+  /// right after fork with a pid-suffixed path so N workers stop
+  /// interleaving appends into the coordinator's file; the coordinator
+  /// concatenates the per-pid files back into one artifact on merge.
+  static void reopen_global(const std::string& path);
+
  private:
   std::string path_;
   mutable std::mutex mutex_;

@@ -1,0 +1,91 @@
+// Tiny dependency-free HTTP/1.1 server for the observability plane.
+//
+// Scope is deliberately minimal: loopback-only, GET-only, one handler,
+// Connection: close on every response. The server owns no thread —
+// poll_once() services the listening socket and every in-flight
+// connection for at most `timeout_ms`, so the caller decides the
+// concurrency model. `sefi_cli serve` drives it from the coordinator
+// loop (idle waits poll the socket instead of sleeping, and the
+// process-pool tick hook keeps it serviced mid-campaign); driving it
+// from the single coordinator thread side-steps every fork-vs-thread
+// hazard a background server thread would create when workers fork.
+//
+// Off by default everywhere: nothing binds a port unless start() is
+// called (serve only calls it when SEFI_HTTP_PORT is set).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sefi::obs {
+
+struct HttpRequest {
+  std::string method;  ///< "GET"
+  std::string path;    ///< "/metrics" — query string stripped
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts
+  /// listening. Returns false (server stays stopped) if the bind
+  /// fails, e.g. the port is taken.
+  bool start(std::uint16_t port);
+
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// The bound port (resolved after start(), useful with port 0).
+  int port() const { return port_; }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Services the socket for at most `timeout_ms` (0 = non-blocking
+  /// pass): accepts connections, reads requests, dispatches the
+  /// handler, flushes responses. Returns the number of responses
+  /// completed this call. No-op returning 0 when stopped.
+  std::size_t poll_once(int timeout_ms);
+
+  void stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::size_t sent = 0;
+    bool responding = false;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void accept_ready();
+  bool advance(Connection& conn);  ///< returns true when a response completed
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  Handler handler_;
+  std::vector<Connection> connections_;
+};
+
+/// Blocking loopback GET, for tests, the bench scraper, and CLI
+/// helpers. Returns std::nullopt on connect/read failure or a
+/// malformed response; otherwise status + content type + body.
+std::optional<HttpResponse> http_get(int port, const std::string& path,
+                                     int timeout_ms = 2000);
+
+}  // namespace sefi::obs

@@ -68,6 +68,12 @@ inline bool metrics_enabled() {
   return detail::metrics_enabled_flag().load(std::memory_order_relaxed);
 }
 
+/// Instrument type tag, shared by the registry internals and the
+/// point-in-time snapshot model (sefi/obs/snapshot.hpp).
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+struct MetricsSnapshot;
+
 /// Monotonic counter. add() from any thread; value() merges shards.
 class Counter {
  public:
@@ -188,8 +194,15 @@ class Registry {
 
   /// Prometheus text exposition format: families sorted by name, one
   /// HELP/TYPE pair per family, histogram buckets cumulative with an
-  /// +Inf bucket, _sum and _count series.
+  /// +Inf bucket, _sum and _count series. Equivalent to rendering
+  /// snapshot() through obs::expose_text(), so a merged multi-process
+  /// snapshot scrapes identically to a single-process registry.
   std::string expose_text() const;
+
+  /// Point-in-time copy of every registered instrument (families sorted
+  /// by name, series by labels). The canonical input to the snapshot
+  /// codec and merge in sefi/obs/snapshot.hpp.
+  MetricsSnapshot snapshot() const;
 
   /// Zeroes every registered instrument (registrations and cached
   /// references stay valid). For tests and the overhead microbench.
@@ -198,7 +211,6 @@ class Registry {
  private:
   Registry();
 
-  enum class Kind { kCounter, kGauge, kHistogram };
   struct Series {
     std::string labels;
     std::unique_ptr<Counter> counter;
@@ -207,7 +219,7 @@ class Registry {
   };
   struct Family {
     std::string help;
-    Kind kind = Kind::kCounter;
+    InstrumentKind kind = InstrumentKind::kCounter;
     std::vector<Series> series;  ///< in registration order
   };
 

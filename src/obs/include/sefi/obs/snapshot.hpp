@@ -1,0 +1,84 @@
+// Point-in-time metrics snapshots: the cross-process half of the
+// observability plane.
+//
+// A `MetricsSnapshot` is a plain-data copy of a Registry — every
+// family with its kind and help string, every series with its labels
+// and current value. It exists so that metric state can leave a
+// process: serve workers encode their registry after each shard and at
+// exit, ship the record over the coordinator pipe (and drop it under
+// `<serve>/workers/<pid>.metrics` as the SIGKILL-surviving fallback),
+// and the coordinator folds the records into one fleet-wide view that
+// scrapes exactly like a single-process registry would have.
+//
+// Codec guarantees:
+//   - encode/decode round-trips are bit-identical: doubles are encoded
+//     as their IEEE-754 bit patterns in hex, never through decimal.
+//   - every record is framed with the support::seal FNV-1a footer;
+//     decode_snapshot() rejects torn, truncated, or bit-flipped input
+//     outright (mirroring the result-cache corruption discipline), so
+//     a half-written worker file is quarantined as a skip, never a
+//     silently-wrong merge.
+//
+// Merge semantics (merge_snapshot):
+//   - counters with the same (name, labels) sum;
+//   - histograms with the same (name, labels) and identical bounds
+//     bucket-add (counts, per-bucket tallies, and sums all add);
+//   - gauges are *not* summed — a gauge is a per-process statement
+//     ("my worker slot is up", "my guest MIPS"), so when a non-empty
+//     `source` tag is given each merged-in gauge series gains a
+//     `src="<source>"` label and stands alone; with an empty source the
+//     incoming value overwrites in place (last-write-wins), which is
+//     what same-process folding wants.
+// Counter/histogram merge is associative and commutative by
+// construction (integer sums and bucket adds); tests prove it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sefi/obs/metrics.hpp"
+
+namespace sefi::obs {
+
+/// Plain-data image of a Registry. Families are kept sorted by name
+/// and series sorted by labels, so equal state implies equal encoding
+/// (and equal exposition) regardless of registration order.
+struct MetricsSnapshot {
+  struct Series {
+    std::string labels;                ///< label body without braces
+    std::uint64_t counter = 0;         ///< kCounter value
+    double gauge = 0.0;                ///< kGauge value
+    Histogram::Snapshot histogram;     ///< kHistogram state
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    InstrumentKind kind = InstrumentKind::kCounter;
+    std::vector<Series> series;
+  };
+  std::vector<Family> families;
+
+  /// Restores the canonical ordering after manual edits or merges.
+  void normalize();
+};
+
+/// Serializes a snapshot to the compact sealed text record described
+/// above. Output is stable: equal snapshots encode byte-identically.
+std::string encode_snapshot(const MetricsSnapshot& snapshot);
+
+/// Parses a record produced by encode_snapshot(). Returns false (and
+/// leaves `out` empty) on any corruption: bad seal footer, truncation,
+/// unknown directives, or malformed fields.
+bool decode_snapshot(const std::string& text, MetricsSnapshot& out);
+
+/// Folds `from` into `into` under the semantics documented above.
+/// `source` tags merged-in gauge series (use the worker pid); pass ""
+/// for last-write-wins gauge folding.
+void merge_snapshot(MetricsSnapshot& into, const MetricsSnapshot& from,
+                    const std::string& source = "");
+
+/// Prometheus text exposition of a snapshot. Registry::expose_text()
+/// is exactly expose_text(registry.snapshot()).
+std::string expose_text(const MetricsSnapshot& snapshot);
+
+}  // namespace sefi::obs

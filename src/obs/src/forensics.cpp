@@ -111,7 +111,9 @@ std::uint64_t ForensicsSink::records_written() const {
   return records_;
 }
 
-ForensicsSink* ForensicsSink::global() {
+namespace {
+
+std::unique_ptr<ForensicsSink>& global_sink() {
   static std::unique_ptr<ForensicsSink> sink = [] {
     if (!support::env::flag("SEFI_TRACE", false)) {
       return std::unique_ptr<ForensicsSink>();
@@ -119,7 +121,17 @@ ForensicsSink* ForensicsSink::global() {
     return std::make_unique<ForensicsSink>(
         support::env::str("SEFI_FORENSICS_FILE", "sefi_forensics.jsonl"));
   }();
-  return sink.get();
+  return sink;
+}
+
+}  // namespace
+
+ForensicsSink* ForensicsSink::global() { return global_sink().get(); }
+
+void ForensicsSink::reopen_global(const std::string& path) {
+  std::unique_ptr<ForensicsSink>& sink = global_sink();
+  if (!sink) return;  // forensics disabled: stay disabled
+  sink = std::make_unique<ForensicsSink>(path);
 }
 
 }  // namespace sefi::obs

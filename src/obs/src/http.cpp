@@ -1,0 +1,311 @@
+#include "sefi/obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace sefi::obs {
+
+namespace {
+
+/// A request (headers included) larger than this is a client error —
+/// the plane serves three fixed GET paths.
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+/// Connections that have not completed a request/response cycle within
+/// this window are dropped so a stuck client cannot pin a slot.
+constexpr std::chrono::seconds kConnectionDeadline{5};
+
+constexpr std::size_t kMaxConnections = 32;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    default:
+      return "Status";
+  }
+}
+
+std::string render_response(const HttpResponse& response) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << response.status << " " << status_text(response.status)
+     << "\r\n"
+     << "Content-Type: " << response.content_type << "\r\n"
+     << "Content-Length: " << response.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << response.body;
+  return os.str();
+}
+
+/// Parses "GET /path HTTP/1.1" out of a complete header block.
+bool parse_request_line(const std::string& in, HttpRequest& request) {
+  const std::size_t eol = in.find("\r\n");
+  if (eol == std::string::npos) return false;
+  std::istringstream line(in.substr(0, eol));
+  std::string version;
+  if (!(line >> request.method >> request.path >> version)) return false;
+  if (version.rfind("HTTP/", 0) != 0) return false;
+  const std::size_t query = request.path.find('?');
+  if (query != std::string::npos) request.path.resize(query);
+  return !request.path.empty() && request.path[0] == '/';
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(std::uint16_t port) {
+  if (running()) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return false;
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+void HttpServer::stop() {
+  for (Connection& conn : connections_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void HttpServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;
+    if (connections_.size() >= kMaxConnections) {
+      ::close(fd);
+      return;
+    }
+    Connection conn;
+    conn.fd = fd;
+    conn.deadline = std::chrono::steady_clock::now() + kConnectionDeadline;
+    connections_.push_back(std::move(conn));
+  }
+}
+
+bool HttpServer::advance(Connection& conn) {
+  if (!conn.responding) {
+    char buffer[2048];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        conn.in.append(buffer, static_cast<std::size_t>(n));
+        if (conn.in.size() > kMaxRequestBytes) {
+          HttpResponse overflow;
+          overflow.status = 431;
+          overflow.body = "request too large\n";
+          conn.out = render_response(overflow);
+          conn.responding = true;
+          break;
+        }
+        continue;
+      }
+      if (n == 0) {  // client hung up before a full request
+        ::close(conn.fd);
+        conn.fd = -1;
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      ::close(conn.fd);
+      conn.fd = -1;
+      return false;
+    }
+    if (!conn.responding && conn.in.find("\r\n\r\n") != std::string::npos) {
+      HttpRequest request;
+      HttpResponse response;
+      if (!parse_request_line(conn.in, request)) {
+        response.status = 400;
+        response.body = "bad request\n";
+      } else if (request.method != "GET") {
+        response.status = 405;
+        response.body = "method not allowed\n";
+      } else if (handler_) {
+        response = handler_(request);
+      } else {
+        response.status = 404;
+        response.body = "not found\n";
+      }
+      conn.out = render_response(response);
+      conn.responding = true;
+    }
+  }
+
+  if (conn.responding) {
+    while (conn.sent < conn.out.size()) {
+      const ssize_t n = ::send(conn.fd, conn.out.data() + conn.sent,
+                               conn.out.size() - conn.sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+      ::close(conn.fd);
+      conn.fd = -1;
+      return false;
+    }
+    ::close(conn.fd);
+    conn.fd = -1;
+    return true;
+  }
+  return false;
+}
+
+std::size_t HttpServer::poll_once(int timeout_ms) {
+  if (!running()) return 0;
+
+  std::vector<pollfd> fds;
+  fds.reserve(connections_.size() + 1);
+  fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  for (const Connection& conn : connections_) {
+    fds.push_back(pollfd{conn.fd,
+                         static_cast<short>(conn.responding ? POLLOUT : POLLIN),
+                         0});
+  }
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  std::size_t completed = 0;
+  if (ready > 0) {
+    if (fds[0].revents & POLLIN) accept_ready();
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+      Connection& conn = connections_[i];
+      const short revents = fds[i + 1].revents;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // POLLHUP can arrive with readable data still queued; let
+        // advance() drain it and discover the close itself.
+      }
+      if (revents != 0 && advance(conn)) ++completed;
+    }
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  for (Connection& conn : connections_) {
+    if (conn.fd >= 0 && now > conn.deadline) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [](const Connection& conn) { return conn.fd < 0; }),
+      connections_.end());
+  return completed;
+}
+
+std::optional<HttpResponse> http_get(int port, const std::string& path,
+                                     int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      raw.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    break;  // EOF (Connection: close) or timeout/error — parse what we have
+  }
+  ::close(fd);
+
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+  std::istringstream status_line(raw.substr(0, raw.find("\r\n")));
+  std::string version;
+  HttpResponse response;
+  if (!(status_line >> version >> response.status)) return std::nullopt;
+  if (version.rfind("HTTP/", 0) != 0) return std::nullopt;
+
+  // Pull Content-Type out of the headers; keep parsing forgiving.
+  std::istringstream headers(raw.substr(0, header_end));
+  std::string line;
+  while (std::getline(headers, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string prefix = "Content-Type:";
+    if (line.rfind(prefix, 0) == 0) {
+      std::size_t begin = prefix.size();
+      while (begin < line.size() && line[begin] == ' ') ++begin;
+      response.content_type = line.substr(begin);
+    }
+  }
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace sefi::obs

@@ -1,9 +1,8 @@
 #include "sefi/obs/metrics.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <sstream>
 
+#include "sefi/obs/snapshot.hpp"
 #include "sefi/support/env.hpp"
 
 namespace sefi::obs {
@@ -16,30 +15,6 @@ std::atomic<bool>& metrics_enabled_flag() {
 }
 
 }  // namespace detail
-
-namespace {
-
-/// Shortest-round-trip-ish double formatting for exposition output:
-/// "%.12g" renders integers without a trailing ".000000" and keeps
-/// enough digits for every bound/sum this codebase produces.
-std::string format_double(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
-  return buffer;
-}
-
-std::string series_name(const std::string& name, const std::string& labels) {
-  if (labels.empty()) return name;
-  return name + "{" + labels + "}";
-}
-
-/// Joins a series' label body with one extra label (histogram `le`).
-std::string with_label(const std::string& labels, const std::string& extra) {
-  if (labels.empty()) return extra;
-  return labels + "," + extra;
-}
-
-}  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
@@ -101,7 +76,7 @@ Counter& Registry::counter(const std::string& name, const std::string& help,
   const std::lock_guard<std::mutex> lock(mutex_);
   Family& family = families_[name];
   if (family.help.empty()) family.help = help;
-  family.kind = Kind::kCounter;
+  family.kind = InstrumentKind::kCounter;
   for (Series& series : family.series) {
     if (series.labels == labels) return *series.counter;
   }
@@ -117,7 +92,7 @@ Gauge& Registry::gauge(const std::string& name, const std::string& help,
   const std::lock_guard<std::mutex> lock(mutex_);
   Family& family = families_[name];
   if (family.help.empty()) family.help = help;
-  family.kind = Kind::kGauge;
+  family.kind = InstrumentKind::kGauge;
   for (Series& series : family.series) {
     if (series.labels == labels) return *series.gauge;
   }
@@ -135,7 +110,7 @@ Histogram& Registry::histogram(const std::string& name,
   const std::lock_guard<std::mutex> lock(mutex_);
   Family& family = families_[name];
   if (family.help.empty()) family.help = help;
-  family.kind = Kind::kHistogram;
+  family.kind = InstrumentKind::kHistogram;
   for (Series& series : family.series) {
     if (series.labels == labels) return *series.histogram;
   }
@@ -147,59 +122,39 @@ Histogram& Registry::histogram(const std::string& name,
 }
 
 std::string Registry::expose_text() const {
+  return obs::expose_text(snapshot());
+}
+
+MetricsSnapshot Registry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::ostringstream os;
+  MetricsSnapshot snap;
+  snap.families.reserve(families_.size());
   for (const auto& [name, family] : families_) {
-    os << "# HELP " << name << " " << family.help << "\n";
-    os << "# TYPE " << name << " ";
-    switch (family.kind) {
-      case Kind::kCounter:
-        os << "counter\n";
-        break;
-      case Kind::kGauge:
-        os << "gauge\n";
-        break;
-      case Kind::kHistogram:
-        os << "histogram\n";
-        break;
-    }
+    MetricsSnapshot::Family out;
+    out.name = name;
+    out.help = family.help;
+    out.kind = family.kind;
+    out.series.reserve(family.series.size());
     for (const Series& series : family.series) {
+      MetricsSnapshot::Series s;
+      s.labels = series.labels;
       switch (family.kind) {
-        case Kind::kCounter:
-          os << series_name(name, series.labels) << " "
-             << series.counter->value() << "\n";
+        case InstrumentKind::kCounter:
+          s.counter = series.counter->value();
           break;
-        case Kind::kGauge:
-          os << series_name(name, series.labels) << " "
-             << format_double(series.gauge->value()) << "\n";
+        case InstrumentKind::kGauge:
+          s.gauge = series.gauge->value();
           break;
-        case Kind::kHistogram: {
-          const Histogram::Snapshot snap = series.histogram->snapshot();
-          std::uint64_t cumulative = 0;
-          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
-            cumulative += snap.buckets[i];
-            os << series_name(
-                      name + "_bucket",
-                      with_label(series.labels, "le=\"" +
-                                                    format_double(
-                                                        snap.bounds[i]) +
-                                                    "\""))
-               << " " << cumulative << "\n";
-          }
-          cumulative += snap.buckets.back();
-          os << series_name(name + "_bucket",
-                            with_label(series.labels, "le=\"+Inf\""))
-             << " " << cumulative << "\n";
-          os << series_name(name + "_sum", series.labels) << " "
-             << format_double(snap.sum) << "\n";
-          os << series_name(name + "_count", series.labels) << " "
-             << snap.count << "\n";
+        case InstrumentKind::kHistogram:
+          s.histogram = series.histogram->snapshot();
           break;
-        }
       }
+      out.series.push_back(std::move(s));
     }
+    snap.families.push_back(std::move(out));
   }
-  return os.str();
+  snap.normalize();
+  return snap;
 }
 
 void Registry::reset() {

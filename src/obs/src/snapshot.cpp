@@ -1,0 +1,402 @@
+#include "sefi/obs/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "sefi/support/seal.hpp"
+
+namespace sefi::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Field encoding helpers.
+//
+// Names are Prometheus identifiers (no spaces by construction), so they
+// travel raw. Help strings and label bodies may hold spaces, quotes,
+// and commas, so they travel hex-encoded — the record stays line- and
+// space-delimited with no quoting grammar to get wrong. Doubles travel
+// as IEEE-754 bit patterns so round-trips are bit-identical even for
+// values "%.17g" would mangle (NaN payloads, signed zero).
+// ---------------------------------------------------------------------------
+
+std::string hex_string(const std::string& text) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size() * 2);
+  for (unsigned char c : text) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+  }
+  if (out.empty()) out = "-";  // empty field marker keeps tokens non-empty
+  return out;
+}
+
+bool unhex_string(const std::string& hex, std::string& out) {
+  out.clear();
+  if (hex == "-") return true;
+  if (hex.size() % 2 != 0) return false;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::string hex_double(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buffer;
+}
+
+bool unhex_double(const std::string& hex, double& out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    bits = (bits << 4) | static_cast<std::uint64_t>(v);
+  }
+  std::memcpy(&out, &bits, sizeof(out));
+  return true;
+}
+
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  out = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+char kind_tag(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return 'c';
+    case InstrumentKind::kGauge:
+      return 'g';
+    case InstrumentKind::kHistogram:
+      return 'h';
+  }
+  return '?';
+}
+
+bool tag_kind(const std::string& tag, InstrumentKind& out) {
+  if (tag == "c") {
+    out = InstrumentKind::kCounter;
+  } else if (tag == "g") {
+    out = InstrumentKind::kGauge;
+  } else if (tag == "h") {
+    out = InstrumentKind::kHistogram;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition helpers (shared shape with the old Registry::expose_text).
+// ---------------------------------------------------------------------------
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+std::string series_name(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+std::string with_label(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  return labels + "," + extra;
+}
+
+MetricsSnapshot::Family* find_family(MetricsSnapshot& snapshot,
+                                     const std::string& name) {
+  for (MetricsSnapshot::Family& family : snapshot.families) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot::Series* find_series(MetricsSnapshot::Family& family,
+                                     const std::string& labels) {
+  for (MetricsSnapshot::Series& series : family.series) {
+    if (series.labels == labels) return &series;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void MetricsSnapshot::normalize() {
+  std::sort(families.begin(), families.end(),
+            [](const Family& a, const Family& b) { return a.name < b.name; });
+  for (Family& family : families) {
+    std::sort(
+        family.series.begin(), family.series.end(),
+        [](const Series& a, const Series& b) { return a.labels < b.labels; });
+  }
+}
+
+std::string encode_snapshot(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "sefi-metrics 1\n";
+  for (const MetricsSnapshot::Family& family : snapshot.families) {
+    os << "family " << family.name << " " << kind_tag(family.kind) << " "
+       << hex_string(family.help) << "\n";
+    for (const MetricsSnapshot::Series& series : family.series) {
+      switch (family.kind) {
+        case InstrumentKind::kCounter:
+          os << "c " << hex_string(series.labels) << " " << series.counter
+             << "\n";
+          break;
+        case InstrumentKind::kGauge:
+          os << "g " << hex_string(series.labels) << " "
+             << hex_double(series.gauge) << "\n";
+          break;
+        case InstrumentKind::kHistogram: {
+          const Histogram::Snapshot& h = series.histogram;
+          os << "h " << hex_string(series.labels) << " " << h.count << " "
+             << hex_double(h.sum) << " " << h.bounds.size();
+          for (double bound : h.bounds) os << " " << hex_double(bound);
+          for (std::uint64_t bucket : h.buckets) os << " " << bucket;
+          os << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return support::seal(os.str());
+}
+
+bool decode_snapshot(const std::string& text, MetricsSnapshot& out) {
+  out = MetricsSnapshot{};
+  const std::optional<std::string> payload = support::unseal(text);
+  if (!payload) return false;
+
+  std::istringstream is(*payload);
+  std::string line;
+  bool saw_header = false;
+  MetricsSnapshot parsed;
+  MetricsSnapshot::Family* family = nullptr;
+  while (std::getline(is, line)) {
+    std::istringstream fields(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) tokens.push_back(token);
+    if (tokens.empty()) return false;
+
+    if (!saw_header) {
+      if (tokens.size() != 2 || tokens[0] != "sefi-metrics" ||
+          tokens[1] != "1") {
+        return false;
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (tokens[0] == "family") {
+      if (tokens.size() != 4 || !valid_metric_name(tokens[1])) return false;
+      MetricsSnapshot::Family next;
+      next.name = tokens[1];
+      if (!tag_kind(tokens[2], next.kind)) return false;
+      if (!unhex_string(tokens[3], next.help)) return false;
+      parsed.families.push_back(std::move(next));
+      family = &parsed.families.back();
+      continue;
+    }
+
+    if (!family) return false;
+    MetricsSnapshot::Series series;
+    if (tokens[0] == "c" && family->kind == InstrumentKind::kCounter) {
+      if (tokens.size() != 3) return false;
+      if (!unhex_string(tokens[1], series.labels)) return false;
+      if (!parse_u64(tokens[2], series.counter)) return false;
+    } else if (tokens[0] == "g" && family->kind == InstrumentKind::kGauge) {
+      if (tokens.size() != 3) return false;
+      if (!unhex_string(tokens[1], series.labels)) return false;
+      if (!unhex_double(tokens[2], series.gauge)) return false;
+    } else if (tokens[0] == "h" &&
+               family->kind == InstrumentKind::kHistogram) {
+      if (tokens.size() < 5) return false;
+      if (!unhex_string(tokens[1], series.labels)) return false;
+      Histogram::Snapshot& h = series.histogram;
+      if (!parse_u64(tokens[2], h.count)) return false;
+      if (!unhex_double(tokens[3], h.sum)) return false;
+      std::uint64_t nbounds = 0;
+      if (!parse_u64(tokens[4], nbounds)) return false;
+      // nbounds bound tokens plus nbounds+1 bucket tokens follow.
+      if (tokens.size() != 5 + nbounds + nbounds + 1) return false;
+      h.bounds.resize(nbounds);
+      for (std::uint64_t i = 0; i < nbounds; ++i) {
+        if (!unhex_double(tokens[5 + i], h.bounds[i])) return false;
+      }
+      h.buckets.resize(nbounds + 1);
+      for (std::uint64_t i = 0; i < nbounds + 1; ++i) {
+        if (!parse_u64(tokens[5 + nbounds + i], h.buckets[i])) return false;
+      }
+    } else {
+      return false;
+    }
+    family->series.push_back(std::move(series));
+  }
+  if (!saw_header) return false;
+  out = std::move(parsed);
+  return true;
+}
+
+void merge_snapshot(MetricsSnapshot& into, const MetricsSnapshot& from,
+                    const std::string& source) {
+  for (const MetricsSnapshot::Family& src_family : from.families) {
+    MetricsSnapshot::Family* dst_family = find_family(into, src_family.name);
+    if (!dst_family) {
+      MetricsSnapshot::Family fresh;
+      fresh.name = src_family.name;
+      fresh.help = src_family.help;
+      fresh.kind = src_family.kind;
+      into.families.push_back(std::move(fresh));
+      dst_family = &into.families.back();
+    } else if (dst_family->kind != src_family.kind) {
+      // Same name registered as different kinds can only happen across
+      // binary versions; refuse to mix rather than fabricate numbers.
+      continue;
+    }
+    if (dst_family->help.empty()) dst_family->help = src_family.help;
+
+    for (const MetricsSnapshot::Series& src : src_family.series) {
+      switch (src_family.kind) {
+        case InstrumentKind::kCounter: {
+          MetricsSnapshot::Series* dst = find_series(*dst_family, src.labels);
+          if (dst) {
+            dst->counter += src.counter;
+          } else {
+            dst_family->series.push_back(src);
+          }
+          break;
+        }
+        case InstrumentKind::kHistogram: {
+          MetricsSnapshot::Series* dst = find_series(*dst_family, src.labels);
+          if (dst && dst->histogram.bounds == src.histogram.bounds) {
+            for (std::size_t i = 0; i < dst->histogram.buckets.size(); ++i) {
+              dst->histogram.buckets[i] += src.histogram.buckets[i];
+            }
+            dst->histogram.count += src.histogram.count;
+            dst->histogram.sum += src.histogram.sum;
+          } else if (!dst) {
+            dst_family->series.push_back(src);
+          }
+          // Bounds mismatch with an existing series: drop rather than
+          // add apples to oranges (cannot happen within one build).
+          break;
+        }
+        case InstrumentKind::kGauge: {
+          MetricsSnapshot::Series tagged = src;
+          if (!source.empty()) {
+            tagged.labels = with_label(src.labels, "src=\"" + source + "\"");
+          }
+          MetricsSnapshot::Series* dst =
+              find_series(*dst_family, tagged.labels);
+          if (dst) {
+            dst->gauge = tagged.gauge;
+          } else {
+            dst_family->series.push_back(std::move(tagged));
+          }
+          break;
+        }
+      }
+    }
+  }
+  into.normalize();
+}
+
+std::string expose_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const MetricsSnapshot::Family& family : snapshot.families) {
+    os << "# HELP " << family.name << " " << family.help << "\n";
+    os << "# TYPE " << family.name << " ";
+    switch (family.kind) {
+      case InstrumentKind::kCounter:
+        os << "counter\n";
+        break;
+      case InstrumentKind::kGauge:
+        os << "gauge\n";
+        break;
+      case InstrumentKind::kHistogram:
+        os << "histogram\n";
+        break;
+    }
+    for (const MetricsSnapshot::Series& series : family.series) {
+      switch (family.kind) {
+        case InstrumentKind::kCounter:
+          os << series_name(family.name, series.labels) << " "
+             << series.counter << "\n";
+          break;
+        case InstrumentKind::kGauge:
+          os << series_name(family.name, series.labels) << " "
+             << format_double(series.gauge) << "\n";
+          break;
+        case InstrumentKind::kHistogram: {
+          const Histogram::Snapshot& snap = series.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            cumulative += snap.buckets[i];
+            os << series_name(
+                      family.name + "_bucket",
+                      with_label(series.labels,
+                                 "le=\"" + format_double(snap.bounds[i]) +
+                                     "\""))
+               << " " << cumulative << "\n";
+          }
+          if (!snap.buckets.empty()) cumulative += snap.buckets.back();
+          os << series_name(family.name + "_bucket",
+                            with_label(series.labels, "le=\"+Inf\""))
+             << " " << cumulative << "\n";
+          os << series_name(family.name + "_sum", series.labels) << " "
+             << format_double(snap.sum) << "\n";
+          os << series_name(family.name + "_count", series.labels) << " "
+             << snap.count << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sefi::obs

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
 
+#include "sefi/obs/metrics.hpp"
+#include "sefi/obs/snapshot.hpp"
 #include "sefi/support/error.hpp"
+#include "sefi/support/fsio.hpp"
 
 namespace sefi::core {
 namespace {
@@ -129,6 +133,101 @@ TEST_F(ServiceTest, ShardTransportFilesAreCleanedUpAfterMerge) {
     EXPECT_EQ(name.find(".shard"), std::string::npos) << name;
     EXPECT_EQ(name.find(".leases."), std::string::npos) << name;
   }
+}
+
+// The observability tentpole, end to end in-process: workers drop
+// decodable `<pid>.metrics` fallback files, the merged fleet view's
+// worker-done counter equals the coordinator's shard count, and /status
+// lands on the final estimator's per-component AVF.
+TEST_F(ServiceTest, FleetViewMergesWorkerSnapshotsAndConverges) {
+  const bool was_enabled = obs::metrics_enabled();
+  obs::Registry::instance().set_enabled(true);
+  obs::Registry::instance().reset();
+
+  const auto& w = workloads::workload_by_name("CRC32");
+  const std::string dir = use_cache("fleet");
+  AssessmentLab lab(tiny_config());
+  ServeMonitor monitor(dir + "/serve/workers");
+  monitor.set_pool_info(3, 0, 16);
+  ServeConfig config;
+  config.workers = 3;
+  config.shards_per_worker = 2;
+  config.lease_ms = 0;
+  config.monitor = &monitor;
+  config.monitor_refresh_ms = 50;
+  std::uint64_t ticks = 0;
+  config.on_tick = [&] { ++ticks; };
+  ServeStats stats;
+  const fi::WorkloadFiResult& result =
+      serve_fi_campaign(lab, w, config, &stats);
+  EXPECT_EQ(stats.shards_done, stats.shards);
+  EXPECT_GT(ticks, 0u);
+
+  // Every worker left a SIGKILL-surviving fallback file, and each one
+  // decodes (atomic publish: a scrape never sees a torn file).
+  std::size_t metrics_files = 0;
+  for (const auto& entry : fs::directory_iterator(monitor.workers_dir())) {
+    if (entry.path().extension() != ".metrics") continue;
+    ++metrics_files;
+    const auto content = support::read_file(entry.path().string());
+    ASSERT_TRUE(content.has_value());
+    obs::MetricsSnapshot snap;
+    EXPECT_TRUE(obs::decode_snapshot(*content, snap)) << entry.path();
+  }
+  EXPECT_GT(metrics_files, 0u);
+
+  // Fleet counter equality: the workers' own shards-done counter,
+  // summed across the merged view, equals the coordinator's count.
+  const obs::MetricsSnapshot merged = monitor.merged_snapshot();
+  std::uint64_t worker_done = 0;
+  for (const auto& family : merged.families) {
+    if (family.name != "sefi_serve_worker_shards_done_total") continue;
+    for (const auto& series : family.series) worker_done += series.counter;
+  }
+  EXPECT_EQ(worker_done, stats.shards_done);
+
+  // /metrics is the Prometheus exposition of that merged view, and the
+  // convergence gauges are in it.
+  const std::string text = monitor.metrics_text();
+  EXPECT_NE(text.find("sefi_serve_worker_shards_done_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("sefi_campaign_avf_estimate{component=\"L1D\"}"),
+            std::string::npos);
+
+  // /status: shard dispositions all done, and the per-component AVF has
+  // been pinned to the final campaign estimator.
+  const std::string status = monitor.status_json();
+  EXPECT_NE(status.find("\"healthy\":true"), std::string::npos);
+  EXPECT_NE(status.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(status.find("\"workload\":\"CRC32\""), std::string::npos);
+  EXPECT_NE(status.find("\"shards\":{\"total\":" +
+                        std::to_string(stats.shards)),
+            std::string::npos);
+  char avf[64];
+  std::snprintf(avf, sizeof(avf), "\"avf\":%.12g",
+                result.components[0].avf());
+  EXPECT_NE(status.find(avf), std::string::npos);
+
+  obs::Registry::instance().reset();
+  obs::Registry::instance().set_enabled(was_enabled);
+}
+
+// Corrupt fallback files are quarantined, never merged: a torn
+// `<pid>.metrics` must not poison the fleet view.
+TEST_F(ServiceTest, TornWorkerMetricsFileIsSkippedNotMerged) {
+  const std::string dir = use_cache("torn");
+  ServeMonitor monitor(dir + "/serve/workers");
+  ASSERT_TRUE(support::write_file_atomic(
+      monitor.workers_dir() + "/12345.metrics", "sefi-metrics 1\ntruncated"));
+  const obs::MetricsSnapshot merged = monitor.merged_snapshot();
+  for (const auto& family : merged.families) {
+    for (const auto& series : family.series) {
+      EXPECT_EQ(series.labels.find("src=\"12345\""), std::string::npos)
+          << family.name;
+    }
+  }
+  const std::string status = monitor.status_json();
+  EXPECT_NE(status.find("\"snapshots_skipped\":1"), std::string::npos);
 }
 
 TEST_F(ServiceTest, ThrowsWithoutAJournalingCache) {

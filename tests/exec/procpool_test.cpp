@@ -149,5 +149,88 @@ TEST_F(ProcPoolTest, ExpiredLeaseIsKilledAndReassigned) {
   EXPECT_EQ(size_of("shard-0"), 1u);
 }
 
+TEST_F(ProcPoolTest, WorkerSnapshotsShipAfterEveryShardAndAtExit) {
+  ProcPoolConfig config;
+  config.workers = 2;
+  // child_init runs in the child: prove it via a filesystem side effect.
+  config.child_init = [this] { touch_append("init"); };
+  // The payload is produced in the child; ship something the parent can
+  // attribute (the pid travels alongside, so content = shard marker).
+  config.worker_snapshot = [] { return std::string("snap"); };
+  std::vector<std::pair<std::uint64_t, std::string>> shipped;
+  config.on_snapshot = [&](std::size_t, std::uint64_t pid,
+                           const std::string& payload) {
+    shipped.emplace_back(pid, payload);
+  };
+  const ProcPoolReport report = run_process_pool(config, 6, [&](std::size_t shard) {
+    touch_append("shard-" + std::to_string(shard));
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.shards_done, 6u);
+  // child_init ran once per forked worker.
+  EXPECT_EQ(size_of("init"), config.workers);
+  // One snapshot per finished shard plus one exit flush per worker.
+  EXPECT_EQ(shipped.size(), 6u + config.workers);
+  for (const auto& [pid, payload] : shipped) {
+    EXPECT_GT(pid, 0u);
+    EXPECT_EQ(payload, "snap");
+  }
+}
+
+TEST_F(ProcPoolTest, EmptyWorkerSnapshotIsNotShipped) {
+  ProcPoolConfig config;
+  config.workers = 2;
+  config.worker_snapshot = [] { return std::string(); };
+  std::size_t shipped = 0;
+  config.on_snapshot = [&](std::size_t, std::uint64_t, const std::string&) {
+    ++shipped;
+  };
+  const ProcPoolReport report =
+      run_process_pool(config, 4, [&](std::size_t) {});
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(shipped, 0u);
+}
+
+TEST_F(ProcPoolTest, OnTickFiresWhileWorkersRun) {
+  ProcPoolConfig config;
+  config.workers = 2;
+  config.tick_ms = 10;
+  std::uint64_t ticks = 0;
+  config.on_tick = [&] { ++ticks; };
+  const ProcPoolReport report = run_process_pool(config, 2, [](std::size_t) {
+    ::usleep(100'000);  // 100 ms: several tick windows per shard
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_GE(ticks, 3u);
+}
+
+TEST_F(ProcPoolTest, SnapshotFromDyingWorkerDoesNotWedgeThePool) {
+  ProcPoolConfig config;
+  config.workers = 2;
+  config.worker_snapshot = [] { return std::string("last words"); };
+  std::vector<std::string> payloads;
+  config.on_snapshot = [&](std::size_t, std::uint64_t,
+                           const std::string& payload) {
+    payloads.push_back(payload);
+  };
+  const ProcPoolReport report = run_process_pool(config, 4, [&](std::size_t shard) {
+    const int fd = ::open(path("killed").c_str(),
+                          O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      ::kill(::getpid(), SIGKILL);  // no exit snapshot from this one
+    }
+    touch_append("shard-" + std::to_string(shard));
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.shards_done, 4u);
+  EXPECT_GE(report.worker_deaths, 1u);
+  // Every payload that did arrive is intact; the SIGKILL'd worker's
+  // missing flush is simply absent, never a torn line.
+  for (const std::string& payload : payloads) {
+    EXPECT_EQ(payload, "last words");
+  }
+}
+
 }  // namespace
 }  // namespace sefi::exec

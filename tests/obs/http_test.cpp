@@ -1,0 +1,109 @@
+#include "sefi/obs/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace sefi::obs {
+namespace {
+
+// The server is poll-driven by design (the serve coordinator services
+// it between worker-pipe events, never from a thread). Tests therefore
+// put the *client* on a thread and keep pumping poll_once() on this one
+// until the client comes back.
+std::optional<HttpResponse> fetch(HttpServer& server, const std::string& path) {
+  std::optional<HttpResponse> response;
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    response = http_get(server.port(), path);
+    done.store(true);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!done.load() && std::chrono::steady_clock::now() < deadline) {
+    server.poll_once(50);
+  }
+  client.join();
+  return response;
+}
+
+TEST(HttpServer, ServesMetricsStatusAndHealthz) {
+  HttpServer server;
+  ASSERT_TRUE(server.start(0));  // ephemeral loopback port
+  ASSERT_GT(server.port(), 0);
+  server.set_handler([](const HttpRequest& request) {
+    HttpResponse response;
+    if (request.path == "/metrics") {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body =
+          "# HELP t_total help\n# TYPE t_total counter\nt_total 3\n";
+    } else if (request.path == "/status") {
+      response.content_type = "application/json";
+      response.body = "{\"healthy\":true}";
+    } else if (request.path == "/healthz") {
+      response.body = "ok\n";
+    } else {
+      response.status = 404;
+      response.body = "not found\n";
+    }
+    return response;
+  });
+
+  const auto metrics = fetch(server, "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->content_type.find("text/plain"), std::string::npos);
+  // Exposition shape: HELP then TYPE then the sample line.
+  EXPECT_NE(metrics->body.find("# HELP t_total"), std::string::npos);
+  EXPECT_NE(metrics->body.find("# TYPE t_total counter"), std::string::npos);
+  EXPECT_NE(metrics->body.find("t_total 3\n"), std::string::npos);
+
+  const auto status = fetch(server, "/status");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->status, 200);
+  EXPECT_EQ(status->content_type, "application/json");
+  EXPECT_EQ(status->body, "{\"healthy\":true}");
+
+  const auto healthz = fetch(server, "/healthz");
+  ASSERT_TRUE(healthz.has_value());
+  EXPECT_EQ(healthz->status, 200);
+  EXPECT_EQ(healthz->body, "ok\n");
+
+  const auto missing = fetch(server, "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, SequentialRequestsOnOneServer) {
+  HttpServer server;
+  ASSERT_TRUE(server.start(0));
+  std::atomic<int> served{0};
+  server.set_handler([&](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "n=" + std::to_string(served.fetch_add(1));
+    return response;
+  });
+  for (int i = 0; i < 5; ++i) {
+    const auto response = fetch(server, "/");
+    ASSERT_TRUE(response.has_value()) << i;
+    EXPECT_EQ(response->body, "n=" + std::to_string(i));
+  }
+  EXPECT_EQ(served.load(), 5);
+}
+
+TEST(HttpServer, StartFailsOnPortAlreadyBound) {
+  HttpServer first;
+  ASSERT_TRUE(first.start(0));
+  HttpServer second;
+  EXPECT_FALSE(second.start(static_cast<std::uint16_t>(first.port())));
+}
+
+}  // namespace
+}  // namespace sefi::obs

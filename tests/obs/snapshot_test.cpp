@@ -1,0 +1,274 @@
+#include "sefi/obs/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sefi/obs/metrics.hpp"
+
+namespace sefi::obs {
+namespace {
+
+// A snapshot with every instrument kind, awkward label strings, and
+// doubles whose decimal round-trip would lose bits (the codec ships IEEE
+// bit patterns, so none may).
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot snap;
+
+  MetricsSnapshot::Family counters;
+  counters.name = "snap_test_events_total";
+  counters.help = "events with \"quotes\" and\nnewlines";
+  counters.kind = InstrumentKind::kCounter;
+  counters.series.push_back({"", 41, 0.0, {}});
+  counters.series.push_back({"class=\"sdc\",src=\"a b\"", 7, 0.0, {}});
+  snap.families.push_back(counters);
+
+  MetricsSnapshot::Family gauges;
+  gauges.name = "snap_test_level";
+  gauges.help = "a gauge";
+  gauges.kind = InstrumentKind::kGauge;
+  gauges.series.push_back({"", 0, 0.1 + 0.2, {}});  // not representable
+  gauges.series.push_back({"k=\"v\"", 0, -1.5e-300, {}});
+  snap.families.push_back(gauges);
+
+  MetricsSnapshot::Family histos;
+  histos.name = "snap_test_seconds";
+  histos.help = "latency";
+  histos.kind = InstrumentKind::kHistogram;
+  Histogram::Snapshot h;
+  h.bounds = {1.0, 2.5, 10.0};
+  h.buckets = {3, 1, 0, 2};  // bounds + implicit +Inf
+  h.count = 6;
+  h.sum = 123.456789012345;
+  histos.series.push_back({"path=\"/metrics\"", 0, 0.0, h});
+  snap.families.push_back(histos);
+
+  snap.normalize();
+  return snap;
+}
+
+TEST(SnapshotCodec, RoundTripIsBitIdentical) {
+  const MetricsSnapshot original = sample_snapshot();
+  const std::string encoded = encode_snapshot(original);
+
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(decode_snapshot(encoded, decoded));
+
+  // Bit-identity, not approximate equality: re-encoding the decoded
+  // snapshot must reproduce the exact bytes (doubles travel as IEEE bit
+  // patterns, and normalize() makes the family/series order canonical).
+  EXPECT_EQ(encode_snapshot(decoded), encoded);
+  // And the Prometheus exposition agrees too.
+  EXPECT_EQ(expose_text(decoded), expose_text(original));
+}
+
+TEST(SnapshotCodec, EmptySnapshotRoundTrips) {
+  MetricsSnapshot empty;
+  const std::string encoded = encode_snapshot(empty);
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(decode_snapshot(encoded, decoded));
+  EXPECT_TRUE(decoded.families.empty());
+}
+
+TEST(SnapshotCodec, TruncationAndCorruptionAreRejected) {
+  const std::string encoded = encode_snapshot(sample_snapshot());
+  MetricsSnapshot scratch;
+
+  // Every proper prefix is torn — the seal footer must refuse it.
+  for (std::size_t len = 0; len < encoded.size(); len += 7) {
+    EXPECT_FALSE(decode_snapshot(encoded.substr(0, len), scratch)) << len;
+  }
+  // A single flipped byte anywhere breaks the checksum.
+  for (std::size_t i = 0; i < encoded.size(); i += 11) {
+    std::string corrupt = encoded;
+    corrupt[i] ^= 0x20;
+    EXPECT_FALSE(decode_snapshot(corrupt, scratch)) << i;
+  }
+  EXPECT_FALSE(decode_snapshot("", scratch));
+  EXPECT_FALSE(decode_snapshot("not a snapshot at all", scratch));
+}
+
+// --- merge semantics -------------------------------------------------------
+
+MetricsSnapshot counter_snap(const std::string& name, std::uint64_t value,
+                             const std::string& labels = "") {
+  MetricsSnapshot snap;
+  MetricsSnapshot::Family family;
+  family.name = name;
+  family.help = "h";
+  family.kind = InstrumentKind::kCounter;
+  family.series.push_back({labels, value, 0.0, {}});
+  snap.families.push_back(family);
+  snap.normalize();
+  return snap;
+}
+
+MetricsSnapshot histo_snap(const std::string& name,
+                           std::vector<double> bounds,
+                           std::vector<std::uint64_t> buckets,
+                           std::uint64_t count, double sum) {
+  MetricsSnapshot snap;
+  MetricsSnapshot::Family family;
+  family.name = name;
+  family.help = "h";
+  family.kind = InstrumentKind::kHistogram;
+  Histogram::Snapshot h;
+  h.bounds = std::move(bounds);
+  h.buckets = std::move(buckets);
+  h.count = count;
+  h.sum = sum;
+  family.series.push_back({"", 0, 0.0, h});
+  snap.families.push_back(family);
+  snap.normalize();
+  return snap;
+}
+
+std::uint64_t counter_value(const MetricsSnapshot& snap,
+                            const std::string& name,
+                            const std::string& labels = "") {
+  for (const auto& family : snap.families) {
+    if (family.name != name) continue;
+    for (const auto& series : family.series) {
+      if (series.labels == labels) return series.counter;
+    }
+  }
+  return 0;
+}
+
+TEST(SnapshotMerge, CountersSumAndHistogramsBucketAdd) {
+  MetricsSnapshot into = counter_snap("merge_total", 10);
+  merge_snapshot(into, counter_snap("merge_total", 32));
+  EXPECT_EQ(counter_value(into, "merge_total"), 42u);
+
+  MetricsSnapshot h = histo_snap("merge_seconds", {1.0, 2.0}, {1, 0, 2}, 3, 9.0);
+  merge_snapshot(h, histo_snap("merge_seconds", {1.0, 2.0}, {0, 4, 1}, 5, 6.5));
+  ASSERT_EQ(h.families.size(), 1u);
+  const Histogram::Snapshot& merged = h.families[0].series[0].histogram;
+  EXPECT_EQ(merged.buckets, (std::vector<std::uint64_t>{1, 4, 3}));
+  EXPECT_EQ(merged.count, 8u);
+  EXPECT_DOUBLE_EQ(merged.sum, 15.5);
+}
+
+TEST(SnapshotMerge, MismatchedHistogramBoundsAreDroppedNotFabricated) {
+  MetricsSnapshot h = histo_snap("merge_mismatch", {1.0, 2.0}, {1, 0, 2}, 3, 9.0);
+  merge_snapshot(h, histo_snap("merge_mismatch", {5.0}, {1, 1}, 2, 7.0));
+  const Histogram::Snapshot& kept = h.families[0].series[0].histogram;
+  EXPECT_EQ(kept.count, 3u);  // the incompatible source was refused
+  EXPECT_DOUBLE_EQ(kept.sum, 9.0);
+}
+
+TEST(SnapshotMerge, GaugesStandPerSource) {
+  MetricsSnapshot into;
+  MetricsSnapshot worker;
+  MetricsSnapshot::Family family;
+  family.name = "merge_gauge";
+  family.help = "h";
+  family.kind = InstrumentKind::kGauge;
+  family.series.push_back({"", 0, 3.5, {}});
+  worker.families.push_back(family);
+  worker.normalize();
+
+  merge_snapshot(into, worker, "101");
+  merge_snapshot(into, worker, "202");
+  ASSERT_EQ(into.families.size(), 1u);
+  ASSERT_EQ(into.families[0].series.size(), 2u);
+  EXPECT_EQ(into.families[0].series[0].labels, "src=\"101\"");
+  EXPECT_EQ(into.families[0].series[1].labels, "src=\"202\"");
+  EXPECT_DOUBLE_EQ(into.families[0].series[0].gauge, 3.5);
+}
+
+TEST(SnapshotMerge, MergeIsAssociativeAndCommutative) {
+  const MetricsSnapshot a = counter_snap("law_total", 1, "w=\"a\"");
+  const MetricsSnapshot b = counter_snap("law_total", 2);
+  const MetricsSnapshot c =
+      histo_snap("law_seconds", {1.0}, {2, 1}, 3, 4.5);
+
+  const auto merge3 = [](const MetricsSnapshot& x, const MetricsSnapshot& y,
+                         const MetricsSnapshot& z, bool left_first) {
+    if (left_first) {  // (x + y) + z
+      MetricsSnapshot xy = x;
+      merge_snapshot(xy, y);
+      merge_snapshot(xy, z);
+      return encode_snapshot(xy);
+    }
+    MetricsSnapshot yz = y;  // x + (y + z)
+    merge_snapshot(yz, z);
+    MetricsSnapshot out = x;
+    merge_snapshot(out, yz);
+    return encode_snapshot(out);
+  };
+
+  // Associativity: grouping does not matter. The canonical normalize()
+  // inside merge makes byte-equality of the encoding the proof.
+  EXPECT_EQ(merge3(a, b, c, true), merge3(a, b, c, false));
+  // Commutativity: order does not matter either.
+  EXPECT_EQ(merge3(a, b, c, true), merge3(c, a, b, true));
+  EXPECT_EQ(merge3(a, b, c, true), merge3(b, c, a, true));
+}
+
+TEST(SnapshotMerge, KindMismatchedFamilyIsSkipped) {
+  MetricsSnapshot into = counter_snap("kind_clash", 5);
+  MetricsSnapshot gauge_side;
+  MetricsSnapshot::Family family;
+  family.name = "kind_clash";
+  family.help = "h";
+  family.kind = InstrumentKind::kGauge;
+  family.series.push_back({"", 0, 9.0, {}});
+  gauge_side.families.push_back(family);
+  gauge_side.normalize();
+
+  merge_snapshot(into, gauge_side, "7");
+  ASSERT_EQ(into.families.size(), 1u);
+  EXPECT_EQ(into.families[0].kind, InstrumentKind::kCounter);
+  EXPECT_EQ(counter_value(into, "kind_clash"), 5u);
+}
+
+// The scrape-equivalence contract: splitting one process's work across
+// N registries and merging the snapshots must expose the same counters
+// and histograms as doing all the work in one registry.
+TEST(SnapshotMerge, MergedSplitWorkIsScrapeEquivalentToSingleProcess) {
+  const bool was_enabled = metrics_enabled();
+  Registry::instance().set_enabled(true);
+
+  Counter& c = Registry::instance().counter("split_equiv_total", "help");
+  Histogram& h = Registry::instance().histogram("split_equiv_seconds", "help",
+                                                {1.0, 2.0});
+  c.reset();
+  h.reset();
+
+  // "Single process": all 10 + 4 observations in one registry.
+  c.add(10);
+  for (int i = 0; i < 4; ++i) h.observe(i + 0.5);
+  const MetricsSnapshot single = Registry::instance().snapshot();
+
+  // "Split": the same work as three disjoint slices, each done in a
+  // freshly reset registry and merged with no source (counters and
+  // histograms are source-agnostic, so the fold must telescope).
+  struct Slice {
+    std::uint64_t adds;
+    std::vector<double> observations;
+  };
+  const std::vector<Slice> slices = {
+      {3, {0.5, 1.5}}, {5, {2.5, 3.5}}, {2, {}}};
+  MetricsSnapshot merged;
+  for (const Slice& slice : slices) {
+    Registry::instance().reset();
+    c.add(slice.adds);
+    for (const double value : slice.observations) h.observe(value);
+    merge_snapshot(merged, Registry::instance().snapshot());
+  }
+
+  EXPECT_EQ(counter_value(merged, "split_equiv_total"), 10u);
+  EXPECT_EQ(counter_value(single, "split_equiv_total"), 10u);
+  for (const auto& family : merged.families) {
+    if (family.name != "split_equiv_seconds") continue;
+    EXPECT_EQ(family.series[0].histogram.count, 4u);
+  }
+
+  Registry::instance().reset();
+  Registry::instance().set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace sefi::obs
